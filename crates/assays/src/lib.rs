@@ -1,0 +1,546 @@
+//! Benchmark bioassays for the DAC'17 evaluation (§5).
+//!
+//! The paper synthesises three assays from the literature, replicated to
+//! 16 / 70 / 120 operations (with 0 / 10 / 20 indeterminate operations):
+//!
+//! 1. **Kinase activity radioassay** \[10\] (Fang et al., *Cancer Res.*
+//!    2010) — bead-column peptide capture with sieve-valve flow-reversal
+//!    mixing (Fig. 2 of the paper); [`kinase_activity`].
+//! 2. **Gene expression profiling of single cells** \[7\] (Zhong et al.,
+//!    *Lab Chip* 2008) — mixers with cell-separation modules (Fig. 1);
+//!    single-cell capture is *indeterminate*; [`gene_expression`].
+//! 3. **High-throughput single-cell RT-qPCR** \[17\] (White et al.,
+//!    *PNAS* 2011) — cell-trap capture with fluorescence verification,
+//!    then RT and qPCR with precise thermal timing; [`rtqpcr`].
+//!
+//! The original protocols are prose, not machine-readable; these
+//! reconstructions preserve the published step structure, the paper's
+//! operation counts, the indeterminate-operation counts, and
+//! component-oriented requirements (see `DESIGN.md`, substitutions table).
+//! Durations are plausible bench-scale values in minutes.
+//!
+//! A seeded [`random_assay`] generator supports property-based testing.
+//!
+//! # Example
+//!
+//! ```
+//! let assay = mfhls_assays::gene_expression(10);
+//! assert_eq!(assay.len(), 70);
+//! assert_eq!(assay.indeterminate_ops().len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mfhls_chip::{Accessory, Capacity, ContainerKind};
+use mfhls_core::{Assay, Duration, OpId, Operation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three benchmark cases of Table 2, in order.
+///
+/// Returns `(case number, citation tag, assay)` triples with the paper's
+/// operation counts: 16, 70 and 120.
+pub fn benchmarks() -> Vec<(usize, &'static str, Assay)> {
+    vec![
+        (1, "[10]", kinase_activity(2)),
+        (2, "[7]", gene_expression(10)),
+        (3, "[17]", rtqpcr(20)),
+    ]
+}
+
+/// Case 1: kinase activity radioassay (Fang et al. \[10\]).
+///
+/// Two shared bead-column preparation steps, then per sample: sample
+/// loading, flow-reversal capture mixing through the sieve-valve bead
+/// column, washing, the kinase reaction (heated), a second wash, elution,
+/// and detection. `samples = 2` gives the paper's 16 operations; every
+/// duration is exact (no indeterminate operations).
+pub fn kinase_activity(samples: usize) -> Assay {
+    let mut a = Assay::new("kinase-activity-radioassay");
+    // Shared bead-column preparation.
+    let load_beads = a.add_op(
+        Operation::new("load bead column")
+            .container(ContainerKind::Chamber)
+            .capacity(Capacity::Medium)
+            .accessory(Accessory::SieveValve)
+            .with_duration(Duration::fixed(8)),
+    );
+    let equilibrate = a.add_op(
+        Operation::new("equilibrate beads")
+            .container(ContainerKind::Chamber)
+            .capacity(Capacity::Medium)
+            .accessory(Accessory::SieveValve)
+            .accessory(Accessory::Pump)
+            .with_duration(Duration::fixed(6)),
+    );
+    a.add_dependency(load_beads, equilibrate)
+        .expect("static protocol edges are acyclic");
+
+    for s in 0..samples {
+        let tag = |step: &str| format!("{step} (sample {})", s + 1);
+        let load = a.add_op(
+            Operation::new(&tag("load sample"))
+                .capacity(Capacity::Large)
+                .with_duration(Duration::fixed(5)),
+        );
+        // Flow-reversal mixing through the bead column (Fig. 2(b)-(e)):
+        // a sieve-valve chamber with a pump, not a mixer. (Chambers top out
+        // at medium capacity, eqs. 3-4; the large input volume passes
+        // through the column in portions, which is the very point of the
+        // flow-reversal protocol.)
+        let capture = a.add_op(
+            Operation::new(&tag("flow-reversal capture mix"))
+                .container(ContainerKind::Chamber)
+                .capacity(Capacity::Medium)
+                .accessory(Accessory::SieveValve)
+                .accessory(Accessory::Pump)
+                .with_duration(Duration::fixed(20)),
+        );
+        let wash1 = a.add_op(
+            Operation::new(&tag("wash unbound"))
+                .accessory(Accessory::SieveValve)
+                .with_duration(Duration::fixed(10)),
+        );
+        let react = a.add_op(
+            Operation::new(&tag("kinase reaction"))
+                .container(ContainerKind::Chamber)
+                .capacity(Capacity::Medium)
+                .accessory(Accessory::HeatingPad)
+                .with_duration(Duration::fixed(30)),
+        );
+        let wash2 = a.add_op(
+            Operation::new(&tag("wash reagents"))
+                .accessory(Accessory::SieveValve)
+                .with_duration(Duration::fixed(10)),
+        );
+        let elute = a.add_op(
+            Operation::new(&tag("elute product"))
+                .capacity(Capacity::Small)
+                .with_duration(Duration::fixed(6)),
+        );
+        let detect = a.add_op(
+            Operation::new(&tag("radioactivity readout"))
+                .accessory(Accessory::OpticalSystem)
+                .with_duration(Duration::fixed(12)),
+        );
+        let chain = [load, capture, wash1, react, wash2, elute, detect];
+        a.add_dependency(equilibrate, capture)
+            .expect("static protocol edges are acyclic");
+        for w in chain.windows(2) {
+            a.add_dependency(w[0], w[1])
+                .expect("static protocol edges are acyclic");
+        }
+    }
+    a
+}
+
+/// Case 2: gene expression profiling of single embryonic stem cells
+/// (Zhong et al. \[7\]).
+///
+/// One chain per cell: indeterminate single-cell capture in a ring-based
+/// cell-separation module (Fig. 1), lysis, bead-based mRNA capture, heated
+/// reverse transcription, washing, elution, and detection. `cells = 10`
+/// gives the paper's 70 operations with 10 indeterminate captures.
+pub fn gene_expression(cells: usize) -> Assay {
+    let mut a = Assay::new("gene-expression-profiling");
+    for c in 0..cells {
+        let tag = |step: &str| format!("{step} (cell {})", c + 1);
+        let capture = a.add_op(
+            Operation::new(&tag("single-cell capture"))
+                .container(ContainerKind::Ring)
+                .capacity(Capacity::Medium)
+                .accessory(Accessory::Pump)
+                .with_duration(Duration::at_least(3)),
+        );
+        let lyse = a.add_op(
+            Operation::new(&tag("cell lysis"))
+                .capacity(Capacity::Small)
+                .accessory(Accessory::HeatingPad)
+                .with_duration(Duration::fixed(8)),
+        );
+        let mrna = a.add_op(
+            Operation::new(&tag("mRNA bead capture"))
+                .container(ContainerKind::Chamber)
+                .capacity(Capacity::Medium)
+                .accessory(Accessory::SieveValve)
+                .with_duration(Duration::fixed(15)),
+        );
+        let rt = a.add_op(
+            Operation::new(&tag("reverse transcription"))
+                .capacity(Capacity::Small)
+                .accessory(Accessory::HeatingPad)
+                .with_duration(Duration::fixed(30)),
+        );
+        let wash = a.add_op(
+            Operation::new(&tag("bead wash"))
+                .accessory(Accessory::SieveValve)
+                .with_duration(Duration::fixed(10)),
+        );
+        let elute = a.add_op(
+            Operation::new(&tag("cDNA elution"))
+                .capacity(Capacity::Tiny)
+                .with_duration(Duration::fixed(5)),
+        );
+        let detect = a.add_op(
+            Operation::new(&tag("expression readout"))
+                .accessory(Accessory::OpticalSystem)
+                .with_duration(Duration::fixed(8)),
+        );
+        for w in [capture, lyse, mrna, rt, wash, elute, detect].windows(2) {
+            a.add_dependency(w[0], w[1])
+                .expect("static protocol edges are acyclic");
+        }
+    }
+    a
+}
+
+/// Case 3: high-throughput single-cell RT-qPCR (White et al. \[17\]).
+///
+/// One chain per cell: indeterminate cell-trap capture verified by
+/// fluorescence imaging (re-run until exactly one cell, \[11, 12\]), wash,
+/// heated lysis, reverse transcription, qPCR with precise thermal cycling,
+/// and analysis. `cells = 20` gives the paper's 120 operations with 20
+/// indeterminate captures.
+pub fn rtqpcr(cells: usize) -> Assay {
+    let mut a = Assay::new("single-cell-rt-qpcr");
+    for c in 0..cells {
+        let tag = |step: &str| format!("{step} (cell {})", c + 1);
+        let capture = a.add_op(
+            Operation::new(&tag("cell-trap capture"))
+                .capacity(Capacity::Small)
+                .accessory(Accessory::CellTrap)
+                .accessory(Accessory::OpticalSystem)
+                .with_duration(Duration::at_least(4)),
+        );
+        let wash = a.add_op(
+            Operation::new(&tag("trap wash"))
+                .accessory(Accessory::SieveValve)
+                .with_duration(Duration::fixed(6)),
+        );
+        let lyse = a.add_op(
+            Operation::new(&tag("heat lysis"))
+                .capacity(Capacity::Tiny)
+                .accessory(Accessory::HeatingPad)
+                .with_duration(Duration::fixed(10)),
+        );
+        let rt = a.add_op(
+            Operation::new(&tag("reverse transcription"))
+                .capacity(Capacity::Small)
+                .accessory(Accessory::HeatingPad)
+                .with_duration(Duration::fixed(25)),
+        );
+        let qpcr = a.add_op(
+            Operation::new(&tag("qPCR thermal cycling"))
+                .container(ContainerKind::Chamber)
+                .capacity(Capacity::Small)
+                .accessory(Accessory::HeatingPad)
+                .accessory(Accessory::OpticalSystem)
+                .with_duration(Duration::fixed(40)),
+        );
+        let analyze = a.add_op(
+            Operation::new(&tag("amplification analysis"))
+                .accessory(Accessory::OpticalSystem)
+                .with_duration(Duration::fixed(5)),
+        );
+        for w in [capture, wash, lyse, rt, qpcr, analyze].windows(2) {
+            a.add_dependency(w[0], w[1])
+                .expect("static protocol edges are acyclic");
+        }
+    }
+    a
+}
+
+/// Bonus protocol: fully automated microfluidic cell culture
+/// (Gomez-Sjöberg et al. \[19\]).
+///
+/// One shared medium-preparation step, then per culture chamber: an
+/// indeterminate cell-seeding step (loading density is verified by
+/// imaging and repeated if needed), attachment incubation, `cycles`
+/// feed→incubate→image maintenance cycles, and a final harvest. Exercises
+/// long serial chains with a *mid-chain* indeterminate op — a different
+/// layering shape from the capture-first benchmarks (ops after seeding
+/// are pushed into later layers per chamber).
+pub fn cell_culture(chambers: usize, cycles: usize) -> Assay {
+    let mut a = Assay::new("automated-cell-culture");
+    let medium = a.add_op(
+        Operation::new("prepare culture medium")
+            .container(ContainerKind::Chamber)
+            .capacity(Capacity::Medium)
+            .accessory(Accessory::Pump)
+            .with_duration(Duration::fixed(10)),
+    );
+    for c in 0..chambers {
+        let tag = |step: &str| format!("{step} (chamber {})", c + 1);
+        let seed = a.add_op(
+            Operation::new(&tag("seed cells"))
+                .container(ContainerKind::Chamber)
+                .capacity(Capacity::Small)
+                .accessory(Accessory::OpticalSystem)
+                .with_duration(Duration::at_least(5)),
+        );
+        let attach = a.add_op(
+            Operation::new(&tag("attachment incubation"))
+                .capacity(Capacity::Small)
+                .accessory(Accessory::HeatingPad)
+                .with_duration(Duration::fixed(45)),
+        );
+        a.add_dependency(medium, seed)
+            .expect("static protocol edges are acyclic");
+        a.add_dependency(seed, attach)
+            .expect("static protocol edges are acyclic");
+        let mut prev = attach;
+        for k in 0..cycles {
+            let cycle_tag = |step: &str| format!("{step} (chamber {}, cycle {})", c + 1, k + 1);
+            let feed = a.add_op(
+                Operation::new(&cycle_tag("feed"))
+                    .capacity(Capacity::Small)
+                    .accessory(Accessory::Pump)
+                    .with_duration(Duration::fixed(4)),
+            );
+            let incubate = a.add_op(
+                Operation::new(&cycle_tag("incubate"))
+                    .capacity(Capacity::Small)
+                    .accessory(Accessory::HeatingPad)
+                    .with_duration(Duration::fixed(30)),
+            );
+            let image = a.add_op(
+                Operation::new(&cycle_tag("image"))
+                    .accessory(Accessory::OpticalSystem)
+                    .with_duration(Duration::fixed(3)),
+            );
+            a.add_dependency(prev, feed)
+                .expect("static protocol edges are acyclic");
+            a.add_dependency(feed, incubate)
+                .expect("static protocol edges are acyclic");
+            a.add_dependency(incubate, image)
+                .expect("static protocol edges are acyclic");
+            prev = image;
+        }
+        let harvest = a.add_op(
+            Operation::new(&tag("harvest"))
+                .capacity(Capacity::Small)
+                .accessory(Accessory::Pump)
+                .with_duration(Duration::fixed(6)),
+        );
+        a.add_dependency(prev, harvest)
+            .expect("static protocol edges are acyclic");
+    }
+    a
+}
+
+/// Parameters for [`random_assay`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomAssayParams {
+    /// Number of operations.
+    pub ops: usize,
+    /// Probability of a dependency edge between any forward pair.
+    pub edge_probability: f64,
+    /// Fraction of operations with indeterminate durations.
+    pub indeterminate_fraction: f64,
+    /// Maximum fixed duration (minutes).
+    pub max_duration: u64,
+}
+
+impl Default for RandomAssayParams {
+    fn default() -> Self {
+        RandomAssayParams {
+            ops: 20,
+            edge_probability: 0.12,
+            indeterminate_fraction: 0.15,
+            max_duration: 30,
+        }
+    }
+}
+
+/// Generates a seeded random assay DAG: edges only point forward (so the
+/// graph is acyclic by construction), with random component requirements.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_assays::{random_assay, RandomAssayParams};
+///
+/// let a = random_assay(7, RandomAssayParams::default());
+/// let b = random_assay(7, RandomAssayParams::default());
+/// assert_eq!(a.len(), b.len()); // fully deterministic per seed
+/// ```
+pub fn random_assay(seed: u64, params: RandomAssayParams) -> Assay {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Assay::new(&format!("random-{seed}"));
+    let mut ids: Vec<OpId> = Vec::with_capacity(params.ops);
+    for k in 0..params.ops {
+        let indeterminate = rng.gen_bool(params.indeterminate_fraction.clamp(0.0, 1.0));
+        let dur = rng.gen_range(1..=params.max_duration.max(1));
+        let mut op = Operation::new(&format!("op{k}")).with_duration(if indeterminate {
+            Duration::at_least(dur)
+        } else {
+            Duration::fixed(dur)
+        });
+        // Random container constraint (often unconstrained).
+        op = match rng.gen_range(0..4) {
+            0 => op.container(ContainerKind::Ring),
+            1 => op.container(ContainerKind::Chamber),
+            _ => op,
+        };
+        if rng.gen_bool(0.5) {
+            let kind = op.requirements().container;
+            let cap = match kind {
+                Some(k) => {
+                    let caps = k.valid_capacities();
+                    caps[rng.gen_range(0..caps.len())]
+                }
+                None => {
+                    // Medium/small fit either container kind.
+                    [Capacity::Medium, Capacity::Small][rng.gen_range(0..2)]
+                }
+            };
+            op = op.capacity(cap);
+        }
+        for acc in Accessory::ALL {
+            if rng.gen_bool(0.2) {
+                op = op.accessory(acc);
+            }
+        }
+        ids.push(a.add_op(op));
+    }
+    for i in 0..params.ops {
+        for j in (i + 1)..params.ops {
+            if rng.gen_bool(params.edge_probability.clamp(0.0, 1.0)) {
+                a.add_dependency(ids[i], ids[j])
+                    .expect("forward edges cannot form cycles");
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_sizes_match_table2() {
+        let cases = benchmarks();
+        let sizes: Vec<(usize, usize)> = cases
+            .iter()
+            .map(|(_, _, a)| (a.len(), a.indeterminate_ops().len()))
+            .collect();
+        assert_eq!(sizes, vec![(16, 0), (70, 10), (120, 20)]);
+    }
+
+    #[test]
+    fn kinase_is_fully_determinate() {
+        let a = kinase_activity(2);
+        assert_eq!(a.len(), 16);
+        assert!(a.indeterminate_ops().is_empty());
+        // Shared bead column fans out to both samples.
+        assert_eq!(a.children(OpId(1)).len(), 2);
+    }
+
+    #[test]
+    fn kinase_scales_with_samples() {
+        assert_eq!(kinase_activity(4).len(), 2 + 4 * 7);
+    }
+
+    #[test]
+    fn gene_expression_chains_start_indeterminate() {
+        let a = gene_expression(3);
+        assert_eq!(a.len(), 21);
+        for ind in a.indeterminate_ops() {
+            assert!(a.parents(ind).is_empty(), "captures are chain heads");
+            assert_eq!(a.children(ind).len(), 1);
+        }
+    }
+
+    #[test]
+    fn rtqpcr_layering_matches_paper_shape() {
+        // 20 indeterminate ops with threshold 10 must split into 3 layers
+        // (I1 + I2 extras, as in Table 2 case 3).
+        let a = rtqpcr(20);
+        let l = mfhls_core::layer_assay(&a, 10).unwrap();
+        assert_eq!(l.num_layers(), 3);
+        assert_eq!(l.indeterminate_in(&a, 0).len(), 10);
+        assert_eq!(l.indeterminate_in(&a, 1).len(), 10);
+        assert_eq!(l.indeterminate_in(&a, 2).len(), 0);
+        l.validate(&a, 10).unwrap();
+    }
+
+    #[test]
+    fn gene_expression_layering_has_single_extra() {
+        let a = gene_expression(10);
+        let l = mfhls_core::layer_assay(&a, 10).unwrap();
+        assert_eq!(l.num_layers(), 2);
+        assert_eq!(l.indeterminate_in(&a, 0).len(), 10);
+    }
+
+    #[test]
+    fn all_benchmarks_layer_cleanly() {
+        for (case, _, a) in benchmarks() {
+            mfhls_core::layer_assay(&a, 10)
+                .unwrap_or_else(|e| panic!("case {case}: {e}"))
+                .validate(&a, 10)
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        }
+    }
+
+
+    #[test]
+    fn cell_culture_counts_and_structure() {
+        let a = cell_culture(4, 3);
+        assert_eq!(a.len(), 1 + 4 * (2 + 3 * 3 + 1));
+        assert_eq!(a.indeterminate_ops().len(), 4);
+        // Seeding is mid-chain: it has both parents and children.
+        for ind in a.indeterminate_ops() {
+            assert!(!a.parents(ind).is_empty());
+            assert!(!a.children(ind).is_empty());
+        }
+    }
+
+    #[test]
+    fn cell_culture_layers_and_synthesises() {
+        let a = cell_culture(3, 2);
+        let l = mfhls_core::layer_assay(&a, 10).unwrap();
+        l.validate(&a, 10).unwrap();
+        // Everything after seeding is deferred: exactly 2 layers.
+        assert_eq!(l.num_layers(), 2);
+        let r = mfhls_core::Synthesizer::new(mfhls_core::SynthConfig::default())
+            .run(&a)
+            .unwrap();
+        r.schedule.validate(&a).unwrap();
+    }
+
+    #[test]
+    fn random_assay_is_deterministic() {
+        let p = RandomAssayParams::default();
+        let a = random_assay(42, p);
+        let b = random_assay(42, p);
+        assert_eq!(a.len(), b.len());
+        let ea: Vec<_> = a.dependencies().collect();
+        let eb: Vec<_> = b.dependencies().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn random_assay_respects_params() {
+        let p = RandomAssayParams {
+            ops: 50,
+            indeterminate_fraction: 0.0,
+            ..RandomAssayParams::default()
+        };
+        let a = random_assay(1, p);
+        assert_eq!(a.len(), 50);
+        assert!(a.indeterminate_ops().is_empty());
+    }
+
+    #[test]
+    fn random_assays_synthesise_cleanly() {
+        for seed in 0..5 {
+            let a = random_assay(seed, RandomAssayParams::default());
+            let r = mfhls_core::Synthesizer::new(mfhls_core::SynthConfig::default())
+                .run(&a)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            r.schedule.validate(&a).unwrap();
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benches for the end-to-end synthesis flow: one benchmark per
+//! Table 2 row pair (our method and the conventional baseline on each
+//! case), plus the progressive re-synthesis loop behind Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfhls_core::SynthConfig;
+
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (case, _, assay) in mfhls_assays::benchmarks() {
+        group.bench_with_input(BenchmarkId::new("ours", case), &assay, |b, assay| {
+            b.iter(|| mfhls_bench::run_ours(assay, SynthConfig::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("conventional", case), &assay, |b, assay| {
+            b.iter(|| mfhls_bench::run_conventional(assay, SynthConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_resynthesis");
+    group.sample_size(10);
+    for (case, _, assay) in mfhls_assays::benchmarks() {
+        if assay.indeterminate_ops().is_empty() {
+            continue;
+        }
+        // Initial pass only vs full progressive re-synthesis.
+        group.bench_with_input(BenchmarkId::new("initial_only", case), &assay, |b, assay| {
+            b.iter(|| {
+                mfhls_bench::run_ours(
+                    assay,
+                    SynthConfig {
+                        max_iterations: 1,
+                        ..SynthConfig::default()
+                    },
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("progressive", case), &assay, |b, assay| {
+            b.iter(|| mfhls_bench::run_ours(assay, SynthConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2, table3);
+criterion_main!(benches);

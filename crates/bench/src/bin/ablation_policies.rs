@@ -1,0 +1,112 @@
+//! Ablation B: hybrid scheduling vs fully-offline (padded) vs fully-online
+//! control, under stochastic indeterminate durations (geometric capture
+//! retries, p = 0.53 per attempt, as in \[11\]).
+//!
+//! ```text
+//! cargo run --release -p mfhls-bench --bin ablation_policies
+//! ```
+//!
+//! Expectation (the paper's §1 argument):
+//! * *offline with padding* commits to a long fixed makespan and still
+//!   fails whenever one capture outruns its padding;
+//! * *fully online* tracks reality but pays a decision latency on every
+//!   operation (manual observation!), which dominates for large assays;
+//! * *hybrid* keeps realized makespans near the online optimum with only
+//!   one decision per layer boundary.
+
+use mfhls_bench::print_table;
+use mfhls_core::{SynthConfig, Synthesizer};
+use mfhls_sim::{
+    pad_indeterminate, simulate_hybrid, simulate_online, simulate_padded, DurationModel,
+    SimConfig,
+};
+
+const TRIALS: u64 = 200;
+const PAD: f64 = 3.0;
+const DECISION_LATENCY: u64 = 2;
+
+fn main() {
+    println!(
+        "Ablation B: control policies ({TRIALS} trials, geometric retries p=0.53,\n\
+         offline padding x{PAD}, online decision latency {DECISION_LATENCY}m serialised)\n"
+    );
+    let model = DurationModel::GeometricRetry {
+        success_probability: 0.53,
+        max_attempts: 20,
+    };
+    for (case, tag, assay) in mfhls_assays::benchmarks() {
+        if assay.indeterminate_ops().is_empty() {
+            continue;
+        }
+        let hybrid = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("synthesizable");
+
+        let mut hybrid_spans = Vec::new();
+        let mut hybrid_decisions = 0;
+        for seed in 0..TRIALS {
+            let run = simulate_hybrid(&assay, &hybrid.schedule, &SimConfig { model, seed })
+                .expect("valid schedule");
+            hybrid_decisions = run.decisions;
+            hybrid_spans.push(run.makespan);
+        }
+
+        let padded_assay = pad_indeterminate(&assay, PAD);
+        let offline = Synthesizer::new(SynthConfig::default())
+            .run(&padded_assay)
+            .expect("synthesizable");
+        let offline_fixed = offline.schedule.exec_time(&padded_assay).fixed;
+        let failures = (0..TRIALS)
+            .filter(|&seed| {
+                !simulate_padded(&assay, offline_fixed, PAD, &SimConfig { model, seed }).success
+            })
+            .count();
+
+        let mut online_spans = Vec::new();
+        let mut online_decisions = 0;
+        for seed in 0..TRIALS {
+            let run = simulate_online(
+                &assay,
+                &hybrid.schedule,
+                &SimConfig { model, seed },
+                DECISION_LATENCY,
+                true,
+            )
+            .expect("valid binding");
+            online_decisions = run.decisions;
+            online_spans.push(run.makespan);
+        }
+
+        println!("case {case} {tag} ({} ops):", assay.len());
+        let stats = |v: &mut Vec<u64>| {
+            v.sort_unstable();
+            (v[0], v[v.len() / 2], v[v.len() - 1])
+        };
+        let (hl, hm, hh) = stats(&mut hybrid_spans);
+        let (ol, om, oh) = stats(&mut online_spans);
+        print_table(
+            &["policy", "makespan min/med/max", "decisions", "failure rate"],
+            &[
+                vec![
+                    "hybrid (paper)".into(),
+                    format!("{hl} / {hm} / {hh} m"),
+                    hybrid_decisions.to_string(),
+                    "0%".into(),
+                ],
+                vec![
+                    format!("offline pad x{PAD}"),
+                    format!("{offline_fixed} m fixed"),
+                    "0".into(),
+                    format!("{:.1}%", failures as f64 / TRIALS as f64 * 100.0),
+                ],
+                vec![
+                    "fully online".into(),
+                    format!("{ol} / {om} / {oh} m"),
+                    online_decisions.to_string(),
+                    "0%".into(),
+                ],
+            ],
+        );
+        println!();
+    }
+}

@@ -1,0 +1,59 @@
+//! Ablation A: sweep the per-layer indeterminate threshold `t` (Algorithm
+//! 1's eviction trigger) and report layers, boundary storage, and execution
+//! time on the two indeterminate benchmarks.
+//!
+//! ```text
+//! cargo run --release -p mfhls-bench --bin ablation_threshold
+//! ```
+//!
+//! Expectation: small `t` forces many layers (more barriers, more storage,
+//! longer fixed time but tighter real-time control granularity); the
+//! paper's `t = 10` sits where the layer count stops falling.
+
+use mfhls_bench::{print_table, run_ours};
+use mfhls_core::{layer_assay, SynthConfig};
+
+fn main() {
+    println!("Ablation A: layering threshold sweep\n");
+    for (case, tag, assay) in mfhls_assays::benchmarks() {
+        if assay.indeterminate_ops().is_empty() {
+            continue;
+        }
+        println!(
+            "case {case} {tag}: {} ops, {} indeterminate",
+            assay.len(),
+            assay.indeterminate_ops().len()
+        );
+        let mut rows = Vec::new();
+        for t in [1, 2, 4, 6, 8, 10, 12, 16] {
+            let layering = match layer_assay(&assay, t) {
+                Ok(l) => l,
+                Err(e) => {
+                    rows.push(vec![t.to_string(), format!("error: {e}")]);
+                    continue;
+                }
+            };
+            let storage: u64 = layering.boundary_storage(&assay).iter().sum();
+            let ours = run_ours(
+                &assay,
+                SynthConfig {
+                    indeterminate_threshold: t,
+                    ..SynthConfig::default()
+                },
+            );
+            rows.push(vec![
+                t.to_string(),
+                layering.num_layers().to_string(),
+                storage.to_string(),
+                ours.exec.clone(),
+                ours.devices.to_string(),
+                ours.paths.to_string(),
+            ]);
+        }
+        print_table(
+            &["t", "layers", "stored outputs", "Exe. Time", "#D.", "#P."],
+            &rows,
+        );
+        println!();
+    }
+}

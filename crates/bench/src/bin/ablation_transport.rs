@@ -1,0 +1,58 @@
+//! Ablation D: transport-time refinement (§4.1) on vs off.
+//!
+//! ```text
+//! cargo run --release -p mfhls-bench --bin ablation_transport
+//! ```
+//!
+//! "Off" stops after the first pass (every operation keeps the uniform
+//! initial estimate `t`); "on" lets progressive re-synthesis refine each
+//! operation's transport to a term of the arithmetic progression based on
+//! path usage (and to 0 for same-device transfers). Expectation: refinement
+//! shortens execution time, most visibly with a pessimistic initial `t`.
+
+use mfhls_bench::{print_table, run_ours};
+use mfhls_core::{Progression, SynthConfig, TransportConfig};
+
+fn main() {
+    println!("Ablation D: transport-estimation refinement\n");
+    for (case, tag, assay) in mfhls_assays::benchmarks() {
+        println!("case {case} {tag} ({} ops):", assay.len());
+        let mut rows = Vec::new();
+        for initial in [1u64, 3, 6] {
+            let transport = TransportConfig {
+                initial,
+                progression: Progression {
+                    min: 1,
+                    max: initial.max(2) * 2,
+                    terms: 5,
+                },
+            };
+            let off = run_ours(
+                &assay,
+                SynthConfig {
+                    transport,
+                    max_iterations: 1, // no refinement pass
+                    ..SynthConfig::default()
+                },
+            );
+            let on = run_ours(
+                &assay,
+                SynthConfig {
+                    transport,
+                    ..SynthConfig::default()
+                },
+            );
+            rows.push(vec![
+                initial.to_string(),
+                off.exec.clone(),
+                on.exec.clone(),
+                format!("{} -> {}", off.paths, on.paths),
+            ]);
+        }
+        print_table(
+            &["initial t", "exec (no refinement)", "exec (refined)", "paths"],
+            &rows,
+        );
+        println!();
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation E: objective-weight sweep — the time/resource trade-off the
+//! user-adjustable coefficients `C_t, C_a, C_pr, C_p` expose (§4.3).
+//!
+//! ```text
+//! cargo run --release -p mfhls-bench --bin ablation_weights
+//! ```
+//!
+//! Expectation: raising the resource weights relative to `C_t` trades
+//! execution time for fewer devices and paths, monotonically at the
+//! extremes.
+
+use mfhls_bench::{print_table, run_ours};
+use mfhls_core::{SynthConfig, Weights};
+
+fn main() {
+    println!("Ablation E: objective weight sweep (case 2, gene expression)\n");
+    let assay = mfhls_assays::gene_expression(10);
+    let mut rows = Vec::new();
+    for (label, weights) in [
+        ("time only", Weights { time: 20, area: 0, processing: 0, paths: 0 }),
+        ("default", Weights::default()),
+        ("resource x4", Weights { time: 20, area: 24, processing: 12, paths: 48 }),
+        ("resource x16", Weights { time: 20, area: 96, processing: 48, paths: 192 }),
+        ("resources only", Weights { time: 1, area: 96, processing: 48, paths: 192 }),
+    ] {
+        let r = run_ours(
+            &assay,
+            SynthConfig {
+                weights,
+                ..SynthConfig::default()
+            },
+        );
+        rows.push(vec![
+            label.to_string(),
+            format!("{}:{}:{}:{}", weights.time, weights.area, weights.processing, weights.paths),
+            r.exec.clone(),
+            r.devices.to_string(),
+            r.paths.to_string(),
+        ]);
+    }
+    print_table(
+        &["profile", "Ct:Ca:Cpr:Cp", "Exe. Time", "#D.", "#P."],
+        &rows,
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates the `protocols/benchmarks/*.mfa` files from the canonical
+//! assay generators (run after changing `mfhls-assays`).
+
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new("protocols/benchmarks");
+    std::fs::create_dir_all(dir)?;
+    for (file, assay) in [
+        ("case1_kinase.mfa", mfhls_assays::kinase_activity(2)),
+        ("case2_gene_expression.mfa", mfhls_assays::gene_expression(10)),
+        ("case3_rtqpcr.mfa", mfhls_assays::rtqpcr(20)),
+        ("bonus_cell_culture.mfa", mfhls_assays::cell_culture(4, 3)),
+    ] {
+        let path = dir.join(file);
+        std::fs::write(&path, mfhls_dsl::to_text(&assay))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Shared harness code for the table/ablation binaries.
+//!
+//! Every binary prints the same rows/series as the corresponding table of
+//! the paper (`cargo run --release -p mfhls-bench --bin table2`, …); the
+//! Criterion benches in `benches/` time the underlying algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mfhls_core::{Assay, SynthConfig, SynthesisResult, Synthesizer};
+
+/// One side (ours or conventional) of a Table 2 row.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Execution time string in the paper's format (e.g. `244m+I1`).
+    pub exec: String,
+    /// Devices used (`#D.`).
+    pub devices: usize,
+    /// Transportation paths (`#P.`).
+    pub paths: usize,
+    /// Program runtime.
+    pub runtime: std::time::Duration,
+    /// The full synthesis result, for further inspection.
+    pub result: SynthesisResult,
+}
+
+/// Runs the component-oriented flow on `assay`.
+///
+/// # Panics
+///
+/// Panics if synthesis fails — the benchmark assays are all synthesizable.
+pub fn run_ours(assay: &Assay, config: SynthConfig) -> CaseResult {
+    let result = Synthesizer::new(config)
+        .run(assay)
+        .expect("benchmark assay must synthesize");
+    case_result(assay, result)
+}
+
+/// Runs the modified conventional baseline on `assay`.
+///
+/// # Panics
+///
+/// Panics if synthesis fails.
+pub fn run_conventional(assay: &Assay, config: SynthConfig) -> CaseResult {
+    let result = mfhls_core::conventional::run(assay, config)
+        .expect("benchmark assay must synthesize");
+    case_result(assay, result)
+}
+
+fn case_result(assay: &Assay, result: SynthesisResult) -> CaseResult {
+    CaseResult {
+        exec: result.schedule.exec_time(assay).to_string(),
+        devices: result.schedule.used_device_count(),
+        paths: result.schedule.path_count(),
+        runtime: result.runtime,
+        result,
+    }
+}
+
+/// Formats a duration the way the paper's Runtime column does
+/// (`5.531s` / `5m12s`).
+pub fn fmt_runtime(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 60.0 {
+        format!("{}m{:.0}s", (secs / 60.0) as u64, secs % 60.0)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
+/// Prints a Markdown-ish table: a header row and aligned value rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            widths[k] = widths[k].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row.clone());
+    }
+}

@@ -1,0 +1,341 @@
+//! Microfluidic components: containers, capacities and accessories.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of container a general device is built around (§2.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ContainerKind {
+    /// A closed-loop channel segment enabling circulation flow; the
+    /// workhorse of efficient mixing.
+    Ring,
+    /// A straight channel segment delimited by two valves; hosts mixing,
+    /// amplification, heating, neutralisation, cell culturing, ….
+    Chamber,
+}
+
+impl ContainerKind {
+    /// All container kinds.
+    pub const ALL: [ContainerKind; 2] = [ContainerKind::Ring, ContainerKind::Chamber];
+
+    /// Capacities this kind of container can be fabricated with: rings are
+    /// large/medium/small; chambers medium/small/tiny (eqs. 3–4).
+    pub fn valid_capacities(self) -> &'static [Capacity] {
+        match self {
+            ContainerKind::Ring => &[Capacity::Large, Capacity::Medium, Capacity::Small],
+            ContainerKind::Chamber => &[Capacity::Medium, Capacity::Small, Capacity::Tiny],
+        }
+    }
+
+    /// Whether `capacity` is fabricable for this container kind.
+    pub fn allows(self, capacity: Capacity) -> bool {
+        self.valid_capacities().contains(&capacity)
+    }
+}
+
+impl std::fmt::Display for ContainerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ContainerKind::Ring => "ring",
+            ContainerKind::Chamber => "chamber",
+        })
+    }
+}
+
+/// Reagent capacity class of a container (eq. 2). Ordered from largest to
+/// smallest: `Large > Medium > Small > Tiny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capacity {
+    /// Largest volume class; rings only.
+    Large,
+    /// Medium volume; rings or chambers.
+    Medium,
+    /// Small volume; rings or chambers.
+    Small,
+    /// Tiny volume; chambers only.
+    Tiny,
+}
+
+impl Capacity {
+    /// All capacity classes, largest first.
+    pub const ALL: [Capacity; 4] = [
+        Capacity::Large,
+        Capacity::Medium,
+        Capacity::Small,
+        Capacity::Tiny,
+    ];
+
+    /// Dense index for table lookups: Large = 0 … Tiny = 3.
+    pub fn index(self) -> usize {
+        match self {
+            Capacity::Large => 0,
+            Capacity::Medium => 1,
+            Capacity::Small => 2,
+            Capacity::Tiny => 3,
+        }
+    }
+}
+
+impl PartialOrd for Capacity {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Capacity {
+    /// Larger capacity compares greater: `Large > Medium > Small > Tiny`.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.index().cmp(&self.index())
+    }
+}
+
+impl std::fmt::Display for Capacity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Capacity::Large => "large",
+            Capacity::Medium => "medium",
+            Capacity::Small => "small",
+            Capacity::Tiny => "tiny",
+        })
+    }
+}
+
+/// Functionally specialised components that integrate into a container at
+/// zero area cost but extra processing cost (§2.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Accessory {
+    /// Valve group providing pressure for fluid movement.
+    Pump,
+    /// Heating layer + circuit under the flow layer.
+    HeatingPad,
+    /// Light source + detector for on-chip detection.
+    OpticalSystem,
+    /// A valve that leaves a gap when closed: blocks beads/cells, passes
+    /// fluid; enables washing and bead-column mixing.
+    SieveValve,
+    /// Passive trap holding exactly one cell; enables parallel single-cell
+    /// isolation.
+    CellTrap,
+}
+
+impl Accessory {
+    /// All accessory kinds, in `Table 1` order (p, h, o, s, c).
+    pub const ALL: [Accessory; 5] = [
+        Accessory::Pump,
+        Accessory::HeatingPad,
+        Accessory::OpticalSystem,
+        Accessory::SieveValve,
+        Accessory::CellTrap,
+    ];
+
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            Accessory::Pump => 0,
+            Accessory::HeatingPad => 1,
+            Accessory::OpticalSystem => 2,
+            Accessory::SieveValve => 3,
+            Accessory::CellTrap => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Accessory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Accessory::Pump => "pump",
+            Accessory::HeatingPad => "heating-pad",
+            Accessory::OpticalSystem => "optical-system",
+            Accessory::SieveValve => "sieve-valve",
+            Accessory::CellTrap => "cell-trap",
+        })
+    }
+}
+
+/// A set of [`Accessory`] values, stored as a bit mask.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_chip::{Accessory, AccessorySet};
+///
+/// let mut s = AccessorySet::empty();
+/// s.insert(Accessory::Pump);
+/// let t = AccessorySet::from_iter([Accessory::Pump, Accessory::SieveValve]);
+/// assert!(s.is_subset(&t));
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct AccessorySet(u8);
+
+impl AccessorySet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        AccessorySet(0)
+    }
+
+    /// The set of all five accessories.
+    pub fn all() -> Self {
+        Accessory::ALL.into_iter().collect()
+    }
+
+    /// Inserts an accessory; returns `true` if newly inserted.
+    pub fn insert(&mut self, a: Accessory) -> bool {
+        let bit = 1u8 << a.index();
+        let had = self.0 & bit != 0;
+        self.0 |= bit;
+        !had
+    }
+
+    /// Removes an accessory; returns `true` if it was present.
+    pub fn remove(&mut self, a: Accessory) -> bool {
+        let bit = 1u8 << a.index();
+        let had = self.0 & bit != 0;
+        self.0 &= !bit;
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(self, a: Accessory) -> bool {
+        self.0 & (1 << a.index()) != 0
+    }
+
+    /// Number of accessories in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if every accessory of `self` is also in `other`.
+    pub fn is_subset(self, other: &AccessorySet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Union of the two sets.
+    pub fn union(self, other: AccessorySet) -> AccessorySet {
+        AccessorySet(self.0 | other.0)
+    }
+
+    /// Iterates the accessories in [`Accessory::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = Accessory> {
+        Accessory::ALL.into_iter().filter(move |a| self.contains(*a))
+    }
+}
+
+impl FromIterator<Accessory> for AccessorySet {
+    fn from_iter<I: IntoIterator<Item = Accessory>>(iter: I) -> Self {
+        let mut s = AccessorySet::empty();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+impl Extend<Accessory> for AccessorySet {
+    fn extend<I: IntoIterator<Item = Accessory>>(&mut self, iter: I) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+impl std::fmt::Display for AccessorySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_and_chamber_capacities() {
+        assert!(ContainerKind::Ring.allows(Capacity::Large));
+        assert!(!ContainerKind::Ring.allows(Capacity::Tiny));
+        assert!(ContainerKind::Chamber.allows(Capacity::Tiny));
+        assert!(!ContainerKind::Chamber.allows(Capacity::Large));
+        // Medium and small are shared.
+        for cap in [Capacity::Medium, Capacity::Small] {
+            assert!(ContainerKind::Ring.allows(cap));
+            assert!(ContainerKind::Chamber.allows(cap));
+        }
+    }
+
+    #[test]
+    fn capacity_ordering_is_by_volume() {
+        assert!(Capacity::Large > Capacity::Medium);
+        assert!(Capacity::Medium > Capacity::Small);
+        assert!(Capacity::Small > Capacity::Tiny);
+        let mut caps = vec![Capacity::Tiny, Capacity::Large, Capacity::Small];
+        caps.sort();
+        assert_eq!(caps, vec![Capacity::Tiny, Capacity::Small, Capacity::Large]);
+    }
+
+    #[test]
+    fn accessory_set_basics() {
+        let mut s = AccessorySet::empty();
+        assert!(s.is_empty());
+        assert!(s.insert(Accessory::Pump));
+        assert!(!s.insert(Accessory::Pump));
+        assert!(s.contains(Accessory::Pump));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Accessory::Pump));
+        assert!(!s.remove(Accessory::Pump));
+    }
+
+    #[test]
+    fn subset_semantics() {
+        let small = AccessorySet::from_iter([Accessory::SieveValve]);
+        let big = AccessorySet::from_iter([Accessory::SieveValve, Accessory::Pump]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(AccessorySet::empty().is_subset(&small));
+        assert!(small.is_subset(&small));
+    }
+
+    #[test]
+    fn union_and_iter_order() {
+        let a = AccessorySet::from_iter([Accessory::CellTrap]);
+        let b = AccessorySet::from_iter([Accessory::Pump]);
+        let u = a.union(b);
+        assert_eq!(
+            u.iter().collect::<Vec<_>>(),
+            vec![Accessory::Pump, Accessory::CellTrap]
+        );
+    }
+
+    #[test]
+    fn all_set_has_five() {
+        assert_eq!(AccessorySet::all().len(), 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = AccessorySet::from_iter([Accessory::Pump, Accessory::SieveValve]);
+        assert_eq!(s.to_string(), "{pump, sieve-valve}");
+        assert_eq!(ContainerKind::Ring.to_string(), "ring");
+        assert_eq!(Capacity::Tiny.to_string(), "tiny");
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for a in Accessory::ALL {
+            assert!(!seen[a.index()]);
+            seen[a.index()] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

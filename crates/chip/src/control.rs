@@ -1,0 +1,249 @@
+//! Control-layer estimation: valves, pressure ports, and service ports.
+//!
+//! §2.1.2 of the paper prices accessories by "the implementation of extra
+//! chip ports and control channels" (besides masks, yield and test cost).
+//! This module turns a device netlist into those physical quantities, so a
+//! designer can sanity-check a synthesis result against packaging limits:
+//!
+//! * every container is delimited by isolation valves (rings additionally
+//!   carry a separation valve, Fig. 1);
+//! * a pump is a group of peristaltic valves — driven individually, or
+//!   sequentially connected to a shared three-phase pressure source (the
+//!   option the paper mentions explicitly);
+//! * sieve valves are control valves of their own;
+//! * heating pads and optical systems need service ports, not valves;
+//! * every flow path between two devices is gated by a routing valve at
+//!   each end.
+
+use crate::{Accessory, ContainerKind, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Tunable per-component valve/port counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlModel {
+    /// Isolation valves delimiting a chamber.
+    pub chamber_valves: u64,
+    /// Valves on a ring (isolation + separation, Fig. 1(a)).
+    pub ring_valves: u64,
+    /// Peristaltic valves forming one pump.
+    pub pump_valves: u64,
+    /// Control valves per sieve-valve accessory (one per flow direction).
+    pub sieve_valves: u64,
+    /// Routing valves gating each end of a device-to-device flow path.
+    pub path_valves: u64,
+    /// Service ports per heating pad (power/sense).
+    pub heater_ports: u64,
+    /// Service ports per optical system (fibre/LED window).
+    pub optical_ports: u64,
+}
+
+impl Default for ControlModel {
+    fn default() -> Self {
+        ControlModel {
+            chamber_valves: 2,
+            ring_valves: 3,
+            pump_valves: 3,
+            sieve_valves: 2,
+            path_valves: 2,
+            heater_ports: 1,
+            optical_ports: 1,
+        }
+    }
+}
+
+/// Estimated control-layer resources for a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlEstimate {
+    /// Total control valves on the chip.
+    pub valves: u64,
+    /// Pressure-source ports needed to actuate them. With a shared pump
+    /// drive, all pumps' peristaltic phases collapse onto
+    /// `pump_valves` ports chip-wide.
+    pub control_ports: u64,
+    /// Heater service ports.
+    pub heater_ports: u64,
+    /// Optical service ports.
+    pub optical_ports: u64,
+}
+
+impl ControlEstimate {
+    /// Total of all port kinds — a quick packaging-feasibility number.
+    pub fn total_ports(&self) -> u64 {
+        self.control_ports + self.heater_ports + self.optical_ports
+    }
+}
+
+/// Estimates the control layer of `netlist`.
+///
+/// `shared_pump_drive` applies the paper's shared-pressure-source option:
+/// every pump's k-th peristaltic valve is sequentially connected to one of
+/// `pump_valves` chip-level phase lines instead of its own port.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_chip::control::{estimate, ControlModel};
+/// use mfhls_chip::{Accessory, AccessorySet, Capacity, ContainerKind, DeviceConfig, Netlist};
+///
+/// let mut net = Netlist::new();
+/// let mixer = DeviceConfig::new(
+///     ContainerKind::Ring,
+///     Capacity::Medium,
+///     AccessorySet::from_iter([Accessory::Pump]),
+/// )?;
+/// net.add_device(mixer);
+/// let individual = estimate(&net, &ControlModel::default(), false);
+/// let shared = estimate(&net, &ControlModel::default(), true);
+/// assert_eq!(individual.valves, shared.valves);       // same hardware
+/// assert!(shared.control_ports <= individual.control_ports);
+/// # Ok::<(), mfhls_chip::ChipError>(())
+/// ```
+pub fn estimate(netlist: &Netlist, model: &ControlModel, shared_pump_drive: bool) -> ControlEstimate {
+    let mut valves = 0u64;
+    let mut pump_count = 0u64;
+    let mut heater_ports = 0u64;
+    let mut optical_ports = 0u64;
+
+    for device in netlist.devices() {
+        let cfg = device.config;
+        valves += match cfg.container() {
+            ContainerKind::Ring => model.ring_valves,
+            ContainerKind::Chamber => model.chamber_valves,
+        };
+        for acc in cfg.accessories().iter() {
+            match acc {
+                Accessory::Pump => {
+                    valves += model.pump_valves;
+                    pump_count += 1;
+                }
+                Accessory::SieveValve => valves += model.sieve_valves,
+                Accessory::HeatingPad => heater_ports += model.heater_ports,
+                Accessory::OpticalSystem => optical_ports += model.optical_ports,
+                Accessory::CellTrap => {} // passive PDMS structure
+            }
+        }
+    }
+    valves += netlist.path_count() as u64 * model.path_valves;
+
+    // Ports: each valve needs a pressure line, except shared pump phases.
+    let pump_valves_total = pump_count * model.pump_valves;
+    let control_ports = if shared_pump_drive && pump_count > 0 {
+        valves - pump_valves_total + model.pump_valves
+    } else {
+        valves
+    };
+
+    ControlEstimate {
+        valves,
+        control_ports,
+        heater_ports,
+        optical_ports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessorySet, Capacity, DeviceConfig};
+
+    fn netlist_with(configs: &[DeviceConfig]) -> Netlist {
+        let mut net = Netlist::new();
+        for &cfg in configs {
+            net.add_device(cfg);
+        }
+        net
+    }
+
+    fn mixer() -> DeviceConfig {
+        DeviceConfig::new(
+            ContainerKind::Ring,
+            Capacity::Medium,
+            AccessorySet::from_iter([Accessory::Pump]),
+        )
+        .unwrap()
+    }
+
+    fn bare_chamber() -> DeviceConfig {
+        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty())
+            .unwrap()
+    }
+
+    #[test]
+    fn single_mixer_counts() {
+        let net = netlist_with(&[mixer()]);
+        let e = estimate(&net, &ControlModel::default(), false);
+        // ring 3 + pump 3
+        assert_eq!(e.valves, 6);
+        assert_eq!(e.control_ports, 6);
+        assert_eq!(e.heater_ports, 0);
+        assert_eq!(e.total_ports(), 6);
+    }
+
+    #[test]
+    fn shared_drive_collapses_pump_ports() {
+        let net = netlist_with(&[mixer(), mixer(), mixer()]);
+        let individual = estimate(&net, &ControlModel::default(), false);
+        let shared = estimate(&net, &ControlModel::default(), true);
+        assert_eq!(individual.valves, shared.valves);
+        // 3 rings*3 + 3 pumps*3 = 18 individual ports; shared: 9 + 3.
+        assert_eq!(individual.control_ports, 18);
+        assert_eq!(shared.control_ports, 12);
+    }
+
+    #[test]
+    fn paths_add_routing_valves() {
+        let mut net = netlist_with(&[bare_chamber(), bare_chamber()]);
+        let ids: Vec<_> = net.devices().iter().map(|d| d.id).collect();
+        net.record_transfer(ids[0], ids[1]).unwrap();
+        let e = estimate(&net, &ControlModel::default(), false);
+        // 2 chambers * 2 + 1 path * 2
+        assert_eq!(e.valves, 6);
+    }
+
+    #[test]
+    fn service_ports_counted_separately() {
+        let cfg = DeviceConfig::new(
+            ContainerKind::Chamber,
+            Capacity::Small,
+            AccessorySet::from_iter([
+                Accessory::HeatingPad,
+                Accessory::OpticalSystem,
+                Accessory::CellTrap,
+            ]),
+        )
+        .unwrap();
+        let net = netlist_with(&[cfg]);
+        let e = estimate(&net, &ControlModel::default(), false);
+        assert_eq!(e.valves, 2); // chamber isolation only; trap is passive
+        assert_eq!(e.heater_ports, 1);
+        assert_eq!(e.optical_ports, 1);
+        assert_eq!(e.total_ports(), 4);
+    }
+
+    #[test]
+    fn shared_drive_without_pumps_is_identity() {
+        let net = netlist_with(&[bare_chamber()]);
+        let a = estimate(&net, &ControlModel::default(), false);
+        let b = estimate(&net, &ControlModel::default(), true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_model_is_respected() {
+        let model = ControlModel {
+            chamber_valves: 4,
+            path_valves: 0,
+            ..ControlModel::default()
+        };
+        let net = netlist_with(&[bare_chamber()]);
+        let e = estimate(&net, &model, false);
+        assert_eq!(e.valves, 4);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let e = estimate(&Netlist::new(), &ControlModel::default(), true);
+        assert_eq!(e.valves, 0);
+        assert_eq!(e.total_ports(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Area and processing cost model (the constants `A`, `A'`, `Pr` of §4.3).
+
+use crate::{Accessory, Capacity, ContainerKind, DeviceConfig};
+use serde::{Deserialize, Serialize};
+
+/// Cost constants used by the synthesis objective.
+///
+/// * `ring_area` / `chamber_area` — area cost `A_x`, `A'_y` per capacity
+///   class (eqs. 16–17). Invalid classes (tiny ring, large chamber) carry a
+///   sentinel that is never read because [`DeviceConfig`] forbids them.
+/// * `ring_processing` / `chamber_processing` — container processing cost
+///   per capacity class (contributes to `sum_pr,con`, eq. 20).
+/// * `accessory_processing` — `Pr_z` per accessory (eq. 19): mask
+///   fabrication, yield loss, testing, extra ports and control channels.
+///
+/// The defaults are plausible relative magnitudes (paper values are not
+/// published): rings cost more than chambers of equal capacity, and larger
+/// containers cost more than smaller ones.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Area of a ring, indexed by [`Capacity::index`].
+    pub ring_area: [u64; 4],
+    /// Area of a chamber, indexed by [`Capacity::index`].
+    pub chamber_area: [u64; 4],
+    /// Processing cost of a ring, indexed by [`Capacity::index`].
+    pub ring_processing: [u64; 4],
+    /// Processing cost of a chamber, indexed by [`Capacity::index`].
+    pub chamber_processing: [u64; 4],
+    /// Processing cost per accessory, indexed by [`Accessory::index`].
+    pub accessory_processing: [u64; 5],
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            //           large, medium, small, tiny
+            ring_area: [40, 24, 16, u64::MAX],
+            chamber_area: [u64::MAX, 12, 8, 4],
+            ring_processing: [10, 8, 6, u64::MAX],
+            chamber_processing: [u64::MAX, 5, 4, 3],
+            // pump, heating-pad, optical-system, sieve-valve, cell-trap
+            accessory_processing: [6, 5, 8, 4, 7],
+        }
+    }
+}
+
+impl CostModel {
+    /// Area cost of a container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination is invalid (unreachable through
+    /// [`DeviceConfig`]).
+    pub fn container_area(&self, kind: ContainerKind, cap: Capacity) -> u64 {
+        let v = match kind {
+            ContainerKind::Ring => self.ring_area[cap.index()],
+            ContainerKind::Chamber => self.chamber_area[cap.index()],
+        };
+        assert_ne!(v, u64::MAX, "invalid container/capacity: {kind} {cap}");
+        v
+    }
+
+    /// Processing cost of a container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination is invalid.
+    pub fn container_processing(&self, kind: ContainerKind, cap: Capacity) -> u64 {
+        let v = match kind {
+            ContainerKind::Ring => self.ring_processing[cap.index()],
+            ContainerKind::Chamber => self.chamber_processing[cap.index()],
+        };
+        assert_ne!(v, u64::MAX, "invalid container/capacity: {kind} {cap}");
+        v
+    }
+
+    /// Processing cost of one accessory.
+    pub fn accessory_processing(&self, a: Accessory) -> u64 {
+        self.accessory_processing[a.index()]
+    }
+
+    /// Total area cost of a device (its container's area).
+    pub fn device_area(&self, cfg: &DeviceConfig) -> u64 {
+        self.container_area(cfg.container(), cfg.capacity())
+    }
+
+    /// Total processing cost of a device: container + accessories.
+    pub fn device_processing(&self, cfg: &DeviceConfig) -> u64 {
+        self.container_processing(cfg.container(), cfg.capacity())
+            + cfg
+                .accessories()
+                .iter()
+                .map(|a| self.accessory_processing(a))
+                .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessorySet;
+
+    #[test]
+    fn defaults_are_monotone_in_capacity() {
+        let c = CostModel::default();
+        assert!(c.ring_area[0] > c.ring_area[1]);
+        assert!(c.ring_area[1] > c.ring_area[2]);
+        assert!(c.chamber_area[1] > c.chamber_area[2]);
+        assert!(c.chamber_area[2] > c.chamber_area[3]);
+    }
+
+    #[test]
+    fn rings_cost_more_than_chambers() {
+        let c = CostModel::default();
+        for cap in [Capacity::Medium, Capacity::Small] {
+            assert!(
+                c.container_area(ContainerKind::Ring, cap)
+                    > c.container_area(ContainerKind::Chamber, cap)
+            );
+        }
+    }
+
+    #[test]
+    fn device_costs_add_up() {
+        let c = CostModel::default();
+        let cfg = DeviceConfig::new(
+            ContainerKind::Ring,
+            Capacity::Medium,
+            AccessorySet::from_iter([Accessory::Pump, Accessory::SieveValve]),
+        )
+        .unwrap();
+        assert_eq!(c.device_area(&cfg), 24);
+        assert_eq!(c.device_processing(&cfg), 8 + 6 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid container/capacity")]
+    fn invalid_lookup_panics() {
+        CostModel::default().container_area(ContainerKind::Ring, Capacity::Tiny);
+    }
+}

@@ -1,0 +1,305 @@
+//! General devices and operation requirements.
+
+use crate::{Accessory, AccessorySet, Capacity, ChipError, ContainerKind, CostModel};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a device instance on a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Configuration of a *general device*: exactly one container plus a set of
+/// accessories (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    container: ContainerKind,
+    capacity: Capacity,
+    accessories: AccessorySet,
+}
+
+impl DeviceConfig {
+    /// Creates a device configuration, validating the container/capacity
+    /// combination (eqs. 3–4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidCapacity`] for e.g. a tiny ring or a
+    /// large chamber.
+    pub fn new(
+        container: ContainerKind,
+        capacity: Capacity,
+        accessories: AccessorySet,
+    ) -> Result<Self, ChipError> {
+        if !container.allows(capacity) {
+            return Err(ChipError::InvalidCapacity {
+                container,
+                capacity,
+            });
+        }
+        Ok(DeviceConfig {
+            container,
+            capacity,
+            accessories,
+        })
+    }
+
+    /// The container kind.
+    pub fn container(&self) -> ContainerKind {
+        self.container
+    }
+
+    /// The container capacity class.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// The integrated accessories.
+    pub fn accessories(&self) -> AccessorySet {
+        self.accessories
+    }
+
+    /// Adds accessories to the device (retrofitting during synthesis when a
+    /// later operation needs a superset; costs extra processing).
+    pub fn add_accessories(&mut self, extra: AccessorySet) {
+        self.accessories = self.accessories.union(extra);
+    }
+
+    /// Whether an operation with requirements `req` may execute on this
+    /// device: container kind matches (or is unconstrained), capacity class
+    /// matches exactly (or is unconstrained), and every required accessory
+    /// is integrated (eqs. 5–8).
+    pub fn satisfies(&self, req: &Requirements) -> bool {
+        req.container.is_none_or(|c| c == self.container)
+            && req.capacity.is_none_or(|c| c == self.capacity)
+            && req.accessories.is_subset(&self.accessories)
+    }
+
+    /// The cheapest configuration (by `area + processing` under `costs`)
+    /// that satisfies `req`, or `None` if the requirement is unfabricable
+    /// (e.g. a large chamber: eqs. 3–4 restrict capacities per container).
+    ///
+    /// With an unconstrained container a chamber is preferred when it is
+    /// otherwise equally cheap, matching the paper's observation that "a
+    /// chamber involves less area cost than a ring" (§3.2).
+    pub fn cheapest_for(req: &Requirements, costs: &CostModel) -> Option<DeviceConfig> {
+        let mut best: Option<(u64, DeviceConfig)> = None;
+        for kind in ContainerKind::ALL {
+            if req.container.is_some_and(|c| c != kind) {
+                continue;
+            }
+            for &cap in kind.valid_capacities() {
+                if req.capacity.is_some_and(|c| c != cap) {
+                    continue;
+                }
+                let cfg = DeviceConfig {
+                    container: kind,
+                    capacity: cap,
+                    accessories: req.accessories,
+                };
+                let cost = costs.device_area(&cfg) + costs.device_processing(&cfg);
+                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    best = Some((cost, cfg));
+                }
+            }
+        }
+        best.map(|(_, cfg)| cfg)
+    }
+}
+
+impl std::fmt::Display for DeviceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} {}",
+            self.capacity, self.container, self.accessories
+        )
+    }
+}
+
+/// Component-oriented requirements of a biological operation (§2.2,
+/// attribute *a*): the container (optional kind, optional capacity class)
+/// and accessories needed for execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Requirements {
+    /// Required container kind; `None` means "either a ring or a chamber of
+    /// corresponding size".
+    pub container: Option<ContainerKind>,
+    /// Required capacity class; `None` means any.
+    pub capacity: Option<Capacity>,
+    /// Accessories that must be integrated in the executing device.
+    pub accessories: AccessorySet,
+}
+
+impl Requirements {
+    /// Requirements with no constraints at all.
+    pub fn any() -> Self {
+        Requirements::default()
+    }
+
+    /// Convenience constructor.
+    pub fn new(
+        container: Option<ContainerKind>,
+        capacity: Option<Capacity>,
+        accessories: impl IntoIterator<Item = Accessory>,
+    ) -> Self {
+        Requirements {
+            container,
+            capacity,
+            accessories: accessories.into_iter().collect(),
+        }
+    }
+
+    /// Whether `self`'s requirements are implied by `other`'s (every device
+    /// usable by `other` is usable by `self`). Used by the inheritance rule
+    /// of §3.2: if `C_{o2} ⊆ C_{o1}` and `A_{o2} ⊆ A_{o1}`, `o2` can reuse
+    /// `o1`'s device.
+    pub fn is_covered_by(&self, other: &Requirements) -> bool {
+        let container_ok = match self.container {
+            None => true,
+            Some(c) => other.container == Some(c),
+        };
+        let capacity_ok = match self.capacity {
+            None => true,
+            Some(c) => other.capacity == Some(c),
+        };
+        container_ok && capacity_ok && self.accessories.is_subset(&other.accessories)
+    }
+
+    /// The exact *signature class* used by the conventional baseline: the
+    /// triple (container-or-default, capacity-or-default, accessories).
+    /// Unspecified containers default to the cheaper chamber — unless the
+    /// required capacity is only fabricable as a ring (large) — and
+    /// unspecified capacities to the smallest the container allows.
+    pub fn signature(&self) -> (ContainerKind, Capacity, AccessorySet) {
+        let container = self.container.unwrap_or_else(|| match self.capacity {
+            Some(c) if !ContainerKind::Chamber.allows(c) => ContainerKind::Ring,
+            _ => ContainerKind::Chamber,
+        });
+        let capacity = self
+            .capacity
+            .unwrap_or(*container.valid_capacities().last().expect("non-empty"));
+        (container, capacity, self.accessories)
+    }
+}
+
+/// A device instance: an id plus its configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Device {
+    /// Instance identifier.
+    pub id: DeviceId,
+    /// The configuration.
+    pub config: DeviceConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pump() -> AccessorySet {
+        AccessorySet::from_iter([Accessory::Pump])
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DeviceConfig::new(ContainerKind::Ring, Capacity::Large, pump()).is_ok());
+        assert_eq!(
+            DeviceConfig::new(ContainerKind::Ring, Capacity::Tiny, pump()),
+            Err(ChipError::InvalidCapacity {
+                container: ContainerKind::Ring,
+                capacity: Capacity::Tiny
+            })
+        );
+        assert!(DeviceConfig::new(ContainerKind::Chamber, Capacity::Large, pump()).is_err());
+    }
+
+    #[test]
+    fn satisfies_container_and_capacity() {
+        let mixer =
+            DeviceConfig::new(ContainerKind::Ring, Capacity::Medium, pump()).unwrap();
+        // Exact match.
+        assert!(mixer.satisfies(&Requirements::new(
+            Some(ContainerKind::Ring),
+            Some(Capacity::Medium),
+            [Accessory::Pump]
+        )));
+        // Unconstrained container.
+        assert!(mixer.satisfies(&Requirements::new(None, Some(Capacity::Medium), [])));
+        // Wrong capacity class.
+        assert!(!mixer.satisfies(&Requirements::new(None, Some(Capacity::Small), [])));
+        // Missing accessory.
+        assert!(!mixer.satisfies(&Requirements::new(None, None, [Accessory::CellTrap])));
+        // Fully unconstrained.
+        assert!(mixer.satisfies(&Requirements::any()));
+    }
+
+    #[test]
+    fn cell_isolation_binds_to_mixer() {
+        // The paper's motivating case (Fig. 1): a cell-isolation op bound to
+        // a mixer despite conventional type rules.
+        let mixer = DeviceConfig::new(
+            ContainerKind::Ring,
+            Capacity::Medium,
+            AccessorySet::from_iter([Accessory::Pump, Accessory::SieveValve]),
+        )
+        .unwrap();
+        let isolation = Requirements::new(Some(ContainerKind::Ring), None, [Accessory::SieveValve]);
+        assert!(mixer.satisfies(&isolation));
+    }
+
+    #[test]
+    fn cheapest_prefers_chamber() {
+        let costs = CostModel::default();
+        let cfg = DeviceConfig::cheapest_for(&Requirements::any(), &costs).unwrap();
+        assert_eq!(cfg.container(), ContainerKind::Chamber);
+        assert_eq!(cfg.capacity(), Capacity::Tiny);
+    }
+
+    #[test]
+    fn cheapest_honours_constraints() {
+        let costs = CostModel::default();
+        let req = Requirements::new(Some(ContainerKind::Ring), Some(Capacity::Large), [
+            Accessory::Pump,
+        ]);
+        let cfg = DeviceConfig::cheapest_for(&req, &costs).unwrap();
+        assert_eq!(cfg.container(), ContainerKind::Ring);
+        assert_eq!(cfg.capacity(), Capacity::Large);
+        assert!(cfg.accessories().contains(Accessory::Pump));
+    }
+
+    #[test]
+    fn coverage_rule() {
+        // o1: ring + {sieve, pump}; o2: any container + {sieve} (paper §3.2).
+        let o1 = Requirements::new(Some(ContainerKind::Ring), None, [
+            Accessory::SieveValve,
+            Accessory::Pump,
+        ]);
+        let o2 = Requirements::new(None, None, [Accessory::SieveValve]);
+        assert!(o2.is_covered_by(&o1));
+        assert!(!o1.is_covered_by(&o2));
+    }
+
+    #[test]
+    fn signature_defaults() {
+        let (k, c, _) = Requirements::any().signature();
+        assert_eq!(k, ContainerKind::Chamber);
+        assert_eq!(c, Capacity::Tiny);
+        let (k, c, _) =
+            Requirements::new(Some(ContainerKind::Ring), None, []).signature();
+        assert_eq!(k, ContainerKind::Ring);
+        assert_eq!(c, Capacity::Small);
+    }
+
+    #[test]
+    fn retrofit_accessories() {
+        let mut cfg =
+            DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, pump()).unwrap();
+        cfg.add_accessories(AccessorySet::from_iter([Accessory::OpticalSystem]));
+        assert!(cfg.accessories().contains(Accessory::Pump));
+        assert!(cfg.accessories().contains(Accessory::OpticalSystem));
+    }
+}

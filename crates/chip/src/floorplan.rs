@@ -1,0 +1,233 @@
+//! Chip-level feasibility: does a synthesized device set actually fit?
+//!
+//! High-level synthesis decides *what* goes on the chip; §4.3's area and
+//! processing terms keep that decision frugal, but the user still needs a
+//! go/no-go against physical budgets: total die area (plus channel
+//! overhead) and the packaging's port count. This module aggregates the
+//! [`CostModel`] areas and the [`control`](crate::control) port estimate
+//! into one feasibility report.
+
+use crate::control::{estimate, ControlEstimate, ControlModel};
+use crate::{CostModel, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Physical budgets of a target chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipSpec {
+    /// Total area budget, in the same (abstract) units as the
+    /// [`CostModel`] areas.
+    pub max_area: u64,
+    /// Total ports the packaging supports (control + heater + optical).
+    pub max_ports: u64,
+    /// Fraction of device area additionally reserved for flow channels,
+    /// in percent (e.g. `30` = +30%).
+    pub channel_overhead_percent: u64,
+    /// Whether pumps share a three-phase pressure source (see
+    /// [`estimate`]).
+    pub shared_pump_drive: bool,
+}
+
+impl Default for ChipSpec {
+    /// A mid-size mLSI die: generous area, 64 ports, 30% channel overhead,
+    /// shared pump drive (the common practice the paper mentions).
+    fn default() -> Self {
+        ChipSpec {
+            max_area: 1200,
+            max_ports: 64,
+            channel_overhead_percent: 30,
+            shared_pump_drive: true,
+        }
+    }
+}
+
+/// Outcome of a feasibility check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    /// Sum of device (container) areas.
+    pub device_area: u64,
+    /// Device area plus the channel overhead.
+    pub total_area: u64,
+    /// The chip's area budget.
+    pub area_budget: u64,
+    /// Control-layer estimate (valves and ports).
+    pub control: ControlEstimate,
+    /// The chip's port budget.
+    pub port_budget: u64,
+    /// `true` iff both area and ports fit.
+    pub fits: bool,
+}
+
+impl std::fmt::Display for FeasibilityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "area {}/{} (devices {} + channels), ports {}/{} ({} valves) -> {}",
+            self.total_area,
+            self.area_budget,
+            self.device_area,
+            self.control.total_ports(),
+            self.port_budget,
+            self.control.valves,
+            if self.fits { "FITS" } else { "DOES NOT FIT" }
+        )
+    }
+}
+
+/// Checks a netlist against a chip specification.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_chip::floorplan::{check, ChipSpec};
+/// use mfhls_chip::control::ControlModel;
+/// use mfhls_chip::{AccessorySet, Capacity, ContainerKind, CostModel, DeviceConfig, Netlist};
+///
+/// let mut net = Netlist::new();
+/// net.add_device(DeviceConfig::new(
+///     ContainerKind::Chamber,
+///     Capacity::Small,
+///     AccessorySet::empty(),
+/// )?);
+/// let report = check(&net, &ChipSpec::default(), &CostModel::default(), &ControlModel::default());
+/// assert!(report.fits);
+/// # Ok::<(), mfhls_chip::ChipError>(())
+/// ```
+pub fn check(
+    netlist: &Netlist,
+    spec: &ChipSpec,
+    costs: &CostModel,
+    control_model: &ControlModel,
+) -> FeasibilityReport {
+    let device_area: u64 = netlist
+        .devices()
+        .iter()
+        .map(|d| costs.device_area(&d.config))
+        .sum();
+    let total_area = device_area + device_area * spec.channel_overhead_percent / 100;
+    let control = estimate(netlist, control_model, spec.shared_pump_drive);
+    let fits = total_area <= spec.max_area && control.total_ports() <= spec.max_ports;
+    FeasibilityReport {
+        device_area,
+        total_area,
+        area_budget: spec.max_area,
+        control,
+        port_budget: spec.max_ports,
+        fits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Accessory, AccessorySet, Capacity, ContainerKind, DeviceConfig};
+
+    fn mixer() -> DeviceConfig {
+        DeviceConfig::new(
+            ContainerKind::Ring,
+            Capacity::Medium,
+            AccessorySet::from_iter([Accessory::Pump]),
+        )
+        .unwrap()
+    }
+
+    fn netlist_of(n: usize) -> Netlist {
+        let mut net = Netlist::new();
+        for _ in 0..n {
+            net.add_device(mixer());
+        }
+        net
+    }
+
+    #[test]
+    fn small_chip_fits() {
+        let report = check(
+            &netlist_of(2),
+            &ChipSpec::default(),
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        assert!(report.fits, "{report}");
+        // 2 medium rings = 48 area, +30% = 62.
+        assert_eq!(report.device_area, 48);
+        assert_eq!(report.total_area, 62);
+    }
+
+    #[test]
+    fn area_budget_violation_detected() {
+        let spec = ChipSpec {
+            max_area: 50,
+            ..ChipSpec::default()
+        };
+        let report = check(
+            &netlist_of(3),
+            &spec,
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        assert!(!report.fits);
+        assert!(report.total_area > spec.max_area);
+    }
+
+    #[test]
+    fn port_budget_violation_detected() {
+        let spec = ChipSpec {
+            max_ports: 4,
+            ..ChipSpec::default()
+        };
+        let report = check(
+            &netlist_of(2),
+            &spec,
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        assert!(!report.fits);
+        assert!(report.control.total_ports() > 4);
+    }
+
+    #[test]
+    fn shared_drive_setting_propagates() {
+        let many_pumps = netlist_of(6);
+        let shared = check(
+            &many_pumps,
+            &ChipSpec {
+                shared_pump_drive: true,
+                ..ChipSpec::default()
+            },
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        let individual = check(
+            &many_pumps,
+            &ChipSpec {
+                shared_pump_drive: false,
+                ..ChipSpec::default()
+            },
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        assert!(shared.control.control_ports < individual.control.control_ports);
+    }
+
+    #[test]
+    fn empty_netlist_trivially_fits() {
+        let report = check(
+            &Netlist::new(),
+            &ChipSpec::default(),
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        assert!(report.fits);
+        assert_eq!(report.total_area, 0);
+    }
+
+    #[test]
+    fn display_mentions_verdict() {
+        let report = check(
+            &netlist_of(1),
+            &ChipSpec::default(),
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        assert!(report.to_string().contains("FITS"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Potential-layout estimation: device placement and channel lengths.
+//!
+//! Layout generation proper happens *after* high-level synthesis (the paper
+//! cites \[4, 15, 16\]), but the scheduler needs transport-time estimates
+//! that are consistent with a *potential* layout (§4.1): paths used more
+//! often should get shorter channels. This module provides that estimate:
+//!
+//! 1. Devices are placed on a unit grid with a greedy usage-weighted
+//!    heuristic (the device with the strongest connection to the already
+//!    placed set goes to the free cell minimising weighted Manhattan
+//!    distance).
+//! 2. Channel length of a path = Manhattan distance between its endpoints.
+//!
+//! The estimate is deterministic, and monotone in the sense the paper
+//! needs on average: heavily used paths land on adjacent cells first. An
+//! SVG rendering is provided for inspection.
+
+use crate::{DeviceId, Netlist, PathKey};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A grid position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Cell {
+    /// Column.
+    pub x: i64,
+    /// Row.
+    pub y: i64,
+}
+
+impl Cell {
+    /// Manhattan distance to `other`.
+    pub fn distance(self, other: Cell) -> u64 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// A placement of every device of a netlist on the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layout {
+    placements: BTreeMap<DeviceId, Cell>,
+    lengths: BTreeMap<PathKey, u64>,
+}
+
+impl Layout {
+    /// Grid cell of a device (`None` if the device was not in the netlist).
+    pub fn cell(&self, d: DeviceId) -> Option<Cell> {
+        self.placements.get(&d).copied()
+    }
+
+    /// Estimated channel length of a path (`None` for paths that carry no
+    /// transfer).
+    pub fn path_length(&self, key: PathKey) -> Option<u64> {
+        self.lengths.get(&key).copied()
+    }
+
+    /// Iterates `(path, length)` pairs.
+    pub fn path_lengths(&self) -> impl Iterator<Item = (PathKey, u64)> + '_ {
+        self.lengths.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Sum over paths of `usage * length`: the total transport effort this
+    /// layout implies. Lower is better; used in tests to check that the
+    /// greedy placement beats a pessimal one.
+    pub fn weighted_wirelength(&self, net: &Netlist) -> u64 {
+        net.paths()
+            .map(|(k, usage)| usage * self.lengths.get(&k).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Renders the placement and paths as a standalone SVG document.
+    pub fn to_svg(&self, net: &Netlist) -> String {
+        const SCALE: i64 = 60;
+        const R: i64 = 16;
+        let (min_x, max_x) = self
+            .placements
+            .values()
+            .map(|c| c.x)
+            .minmax()
+            .unwrap_or_default();
+        let (min_y, max_y) = self
+            .placements
+            .values()
+            .map(|c| c.y)
+            .minmax()
+            .unwrap_or_default();
+        let w = (max_x - min_x + 2) * SCALE;
+        let h = (max_y - min_y + 2) * SCALE;
+        let px = |c: Cell| ((c.x - min_x + 1) * SCALE, (c.y - min_y + 1) * SCALE);
+        let mut s = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n"
+        );
+        for (key, usage) in net.paths() {
+            if let (Some(a), Some(b)) = (self.cell(key.0), self.cell(key.1)) {
+                let (x1, y1) = px(a);
+                let (x2, y2) = px(b);
+                let width = 1 + usage.min(6);
+                s.push_str(&format!(
+                    "  <line x1=\"{x1}\" y1=\"{y1}\" x2=\"{x2}\" y2=\"{y2}\" stroke=\"#4a7\" stroke-width=\"{width}\"/>\n"
+                ));
+            }
+        }
+        for (&d, &c) in &self.placements {
+            let (x, y) = px(c);
+            s.push_str(&format!(
+                "  <circle cx=\"{x}\" cy=\"{y}\" r=\"{R}\" fill=\"#eee\" stroke=\"#333\"/>\n  <text x=\"{x}\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\">{d}</text>\n",
+                y + 4
+            ));
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+trait MinMax: Iterator<Item = i64> + Sized {
+    fn minmax(self) -> Option<(i64, i64)> {
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        let mut any = false;
+        for v in self {
+            any = true;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        any.then_some((lo, hi))
+    }
+}
+impl<I: Iterator<Item = i64>> MinMax for I {}
+
+/// Places the devices of `net` on a grid, busiest connections first.
+///
+/// Deterministic: ties break on device id, then on spiral cell order.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_chip::{AccessorySet, Capacity, ContainerKind, DeviceConfig, Netlist};
+/// use mfhls_chip::layout::place;
+///
+/// let mut net = Netlist::new();
+/// let cfg = DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty())?;
+/// let a = net.add_device(cfg);
+/// let b = net.add_device(cfg);
+/// net.record_transfer(a, b)?;
+/// let layout = place(&net);
+/// assert_eq!(layout.path_length(mfhls_chip::PathKey::new(a, b)), Some(1));
+/// # Ok::<(), mfhls_chip::ChipError>(())
+/// ```
+pub fn place(net: &Netlist) -> Layout {
+    let mut placements: BTreeMap<DeviceId, Cell> = BTreeMap::new();
+    let n = net.devices().len();
+    if n == 0 {
+        return Layout {
+            placements,
+            lengths: BTreeMap::new(),
+        };
+    }
+
+    // Connection weights per device.
+    let mut weight_to: BTreeMap<DeviceId, Vec<(DeviceId, u64)>> = BTreeMap::new();
+    for (PathKey(a, b), usage) in net.paths() {
+        weight_to.entry(a).or_default().push((b, usage));
+        weight_to.entry(b).or_default().push((a, usage));
+    }
+    let total_weight = |d: DeviceId| -> u64 {
+        weight_to
+            .get(&d)
+            .map(|v| v.iter().map(|&(_, u)| u).sum())
+            .unwrap_or(0)
+    };
+
+    // Seed: the most connected device at the origin.
+    let seed = net
+        .devices()
+        .iter()
+        .map(|d| d.id)
+        .max_by_key(|&d| (total_weight(d), std::cmp::Reverse(d)))
+        .expect("non-empty");
+    placements.insert(seed, Cell { x: 0, y: 0 });
+    let mut occupied: std::collections::BTreeSet<Cell> = [Cell { x: 0, y: 0 }].into();
+
+    let spiral = spiral_cells((2 * n + 4) * (2 * n + 4));
+
+    while placements.len() < n {
+        // Next device: strongest total connection to placed devices; devices
+        // with no connection at all come last (by id).
+        let next = net
+            .devices()
+            .iter()
+            .map(|d| d.id)
+            .filter(|d| !placements.contains_key(d))
+            .max_by_key(|&d| {
+                let attached: u64 = weight_to
+                    .get(&d)
+                    .map(|v| {
+                        v.iter()
+                            .filter(|(o, _)| placements.contains_key(o))
+                            .map(|&(_, u)| u)
+                            .sum()
+                    })
+                    .unwrap_or(0);
+                (attached, std::cmp::Reverse(d))
+            })
+            .expect("non-placed device exists");
+        // Best free cell: minimise usage-weighted distance to placed peers.
+        let mut best: Option<(u64, Cell)> = None;
+        for &cell in &spiral {
+            if occupied.contains(&cell) {
+                continue;
+            }
+            let cost: u64 = weight_to
+                .get(&next)
+                .map(|v| {
+                    v.iter()
+                        .filter_map(|&(o, u)| placements.get(&o).map(|&c| u * cell.distance(c)))
+                        .sum()
+                })
+                .unwrap_or(0);
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, cell));
+            }
+            // Spiral order guarantees the first zero-cost cell is optimal
+            // for unconnected devices.
+            if cost == 0 {
+                break;
+            }
+        }
+        let (_, cell) = best.expect("spiral larger than device count");
+        placements.insert(next, cell);
+        occupied.insert(cell);
+    }
+
+    let lengths = net
+        .paths()
+        .map(|(k, _)| {
+            let d = placements[&k.0].distance(placements[&k.1]);
+            (k, d)
+        })
+        .collect();
+    Layout {
+        placements,
+        lengths,
+    }
+}
+
+/// Cells in a deterministic outward spiral from the origin.
+fn spiral_cells(count: usize) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(count);
+    let mut radius: i64 = 0;
+    while cells.len() < count {
+        if radius == 0 {
+            cells.push(Cell { x: 0, y: 0 });
+        } else {
+            // Ring of Chebyshev radius `radius`, in scanline order.
+            for y in -radius..=radius {
+                for x in -radius..=radius {
+                    if x.abs().max(y.abs()) == radius {
+                        cells.push(Cell { x, y });
+                    }
+                }
+            }
+        }
+        radius += 1;
+    }
+    cells.truncate(count);
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessorySet, Capacity, ContainerKind, DeviceConfig};
+
+    fn chamber() -> DeviceConfig {
+        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+    }
+
+    fn line_netlist(n: usize) -> Netlist {
+        let mut net = Netlist::new();
+        let ids: Vec<_> = (0..n).map(|_| net.add_device(chamber())).collect();
+        for w in ids.windows(2) {
+            net.record_transfer(w[0], w[1]).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let layout = place(&Netlist::new());
+        assert_eq!(layout.path_lengths().count(), 0);
+    }
+
+    #[test]
+    fn single_device_at_origin() {
+        let mut net = Netlist::new();
+        let a = net.add_device(chamber());
+        let layout = place(&net);
+        assert_eq!(layout.cell(a), Some(Cell { x: 0, y: 0 }));
+    }
+
+    #[test]
+    fn connected_pair_is_adjacent() {
+        let net = line_netlist(2);
+        let layout = place(&net);
+        let key = net.paths().next().unwrap().0;
+        assert_eq!(layout.path_length(key), Some(1));
+    }
+
+    #[test]
+    fn all_devices_get_distinct_cells() {
+        let net = line_netlist(9);
+        let layout = place(&net);
+        let cells: std::collections::BTreeSet<_> = net
+            .devices()
+            .iter()
+            .map(|d| layout.cell(d.id).unwrap())
+            .collect();
+        assert_eq!(cells.len(), 9);
+    }
+
+    #[test]
+    fn busy_paths_are_shorter_on_average() {
+        // Star with one hot edge (usage 10) and several cold ones.
+        let mut net = Netlist::new();
+        let hub = net.add_device(chamber());
+        let hot = net.add_device(chamber());
+        for _ in 0..10 {
+            net.record_transfer(hub, hot).unwrap();
+        }
+        let cold: Vec<_> = (0..8).map(|_| net.add_device(chamber())).collect();
+        for &c in &cold {
+            net.record_transfer(hub, c).unwrap();
+        }
+        let layout = place(&net);
+        let hot_len = layout.path_length(PathKey::new(hub, hot)).unwrap();
+        let max_cold = cold
+            .iter()
+            .map(|&c| layout.path_length(PathKey::new(hub, c)).unwrap())
+            .max()
+            .unwrap();
+        assert!(hot_len <= max_cold, "hot={hot_len} max_cold={max_cold}");
+        assert_eq!(hot_len, 1);
+    }
+
+    #[test]
+    fn greedy_beats_pessimal_wirelength() {
+        let net = line_netlist(6);
+        let layout = place(&net);
+        // Pessimal: place along a line but in reversed interleaved order.
+        let greedy = layout.weighted_wirelength(&net);
+        // Upper bound for any placement of 6 devices in a line topology with
+        // unit usages: each of 5 paths at most ~10 apart on a 6-cell path.
+        assert!(greedy <= 10, "greedy wirelength {greedy}");
+    }
+
+    #[test]
+    fn spiral_is_dense_and_unique() {
+        let cells = spiral_cells(49);
+        let set: std::collections::BTreeSet<_> = cells.iter().copied().collect();
+        assert_eq!(set.len(), 49);
+        // Contains the full 7x7 block around origin? At least the 5x5 one.
+        for x in -2..=2 {
+            for y in -2..=2 {
+                assert!(set.contains(&Cell { x, y }), "missing ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn svg_renders_every_device() {
+        let net = line_netlist(4);
+        let layout = place(&net);
+        let svg = layout.to_svg(&net);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert_eq!(svg.matches("<line").count(), 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Microfluidic component and general-device library.
+//!
+//! Implements §2 of the DAC'17 paper: instead of functional device types
+//! (mixer, heater, detector, …), devices are described by the *components*
+//! they are built from:
+//!
+//! * **Containers** ([`ContainerKind`]) occupy chip area: a [`ContainerKind::Chamber`]
+//!   (a valve-delimited channel segment) or a [`ContainerKind::Ring`] (a
+//!   closed loop enabling circulating flow). Containers come in four
+//!   [`Capacity`] classes; rings may be large/medium/small, chambers
+//!   medium/small/tiny.
+//! * **Accessories** ([`Accessory`]) cost processing effort but no area:
+//!   pumps, heating pads, optical systems, sieve valves, and cell traps.
+//!
+//! A *general device* ([`DeviceConfig`]) is one container plus an accessory
+//! set; an operation states [`Requirements`] and may bind to any device that
+//! [`DeviceConfig::satisfies`] them.
+//!
+//! The crate also provides the [`CostModel`] (area + processing costs used by
+//! the synthesis objective), the flow-channel [`Netlist`] between devices,
+//! and a [`layout`] estimator that turns path-usage counts into channel
+//! lengths for transport-time refinement.
+//!
+//! # Example
+//!
+//! ```
+//! use mfhls_chip::{Accessory, AccessorySet, Capacity, ContainerKind, DeviceConfig, Requirements};
+//!
+//! // A classic rotary mixer: ring + pump.
+//! let mixer = DeviceConfig::new(
+//!     ContainerKind::Ring,
+//!     Capacity::Medium,
+//!     AccessorySet::from_iter([Accessory::Pump]),
+//! )?;
+//! // A cell-isolation step that needs any medium container with a pump.
+//! let req = Requirements {
+//!     container: None,
+//!     capacity: Some(Capacity::Medium),
+//!     accessories: AccessorySet::from_iter([Accessory::Pump]),
+//! };
+//! assert!(mixer.satisfies(&req));
+//! # Ok::<(), mfhls_chip::ChipError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod components;
+pub mod control;
+mod cost;
+mod device;
+pub mod floorplan;
+pub mod layout;
+mod netlist;
+pub mod routing;
+
+pub use components::{Accessory, AccessorySet, Capacity, ContainerKind};
+pub use cost::CostModel;
+pub use device::{Device, DeviceConfig, DeviceId, Requirements};
+pub use netlist::{Netlist, PathKey};
+
+/// Errors produced when building chip-level data structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChipError {
+    /// The (container, capacity) combination is not fabricable: rings are
+    /// large/medium/small, chambers medium/small/tiny.
+    InvalidCapacity {
+        /// Requested container kind.
+        container: ContainerKind,
+        /// Requested capacity.
+        capacity: Capacity,
+    },
+    /// A device id was not found in the netlist.
+    UnknownDevice(usize),
+}
+
+impl std::fmt::Display for ChipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChipError::InvalidCapacity {
+                container,
+                capacity,
+            } => write!(f, "a {container} cannot have capacity {capacity}"),
+            ChipError::UnknownDevice(id) => write!(f, "unknown device id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ChipError {}

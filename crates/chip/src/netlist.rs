@@ -1,0 +1,219 @@
+//! Flow-channel netlist: devices plus the transportation paths between them.
+
+use crate::{ChipError, Device, DeviceConfig, DeviceId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Canonical (unordered) key for a flow path between two devices.
+///
+/// A physical flow channel is usable in both directions, so `(a, b)` and
+/// `(b, a)` denote the same path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PathKey(pub DeviceId, pub DeviceId);
+
+impl PathKey {
+    /// Creates a canonical key (smaller id first).
+    pub fn new(a: DeviceId, b: DeviceId) -> Self {
+        if a <= b {
+            PathKey(a, b)
+        } else {
+            PathKey(b, a)
+        }
+    }
+}
+
+impl std::fmt::Display for PathKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}~{}", self.0, self.1)
+    }
+}
+
+/// The device + flow-path structure implied by a binding solution.
+///
+/// Tracks how often each device-to-device path is used by reagent
+/// transfers; the layout estimator converts usage into channel lengths, and
+/// the path count feeds the `sum_p` objective term (eq. 21).
+///
+/// # Example
+///
+/// ```
+/// use mfhls_chip::{AccessorySet, Capacity, ContainerKind, DeviceConfig, DeviceId, Netlist};
+///
+/// let mut net = Netlist::new();
+/// let cfg = DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty())?;
+/// let a = net.add_device(cfg);
+/// let b = net.add_device(cfg);
+/// net.record_transfer(a, b)?;
+/// net.record_transfer(b, a)?; // same physical path
+/// assert_eq!(net.path_count(), 1);
+/// # Ok::<(), mfhls_chip::ChipError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    devices: Vec<Device>,
+    paths: BTreeMap<PathKey, u64>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a device, returning its id.
+    pub fn add_device(&mut self, config: DeviceConfig) -> DeviceId {
+        let id = DeviceId(self.devices.len());
+        self.devices.push(Device { id, config });
+        id
+    }
+
+    /// Device list.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Looks up a device configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::UnknownDevice`] for a foreign id.
+    pub fn device(&self, id: DeviceId) -> Result<&Device, ChipError> {
+        self.devices.get(id.0).ok_or(ChipError::UnknownDevice(id.0))
+    }
+
+    /// Mutable access to a device configuration (for accessory retrofits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::UnknownDevice`] for a foreign id.
+    pub fn device_config_mut(&mut self, id: DeviceId) -> Result<&mut DeviceConfig, ChipError> {
+        self.devices
+            .get_mut(id.0)
+            .map(|d| &mut d.config)
+            .ok_or(ChipError::UnknownDevice(id.0))
+    }
+
+    /// Records one reagent transfer from `a` to `b`, creating the path on
+    /// first use. A transfer within one device (`a == b`) needs no path and
+    /// is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::UnknownDevice`] if either id is foreign.
+    pub fn record_transfer(&mut self, a: DeviceId, b: DeviceId) -> Result<(), ChipError> {
+        for id in [a, b] {
+            if id.0 >= self.devices.len() {
+                return Err(ChipError::UnknownDevice(id.0));
+            }
+        }
+        if a != b {
+            *self.paths.entry(PathKey::new(a, b)).or_insert(0) += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of distinct transportation paths (`sum_p`).
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Iterates `(path, usage)` pairs in key order.
+    pub fn paths(&self) -> impl Iterator<Item = (PathKey, u64)> + '_ {
+        self.paths.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Usage count of a specific path (0 if absent).
+    pub fn path_usage(&self, a: DeviceId, b: DeviceId) -> u64 {
+        self.paths.get(&PathKey::new(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Total accumulated transfers across all paths.
+    pub fn total_transfers(&self) -> u64 {
+        self.paths.values().sum()
+    }
+
+    /// Paths sorted by descending usage (ties by key): the layout estimator
+    /// and the transport-time refinement both want the busiest paths first.
+    pub fn paths_by_usage(&self) -> Vec<(PathKey, u64)> {
+        let mut all: Vec<(PathKey, u64)> = self.paths().collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessorySet, Capacity, ContainerKind};
+
+    fn chamber() -> DeviceConfig {
+        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+    }
+
+    #[test]
+    fn path_key_is_unordered() {
+        let (a, b) = (DeviceId(3), DeviceId(1));
+        assert_eq!(PathKey::new(a, b), PathKey::new(b, a));
+        assert_eq!(PathKey::new(a, b), PathKey(DeviceId(1), DeviceId(3)));
+    }
+
+    #[test]
+    fn transfers_accumulate() {
+        let mut net = Netlist::new();
+        let a = net.add_device(chamber());
+        let b = net.add_device(chamber());
+        let c = net.add_device(chamber());
+        net.record_transfer(a, b).unwrap();
+        net.record_transfer(b, a).unwrap();
+        net.record_transfer(a, c).unwrap();
+        assert_eq!(net.path_count(), 2);
+        assert_eq!(net.path_usage(a, b), 2);
+        assert_eq!(net.path_usage(a, c), 1);
+        assert_eq!(net.total_transfers(), 3);
+    }
+
+    #[test]
+    fn same_device_transfer_is_free() {
+        let mut net = Netlist::new();
+        let a = net.add_device(chamber());
+        net.record_transfer(a, a).unwrap();
+        assert_eq!(net.path_count(), 0);
+    }
+
+    #[test]
+    fn unknown_device_is_an_error() {
+        let mut net = Netlist::new();
+        let a = net.add_device(chamber());
+        assert_eq!(
+            net.record_transfer(a, DeviceId(9)),
+            Err(ChipError::UnknownDevice(9))
+        );
+        assert!(net.device(DeviceId(9)).is_err());
+    }
+
+    #[test]
+    fn paths_by_usage_sorts_descending() {
+        let mut net = Netlist::new();
+        let a = net.add_device(chamber());
+        let b = net.add_device(chamber());
+        let c = net.add_device(chamber());
+        for _ in 0..3 {
+            net.record_transfer(a, c).unwrap();
+        }
+        net.record_transfer(a, b).unwrap();
+        let order = net.paths_by_usage();
+        assert_eq!(order[0].0, PathKey::new(a, c));
+        assert_eq!(order[0].1, 3);
+        assert_eq!(order[1].1, 1);
+    }
+
+    #[test]
+    fn retrofit_through_netlist() {
+        let mut net = Netlist::new();
+        let a = net.add_device(chamber());
+        net.device_config_mut(a)
+            .unwrap()
+            .add_accessories(AccessorySet::all());
+        assert_eq!(net.device(a).unwrap().config.accessories().len(), 5);
+    }
+}

@@ -1,0 +1,316 @@
+//! Channel routing over the placement grid.
+//!
+//! The [`layout`](crate::layout) estimator gives device positions and
+//! Manhattan length estimates; this module goes one step further and
+//! routes each flow path as an actual grid polyline with a Dijkstra
+//! search. Free cells cost 1; cells occupied by a device (other than the
+//! two endpoints) cost extra — continuous-flow chips are multilayer PDMS,
+//! so a channel *may* pass over a device, it is just undesirable.
+//!
+//! Busier paths are routed first and therefore get the shortest,
+//! least-obstructed routes, consistent with the transport-refinement
+//! assumption of §4.1. Routed lengths are by construction `>=` the
+//! Manhattan estimates.
+
+use crate::layout::{Cell, Layout};
+use crate::{Netlist, PathKey};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Cost of crossing a device-occupied cell (vs 1 for a free cell).
+const DEVICE_CELL_COST: u64 = 4;
+/// Cost added per cell already used by previously routed channels
+/// (congestion avoidance).
+const CONGESTION_COST: u64 = 1;
+
+/// A routed chip: placement plus one polyline per flow path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedLayout {
+    routes: BTreeMap<PathKey, Vec<Cell>>,
+}
+
+impl RoutedLayout {
+    /// The polyline routed for `key` (endpoints included), if the path
+    /// exists.
+    pub fn route(&self, key: PathKey) -> Option<&[Cell]> {
+        self.routes.get(&key).map(Vec::as_slice)
+    }
+
+    /// Routed channel length (polyline cells minus one), if the path
+    /// exists.
+    pub fn length(&self, key: PathKey) -> Option<u64> {
+        self.routes.get(&key).map(|r| r.len() as u64 - 1)
+    }
+
+    /// Iterates `(path, polyline)` pairs.
+    pub fn routes(&self) -> impl Iterator<Item = (PathKey, &[Cell])> {
+        self.routes.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Total routed channel length.
+    pub fn total_length(&self) -> u64 {
+        self.routes.values().map(|r| r.len() as u64 - 1).sum()
+    }
+
+    /// Renders placement + routed channels as a standalone SVG document.
+    pub fn to_svg(&self, net: &Netlist, layout: &Layout) -> String {
+        const SCALE: i64 = 50;
+        let cells: Vec<Cell> = self
+            .routes
+            .values()
+            .flatten()
+            .copied()
+            .chain(net.devices().iter().filter_map(|d| layout.cell(d.id)))
+            .collect();
+        let min_x = cells.iter().map(|c| c.x).min().unwrap_or(0);
+        let min_y = cells.iter().map(|c| c.y).min().unwrap_or(0);
+        let max_x = cells.iter().map(|c| c.x).max().unwrap_or(0);
+        let max_y = cells.iter().map(|c| c.y).max().unwrap_or(0);
+        let w = (max_x - min_x + 2) * SCALE;
+        let h = (max_y - min_y + 2) * SCALE;
+        let px = |c: Cell| ((c.x - min_x + 1) * SCALE, (c.y - min_y + 1) * SCALE);
+        let mut s = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\" font-family=\"monospace\" font-size=\"11\">\n"
+        );
+        for (key, route) in self.routes() {
+            let points: Vec<String> = route
+                .iter()
+                .map(|&c| {
+                    let (x, y) = px(c);
+                    format!("{x},{y}")
+                })
+                .collect();
+            let width = 1 + net.path_usage(key.0, key.1).min(5);
+            s.push_str(&format!(
+                "  <polyline points=\"{}\" fill=\"none\" stroke=\"#4a7\" stroke-width=\"{width}\"/>\n",
+                points.join(" ")
+            ));
+        }
+        for d in net.devices() {
+            if let Some(c) = layout.cell(d.id) {
+                let (x, y) = px(c);
+                s.push_str(&format!(
+                    "  <circle cx=\"{x}\" cy=\"{y}\" r=\"14\" fill=\"#eee\" stroke=\"#333\"/>\n  <text x=\"{x}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+                    y + 4,
+                    d.id
+                ));
+            }
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// Routes every path of `net` over `layout`'s grid, busiest first.
+///
+/// # Panics
+///
+/// Panics if a path endpoint has no placement in `layout` (always present
+/// when `layout` was produced by [`crate::layout::place`] on the same
+/// netlist).
+///
+/// # Example
+///
+/// ```
+/// use mfhls_chip::{AccessorySet, Capacity, ContainerKind, DeviceConfig, Netlist, PathKey};
+/// use mfhls_chip::{layout, routing};
+///
+/// let mut net = Netlist::new();
+/// let cfg = DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty())?;
+/// let a = net.add_device(cfg);
+/// let b = net.add_device(cfg);
+/// net.record_transfer(a, b)?;
+/// let placed = layout::place(&net);
+/// let routed = routing::route(&net, &placed);
+/// assert_eq!(routed.length(PathKey::new(a, b)), Some(1));
+/// # Ok::<(), mfhls_chip::ChipError>(())
+/// ```
+pub fn route(net: &Netlist, layout: &Layout) -> RoutedLayout {
+    let occupied: BTreeSet<Cell> = net
+        .devices()
+        .iter()
+        .filter_map(|d| layout.cell(d.id))
+        .collect();
+    let mut congestion: BTreeMap<Cell, u64> = BTreeMap::new();
+    let mut routes = BTreeMap::new();
+
+    for (key, _) in net.paths_by_usage() {
+        let a = layout.cell(key.0).expect("endpoint placed");
+        let b = layout.cell(key.1).expect("endpoint placed");
+        let path = dijkstra(a, b, &occupied, &congestion);
+        for &c in &path {
+            *congestion.entry(c).or_insert(0) += CONGESTION_COST;
+        }
+        routes.insert(key, path);
+    }
+    RoutedLayout { routes }
+}
+
+fn dijkstra(
+    from: Cell,
+    to: Cell,
+    occupied: &BTreeSet<Cell>,
+    congestion: &BTreeMap<Cell, u64>,
+) -> Vec<Cell> {
+    use std::cmp::Reverse;
+    // Bound the search region a little beyond the bounding box.
+    let (lo_x, hi_x) = (from.x.min(to.x) - 3, from.x.max(to.x) + 3);
+    let (lo_y, hi_y) = (from.y.min(to.y) - 3, from.y.max(to.y) + 3);
+
+    let mut dist: BTreeMap<Cell, u64> = BTreeMap::new();
+    let mut prev: BTreeMap<Cell, Cell> = BTreeMap::new();
+    let mut heap: BinaryHeap<(Reverse<u64>, Cell)> = BinaryHeap::new();
+    dist.insert(from, 0);
+    heap.push((Reverse(0), from));
+
+    while let Some((Reverse(d), cell)) = heap.pop() {
+        if cell == to {
+            break;
+        }
+        if dist.get(&cell).is_some_and(|&best| d > best) {
+            continue;
+        }
+        for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+            let next = Cell {
+                x: cell.x + dx,
+                y: cell.y + dy,
+            };
+            if next.x < lo_x || next.x > hi_x || next.y < lo_y || next.y > hi_y {
+                continue;
+            }
+            let mut step = 1;
+            if next != to && occupied.contains(&next) {
+                step += DEVICE_CELL_COST;
+            }
+            step += congestion.get(&next).copied().unwrap_or(0);
+            let nd = d + step;
+            if dist.get(&next).is_none_or(|&best| nd < best) {
+                dist.insert(next, nd);
+                prev.insert(next, cell);
+                heap.push((Reverse(nd), next));
+            }
+        }
+    }
+
+    // Reconstruct (the bounded box always contains a route).
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = *prev.get(&cur).expect("target reachable inside bounding box");
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::place;
+    use crate::{AccessorySet, Capacity, ContainerKind, DeviceConfig};
+
+    fn chamber() -> DeviceConfig {
+        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+    }
+
+    fn star_netlist(n_leaves: usize, hot_usage: usize) -> Netlist {
+        let mut net = Netlist::new();
+        let hub = net.add_device(chamber());
+        for k in 0..n_leaves {
+            let leaf = net.add_device(chamber());
+            let usage = if k == 0 { hot_usage } else { 1 };
+            for _ in 0..usage {
+                net.record_transfer(hub, leaf).unwrap();
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn adjacent_devices_route_directly() {
+        let mut net = Netlist::new();
+        let a = net.add_device(chamber());
+        let b = net.add_device(chamber());
+        net.record_transfer(a, b).unwrap();
+        let layout = place(&net);
+        let routed = route(&net, &layout);
+        let key = PathKey::new(a, b);
+        assert_eq!(routed.length(key), Some(1));
+        let r = routed.route(key).unwrap();
+        assert_eq!(r.first().copied(), layout.cell(key.0));
+        assert_eq!(r.last().copied(), layout.cell(key.1));
+    }
+
+    #[test]
+    fn routes_are_connected_polylines() {
+        let net = star_netlist(8, 5);
+        let layout = place(&net);
+        let routed = route(&net, &layout);
+        for (key, r) in routed.routes() {
+            assert!(r.len() >= 2, "path {key} degenerate");
+            for w in r.windows(2) {
+                assert_eq!(w[0].distance(w[1]), 1, "route {key} not connected");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_length_at_least_manhattan() {
+        let net = star_netlist(10, 3);
+        let layout = place(&net);
+        let routed = route(&net, &layout);
+        for (key, _) in net.paths() {
+            let manhattan = layout.path_length(key).unwrap();
+            let routed_len = routed.length(key).unwrap();
+            assert!(routed_len >= manhattan, "path {key}");
+        }
+    }
+
+    #[test]
+    fn busiest_path_routed_shortest() {
+        let net = star_netlist(8, 10);
+        let layout = place(&net);
+        let routed = route(&net, &layout);
+        let ranked = net.paths_by_usage();
+        let hot = routed.length(ranked[0].0).unwrap();
+        let max_len = ranked
+            .iter()
+            .map(|&(k, _)| routed.length(k).unwrap())
+            .max()
+            .unwrap();
+        assert!(hot <= max_len);
+        assert_eq!(hot, 1, "hot path should be adjacent + direct");
+    }
+
+    #[test]
+    fn total_length_sums() {
+        let net = star_netlist(3, 1);
+        let layout = place(&net);
+        let routed = route(&net, &layout);
+        let sum: u64 = net
+            .paths()
+            .map(|(k, _)| routed.length(k).unwrap())
+            .sum();
+        assert_eq!(routed.total_length(), sum);
+    }
+
+    #[test]
+    fn svg_contains_polylines_and_devices() {
+        let net = star_netlist(4, 2);
+        let layout = place(&net);
+        let routed = route(&net, &layout);
+        let svg = routed.to_svg(&net, &layout);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), net.path_count());
+        assert_eq!(svg.matches("<circle").count(), net.devices().len());
+    }
+
+    #[test]
+    fn empty_netlist_routes_nothing() {
+        let net = Netlist::new();
+        let layout = place(&net);
+        let routed = route(&net, &layout);
+        assert_eq!(routed.total_length(), 0);
+        assert!(routed.to_svg(&net, &layout).starts_with("<svg"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Post-synthesis schedule analysis: utilisation, parallelism, critical
+//! paths, and storage demand.
+//!
+//! The paper's evaluation reports aggregate metrics (execution time,
+//! device count, path count); chip designers additionally want to know
+//! *why* a schedule looks the way it does — which devices idle, where the
+//! makespan is pinned, and how much boundary storage the layering costs.
+//! This module computes those diagnostics from a validated
+//! [`HybridSchedule`].
+
+use crate::{Assay, HybridSchedule, OpId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-device usage statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceUsage {
+    /// Device index.
+    pub device: usize,
+    /// Number of operations bound to the device.
+    pub ops: usize,
+    /// Total busy time (operation durations + reserved transports).
+    pub busy: u64,
+    /// Utilisation = busy / total fixed schedule time, in `[0, 1]`.
+    pub utilisation: f64,
+}
+
+/// Number of concurrently running operations over time within one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelismProfile {
+    /// `(time, active-op-count)` change points, ascending in time.
+    pub steps: Vec<(u64, usize)>,
+    /// Peak concurrency.
+    pub peak: usize,
+    /// Time-weighted average concurrency.
+    pub average_milli: u64,
+}
+
+/// Full analysis report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleAnalysis {
+    /// Fixed makespan (sum of layer makespans).
+    pub fixed_makespan: u64,
+    /// Usage per device, ascending by index.
+    pub devices: Vec<DeviceUsage>,
+    /// One critical path of operations (start-pinned chain), in execution
+    /// order across layers.
+    pub critical_path: Vec<OpId>,
+    /// Parallelism profile per layer.
+    pub parallelism: Vec<ParallelismProfile>,
+    /// Storage demand at each layer boundary (cross-boundary outputs).
+    pub boundary_storage: Vec<u64>,
+}
+
+/// Analyses a schedule. The schedule should pass
+/// [`HybridSchedule::validate`] first; analysis of an invalid schedule is
+/// not meaningful (but will not panic as long as every op is scheduled).
+///
+/// # Panics
+///
+/// Panics if some operation of `assay` is missing from `schedule`.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_core::{analysis, Assay, Duration, Operation, SynthConfig, Synthesizer};
+///
+/// let mut assay = Assay::new("demo");
+/// let a = assay.add_op(Operation::new("a").with_duration(Duration::fixed(6)));
+/// let b = assay.add_op(Operation::new("b").with_duration(Duration::fixed(4)));
+/// assay.add_dependency(a, b)?;
+/// let result = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+/// let report = analysis::analyse(&assay, &result.schedule);
+/// assert_eq!(report.critical_path.len(), 2); // the whole chain is critical
+/// assert!(report.devices.iter().all(|d| d.utilisation <= 1.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyse(assay: &Assay, schedule: &HybridSchedule) -> ScheduleAnalysis {
+    let fixed_makespan: u64 = schedule.layers.iter().map(|l| l.makespan()).sum();
+
+    // Device usage across all layers.
+    let mut usage: BTreeMap<usize, (usize, u64)> = BTreeMap::new();
+    for layer in &schedule.layers {
+        for slot in &layer.ops {
+            let e = usage.entry(slot.device).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += slot.duration + slot.transport;
+        }
+    }
+    let devices = usage
+        .into_iter()
+        .map(|(device, (ops, busy))| DeviceUsage {
+            device,
+            ops,
+            busy,
+            utilisation: if fixed_makespan == 0 {
+                0.0
+            } else {
+                busy as f64 / fixed_makespan as f64
+            },
+        })
+        .collect();
+
+    ScheduleAnalysis {
+        fixed_makespan,
+        devices,
+        critical_path: critical_path(assay, schedule),
+        parallelism: schedule
+            .layers
+            .iter()
+            .map(|l| {
+                profile(
+                    l.ops
+                        .iter()
+                        .map(|s| (s.start, s.finish()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect(),
+        boundary_storage: boundary_storage(assay, schedule),
+    }
+}
+
+/// Walks back from the operation that pins the makespan of each layer:
+/// repeatedly hop to the predecessor that pinned this op's start (the
+/// same-layer parent or same-device slot finishing exactly at our start),
+/// producing one critical chain per schedule.
+fn critical_path(assay: &Assay, schedule: &HybridSchedule) -> Vec<OpId> {
+    let mut chain = Vec::new();
+    for layer in &schedule.layers {
+        let Some(last) = layer.ops.iter().max_by_key(|s| (s.finish(), s.op)) else {
+            continue;
+        };
+        let mut segment = vec![last.op];
+        let mut cursor = *last;
+        loop {
+            if cursor.start == 0 {
+                break;
+            }
+            // A same-layer parent whose release pins our start?
+            let pin_parent = assay
+                .parents(cursor.op)
+                .into_iter()
+                .filter_map(|p| layer.slot(p))
+                .find(|ps| ps.start + ps.duration + ps.transport == cursor.start);
+            // Or a same-device predecessor releasing exactly at our start?
+            let pin_device = layer
+                .ops
+                .iter()
+                .find(|s| s.device == cursor.device && s.release_time() == cursor.start);
+            match pin_parent.or(pin_device) {
+                Some(prev) => {
+                    segment.push(prev.op);
+                    cursor = *prev;
+                }
+                None => break, // pinned by eq. 14 alignment or a gap
+            }
+        }
+        segment.reverse();
+        chain.extend(segment);
+    }
+    chain
+}
+
+fn profile(intervals: Vec<(u64, u64)>) -> ParallelismProfile {
+    let mut deltas: BTreeMap<u64, i64> = BTreeMap::new();
+    for &(s, e) in &intervals {
+        *deltas.entry(s).or_insert(0) += 1;
+        *deltas.entry(e).or_insert(0) -= 1;
+    }
+    let mut steps = Vec::new();
+    let mut active = 0i64;
+    let mut peak = 0usize;
+    let mut weighted = 0u64;
+    let mut last_t = None::<u64>;
+    for (&t, &d) in &deltas {
+        if let Some(lt) = last_t {
+            weighted += active as u64 * (t - lt);
+        }
+        active += d;
+        peak = peak.max(active as usize);
+        steps.push((t, active as usize));
+        last_t = Some(t);
+    }
+    let span = match (steps.first(), steps.last()) {
+        (Some(&(a, _)), Some(&(b, _))) if b > a => b - a,
+        _ => 0,
+    };
+    ParallelismProfile {
+        steps,
+        peak,
+        average_milli: (weighted * 1000).checked_div(span).unwrap_or(0),
+    }
+}
+
+/// Outputs that must be stored across each layer boundary: dependency
+/// edges whose parent runs in layer `<= i` and whose child runs in layer
+/// `> i` (one stored output per edge).
+pub fn boundary_storage(assay: &Assay, schedule: &HybridSchedule) -> Vec<u64> {
+    let mut layer_of: BTreeMap<OpId, usize> = BTreeMap::new();
+    for (li, layer) in schedule.layers.iter().enumerate() {
+        for slot in &layer.ops {
+            layer_of.insert(slot.op, li);
+        }
+    }
+    let bounds = schedule.layers.len().saturating_sub(1);
+    let mut storage = vec![0u64; bounds];
+    for (p, c) in assay.dependencies() {
+        let (Some(&lp), Some(&lc)) = (layer_of.get(&p), layer_of.get(&c)) else {
+            continue;
+        };
+        for s in storage.iter_mut().take(lc).skip(lp) {
+            *s += 1;
+        }
+    }
+    storage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, LayerSchedule, Operation, ScheduledOp, SynthConfig, Synthesizer};
+    use mfhls_chip::{AccessorySet, Capacity, ContainerKind, DeviceConfig};
+
+    fn chamber() -> DeviceConfig {
+        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+    }
+
+    #[test]
+    fn utilisation_of_serial_chain_is_full_on_one_device() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(Operation::new("x").with_duration(Duration::fixed(4)));
+        let y = a.add_op(Operation::new("y").with_duration(Duration::fixed(6)));
+        a.add_dependency(x, y).unwrap();
+        let schedule = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![
+                ScheduledOp {
+                    op: x,
+                    device: 0,
+                    start: 0,
+                    duration: 4,
+                    transport: 0,
+                },
+                ScheduledOp {
+                    op: y,
+                    device: 0,
+                    start: 4,
+                    duration: 6,
+                    transport: 0,
+                },
+            ])],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        let r = analyse(&a, &schedule);
+        assert_eq!(r.fixed_makespan, 10);
+        assert_eq!(r.devices.len(), 1);
+        assert_eq!(r.devices[0].busy, 10);
+        assert!((r.devices[0].utilisation - 1.0).abs() < 1e-9);
+        // Whole chain is critical.
+        assert_eq!(r.critical_path, vec![x, y]);
+    }
+
+    #[test]
+    fn parallelism_profile_counts_overlap() {
+        let p = profile(vec![(0, 4), (2, 6), (4, 8)]);
+        assert_eq!(p.peak, 2);
+        // t in [0,2): 1 active; [2,4): 2; [4,6): 2; [6,8): 1.
+        // average = (2 + 4 + 4 + 2) / 8 = 1.5
+        assert_eq!(p.average_milli, 1500);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = profile(vec![]);
+        assert_eq!(p.peak, 0);
+        assert_eq!(p.average_milli, 0);
+        assert!(p.steps.is_empty());
+    }
+
+    #[test]
+    fn storage_matches_layering_accounting() {
+        let assay = {
+            let mut a = Assay::new("t");
+            let prep = a.add_op(Operation::new("p").with_duration(Duration::fixed(2)));
+            let cap = a.add_op(Operation::new("c").with_duration(Duration::at_least(3)));
+            let post = a.add_op(Operation::new("q").with_duration(Duration::fixed(2)));
+            a.add_dependency(prep, cap).unwrap();
+            a.add_dependency(cap, post).unwrap();
+            a
+        };
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+        let analysis = analyse(&assay, &r.schedule);
+        assert_eq!(
+            analysis.boundary_storage,
+            r.layering.boundary_storage(&assay)
+        );
+    }
+
+    #[test]
+    fn benchmark_analysis_is_consistent() {
+        let assay = mfhls_test_assay();
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+        let a = analyse(&assay, &r.schedule);
+        assert_eq!(
+            a.fixed_makespan,
+            r.schedule.exec_time(&assay).fixed
+        );
+        // Total busy time never exceeds devices * makespan.
+        let total_busy: u64 = a.devices.iter().map(|d| d.busy).sum();
+        assert!(total_busy <= a.fixed_makespan * a.devices.len() as u64);
+        // Critical path ops are unique and scheduled.
+        let mut seen = std::collections::BTreeSet::new();
+        for &op in &a.critical_path {
+            assert!(seen.insert(op), "critical path revisits {op}");
+            assert!(r.schedule.slot(op).is_some());
+        }
+        // Peak parallelism never exceeds the device count.
+        for p in &a.parallelism {
+            assert!(p.peak <= r.schedule.devices.len());
+        }
+    }
+
+    fn mfhls_test_assay() -> Assay {
+        let mut a = Assay::new("bench-ish");
+        let mut prev: Option<OpId> = None;
+        for k in 0..12 {
+            let op = a.add_op(
+                Operation::new(&format!("op{k}")).with_duration(if k % 5 == 4 {
+                    Duration::at_least(3)
+                } else {
+                    Duration::fixed(2 + (k % 4) as u64)
+                }),
+            );
+            if let Some(p) = prev {
+                if k % 3 != 0 {
+                    a.add_dependency(p, op).unwrap();
+                }
+            }
+            prev = Some(op);
+        }
+        a
+    }
+}

@@ -1,0 +1,230 @@
+//! Bioassays: operation DAGs with parent/child reagent dependencies.
+
+use crate::{CoreError, OpId, Operation};
+use mfhls_graph::{reach, topo, BitSet, Digraph};
+use serde::{Deserialize, Serialize};
+
+/// A bioassay: a set of [`Operation`]s and the dependency DAG between them
+/// (§2.2, attribute *c*: `o_c` is a *child* of `o_p` if it consumes `o_p`'s
+/// outputs).
+///
+/// # Example
+///
+/// ```
+/// use mfhls_core::{Assay, Duration, Operation};
+///
+/// let mut assay = Assay::new("pcr");
+/// let lyse = assay.add_op(Operation::new("lyse").with_duration(Duration::fixed(5)));
+/// let amplify = assay.add_op(Operation::new("amplify").with_duration(Duration::fixed(30)));
+/// assay.add_dependency(lyse, amplify)?;
+/// assert_eq!(assay.children(lyse), vec![amplify]);
+/// # Ok::<(), mfhls_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Assay {
+    name: String,
+    ops: Vec<Operation>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Assay {
+    /// Creates an empty assay.
+    pub fn new(name: &str) -> Self {
+        Assay {
+            name: name.to_owned(),
+            ops: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The assay's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an operation, returning its id.
+    pub fn add_op(&mut self, op: Operation) -> OpId {
+        self.ops.push(op);
+        OpId(self.ops.len() - 1)
+    }
+
+    /// Declares that `child` consumes outputs of `parent`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownOp`] if either id is foreign.
+    /// * [`CoreError::CyclicAssay`] if the edge would close a cycle
+    ///   (including self-dependencies).
+    pub fn add_dependency(&mut self, parent: OpId, child: OpId) -> Result<(), CoreError> {
+        for id in [parent, child] {
+            if id.0 >= self.ops.len() {
+                return Err(CoreError::UnknownOp(id.0));
+            }
+        }
+        if parent == child {
+            return Err(CoreError::CyclicAssay);
+        }
+        self.edges.push((parent.0, child.0));
+        if !topo::is_acyclic(&self.graph()) {
+            self.edges.pop();
+            return Err(CoreError::CyclicAssay);
+        }
+        Ok(())
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the assay has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Looks up an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is foreign; use [`Assay::get`] for a fallible lookup.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.0]
+    }
+
+    /// Fallible operation lookup.
+    pub fn get(&self, id: OpId) -> Option<&Operation> {
+        self.ops.get(id.0)
+    }
+
+    /// Iterates `(id, operation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &Operation)> {
+        self.ops.iter().enumerate().map(|(i, o)| (OpId(i), o))
+    }
+
+    /// All operation ids.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len()).map(OpId)
+    }
+
+    /// Dependency edges as `(parent, child)` pairs.
+    pub fn dependencies(&self) -> impl Iterator<Item = (OpId, OpId)> + '_ {
+        self.edges.iter().map(|&(p, c)| (OpId(p), OpId(c)))
+    }
+
+    /// The dependency graph over operation indices.
+    pub fn graph(&self) -> Digraph {
+        Digraph::from_edges(self.ops.len(), self.edges.iter().copied())
+    }
+
+    /// Direct parents of `id`.
+    pub fn parents(&self, id: OpId) -> Vec<OpId> {
+        self.edges
+            .iter()
+            .filter(|&&(_, c)| c == id.0)
+            .map(|&(p, _)| OpId(p))
+            .collect()
+    }
+
+    /// Direct children of `id`.
+    pub fn children(&self, id: OpId) -> Vec<OpId> {
+        self.edges
+            .iter()
+            .filter(|&&(p, _)| p == id.0)
+            .map(|&(_, c)| OpId(c))
+            .collect()
+    }
+
+    /// Ancestor closure of `id` (excluding `id`).
+    pub fn ancestors(&self, id: OpId) -> BitSet {
+        reach::ancestors(&self.graph(), id.0)
+    }
+
+    /// Descendant closure of `id` (excluding `id`).
+    pub fn descendants(&self, id: OpId) -> BitSet {
+        reach::descendants(&self.graph(), id.0)
+    }
+
+    /// Ids of the indeterminate operations.
+    pub fn indeterminate_ops(&self) -> Vec<OpId> {
+        self.iter()
+            .filter(|(_, o)| o.is_indeterminate())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Sum of minimum durations over all operations — a horizon bound used
+    /// for big-M constants and sanity checks.
+    pub fn total_min_duration(&self) -> u64 {
+        self.ops.iter().map(|o| o.duration().min_duration()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    fn op(name: &str) -> Operation {
+        Operation::new(name).with_duration(Duration::fixed(1))
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(op("x"));
+        let y = a.add_op(op("y"));
+        let z = a.add_op(op("z"));
+        a.add_dependency(x, y).unwrap();
+        a.add_dependency(x, z).unwrap();
+        a.add_dependency(y, z).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.children(x), vec![y, z]);
+        assert_eq!(a.parents(z), vec![x, y]);
+        assert_eq!(a.ancestors(z).iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(a.descendants(x).iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(op("x"));
+        let y = a.add_op(op("y"));
+        a.add_dependency(x, y).unwrap();
+        assert_eq!(a.add_dependency(y, x), Err(CoreError::CyclicAssay));
+        // The failed edge must not linger.
+        assert_eq!(a.dependencies().count(), 1);
+    }
+
+    #[test]
+    fn rejects_self_dependency() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(op("x"));
+        assert!(a.add_dependency(x, x).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_ids() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(op("x"));
+        assert_eq!(
+            a.add_dependency(x, OpId(5)),
+            Err(CoreError::UnknownOp(5))
+        );
+    }
+
+    #[test]
+    fn indeterminate_listing() {
+        let mut a = Assay::new("t");
+        a.add_op(op("fixed"));
+        let i = a.add_op(Operation::new("capture").with_duration(Duration::at_least(3)));
+        assert_eq!(a.indeterminate_ops(), vec![i]);
+    }
+
+    #[test]
+    fn total_duration_horizon() {
+        let mut a = Assay::new("t");
+        a.add_op(Operation::new("a").with_duration(Duration::fixed(5)));
+        a.add_op(Operation::new("b").with_duration(Duration::at_least(7)));
+        assert_eq!(a.total_min_duration(), 12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Tabular (CSV) export of schedules and assays, for spreadsheets and
+//! downstream tooling.
+
+use crate::{Assay, HybridSchedule};
+
+/// Serialises a schedule as CSV:
+/// `op,name,layer,device,start,duration,transport,indeterminate`.
+///
+/// Names are quoted and embedded quotes doubled per RFC 4180. Rows are
+/// ordered by (layer, start, op).
+///
+/// # Example
+///
+/// ```
+/// use mfhls_core::{export, Assay, Duration, Operation, SynthConfig, Synthesizer};
+///
+/// let mut assay = Assay::new("demo");
+/// assay.add_op(Operation::new("mix").with_duration(Duration::fixed(5)));
+/// let result = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+/// let csv = export::schedule_csv(&assay, &result.schedule);
+/// assert!(csv.starts_with("op,name,layer,device,start,duration,transport,indeterminate"));
+/// assert!(csv.contains("\"mix\""));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule_csv(assay: &Assay, schedule: &HybridSchedule) -> String {
+    let mut out =
+        String::from("op,name,layer,device,start,duration,transport,indeterminate\n");
+    for (li, layer) in schedule.layers.iter().enumerate() {
+        for slot in &layer.ops {
+            let op = assay.op(slot.op);
+            out.push_str(&format!(
+                "{},{},{li},{},{},{},{},{}\n",
+                slot.op.index(),
+                quote(op.name()),
+                slot.device,
+                slot.start,
+                slot.duration,
+                slot.transport,
+                op.is_indeterminate(),
+            ));
+        }
+    }
+    out
+}
+
+/// Serialises an assay's operations and dependencies as CSV:
+/// `op,name,container,capacity,accessories,duration,indeterminate,parents`.
+pub fn assay_csv(assay: &Assay) -> String {
+    let mut out =
+        String::from("op,name,container,capacity,accessories,duration,indeterminate,parents\n");
+    for (id, op) in assay.iter() {
+        let req = op.requirements();
+        let parents: Vec<String> = assay
+            .parents(id)
+            .iter()
+            .map(|p| p.index().to_string())
+            .collect();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            id.index(),
+            quote(op.name()),
+            req.container.map_or(String::from("any"), |c| c.to_string()),
+            req.capacity.map_or(String::from("any"), |c| c.to_string()),
+            quote(&req.accessories.to_string()),
+            op.duration().min_duration(),
+            op.is_indeterminate(),
+            quote(&parents.join(" ")),
+        ));
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\"\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, Operation, SynthConfig, Synthesizer};
+
+    fn demo() -> (Assay, HybridSchedule) {
+        let mut a = Assay::new("demo");
+        let x = a.add_op(Operation::new("mix \"A\"").with_duration(Duration::fixed(5)));
+        let y = a.add_op(Operation::new("capture").with_duration(Duration::at_least(3)));
+        a.add_dependency(x, y).unwrap();
+        let r = Synthesizer::new(SynthConfig::default()).run(&a).unwrap();
+        (a, r.schedule)
+    }
+
+    #[test]
+    fn schedule_csv_has_one_row_per_op() {
+        let (a, s) = demo();
+        let csv = schedule_csv(&a, &s);
+        let rows: Vec<&str> = csv.lines().collect();
+        assert_eq!(rows.len(), 1 + a.len());
+        assert_eq!(
+            rows[0],
+            "op,name,layer,device,start,duration,transport,indeterminate"
+        );
+    }
+
+    #[test]
+    fn quotes_are_doubled() {
+        let (a, s) = demo();
+        let csv = schedule_csv(&a, &s);
+        assert!(csv.contains("\"mix \"\"A\"\"\""), "{csv}");
+    }
+
+    #[test]
+    fn indeterminate_flag_present() {
+        let (a, s) = demo();
+        let csv = schedule_csv(&a, &s);
+        assert!(csv.lines().any(|l| l.ends_with(",true")));
+        assert!(csv.lines().any(|l| l.ends_with(",false")));
+    }
+
+    #[test]
+    fn assay_csv_lists_requirements_and_parents() {
+        let (a, _) = demo();
+        let csv = assay_csv(&a);
+        let rows: Vec<&str> = csv.lines().collect();
+        assert_eq!(rows.len(), 1 + a.len());
+        // The capture row lists op 0 as parent.
+        assert!(rows[2].ends_with("\"0\""), "{}", rows[2]);
+        assert!(rows[1].contains("any"));
+    }
+
+    #[test]
+    fn empty_schedule_exports_header_only() {
+        let a = Assay::new("empty");
+        let r = Synthesizer::new(SynthConfig::default()).run(&a).unwrap();
+        let csv = schedule_csv(&a, &r.schedule);
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

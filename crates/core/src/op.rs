@@ -1,0 +1,200 @@
+//! Component-oriented operation definitions (§2.2).
+
+use mfhls_chip::{Accessory, Capacity, ContainerKind, Requirements};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an operation within an [`Assay`](crate::Assay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub usize);
+
+impl OpId {
+    /// Dense index of the operation.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Execution duration of an operation (§2.2, attribute *b*): either an
+/// accurate value or *indeterminate* with a known minimum (e.g. single-cell
+/// capture, which reruns until exactly one cell is trapped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Duration {
+    /// Exact duration in time units (minutes throughout this workspace).
+    Fixed(u64),
+    /// Unknown duration with a guaranteed minimum; the actual value is only
+    /// known at run time (cyberphysical control).
+    Indeterminate {
+        /// Minimum duration in time units.
+        min: u64,
+    },
+}
+
+impl Duration {
+    /// Convenience constructor for [`Duration::Fixed`].
+    pub fn fixed(minutes: u64) -> Self {
+        Duration::Fixed(minutes)
+    }
+
+    /// Convenience constructor for [`Duration::Indeterminate`].
+    pub fn at_least(minutes: u64) -> Self {
+        Duration::Indeterminate { min: minutes }
+    }
+
+    /// The scheduling duration: the exact value, or the minimum for
+    /// indeterminate operations (as used in eq. 14).
+    pub fn min_duration(self) -> u64 {
+        match self {
+            Duration::Fixed(d) => d,
+            Duration::Indeterminate { min } => min,
+        }
+    }
+
+    /// Whether the duration is indeterminate.
+    pub fn is_indeterminate(self) -> bool {
+        matches!(self, Duration::Indeterminate { .. })
+    }
+}
+
+impl std::fmt::Display for Duration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Duration::Fixed(d) => write!(f, "{d}m"),
+            Duration::Indeterminate { min } => write!(f, ">={min}m"),
+        }
+    }
+}
+
+/// A biological operation described by the components it needs (§2.2):
+/// container kind (optional), capacity class (optional), accessories, and a
+/// duration. Dependencies live on the [`Assay`](crate::Assay), not here.
+///
+/// Built fluently:
+///
+/// ```
+/// use mfhls_chip::{Accessory, Capacity, ContainerKind};
+/// use mfhls_core::{Duration, Operation};
+///
+/// let capture = Operation::new("single-cell capture")
+///     .capacity(Capacity::Small)
+///     .accessory(Accessory::CellTrap)
+///     .accessory(Accessory::OpticalSystem)
+///     .with_duration(Duration::at_least(3));
+/// assert!(capture.duration().is_indeterminate());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    name: String,
+    requirements: Requirements,
+    duration: Duration,
+}
+
+impl Operation {
+    /// Creates an operation with no component constraints and a zero fixed
+    /// duration; refine with the builder methods.
+    pub fn new(name: &str) -> Self {
+        Operation {
+            name: name.to_owned(),
+            requirements: Requirements::default(),
+            duration: Duration::Fixed(0),
+        }
+    }
+
+    /// Requires a specific container kind.
+    pub fn container(mut self, kind: ContainerKind) -> Self {
+        self.requirements.container = Some(kind);
+        self
+    }
+
+    /// Requires a specific capacity class.
+    pub fn capacity(mut self, cap: Capacity) -> Self {
+        self.requirements.capacity = Some(cap);
+        self
+    }
+
+    /// Adds a required accessory.
+    pub fn accessory(mut self, a: Accessory) -> Self {
+        self.requirements.accessories.insert(a);
+        self
+    }
+
+    /// Sets the execution duration.
+    pub fn with_duration(mut self, d: Duration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Sets the full requirement record at once.
+    pub fn requirements_from(mut self, req: Requirements) -> Self {
+        self.requirements = req;
+        self
+    }
+
+    /// The operation's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component-oriented requirements.
+    pub fn requirements(&self) -> &Requirements {
+        &self.requirements
+    }
+
+    /// The declared duration.
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+
+    /// Whether this operation's duration is indeterminate.
+    pub fn is_indeterminate(&self) -> bool {
+        self.duration.is_indeterminate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let op = Operation::new("wash")
+            .container(ContainerKind::Chamber)
+            .capacity(Capacity::Large)
+            .accessory(Accessory::SieveValve)
+            .with_duration(Duration::fixed(7));
+        assert_eq!(op.name(), "wash");
+        assert_eq!(op.requirements().container, Some(ContainerKind::Chamber));
+        assert_eq!(op.requirements().capacity, Some(Capacity::Large));
+        assert!(op.requirements().accessories.contains(Accessory::SieveValve));
+        assert_eq!(op.duration().min_duration(), 7);
+        assert!(!op.is_indeterminate());
+    }
+
+    #[test]
+    fn indeterminate_duration() {
+        let d = Duration::at_least(5);
+        assert!(d.is_indeterminate());
+        assert_eq!(d.min_duration(), 5);
+        assert_eq!(d.to_string(), ">=5m");
+        assert_eq!(Duration::fixed(3).to_string(), "3m");
+    }
+
+    #[test]
+    fn default_is_unconstrained() {
+        let op = Operation::new("x");
+        assert_eq!(op.requirements().container, None);
+        assert_eq!(op.requirements().capacity, None);
+        assert!(op.requirements().accessories.is_empty());
+    }
+
+    #[test]
+    fn op_id_display() {
+        assert_eq!(OpId(4).to_string(), "o4");
+        assert_eq!(OpId(4).index(), 4);
+    }
+}

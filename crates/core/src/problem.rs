@@ -1,0 +1,243 @@
+//! Per-layer synthesis problems and objective weights.
+
+use crate::{Assay, OpId, TransportTimes};
+use mfhls_chip::{CostModel, DeviceConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Weight coefficients of the synthesis objective (§4.3):
+/// `C_t·sum_t + C_a·sum_a + C_pr·sum_pr + C_p·sum_p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Weights {
+    /// `C_t` — total assay execution time.
+    pub time: u64,
+    /// `C_a` — chip area cost.
+    pub area: u64,
+    /// `C_pr` — chip processing cost.
+    pub processing: u64,
+    /// `C_p` — number of transportation paths.
+    pub paths: u64,
+}
+
+impl Default for Weights {
+    /// Execution time dominates (the paper's primary metric); resource
+    /// terms act as tie-breakers that discourage gratuitous devices/paths.
+    fn default() -> Self {
+        Weights {
+            time: 20,
+            area: 6,
+            processing: 3,
+            paths: 12,
+        }
+    }
+}
+
+/// An unordered device-pair key for path bookkeeping.
+pub(crate) fn path_key(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The scheduling & binding problem for one layer (the input to a
+/// [`LayerSolver`](crate::LayerSolver)): the layer's operations, the device
+/// pool accumulated so far, the binding-visibility mask implementing the
+/// inheritance rules of §3.2, and the transport estimates of §4.1.
+#[derive(Debug, Clone)]
+pub struct LayerProblem<'a> {
+    /// The assay the layer belongs to.
+    pub assay: &'a Assay,
+    /// Operations of this layer (ascending id).
+    pub ops: Vec<OpId>,
+    /// All devices instantiated so far, indexed by device id. Configs of
+    /// devices outside this layer are fixed.
+    pub devices: Vec<DeviceConfig>,
+    /// `bindable[d]` — whether device `d` may be used by this layer. In the
+    /// first iteration every existing device is bindable; in re-synthesis
+    /// iterations the devices created *for this layer* last iteration are
+    /// masked out (`D \ D'_i`).
+    pub bindable: Vec<bool>,
+    /// Global cap on the number of devices (`|D|`), shared across layers.
+    pub max_devices: usize,
+    /// Per-operation transport times `t_p`.
+    pub transport: &'a TransportTimes,
+    /// Objective weights.
+    pub weights: Weights,
+    /// Cost model for new-device pricing.
+    pub costs: &'a CostModel,
+    /// Paths that already exist on the chip (no cost to reuse).
+    pub existing_paths: BTreeSet<(usize, usize)>,
+    /// `(child-in-layer, parent-device)` pairs for dependencies whose parent
+    /// ran in an earlier layer: they need a path (unless the child lands on
+    /// the same device) but impose no start-time constraint (the transfer
+    /// happens during the layer barrier).
+    pub cross_inputs: Vec<(OpId, usize)>,
+    /// Component-oriented mode: an operation may bind to any device whose
+    /// components cover its requirements, and new devices in this layer may
+    /// be retrofitted with extra accessories. The conventional baseline
+    /// sets this to `false` and uses exact signature matching.
+    pub component_oriented: bool,
+}
+
+impl LayerProblem<'_> {
+    /// Dependencies internal to this layer, as `(parent, child)` pairs.
+    pub fn internal_deps(&self) -> Vec<(OpId, OpId)> {
+        let inside: BTreeSet<OpId> = self.ops.iter().copied().collect();
+        self.assay
+            .dependencies()
+            .filter(|(p, c)| inside.contains(p) && inside.contains(c))
+            .collect()
+    }
+
+    /// Indeterminate operations of this layer.
+    pub fn indeterminate_ops(&self) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .copied()
+            .filter(|&o| self.assay.op(o).is_indeterminate())
+            .collect()
+    }
+
+    /// A safe horizon / big-M: total duration + transport of the layer.
+    pub fn horizon(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|&o| self.assay.op(o).duration().min_duration() + self.transport.of(o))
+            .sum::<u64>()
+            .max(1)
+    }
+
+    /// Whether `op` may run on existing device `d` under the problem's
+    /// binding mode (ignores timing).
+    pub fn compatible(&self, op: OpId, device: usize) -> bool {
+        if !self.bindable.get(device).copied().unwrap_or(false) {
+            return false;
+        }
+        let req = self.assay.op(op).requirements();
+        let cfg = &self.devices[device];
+        if self.component_oriented {
+            cfg.satisfies(req)
+        } else {
+            // Conventional: exact signature-class match.
+            let (kind, cap, acc) = req.signature();
+            cfg.container() == kind && cfg.capacity() == cap && cfg.accessories() == acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, Operation, TransportConfig};
+    use mfhls_chip::{Accessory, AccessorySet, Capacity, ContainerKind, Requirements};
+
+    fn toy_assay() -> Assay {
+        let mut a = Assay::new("t");
+        let x = a.add_op(
+            Operation::new("x")
+                .container(ContainerKind::Ring)
+                .capacity(Capacity::Medium)
+                .accessory(Accessory::Pump)
+                .with_duration(Duration::fixed(5)),
+        );
+        let y = a.add_op(Operation::new("y").with_duration(Duration::fixed(3)));
+        a.add_dependency(x, y).unwrap();
+        a
+    }
+
+    #[test]
+    fn internal_deps_and_horizon() {
+        let assay = toy_assay();
+        let costs = CostModel::default();
+        let transport = TransportTimes::initial(&assay, &TransportConfig::default());
+        let p = LayerProblem {
+            assay: &assay,
+            ops: vec![OpId(0), OpId(1)],
+            devices: vec![],
+            bindable: vec![],
+            max_devices: 5,
+            transport: &transport,
+            weights: Weights::default(),
+            costs: &costs,
+            existing_paths: BTreeSet::new(),
+            cross_inputs: vec![],
+            component_oriented: true,
+        };
+        assert_eq!(p.internal_deps(), vec![(OpId(0), OpId(1))]);
+        assert_eq!(p.horizon(), 5 + 3 + 3 + 3);
+        assert!(p.indeterminate_ops().is_empty());
+    }
+
+    #[test]
+    fn compatibility_modes() {
+        let assay = toy_assay();
+        let costs = CostModel::default();
+        let transport = TransportTimes::initial(&assay, &TransportConfig::default());
+        let mixer = DeviceConfig::new(
+            ContainerKind::Ring,
+            Capacity::Medium,
+            AccessorySet::from_iter([Accessory::Pump, Accessory::SieveValve]),
+        )
+        .unwrap();
+        let mut p = LayerProblem {
+            assay: &assay,
+            ops: vec![OpId(0), OpId(1)],
+            devices: vec![mixer],
+            bindable: vec![true],
+            max_devices: 5,
+            transport: &transport,
+            weights: Weights::default(),
+            costs: &costs,
+            existing_paths: BTreeSet::new(),
+            cross_inputs: vec![],
+            component_oriented: true,
+        };
+        // Component-oriented: superset accessories are fine; unconstrained
+        // op y fits anywhere.
+        assert!(p.compatible(OpId(0), 0));
+        assert!(p.compatible(OpId(1), 0));
+        // Conventional: op x's signature wants exactly {pump}; the device
+        // has an extra sieve valve, so the class differs.
+        p.component_oriented = false;
+        assert!(!p.compatible(OpId(0), 0));
+        // And op y's signature defaults to a tiny chamber.
+        assert!(!p.compatible(OpId(1), 0));
+    }
+
+    #[test]
+    fn unbindable_devices_are_invisible() {
+        let assay = toy_assay();
+        let costs = CostModel::default();
+        let transport = TransportTimes::initial(&assay, &TransportConfig::default());
+        let any = DeviceConfig::new(
+            ContainerKind::Ring,
+            Capacity::Medium,
+            AccessorySet::from_iter([Accessory::Pump]),
+        )
+        .unwrap();
+        let p = LayerProblem {
+            assay: &assay,
+            ops: vec![OpId(0)],
+            devices: vec![any],
+            bindable: vec![false],
+            max_devices: 5,
+            transport: &transport,
+            weights: Weights::default(),
+            costs: &costs,
+            existing_paths: BTreeSet::new(),
+            cross_inputs: vec![],
+            component_oriented: true,
+        };
+        assert!(!p.compatible(OpId(0), 0));
+    }
+
+    #[test]
+    fn requirements_signature_used_for_conventional() {
+        let req = Requirements::any();
+        let (k, c, _) = req.signature();
+        assert_eq!(k, ContainerKind::Chamber);
+        assert_eq!(c, Capacity::Tiny);
+    }
+}

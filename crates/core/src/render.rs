@@ -1,0 +1,329 @@
+//! Schedule rendering: ASCII Gantt charts and standalone SVG documents.
+//!
+//! Hybrid schedules have structure worth *seeing*: layer barriers, the
+//! indeterminate tail of each layer, device lanes, and transport holds.
+//! [`gantt`] prints a terminal-friendly chart; [`to_svg`] writes a
+//! self-contained SVG with one lane per device.
+
+use crate::{Assay, HybridSchedule};
+
+/// Renders an ASCII Gantt chart, one row per device per layer.
+///
+/// `width` is the target chart width in characters (the time axis is
+/// scaled to fit); each slot is drawn as `[####>>]` where `#` is execution
+/// and `>` the reserved transport, indeterminate operations end with `~`.
+///
+/// # Panics
+///
+/// Panics if an op in the schedule is foreign to `assay`.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_core::{render, Assay, Duration, Operation, SynthConfig, Synthesizer};
+///
+/// let mut assay = Assay::new("demo");
+/// assay.add_op(Operation::new("mix").with_duration(Duration::fixed(8)));
+/// let result = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+/// let chart = render::gantt(&assay, &result.schedule, 60);
+/// assert!(chart.contains("layer 0"));
+/// assert!(chart.contains("d0"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn gantt(assay: &Assay, schedule: &HybridSchedule, width: usize) -> String {
+    let width = width.max(20);
+    let mut out = String::new();
+    for (li, layer) in schedule.layers.iter().enumerate() {
+        let span = layer
+            .ops
+            .iter()
+            .map(|s| s.release_time())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let scale = |t: u64| ((t as usize) * (width - 1)) / span as usize;
+        out.push_str(&format!(
+            "layer {li} (makespan {}m{})\n",
+            layer.makespan(),
+            if layer.has_indeterminate(assay) {
+                ", ends indeterminate"
+            } else {
+                ""
+            }
+        ));
+        let mut devices: Vec<usize> = layer.ops.iter().map(|s| s.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        for d in devices {
+            let mut lane = vec![b'.'; width];
+            for slot in layer.ops.iter().filter(|s| s.device == d) {
+                let a = scale(slot.start);
+                let b = scale(slot.finish()).max(a + 1);
+                let c = scale(slot.release_time()).max(b);
+                for cell in lane.iter_mut().take(b).skip(a) {
+                    *cell = b'#';
+                }
+                for cell in lane.iter_mut().take(c).skip(b) {
+                    *cell = b'>';
+                }
+                if assay.op(slot.op).is_indeterminate() && b > 0 {
+                    lane[b - 1] = b'~';
+                }
+            }
+            out.push_str(&format!(
+                "  d{d:<3} {}\n",
+                String::from_utf8(lane).expect("ascii lane")
+            ));
+        }
+        // Legend of slots for this layer.
+        for slot in &layer.ops {
+            out.push_str(&format!(
+                "    {:>4}..{:<4} d{} {}\n",
+                slot.start,
+                slot.finish(),
+                slot.device,
+                assay.op(slot.op).name()
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the schedule as a standalone SVG document: one horizontal lane
+/// per device, one column block per layer (separated by barrier lines),
+/// fixed durations in solid colour and indeterminate tails hatched.
+pub fn to_svg(assay: &Assay, schedule: &HybridSchedule) -> String {
+    const PX_PER_MIN: f64 = 4.0;
+    const LANE_H: i64 = 26;
+    const GAP: f64 = 14.0;
+    const LEFT: f64 = 60.0;
+
+    let n_devices = schedule.devices.len().max(1);
+    let mut x_cursor = LEFT;
+    let mut blocks: Vec<(f64, &crate::LayerSchedule)> = Vec::new();
+    for layer in &schedule.layers {
+        blocks.push((x_cursor, layer));
+        let span = layer
+            .ops
+            .iter()
+            .map(|s| s.release_time())
+            .max()
+            .unwrap_or(0);
+        x_cursor += span as f64 * PX_PER_MIN + GAP;
+    }
+    let total_w = x_cursor + 20.0;
+    let total_h = (n_devices as i64 + 2) * LANE_H;
+
+    let mut s = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w:.0}\" height=\"{total_h}\" \
+         viewBox=\"0 0 {total_w:.0} {total_h}\" font-family=\"monospace\" font-size=\"11\">\n"
+    );
+    // Device lane labels and guide lines.
+    for d in 0..n_devices {
+        let y = (d as i64 + 1) * LANE_H;
+        s.push_str(&format!(
+            "  <text x=\"4\" y=\"{}\">d{d}</text>\n  <line x1=\"{LEFT}\" y1=\"{y}\" x2=\"{:.0}\" y2=\"{y}\" stroke=\"#ddd\"/>\n",
+            y + 4,
+            total_w - 10.0
+        ));
+    }
+    for (x0, layer) in &blocks {
+        // Barrier line at block start.
+        s.push_str(&format!(
+            "  <line x1=\"{x0:.1}\" y1=\"{LANE_H}\" x2=\"{x0:.1}\" y2=\"{}\" stroke=\"#888\" stroke-dasharray=\"4 3\"/>\n",
+            (n_devices as i64 + 1) * LANE_H
+        ));
+        for slot in &layer.ops {
+            let y = (slot.device as i64 + 1) * LANE_H - 9;
+            let x = x0 + slot.start as f64 * PX_PER_MIN;
+            let w_exec = (slot.duration as f64 * PX_PER_MIN).max(2.0);
+            let w_tr = slot.transport as f64 * PX_PER_MIN;
+            let ind = assay.op(slot.op).is_indeterminate();
+            let fill = if ind { "#e5a34b" } else { "#5b8dd6" };
+            s.push_str(&format!(
+                "  <rect x=\"{x:.1}\" y=\"{y}\" width=\"{w_exec:.1}\" height=\"18\" fill=\"{fill}\" stroke=\"#333\"><title>{}</title></rect>\n",
+                xml_escape(assay.op(slot.op).name())
+            ));
+            if w_tr > 0.0 {
+                s.push_str(&format!(
+                    "  <rect x=\"{:.1}\" y=\"{y}\" width=\"{w_tr:.1}\" height=\"18\" fill=\"#bbb\" stroke=\"#333\"/>\n",
+                    x + w_exec
+                ));
+            }
+            if ind {
+                s.push_str(&format!(
+                    "  <text x=\"{:.1}\" y=\"{}\">~</text>\n",
+                    x + w_exec + 2.0,
+                    y + 13
+                ));
+            }
+        }
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+
+/// Renders the assay DAG in Graphviz DOT format, optionally clustering
+/// operations by layer (pass the layering produced by
+/// [`layer_assay`](crate::layer_assay)). Indeterminate operations are
+/// drawn as doubled ellipses; edges are reagent dependencies.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_core::{render, layer_assay, Assay, Duration, Operation};
+///
+/// let mut assay = Assay::new("demo");
+/// let a = assay.add_op(Operation::new("prep").with_duration(Duration::fixed(2)));
+/// let b = assay.add_op(Operation::new("capture").with_duration(Duration::at_least(3)));
+/// assay.add_dependency(a, b)?;
+/// let layering = layer_assay(&assay, 10)?;
+/// let dot = render::dot(&assay, Some(&layering));
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("cluster_layer_0"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn dot(assay: &Assay, layering: Option<&crate::Layering>) -> String {
+    let mut s = format!("digraph \"{}\" {{\n  rankdir=TB;\n  node [shape=ellipse, fontname=\"monospace\"];\n", assay.name());
+    let node = |id: crate::OpId| -> String {
+        let op = assay.op(id);
+        let peripheries = if op.is_indeterminate() { 2 } else { 1 };
+        format!(
+            "    o{} [label=\"{}\\n{}\", peripheries={peripheries}];\n",
+            id.index(),
+            dot_escape(op.name()),
+            op.duration()
+        )
+    };
+    match layering {
+        Some(l) => {
+            for (li, layer) in l.layers().iter().enumerate() {
+                s.push_str(&format!(
+                    "  subgraph cluster_layer_{li} {{\n    label=\"layer {li}\";\n    style=dashed;\n"
+                ));
+                for &op in layer {
+                    s.push_str(&node(op));
+                }
+                s.push_str("  }\n");
+            }
+        }
+        None => {
+            for id in assay.op_ids() {
+                s.push_str(&node(id));
+            }
+        }
+    }
+    for (p, c) in assay.dependencies() {
+        s.push_str(&format!("  o{} -> o{};\n", p.index(), c.index()));
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, Operation, SynthConfig, Synthesizer};
+
+    fn demo() -> (Assay, HybridSchedule) {
+        let mut a = Assay::new("demo");
+        let x = a.add_op(Operation::new("mix & heat").with_duration(Duration::fixed(8)));
+        let y = a.add_op(Operation::new("capture").with_duration(Duration::at_least(3)));
+        let z = a.add_op(Operation::new("read").with_duration(Duration::fixed(4)));
+        a.add_dependency(x, y).unwrap();
+        a.add_dependency(y, z).unwrap();
+        let r = Synthesizer::new(SynthConfig::default()).run(&a).unwrap();
+        (a, r.schedule)
+    }
+
+    #[test]
+    fn gantt_contains_all_layers_and_ops() {
+        let (a, s) = demo();
+        let chart = gantt(&a, &s, 72);
+        for li in 0..s.layers.len() {
+            assert!(chart.contains(&format!("layer {li}")), "{chart}");
+        }
+        for (_, op) in a.iter() {
+            assert!(chart.contains(op.name()), "missing {}", op.name());
+        }
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn gantt_marks_indeterminate_tail() {
+        let (a, s) = demo();
+        let chart = gantt(&a, &s, 72);
+        assert!(chart.contains('~'), "{chart}");
+    }
+
+    #[test]
+    fn gantt_handles_tiny_width() {
+        let (a, s) = demo();
+        // Width below the floor is clamped, not a panic.
+        let chart = gantt(&a, &s, 1);
+        assert!(!chart.is_empty());
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let (a, s) = demo();
+        let svg = to_svg(&a, &s);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.matches("<rect").count() >= a.len());
+        // One dashed barrier per layer.
+        assert_eq!(svg.matches("stroke-dasharray").count(), s.layers.len());
+    }
+
+    #[test]
+    fn svg_escapes_names() {
+        let (a, s) = demo();
+        let svg = to_svg(&a, &s);
+        assert!(svg.contains("mix &amp; heat"));
+        assert!(!svg.contains("mix & heat"));
+    }
+
+
+    #[test]
+    fn dot_renders_nodes_edges_and_clusters() {
+        let (a, _) = demo();
+        let layering = crate::layer_assay(&a, 10).unwrap();
+        let text = dot(&a, Some(&layering));
+        assert!(text.starts_with("digraph"));
+        assert_eq!(text.matches(" -> ").count(), a.dependencies().count());
+        for li in 0..layering.num_layers() {
+            assert!(text.contains(&format!("cluster_layer_{li}")));
+        }
+        // Indeterminate op drawn doubled.
+        assert!(text.contains("peripheries=2"));
+        // Flat rendering works too.
+        let flat = dot(&a, None);
+        assert!(!flat.contains("cluster"));
+        assert_eq!(flat.matches(" -> ").count(), a.dependencies().count());
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut a = Assay::new("q");
+        a.add_op(Operation::new("say \"hi\"").with_duration(Duration::fixed(1)));
+        let text = dot(&a, None);
+        assert!(text.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let a = Assay::new("empty");
+        let r = Synthesizer::new(SynthConfig::default()).run(&a).unwrap();
+        assert!(gantt(&a, &r.schedule, 40).is_empty());
+        assert!(to_svg(&a, &r.schedule).starts_with("<svg"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Hybrid schedules: per-layer sub-schedules plus chip-level resources.
+
+use crate::{Assay, CoreError, OpId};
+use mfhls_chip::{DeviceConfig, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One operation's slot in a sub-schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledOp {
+    /// The operation.
+    pub op: OpId,
+    /// Index of the device it is bound to.
+    pub device: usize,
+    /// Start time within the layer (time units from the layer barrier).
+    pub start: u64,
+    /// Scheduled duration (the minimum for indeterminate operations).
+    pub duration: u64,
+    /// Transport time `t_p` reserved after the operation (eq. 10–11 hold
+    /// the device through transport).
+    pub transport: u64,
+}
+
+impl ScheduledOp {
+    /// Time at which the device becomes free again: `start + duration +
+    /// transport`.
+    pub fn release_time(&self) -> u64 {
+        self.start + self.duration + self.transport
+    }
+
+    /// Completion time of the operation itself (excluding transport).
+    pub fn finish(&self) -> u64 {
+        self.start + self.duration
+    }
+}
+
+/// The fixed sub-schedule of one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LayerSchedule {
+    /// Slots, sorted by (start, op).
+    pub ops: Vec<ScheduledOp>,
+}
+
+impl LayerSchedule {
+    /// Creates a layer schedule, normalising slot order.
+    pub fn new(mut ops: Vec<ScheduledOp>) -> Self {
+        ops.sort_by_key(|s| (s.start, s.op));
+        LayerSchedule { ops }
+    }
+
+    /// Fixed makespan of the layer: the latest finish over all slots,
+    /// counting indeterminate operations at their minimum duration.
+    pub fn makespan(&self) -> u64 {
+        self.ops.iter().map(|s| s.finish()).max().unwrap_or(0)
+    }
+
+    /// The slot of `op`, if scheduled in this layer.
+    pub fn slot(&self, op: OpId) -> Option<&ScheduledOp> {
+        self.ops.iter().find(|s| s.op == op)
+    }
+
+    /// Whether the layer ends with at least one indeterminate operation.
+    pub fn has_indeterminate(&self, assay: &Assay) -> bool {
+        self.ops.iter().any(|s| assay.op(s.op).is_indeterminate())
+    }
+}
+
+/// Total assay execution time in the hybrid accounting of Table 2:
+/// a fixed part (minutes) plus one symbolic extra `I_k` per layer that ends
+/// with indeterminate operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecTime {
+    /// Sum of fixed layer makespans (indeterminate ops at minimum duration).
+    pub fixed: u64,
+    /// Indices (1-based, as printed) of layers contributing an `I_k` extra.
+    pub indeterminate_layers: Vec<usize>,
+}
+
+impl std::fmt::Display for ExecTime {
+    /// Formats as the paper does, e.g. `492m+I1+I2`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}m", self.fixed)?;
+        for k in &self.indeterminate_layers {
+            write!(f, "+I{k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete hybrid-scheduling solution: one fixed sub-schedule per layer,
+/// the instantiated devices, and the transportation paths between them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridSchedule {
+    /// Per-layer sub-schedules, in execution order.
+    pub layers: Vec<LayerSchedule>,
+    /// Device configurations, indexed by the device ids in the slots.
+    pub devices: Vec<DeviceConfig>,
+    /// Distinct transportation paths (unordered device-index pairs).
+    pub paths: BTreeSet<(usize, usize)>,
+}
+
+impl HybridSchedule {
+    /// Total execution time in hybrid accounting.
+    pub fn exec_time(&self, assay: &Assay) -> ExecTime {
+        ExecTime {
+            fixed: self.layers.iter().map(LayerSchedule::makespan).sum(),
+            indeterminate_layers: self
+                .layers
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.has_indeterminate(assay))
+                .map(|(i, _)| i + 1)
+                .collect(),
+        }
+    }
+
+    /// Number of devices actually used by at least one operation.
+    pub fn used_device_count(&self) -> usize {
+        let used: BTreeSet<usize> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.ops.iter().map(|s| s.device))
+            .collect();
+        used.len()
+    }
+
+    /// Number of distinct transportation paths (`sum_p`).
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The slot of `op`, searching all layers.
+    pub fn slot(&self, op: OpId) -> Option<&ScheduledOp> {
+        self.layers.iter().find_map(|l| l.slot(op))
+    }
+
+    /// The device index bound to each operation, indexed by op id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some operation of `assay` is missing from the schedule
+    /// (validate first).
+    pub fn device_of(&self, assay: &Assay) -> Vec<usize> {
+        assay
+            .op_ids()
+            .map(|o| self.slot(o).expect("op scheduled").device)
+            .collect()
+    }
+
+    /// Builds a chip netlist (devices + per-path transfer counts) from the
+    /// binding, for layout estimation and SVG export.
+    pub fn to_netlist(&self, assay: &Assay) -> Netlist {
+        let mut net = Netlist::new();
+        let ids: Vec<_> = self
+            .devices
+            .iter()
+            .map(|cfg| net.add_device(*cfg))
+            .collect();
+        for (p, c) in assay.dependencies() {
+            if let (Some(sp), Some(sc)) = (self.slot(p), self.slot(c)) {
+                net.record_transfer(ids[sp.device], ids[sc.device])
+                    .expect("device ids are dense");
+            }
+        }
+        net
+    }
+
+    /// Validates the schedule against every paper constraint; see
+    /// [`crate::validate::validate_schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchedule`] describing the first violated
+    /// constraint.
+    pub fn validate(&self, assay: &Assay) -> Result<(), CoreError> {
+        crate::validate::validate_schedule(assay, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, Operation};
+
+    #[test]
+    fn release_and_finish() {
+        let s = ScheduledOp {
+            op: OpId(0),
+            device: 0,
+            start: 5,
+            duration: 10,
+            transport: 2,
+        };
+        assert_eq!(s.finish(), 15);
+        assert_eq!(s.release_time(), 17);
+    }
+
+    #[test]
+    fn layer_makespan() {
+        let l = LayerSchedule::new(vec![
+            ScheduledOp {
+                op: OpId(1),
+                device: 0,
+                start: 0,
+                duration: 4,
+                transport: 1,
+            },
+            ScheduledOp {
+                op: OpId(0),
+                device: 1,
+                start: 2,
+                duration: 5,
+                transport: 0,
+            },
+        ]);
+        assert_eq!(l.makespan(), 7);
+        // Normalised order: by start.
+        assert_eq!(l.ops[0].op, OpId(1));
+    }
+
+    #[test]
+    fn exec_time_display() {
+        let t = ExecTime {
+            fixed: 492,
+            indeterminate_layers: vec![1, 2],
+        };
+        assert_eq!(t.to_string(), "492m+I1+I2");
+        let t2 = ExecTime {
+            fixed: 225,
+            indeterminate_layers: vec![],
+        };
+        assert_eq!(t2.to_string(), "225m");
+    }
+
+    #[test]
+    fn schedule_metrics() {
+        let mut assay = Assay::new("t");
+        let a = assay.add_op(Operation::new("a").with_duration(Duration::fixed(4)));
+        let b = assay.add_op(Operation::new("b").with_duration(Duration::at_least(2)));
+        assay.add_dependency(a, b).unwrap();
+
+        let sched = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![
+                ScheduledOp {
+                    op: a,
+                    device: 0,
+                    start: 0,
+                    duration: 4,
+                    transport: 1,
+                },
+                ScheduledOp {
+                    op: b,
+                    device: 1,
+                    start: 5,
+                    duration: 2,
+                    transport: 0,
+                },
+            ])],
+            devices: vec![
+                mfhls_chip::DeviceConfig::new(
+                    mfhls_chip::ContainerKind::Chamber,
+                    mfhls_chip::Capacity::Small,
+                    mfhls_chip::AccessorySet::empty(),
+                )
+                .unwrap();
+                2
+            ],
+            paths: [(0, 1)].into_iter().collect(),
+        };
+        assert_eq!(sched.used_device_count(), 2);
+        assert_eq!(sched.path_count(), 1);
+        let t = sched.exec_time(&assay);
+        assert_eq!(t.fixed, 7);
+        assert_eq!(t.indeterminate_layers, vec![1]);
+        assert_eq!(sched.device_of(&assay), vec![0, 1]);
+        let net = sched.to_netlist(&assay);
+        assert_eq!(net.path_count(), 1);
+    }
+}

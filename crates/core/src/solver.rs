@@ -1,0 +1,116 @@
+//! The layer-solver abstraction: exact ILP, scalable heuristic, or hybrid.
+
+use crate::{CoreError, LayerProblem, ScheduledOp};
+use mfhls_chip::DeviceConfig;
+use std::collections::BTreeSet;
+
+/// Solution of one layer's scheduling & binding problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSolution {
+    /// One slot per operation of the layer.
+    pub slots: Vec<ScheduledOp>,
+    /// The complete device list after this layer (existing devices first,
+    /// with unchanged configs; devices created by this layer appended).
+    pub devices: Vec<DeviceConfig>,
+    /// Indices (into `devices`) of the devices created by this layer.
+    pub new_devices: Vec<usize>,
+    /// Paths introduced by this layer's transfers (unordered index pairs),
+    /// including paths to cross-layer parent devices.
+    pub new_paths: BTreeSet<(usize, usize)>,
+    /// The weighted objective value this solution was costed at.
+    pub objective: u64,
+}
+
+impl LayerSolution {
+    /// Fixed makespan of the layer (indeterminate ops at minimum duration).
+    pub fn makespan(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.start + s.duration)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A strategy for solving one layer.
+pub trait LayerSolver {
+    /// Solves the layer problem.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`CoreError::DeviceBudgetExhausted`] when an
+    /// operation cannot be bound within `problem.max_devices`, and solver
+    /// back-end errors as [`CoreError::Ilp`].
+    fn solve(&self, problem: &LayerProblem<'_>) -> Result<LayerSolution, CoreError>;
+}
+
+/// Built-in solver strategies.
+#[derive(Debug, Clone)]
+pub enum SolverKind {
+    /// Priority list scheduling + greedy binding + re-binding improvement.
+    /// Scales to the paper's 120-operation cases.
+    Heuristic {
+        /// Number of re-binding improvement passes (0 = construction only).
+        improvement_passes: usize,
+    },
+    /// The faithful ILP model of §4, solved exactly by `mfhls-ilp`.
+    /// Practical for small layers (≲ 10 operations, few devices).
+    Ilp {
+        /// Branch-and-bound node budget.
+        max_nodes: usize,
+    },
+    /// Run the heuristic, then attempt the ILP within the given node budget
+    /// (only when the layer is small enough), and keep the better solution.
+    Hybrid {
+        /// Node budget for the ILP attempt.
+        max_nodes: usize,
+        /// Only attempt the ILP when the layer has at most this many ops.
+        ilp_op_limit: usize,
+        /// Heuristic improvement passes.
+        improvement_passes: usize,
+    },
+}
+
+impl Default for SolverKind {
+    fn default() -> Self {
+        SolverKind::Heuristic {
+            improvement_passes: 2,
+        }
+    }
+}
+
+impl LayerSolver for SolverKind {
+    fn solve(&self, problem: &LayerProblem<'_>) -> Result<LayerSolution, CoreError> {
+        match *self {
+            SolverKind::Heuristic { improvement_passes } => {
+                crate::heuristic::HeuristicLayerSolver { improvement_passes }.solve(problem)
+            }
+            SolverKind::Ilp { max_nodes } => crate::ilp_model::IlpLayerSolver {
+                max_nodes,
+                ..crate::ilp_model::IlpLayerSolver::default()
+            }
+            .solve(problem),
+            SolverKind::Hybrid {
+                max_nodes,
+                ilp_op_limit,
+                improvement_passes,
+            } => {
+                let heur = crate::heuristic::HeuristicLayerSolver { improvement_passes }
+                    .solve(problem)?;
+                if problem.ops.len() > ilp_op_limit {
+                    return Ok(heur);
+                }
+                let exact = crate::ilp_model::IlpLayerSolver {
+                    max_nodes,
+                    time_limit: Some(std::time::Duration::from_secs(10)),
+                    cutoff: Some(heur.objective),
+                }
+                .solve(problem);
+                match exact {
+                    Ok(exact) if exact.objective < heur.objective => Ok(exact),
+                    _ => Ok(heur),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Reagent-transportation time estimation (§4.1).
+//!
+//! Transportation time depends on channel lengths, which are only known
+//! after physical layout — i.e. *after* high-level synthesis. The paper's
+//! compromise: every operation starts with a user constant `t`; after each
+//! synthesis iteration the per-operation times are refined to terms of a
+//! user-defined arithmetic progression, such that operations whose
+//! transfers ride heavily-used (hence short) paths get shorter times, and
+//! operations whose children share their device get 0.
+
+use crate::{Assay, OpId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An arithmetic progression of candidate transport times: `terms` values
+/// evenly spaced from `min` to `max` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Progression {
+    /// Smallest term (busiest path).
+    pub min: u64,
+    /// Largest term (least used path).
+    pub max: u64,
+    /// Number of terms (>= 1).
+    pub terms: usize,
+}
+
+impl Progression {
+    /// The `k`-th term, `k` in `0..terms`, rounded to the nearest unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= terms` or `terms == 0` or `min > max`.
+    pub fn term(&self, k: usize) -> u64 {
+        assert!(self.terms >= 1, "progression needs at least one term");
+        assert!(k < self.terms, "term index {k} out of range {}", self.terms);
+        assert!(self.min <= self.max, "progression min > max");
+        if self.terms == 1 {
+            return self.min;
+        }
+        let span = self.max - self.min;
+        self.min + (span * k as u64 + (self.terms as u64 - 1) / 2) / (self.terms as u64 - 1)
+    }
+
+    /// Maps a usage rank (`0` = busiest) among `total` ranked paths onto a
+    /// term.
+    pub fn term_for_rank(&self, rank: usize, total: usize) -> u64 {
+        if total <= 1 {
+            return self.min;
+        }
+        let k = rank * (self.terms - 1) / (total - 1);
+        self.term(k)
+    }
+}
+
+impl Default for Progression {
+    fn default() -> Self {
+        Progression {
+            min: 1,
+            max: 5,
+            terms: 5,
+        }
+    }
+}
+
+/// User configuration for transport estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// The constant `t` assigned to every operation before the first
+    /// synthesis pass.
+    pub initial: u64,
+    /// The refinement progression.
+    pub progression: Progression,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            initial: 3,
+            progression: Progression::default(),
+        }
+    }
+}
+
+/// Per-operation transportation times `t_p` (eq. 9).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportTimes {
+    per_op: Vec<u64>,
+}
+
+impl TransportTimes {
+    /// The uniform initial estimate for every operation of `assay`.
+    pub fn initial(assay: &Assay, config: &TransportConfig) -> Self {
+        TransportTimes {
+            per_op: vec![config.initial; assay.len()],
+        }
+    }
+
+    /// Transport time of `op`'s outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is foreign.
+    pub fn of(&self, op: OpId) -> u64 {
+        self.per_op[op.index()]
+    }
+
+    /// Refines the estimates from a binding solution (§4.1):
+    ///
+    /// * `device_of[op]` — the device index each operation is bound to;
+    /// * paths are ranked by usage (transfer count, both directions); the
+    ///   busiest path gets the progression's smallest term;
+    /// * an operation whose children all share its device gets 0;
+    /// * an operation with several differently-bound children takes the
+    ///   *largest* term among its used paths (its device is busy until the
+    ///   slowest transfer completes);
+    /// * childless operations get 0 (nothing to transport).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device_of.len() != assay.len()`.
+    pub fn refined(assay: &Assay, config: &TransportConfig, device_of: &[usize]) -> Self {
+        assert_eq!(device_of.len(), assay.len(), "binding length mismatch");
+        // Path usage over unordered device pairs.
+        let mut usage: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for (p, c) in assay.dependencies() {
+            let (dp, dc) = (device_of[p.index()], device_of[c.index()]);
+            if dp != dc {
+                *usage.entry(key(dp, dc)).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<((usize, usize), u64)> =
+            usage.iter().map(|(&k, &v)| (k, v)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let rank_of: BTreeMap<(usize, usize), usize> = ranked
+            .iter()
+            .enumerate()
+            .map(|(r, &(k, _))| (k, r))
+            .collect();
+        let total = ranked.len();
+
+        let per_op = assay
+            .op_ids()
+            .map(|op| {
+                let dp = device_of[op.index()];
+                assay
+                    .children(op)
+                    .iter()
+                    .filter_map(|c| {
+                        let dc = device_of[c.index()];
+                        if dc == dp {
+                            None
+                        } else {
+                            let rank = rank_of[&key(dp, dc)];
+                            Some(config.progression.term_for_rank(rank, total))
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        TransportTimes { per_op }
+    }
+}
+
+fn key(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, Operation};
+
+    fn chain_assay(n: usize) -> Assay {
+        let mut a = Assay::new("chain");
+        let ids: Vec<OpId> = (0..n)
+            .map(|k| a.add_op(Operation::new(&format!("o{k}")).with_duration(Duration::fixed(1))))
+            .collect();
+        for w in ids.windows(2) {
+            a.add_dependency(w[0], w[1]).unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn progression_terms() {
+        let p = Progression {
+            min: 1,
+            max: 5,
+            terms: 5,
+        };
+        assert_eq!((0..5).map(|k| p.term(k)).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        let single = Progression {
+            min: 4,
+            max: 9,
+            terms: 1,
+        };
+        assert_eq!(single.term(0), 4);
+    }
+
+    #[test]
+    fn progression_rounds_to_nearest() {
+        let p = Progression {
+            min: 0,
+            max: 10,
+            terms: 4,
+        }; // exact terms 0, 10/3, 20/3, 10
+        assert_eq!((0..4).map(|k| p.term(k)).collect::<Vec<_>>(), vec![0, 3, 7, 10]);
+    }
+
+    #[test]
+    fn rank_mapping_extremes() {
+        let p = Progression {
+            min: 1,
+            max: 5,
+            terms: 5,
+        };
+        assert_eq!(p.term_for_rank(0, 10), 1);
+        assert_eq!(p.term_for_rank(9, 10), 5);
+        assert_eq!(p.term_for_rank(0, 1), 1);
+    }
+
+    #[test]
+    fn initial_is_uniform() {
+        let a = chain_assay(3);
+        let t = TransportTimes::initial(&a, &TransportConfig::default());
+        for op in a.op_ids() {
+            assert_eq!(t.of(op), 3);
+        }
+    }
+
+    #[test]
+    fn same_device_children_get_zero() {
+        let a = chain_assay(3);
+        let t = TransportTimes::refined(&a, &TransportConfig::default(), &[0, 0, 0]);
+        for op in a.op_ids() {
+            assert_eq!(t.of(op), 0);
+        }
+    }
+
+    #[test]
+    fn childless_ops_get_zero() {
+        let a = chain_assay(2);
+        let t = TransportTimes::refined(&a, &TransportConfig::default(), &[0, 1]);
+        assert_eq!(t.of(OpId(1)), 0);
+    }
+
+    #[test]
+    fn busier_paths_get_shorter_times() {
+        // Star: op0 feeds ops 1..4 on device 1 (3 transfers), and op 5 on
+        // device 2 (1 transfer). Path (0,1) is busier than (0,2).
+        let mut a = Assay::new("star");
+        let hub = a.add_op(Operation::new("hub").with_duration(Duration::fixed(1)));
+        let mut children = Vec::new();
+        for k in 0..4 {
+            let c = a.add_op(Operation::new(&format!("c{k}")).with_duration(Duration::fixed(1)));
+            a.add_dependency(hub, c).unwrap();
+            children.push(c);
+        }
+        // hub on device 0; first 3 children on device 1; last on device 2.
+        let device_of = vec![0, 1, 1, 1, 2];
+        let cfg = TransportConfig::default();
+        let t = TransportTimes::refined(&a, &cfg, &device_of);
+        // hub uses both paths: takes the max (the slow one).
+        assert_eq!(t.of(hub), cfg.progression.max);
+
+        // Single-child op on the busy path alone would get the min term:
+        let mut b = Assay::new("pair");
+        let x = b.add_op(Operation::new("x").with_duration(Duration::fixed(1)));
+        let y = b.add_op(Operation::new("y").with_duration(Duration::fixed(1)));
+        b.add_dependency(x, y).unwrap();
+        let t2 = TransportTimes::refined(&b, &cfg, &[0, 1]);
+        assert_eq!(t2.of(x), cfg.progression.min);
+    }
+
+    #[test]
+    fn refinement_is_deterministic() {
+        let a = chain_assay(6);
+        let binding = vec![0, 1, 0, 2, 1, 0];
+        let cfg = TransportConfig::default();
+        let t1 = TransportTimes::refined(&a, &cfg, &binding);
+        let t2 = TransportTimes::refined(&a, &cfg, &binding);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,351 @@
+//! Schedule validation against the paper's constraint system.
+//!
+//! Every solver in this crate — exact or heuristic — must produce schedules
+//! that pass this validator. It re-checks, verbatim:
+//!
+//! * binding consistence (eqs. 5–8): one device per op, container kind,
+//!   capacity class and accessories all satisfied;
+//! * operation dependency (eq. 9): within a layer, a child starts no
+//!   earlier than parent start + duration + parent transport; across
+//!   layers, the parent's layer strictly precedes for indeterminate
+//!   parents and never follows for determinate ones;
+//! * device-conflict prevention (eqs. 10–13): same-device slots in a layer
+//!   never overlap, where a slot holds its device until
+//!   `start + duration + transport`;
+//! * indeterminate-at-end (eq. 14): every op in a layer starts no later
+//!   than any indeterminate op's start + minimum duration, and
+//!   indeterminate ops have no same-layer children;
+//! * transportation paths (eq. 21): every differently-bound dependency pair
+//!   has its path recorded.
+
+use crate::{Assay, CoreError, HybridSchedule};
+
+/// Validates `schedule` against `assay`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSchedule`] naming the first violated
+/// constraint (with the paper's equation number where applicable).
+pub fn validate_schedule(assay: &Assay, schedule: &HybridSchedule) -> Result<(), CoreError> {
+    let err = |m: String| Err(CoreError::InvalidSchedule(m));
+
+    // Coverage: each op in exactly one layer.
+    let mut layer_of = vec![usize::MAX; assay.len()];
+    for (li, layer) in schedule.layers.iter().enumerate() {
+        for slot in &layer.ops {
+            let i = slot.op.index();
+            if i >= assay.len() {
+                return err(format!("slot references foreign op {}", slot.op));
+            }
+            if layer_of[i] != usize::MAX {
+                return err(format!("{} scheduled twice", slot.op));
+            }
+            layer_of[i] = li;
+        }
+    }
+    if let Some(missing) = layer_of.iter().position(|&l| l == usize::MAX) {
+        return err(format!("o{missing} is not scheduled"));
+    }
+
+    for layer in &schedule.layers {
+        for slot in &layer.ops {
+            let op = assay.op(slot.op);
+            // Binding consistence (eqs. 5-8).
+            let Some(cfg) = schedule.devices.get(slot.device) else {
+                return err(format!("{} bound to unknown device {}", slot.op, slot.device));
+            };
+            if !cfg.satisfies(op.requirements()) {
+                return err(format!(
+                    "eq.5-8: {} ({}) bound to incompatible device {} ({cfg})",
+                    slot.op,
+                    op.requirements().accessories,
+                    slot.device,
+                ));
+            }
+            // Declared duration must match the component-oriented definition.
+            if slot.duration != op.duration().min_duration() {
+                return err(format!(
+                    "{} scheduled for {} but defined as {}",
+                    slot.op,
+                    slot.duration,
+                    op.duration()
+                ));
+            }
+        }
+    }
+
+    // Dependencies (eq. 9 within layers; ordering across layers).
+    for (p, c) in assay.dependencies() {
+        let (lp, lc) = (layer_of[p.index()], layer_of[c.index()]);
+        if lp > lc {
+            return err(format!("dependency {p}->{c} crosses layers backwards"));
+        }
+        if assay.op(p).is_indeterminate() && lp == lc {
+            return err(format!(
+                "indeterminate {p} has child {c} in the same layer (eq. 14 precondition)"
+            ));
+        }
+        if lp == lc {
+            let sp = schedule.slot(p).expect("covered above");
+            let sc = schedule.slot(c).expect("covered above");
+            if sc.start < sp.start + sp.duration + sp.transport {
+                return err(format!(
+                    "eq.9: {c} starts at {} before {p} finishes+transport at {}",
+                    sc.start,
+                    sp.start + sp.duration + sp.transport
+                ));
+            }
+        }
+    }
+
+    // Device conflicts (eqs. 10-13) within each layer.
+    for (li, layer) in schedule.layers.iter().enumerate() {
+        for (i, a) in layer.ops.iter().enumerate() {
+            for b in &layer.ops[i + 1..] {
+                if a.device != b.device {
+                    continue;
+                }
+                let disjoint =
+                    a.release_time() <= b.start || b.release_time() <= a.start;
+                if !disjoint {
+                    return err(format!(
+                        "eq.10-13: {} and {} overlap on device {} in layer {li}",
+                        a.op, b.op, a.device
+                    ));
+                }
+            }
+        }
+    }
+
+    // Indeterminate at the end (eq. 14).
+    for layer in &schedule.layers {
+        for ind in &layer.ops {
+            if !assay.op(ind.op).is_indeterminate() {
+                continue;
+            }
+            for other in &layer.ops {
+                if other.start > ind.start + ind.duration {
+                    return err(format!(
+                        "eq.14: {} starts at {} after indeterminate {} could finish at {}",
+                        other.op,
+                        other.start,
+                        ind.op,
+                        ind.start + ind.duration
+                    ));
+                }
+            }
+        }
+        // Indeterminate ops need exclusive devices at the layer tail: two
+        // indeterminate ops on one device cannot both be "running last".
+        let inds: Vec<_> = layer
+            .ops
+            .iter()
+            .filter(|s| assay.op(s.op).is_indeterminate())
+            .collect();
+        for (i, a) in inds.iter().enumerate() {
+            for b in &inds[i + 1..] {
+                if a.device == b.device {
+                    return err(format!(
+                        "indeterminate {} and {} share device {}",
+                        a.op, b.op, a.device
+                    ));
+                }
+            }
+        }
+    }
+
+    // Paths (eq. 21).
+    for (p, c) in assay.dependencies() {
+        let sp = schedule.slot(p).expect("covered");
+        let sc = schedule.slot(c).expect("covered");
+        if sp.device != sc.device {
+            let key = crate::problem::path_key(sp.device, sc.device);
+            if !schedule.paths.contains(&key) {
+                return err(format!(
+                    "eq.21: missing path {:?} for dependency {p}->{c}",
+                    key
+                ));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, LayerSchedule, Operation, ScheduledOp};
+    use mfhls_chip::{AccessorySet, Capacity, ContainerKind, DeviceConfig};
+
+    fn chamber() -> DeviceConfig {
+        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+    }
+
+    fn two_op_assay() -> (Assay, crate::OpId, crate::OpId) {
+        let mut a = Assay::new("t");
+        let x = a.add_op(Operation::new("x").with_duration(Duration::fixed(4)));
+        let y = a.add_op(Operation::new("y").with_duration(Duration::fixed(2)));
+        a.add_dependency(x, y).unwrap();
+        (a, x, y)
+    }
+
+    fn slot(op: crate::OpId, device: usize, start: u64, duration: u64, transport: u64) -> ScheduledOp {
+        ScheduledOp {
+            op,
+            device,
+            start,
+            duration,
+            transport,
+        }
+    }
+
+    #[test]
+    fn accepts_valid_schedule() {
+        let (a, x, y) = two_op_assay();
+        let s = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![
+                slot(x, 0, 0, 4, 1),
+                slot(y, 1, 5, 2, 0),
+            ])],
+            devices: vec![chamber(), chamber()],
+            paths: [(0, 1)].into_iter().collect(),
+        };
+        assert!(validate_schedule(&a, &s).is_ok());
+    }
+
+    #[test]
+    fn rejects_eq9_violation() {
+        let (a, x, y) = two_op_assay();
+        let s = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![
+                slot(x, 0, 0, 4, 1),
+                slot(y, 1, 4, 2, 0), // starts during x's transport
+            ])],
+            devices: vec![chamber(), chamber()],
+            paths: [(0, 1)].into_iter().collect(),
+        };
+        let e = validate_schedule(&a, &s).unwrap_err();
+        assert!(e.to_string().contains("eq.9"), "{e}");
+    }
+
+    #[test]
+    fn rejects_device_conflict() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(Operation::new("x").with_duration(Duration::fixed(4)));
+        let y = a.add_op(Operation::new("y").with_duration(Duration::fixed(4)));
+        let s = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![
+                slot(x, 0, 0, 4, 0),
+                slot(y, 0, 3, 4, 0),
+            ])],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        let e = validate_schedule(&a, &s).unwrap_err();
+        assert!(e.to_string().contains("eq.10-13"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_path() {
+        let (a, x, y) = two_op_assay();
+        let s = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![
+                slot(x, 0, 0, 4, 1),
+                slot(y, 1, 5, 2, 0),
+            ])],
+            devices: vec![chamber(), chamber()],
+            paths: Default::default(),
+        };
+        let e = validate_schedule(&a, &s).unwrap_err();
+        assert!(e.to_string().contains("eq.21"), "{e}");
+    }
+
+    #[test]
+    fn rejects_incompatible_binding() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(
+            Operation::new("x")
+                .container(ContainerKind::Ring)
+                .with_duration(Duration::fixed(1)),
+        );
+        let s = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![slot(x, 0, 0, 1, 0)])],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        let e = validate_schedule(&a, &s).unwrap_err();
+        assert!(e.to_string().contains("eq.5-8"), "{e}");
+    }
+
+    #[test]
+    fn rejects_eq14_violation() {
+        let mut a = Assay::new("t");
+        let ind = a.add_op(Operation::new("capture").with_duration(Duration::at_least(2)));
+        let late = a.add_op(Operation::new("late").with_duration(Duration::fixed(1)));
+        let s = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![
+                slot(ind, 0, 0, 2, 0),
+                slot(late, 1, 5, 1, 0), // starts after ind could end
+            ])],
+            devices: vec![chamber(), chamber()],
+            paths: Default::default(),
+        };
+        let e = validate_schedule(&a, &s).unwrap_err();
+        assert!(e.to_string().contains("eq.14"), "{e}");
+    }
+
+    #[test]
+    fn rejects_indeterminate_sharing_device() {
+        let mut a = Assay::new("t");
+        let i1 = a.add_op(Operation::new("i1").with_duration(Duration::at_least(5)));
+        let i2 = a.add_op(Operation::new("i2").with_duration(Duration::at_least(5)));
+        let s = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![
+                slot(i1, 0, 0, 5, 0),
+                slot(i2, 0, 5, 5, 0),
+            ])],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        assert!(validate_schedule(&a, &s).is_err());
+    }
+
+    #[test]
+    fn rejects_unscheduled_op() {
+        let (a, x, _) = two_op_assay();
+        let s = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![slot(x, 0, 0, 4, 0)])],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        assert!(validate_schedule(&a, &s).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_op() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(Operation::new("x").with_duration(Duration::fixed(1)));
+        let s = HybridSchedule {
+            layers: vec![
+                LayerSchedule::new(vec![slot(x, 0, 0, 1, 0)]),
+                LayerSchedule::new(vec![slot(x, 0, 0, 1, 0)]),
+            ],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        assert!(validate_schedule(&a, &s).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_duration() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(Operation::new("x").with_duration(Duration::fixed(9)));
+        let s = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![slot(x, 0, 0, 3, 0)])],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        assert!(validate_schedule(&a, &s).is_err());
+    }
+}

@@ -1,0 +1,780 @@
+//! A small text format for component-oriented assay descriptions.
+//!
+//! The component-oriented operation definition of §2.2 (container,
+//! capacity, accessories, duration, dependencies) maps naturally onto a
+//! human-writable format:
+//!
+//! ```text
+//! assay "kinase demo"
+//!
+//! op load "load bead column" {
+//!     container: chamber
+//!     capacity: medium
+//!     accessories: [sieve-valve]
+//!     duration: 8m
+//! }
+//!
+//! op capture {
+//!     accessories: [cell-trap, optical-system]
+//!     duration: >= 3m
+//!     after: [load]
+//! }
+//! ```
+//!
+//! Each `op` has an identifier (used by `after`), an optional quoted
+//! display name, and `key: value` attributes in any order. Durations are
+//! minutes; `>=` marks an indeterminate duration with a minimum.
+//!
+//! `repeat N { ... }` instantiates a block of ops `N` times — the
+//! replication mechanism the paper uses to scale its benchmarks ("we
+//! introduce replicated operations with the same protocol of the original
+//! assay"). Instance `k` of `op x` becomes `x_k`; `after` references to
+//! idents defined inside the block bind within the same instance, outer
+//! references bind globally:
+//!
+//! ```text
+//! assay "scaled"
+//! op beads { duration: 8m }
+//! repeat 10 {
+//!     op capture { duration: >= 3m after: [beads] }
+//!     op detect  { duration: 5m   after: [capture] }
+//! }
+//! ```
+//!
+//! [`parse`] builds an [`Assay`]; [`to_text`] prints one back out
+//! (round-trip stable, which the test-suite checks property-style).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mfhls_chip::{Accessory, Capacity, ContainerKind};
+use mfhls_core::{Assay, Duration, OpId, Operation};
+use std::collections::BTreeMap;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error was detected on.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Number(u64),
+    Minutes(u64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Colon,
+    Comma,
+    Ge,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0, line: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        for c in self.src[self.pos..self.pos + n].chars() {
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        self.pos += n;
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            let rest = self.rest();
+            if let Some(c) = rest.chars().next() {
+                if c.is_whitespace() {
+                    self.bump(c.len_utf8());
+                    continue;
+                }
+                if rest.starts_with('#') {
+                    let n = rest.find('\n').unwrap_or(rest.len());
+                    self.bump(n);
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize)>, ParseError> {
+        self.skip_trivia();
+        let line = self.line;
+        let rest = self.rest();
+        let Some(c) = rest.chars().next() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            '{' => {
+                self.bump(1);
+                Token::LBrace
+            }
+            '}' => {
+                self.bump(1);
+                Token::RBrace
+            }
+            '[' => {
+                self.bump(1);
+                Token::LBracket
+            }
+            ']' => {
+                self.bump(1);
+                Token::RBracket
+            }
+            ':' => {
+                self.bump(1);
+                Token::Colon
+            }
+            ',' => {
+                self.bump(1);
+                Token::Comma
+            }
+            '>' => {
+                if rest.starts_with(">=") {
+                    self.bump(2);
+                    Token::Ge
+                } else {
+                    return Err(self.error("expected '>='"));
+                }
+            }
+            '"' => {
+                let body = &rest[1..];
+                let Some(end) = body.find('"') else {
+                    return Err(self.error("unterminated string"));
+                };
+                let s = body[..end].to_owned();
+                self.bump(end + 2);
+                Token::Str(s)
+            }
+            d if d.is_ascii_digit() => {
+                let n = rest
+                    .find(|ch: char| !ch.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                let value: u64 = rest[..n]
+                    .parse()
+                    .map_err(|_| self.error("number out of range"))?;
+                self.bump(n);
+                if self.rest().starts_with('m') {
+                    self.bump(1);
+                    Token::Minutes(value)
+                } else {
+                    Token::Number(value)
+                }
+            }
+            a if a.is_alphabetic() || a == '_' => {
+                let n = rest
+                    .find(|ch: char| !(ch.is_alphanumeric() || ch == '_' || ch == '-'))
+                    .unwrap_or(rest.len());
+                let word = rest[..n].to_owned();
+                self.bump(n);
+                Token::Ident(word)
+            }
+            other => return Err(self.error(format!("unexpected character {other:?}"))),
+        };
+        Ok(Some((tok, line)))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    cursor: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.cursor).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.cursor.min(self.tokens.len().saturating_sub(1)))
+            .map(|&(_, l)| l)
+            .unwrap_or(1)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.cursor).map(|(t, _)| t.clone());
+        self.cursor += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == *want => Ok(()),
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Parses an assay description.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line for syntax errors,
+/// unknown keywords/values, duplicate or missing op identifiers, and
+/// dependency cycles.
+///
+/// # Example
+///
+/// ```
+/// let text = r#"
+/// assay "demo"
+/// op mix { container: ring capacity: medium accessories: [pump] duration: 10m }
+/// op detect { accessories: [optical-system] duration: 5m after: [mix] }
+/// "#;
+/// let assay = mfhls_dsl::parse(text)?;
+/// assert_eq!(assay.len(), 2);
+/// assert_eq!(assay.name(), "demo");
+/// # Ok::<(), mfhls_dsl::ParseError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Assay, ParseError> {
+    let mut lexer = Lexer::new(text);
+    let mut tokens = Vec::new();
+    while let Some(t) = lexer.next_token()? {
+        tokens.push(t);
+    }
+    let mut p = Parser { tokens, cursor: 0 };
+
+    match p.next() {
+        Some(Token::Ident(kw)) if kw == "assay" => {}
+        _ => {
+            return Err(p.error("file must start with: assay \"name\""));
+        }
+    }
+    let name = match p.next() {
+        Some(Token::Str(s)) => s,
+        _ => return Err(p.error("expected quoted assay name")),
+    };
+    let mut assay = Assay::new(&name);
+    let mut ids: BTreeMap<String, OpId> = BTreeMap::new();
+    let mut deferred_deps: Vec<(String, OpId, usize)> = Vec::new();
+
+    let register =
+        |assay: &mut Assay,
+         ids: &mut BTreeMap<String, OpId>,
+         deferred: &mut Vec<(String, OpId, usize)>,
+         parsed: ParsedOp,
+         line: usize|
+         -> Result<(), ParseError> {
+            if ids.contains_key(&parsed.ident) {
+                return Err(ParseError {
+                    line,
+                    message: format!("duplicate op identifier '{}'", parsed.ident),
+                });
+            }
+            let id = assay.add_op(parsed.op);
+            ids.insert(parsed.ident, id);
+            for (parent, l) in parsed.after {
+                deferred.push((parent, id, l));
+            }
+            Ok(())
+        };
+
+    while let Some(tok) = p.next() {
+        match tok {
+            Token::Ident(kw) if kw == "op" => {
+                let line = p.line();
+                let parsed = parse_op(&mut p)?;
+                register(&mut assay, &mut ids, &mut deferred_deps, parsed, line)?;
+            }
+            Token::Ident(kw) if kw == "repeat" => {
+                let count = match p.next() {
+                    Some(Token::Number(n)) | Some(Token::Minutes(n)) => n,
+                    other => {
+                        return Err(p.error(format!("expected repeat count, found {other:?}")))
+                    }
+                };
+                p.expect(&Token::LBrace, "'{'")?;
+                let mut templates: Vec<ParsedOp> = Vec::new();
+                loop {
+                    match p.next() {
+                        Some(Token::RBrace) => break,
+                        Some(Token::Ident(kw)) if kw == "op" => {
+                            templates.push(parse_op(&mut p)?);
+                        }
+                        other => {
+                            return Err(p.error(format!(
+                                "expected 'op' or '}}' inside repeat, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                let local: std::collections::BTreeSet<&str> =
+                    templates.iter().map(|t| t.ident.as_str()).collect();
+                for k in 1..=count {
+                    for template in &templates {
+                        let mut inst = template.clone();
+                        inst.ident = format!("{}_{k}", template.ident);
+                        // Instance-tagged display name.
+                        inst.op = rename(&template.op, &format!("{} ({k})", template.op.name()));
+                        inst.after = template
+                            .after
+                            .iter()
+                            .map(|(parent, l)| {
+                                if local.contains(parent.as_str()) {
+                                    (format!("{parent}_{k}"), *l)
+                                } else {
+                                    (parent.clone(), *l)
+                                }
+                            })
+                            .collect();
+                        let line = p.line();
+                        register(&mut assay, &mut ids, &mut deferred_deps, inst, line)?;
+                    }
+                }
+            }
+            other => return Err(p.error(format!("expected 'op' or 'repeat', found {other:?}"))),
+        }
+    }
+
+    for (parent, child, line) in deferred_deps {
+        let Some(&pid) = ids.get(&parent) else {
+            return Err(ParseError {
+                line,
+                message: format!("unknown op identifier '{parent}' in after list"),
+            });
+        };
+        assay.add_dependency(pid, child).map_err(|e| ParseError {
+            line,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(assay)
+}
+
+/// Clones `op` with a different display name.
+fn rename(op: &Operation, name: &str) -> Operation {
+    Operation::new(name)
+        .requirements_from(*op.requirements())
+        .with_duration(op.duration())
+}
+
+/// One parsed `op` item, before registration.
+#[derive(Debug, Clone)]
+struct ParsedOp {
+    ident: String,
+    op: Operation,
+    after: Vec<(String, usize)>,
+}
+
+/// Parses one `op <ident> ["display"] { attrs }` item; the leading `op`
+/// keyword has already been consumed.
+fn parse_op(p: &mut Parser) -> Result<ParsedOp, ParseError> {
+    let ident = p.expect_ident("op identifier")?;
+    {
+        let display = match p.peek() {
+            Some(Token::Str(_)) => match p.next() {
+                Some(Token::Str(s)) => Some(s),
+                _ => unreachable!("peeked a string"),
+            },
+            _ => None,
+        };
+        p.expect(&Token::LBrace, "'{'")?;
+        let mut op = Operation::new(display.as_deref().unwrap_or(&ident));
+        let mut after: Vec<(String, usize)> = Vec::new();
+                loop {
+                    match p.next() {
+                        Some(Token::RBrace) => break,
+                        Some(Token::Ident(key)) => {
+                            p.expect(&Token::Colon, "':'")?;
+                            match key.as_str() {
+                                "container" => {
+                                    let v = p.expect_ident("container kind")?;
+                                    op = op.container(match v.as_str() {
+                                        "ring" => ContainerKind::Ring,
+                                        "chamber" => ContainerKind::Chamber,
+                                        other => {
+                                            return Err(p.error(format!(
+                                                "unknown container '{other}' (ring|chamber)"
+                                            )))
+                                        }
+                                    });
+                                }
+                                "capacity" => {
+                                    let v = p.expect_ident("capacity")?;
+                                    op = op.capacity(match v.as_str() {
+                                        "large" => Capacity::Large,
+                                        "medium" => Capacity::Medium,
+                                        "small" => Capacity::Small,
+                                        "tiny" => Capacity::Tiny,
+                                        other => {
+                                            return Err(p.error(format!(
+                                                "unknown capacity '{other}' (large|medium|small|tiny)"
+                                            )))
+                                        }
+                                    });
+                                }
+                                "accessories" => {
+                                    p.expect(&Token::LBracket, "'['")?;
+                                    loop {
+                                        match p.next() {
+                                            Some(Token::RBracket) => break,
+                                            Some(Token::Comma) => continue,
+                                            Some(Token::Ident(a)) => {
+                                                op = op.accessory(parse_accessory(&a).ok_or_else(
+                                                    || p.error(format!("unknown accessory '{a}'")),
+                                                )?);
+                                            }
+                                            other => {
+                                                return Err(p.error(format!(
+                                                    "expected accessory, found {other:?}"
+                                                )))
+                                            }
+                                        }
+                                    }
+                                }
+                                "duration" => {
+                                    let indeterminate = matches!(p.peek(), Some(Token::Ge));
+                                    if indeterminate {
+                                        p.next();
+                                    }
+                                    let minutes = match p.next() {
+                                        Some(Token::Minutes(v)) | Some(Token::Number(v)) => v,
+                                        other => {
+                                            return Err(p.error(format!(
+                                                "expected duration in minutes, found {other:?}"
+                                            )))
+                                        }
+                                    };
+                                    op = op.with_duration(if indeterminate {
+                                        Duration::at_least(minutes)
+                                    } else {
+                                        Duration::fixed(minutes)
+                                    });
+                                }
+                                "after" => {
+                                    p.expect(&Token::LBracket, "'['")?;
+                                    loop {
+                                        match p.next() {
+                                            Some(Token::RBracket) => break,
+                                            Some(Token::Comma) => continue,
+                                            Some(Token::Ident(parent)) => {
+                                                after.push((parent, p.line()));
+                                            }
+                                            other => {
+                                                return Err(p.error(format!(
+                                                    "expected op identifier, found {other:?}"
+                                                )))
+                                            }
+                                        }
+                                    }
+                                }
+                                other => {
+                                    return Err(p.error(format!(
+                                        "unknown attribute '{other}' \
+                                         (container|capacity|accessories|duration|after)"
+                                    )))
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(p.error(format!("expected attribute or '}}', found {other:?}")))
+                        }
+                    }
+                }
+        Ok(ParsedOp { ident, op, after })
+    }
+}
+
+fn parse_accessory(s: &str) -> Option<Accessory> {
+    match s.replace('_', "-").as_str() {
+        "pump" => Some(Accessory::Pump),
+        "heating-pad" => Some(Accessory::HeatingPad),
+        "optical-system" => Some(Accessory::OpticalSystem),
+        "sieve-valve" => Some(Accessory::SieveValve),
+        "cell-trap" => Some(Accessory::CellTrap),
+        _ => None,
+    }
+}
+
+/// Prints an assay in the DSL format; [`parse`] of the output reproduces
+/// the assay (ids are `o0`, `o1`, … in operation order).
+///
+/// # Example
+///
+/// ```
+/// use mfhls_core::{Assay, Duration, Operation};
+///
+/// let mut a = Assay::new("round trip");
+/// a.add_op(Operation::new("mix").with_duration(Duration::fixed(3)));
+/// let text = mfhls_dsl::to_text(&a);
+/// let back = mfhls_dsl::parse(&text)?;
+/// assert_eq!(back.len(), 1);
+/// # Ok::<(), mfhls_dsl::ParseError>(())
+/// ```
+pub fn to_text(assay: &Assay) -> String {
+    let mut out = format!("assay \"{}\"\n", assay.name());
+    for (id, op) in assay.iter() {
+        out.push_str(&format!("\nop o{} \"{}\" {{\n", id.index(), op.name()));
+        let req = op.requirements();
+        if let Some(kind) = req.container {
+            out.push_str(&format!("    container: {kind}\n"));
+        }
+        if let Some(cap) = req.capacity {
+            out.push_str(&format!("    capacity: {cap}\n"));
+        }
+        if !req.accessories.is_empty() {
+            let list: Vec<String> = req.accessories.iter().map(|a| a.to_string()).collect();
+            out.push_str(&format!("    accessories: [{}]\n", list.join(", ")));
+        }
+        match op.duration() {
+            Duration::Fixed(d) => out.push_str(&format!("    duration: {d}m\n")),
+            Duration::Indeterminate { min } => {
+                out.push_str(&format!("    duration: >= {min}m\n"))
+            }
+        }
+        let parents = assay.parents(id);
+        if !parents.is_empty() {
+            let list: Vec<String> = parents.iter().map(|p| format!("o{}", p.index())).collect();
+            out.push_str(&format!("    after: [{}]\n", list.join(", ")));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A commented sample.
+assay "sample"
+
+op load "load beads" {
+    container: chamber
+    capacity: medium
+    accessories: [sieve-valve]
+    duration: 8m
+}
+
+op capture {
+    accessories: [cell_trap, optical_system]
+    duration: >= 3m
+    after: [load]
+}
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let a = parse(SAMPLE).unwrap();
+        assert_eq!(a.name(), "sample");
+        assert_eq!(a.len(), 2);
+        let load = a.op(OpId(0));
+        assert_eq!(load.name(), "load beads");
+        assert_eq!(load.requirements().container, Some(ContainerKind::Chamber));
+        assert_eq!(load.requirements().capacity, Some(Capacity::Medium));
+        assert!(load.requirements().accessories.contains(Accessory::SieveValve));
+        assert_eq!(load.duration(), Duration::fixed(8));
+        let cap = a.op(OpId(1));
+        assert_eq!(cap.name(), "capture");
+        assert!(cap.is_indeterminate());
+        assert!(cap.requirements().accessories.contains(Accessory::CellTrap));
+        assert_eq!(a.parents(OpId(1)), vec![OpId(0)]);
+    }
+
+    #[test]
+    fn underscores_and_dashes_both_work() {
+        for name in ["cell_trap", "cell-trap"] {
+            let t = format!("assay \"x\"\nop a {{ accessories: [{name}] duration: 1m }}");
+            let a = parse(&t).unwrap();
+            assert!(a.op(OpId(0)).requirements().accessories.contains(Accessory::CellTrap));
+        }
+    }
+
+    #[test]
+    fn duration_without_m_suffix() {
+        let a = parse("assay \"x\"\nop a { duration: 5 }").unwrap();
+        assert_eq!(a.op(OpId(0)).duration(), Duration::fixed(5));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let text = "assay \"x\"\nop a {\n    bogus: 1\n}";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_parent_is_an_error() {
+        let e = parse("assay \"x\"\nop a { duration: 1m after: [ghost] }").unwrap_err();
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_ident_is_an_error() {
+        let e = parse("assay \"x\"\nop a { duration: 1m }\nop a { duration: 2m }").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn cycle_is_an_error() {
+        // Self-dependency is the smallest cycle expressible.
+        let e = parse("assay \"x\"\nop a { duration: 1m after: [a] }").unwrap_err();
+        assert!(e.message.contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(parse("op a { duration: 1m }").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse("assay \"x").is_err());
+    }
+
+
+    #[test]
+    fn repeat_block_instantiates() {
+        let text = r#"
+assay "scaled"
+op beads { duration: 8m }
+repeat 3 {
+    op capture { duration: >= 3m after: [beads] }
+    op detect { duration: 5m after: [capture] }
+}
+"#;
+        let a = parse(text).unwrap();
+        assert_eq!(a.len(), 1 + 3 * 2);
+        // Instance naming: capture (1) .. capture (3).
+        let names: Vec<&str> = a.iter().map(|(_, op)| op.name()).collect();
+        assert!(names.contains(&"capture (2)"));
+        assert!(names.contains(&"detect (3)"));
+        // All captures hang off the shared beads op; detects off their own
+        // instance's capture.
+        let beads = OpId(0);
+        assert_eq!(a.children(beads).len(), 3);
+        for k in 0..3 {
+            let capture = OpId(1 + 2 * k);
+            let detect = OpId(2 + 2 * k);
+            assert_eq!(a.parents(detect), vec![capture]);
+        }
+        // The scaled assay layers like the paper's replicated cases.
+        let l = mfhls_core::layer_assay(&a, 10).unwrap();
+        assert_eq!(l.num_layers(), 2);
+    }
+
+    #[test]
+    fn repeat_rejects_cross_instance_duplicates() {
+        // The same ident appearing at top level and inside repeat collides
+        // after suffixing only if identical; x vs x_1 do not collide.
+        let text = r#"
+assay "t"
+op x_1 { duration: 1m }
+repeat 1 {
+    op x { duration: 1m }
+}
+"#;
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn repeat_zero_is_empty() {
+        let a = parse("assay \"t\"\nrepeat 0 { op x { duration: 1m } }").unwrap();
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn repeat_requires_count() {
+        assert!(parse("assay \"t\"\nrepeat { op x { duration: 1m } }").is_err());
+    }
+
+    #[test]
+    fn nested_repeat_is_rejected() {
+        let text = "assay \"t\"\nrepeat 2 { repeat 2 { op x { duration: 1m } } }";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        let a = parse(SAMPLE).unwrap();
+        let text = to_text(&a);
+        let b = parse(&text).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.dependencies().collect::<Vec<_>>(),
+            b.dependencies().collect::<Vec<_>>()
+        );
+        for (id, op) in a.iter() {
+            let op2 = b.op(id);
+            assert_eq!(op.requirements(), op2.requirements());
+            assert_eq!(op.duration(), op2.duration());
+            assert_eq!(op.name(), op2.name());
+        }
+    }
+
+    #[test]
+    fn round_trip_benchmarks() {
+        // The benchmark generators produce names with spaces/parentheses;
+        // the quoted-name syntax must carry them.
+        for (case, _, a) in mfhls_assays::benchmarks() {
+            let text = to_text(&a);
+            let b = parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}"));
+            assert_eq!(a.len(), b.len());
+            assert_eq!(
+                a.dependencies().collect::<Vec<_>>(),
+                b.dependencies().collect::<Vec<_>>(),
+                "case {case}"
+            );
+        }
+    }
+}

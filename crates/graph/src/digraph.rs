@@ -1,0 +1,214 @@
+//! Compact adjacency-list directed graph.
+
+use crate::GraphError;
+
+/// A directed graph on nodes `0..n` with adjacency lists in both directions.
+///
+/// Parallel edges are permitted (and deduplicated on demand by callers);
+/// self-loops are rejected because every user of this type represents a
+/// dependency relation.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_graph::Digraph;
+///
+/// let mut g = Digraph::new(3);
+/// g.add_edge(0, 1).unwrap();
+/// g.add_edge(1, 2).unwrap();
+/// assert_eq!(g.successors(1), &[2]);
+/// assert_eq!(g.predecessors(1), &[0]);
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Digraph {
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl Digraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Creates a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n` or an edge is a self-loop.
+    pub fn from_edges<I: IntoIterator<Item = (usize, usize)>>(n: usize, edges: I) -> Self {
+        let mut g = Digraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v).expect("invalid edge in from_edges");
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds the edge `u -> v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is out of range,
+    /// and [`GraphError::Cycle`] for a self-loop (the smallest cycle).
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        let n = self.node_count();
+        for x in [u, v] {
+            if x >= n {
+                return Err(GraphError::NodeOutOfRange { node: x, len: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::Cycle(u));
+        }
+        self.succ[u].push(v);
+        self.pred[v].push(u);
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// Direct successors (children) of `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.succ[u]
+    }
+
+    /// Direct predecessors (parents) of `u`.
+    pub fn predecessors(&self, u: usize) -> &[usize] {
+        &self.pred[u]
+    }
+
+    /// Iterates over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Nodes with no predecessors.
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.node_count())
+            .filter(|&u| self.pred[u].is_empty())
+            .collect()
+    }
+
+    /// Nodes with no successors.
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.node_count())
+            .filter(|&u| self.succ[u].is_empty())
+            .collect()
+    }
+
+    /// Returns the subgraph induced by `keep` (a sorted, deduplicated node
+    /// list), together with the mapping from new index to old index.
+    ///
+    /// Edges between kept nodes are preserved; all others are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` contains an out-of-range node.
+    pub fn induced_subgraph(&self, keep: &[usize]) -> (Digraph, Vec<usize>) {
+        let mut new_of_old = vec![usize::MAX; self.node_count()];
+        for (new, &old) in keep.iter().enumerate() {
+            assert!(old < self.node_count(), "node {old} out of range");
+            new_of_old[old] = new;
+        }
+        let mut g = Digraph::new(keep.len());
+        for (u, v) in self.edges() {
+            let (nu, nv) = (new_of_old[u], new_of_old[v]);
+            if nu != usize::MAX && nv != usize::MAX {
+                g.add_edge(nu, nv).expect("subgraph edge");
+            }
+        }
+        (g, keep.to_vec())
+    }
+
+    /// Returns a graph with every edge reversed.
+    pub fn reversed(&self) -> Digraph {
+        Digraph {
+            succ: self.pred.clone(),
+            pred: self.succ.clone(),
+            edges: self.edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.predecessors(3), &[1, 2]);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Digraph::new(2);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::Cycle(1)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Digraph::new(2);
+        assert_eq!(
+            g.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { node: 5, len: 2 })
+        );
+    }
+
+    #[test]
+    fn edges_iterator_matches_adjacency() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2)]);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Digraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let (sub, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(sub.successors(0), &[1]); // old 1 -> old 2
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2)]);
+        let r = g.reversed();
+        assert_eq!(r.successors(2), &[1]);
+        assert_eq!(r.successors(1), &[0]);
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Digraph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert!(g.sources().is_empty());
+    }
+}

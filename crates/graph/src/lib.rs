@@ -1,0 +1,71 @@
+//! Directed-graph substrate for the `mfhls` workspace.
+//!
+//! The synthesis flow of the DAC'17 paper relies on a handful of classic
+//! graph algorithms, all of which are implemented here from scratch:
+//!
+//! * [`Digraph`] — a compact adjacency-list directed graph with predecessor
+//!   and successor views, used to represent bioassay dependency DAGs.
+//! * [`topo::topological_sort`] — Kahn's algorithm with deterministic
+//!   tie-breaking, plus cycle detection.
+//! * [`reach`] — ancestor/descendant closures computed over [`BitSet`]s.
+//! * [`maxflow::MaxFlow`] — Edmonds–Karp maximum flow with minimum-cut
+//!   extraction (the paper cites the Ford–Fulkerson method \[23\]).
+//! * [`closure_cut`] — the *project-selection* construction used by the
+//!   layering algorithm's resource-based eviction: a minimum cut on a DAG
+//!   whose sink side is closed under successors.
+//!
+//! # Example
+//!
+//! ```
+//! use mfhls_graph::Digraph;
+//!
+//! // A diamond DAG: 0 -> {1, 2} -> 3.
+//! let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+//! let order = mfhls_graph::topo::topological_sort(&g).expect("acyclic");
+//! assert_eq!(order[0], 0);
+//! assert_eq!(order[3], 3);
+//! let desc = mfhls_graph::reach::descendants(&g, 0);
+//! assert_eq!(desc.iter().count(), 3); // 1, 2, 3
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod digraph;
+
+pub mod closure_cut;
+pub mod maxflow;
+pub mod reach;
+pub mod reduction;
+pub mod topo;
+
+pub use bitset::BitSet;
+pub use digraph::Digraph;
+
+/// Errors produced by graph algorithms in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph contains a cycle; the payload is one node on the cycle.
+    Cycle(usize),
+    /// A node index was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Cycle(n) => write!(f, "graph contains a cycle through node {n}"),
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node index {node} out of range for graph with {len} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

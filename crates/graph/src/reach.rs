@@ -1,0 +1,144 @@
+//! Ancestor / descendant closures over DAG dependency relations.
+
+use crate::{BitSet, Digraph};
+
+/// All nodes reachable from `start` by following successor edges, *excluding*
+/// `start` itself — i.e. the descendant operations `D(o)` of the paper.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_graph::{Digraph, reach};
+///
+/// let g = Digraph::from_edges(4, [(0, 1), (1, 2), (3, 2)]);
+/// let d = reach::descendants(&g, 0);
+/// assert!(d.contains(1) && d.contains(2) && !d.contains(0) && !d.contains(3));
+/// ```
+pub fn descendants(g: &Digraph, start: usize) -> BitSet {
+    closure(g, start, Direction::Forward)
+}
+
+/// All nodes that can reach `start`, *excluding* `start` itself — the
+/// ancestor operations `A(o)` of the paper.
+pub fn ancestors(g: &Digraph, start: usize) -> BitSet {
+    closure(g, start, Direction::Backward)
+}
+
+/// Descendant closure of every node, computed in one reverse-topological
+/// sweep. `result[u]` excludes `u` itself.
+///
+/// Falls back to per-node BFS if the graph is cyclic (closures are still
+/// well-defined for reachability).
+pub fn all_descendants(g: &Digraph) -> Vec<BitSet> {
+    let n = g.node_count();
+    match crate::topo::topological_sort(g) {
+        Ok(order) => {
+            let mut sets: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+            for &u in order.iter().rev() {
+                // Clone out to appease the borrow checker; sets are small.
+                let mut acc = BitSet::new(n);
+                for &v in g.successors(u) {
+                    acc.insert(v);
+                    acc.union_with(&sets[v]);
+                }
+                sets[u] = acc;
+            }
+            sets
+        }
+        Err(_) => (0..n).map(|u| descendants(g, u)).collect(),
+    }
+}
+
+/// Ancestor closure of every node. `result[u]` excludes `u` itself.
+pub fn all_ancestors(g: &Digraph) -> Vec<BitSet> {
+    all_descendants(&g.reversed())
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn closure(g: &Digraph, start: usize, dir: Direction) -> BitSet {
+    let n = g.node_count();
+    assert!(start < n, "node {start} out of range for {n}-node graph");
+    let mut seen = BitSet::new(n);
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        let next = match dir {
+            Direction::Forward => g.successors(u),
+            Direction::Backward => g.predecessors(u),
+        };
+        for &v in next {
+            if seen.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    seen.remove(start);
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Digraph {
+        Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn descendants_of_root() {
+        let d = descendants(&diamond(), 0);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ancestors_of_sink() {
+        let a = ancestors(&diamond(), 3);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn closure_excludes_self() {
+        let g = diamond();
+        assert!(!descendants(&g, 0).contains(0));
+        assert!(!ancestors(&g, 3).contains(3));
+    }
+
+    #[test]
+    fn isolated_node_has_empty_closures() {
+        let g = Digraph::new(2);
+        assert!(descendants(&g, 0).is_empty());
+        assert!(ancestors(&g, 1).is_empty());
+    }
+
+    #[test]
+    fn all_descendants_matches_per_node() {
+        let g = Digraph::from_edges(6, [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2), (5, 4)]);
+        let all = all_descendants(&g);
+        for (u, set) in all.iter().enumerate() {
+            assert_eq!(set, &descendants(&g, u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn all_ancestors_matches_per_node() {
+        let g = Digraph::from_edges(6, [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2), (5, 4)]);
+        let all = all_ancestors(&g);
+        for (u, set) in all.iter().enumerate() {
+            assert_eq!(set, &ancestors(&g, u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_still_computes_reachability() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let d = descendants(&g, 0);
+        // 0 reaches 1, 2 (and itself via the cycle, but self is excluded).
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 2]);
+        let all = all_descendants(&g);
+        assert_eq!(all[0], d);
+    }
+}

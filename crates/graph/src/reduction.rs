@@ -1,0 +1,147 @@
+//! Transitive reduction of DAGs.
+//!
+//! Assay DAGs built from protocols (or the DSL) often carry redundant
+//! edges (`a -> c` alongside `a -> b -> c`); the reduction removes every
+//! edge implied by a longer path, which tightens rendering, shrinks
+//! eviction-cut inputs, and canonicalises dependency sets for comparison.
+
+use crate::{reach, topo, Digraph, GraphError};
+
+/// Computes the transitive reduction of a DAG: the unique minimal subgraph
+/// with the same reachability relation.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if `g` is not acyclic (the reduction is
+/// only unique for DAGs).
+///
+/// # Example
+///
+/// ```
+/// use mfhls_graph::{reduction, Digraph};
+///
+/// // a -> b -> c plus the redundant a -> c.
+/// let g = Digraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+/// let r = reduction::transitive_reduction(&g)?;
+/// assert_eq!(r.edge_count(), 2);
+/// assert_eq!(r.successors(0), &[1]);
+/// # Ok::<(), mfhls_graph::GraphError>(())
+/// ```
+pub fn transitive_reduction(g: &Digraph) -> Result<Digraph, GraphError> {
+    // Validate acyclicity first.
+    let _ = topo::topological_sort(g)?;
+    let n = g.node_count();
+    let desc = reach::all_descendants(g);
+    let mut out = Digraph::new(n);
+    for u in 0..n {
+        let mut kept: Vec<usize> = Vec::new();
+        // Deduplicate parallel edges.
+        let mut children: Vec<usize> = g.successors(u).to_vec();
+        children.sort_unstable();
+        children.dedup();
+        for &v in &children {
+            // u -> v is redundant iff some other child w of u reaches v.
+            let implied = children
+                .iter()
+                .any(|&w| w != v && desc[w].contains(v));
+            if !implied {
+                kept.push(v);
+            }
+        }
+        for v in kept {
+            out.add_edge(u, v)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Returns the redundant edges of a DAG — those removed by
+/// [`transitive_reduction`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if `g` is not acyclic.
+pub fn redundant_edges(g: &Digraph) -> Result<Vec<(usize, usize)>, GraphError> {
+    let reduced = transitive_reduction(g)?;
+    let mut seen: std::collections::BTreeSet<(usize, usize)> = Default::default();
+    let kept: std::collections::BTreeSet<(usize, usize)> = reduced.edges().collect();
+    let mut out = Vec::new();
+    for e in g.edges() {
+        if !kept.contains(&e) || !seen.insert(e) {
+            out.push(e);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_shortcut_edge() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let r = transitive_reduction(&g).unwrap();
+        assert_eq!(r.edge_count(), 2);
+        assert_eq!(redundant_edges(&g).unwrap(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn keeps_minimal_dag_unchanged() {
+        let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let r = transitive_reduction(&g).unwrap();
+        assert_eq!(
+            r.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn long_chain_with_all_shortcuts() {
+        // Complete DAG on 5 nodes reduces to the chain.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Digraph::from_edges(5, edges);
+        let r = transitive_reduction(&g).unwrap();
+        assert_eq!(r.edge_count(), 4);
+        for i in 0..4 {
+            assert_eq!(r.successors(i), &[i + 1]);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_are_deduplicated() {
+        let g = Digraph::from_edges(2, [(0, 1), (0, 1)]);
+        let r = transitive_reduction(&g).unwrap();
+        assert_eq!(r.edge_count(), 1);
+        assert_eq!(redundant_edges(&g).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let g = Digraph::from_edges(2, [(0, 1), (1, 0)]);
+        assert!(transitive_reduction(&g).is_err());
+    }
+
+    #[test]
+    fn reduction_preserves_reachability() {
+        use crate::reach;
+        let g = Digraph::from_edges(
+            7,
+            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4), (4, 5), (2, 6)],
+        );
+        let r = transitive_reduction(&g).unwrap();
+        for u in 0..7 {
+            assert_eq!(
+                reach::descendants(&g, u),
+                reach::descendants(&r, u),
+                "node {u}"
+            );
+        }
+        assert!(r.edge_count() < g.edge_count());
+    }
+}

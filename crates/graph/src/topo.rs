@@ -1,0 +1,251 @@
+//! Topological ordering and cycle detection (Kahn's algorithm).
+
+use crate::{Digraph, GraphError};
+
+/// Computes a topological order of `g` with deterministic tie-breaking
+/// (smallest node index first).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if the graph is cyclic; the payload is one
+/// node that lies on a cycle.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_graph::{Digraph, topo};
+///
+/// let g = Digraph::from_edges(3, [(2, 0), (0, 1)]);
+/// assert_eq!(topo::topological_sort(&g).unwrap(), vec![2, 0, 1]);
+/// ```
+pub fn topological_sort(g: &Digraph) -> Result<Vec<usize>, GraphError> {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|u| g.predecessors(u).len()).collect();
+    // A binary heap would give O(E log V); for the modest graphs in this
+    // workspace a sorted frontier kept as a BinaryHeap of Reverse is fine.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut ready: BinaryHeap<Reverse<usize>> = (0..n)
+        .filter(|&u| indeg[u] == 0)
+        .map(Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(u)) = ready.pop() {
+        order.push(u);
+        for &v in g.successors(u) {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                ready.push(Reverse(v));
+            }
+        }
+    }
+    if order.len() != n {
+        let on_cycle = (0..n).find(|&u| indeg[u] > 0).unwrap_or(0);
+        return Err(GraphError::Cycle(on_cycle));
+    }
+    Ok(order)
+}
+
+/// Returns `true` if `g` is a DAG.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_graph::{Digraph, topo};
+///
+/// let dag = Digraph::from_edges(2, [(0, 1)]);
+/// assert!(topo::is_acyclic(&dag));
+/// let cyc = Digraph::from_edges(2, [(0, 1), (1, 0)]);
+/// assert!(!topo::is_acyclic(&cyc));
+/// ```
+pub fn is_acyclic(g: &Digraph) -> bool {
+    topological_sort(g).is_ok()
+}
+
+/// Longest path length (in edges) ending at each node, a.k.a. *top level*.
+///
+/// Useful as an ASAP depth for list scheduling priorities.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if `g` is cyclic.
+pub fn top_levels(g: &Digraph) -> Result<Vec<usize>, GraphError> {
+    let order = topological_sort(g)?;
+    let mut level = vec![0usize; g.node_count()];
+    for &u in &order {
+        for &v in g.successors(u) {
+            level[v] = level[v].max(level[u] + 1);
+        }
+    }
+    Ok(level)
+}
+
+/// Longest weighted path from each node to any sink, where `weight[u]` is the
+/// cost of node `u` itself (its *bottom level*).
+///
+/// `bottom_level(u) = weight(u) + max over children of bottom_level(child)`.
+/// This is the standard critical-path priority for list scheduling.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if `g` is cyclic.
+///
+/// # Panics
+///
+/// Panics if `weight.len() != g.node_count()`.
+pub fn bottom_levels(g: &Digraph, weight: &[u64]) -> Result<Vec<u64>, GraphError> {
+    assert_eq!(weight.len(), g.node_count(), "weight length mismatch");
+    let order = topological_sort(g)?;
+    let mut bl = vec![0u64; g.node_count()];
+    for &u in order.iter().rev() {
+        let best_child = g.successors(u).iter().map(|&v| bl[v]).max().unwrap_or(0);
+        bl[u] = weight[u] + best_child;
+    }
+    Ok(bl)
+}
+
+
+/// Returns one explicit cycle (as a node sequence, first node repeated at
+/// the end) if `g` is cyclic, `None` for DAGs. Useful for error messages:
+/// "a -> b -> c -> a".
+///
+/// # Example
+///
+/// ```
+/// use mfhls_graph::{Digraph, topo};
+///
+/// let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// let cycle = topo::find_cycle(&g).expect("cyclic");
+/// assert_eq!(cycle.first(), cycle.last());
+/// assert_eq!(cycle.len(), 4); // 3 nodes + the repeat
+/// ```
+pub fn find_cycle(g: &Digraph) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = g.node_count();
+    let mut mark = vec![Mark::White; n];
+    let mut parent = vec![usize::MAX; n];
+    for root in 0..n {
+        if mark[root] != Mark::White {
+            continue;
+        }
+        // Iterative DFS with an explicit edge stack.
+        let mut stack = vec![(root, 0usize)];
+        mark[root] = Mark::Grey;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            if *next < g.successors(u).len() {
+                let v = g.successors(u)[*next];
+                *next += 1;
+                match mark[v] {
+                    Mark::Grey => {
+                        // Found a back edge u -> v: walk parents back to v.
+                        let mut cycle = vec![v, u];
+                        let mut cur = u;
+                        while cur != v {
+                            cur = parent[cur];
+                            cycle.push(cur);
+                        }
+                        // cycle = [v, u, ..., v] reversed into path order.
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Mark::White => {
+                        mark[v] = Mark::Grey;
+                        parent[v] = u;
+                        stack.push((v, 0));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                mark[u] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    #[test]
+    fn find_cycle_on_dag_is_none() {
+        let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn find_cycle_returns_closed_walk() {
+        let g = Digraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 1), (0, 4)]);
+        let cycle = find_cycle(&g).expect("cyclic");
+        assert_eq!(cycle.first(), cycle.last());
+        // Every consecutive pair is an edge.
+        for w in cycle.windows(2) {
+            assert!(g.successors(w[0]).contains(&w[1]), "{cycle:?}");
+        }
+        assert!(cycle.len() >= 3);
+    }
+
+    #[test]
+    fn find_cycle_in_disconnected_component() {
+        let g = Digraph::from_edges(6, [(0, 1), (3, 4), (4, 5), (5, 3)]);
+        let cycle = find_cycle(&g).expect("cyclic");
+        assert!(cycle.contains(&3) && cycle.contains(&4) && cycle.contains(&5));
+    }
+
+    #[test]
+    fn sorts_diamond() {
+        let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(topological_sort(&g).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(matches!(topological_sort(&g), Err(GraphError::Cycle(_))));
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // 3 independent nodes: order must be ascending.
+        let g = Digraph::new(3);
+        assert_eq!(topological_sort(&g).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn top_levels_of_chain() {
+        let g = Digraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(top_levels(&g).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn top_levels_takes_longest_path() {
+        // 0 -> 1 -> 3 and 0 -> 3: level(3) = 2.
+        let g = Digraph::from_edges(4, [(0, 1), (1, 3), (0, 3)]);
+        assert_eq!(top_levels(&g).unwrap()[3], 2);
+    }
+
+    #[test]
+    fn bottom_levels_critical_path() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, weights 5, 1, 10, 2.
+        let g = Digraph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let bl = bottom_levels(&g, &[5, 1, 10, 2]).unwrap();
+        assert_eq!(bl[3], 2);
+        assert_eq!(bl[1], 3);
+        assert_eq!(bl[2], 12);
+        assert_eq!(bl[0], 17); // 5 + max(3, 12)
+    }
+
+    #[test]
+    fn bottom_levels_empty_graph() {
+        let g = Digraph::new(0);
+        assert!(bottom_levels(&g, &[]).unwrap().is_empty());
+    }
+}

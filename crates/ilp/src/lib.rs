@@ -1,0 +1,92 @@
+//! A self-contained mixed-integer linear programming (MILP) solver.
+//!
+//! The DAC'17 paper solves its per-layer scheduling/binding model with the
+//! commercial Gurobi solver. No comparable solver is available to this
+//! reproduction, so this crate implements the required substrate from
+//! scratch:
+//!
+//! * [`Model`] — a builder API for variables ([`VarId`], [`VarKind`]), linear
+//!   expressions ([`LinExpr`] with operator overloading), constraints and a
+//!   linear objective.
+//! * [`simplex`] — a dense two-phase primal simplex for the LP relaxation
+//!   (Bland's rule, explicit bound rows; all variables must carry finite
+//!   bounds, which every model in this workspace does).
+//! * [`solve`] / [`BranchAndBound`] — depth-first branch-and-bound with
+//!   most-fractional branching, optional warm incumbents, and node/time
+//!   limits.
+//! * [`presolve`] — activity-based bound tightening and fixed-variable
+//!   detection.
+//!
+//! Exactness is verified in the test-suite against exhaustive enumeration on
+//! small integer programs; larger models should be given an incumbent and a
+//! node budget (see [`SolverConfig`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mfhls_ilp::{Model, Sense, SolverConfig};
+//!
+//! // maximize x + 2y  s.t. x + y <= 4, x - y >= -2, x,y integer in [0,10]
+//! let mut m = Model::minimize();
+//! let x = m.integer("x", 0.0, 10.0);
+//! let y = m.integer("y", 0.0, 10.0);
+//! m.add_con(x + y, Sense::Le, 4.0);
+//! m.add_con(x - y, Sense::Ge, -2.0);
+//! m.set_objective(-(x + 2.0 * y)); // minimize the negation
+//! let sol = mfhls_ilp::solve(&m, &SolverConfig::default()).unwrap();
+//! assert_eq!(sol.value(x).round(), 1.0);
+//! assert_eq!(sol.value(y).round(), 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+pub mod presolve;
+pub mod simplex;
+mod solver;
+pub mod write;
+
+pub use model::{LinExpr, Model, Sense, VarId, VarKind};
+pub use solver::{solve, BranchAndBound, MilpSolution, SolveStatus, SolverConfig};
+
+/// Errors returned by the solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlpError {
+    /// The model (or its LP relaxation) has no feasible point.
+    Infeasible,
+    /// A variable has an infinite bound; this solver requires finite bounds.
+    UnboundedVariable {
+        /// Index of the offending variable.
+        var: usize,
+    },
+    /// Node or time limit was exhausted before any integer-feasible point
+    /// was found.
+    LimitWithoutSolution,
+    /// The model references a variable id that does not belong to it.
+    ForeignVariable {
+        /// The offending variable index.
+        var: usize,
+        /// Number of variables in the model.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for IlpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IlpError::Infeasible => write!(f, "model is infeasible"),
+            IlpError::UnboundedVariable { var } => {
+                write!(f, "variable {var} has an infinite bound; finite bounds are required")
+            }
+            IlpError::LimitWithoutSolution => {
+                write!(f, "search limit reached before finding an integer-feasible solution")
+            }
+            IlpError::ForeignVariable { var, len } => {
+                write!(f, "variable id {var} out of range for model with {len} variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IlpError {}

@@ -1,0 +1,500 @@
+//! MILP model builder: variables, linear expressions, constraints.
+
+use std::collections::BTreeMap;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Identifier of a variable inside a [`Model`].
+///
+/// `VarId` implements the arithmetic operators, so variables can be combined
+/// directly into [`LinExpr`]s: `2.0 * x + y - 3.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The variable's index within its model (dense, starting at 0).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Domain of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Integer in `[0, 1]`.
+    Binary,
+}
+
+/// Comparison sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+impl std::fmt::Display for Sense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "==",
+        })
+    }
+}
+
+/// A linear expression `sum coeff_i * x_i + constant`.
+///
+/// Built by combining [`VarId`]s and `f64`s with `+`, `-` and `*`:
+///
+/// ```
+/// use mfhls_ilp::Model;
+///
+/// let mut m = Model::minimize();
+/// let x = m.binary("x");
+/// let y = m.binary("y");
+/// let e = 2.0 * x - y + 1.0;
+/// assert_eq!(e.coeff(x), 2.0);
+/// assert_eq!(e.coeff(y), -1.0);
+/// assert_eq!(e.constant(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<usize, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression (zero).
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant_expr(c: f64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// Adds `coeff * var` to the expression (accumulating).
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        if coeff != 0.0 {
+            let c = self.terms.entry(var.0).or_insert(0.0);
+            *c += coeff;
+            if *c == 0.0 {
+                self.terms.remove(&var.0);
+            }
+        }
+        self
+    }
+
+    /// Adds a constant.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// Coefficient of `var` (0.0 if absent).
+    pub fn coeff(&self, var: VarId) -> f64 {
+        self.terms.get(&var.0).copied().unwrap_or(0.0)
+    }
+
+    /// The constant term.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates `(var, coeff)` pairs in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (VarId(v), c))
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the expression has no variable terms (it may still have a
+    /// constant).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression for a dense assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable index is out of range for `values`.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(&v, &c)| c * values[v])
+                .sum::<f64>()
+    }
+
+    /// Builds an expression as a weighted sum of variables.
+    pub fn weighted_sum<I: IntoIterator<Item = (VarId, f64)>>(items: I) -> Self {
+        let mut e = LinExpr::new();
+        for (v, c) in items {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    /// Sum of variables with unit coefficients.
+    pub fn sum<I: IntoIterator<Item = VarId>>(vars: I) -> Self {
+        LinExpr::weighted_sum(vars.into_iter().map(|v| (v, 1.0)))
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        let mut e = LinExpr::new();
+        e.add_term(v, 1.0);
+        e
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant_expr(c)
+    }
+}
+
+macro_rules! impl_bin_op {
+    ($trait:ident, $method:ident, $sign:expr, [$(($lhs:ty, $rhs:ty)),* $(,)?]) => {
+        $(
+            impl $trait<$rhs> for $lhs {
+                type Output = LinExpr;
+                #[allow(clippy::neg_multiply)] // $sign is a macro parameter
+                fn $method(self, rhs: $rhs) -> LinExpr {
+                    let mut out: LinExpr = LinExpr::from(self);
+                    let other: LinExpr = LinExpr::from(rhs);
+                    for (v, c) in other.terms() {
+                        out.add_term(v, $sign * c);
+                    }
+                    out.add_constant($sign * other.constant());
+                    out
+                }
+            }
+        )*
+    };
+}
+
+impl_bin_op!(Add, add, 1.0, [
+    (LinExpr, LinExpr), (LinExpr, VarId), (LinExpr, f64),
+    (VarId, LinExpr), (VarId, VarId), (VarId, f64),
+    (f64, LinExpr), (f64, VarId),
+]);
+
+impl_bin_op!(Sub, sub, -1.0, [
+    (LinExpr, LinExpr), (LinExpr, VarId), (LinExpr, f64),
+    (VarId, LinExpr), (VarId, VarId), (VarId, f64),
+    (f64, LinExpr), (f64, VarId),
+]);
+
+impl Mul<f64> for VarId {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        let mut e = LinExpr::new();
+        e.add_term(self, rhs);
+        e
+    }
+}
+
+impl Mul<VarId> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: VarId) -> LinExpr {
+        rhs * self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        let mut out = LinExpr::constant_expr(self.constant * rhs);
+        for (v, c) in self.terms() {
+            out.add_term(v, c * rhs);
+        }
+        out
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: LinExpr) -> LinExpr {
+        rhs * self
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self * -1.0
+    }
+}
+
+impl Neg for VarId {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self * -1.0
+    }
+}
+
+/// A single linear constraint of a [`Model`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Left-hand-side expression (its constant is folded into `rhs`).
+    pub expr: LinExpr,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Definition of one variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variable {
+    /// Human-readable name, used in diagnostics.
+    pub name: String,
+    /// Lower bound.
+    pub lb: f64,
+    /// Upper bound.
+    pub ub: f64,
+    /// Domain kind.
+    pub kind: VarKind,
+}
+
+/// A mixed-integer linear program in minimisation form.
+///
+/// Maximisation problems are expressed by negating the objective (see the
+/// crate example). Constraints store expressions with their constants folded
+/// into the right-hand side.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    vars: Vec<Variable>,
+    cons: Vec<Constraint>,
+    objective: LinExpr,
+}
+
+impl Model {
+    /// Creates an empty minimisation model.
+    pub fn minimize() -> Self {
+        Model::default()
+    }
+
+    /// Adds a continuous variable with bounds `[lb, ub]`.
+    pub fn continuous(&mut self, name: &str, lb: f64, ub: f64) -> VarId {
+        self.push_var(name, lb, ub, VarKind::Continuous)
+    }
+
+    /// Adds an integer variable with bounds `[lb, ub]`.
+    pub fn integer(&mut self, name: &str, lb: f64, ub: f64) -> VarId {
+        self.push_var(name, lb, ub, VarKind::Integer)
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn binary(&mut self, name: &str) -> VarId {
+        self.push_var(name, 0.0, 1.0, VarKind::Binary)
+    }
+
+    fn push_var(&mut self, name: &str, lb: f64, ub: f64, kind: VarKind) -> VarId {
+        assert!(lb <= ub, "variable {name}: lb {lb} > ub {ub}");
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable {
+            name: name.to_owned(),
+            lb,
+            ub,
+            kind,
+        });
+        id
+    }
+
+    /// Adds the constraint `expr sense rhs`; the expression's constant is
+    /// folded into the right-hand side.
+    pub fn add_con(&mut self, expr: impl Into<LinExpr>, sense: Sense, rhs: f64) {
+        let expr: LinExpr = expr.into();
+        let folded_rhs = rhs - expr.constant();
+        let mut e = expr;
+        e.constant = 0.0;
+        self.cons.push(Constraint {
+            expr: e,
+            sense,
+            rhs: folded_rhs,
+        });
+    }
+
+    /// Sets the (minimisation) objective.
+    pub fn set_objective(&mut self, expr: impl Into<LinExpr>) {
+        self.objective = expr.into();
+    }
+
+    /// The objective expression.
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_cons(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Variable definitions (indexable by [`VarId::index`]).
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Constraint list.
+    pub fn cons(&self) -> &[Constraint] {
+        &self.cons
+    }
+
+    /// Overrides the bounds of `var` (used by branch-and-bound and presolve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb > ub` or `var` is foreign.
+    pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
+        assert!(lb <= ub, "set_bounds: lb {lb} > ub {ub}");
+        let v = &mut self.vars[var.0];
+        v.lb = lb;
+        v.ub = ub;
+    }
+
+    /// Checks whether `values` satisfies every constraint, bound, and
+    /// integrality requirement to tolerance `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            let x = values[i];
+            if x < v.lb - tol || x > v.ub + tol {
+                return false;
+            }
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
+                && (x - x.round()).abs() > tol
+            {
+                return false;
+            }
+        }
+        self.cons.iter().all(|c| {
+            let lhs = c.expr.eval(values);
+            match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+
+    /// Indices of integer/binary variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v.kind, VarKind::Integer | VarKind::Binary))
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_arithmetic() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        let e = 3.0 * x + y - 2.0 * x + 5.0;
+        assert_eq!(e.coeff(x), 1.0);
+        assert_eq!(e.coeff(y), 1.0);
+        assert_eq!(e.constant(), 5.0);
+    }
+
+    #[test]
+    fn expr_sub_and_neg() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        let e = -(x - y);
+        assert_eq!(e.coeff(x), -1.0);
+        assert_eq!(e.coeff(y), 1.0);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let e = x - x;
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn constants_fold_into_rhs() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 10.0);
+        m.add_con(x + 3.0, Sense::Le, 5.0);
+        assert_eq!(m.cons()[0].rhs, 2.0);
+        assert_eq!(m.cons()[0].expr.constant(), 0.0);
+    }
+
+    #[test]
+    fn eval_and_feasibility() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 4.0);
+        let y = m.continuous("y", 0.0, 4.0);
+        m.add_con(x + y, Sense::Le, 5.0);
+        m.add_con(x - y, Sense::Eq, 0.0);
+        assert!(m.is_feasible(&[2.0, 2.0], 1e-9));
+        assert!(!m.is_feasible(&[3.0, 2.5], 1e-9)); // x+y ok but x!=y
+        assert!(!m.is_feasible(&[2.5, 2.5], 1e-9)); // x not integral
+        assert!(!m.is_feasible(&[5.0, 5.0], 1e-9)); // out of bounds
+    }
+
+    #[test]
+    fn weighted_sum_builder() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        let e = LinExpr::weighted_sum([(x, 2.0), (y, -1.0)]);
+        assert_eq!(e.coeff(x), 2.0);
+        assert_eq!(e.coeff(y), -1.0);
+        let s = LinExpr::sum([x, y]);
+        assert_eq!(s.coeff(x), 1.0);
+    }
+
+    #[test]
+    fn integer_vars_filter() {
+        let mut m = Model::minimize();
+        let _a = m.continuous("a", 0.0, 1.0);
+        let b = m.integer("b", 0.0, 3.0);
+        let c = m.binary("c");
+        assert_eq!(m.integer_vars(), vec![b, c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lb")]
+    fn rejects_crossed_bounds() {
+        let mut m = Model::minimize();
+        m.continuous("x", 1.0, 0.0);
+    }
+}

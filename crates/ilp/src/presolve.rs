@@ -1,0 +1,231 @@
+//! Activity-based presolve: bound tightening and infeasibility detection.
+//!
+//! For every constraint `Σ a_j x_j ⋛ b` the minimum/maximum *activity*
+//! implied by the current bounds yields implied bounds on each participating
+//! variable; for integer variables the implied bounds are rounded inwards.
+//! Iterated to a fixpoint (or a round limit), this shrinks the search box
+//! before branch-and-bound starts and catches trivially infeasible models.
+
+use crate::model::{Model, Sense, VarKind};
+
+/// Result of [`tighten_bounds`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PresolveOutcome {
+    /// Possibly tightened bounds, same indexing as the model's variables.
+    Feasible {
+        /// Tightened lower bounds.
+        lb: Vec<f64>,
+        /// Tightened upper bounds.
+        ub: Vec<f64>,
+    },
+    /// The model was proven infeasible from bounds alone.
+    Infeasible,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Tightens variable bounds by constraint-activity propagation, running at
+/// most `max_rounds` sweeps.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_ilp::{Model, Sense};
+/// use mfhls_ilp::presolve::{tighten_bounds, PresolveOutcome};
+///
+/// let mut m = Model::minimize();
+/// let x = m.integer("x", 0.0, 100.0);
+/// let y = m.integer("y", 0.0, 100.0);
+/// m.add_con(x + y, Sense::Le, 5.0);
+/// match tighten_bounds(&m, 4) {
+///     PresolveOutcome::Feasible { ub, .. } => {
+///         assert_eq!(ub[x.index()], 5.0);
+///         assert_eq!(ub[y.index()], 5.0);
+///     }
+///     PresolveOutcome::Infeasible => unreachable!(),
+/// }
+/// ```
+pub fn tighten_bounds(model: &Model, max_rounds: usize) -> PresolveOutcome {
+    let n = model.num_vars();
+    let mut lb: Vec<f64> = model.vars().iter().map(|v| v.lb).collect();
+    let mut ub: Vec<f64> = model.vars().iter().map(|v| v.ub).collect();
+    let integer: Vec<bool> = model
+        .vars()
+        .iter()
+        .map(|v| matches!(v.kind, VarKind::Integer | VarKind::Binary))
+        .collect();
+
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for con in model.cons() {
+            // Treat == as both <= and >=.
+            let senses: &[Sense] = match con.sense {
+                Sense::Le => &[Sense::Le],
+                Sense::Ge => &[Sense::Ge],
+                Sense::Eq => &[Sense::Le, Sense::Ge],
+            };
+            for &s in senses {
+                // Normalise to `Σ a_j x_j <= b`.
+                let sign = if s == Sense::Ge { -1.0 } else { 1.0 };
+                let b = sign * con.rhs;
+                // Min activity of the whole row.
+                let mut min_act = 0.0;
+                for (v, c0) in con.expr.terms() {
+                    let c = sign * c0;
+                    min_act += if c > 0.0 {
+                        c * lb[v.index()]
+                    } else {
+                        c * ub[v.index()]
+                    };
+                }
+                if min_act > b + 1e-7 {
+                    return PresolveOutcome::Infeasible;
+                }
+                for (v, c0) in con.expr.terms() {
+                    let j = v.index();
+                    let c = sign * c0;
+                    if c.abs() < EPS {
+                        continue;
+                    }
+                    // Residual min activity excluding x_j.
+                    let own_min = if c > 0.0 { c * lb[j] } else { c * ub[j] };
+                    let rest = min_act - own_min;
+                    if c > 0.0 {
+                        // c x_j <= b - rest
+                        let mut new_ub = (b - rest) / c;
+                        if integer[j] {
+                            new_ub = (new_ub + 1e-9).floor();
+                        }
+                        if new_ub < ub[j] - EPS {
+                            ub[j] = new_ub;
+                            changed = true;
+                        }
+                    } else {
+                        // c x_j <= b - rest, c < 0 -> x_j >= (b - rest)/c
+                        let mut new_lb = (b - rest) / c;
+                        if integer[j] {
+                            new_lb = (new_lb - 1e-9).ceil();
+                        }
+                        if new_lb > lb[j] + EPS {
+                            lb[j] = new_lb;
+                            changed = true;
+                        }
+                    }
+                    if lb[j] > ub[j] + 1e-9 {
+                        return PresolveOutcome::Infeasible;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Guard against numerically crossed bounds.
+    for j in 0..n {
+        if lb[j] > ub[j] {
+            if lb[j] - ub[j] < 1e-7 {
+                lb[j] = ub[j];
+            } else {
+                return PresolveOutcome::Infeasible;
+            }
+        }
+    }
+    PresolveOutcome::Feasible { lb, ub }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    fn bounds(m: &Model) -> (Vec<f64>, Vec<f64>) {
+        match tighten_bounds(m, 10) {
+            PresolveOutcome::Feasible { lb, ub } => (lb, ub),
+            PresolveOutcome::Infeasible => panic!("unexpected infeasible"),
+        }
+    }
+
+    #[test]
+    fn tightens_sum_constraint() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 100.0);
+        let y = m.integer("y", 0.0, 100.0);
+        m.add_con(x + y, Sense::Le, 7.0);
+        let (_, ub) = bounds(&m);
+        assert_eq!(ub[x.index()], 7.0);
+        assert_eq!(ub[y.index()], 7.0);
+    }
+
+    #[test]
+    fn tightens_through_negative_coeff() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 100.0);
+        let y = m.integer("y", 0.0, 10.0);
+        // x - y <= 0  =>  x <= 10.
+        m.add_con(x - y, Sense::Le, 0.0);
+        let (_, ub) = bounds(&m);
+        assert_eq!(ub[x.index()], 10.0);
+    }
+
+    #[test]
+    fn ge_constraint_raises_lower_bound() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 100.0);
+        m.add_con(1.0 * x, Sense::Ge, 3.0);
+        let (lb, _) = bounds(&m);
+        assert_eq!(lb[x.index()], 3.0);
+    }
+
+    #[test]
+    fn equality_tightens_both_sides() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 100.0);
+        let y = m.integer("y", 2.0, 2.0);
+        m.add_con(x + y, Sense::Eq, 6.0);
+        let (lb, ub) = bounds(&m);
+        assert_eq!(lb[x.index()], 4.0);
+        assert_eq!(ub[x.index()], 4.0);
+    }
+
+    #[test]
+    fn integer_rounding_applied() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 100.0);
+        // 2x <= 7 => x <= 3 (rounded from 3.5).
+        m.add_con(2.0 * x, Sense::Le, 7.0);
+        let (_, ub) = bounds(&m);
+        assert_eq!(ub[x.index()], 3.0);
+    }
+
+    #[test]
+    fn detects_bound_infeasibility() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 1.0);
+        m.add_con(1.0 * x, Sense::Ge, 5.0);
+        assert_eq!(tighten_bounds(&m, 10), PresolveOutcome::Infeasible);
+    }
+
+    #[test]
+    fn fixpoint_chain_propagation() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 100.0);
+        let y = m.integer("y", 0.0, 100.0);
+        let z = m.integer("z", 0.0, 100.0);
+        m.add_con(1.0 * x, Sense::Le, 4.0);
+        m.add_con(y - x, Sense::Le, 0.0); // y <= x <= 4
+        m.add_con(z - y, Sense::Le, 0.0); // z <= y <= 4
+        let (_, ub) = bounds(&m);
+        assert_eq!(ub[y.index()], 4.0);
+        assert_eq!(ub[z.index()], 4.0);
+    }
+
+    #[test]
+    fn continuous_bounds_not_rounded() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 100.0);
+        m.add_con(2.0 * x, Sense::Le, 7.0);
+        let (_, ub) = bounds(&m);
+        assert!((ub[x.index()] - 3.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,738 @@
+//! Dense two-phase primal simplex for LP relaxations.
+//!
+//! Design notes (documented because this is the numerical core of the MILP
+//! substrate):
+//!
+//! * Every variable must have **finite bounds** `[lb, ub]`. Variables are
+//!   shifted to `y = x - lb ∈ [0, ub - lb]`, and each upper bound becomes an
+//!   explicit `y ≤ ub - lb` row. This trades rows for simplicity and is
+//!   plenty for the model sizes the exact path is used on.
+//! * Phase 1 minimises the sum of artificial variables; phase 2 the true
+//!   objective. Degenerate cycling is avoided by switching from Dantzig to
+//!   Bland's rule after a run of degenerate pivots.
+//! * Tolerances: pivot candidates need magnitude `> PIVOT_EPS`; feasibility
+//!   and optimality use `OPT_EPS`.
+
+use crate::{IlpError, Sense};
+
+/// Magnitude below which a coefficient is treated as zero for pivoting.
+pub const PIVOT_EPS: f64 = 1e-9;
+/// Optimality / feasibility tolerance.
+pub const OPT_EPS: f64 = 1e-7;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const BLAND_TRIGGER: usize = 40;
+/// Hard cap on simplex pivots, as a defence against numerical livelock.
+const MAX_PIVOTS: usize = 200_000;
+
+/// One row of an [`LpProblem`]: sparse coefficients, sense and rhs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpRow {
+    /// `(column, coefficient)` pairs; columns may repeat (they accumulate).
+    pub coeffs: Vec<(usize, f64)>,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A bounded linear program `min c·x  s.t.  rows, lb ≤ x ≤ ub`.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    /// Number of structural variables.
+    pub ncols: usize,
+    /// Constraint rows.
+    pub rows: Vec<LpRow>,
+    /// Dense objective coefficients (length `ncols`).
+    pub objective: Vec<f64>,
+    /// Lower bounds (finite).
+    pub lb: Vec<f64>,
+    /// Upper bounds (finite).
+    pub ub: Vec<f64>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Proven optimal solution.
+    Optimal {
+        /// Optimal assignment, length `ncols`.
+        x: Vec<f64>,
+        /// Objective value `c·x`.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below (cannot occur when all variables
+    /// have finite bounds, but reported defensively).
+    Unbounded,
+}
+
+/// Solves a bounded LP with the two-phase primal simplex.
+///
+/// # Errors
+///
+/// Returns [`IlpError::UnboundedVariable`] if a bound is not finite, and
+/// [`IlpError::ForeignVariable`] if a row references a column `>= ncols`.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_ilp::simplex::{solve_lp, LpProblem, LpRow, LpResult};
+/// use mfhls_ilp::Sense;
+///
+/// // min -x - y  s.t. x + y <= 3, x,y in [0, 2]
+/// let p = LpProblem {
+///     ncols: 2,
+///     rows: vec![LpRow { coeffs: vec![(0, 1.0), (1, 1.0)], sense: Sense::Le, rhs: 3.0 }],
+///     objective: vec![-1.0, -1.0],
+///     lb: vec![0.0, 0.0],
+///     ub: vec![2.0, 2.0],
+/// };
+/// match solve_lp(&p)? {
+///     LpResult::Optimal { objective, .. } => assert!((objective + 3.0).abs() < 1e-6),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// # Ok::<(), mfhls_ilp::IlpError>(())
+/// ```
+pub fn solve_lp(p: &LpProblem) -> Result<LpResult, IlpError> {
+    solve_lp_with_bounds(p, &p.lb, &p.ub)
+}
+
+/// Like [`solve_lp`], but with the bound vectors supplied separately —
+/// branch-and-bound changes bounds at every node, and this entry point
+/// avoids cloning the (much larger) constraint rows each time.
+///
+/// # Errors
+///
+/// Same as [`solve_lp`].
+pub fn solve_lp_with_bounds(p: &LpProblem, lb: &[f64], ub: &[f64]) -> Result<LpResult, IlpError> {
+    validate(p, lb, ub)?;
+    let n = p.ncols;
+
+    // Shift x = y + lb; span s_j = ub_j - lb_j.
+    let span: Vec<f64> = (0..n).map(|j| ub[j] - lb[j]).collect();
+
+    // Assemble rows: constraints with shifted rhs, then bound rows.
+    struct RawRow {
+        dense: Vec<f64>,
+        sense: Sense,
+        rhs: f64,
+    }
+    let mut raw: Vec<RawRow> = Vec::with_capacity(p.rows.len() + n);
+    for row in &p.rows {
+        let mut dense = vec![0.0; n];
+        let mut shift = 0.0;
+        for &(j, c) in &row.coeffs {
+            dense[j] += c;
+            shift += c * lb[j];
+        }
+        raw.push(RawRow {
+            dense,
+            sense: row.sense,
+            rhs: row.rhs - shift,
+        });
+    }
+    for j in 0..n {
+        let mut dense = vec![0.0; n];
+        dense[j] = 1.0;
+        raw.push(RawRow {
+            dense,
+            sense: Sense::Le,
+            rhs: span[j],
+        });
+    }
+
+    // Normalise to rhs >= 0.
+    for r in &mut raw {
+        if r.rhs < 0.0 {
+            for c in &mut r.dense {
+                *c = -*c;
+            }
+            r.rhs = -r.rhs;
+            r.sense = match r.sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            };
+        }
+    }
+
+    let m = raw.len();
+    // Column layout: structural 0..n | slack/surplus | artificial.
+    let n_slack = raw
+        .iter()
+        .filter(|r| matches!(r.sense, Sense::Le | Sense::Ge))
+        .count();
+    let n_art = raw
+        .iter()
+        .filter(|r| matches!(r.sense, Sense::Ge | Sense::Eq))
+        .count();
+    let total = n + n_slack + n_art;
+
+    let mut t = Tableau::new(m, total);
+    let mut slack_cursor = n;
+    let mut art_cursor = n + n_slack;
+    let art_start = n + n_slack;
+    for (i, r) in raw.iter().enumerate() {
+        for j in 0..n {
+            t.set(i, j, r.dense[j]);
+        }
+        t.set_rhs(i, r.rhs);
+        match r.sense {
+            Sense::Le => {
+                t.set(i, slack_cursor, 1.0);
+                t.basis[i] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Sense::Ge => {
+                t.set(i, slack_cursor, -1.0);
+                slack_cursor += 1;
+                t.set(i, art_cursor, 1.0);
+                t.basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            Sense::Eq => {
+                t.set(i, art_cursor, 1.0);
+                t.basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+        let _ = i;
+    }
+
+    // Phase 1: min sum of artificials.
+    t.load_costs(|j| if j >= art_start { 1.0 } else { 0.0 });
+    match t.optimize(|_| true) {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => return Ok(LpResult::Unbounded), // cannot happen: phase-1 obj >= 0
+        PhaseOutcome::PivotLimit => return Ok(LpResult::Infeasible),
+    }
+    if t.objective_value() > 1e-6 {
+        return Ok(LpResult::Infeasible);
+    }
+    t.evict_artificials(art_start);
+
+    // Phase 2: true objective over structural columns.
+    t.load_costs(|j| if j < n { p.objective[j] } else { 0.0 });
+    match t.optimize(|j| j < art_start) {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => return Ok(LpResult::Unbounded),
+        PhaseOutcome::PivotLimit => {
+            // Extremely defensive: return the current (feasible) point.
+        }
+    }
+
+    // Extract solution.
+    let mut y = vec![0.0; n];
+    for (i, &b) in t.basis.iter().enumerate() {
+        if b < n && !t.dropped[i] {
+            y[b] = t.rhs(i).max(0.0);
+        }
+    }
+    let x: Vec<f64> = (0..n).map(|j| y[j] + lb[j]).collect();
+    let objective = (0..n).map(|j| p.objective[j] * x[j]).sum();
+    Ok(LpResult::Optimal { x, objective })
+}
+
+fn validate(p: &LpProblem, lb: &[f64], ub: &[f64]) -> Result<(), IlpError> {
+    for j in 0..p.ncols {
+        if !lb[j].is_finite() || !ub[j].is_finite() {
+            return Err(IlpError::UnboundedVariable { var: j });
+        }
+    }
+    assert_eq!(lb.len(), p.ncols, "lb length mismatch");
+    assert_eq!(ub.len(), p.ncols, "ub length mismatch");
+    assert_eq!(p.objective.len(), p.ncols, "objective length mismatch");
+    for row in &p.rows {
+        for &(j, _) in &row.coeffs {
+            if j >= p.ncols {
+                return Err(IlpError::ForeignVariable {
+                    var: j,
+                    len: p.ncols,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    PivotLimit,
+}
+
+/// Dense simplex tableau. Row `m` is the cost row; column `total` is the rhs.
+struct Tableau {
+    m: usize,
+    total: usize,
+    // (m + 1) x (total + 1), row-major.
+    a: Vec<f64>,
+    basis: Vec<usize>,
+    /// Rows found redundant after phase 1 (artificial stuck at zero with no
+    /// structural pivot available). They are frozen out of later pivots.
+    dropped: Vec<bool>,
+}
+
+impl Tableau {
+    fn new(m: usize, total: usize) -> Self {
+        Tableau {
+            m,
+            total,
+            a: vec![0.0; (m + 1) * (total + 1)],
+            basis: vec![usize::MAX; m],
+            dropped: vec![false; m],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, r: usize, c: usize) -> usize {
+        r * (self.total + 1) + c
+    }
+
+    #[inline]
+    fn get(&self, r: usize, c: usize) -> f64 {
+        self.a[self.idx(r, c)]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        let i = self.idx(r, c);
+        self.a[i] = v;
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.get(r, self.total)
+    }
+
+    #[inline]
+    fn set_rhs(&mut self, r: usize, v: f64) {
+        let c = self.total;
+        self.set(r, c, v);
+    }
+
+    /// Current objective value (cost row rhs holds `-z`).
+    fn objective_value(&self) -> f64 {
+        -self.rhs(self.m)
+    }
+
+    /// Installs a cost row and eliminates basic columns so reduced costs are
+    /// consistent with the current basis.
+    fn load_costs(&mut self, cost: impl Fn(usize) -> f64) {
+        for j in 0..self.total {
+            let v = cost(j);
+            self.set(self.m, j, v);
+        }
+        self.set_rhs(self.m, 0.0);
+        for i in 0..self.m {
+            if self.dropped[i] {
+                continue;
+            }
+            let b = self.basis[i];
+            let cb = self.get(self.m, b);
+            if cb != 0.0 {
+                self.row_axpy(self.m, i, -cb);
+            }
+        }
+    }
+
+    /// `row[dst] += factor * row[src]`.
+    fn row_axpy(&mut self, dst: usize, src: usize, factor: f64) {
+        let w = self.total + 1;
+        let (src_off, dst_off) = (src * w, dst * w);
+        for k in 0..w {
+            let v = self.a[src_off + k];
+            if v != 0.0 {
+                self.a[dst_off + k] += factor * v;
+            }
+        }
+    }
+
+    fn pivot(&mut self, r: usize, c: usize) {
+        let w = self.total + 1;
+        let piv = self.get(r, c);
+        debug_assert!(piv.abs() > PIVOT_EPS, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        let r_off = r * w;
+        for k in 0..w {
+            self.a[r_off + k] *= inv;
+        }
+        // Clean the pivot cell exactly.
+        self.a[r_off + c] = 1.0;
+        for i in 0..=self.m {
+            if i == r {
+                continue;
+            }
+            let f = self.get(i, c);
+            if f != 0.0 {
+                self.row_axpy(i, r, -f);
+                let ic = self.idx(i, c);
+                self.a[ic] = 0.0;
+            }
+        }
+        self.basis[r] = c;
+    }
+
+    /// Primal simplex iterations on the current cost row. `allowed` filters
+    /// columns that may enter (used to ban artificials in phase 2).
+    fn optimize(&mut self, allowed: impl Fn(usize) -> bool) -> PhaseOutcome {
+        let mut degenerate_run = 0usize;
+        let mut bland = false;
+        for _ in 0..MAX_PIVOTS {
+            // Entering column.
+            let mut entering = None;
+            if bland {
+                for j in 0..self.total {
+                    if allowed(j) && self.get(self.m, j) < -OPT_EPS {
+                        entering = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -OPT_EPS;
+                for j in 0..self.total {
+                    let r = self.get(self.m, j);
+                    if allowed(j) && r < best {
+                        best = r;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(c) = entering else {
+                return PhaseOutcome::Optimal;
+            };
+            // Ratio test (Bland tie-break: smallest basis index).
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                if self.dropped[i] {
+                    continue;
+                }
+                let aic = self.get(i, c);
+                if aic > PIVOT_EPS {
+                    let ratio = self.rhs(i) / aic;
+                    let better = match leave {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < lr - PIVOT_EPS
+                                || (ratio < lr + PIVOT_EPS && self.basis[i] < self.basis[li])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((r, ratio)) = leave else {
+                return PhaseOutcome::Unbounded;
+            };
+            if ratio.abs() < PIVOT_EPS {
+                degenerate_run += 1;
+                if degenerate_run >= BLAND_TRIGGER {
+                    bland = true;
+                }
+            } else {
+                degenerate_run = 0;
+            }
+            self.pivot(r, c);
+        }
+        PhaseOutcome::PivotLimit
+    }
+
+    /// After phase 1, pivot artificial variables out of the basis, dropping
+    /// redundant rows where impossible.
+    fn evict_artificials(&mut self, art_start: usize) {
+        for i in 0..self.m {
+            if self.dropped[i] || self.basis[i] < art_start {
+                continue;
+            }
+            // rhs must be ~0 here since phase-1 optimum is 0.
+            let mut pivot_col = None;
+            for j in 0..art_start {
+                if self.get(i, j).abs() > 1e-6 {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            match pivot_col {
+                Some(j) => self.pivot(i, j),
+                None => {
+                    self.dropped[i] = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type RawRows = Vec<(Vec<(usize, f64)>, Sense, f64)>;
+
+    fn lp(
+        ncols: usize,
+        rows: RawRows,
+        objective: Vec<f64>,
+        bounds: Vec<(f64, f64)>,
+    ) -> LpProblem {
+        LpProblem {
+            ncols,
+            rows: rows
+                .into_iter()
+                .map(|(coeffs, sense, rhs)| LpRow { coeffs, sense, rhs })
+                .collect(),
+            objective,
+            lb: bounds.iter().map(|b| b.0).collect(),
+            ub: bounds.iter().map(|b| b.1).collect(),
+        }
+    }
+
+    fn expect_optimal(p: &LpProblem) -> (Vec<f64>, f64) {
+        match solve_lp(p).expect("valid problem") {
+            LpResult::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_box_max() {
+        // min -x - y s.t. x + y <= 3 with x,y in [0,2]: optimum -3.
+        let p = lp(
+            2,
+            vec![(vec![(0, 1.0), (1, 1.0)], Sense::Le, 3.0)],
+            vec![-1.0, -1.0],
+            vec![(0.0, 2.0), (0.0, 2.0)],
+        );
+        let (_, obj) = expect_optimal(&p);
+        assert!((obj + 3.0).abs() < 1e-6, "obj={obj}");
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y s.t. x + y == 2: optimum 2.
+        let p = lp(
+            2,
+            vec![(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 2.0)],
+            vec![1.0, 1.0],
+            vec![(0.0, 5.0), (0.0, 5.0)],
+        );
+        let (x, obj) = expect_optimal(&p);
+        assert!((obj - 2.0).abs() < 1e-6);
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let p = lp(
+            1,
+            vec![
+                (vec![(0, 1.0)], Sense::Le, 1.0),
+                (vec![(0, 1.0)], Sense::Ge, 2.0),
+            ],
+            vec![0.0],
+            vec![(0.0, 5.0)],
+        );
+        assert_eq!(solve_lp(&p).unwrap(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_via_bounds() {
+        // x >= 3 but ub = 2.
+        let p = lp(
+            1,
+            vec![(vec![(0, 1.0)], Sense::Ge, 3.0)],
+            vec![0.0],
+            vec![(0.0, 2.0)],
+        );
+        assert_eq!(solve_lp(&p).unwrap(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x with x in [-5, 5] and x >= -3: optimum -3.
+        let p = lp(
+            1,
+            vec![(vec![(0, 1.0)], Sense::Ge, -3.0)],
+            vec![1.0],
+            vec![(-5.0, 5.0)],
+        );
+        let (x, obj) = expect_optimal(&p);
+        assert!((obj + 3.0).abs() < 1e-6);
+        assert!((x[0] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_only_problem() {
+        // No rows at all: min -x over [1, 4] -> x = 4.
+        let p = lp(1, vec![], vec![-1.0], vec![(1.0, 4.0)]);
+        let (x, obj) = expect_optimal(&p);
+        assert!((x[0] - 4.0).abs() < 1e-6);
+        assert!((obj + 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_variable() {
+        let p = lp(
+            2,
+            vec![(vec![(0, 1.0), (1, 1.0)], Sense::Le, 10.0)],
+            vec![-1.0, -1.0],
+            vec![(3.0, 3.0), (0.0, 2.0)],
+        );
+        let (x, obj) = expect_optimal(&p);
+        assert!((x[0] - 3.0).abs() < 1e-6);
+        assert!((obj + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Many redundant constraints through the same vertex.
+        let rows = (0..8)
+            .map(|k| {
+                (
+                    vec![(0, 1.0 + k as f64 * 0.0), (1, 1.0)],
+                    Sense::Le,
+                    2.0,
+                )
+            })
+            .collect();
+        let p = lp(2, rows, vec![-1.0, -2.0], vec![(0.0, 2.0), (0.0, 2.0)]);
+        let (_, obj) = expect_optimal(&p);
+        assert!((obj + 4.0).abs() < 1e-6, "obj={obj}");
+    }
+
+    #[test]
+    fn redundant_equalities_dropped() {
+        // x + y == 2 duplicated: phase 1 must cope with a redundant row.
+        let p = lp(
+            2,
+            vec![
+                (vec![(0, 1.0), (1, 1.0)], Sense::Eq, 2.0),
+                (vec![(0, 1.0), (1, 1.0)], Sense::Eq, 2.0),
+            ],
+            vec![1.0, 0.0],
+            vec![(0.0, 5.0), (0.0, 5.0)],
+        );
+        let (x, obj) = expect_optimal(&p);
+        assert!(obj.abs() < 1e-6, "x should be 0, got {x:?}");
+    }
+
+    #[test]
+    fn rejects_infinite_bounds() {
+        let p = lp(1, vec![], vec![1.0], vec![(0.0, f64::INFINITY)]);
+        assert_eq!(solve_lp(&p), Err(IlpError::UnboundedVariable { var: 0 }));
+    }
+
+    #[test]
+    fn rejects_foreign_column() {
+        let p = lp(
+            1,
+            vec![(vec![(3, 1.0)], Sense::Le, 1.0)],
+            vec![1.0],
+            vec![(0.0, 1.0)],
+        );
+        assert_eq!(
+            solve_lp(&p),
+            Err(IlpError::ForeignVariable { var: 3, len: 1 })
+        );
+    }
+
+    #[test]
+    fn negative_rhs_normalisation() {
+        // -x <= -1  <=>  x >= 1; min x -> 1.
+        let p = lp(
+            1,
+            vec![(vec![(0, -1.0)], Sense::Le, -1.0)],
+            vec![1.0],
+            vec![(0.0, 5.0)],
+        );
+        let (x, _) = expect_optimal(&p);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    /// Random LPs: compare against brute-force over a fine grid is too weak;
+    /// instead verify (a) feasibility of the returned point and (b) that it
+    /// is no worse than a large random sample of feasible points.
+    #[test]
+    fn randomised_sanity() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..100 {
+            let n = rng.gen_range(1..5);
+            let m = rng.gen_range(0..6);
+            let bounds: Vec<(f64, f64)> = (0..n)
+                .map(|_| {
+                    let lo: i64 = rng.gen_range(-3..3);
+                    let hi = lo + rng.gen_range(0..5);
+                    (lo as f64, hi as f64)
+                })
+                .collect();
+            let rows: RawRows = (0..m)
+                .map(|_| {
+                    let coeffs: Vec<(usize, f64)> = (0..n)
+                        .map(|j| (j, rng.gen_range(-3..4) as f64))
+                        .collect();
+                    let sense = match rng.gen_range(0..3) {
+                        0 => Sense::Le,
+                        1 => Sense::Ge,
+                        _ => Sense::Eq,
+                    };
+                    (coeffs, sense, rng.gen_range(-6..7) as f64)
+                })
+                .collect();
+            let objective: Vec<f64> = (0..n).map(|_| rng.gen_range(-3..4) as f64).collect();
+            let p = lp(n, rows.clone(), objective.clone(), bounds.clone());
+
+            let feasible = |x: &[f64]| -> bool {
+                rows.iter().all(|(coeffs, sense, rhs)| {
+                    let lhs: f64 = coeffs.iter().map(|&(j, c)| c * x[j]).sum();
+                    match sense {
+                        Sense::Le => lhs <= rhs + 1e-6,
+                        Sense::Ge => lhs >= rhs - 1e-6,
+                        Sense::Eq => (lhs - rhs).abs() <= 1e-6,
+                    }
+                })
+            };
+
+            match solve_lp(&p).unwrap() {
+                LpResult::Optimal { x, objective: obj } => {
+                    assert!(feasible(&x), "trial {trial}: infeasible answer {x:?}");
+                    for j in 0..n {
+                        assert!(
+                            x[j] >= bounds[j].0 - 1e-6 && x[j] <= bounds[j].1 + 1e-6,
+                            "trial {trial}: bound violation"
+                        );
+                    }
+                    // Sampled points must not beat the reported optimum.
+                    for _ in 0..300 {
+                        let cand: Vec<f64> = (0..n)
+                            .map(|j| rng.gen_range(bounds[j].0..=bounds[j].1))
+                            .collect();
+                        if feasible(&cand) {
+                            let co: f64 =
+                                (0..n).map(|j| objective[j] * cand[j]).sum();
+                            assert!(
+                                co >= obj - 1e-5,
+                                "trial {trial}: sampled {co} beats reported {obj}"
+                            );
+                        }
+                    }
+                }
+                LpResult::Infeasible => {
+                    // No sampled point may be feasible.
+                    for _ in 0..300 {
+                        let cand: Vec<f64> = (0..n)
+                            .map(|j| rng.gen_range(bounds[j].0..=bounds[j].1))
+                            .collect();
+                        assert!(
+                            !feasible(&cand),
+                            "trial {trial}: found feasible point for 'infeasible' LP"
+                        );
+                    }
+                }
+                LpResult::Unbounded => panic!("trial {trial}: bounded LP reported unbounded"),
+            }
+        }
+    }
+}

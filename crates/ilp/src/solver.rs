@@ -1,0 +1,523 @@
+//! Depth-first branch-and-bound over the simplex LP relaxation.
+
+use crate::model::{Model, VarId};
+use crate::presolve;
+use crate::simplex::{solve_lp_with_bounds, LpProblem, LpResult, LpRow};
+use crate::IlpError;
+use std::time::{Duration, Instant};
+
+/// Configuration of the MILP search.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: usize,
+    /// Optional wall-clock limit.
+    pub time_limit: Option<Duration>,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Optional warm-start assignment. If it is feasible for the model it
+    /// becomes the initial incumbent, which lets the search prune early and
+    /// guarantees a `Feasible` answer even when limits are hit.
+    pub incumbent: Option<Vec<f64>>,
+    /// Run activity-based presolve before the search (default: true).
+    pub presolve: bool,
+    /// Prune any node whose LP bound reaches this objective value, even
+    /// before an incumbent exists. Lets a caller inject the objective of an
+    /// externally-known solution (e.g. a heuristic) without encoding the
+    /// full assignment.
+    pub cutoff: Option<f64>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_nodes: 200_000,
+            time_limit: None,
+            int_tol: 1e-6,
+            incumbent: None,
+            presolve: true,
+            cutoff: None,
+        }
+    }
+}
+
+/// How the search concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// The returned solution is proven optimal.
+    Optimal,
+    /// A feasible solution was found, but a node or time limit stopped the
+    /// search before optimality was proven.
+    Feasible,
+}
+
+/// An integer-feasible solution returned by [`solve`].
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    values: Vec<f64>,
+    /// Objective value of the solution.
+    pub objective: f64,
+    /// Whether optimality was proven.
+    pub status: SolveStatus,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+impl MilpSolution {
+    /// Value assigned to `var`. Integer variables are exactly integral.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// The dense assignment, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Convenience: `true` iff the binary/integer `var` rounds to 1.
+    pub fn is_one(&self, var: VarId) -> bool {
+        self.value(var).round() == 1.0
+    }
+}
+
+/// Solves `model` to integer feasibility/optimality.
+///
+/// # Errors
+///
+/// * [`IlpError::Infeasible`] — the search space was exhausted with no
+///   integer-feasible point.
+/// * [`IlpError::LimitWithoutSolution`] — a limit was hit before any
+///   integer-feasible point was found (supply an incumbent to avoid this).
+/// * [`IlpError::UnboundedVariable`] — some variable lacks finite bounds.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_ilp::{Model, Sense, SolverConfig, solve};
+///
+/// // Knapsack: max 3a + 4b + 5c, weight 2a + 3b + 4c <= 5.
+/// let mut m = Model::minimize();
+/// let items: Vec<_> = ["a", "b", "c"].iter().map(|n| m.binary(n)).collect();
+/// m.add_con(2.0 * items[0] + 3.0 * items[1] + 4.0 * items[2], Sense::Le, 5.0);
+/// m.set_objective(-(3.0 * items[0] + 4.0 * items[1] + 5.0 * items[2]));
+/// let sol = solve(&m, &SolverConfig::default())?;
+/// assert_eq!(sol.objective, -7.0); // picks a and b (weight 5, value 7)
+/// # Ok::<(), mfhls_ilp::IlpError>(())
+/// ```
+pub fn solve(model: &Model, config: &SolverConfig) -> Result<MilpSolution, IlpError> {
+    BranchAndBound::new(model, config)?.run()
+}
+
+/// The branch-and-bound engine behind [`solve`], exposed for callers that
+/// want to inspect node counts or reuse a configured instance.
+pub struct BranchAndBound<'a> {
+    model: &'a Model,
+    config: &'a SolverConfig,
+    base: LpProblem,
+    int_vars: Vec<usize>,
+    /// Per-variable flag: true for 0/1 variables (branched first).
+    is_binary: Vec<bool>,
+    lb0: Vec<f64>,
+    ub0: Vec<f64>,
+}
+
+impl<'a> BranchAndBound<'a> {
+    /// Prepares the search (validates bounds, applies presolve).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::Infeasible`] if presolve proves infeasibility and
+    /// [`IlpError::UnboundedVariable`] for non-finite bounds.
+    pub fn new(model: &'a Model, config: &'a SolverConfig) -> Result<Self, IlpError> {
+        for (j, v) in model.vars().iter().enumerate() {
+            if !v.lb.is_finite() || !v.ub.is_finite() {
+                return Err(IlpError::UnboundedVariable { var: j });
+            }
+        }
+        let (lb0, ub0) = if config.presolve {
+            match presolve::tighten_bounds(model, 10) {
+                presolve::PresolveOutcome::Feasible { lb, ub } => (lb, ub),
+                presolve::PresolveOutcome::Infeasible => return Err(IlpError::Infeasible),
+            }
+        } else {
+            (
+                model.vars().iter().map(|v| v.lb).collect(),
+                model.vars().iter().map(|v| v.ub).collect(),
+            )
+        };
+        let n = model.num_vars();
+        let mut objective = vec![0.0; n];
+        for (v, c) in model.objective().terms() {
+            objective[v.index()] = c;
+        }
+        let rows = model
+            .cons()
+            .iter()
+            .map(|c| LpRow {
+                coeffs: c.expr.terms().map(|(v, co)| (v.index(), co)).collect(),
+                sense: c.sense,
+                rhs: c.rhs,
+            })
+            .collect();
+        let base = LpProblem {
+            ncols: n,
+            rows,
+            objective,
+            lb: lb0.clone(),
+            ub: ub0.clone(),
+        };
+        let int_vars: Vec<usize> = model.integer_vars().iter().map(|v| v.index()).collect();
+        let is_binary = model
+            .vars()
+            .iter()
+            .map(|v| v.kind == crate::model::VarKind::Binary)
+            .collect();
+        Ok(BranchAndBound {
+            model,
+            config,
+            base,
+            int_vars,
+            is_binary,
+            lb0,
+            ub0,
+        })
+    }
+
+    /// Runs the search to completion or to a limit.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve`].
+    pub fn run(&mut self) -> Result<MilpSolution, IlpError> {
+        let start = Instant::now();
+        let obj_const = self.model.objective().constant();
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        if let Some(seed) = &self.config.incumbent {
+            if self.model.is_feasible(seed, 1e-6) {
+                let rounded = self.round_ints(seed.clone());
+                let obj = self.model.objective().eval(&rounded);
+                best = Some((obj, rounded));
+            }
+        }
+
+        let mut stack: Vec<(Vec<f64>, Vec<f64>)> = vec![(self.lb0.clone(), self.ub0.clone())];
+        let mut nodes = 0usize;
+        let mut limit_hit = false;
+
+        while let Some((lb, ub)) = stack.pop() {
+            if nodes >= self.config.max_nodes {
+                limit_hit = true;
+                break;
+            }
+            if let Some(tl) = self.config.time_limit {
+                if start.elapsed() >= tl {
+                    limit_hit = true;
+                    break;
+                }
+            }
+            nodes += 1;
+
+            let (x, obj) = match solve_lp_with_bounds(&self.base, &lb, &ub)? {
+                LpResult::Optimal { x, objective } => (x, objective),
+                LpResult::Infeasible => continue,
+                LpResult::Unbounded => continue, // cannot happen with finite bounds
+            };
+            let bound = match (&best, self.config.cutoff) {
+                (Some((b, _)), Some(c)) => Some(b.min(c)),
+                (Some((b, _)), None) => Some(*b),
+                (None, c) => c,
+            };
+            if let Some(bound) = bound {
+                // LP objective excludes the model's objective constant; the
+                // incumbent/cutoff objective includes it.
+                if obj + obj_const >= bound - 1e-9 {
+                    continue;
+                }
+            }
+            // Branch on the most fractional variable, binaries first:
+            // fixing structural 0/1 decisions (bindings, configurations,
+            // conflict selectors) collapses the big-M disjunctions much
+            // faster than squeezing start-time integers.
+            let mut branch: Option<(usize, f64)> = None;
+            let mut best_key = (false, self.config.int_tol);
+            for &j in &self.int_vars {
+                let f = (x[j] - x[j].round()).abs();
+                if f <= self.config.int_tol {
+                    continue;
+                }
+                let key = (self.is_binary[j], f);
+                if key > best_key {
+                    best_key = key;
+                    branch = Some((j, x[j]));
+                }
+            }
+            match branch {
+                None => {
+                    let rounded = self.round_ints(x);
+                    if self.model.is_feasible(&rounded, 1e-5) {
+                        let robj = self.model.objective().eval(&rounded);
+                        if best.as_ref().is_none_or(|(b, _)| robj < *b - 1e-9) {
+                            best = Some((robj, rounded));
+                        }
+                    }
+                }
+                Some((j, xj)) => {
+                    let floor = xj.floor();
+                    // Explore the nearer branch first (pushed last).
+                    let mut down = (lb.clone(), ub.clone());
+                    down.1[j] = floor.min(ub[j]);
+                    let mut up = (lb, ub);
+                    up.0[j] = (floor + 1.0).max(up.0[j]);
+                    let down_feasible = down.0[j] <= down.1[j] + 1e-12;
+                    let up_feasible = up.0[j] <= up.1[j] + 1e-12;
+                    if xj - floor <= 0.5 {
+                        if up_feasible {
+                            stack.push(up);
+                        }
+                        if down_feasible {
+                            stack.push(down);
+                        }
+                    } else {
+                        if down_feasible {
+                            stack.push(down);
+                        }
+                        if up_feasible {
+                            stack.push(up);
+                        }
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((objective, values)) => Ok(MilpSolution {
+                values,
+                objective,
+                status: if limit_hit {
+                    SolveStatus::Feasible
+                } else {
+                    SolveStatus::Optimal
+                },
+                nodes,
+            }),
+            None if limit_hit => Err(IlpError::LimitWithoutSolution),
+            None => Err(IlpError::Infeasible),
+        }
+    }
+
+    fn round_ints(&self, mut x: Vec<f64>) -> Vec<f64> {
+        for &j in &self.int_vars {
+            x[j] = x[j].round();
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Sense};
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::default()
+    }
+
+    #[test]
+    fn knapsack_small() {
+        let mut m = Model::minimize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.add_con(2.0 * a + 3.0 * b + 4.0 * c, Sense::Le, 5.0);
+        m.set_objective(-(3.0 * a + 4.0 * b + 5.0 * c));
+        let sol = solve(&m, &cfg()).unwrap();
+        assert_eq!(sol.objective, -7.0);
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!(sol.is_one(a) && sol.is_one(b) && !sol.is_one(c));
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // LP optimum is fractional; ILP must branch.
+        // max x + y s.t. 2x + 2y <= 3, integers -> best 1.
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 5.0);
+        let y = m.integer("y", 0.0, 5.0);
+        m.add_con(2.0 * x + 2.0 * y, Sense::Le, 3.0);
+        m.set_objective(-(x + y));
+        let sol = solve(&m, &cfg()).unwrap();
+        assert_eq!(sol.objective, -1.0);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 2x == 1 with x integer.
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 5.0);
+        m.add_con(2.0 * x, Sense::Eq, 1.0);
+        assert!(matches!(solve(&m, &cfg()), Err(IlpError::Infeasible)));
+    }
+
+    #[test]
+    fn equality_with_integers() {
+        // x + y == 4, minimize |x - 3| proxy: minimize (3 - x) with x <= 3.
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 3.0);
+        let y = m.integer("y", 0.0, 10.0);
+        m.add_con(x + y, Sense::Eq, 4.0);
+        m.set_objective(-(1.0 * x));
+        let sol = solve(&m, &cfg()).unwrap();
+        assert_eq!(sol.value(x), 3.0);
+        assert_eq!(sol.value(y), 1.0);
+    }
+
+    #[test]
+    fn objective_constant_is_respected() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.set_objective(x + 10.0);
+        let sol = solve(&m, &cfg()).unwrap();
+        assert_eq!(sol.objective, 10.0);
+        assert_eq!(sol.value(x), 0.0);
+    }
+
+    #[test]
+    fn warm_incumbent_is_used_under_zero_node_limit() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.set_objective(1.0 * x);
+        let config = SolverConfig {
+            max_nodes: 0,
+            incumbent: Some(vec![1.0]),
+            ..SolverConfig::default()
+        };
+        let sol = solve(&m, &config).unwrap();
+        assert_eq!(sol.status, SolveStatus::Feasible);
+        assert_eq!(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn limit_without_incumbent_errors() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.set_objective(1.0 * x);
+        let config = SolverConfig {
+            max_nodes: 0,
+            ..SolverConfig::default()
+        };
+        assert!(matches!(
+            solve(&m, &config),
+            Err(IlpError::LimitWithoutSolution)
+        ));
+    }
+
+    #[test]
+    fn infeasible_incumbent_is_ignored() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.add_con(1.0 * x, Sense::Ge, 1.0);
+        m.set_objective(1.0 * x);
+        let config = SolverConfig {
+            incumbent: Some(vec![0.0]), // violates x >= 1
+            ..SolverConfig::default()
+        };
+        let sol = solve(&m, &config).unwrap();
+        assert_eq!(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn big_m_disjunction() {
+        // Either x >= 5 or y >= 5 via big-M with binary selector.
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 10.0);
+        let y = m.integer("y", 0.0, 10.0);
+        let q = m.binary("q");
+        let big = 100.0;
+        // x >= 5 - M q ; y >= 5 - M (1 - q)
+        m.add_con(1.0 * x + big * q, Sense::Ge, 5.0);
+        m.add_con(1.0 * y - big * q, Sense::Ge, 5.0 - big);
+        m.set_objective(x + y);
+        let sol = solve(&m, &cfg()).unwrap();
+        assert_eq!(sol.objective, 5.0);
+    }
+
+    /// Exhaustive cross-check on random small pure-integer programs.
+    #[test]
+    fn randomised_against_enumeration() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..60 {
+            let n = rng.gen_range(1..4);
+            let m_rows = rng.gen_range(0..4);
+            let ubs: Vec<i64> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            let mut model = Model::minimize();
+            let vars: Vec<VarId> = (0..n)
+                .map(|j| model.integer(&format!("v{j}"), 0.0, ubs[j] as f64))
+                .collect();
+            let rows: Vec<(Vec<i64>, Sense, i64)> = (0..m_rows)
+                .map(|_| {
+                    let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-3..4)).collect();
+                    let sense = match rng.gen_range(0..3) {
+                        0 => Sense::Le,
+                        1 => Sense::Ge,
+                        _ => Sense::Eq,
+                    };
+                    (coeffs, sense, rng.gen_range(-4..8))
+                })
+                .collect();
+            for (coeffs, sense, rhs) in &rows {
+                let expr = crate::LinExpr::weighted_sum(
+                    vars.iter().zip(coeffs).map(|(&v, &c)| (v, c as f64)),
+                );
+                model.add_con(expr, *sense, *rhs as f64);
+            }
+            let obj_coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-3..4)).collect();
+            model.set_objective(crate::LinExpr::weighted_sum(
+                vars.iter().zip(&obj_coeffs).map(|(&v, &c)| (v, c as f64)),
+            ));
+
+            // Enumerate.
+            let mut best: Option<f64> = None;
+            let mut assign = vec![0i64; n];
+            loop {
+                let xs: Vec<f64> = assign.iter().map(|&v| v as f64).collect();
+                if model.is_feasible(&xs, 1e-9) {
+                    let o = model.objective().eval(&xs);
+                    best = Some(best.map_or(o, |b: f64| b.min(o)));
+                }
+                // increment odometer
+                let mut k = 0;
+                loop {
+                    if k == n {
+                        break;
+                    }
+                    assign[k] += 1;
+                    if assign[k] <= ubs[k] {
+                        break;
+                    }
+                    assign[k] = 0;
+                    k += 1;
+                }
+                if k == n {
+                    break;
+                }
+            }
+
+            match (solve(&model, &cfg()), best) {
+                (Ok(sol), Some(b)) => {
+                    assert!(
+                        (sol.objective - b).abs() < 1e-6,
+                        "trial {trial}: solver {} vs enumeration {b}",
+                        sol.objective
+                    );
+                }
+                (Err(IlpError::Infeasible), None) => {}
+                (got, want) => panic!("trial {trial}: solver {got:?} vs enumeration {want:?}"),
+            }
+        }
+    }
+}

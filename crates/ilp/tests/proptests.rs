@@ -1,0 +1,146 @@
+//! Property-based tests for the MILP solver: solutions are feasible and
+//! match exhaustive enumeration on small pure-integer programs.
+
+use mfhls_ilp::{solve, IlpError, LinExpr, Model, Sense, SolverConfig, VarId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct SmallIp {
+    ubs: Vec<i64>,
+    rows: Vec<(Vec<i64>, Sense, i64)>,
+    objective: Vec<i64>,
+}
+
+fn small_ip_strategy() -> impl Strategy<Value = SmallIp> {
+    (1usize..4).prop_flat_map(|n| {
+        let ubs = proptest::collection::vec(0i64..4, n);
+        let row = (
+            proptest::collection::vec(-3i64..4, n),
+            prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)],
+            -5i64..9,
+        );
+        let rows = proptest::collection::vec(row, 0..4);
+        let objective = proptest::collection::vec(-3i64..4, n);
+        (ubs, rows, objective).prop_map(|(ubs, rows, objective)| SmallIp {
+            ubs,
+            rows,
+            objective,
+        })
+    })
+}
+
+fn build(ip: &SmallIp) -> (Model, Vec<VarId>) {
+    let mut m = Model::minimize();
+    let vars: Vec<VarId> = ip
+        .ubs
+        .iter()
+        .enumerate()
+        .map(|(j, &u)| m.integer(&format!("v{j}"), 0.0, u as f64))
+        .collect();
+    for (coeffs, sense, rhs) in &ip.rows {
+        let expr = LinExpr::weighted_sum(vars.iter().zip(coeffs).map(|(&v, &c)| (v, c as f64)));
+        m.add_con(expr, *sense, *rhs as f64);
+    }
+    m.set_objective(LinExpr::weighted_sum(
+        vars.iter().zip(&ip.objective).map(|(&v, &c)| (v, c as f64)),
+    ));
+    (m, vars)
+}
+
+fn enumerate_best(ip: &SmallIp, model: &Model) -> Option<f64> {
+    let n = ip.ubs.len();
+    let mut best: Option<f64> = None;
+    let mut assign = vec![0i64; n];
+    loop {
+        let xs: Vec<f64> = assign.iter().map(|&v| v as f64).collect();
+        if model.is_feasible(&xs, 1e-9) {
+            let o = model.objective().eval(&xs);
+            best = Some(best.map_or(o, |b: f64| b.min(o)));
+        }
+        let mut k = 0;
+        loop {
+            if k == n {
+                return best;
+            }
+            assign[k] += 1;
+            if assign[k] <= ip.ubs[k] {
+                break;
+            }
+            assign[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn solver_matches_enumeration(ip in small_ip_strategy()) {
+        let (model, _) = build(&ip);
+        let expect = enumerate_best(&ip, &model);
+        match (solve(&model, &SolverConfig::default()), expect) {
+            (Ok(sol), Some(b)) => {
+                prop_assert!(model.is_feasible(sol.values(), 1e-6),
+                    "solver returned infeasible point");
+                prop_assert!((sol.objective - b).abs() < 1e-6,
+                    "solver {} vs enumeration {b}", sol.objective);
+            }
+            (Err(IlpError::Infeasible), None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver {got:?} disagrees with enumeration {want:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn presolve_never_changes_the_answer(ip in small_ip_strategy()) {
+        let (model, _) = build(&ip);
+        let with = solve(&model, &SolverConfig::default());
+        let without = solve(&model, &SolverConfig {
+            presolve: false,
+            ..SolverConfig::default()
+        });
+        match (with, without) {
+            (Ok(a), Ok(b)) => prop_assert!((a.objective - b.objective).abs() < 1e-6),
+            (Err(IlpError::Infeasible), Err(IlpError::Infeasible)) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "presolve changed outcome: {a:?} vs {b:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_only_prunes_never_invents(ip in small_ip_strategy()) {
+        let (model, _) = build(&ip);
+        let Ok(base) = solve(&model, &SolverConfig::default()) else {
+            return Ok(()); // infeasible: nothing to check
+        };
+        // A cutoff strictly above the optimum must still find the optimum.
+        let sol = solve(&model, &SolverConfig {
+            cutoff: Some(base.objective + 1.0),
+            ..SolverConfig::default()
+        }).expect("optimum below cutoff is reachable");
+        prop_assert!((sol.objective - base.objective).abs() < 1e-6);
+        // A cutoff at/below the optimum yields no solution (all pruned).
+        let pruned = solve(&model, &SolverConfig {
+            cutoff: Some(base.objective - 0.5),
+            ..SolverConfig::default()
+        });
+        prop_assert!(pruned.is_err());
+    }
+
+    #[test]
+    fn lp_format_writes_every_variable(ip in small_ip_strategy()) {
+        let (model, vars) = build(&ip);
+        let text = mfhls_ilp::write::to_lp_format(&model);
+        for v in vars {
+            let marker = format!("v{}_", v.index());
+            prop_assert!(text.contains(&marker), "missing {marker}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Monte-Carlo trial aggregation over simulated executions.
+
+use crate::{simulate_hybrid, simulate_online, DurationModel, SimConfig, SimError};
+use mfhls_core::{Assay, HybridSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over repeated stochastic executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialStats {
+    /// Number of trials aggregated.
+    pub trials: u64,
+    /// Minimum makespan observed.
+    pub min: u64,
+    /// Median makespan.
+    pub median: u64,
+    /// 95th-percentile makespan.
+    pub p95: u64,
+    /// Maximum makespan observed.
+    pub max: u64,
+    /// Mean makespan, rounded to the nearest unit.
+    pub mean: u64,
+    /// Run-time control decisions per trial (constant per policy).
+    pub decisions: usize,
+}
+
+impl TrialStats {
+    fn from_spans(mut spans: Vec<u64>, decisions: usize) -> TrialStats {
+        assert!(!spans.is_empty(), "at least one trial required");
+        spans.sort_unstable();
+        let n = spans.len();
+        let pct = |p: f64| spans[(((n - 1) as f64) * p).round() as usize];
+        TrialStats {
+            trials: n as u64,
+            min: spans[0],
+            median: pct(0.5),
+            p95: pct(0.95),
+            max: spans[n - 1],
+            mean: (spans.iter().sum::<u64>() as f64 / n as f64).round() as u64,
+            decisions,
+        }
+    }
+}
+
+impl std::fmt::Display for TrialStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} trials: min {}m, median {}m, p95 {}m, max {}m (mean {}m, {} decisions)",
+            self.trials, self.min, self.median, self.p95, self.max, self.mean, self.decisions
+        )
+    }
+}
+
+/// Runs `trials` hybrid executions with seeds `0..trials` and aggregates
+/// the realized makespans.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] (an invalid schedule fails on every
+/// seed identically).
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+///
+/// # Example
+///
+/// ```
+/// use mfhls_core::{Assay, Duration, Operation, SynthConfig, Synthesizer};
+/// use mfhls_sim::{trials, DurationModel};
+///
+/// let mut assay = Assay::new("demo");
+/// assay.add_op(Operation::new("capture").with_duration(Duration::at_least(2)));
+/// let r = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+/// let stats = trials::run_hybrid_trials(
+///     &assay,
+///     &r.schedule,
+///     DurationModel::GeometricRetry { success_probability: 0.5, max_attempts: 10 },
+///     50,
+/// )?;
+/// assert!(stats.min >= 2);
+/// assert!(stats.p95 >= stats.median);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_hybrid_trials(
+    assay: &Assay,
+    schedule: &HybridSchedule,
+    model: DurationModel,
+    trials: u64,
+) -> Result<TrialStats, SimError> {
+    assert!(trials > 0, "at least one trial required");
+    let mut spans = Vec::with_capacity(trials as usize);
+    let mut decisions = 0;
+    for seed in 0..trials {
+        let run = simulate_hybrid(assay, schedule, &SimConfig { model, seed })?;
+        decisions = run.decisions;
+        spans.push(run.makespan);
+    }
+    Ok(TrialStats::from_spans(spans, decisions))
+}
+
+/// Runs `trials` fully-online executions (see
+/// [`simulate_online`]) and aggregates makespans.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn run_online_trials(
+    assay: &Assay,
+    schedule: &HybridSchedule,
+    model: DurationModel,
+    trials: u64,
+    decision_latency: u64,
+    serial_decisions: bool,
+) -> Result<TrialStats, SimError> {
+    assert!(trials > 0, "at least one trial required");
+    let mut spans = Vec::with_capacity(trials as usize);
+    let mut decisions = 0;
+    for seed in 0..trials {
+        let run = simulate_online(
+            assay,
+            schedule,
+            &SimConfig { model, seed },
+            decision_latency,
+            serial_decisions,
+        )?;
+        decisions = run.decisions;
+        spans.push(run.makespan);
+    }
+    Ok(TrialStats::from_spans(spans, decisions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfhls_core::{Duration, Operation, SynthConfig, Synthesizer};
+
+    fn setup() -> (Assay, HybridSchedule) {
+        let mut a = Assay::new("t");
+        let x = a.add_op(Operation::new("x").with_duration(Duration::fixed(5)));
+        let c = a.add_op(Operation::new("c").with_duration(Duration::at_least(3)));
+        a.add_dependency(x, c).unwrap();
+        let r = Synthesizer::new(SynthConfig::default()).run(&a).unwrap();
+        (a, r.schedule)
+    }
+
+    #[test]
+    fn stats_are_ordered() {
+        let (a, s) = setup();
+        let stats = run_hybrid_trials(
+            &a,
+            &s,
+            DurationModel::GeometricRetry {
+                success_probability: 0.5,
+                max_attempts: 10,
+            },
+            100,
+        )
+        .unwrap();
+        assert!(stats.min <= stats.median);
+        assert!(stats.median <= stats.p95);
+        assert!(stats.p95 <= stats.max);
+        assert!(stats.mean >= stats.min && stats.mean <= stats.max);
+        assert_eq!(stats.trials, 100);
+    }
+
+    #[test]
+    fn exact_model_has_zero_variance() {
+        let (a, s) = setup();
+        let stats = run_hybrid_trials(&a, &s, DurationModel::Exact, 20).unwrap();
+        assert_eq!(stats.min, stats.max);
+        assert_eq!(stats.mean, stats.median);
+    }
+
+    #[test]
+    fn online_trials_report_per_op_decisions() {
+        let (a, s) = setup();
+        let stats =
+            run_online_trials(&a, &s, DurationModel::Exact, 10, 1, false).unwrap();
+        assert_eq!(stats.decisions, a.len());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let (a, s) = setup();
+        let stats = run_hybrid_trials(&a, &s, DurationModel::Exact, 5).unwrap();
+        let text = stats.to_string();
+        assert!(text.contains("5 trials"));
+        assert!(text.contains("median"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let (a, s) = setup();
+        let _ = run_hybrid_trials(&a, &s, DurationModel::Exact, 0);
+    }
+}

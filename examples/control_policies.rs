@@ -1,0 +1,97 @@
+//! Hybrid vs fully-offline (padded) vs fully-online control, on the
+//! single-cell RT-qPCR benchmark — the trade-off that motivates hybrid
+//! scheduling in §1 of the paper.
+//!
+//! Run with: `cargo run --release --example control_policies`
+
+use mfhls::sim::{
+    pad_indeterminate, simulate_hybrid, simulate_online, simulate_padded, DurationModel,
+    SimConfig,
+};
+use mfhls::{SynthConfig, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let assay = mfhls::assays::rtqpcr(20);
+    let model = DurationModel::GeometricRetry {
+        success_probability: 0.53,
+        max_attempts: 20,
+    };
+    let trials = 100u64;
+    println!(
+        "assay: {} — {} ops, {} indeterminate; {trials} trials each",
+        assay.name(),
+        assay.len(),
+        assay.indeterminate_ops().len()
+    );
+
+    // Hybrid (the paper's flow).
+    let hybrid = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+    let mut spans = Vec::new();
+    let mut decisions = 0;
+    for seed in 0..trials {
+        let run = simulate_hybrid(&assay, &hybrid.schedule, &SimConfig { model, seed })?;
+        decisions = run.decisions;
+        spans.push(run.makespan);
+    }
+    report("hybrid (paper)", &mut spans, decisions, None);
+
+    // Fully offline: pad captures to 3x their minimum and fix the schedule.
+    let pad = 3.0;
+    let padded_assay = pad_indeterminate(&assay, pad);
+    let offline = Synthesizer::new(SynthConfig::default()).run(&padded_assay)?;
+    let fixed = offline.schedule.exec_time(&padded_assay).fixed;
+    let mut failures = 0;
+    for seed in 0..trials {
+        let out = simulate_padded(&assay, fixed, pad, &SimConfig { model, seed });
+        if !out.success {
+            failures += 1;
+        }
+    }
+    let mut fixed_spans = vec![fixed; trials as usize];
+    report(
+        &format!("offline, pad x{pad}"),
+        &mut fixed_spans,
+        0,
+        Some(failures as f64 / trials as f64),
+    );
+
+    // Fully online: every dispatch needs the controller/operator (2 min).
+    let mut online_spans = Vec::new();
+    let mut online_decisions = 0;
+    for seed in 0..trials {
+        let run = simulate_online(
+            &assay,
+            &hybrid.schedule,
+            &SimConfig { model, seed },
+            2,
+            true,
+        )?;
+        online_decisions = run.decisions;
+        online_spans.push(run.makespan);
+    }
+    report("online, 2m/decision", &mut online_spans, online_decisions, None);
+
+    println!(
+        "\nhybrid needs {} run-time decisions; fully online needs {} — and the offline\n\
+         schedule silently fails whenever one capture outruns its padding.",
+        decisions, online_decisions
+    );
+    Ok(())
+}
+
+fn report(name: &str, spans: &mut [u64], decisions: usize, failure_rate: Option<f64>) {
+    spans.sort_unstable();
+    let (lo, med, hi) = (
+        spans[0],
+        spans[spans.len() / 2],
+        spans[spans.len() - 1],
+    );
+    print!("{name:<20} makespan {lo:>4}/{med:>4}/{hi:>4}m (min/med/max)");
+    if decisions > 0 {
+        print!("  decisions {decisions}");
+    }
+    if let Some(f) = failure_rate {
+        print!("  FAILURE RATE {:.1}%", f * 100.0);
+    }
+    println!();
+}

@@ -1,0 +1,74 @@
+//! Quickstart: define a small assay, synthesize a hybrid schedule, print it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mfhls::chip::{Accessory, Capacity, ContainerKind};
+use mfhls::{Assay, Duration, Operation, SynthConfig, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A miniature single-cell protocol: prepare a reagent mix, capture one
+    // cell (indeterminate: the trap is re-run until it holds exactly one
+    // cell), lyse it, and read the result out optically.
+    let mut assay = Assay::new("quickstart");
+    let mix = assay.add_op(
+        Operation::new("prepare reagent mix")
+            .container(ContainerKind::Ring)
+            .capacity(Capacity::Medium)
+            .accessory(Accessory::Pump)
+            .with_duration(Duration::fixed(10)),
+    );
+    let capture = assay.add_op(
+        Operation::new("single-cell capture")
+            .capacity(Capacity::Small)
+            .accessory(Accessory::CellTrap)
+            .accessory(Accessory::OpticalSystem)
+            .with_duration(Duration::at_least(3)),
+    );
+    let lyse = assay.add_op(
+        Operation::new("cell lysis")
+            .capacity(Capacity::Tiny)
+            .accessory(Accessory::HeatingPad)
+            .with_duration(Duration::fixed(8)),
+    );
+    let detect = assay.add_op(
+        Operation::new("fluorescence readout")
+            .accessory(Accessory::OpticalSystem)
+            .with_duration(Duration::fixed(5)),
+    );
+    assay.add_dependency(mix, capture)?;
+    assay.add_dependency(capture, lyse)?;
+    assay.add_dependency(lyse, detect)?;
+
+    let result = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+    result.schedule.validate(&assay)?;
+
+    println!("assay: {} ({} operations)", assay.name(), assay.len());
+    println!(
+        "layers: {} | execution time: {} | devices: {} | paths: {}",
+        result.layering.num_layers(),
+        result.schedule.exec_time(&assay),
+        result.schedule.used_device_count(),
+        result.schedule.path_count(),
+    );
+    println!();
+    for (li, layer) in result.schedule.layers.iter().enumerate() {
+        println!("layer {li} (makespan {}m):", layer.makespan());
+        for slot in &layer.ops {
+            let op = assay.op(slot.op);
+            println!(
+                "  t={:>3}..{:<3} d{}  {:<22} [{}]",
+                slot.start,
+                slot.finish(),
+                slot.device,
+                op.name(),
+                op.duration(),
+            );
+        }
+    }
+    println!();
+    println!("devices:");
+    for (d, cfg) in result.schedule.devices.iter().enumerate() {
+        println!("  d{d}: {cfg}");
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Deep-dive into one synthesized schedule: ASCII Gantt chart, device
+//! utilisation, critical path, parallelism profile, control-layer
+//! estimate, and SVG exports (schedule + routed chip layout).
+//!
+//! Run with: `cargo run --release --example schedule_analysis`
+
+use mfhls::chip::{control, floorplan, layout, routing};
+use mfhls::core::{analysis, render};
+use mfhls::{SynthConfig, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let assay = mfhls::assays::gene_expression(4);
+    let result = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+    result.schedule.validate(&assay)?;
+
+    println!("=== Gantt ===\n");
+    print!("{}", render::gantt(&assay, &result.schedule, 76));
+
+    let report = analysis::analyse(&assay, &result.schedule);
+    println!("\n=== Analysis ===");
+    println!("fixed makespan: {}m", report.fixed_makespan);
+    println!("critical path:");
+    for op in &report.critical_path {
+        println!("  {op}  {}", assay.op(*op).name());
+    }
+    println!("device utilisation:");
+    for d in &report.devices {
+        println!(
+            "  d{:<3} {:>3} ops, busy {:>4}m, {:>5.1}%",
+            d.device,
+            d.ops,
+            d.busy,
+            d.utilisation * 100.0
+        );
+    }
+    for (li, p) in report.parallelism.iter().enumerate() {
+        println!(
+            "layer {li}: peak parallelism {}, average {:.1}",
+            p.peak,
+            p.average_milli as f64 / 1000.0
+        );
+    }
+    if !report.boundary_storage.is_empty() {
+        println!("boundary storage: {:?}", report.boundary_storage);
+    }
+
+    // Control-layer estimate and floorplan feasibility for the chip.
+    let netlist = result.schedule.to_netlist(&assay);
+    let est = control::estimate(&netlist, &control::ControlModel::default(), true);
+    println!(
+        "\ncontrol layer: {} valves, {} control ports (+{} heater, +{} optical)",
+        est.valves, est.control_ports, est.heater_ports, est.optical_ports
+    );
+    let report = floorplan::check(
+        &netlist,
+        &floorplan::ChipSpec::default(),
+        &mfhls::chip::CostModel::default(),
+        &control::ControlModel::default(),
+    );
+    println!("floorplan: {report}");
+
+    // SVG exports.
+    let tmp = std::env::temp_dir();
+    let gantt_svg = tmp.join("mfhls_schedule.svg");
+    std::fs::write(&gantt_svg, render::to_svg(&assay, &result.schedule))?;
+    let placed = layout::place(&netlist);
+    let routed = routing::route(&netlist, &placed);
+    let chip_svg = tmp.join("mfhls_chip.svg");
+    std::fs::write(&chip_svg, routed.to_svg(&netlist, &placed))?;
+    println!(
+        "\nSVGs written:\n  schedule: {}\n  chip:     {} (total routed channel length {})",
+        gantt_svg.display(),
+        chip_svg.display(),
+        routed.total_length()
+    );
+    Ok(())
+}

@@ -1,0 +1,318 @@
+//! The `mfhls` command-line tool: synthesize, validate, inspect, and
+//! simulate assay descriptions written in the text DSL.
+//!
+//! ```text
+//! mfhls synth protocol.mfa [--conventional] [--max-devices N] [--threshold T]
+//!                          [--weights Ct,Ca,Cpr,Cp] [--gantt] [--svg FILE]
+//!                          [--report] [--iterations]
+//! mfhls validate protocol.mfa
+//! mfhls simulate protocol.mfa [--trials N] [--policy hybrid|online]
+//!                             [--success-probability P] [--latency M]
+//! mfhls export-lp protocol.mfa [--layer K] [--out FILE]
+//! mfhls bench
+//! ```
+
+use mfhls::core::{analysis, export, ilp_model, render};
+use mfhls::sim::{trials, DurationModel};
+use mfhls::{Assay, SolverKind, SynthConfig, Synthesizer, Weights};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliError = Box<dyn std::error::Error>;
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "synth" => synth(&args[1..]),
+        "validate" => validate(&args[1..]),
+        "simulate" => simulate(&args[1..]),
+        "export-lp" => export_lp(&args[1..]),
+        "graph" => graph(&args[1..]),
+        "bench" => bench(),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'mfhls help')").into()),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "mfhls — component-oriented HLS for continuous-flow microfluidics (DAC'17)\n\n\
+         USAGE:\n  \
+         mfhls synth <file.mfa> [--conventional] [--max-devices N] [--threshold T]\n             \
+         [--weights Ct,Ca,Cpr,Cp] [--solver heuristic|ilp|hybrid] [--gantt]\n             \
+         [--svg FILE] [--csv FILE] [--report] [--iterations]\n  \
+         mfhls validate <file.mfa>\n  \
+         mfhls simulate <file.mfa> [--trials N] [--policy hybrid|online]\n             \
+         [--success-probability P] [--latency M]\n  \
+         mfhls export-lp <file.mfa> [--layer K] [--out FILE]\n  \
+         mfhls graph <file.mfa> [--layers] [--out FILE]\n  \
+         mfhls bench"
+    );
+}
+
+/// Minimal flag cursor over the argument list.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl Flags<'_> {
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid value for {name}: {e}").into()),
+        }
+    }
+}
+
+fn load_assay(args: &[String]) -> Result<(Assay, Flags<'_>), CliError> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("expected a .mfa file path".into());
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let assay = mfhls::dsl::parse(&text).map_err(|e| format!("{path}:{e}"))?;
+    Ok((assay, Flags { args: &args[1..] }))
+}
+
+fn config_from(flags: &Flags<'_>) -> Result<SynthConfig, CliError> {
+    let mut config = SynthConfig {
+        max_devices: flags.parsed("--max-devices", 25usize)?,
+        indeterminate_threshold: flags.parsed("--threshold", 10usize)?,
+        ..SynthConfig::default()
+    };
+    if let Some(w) = flags.value("--weights") {
+        let parts: Vec<u64> = w
+            .split(',')
+            .map(|p| p.trim().parse())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("invalid --weights (want Ct,Ca,Cpr,Cp): {e}"))?;
+        let [time, area, processing, paths] = parts[..] else {
+            return Err("--weights wants exactly four numbers: Ct,Ca,Cpr,Cp".into());
+        };
+        config.weights = Weights {
+            time,
+            area,
+            processing,
+            paths,
+        };
+    }
+    match flags.value("--solver") {
+        None | Some("heuristic") => {}
+        Some("ilp") => config.solver = SolverKind::Ilp { max_nodes: 500_000 },
+        Some("hybrid") => {
+            config.solver = SolverKind::Hybrid {
+                max_nodes: 200_000,
+                ilp_op_limit: 8,
+                improvement_passes: 2,
+            }
+        }
+        Some(other) => return Err(format!("unknown solver '{other}'").into()),
+    }
+    if flags.has("--conventional") {
+        config = mfhls::core::conventional::conventional_config(config);
+    }
+    Ok(config)
+}
+
+fn synth(args: &[String]) -> Result<(), CliError> {
+    let (assay, flags) = load_assay(args)?;
+    let config = config_from(&flags)?;
+    let result = Synthesizer::new(config).run(&assay)?;
+    result.schedule.validate(&assay)?;
+
+    println!(
+        "{}: {} ops ({} indeterminate) -> {} layers",
+        assay.name(),
+        assay.len(),
+        assay.indeterminate_ops().len(),
+        result.layering.num_layers()
+    );
+    println!(
+        "exec time {} | devices {} | paths {} | runtime {:.3?}",
+        result.schedule.exec_time(&assay),
+        result.schedule.used_device_count(),
+        result.schedule.path_count(),
+        result.runtime
+    );
+    if flags.has("--iterations") {
+        for (k, it) in result.iterations.iter().enumerate() {
+            println!(
+                "  iteration {k}: exec {} devices {} paths {}",
+                it.exec_time, it.device_count, it.path_count
+            );
+        }
+    }
+    if flags.has("--gantt") {
+        println!("\n{}", render::gantt(&assay, &result.schedule, 90));
+    }
+    if flags.has("--report") {
+        let report = analysis::analyse(&assay, &result.schedule);
+        println!("\ncritical path:");
+        for op in &report.critical_path {
+            println!("  {op} {}", assay.op(*op).name());
+        }
+        println!("device utilisation:");
+        for d in &report.devices {
+            println!(
+                "  d{:<3} {:>3} ops  {:>5.1}%",
+                d.device,
+                d.ops,
+                d.utilisation * 100.0
+            );
+        }
+    }
+    if let Some(path) = flags.value("--svg") {
+        std::fs::write(path, render::to_svg(&assay, &result.schedule))?;
+        println!("schedule SVG written to {path}");
+    }
+    if let Some(path) = flags.value("--csv") {
+        std::fs::write(path, export::schedule_csv(&assay, &result.schedule))?;
+        println!("schedule CSV written to {path}");
+    }
+    Ok(())
+}
+
+fn validate(args: &[String]) -> Result<(), CliError> {
+    let (assay, _) = load_assay(args)?;
+    println!(
+        "OK: '{}' parses — {} ops, {} dependencies, {} indeterminate",
+        assay.name(),
+        assay.len(),
+        assay.dependencies().count(),
+        assay.indeterminate_ops().len()
+    );
+    let layering = mfhls::layer_assay(&assay, 10)?;
+    layering.validate(&assay, 10)?;
+    println!("OK: layers into {} layers at threshold 10", layering.num_layers());
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), CliError> {
+    let (assay, flags) = load_assay(args)?;
+    let config = config_from(&flags)?;
+    let n = flags.parsed("--trials", 100u64)?;
+    let p = flags.parsed("--success-probability", 0.53f64)?;
+    let latency = flags.parsed("--latency", 2u64)?;
+    let result = Synthesizer::new(config).run(&assay)?;
+    let model = DurationModel::GeometricRetry {
+        success_probability: p,
+        max_attempts: 20,
+    };
+    let stats = match flags.value("--policy").unwrap_or("hybrid") {
+        "hybrid" => trials::run_hybrid_trials(&assay, &result.schedule, model, n)?,
+        "online" => {
+            trials::run_online_trials(&assay, &result.schedule, model, n, latency, true)?
+        }
+        other => return Err(format!("unknown policy '{other}'").into()),
+    };
+    println!("{stats}");
+    Ok(())
+}
+
+fn export_lp(args: &[String]) -> Result<(), CliError> {
+    let (assay, flags) = load_assay(args)?;
+    let layer_idx = flags.parsed("--layer", 0usize)?;
+    let config = config_from(&flags)?;
+    let layering = mfhls::layer_assay(&assay, config.indeterminate_threshold)?;
+    if layer_idx >= layering.num_layers() {
+        return Err(format!(
+            "layer {layer_idx} out of range (assay has {} layers)",
+            layering.num_layers()
+        )
+        .into());
+    }
+    let transport =
+        mfhls::core::TransportTimes::initial(&assay, &config.transport);
+    let problem = mfhls::core::LayerProblem {
+        assay: &assay,
+        ops: layering.layers()[layer_idx].clone(),
+        devices: vec![],
+        bindable: vec![],
+        max_devices: config.max_devices,
+        transport: &transport,
+        weights: config.weights,
+        costs: &config.costs,
+        existing_paths: Default::default(),
+        cross_inputs: vec![],
+        component_oriented: true,
+    };
+    let text = ilp_model::export_lp(&problem);
+    match flags.value("--out") {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            println!("LP model for layer {layer_idx} written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn graph(args: &[String]) -> Result<(), CliError> {
+    let (assay, flags) = load_assay(args)?;
+    let layering = if flags.has("--layers") {
+        Some(mfhls::layer_assay(&assay, flags.parsed("--threshold", 10usize)?)?)
+    } else {
+        None
+    };
+    let text = render::dot(&assay, layering.as_ref());
+    match flags.value("--out") {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            println!("DOT graph written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn bench() -> Result<(), CliError> {
+    println!("Running the Table 2 benchmark cases (see mfhls-bench for the full harness):\n");
+    for (case, tag, assay) in mfhls::assays::benchmarks() {
+        let ours = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+        let conv = mfhls::core::conventional::run(&assay, SynthConfig::default())?;
+        println!(
+            "case {case} {tag} ({} ops): ours {} D{} P{} | conv {} D{} P{}",
+            assay.len(),
+            ours.schedule.exec_time(&assay),
+            ours.schedule.used_device_count(),
+            ours.schedule.path_count(),
+            conv.schedule.exec_time(&assay),
+            conv.schedule.used_device_count(),
+            conv.schedule.path_count(),
+        );
+    }
+    Ok(())
+}

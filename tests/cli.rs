@@ -1,0 +1,206 @@
+//! End-to-end tests of the `mfhls` command-line binary, driving it the way
+//! a user would (file in, report out).
+
+use std::process::Command;
+
+fn mfhls(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mfhls"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_protocol(name: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("mfhls_cli_{name}_{}.mfa", std::process::id()));
+    std::fs::write(&path, body).expect("temp file");
+    path
+}
+
+const PROTOCOL: &str = r#"
+assay "cli test"
+op prep { capacity: medium accessories: [pump] duration: 6m }
+repeat 3 {
+    op capture { accessories: [cell-trap] duration: >= 3m after: [prep] }
+    op read { accessories: [optical-system] duration: 4m after: [capture] }
+}
+"#;
+
+#[test]
+fn no_args_prints_usage() {
+    let out = mfhls(&[]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = mfhls(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn synth_reports_metrics() {
+    let path = write_protocol("synth", PROTOCOL);
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--gantt", "--report", "--iterations"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cli test: 7 ops (3 indeterminate)"), "{text}");
+    assert!(text.contains("exec time"));
+    assert!(text.contains("layer 0"), "gantt missing");
+    assert!(text.contains("critical path"), "report missing");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn synth_conventional_flag_works() {
+    let path = write_protocol("conv", PROTOCOL);
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--conventional"]);
+    assert!(out.status.success());
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn synth_custom_weights_and_budget() {
+    let path = write_protocol("weights", PROTOCOL);
+    let out = mfhls(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--weights",
+        "10,1,1,4",
+        "--max-devices",
+        "6",
+        "--threshold",
+        "4",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn synth_rejects_bad_weights() {
+    let path = write_protocol("badw", PROTOCOL);
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--weights", "1,2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("four numbers"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn validate_accepts_and_rejects() {
+    let good = write_protocol("good", PROTOCOL);
+    let out = mfhls(&["validate", good.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+    let _ = std::fs::remove_file(good);
+
+    let bad = write_protocol("bad", "assay \"x\"\nop a { bogus: 1 }");
+    let out = mfhls(&["validate", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bogus"));
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn simulate_prints_trial_stats() {
+    let path = write_protocol("sim", PROTOCOL);
+    let out = mfhls(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--trials",
+        "20",
+        "--policy",
+        "hybrid",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("20 trials"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn simulate_online_policy() {
+    let path = write_protocol("simon", PROTOCOL);
+    let out = mfhls(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--trials",
+        "10",
+        "--policy",
+        "online",
+        "--latency",
+        "3",
+    ]);
+    assert!(out.status.success());
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn export_lp_emits_model() {
+    let path = write_protocol("lp", PROTOCOL);
+    let out = mfhls(&["export-lp", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Minimize"));
+    assert!(text.contains("Subject To"));
+    assert!(text.contains("Binaries"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn export_lp_rejects_out_of_range_layer() {
+    let path = write_protocol("lp_range", PROTOCOL);
+    let out = mfhls(&["export-lp", path.to_str().unwrap(), "--layer", "99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn svg_export_writes_file() {
+    let path = write_protocol("svg", PROTOCOL);
+    let svg = std::env::temp_dir().join(format!("mfhls_cli_{}.svg", std::process::id()));
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--svg", svg.to_str().unwrap()]);
+    assert!(out.status.success());
+    let content = std::fs::read_to_string(&svg).expect("svg written");
+    assert!(content.starts_with("<svg"));
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(svg);
+}
+
+#[test]
+fn csv_export_writes_file() {
+    let path = write_protocol("csv", PROTOCOL);
+    let csv = std::env::temp_dir().join(format!("mfhls_cli_{}.csv", std::process::id()));
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--csv", csv.to_str().unwrap()]);
+    assert!(out.status.success());
+    let content = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(content.starts_with("op,name,layer,device"));
+    assert_eq!(content.lines().count(), 1 + 7);
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(csv);
+}
+
+#[test]
+fn graph_emits_dot() {
+    let path = write_protocol("dot", PROTOCOL);
+    let out = mfhls(&["graph", path.to_str().unwrap(), "--layers"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("cluster_layer_0"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn repo_protocol_files_synthesize() {
+    for file in ["protocols/single_cell_screen.mfa", "protocols/bead_wash.mfa"] {
+        let out = mfhls(&["synth", file]);
+        assert!(
+            out.status.success(),
+            "{file}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Cross-crate integration tests: the full pipeline on the paper's
+//! benchmark assays, checking both hard invariants (validation) and the
+//! qualitative shape of Table 2.
+
+use mfhls::core::conventional;
+use mfhls::sim::{simulate_hybrid, SimConfig};
+use mfhls::{SolverKind, SynthConfig, Synthesizer};
+
+#[test]
+fn table2_shape_holds() {
+    for (case, _, assay) in mfhls::assays::benchmarks() {
+        let ours = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .unwrap_or_else(|e| panic!("case {case} ours: {e}"));
+        let conv = conventional::run(&assay, SynthConfig::default())
+            .unwrap_or_else(|e| panic!("case {case} conv: {e}"));
+        ours.schedule.validate(&assay).unwrap();
+        conv.schedule.validate(&assay).unwrap();
+
+        let ours_t = ours.schedule.exec_time(&assay);
+        let conv_t = conv.schedule.exec_time(&assay);
+        // Same symbolic extras (the layering is duration-driven, identical
+        // for both methods).
+        assert_eq!(
+            ours_t.indeterminate_layers, conv_t.indeterminate_layers,
+            "case {case}"
+        );
+        // Our method is at least as fast...
+        assert!(
+            ours_t.fixed <= conv_t.fixed,
+            "case {case}: ours {} vs conv {}",
+            ours_t,
+            conv_t
+        );
+        // ...with no more devices than the budget and no more paths than
+        // the baseline (component-oriented consolidation).
+        assert!(ours.schedule.used_device_count() <= 25, "case {case}");
+        assert!(conv.schedule.used_device_count() <= 25, "case {case}");
+        assert!(
+            ours.schedule.path_count() <= conv.schedule.path_count(),
+            "case {case}: ours {} paths vs conv {}",
+            ours.schedule.path_count(),
+            conv.schedule.path_count()
+        );
+    }
+}
+
+#[test]
+fn layering_matches_paper_structure() {
+    // Case 1: no indeterminate ops -> single layer, no I extras.
+    let a1 = mfhls::assays::kinase_activity(2);
+    let r1 = Synthesizer::new(SynthConfig::default()).run(&a1).unwrap();
+    assert_eq!(r1.layering.num_layers(), 1);
+    assert!(r1.schedule.exec_time(&a1).indeterminate_layers.is_empty());
+
+    // Case 2: 10 indeterminate (= threshold) -> 2 layers, I1.
+    let a2 = mfhls::assays::gene_expression(10);
+    let r2 = Synthesizer::new(SynthConfig::default()).run(&a2).unwrap();
+    assert_eq!(r2.layering.num_layers(), 2);
+    assert_eq!(r2.schedule.exec_time(&a2).indeterminate_layers, vec![1]);
+
+    // Case 3: 20 indeterminate -> 3 layers, I1 + I2.
+    let a3 = mfhls::assays::rtqpcr(20);
+    let r3 = Synthesizer::new(SynthConfig::default()).run(&a3).unwrap();
+    assert_eq!(r3.layering.num_layers(), 3);
+    assert_eq!(r3.schedule.exec_time(&a3).indeterminate_layers, vec![1, 2]);
+}
+
+#[test]
+fn progressive_resynthesis_reports_improvements() {
+    let assay = mfhls::assays::rtqpcr(20);
+    let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+    assert!(r.iterations.len() >= 2, "re-synthesis should iterate");
+    let first = r.iterations[0].exec_time.fixed;
+    let best = r.schedule.exec_time(&assay).fixed;
+    assert!(best < first, "re-synthesis should improve case 3");
+    // The kept schedule is the best of all iterations.
+    for it in &r.iterations {
+        assert!(best <= it.exec_time.fixed);
+    }
+}
+
+#[test]
+fn dsl_round_trip_synthesises_identically() {
+    let assay = mfhls::assays::gene_expression(3);
+    let text = mfhls::dsl::to_text(&assay);
+    let reparsed = mfhls::dsl::parse(&text).unwrap();
+    let a = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+    let b = Synthesizer::new(SynthConfig::default()).run(&reparsed).unwrap();
+    assert_eq!(
+        a.schedule.exec_time(&assay),
+        b.schedule.exec_time(&reparsed)
+    );
+    assert_eq!(
+        a.schedule.used_device_count(),
+        b.schedule.used_device_count()
+    );
+}
+
+#[test]
+fn schedules_execute_without_runtime_conflicts() {
+    for (case, _, assay) in mfhls::assays::benchmarks() {
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+        for seed in 0..5 {
+            let sim = simulate_hybrid(&assay, &r.schedule, &SimConfig {
+                seed,
+                ..SimConfig::default()
+            })
+            .unwrap_or_else(|e| panic!("case {case} seed {seed}: {e}"));
+            // Realized makespan is never below the fixed accounting.
+            assert!(sim.makespan >= r.schedule.exec_time(&assay).fixed);
+        }
+    }
+}
+
+#[test]
+fn hybrid_solver_never_loses_to_heuristic() {
+    let mut assay = mfhls::Assay::new("tiny");
+    use mfhls::{Duration, Operation};
+    let a = assay.add_op(Operation::new("a").with_duration(Duration::fixed(5)));
+    let b = assay.add_op(Operation::new("b").with_duration(Duration::fixed(7)));
+    let c = assay.add_op(Operation::new("c").with_duration(Duration::fixed(3)));
+    assay.add_dependency(a, c).unwrap();
+    assay.add_dependency(b, c).unwrap();
+
+    let heur = Synthesizer::new(SynthConfig {
+        solver: SolverKind::Heuristic {
+            improvement_passes: 2,
+        },
+        max_devices: 4,
+        ..SynthConfig::default()
+    })
+    .run(&assay)
+    .unwrap();
+    let hybrid = Synthesizer::new(SynthConfig {
+        solver: SolverKind::Hybrid {
+            max_nodes: 100_000,
+            ilp_op_limit: 8,
+            improvement_passes: 2,
+        },
+        max_devices: 4,
+        ..SynthConfig::default()
+    })
+    .run(&assay)
+    .unwrap();
+    hybrid.schedule.validate(&assay).unwrap();
+    assert!(
+        hybrid.final_stats().objective <= heur.final_stats().objective,
+        "hybrid {} vs heuristic {}",
+        hybrid.final_stats().objective,
+        heur.final_stats().objective
+    );
+}
+
+#[test]
+fn netlist_and_layout_are_consistent_with_schedule() {
+    let assay = mfhls::assays::kinase_activity(2);
+    let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+    let netlist = r.schedule.to_netlist(&assay);
+    assert_eq!(netlist.devices().len(), r.schedule.devices.len());
+    assert_eq!(netlist.path_count(), r.schedule.path_count());
+    let layout = mfhls::chip::layout::place(&netlist);
+    for (key, _) in netlist.paths() {
+        assert!(layout.path_length(key).is_some(), "path {key} unplaced");
+    }
+}
+
+#[test]
+fn benchmark_chips_fit_a_large_die() {
+    use mfhls::chip::{control::ControlModel, floorplan, CostModel};
+    // |D| = 25 worst case: 25 medium rings with all accessories is the
+    // upper envelope; the synthesized chips must stay well under a large
+    // die spec.
+    let spec = floorplan::ChipSpec {
+        max_area: 1500,
+        max_ports: 220,
+        ..floorplan::ChipSpec::default()
+    };
+    for (case, _, assay) in mfhls::assays::benchmarks() {
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+        let netlist = r.schedule.to_netlist(&assay);
+        let report = floorplan::check(
+            &netlist,
+            &spec,
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        assert!(report.fits, "case {case}: {report}");
+        // Sanity: area accounting matches the device list.
+        let sum: u64 = r
+            .schedule
+            .devices
+            .iter()
+            .map(|d| CostModel::default().device_area(d))
+            .sum();
+        assert_eq!(report.device_area, sum, "case {case}");
+    }
+}
+
+
+#[test]
+fn committed_protocol_files_match_generators() {
+    // protocols/benchmarks/*.mfa are generated artifacts
+    // (`cargo run -p mfhls-bench --bin gen_protocols`); they must stay in
+    // sync with the canonical assay generators.
+    for (file, assay) in [
+        ("case1_kinase.mfa", mfhls::assays::kinase_activity(2)),
+        ("case2_gene_expression.mfa", mfhls::assays::gene_expression(10)),
+        ("case3_rtqpcr.mfa", mfhls::assays::rtqpcr(20)),
+        ("bonus_cell_culture.mfa", mfhls::assays::cell_culture(4, 3)),
+    ] {
+        let path = format!("protocols/benchmarks/{file}");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e} (run gen_protocols)"));
+        assert_eq!(
+            text,
+            mfhls::dsl::to_text(&assay),
+            "{path} is stale; regenerate with gen_protocols"
+        );
+        let parsed = mfhls::dsl::parse(&text).unwrap();
+        assert_eq!(parsed.len(), assay.len());
+        assert_eq!(
+            parsed.dependencies().collect::<Vec<_>>().len(),
+            assay.dependencies().collect::<Vec<_>>().len()
+        );
+    }
+}
+
+#[test]
+fn conventional_schedules_also_validate_component_rules() {
+    // Signature-class binding is strictly more restrictive, so conventional
+    // schedules must pass the component-oriented validator too.
+    for (_, _, assay) in mfhls::assays::benchmarks() {
+        let conv = conventional::run(&assay, SynthConfig::default()).unwrap();
+        conv.schedule.validate(&assay).unwrap();
+    }
+}

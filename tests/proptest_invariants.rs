@@ -1,0 +1,232 @@
+//! Property-based tests over randomly generated assays: every layering,
+//! schedule, simulation, and DSL round-trip invariant must hold for
+//! arbitrary DAGs, not just the benchmark protocols.
+
+use mfhls::assays::{random_assay, RandomAssayParams};
+use mfhls::sim::{simulate_hybrid, SimConfig};
+use mfhls::{layer_assay, SynthConfig, Synthesizer};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = RandomAssayParams> {
+    (2usize..28, 0.02f64..0.3, 0.0f64..0.4, 2u64..40).prop_map(
+        |(ops, edge_probability, indeterminate_fraction, max_duration)| RandomAssayParams {
+            ops,
+            edge_probability,
+            indeterminate_fraction,
+            max_duration,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algorithm 1 output always satisfies its structural invariants.
+    #[test]
+    fn layering_invariants(seed in 0u64..10_000, params in params_strategy(), threshold in 1usize..12) {
+        let assay = random_assay(seed, params);
+        let layering = layer_assay(&assay, threshold).expect("layering never fails on a DAG");
+        layering.validate(&assay, threshold).expect("invariants");
+        // Boundary storage is consistent with cross-layer edges.
+        let total_cross: u64 = assay
+            .dependencies()
+            .filter(|(p, c)| layering.layer_of(*p) != layering.layer_of(*c))
+            .count() as u64;
+        let storage = layering.boundary_storage(&assay);
+        prop_assert!(storage.iter().sum::<u64>() >= total_cross,
+            "storage {storage:?} vs {total_cross} crossing edges");
+    }
+
+    /// Synthesized schedules always pass the full paper-constraint
+    /// validator, for both binding modes.
+    #[test]
+    fn schedules_validate(seed in 0u64..10_000, params in params_strategy()) {
+        let assay = random_assay(seed, params);
+        let ours = Synthesizer::new(SynthConfig::default()).run(&assay).expect("synthesizable");
+        ours.schedule.validate(&assay).expect("ours valid");
+        let conv = mfhls::core::conventional::run(&assay, SynthConfig::default())
+            .expect("synthesizable");
+        conv.schedule.validate(&assay).expect("conv valid");
+        // Resource budget respected by construction.
+        prop_assert!(ours.schedule.used_device_count() <= 25);
+    }
+
+    /// Synthesis is deterministic: same input, same output.
+    #[test]
+    fn synthesis_is_deterministic(seed in 0u64..10_000) {
+        let assay = random_assay(seed, RandomAssayParams::default());
+        let a = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let b = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        prop_assert_eq!(a.schedule, b.schedule);
+    }
+
+    /// Executing a valid schedule never errors and never undercuts the
+    /// fixed accounting.
+    #[test]
+    fn simulation_respects_fixed_bound(seed in 0u64..5_000, sim_seed in 0u64..50) {
+        let assay = random_assay(seed, RandomAssayParams::default());
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let run = simulate_hybrid(&assay, &r.schedule, &SimConfig {
+            seed: sim_seed,
+            ..SimConfig::default()
+        }).expect("no runtime conflicts");
+        prop_assert!(run.makespan >= r.schedule.exec_time(&assay).fixed);
+        prop_assert_eq!(run.events.len(), assay.len());
+    }
+
+    /// DSL print -> parse is the identity on structure.
+    #[test]
+    fn dsl_round_trip(seed in 0u64..10_000, params in params_strategy()) {
+        let assay = random_assay(seed, params);
+        let text = mfhls::dsl::to_text(&assay);
+        let back = mfhls::dsl::parse(&text).expect("printer output parses");
+        prop_assert_eq!(assay.len(), back.len());
+        // Edge *sets* must match; the printer groups edges by child, so
+        // the order may differ from the original insertion order.
+        let mut original: Vec<_> = assay.dependencies().collect();
+        let mut round_tripped: Vec<_> = back.dependencies().collect();
+        original.sort_unstable();
+        round_tripped.sort_unstable();
+        prop_assert_eq!(original, round_tripped);
+        for (id, op) in assay.iter() {
+            prop_assert_eq!(op.requirements(), back.op(id).requirements());
+            prop_assert_eq!(op.duration(), back.op(id).duration());
+        }
+    }
+
+    /// Progressive re-synthesis never returns a schedule worse than the
+    /// first iteration.
+    #[test]
+    fn resynthesis_never_regresses(seed in 0u64..5_000) {
+        let assay = random_assay(seed, RandomAssayParams {
+            ops: 16,
+            indeterminate_fraction: 0.2,
+            ..RandomAssayParams::default()
+        });
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let best = r.schedule.exec_time(&assay).fixed;
+        prop_assert!(best <= r.iterations[0].exec_time.fixed);
+    }
+
+
+    /// Analysis invariants: critical-path ops exist and are unique, device
+    /// utilisation is within [0, 1], peak parallelism never exceeds the
+    /// device count, and total busy time fits devices x makespan.
+    #[test]
+    fn analysis_invariants(seed in 0u64..10_000, params in params_strategy()) {
+        use mfhls::core::analysis;
+        let assay = random_assay(seed, params);
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let report = analysis::analyse(&assay, &r.schedule);
+        prop_assert_eq!(report.fixed_makespan, r.schedule.exec_time(&assay).fixed);
+        let mut seen = std::collections::BTreeSet::new();
+        for &op in &report.critical_path {
+            prop_assert!(seen.insert(op), "critical path revisits {}", op);
+            prop_assert!(r.schedule.slot(op).is_some());
+        }
+        let mut busy_total = 0u64;
+        for d in &report.devices {
+            prop_assert!(d.utilisation >= 0.0 && d.utilisation <= 1.0 + 1e-9);
+            busy_total += d.busy;
+        }
+        prop_assert!(
+            busy_total <= report.fixed_makespan * r.schedule.devices.len().max(1) as u64
+        );
+        for p in &report.parallelism {
+            prop_assert!(p.peak <= r.schedule.devices.len());
+        }
+        prop_assert_eq!(
+            report.boundary_storage,
+            r.layering.boundary_storage(&assay)
+        );
+    }
+
+    /// The floorplan report's arithmetic is internally consistent for any
+    /// synthesized chip.
+    #[test]
+    fn floorplan_consistency(seed in 0u64..10_000) {
+        use mfhls::chip::{control::ControlModel, floorplan, CostModel};
+        let assay = random_assay(seed, RandomAssayParams::default());
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let netlist = r.schedule.to_netlist(&assay);
+        let spec = floorplan::ChipSpec::default();
+        let report = floorplan::check(&netlist, &spec, &CostModel::default(), &ControlModel::default());
+        prop_assert!(report.total_area >= report.device_area);
+        prop_assert_eq!(
+            report.fits,
+            report.total_area <= spec.max_area
+                && report.control.total_ports() <= spec.max_ports
+        );
+        // Shared pump drive never needs more ports than individual drive.
+        let individual = floorplan::check(
+            &netlist,
+            &floorplan::ChipSpec { shared_pump_drive: false, ..spec },
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        prop_assert!(report.control.control_ports <= individual.control.control_ports);
+    }
+
+    /// CSV exports stay rectangular: every row has the header's column
+    /// count, one row per operation.
+    #[test]
+    fn csv_export_is_rectangular(seed in 0u64..10_000) {
+        use mfhls::core::export;
+        let assay = random_assay(seed, RandomAssayParams::default());
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        // Quote-aware column counter (quoted fields may contain commas,
+        // e.g. accessory sets).
+        fn cols(line: &str) -> usize {
+            let mut n = 1;
+            let mut in_quotes = false;
+            for c in line.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => n += 1,
+                    _ => {}
+                }
+            }
+            n
+        }
+        for csv in [export::schedule_csv(&assay, &r.schedule), export::assay_csv(&assay)] {
+            let mut lines = csv.lines();
+            let header_cols = cols(lines.next().expect("header"));
+            let mut rows = 0;
+            for line in lines {
+                rows += 1;
+                prop_assert_eq!(cols(line), header_cols, "line {}", line);
+            }
+            prop_assert_eq!(rows, assay.len());
+        }
+    }
+
+    /// Gantt rendering never panics and mentions every device lane.
+    #[test]
+    fn gantt_renders_any_schedule(seed in 0u64..10_000, width in 1usize..200) {
+        use mfhls::core::render;
+        let assay = random_assay(seed, RandomAssayParams::default());
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let chart = render::gantt(&assay, &r.schedule, width);
+        for layer in &r.schedule.layers {
+            for slot in &layer.ops {
+                let lane = format!("d{}", slot.device);
+                prop_assert!(chart.contains(&lane), "missing lane {}", lane);
+            }
+        }
+    }
+
+    /// The transport estimates after refinement stay within the
+    /// user-declared progression.
+    #[test]
+    fn transport_refinement_bounded(seed in 0u64..10_000) {
+        use mfhls::core::{TransportConfig, TransportTimes};
+        let assay = random_assay(seed, RandomAssayParams::default());
+        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let cfg = TransportConfig::default();
+        let refined = TransportTimes::refined(&assay, &cfg, &r.schedule.device_of(&assay));
+        for op in assay.op_ids() {
+            let t = refined.of(op);
+            prop_assert!(t == 0 || (cfg.progression.min..=cfg.progression.max).contains(&t));
+        }
+    }
+}
