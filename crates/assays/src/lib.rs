@@ -34,8 +34,7 @@
 
 use mfhls_chip::{Accessory, Capacity, ContainerKind};
 use mfhls_core::{Assay, Duration, OpId, Operation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mfhls_graph::rng::SplitMix64;
 
 /// The three benchmark cases of Table 2, in order.
 ///
@@ -366,19 +365,19 @@ impl Default for RandomAssayParams {
 /// assert_eq!(a.len(), b.len()); // fully deterministic per seed
 /// ```
 pub fn random_assay(seed: u64, params: RandomAssayParams) -> Assay {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut a = Assay::new(&format!("random-{seed}"));
     let mut ids: Vec<OpId> = Vec::with_capacity(params.ops);
     for k in 0..params.ops {
-        let indeterminate = rng.gen_bool(params.indeterminate_fraction.clamp(0.0, 1.0));
-        let dur = rng.gen_range(1..=params.max_duration.max(1));
+        let indeterminate = rng.gen_bool(params.indeterminate_fraction);
+        let dur = rng.gen_range_u64(1, params.max_duration.max(1));
         let mut op = Operation::new(&format!("op{k}")).with_duration(if indeterminate {
             Duration::at_least(dur)
         } else {
             Duration::fixed(dur)
         });
         // Random container constraint (often unconstrained).
-        op = match rng.gen_range(0..4) {
+        op = match rng.gen_index(0, 4) {
             0 => op.container(ContainerKind::Ring),
             1 => op.container(ContainerKind::Chamber),
             _ => op,
@@ -388,11 +387,11 @@ pub fn random_assay(seed: u64, params: RandomAssayParams) -> Assay {
             let cap = match kind {
                 Some(k) => {
                     let caps = k.valid_capacities();
-                    caps[rng.gen_range(0..caps.len())]
+                    caps[rng.gen_index(0, caps.len())]
                 }
                 None => {
                     // Medium/small fit either container kind.
-                    [Capacity::Medium, Capacity::Small][rng.gen_range(0..2)]
+                    [Capacity::Medium, Capacity::Small][rng.gen_index(0, 2)]
                 }
             };
             op = op.capacity(cap);
@@ -406,7 +405,7 @@ pub fn random_assay(seed: u64, params: RandomAssayParams) -> Assay {
     }
     for i in 0..params.ops {
         for j in (i + 1)..params.ops {
-            if rng.gen_bool(params.edge_probability.clamp(0.0, 1.0)) {
+            if rng.gen_bool(params.edge_probability) {
                 a.add_dependency(ids[i], ids[j])
                     .expect("forward edges cannot form cycles");
             }
@@ -483,7 +482,6 @@ mod tests {
                 .unwrap_or_else(|e| panic!("case {case}: {e}"));
         }
     }
-
 
     #[test]
     fn cell_culture_counts_and_structure() {

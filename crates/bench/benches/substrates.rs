@@ -1,125 +1,105 @@
-//! Criterion micro-benches for the substrates: max-flow/min-cut, the
-//! layering algorithm, the simplex LP core, the exact MILP solver, and one
-//! heuristic layer solve.
+//! Micro-benches for the substrates: max-flow/min-cut, the layering
+//! algorithm, the simplex LP core, the exact MILP solver, and one
+//! heuristic layer solve. Uses the vendored `mfhls_bench::timing` harness
+//! (no registry dependencies), so the target keeps `harness = false`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfhls_bench::timing::bench;
 use mfhls_graph::maxflow::MaxFlow;
+use mfhls_graph::rng::SplitMix64;
 use mfhls_ilp::{Model, Sense, SolverConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn maxflow_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maxflow");
+fn maxflow_bench() {
     for &n in &[20usize, 60, 120] {
         // Layered random network.
-        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut rng = SplitMix64::seed_from_u64(n as u64);
         let edges: Vec<(usize, usize, u64)> = (0..n * 4)
             .map(|_| {
-                let u = rng.gen_range(0..n - 1);
-                let v = rng.gen_range(u + 1..n);
-                (u, v, rng.gen_range(1..20))
+                let u = rng.gen_index(0, n - 1);
+                let v = rng.gen_index(u + 1, n);
+                (u, v, rng.gen_range_u64(1, 19))
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
-            b.iter(|| {
-                let mut net = MaxFlow::new(n);
-                for &(u, v, cap) in edges {
-                    net.add_edge(u, v, cap);
-                }
-                net.max_flow(0, n - 1)
-            });
+        bench("maxflow", &format!("n{n}"), 50, || {
+            let mut net = MaxFlow::new(n);
+            for &(u, v, cap) in &edges {
+                net.add_edge(u, v, cap);
+            }
+            net.max_flow(0, n - 1)
         });
     }
-    group.finish();
 }
 
-fn layering_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("layering");
+fn layering_bench() {
     for (case, _, assay) in mfhls_assays::benchmarks() {
-        group.bench_with_input(BenchmarkId::from_parameter(case), &assay, |b, assay| {
-            b.iter(|| mfhls_core::layer_assay(assay, 10).expect("layers"));
+        bench("layering", &format!("case{case}"), 50, || {
+            mfhls_core::layer_assay(&assay, 10).expect("layers")
         });
     }
-    group.finish();
 }
 
-fn simplex_bench(c: &mut Criterion) {
+fn simplex_bench() {
     use mfhls_ilp::simplex::{solve_lp, LpProblem, LpRow};
-    let mut group = c.benchmark_group("simplex");
     for &n in &[10usize, 30, 60] {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let rows: Vec<LpRow> = (0..n)
             .map(|_| LpRow {
-                coeffs: (0..n).map(|j| (j, rng.gen_range(-3..4) as f64)).collect(),
+                coeffs: (0..n)
+                    .map(|j| (j, rng.gen_range_i64(-3, 4) as f64))
+                    .collect(),
                 sense: Sense::Le,
-                rhs: rng.gen_range(5..50) as f64,
+                rhs: rng.gen_range_i64(5, 50) as f64,
             })
             .collect();
         let p = LpProblem {
             ncols: n,
             rows,
-            objective: (0..n).map(|_| rng.gen_range(-3..0) as f64).collect(),
+            objective: (0..n).map(|_| rng.gen_range_i64(-3, 0) as f64).collect(),
             lb: vec![0.0; n],
             ub: vec![10.0; n],
         };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            b.iter(|| solve_lp(p).expect("solvable"));
+        bench("simplex", &format!("n{n}"), 30, || {
+            solve_lp(&p).expect("solvable")
         });
     }
-    group.finish();
 }
 
-fn milp_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("milp_knapsack");
-    group.sample_size(20);
+fn milp_bench() {
     for &n in &[8usize, 14] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut m = Model::minimize();
-                let items: Vec<_> = (0..n).map(|k| m.binary(&format!("x{k}"))).collect();
-                let weights: Vec<f64> = (0..n).map(|k| (k % 7 + 2) as f64).collect();
-                let values: Vec<f64> = (0..n).map(|k| (k % 5 + 1) as f64).collect();
-                m.add_con(
-                    mfhls_ilp::LinExpr::weighted_sum(
-                        items.iter().zip(&weights).map(|(&v, &w)| (v, w)),
-                    ),
-                    Sense::Le,
-                    (n as f64) * 2.0,
-                );
-                m.set_objective(-mfhls_ilp::LinExpr::weighted_sum(
-                    items.iter().zip(&values).map(|(&v, &w)| (v, w)),
-                ));
-                mfhls_ilp::solve(&m, &SolverConfig::default()).expect("feasible")
-            });
+        bench("milp_knapsack", &format!("n{n}"), 20, || {
+            let mut m = Model::minimize();
+            let items: Vec<_> = (0..n).map(|k| m.binary(&format!("x{k}"))).collect();
+            let weights: Vec<f64> = (0..n).map(|k| (k % 7 + 2) as f64).collect();
+            let values: Vec<f64> = (0..n).map(|k| (k % 5 + 1) as f64).collect();
+            m.add_con(
+                mfhls_ilp::LinExpr::weighted_sum(items.iter().zip(&weights).map(|(&v, &w)| (v, w))),
+                Sense::Le,
+                (n as f64) * 2.0,
+            );
+            m.set_objective(-mfhls_ilp::LinExpr::weighted_sum(
+                items.iter().zip(&values).map(|(&v, &w)| (v, w)),
+            ));
+            mfhls_ilp::solve(&m, &SolverConfig::default()).expect("feasible")
         });
     }
-    group.finish();
 }
 
-fn heuristic_layer_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heuristic_layer");
-    group.sample_size(20);
+fn heuristic_layer_bench() {
     let assay = mfhls_assays::rtqpcr(20);
-    group.bench_function("rtqpcr_single_pass", |b| {
-        b.iter(|| {
-            mfhls_bench::run_ours(
-                &assay,
-                mfhls_core::SynthConfig {
-                    max_iterations: 1,
-                    ..mfhls_core::SynthConfig::default()
-                },
-            )
-        });
+    bench("heuristic_layer", "rtqpcr_single_pass", 20, || {
+        mfhls_bench::run_ours(
+            &assay,
+            mfhls_core::SynthConfig {
+                max_iterations: 1,
+                ..mfhls_core::SynthConfig::default()
+            },
+        )
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    maxflow_bench,
-    layering_bench,
-    simplex_bench,
-    milp_bench,
-    heuristic_layer_bench
-);
-criterion_main!(benches);
+fn main() {
+    maxflow_bench();
+    layering_bench();
+    simplex_bench();
+    milp_bench();
+    heuristic_layer_bench();
+}

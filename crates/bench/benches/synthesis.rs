@@ -1,49 +1,52 @@
-//! Criterion benches for the end-to-end synthesis flow: one benchmark per
-//! Table 2 row pair (our method and the conventional baseline on each
-//! case), plus the progressive re-synthesis loop behind Table 3.
+//! Benches for the end-to-end synthesis flow: one benchmark per Table 2
+//! row pair (our method and the conventional baseline on each case), plus
+//! the progressive re-synthesis loop behind Table 3. Uses the vendored
+//! `mfhls_bench::timing` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfhls_bench::timing::bench;
 use mfhls_core::SynthConfig;
 
-fn table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
+fn table2() {
     for (case, _, assay) in mfhls_assays::benchmarks() {
-        group.bench_with_input(BenchmarkId::new("ours", case), &assay, |b, assay| {
-            b.iter(|| mfhls_bench::run_ours(assay, SynthConfig::default()));
+        bench("table2", &format!("ours_case{case}"), 10, || {
+            mfhls_bench::run_ours(&assay, SynthConfig::default())
         });
-        group.bench_with_input(BenchmarkId::new("conventional", case), &assay, |b, assay| {
-            b.iter(|| mfhls_bench::run_conventional(assay, SynthConfig::default()));
+        bench("table2", &format!("conventional_case{case}"), 10, || {
+            mfhls_bench::run_conventional(&assay, SynthConfig::default())
         });
     }
-    group.finish();
 }
 
-fn table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_resynthesis");
-    group.sample_size(10);
+fn table3() {
     for (case, _, assay) in mfhls_assays::benchmarks() {
         if assay.indeterminate_ops().is_empty() {
             continue;
         }
         // Initial pass only vs full progressive re-synthesis.
-        group.bench_with_input(BenchmarkId::new("initial_only", case), &assay, |b, assay| {
-            b.iter(|| {
+        bench(
+            "table3_resynthesis",
+            &format!("initial_only_case{case}"),
+            10,
+            || {
                 mfhls_bench::run_ours(
-                    assay,
+                    &assay,
                     SynthConfig {
                         max_iterations: 1,
                         ..SynthConfig::default()
                     },
                 )
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("progressive", case), &assay, |b, assay| {
-            b.iter(|| mfhls_bench::run_ours(assay, SynthConfig::default()));
-        });
+            },
+        );
+        bench(
+            "table3_resynthesis",
+            &format!("progressive_case{case}"),
+            10,
+            || mfhls_bench::run_ours(&assay, SynthConfig::default()),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, table2, table3);
-criterion_main!(benches);
+fn main() {
+    table2();
+    table3();
+}

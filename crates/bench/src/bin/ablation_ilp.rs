@@ -83,7 +83,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["layer ops", "samples", "avg gap", "worst gap", "ILP time", "heuristic time"],
+        &[
+            "layer ops",
+            "samples",
+            "avg gap",
+            "worst gap",
+            "ILP time",
+            "heuristic time",
+        ],
         &rows,
     );
     println!(

@@ -17,8 +17,7 @@
 use mfhls_bench::print_table;
 use mfhls_core::{SynthConfig, Synthesizer};
 use mfhls_sim::{
-    pad_indeterminate, simulate_hybrid, simulate_online, simulate_padded, DurationModel,
-    SimConfig,
+    pad_indeterminate, simulate_hybrid, simulate_online, simulate_padded, DurationModel, SimConfig,
 };
 
 const TRIALS: u64 = 200;
@@ -85,7 +84,12 @@ fn main() {
         let (hl, hm, hh) = stats(&mut hybrid_spans);
         let (ol, om, oh) = stats(&mut online_spans);
         print_table(
-            &["policy", "makespan min/med/max", "decisions", "failure rate"],
+            &[
+                "policy",
+                "makespan min/med/max",
+                "decisions",
+                "failure rate",
+            ],
             &[
                 vec![
                     "hybrid (paper)".into(),

@@ -50,7 +50,12 @@ fn main() {
             ]);
         }
         print_table(
-            &["initial t", "exec (no refinement)", "exec (refined)", "paths"],
+            &[
+                "initial t",
+                "exec (no refinement)",
+                "exec (refined)",
+                "paths",
+            ],
             &rows,
         );
         println!();

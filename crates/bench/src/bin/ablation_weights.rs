@@ -17,11 +17,43 @@ fn main() {
     let assay = mfhls_assays::gene_expression(10);
     let mut rows = Vec::new();
     for (label, weights) in [
-        ("time only", Weights { time: 20, area: 0, processing: 0, paths: 0 }),
+        (
+            "time only",
+            Weights {
+                time: 20,
+                area: 0,
+                processing: 0,
+                paths: 0,
+            },
+        ),
         ("default", Weights::default()),
-        ("resource x4", Weights { time: 20, area: 24, processing: 12, paths: 48 }),
-        ("resource x16", Weights { time: 20, area: 96, processing: 48, paths: 192 }),
-        ("resources only", Weights { time: 1, area: 96, processing: 48, paths: 192 }),
+        (
+            "resource x4",
+            Weights {
+                time: 20,
+                area: 24,
+                processing: 12,
+                paths: 48,
+            },
+        ),
+        (
+            "resource x16",
+            Weights {
+                time: 20,
+                area: 96,
+                processing: 48,
+                paths: 192,
+            },
+        ),
+        (
+            "resources only",
+            Weights {
+                time: 1,
+                area: 96,
+                processing: 48,
+                paths: 192,
+            },
+        ),
     ] {
         let r = run_ours(
             &assay,
@@ -32,7 +64,10 @@ fn main() {
         );
         rows.push(vec![
             label.to_string(),
-            format!("{}:{}:{}:{}", weights.time, weights.area, weights.processing, weights.paths),
+            format!(
+                "{}:{}:{}:{}",
+                weights.time, weights.area, weights.processing, weights.paths
+            ),
             r.exec.clone(),
             r.devices.to_string(),
             r.paths.to_string(),

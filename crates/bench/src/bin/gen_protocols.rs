@@ -6,7 +6,10 @@ fn main() -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     for (file, assay) in [
         ("case1_kinase.mfa", mfhls_assays::kinase_activity(2)),
-        ("case2_gene_expression.mfa", mfhls_assays::gene_expression(10)),
+        (
+            "case2_gene_expression.mfa",
+            mfhls_assays::gene_expression(10),
+        ),
         ("case3_rtqpcr.mfa", mfhls_assays::rtqpcr(20)),
         ("bonus_cell_culture.mfa", mfhls_assays::cell_culture(4, 3)),
     ] {

@@ -30,7 +30,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["cells", "#Op", "layers", "Exe. Time", "#D.", "#P.", "Runtime"],
+        &[
+            "cells",
+            "#Op",
+            "layers",
+            "Exe. Time",
+            "#D.",
+            "#P.",
+            "Runtime",
+        ],
         &rows,
     );
 }

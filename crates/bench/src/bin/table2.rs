@@ -35,7 +35,11 @@ fn main() {
         for (label, r) in [("Conv.", &conv), ("Our", &ours)] {
             rows.push(vec![
                 format!("{case} {tag}"),
-                format!("#Op {} / #Ind.Op {}", assay.len(), assay.indeterminate_ops().len()),
+                format!(
+                    "#Op {} / #Ind.Op {}",
+                    assay.len(),
+                    assay.indeterminate_ops().len()
+                ),
                 label.to_string(),
                 r.exec.clone(),
                 r.devices.to_string(),
@@ -45,7 +49,15 @@ fn main() {
         }
     }
     print_table(
-        &["Testcase", "Size", "Method", "Exe. Time", "#D.", "#P.", "Runtime"],
+        &[
+            "Testcase",
+            "Size",
+            "Method",
+            "Exe. Time",
+            "#D.",
+            "#P.",
+            "Runtime",
+        ],
         &rows,
     );
 }

@@ -2,10 +2,12 @@
 //!
 //! Every binary prints the same rows/series as the corresponding table of
 //! the paper (`cargo run --release -p mfhls-bench --bin table2`, …); the
-//! Criterion benches in `benches/` time the underlying algorithms.
+//! [`timing`]-based benches in `benches/` time the underlying algorithms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use mfhls_core::{Assay, SynthConfig, SynthesisResult, Synthesizer};
 
@@ -42,8 +44,8 @@ pub fn run_ours(assay: &Assay, config: SynthConfig) -> CaseResult {
 ///
 /// Panics if synthesis fails.
 pub fn run_conventional(assay: &Assay, config: SynthConfig) -> CaseResult {
-    let result = mfhls_core::conventional::run(assay, config)
-        .expect("benchmark assay must synthesize");
+    let result =
+        mfhls_core::conventional::run(assay, config).expect("benchmark assay must synthesize");
     case_result(assay, result)
 }
 

@@ -1,9 +1,7 @@
 //! Microfluidic components: containers, capacities and accessories.
 
-use serde::{Deserialize, Serialize};
-
 /// Kind of container a general device is built around (§2.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ContainerKind {
     /// A closed-loop channel segment enabling circulation flow; the
     /// workhorse of efficient mixing.
@@ -43,7 +41,7 @@ impl std::fmt::Display for ContainerKind {
 
 /// Reagent capacity class of a container (eq. 2). Ordered from largest to
 /// smallest: `Large > Medium > Small > Tiny`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Capacity {
     /// Largest volume class; rings only.
     Large,
@@ -101,7 +99,7 @@ impl std::fmt::Display for Capacity {
 
 /// Functionally specialised components that integrate into a container at
 /// zero area cost but extra processing cost (§2.1.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Accessory {
     /// Valve group providing pressure for fluid movement.
     Pump,
@@ -164,7 +162,7 @@ impl std::fmt::Display for Accessory {
 /// assert!(s.is_subset(&t));
 /// assert_eq!(t.len(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct AccessorySet(u8);
 
 impl AccessorySet {
@@ -221,7 +219,9 @@ impl AccessorySet {
 
     /// Iterates the accessories in [`Accessory::ALL`] order.
     pub fn iter(self) -> impl Iterator<Item = Accessory> {
-        Accessory::ALL.into_iter().filter(move |a| self.contains(*a))
+        Accessory::ALL
+            .into_iter()
+            .filter(move |a| self.contains(*a))
     }
 }
 

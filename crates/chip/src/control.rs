@@ -16,10 +16,9 @@
 //!   each end.
 
 use crate::{Accessory, ContainerKind, Netlist};
-use serde::{Deserialize, Serialize};
 
 /// Tunable per-component valve/port counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ControlModel {
     /// Isolation valves delimiting a chamber.
     pub chamber_valves: u64,
@@ -52,7 +51,7 @@ impl Default for ControlModel {
 }
 
 /// Estimated control-layer resources for a chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ControlEstimate {
     /// Total control valves on the chip.
     pub valves: u64,
@@ -98,7 +97,11 @@ impl ControlEstimate {
 /// assert!(shared.control_ports <= individual.control_ports);
 /// # Ok::<(), mfhls_chip::ChipError>(())
 /// ```
-pub fn estimate(netlist: &Netlist, model: &ControlModel, shared_pump_drive: bool) -> ControlEstimate {
+pub fn estimate(
+    netlist: &Netlist,
+    model: &ControlModel,
+    shared_pump_drive: bool,
+) -> ControlEstimate {
     let mut valves = 0u64;
     let mut pump_count = 0u64;
     let mut heater_ports = 0u64;
@@ -164,8 +167,12 @@ mod tests {
     }
 
     fn bare_chamber() -> DeviceConfig {
-        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty())
-            .unwrap()
+        DeviceConfig::new(
+            ContainerKind::Chamber,
+            Capacity::Small,
+            AccessorySet::empty(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Area and processing cost model (the constants `A`, `A'`, `Pr` of §4.3).
 
 use crate::{Accessory, Capacity, ContainerKind, DeviceConfig};
-use serde::{Deserialize, Serialize};
 
 /// Cost constants used by the synthesis objective.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// The defaults are plausible relative magnitudes (paper values are not
 /// published): rings cost more than chambers of equal capacity, and larger
 /// containers cost more than smaller ones.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
     /// Area of a ring, indexed by [`Capacity::index`].
     pub ring_area: [u64; 4],

@@ -1,10 +1,9 @@
 //! General devices and operation requirements.
 
 use crate::{Accessory, AccessorySet, Capacity, ChipError, ContainerKind, CostModel};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a device instance on a chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub usize);
 
 impl std::fmt::Display for DeviceId {
@@ -15,7 +14,7 @@ impl std::fmt::Display for DeviceId {
 
 /// Configuration of a *general device*: exactly one container plus a set of
 /// accessories (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceConfig {
     container: ContainerKind,
     capacity: Capacity,
@@ -124,7 +123,7 @@ impl std::fmt::Display for DeviceConfig {
 /// Component-oriented requirements of a biological operation (§2.2,
 /// attribute *a*): the container (optional kind, optional capacity class)
 /// and accessories needed for execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Requirements {
     /// Required container kind; `None` means "either a ring or a chamber of
     /// corresponding size".
@@ -188,7 +187,7 @@ impl Requirements {
 }
 
 /// A device instance: an id plus its configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Device {
     /// Instance identifier.
     pub id: DeviceId,
@@ -219,8 +218,7 @@ mod tests {
 
     #[test]
     fn satisfies_container_and_capacity() {
-        let mixer =
-            DeviceConfig::new(ContainerKind::Ring, Capacity::Medium, pump()).unwrap();
+        let mixer = DeviceConfig::new(ContainerKind::Ring, Capacity::Medium, pump()).unwrap();
         // Exact match.
         assert!(mixer.satisfies(&Requirements::new(
             Some(ContainerKind::Ring),
@@ -262,9 +260,11 @@ mod tests {
     #[test]
     fn cheapest_honours_constraints() {
         let costs = CostModel::default();
-        let req = Requirements::new(Some(ContainerKind::Ring), Some(Capacity::Large), [
-            Accessory::Pump,
-        ]);
+        let req = Requirements::new(
+            Some(ContainerKind::Ring),
+            Some(Capacity::Large),
+            [Accessory::Pump],
+        );
         let cfg = DeviceConfig::cheapest_for(&req, &costs).unwrap();
         assert_eq!(cfg.container(), ContainerKind::Ring);
         assert_eq!(cfg.capacity(), Capacity::Large);
@@ -274,10 +274,11 @@ mod tests {
     #[test]
     fn coverage_rule() {
         // o1: ring + {sieve, pump}; o2: any container + {sieve} (paper §3.2).
-        let o1 = Requirements::new(Some(ContainerKind::Ring), None, [
-            Accessory::SieveValve,
-            Accessory::Pump,
-        ]);
+        let o1 = Requirements::new(
+            Some(ContainerKind::Ring),
+            None,
+            [Accessory::SieveValve, Accessory::Pump],
+        );
         let o2 = Requirements::new(None, None, [Accessory::SieveValve]);
         assert!(o2.is_covered_by(&o1));
         assert!(!o1.is_covered_by(&o2));
@@ -288,16 +289,14 @@ mod tests {
         let (k, c, _) = Requirements::any().signature();
         assert_eq!(k, ContainerKind::Chamber);
         assert_eq!(c, Capacity::Tiny);
-        let (k, c, _) =
-            Requirements::new(Some(ContainerKind::Ring), None, []).signature();
+        let (k, c, _) = Requirements::new(Some(ContainerKind::Ring), None, []).signature();
         assert_eq!(k, ContainerKind::Ring);
         assert_eq!(c, Capacity::Small);
     }
 
     #[test]
     fn retrofit_accessories() {
-        let mut cfg =
-            DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, pump()).unwrap();
+        let mut cfg = DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, pump()).unwrap();
         cfg.add_accessories(AccessorySet::from_iter([Accessory::OpticalSystem]));
         assert!(cfg.accessories().contains(Accessory::Pump));
         assert!(cfg.accessories().contains(Accessory::OpticalSystem));

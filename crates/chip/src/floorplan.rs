@@ -9,10 +9,9 @@
 
 use crate::control::{estimate, ControlEstimate, ControlModel};
 use crate::{CostModel, Netlist};
-use serde::{Deserialize, Serialize};
 
 /// Physical budgets of a target chip.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChipSpec {
     /// Total area budget, in the same (abstract) units as the
     /// [`CostModel`] areas.
@@ -41,7 +40,7 @@ impl Default for ChipSpec {
 }
 
 /// Outcome of a feasibility check.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeasibilityReport {
     /// Sum of device (container) areas.
     pub device_area: u64,

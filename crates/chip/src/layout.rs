@@ -16,11 +16,10 @@
 //! SVG rendering is provided for inspection.
 
 use crate::{DeviceId, Netlist, PathKey};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A grid position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cell {
     /// Column.
     pub x: i64,
@@ -36,7 +35,7 @@ impl Cell {
 }
 
 /// A placement of every device of a netlist on the grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layout {
     placements: BTreeMap<DeviceId, Cell>,
     lengths: BTreeMap<PathKey, u64>,
@@ -272,7 +271,12 @@ mod tests {
     use crate::{AccessorySet, Capacity, ContainerKind, DeviceConfig};
 
     fn chamber() -> DeviceConfig {
-        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+        DeviceConfig::new(
+            ContainerKind::Chamber,
+            Capacity::Small,
+            AccessorySet::empty(),
+        )
+        .unwrap()
     }
 
     fn line_netlist(n: usize) -> Netlist {

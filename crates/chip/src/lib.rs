@@ -72,6 +72,9 @@ pub enum ChipError {
     },
     /// A device id was not found in the netlist.
     UnknownDevice(usize),
+    /// The device is quarantined (failed at run time) and may not take part
+    /// in new transfers or retrofits.
+    QuarantinedDevice(usize),
 }
 
 impl std::fmt::Display for ChipError {
@@ -82,6 +85,9 @@ impl std::fmt::Display for ChipError {
                 capacity,
             } => write!(f, "a {container} cannot have capacity {capacity}"),
             ChipError::UnknownDevice(id) => write!(f, "unknown device id {id}"),
+            ChipError::QuarantinedDevice(id) => {
+                write!(f, "device id {id} is quarantined after a run-time fault")
+            }
         }
     }
 }

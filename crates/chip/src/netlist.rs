@@ -1,14 +1,13 @@
 //! Flow-channel netlist: devices plus the transportation paths between them.
 
 use crate::{ChipError, Device, DeviceConfig, DeviceId};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Canonical (unordered) key for a flow path between two devices.
 ///
 /// A physical flow channel is usable in both directions, so `(a, b)` and
 /// `(b, a)` denote the same path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PathKey(pub DeviceId, pub DeviceId);
 
 impl PathKey {
@@ -48,10 +47,14 @@ impl std::fmt::Display for PathKey {
 /// assert_eq!(net.path_count(), 1);
 /// # Ok::<(), mfhls_chip::ChipError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Netlist {
     devices: Vec<Device>,
     paths: BTreeMap<PathKey, u64>,
+    /// Devices withdrawn after a run-time fault. Quarantine never renumbers:
+    /// the device keeps its id (and its fabricated footprint on the chip),
+    /// it just stops being usable.
+    quarantined: BTreeSet<usize>,
 }
 
 impl Netlist {
@@ -85,12 +88,55 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// Returns [`ChipError::UnknownDevice`] for a foreign id.
+    /// Returns [`ChipError::UnknownDevice`] for a foreign id and
+    /// [`ChipError::QuarantinedDevice`] for dead hardware (a failed device
+    /// cannot be retrofitted back to life).
     pub fn device_config_mut(&mut self, id: DeviceId) -> Result<&mut DeviceConfig, ChipError> {
+        if self.quarantined.contains(&id.0) {
+            return Err(ChipError::QuarantinedDevice(id.0));
+        }
         self.devices
             .get_mut(id.0)
             .map(|d| &mut d.config)
             .ok_or(ChipError::UnknownDevice(id.0))
+    }
+
+    /// Withdraws a device after a run-time fault. Survivors keep their ids:
+    /// no renumbering happens, the device merely becomes invisible to
+    /// [`Netlist::active_devices`] and unusable for new transfers.
+    /// Quarantining an already quarantined device is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::UnknownDevice`] for a foreign id.
+    pub fn quarantine(&mut self, id: DeviceId) -> Result<(), ChipError> {
+        if id.0 >= self.devices.len() {
+            return Err(ChipError::UnknownDevice(id.0));
+        }
+        self.quarantined.insert(id.0);
+        Ok(())
+    }
+
+    /// Whether `id` has been quarantined. Foreign ids are not quarantined.
+    pub fn is_quarantined(&self, id: DeviceId) -> bool {
+        self.quarantined.contains(&id.0)
+    }
+
+    /// Ids of all quarantined devices, ascending.
+    pub fn quarantined(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.quarantined.iter().map(|&i| DeviceId(i))
+    }
+
+    /// Devices still in service (original ids preserved).
+    pub fn active_devices(&self) -> impl Iterator<Item = &Device> {
+        self.devices
+            .iter()
+            .filter(|d| !self.quarantined.contains(&d.id.0))
+    }
+
+    /// Number of devices still in service.
+    pub fn active_device_count(&self) -> usize {
+        self.devices.len() - self.quarantined.len()
     }
 
     /// Records one reagent transfer from `a` to `b`, creating the path on
@@ -99,11 +145,15 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// Returns [`ChipError::UnknownDevice`] if either id is foreign.
+    /// Returns [`ChipError::UnknownDevice`] if either id is foreign, or
+    /// [`ChipError::QuarantinedDevice`] if either endpoint is quarantined.
     pub fn record_transfer(&mut self, a: DeviceId, b: DeviceId) -> Result<(), ChipError> {
         for id in [a, b] {
             if id.0 >= self.devices.len() {
                 return Err(ChipError::UnknownDevice(id.0));
+            }
+            if self.quarantined.contains(&id.0) {
+                return Err(ChipError::QuarantinedDevice(id.0));
             }
         }
         if a != b {
@@ -139,6 +189,15 @@ impl Netlist {
         all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         all
     }
+
+    /// Paths whose both endpoints are still in service. A path touching a
+    /// quarantined device stays on the chip but is useless, so survivability
+    /// analysis iterates these instead of [`Netlist::paths`].
+    pub fn usable_paths(&self) -> impl Iterator<Item = (PathKey, u64)> + '_ {
+        self.paths().filter(|(k, _)| {
+            !self.quarantined.contains(&k.0 .0) && !self.quarantined.contains(&k.1 .0)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +206,12 @@ mod tests {
     use crate::{AccessorySet, Capacity, ContainerKind};
 
     fn chamber() -> DeviceConfig {
-        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+        DeviceConfig::new(
+            ContainerKind::Chamber,
+            Capacity::Small,
+            AccessorySet::empty(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -205,6 +269,55 @@ mod tests {
         assert_eq!(order[0].0, PathKey::new(a, c));
         assert_eq!(order[0].1, 3);
         assert_eq!(order[1].1, 1);
+    }
+
+    #[test]
+    fn quarantine_preserves_survivor_ids() {
+        let mut net = Netlist::new();
+        let a = net.add_device(chamber());
+        let b = net.add_device(chamber());
+        let c = net.add_device(chamber());
+        net.record_transfer(a, b).unwrap();
+        net.record_transfer(b, c).unwrap();
+        net.quarantine(b).unwrap();
+        assert!(net.is_quarantined(b));
+        assert!(!net.is_quarantined(a));
+        assert_eq!(net.active_device_count(), 2);
+        // Survivors keep their original ids.
+        let alive: Vec<DeviceId> = net.active_devices().map(|d| d.id).collect();
+        assert_eq!(alive, vec![a, c]);
+        assert_eq!(net.quarantined().collect::<Vec<_>>(), vec![b]);
+        // Paths through the dead device disappear from the usable view but
+        // stay on the chip.
+        assert_eq!(net.path_count(), 2);
+        assert_eq!(net.usable_paths().count(), 0);
+        // Double quarantine is a no-op; foreign ids error.
+        net.quarantine(b).unwrap();
+        assert_eq!(net.active_device_count(), 2);
+        assert_eq!(
+            net.quarantine(DeviceId(9)),
+            Err(ChipError::UnknownDevice(9))
+        );
+    }
+
+    #[test]
+    fn quarantined_device_rejects_traffic_and_retrofits() {
+        let mut net = Netlist::new();
+        let a = net.add_device(chamber());
+        let b = net.add_device(chamber());
+        net.quarantine(a).unwrap();
+        assert_eq!(
+            net.record_transfer(a, b),
+            Err(ChipError::QuarantinedDevice(0))
+        );
+        assert_eq!(
+            net.device_config_mut(a).unwrap_err(),
+            ChipError::QuarantinedDevice(0)
+        );
+        // The config stays readable for reporting.
+        assert!(net.device(a).is_ok());
+        // The survivor is unaffected.
+        net.device_config_mut(b).unwrap();
     }
 
     #[test]

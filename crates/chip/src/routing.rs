@@ -14,7 +14,6 @@
 
 use crate::layout::{Cell, Layout};
 use crate::{Netlist, PathKey};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Cost of crossing a device-occupied cell (vs 1 for a free cell).
@@ -24,7 +23,7 @@ const DEVICE_CELL_COST: u64 = 4;
 const CONGESTION_COST: u64 = 1;
 
 /// A routed chip: placement plus one polyline per flow path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutedLayout {
     routes: BTreeMap<PathKey, Vec<Cell>>,
 }
@@ -196,7 +195,9 @@ fn dijkstra(
     let mut path = vec![to];
     let mut cur = to;
     while cur != from {
-        cur = *prev.get(&cur).expect("target reachable inside bounding box");
+        cur = *prev
+            .get(&cur)
+            .expect("target reachable inside bounding box");
         path.push(cur);
     }
     path.reverse();
@@ -210,7 +211,12 @@ mod tests {
     use crate::{AccessorySet, Capacity, ContainerKind, DeviceConfig};
 
     fn chamber() -> DeviceConfig {
-        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+        DeviceConfig::new(
+            ContainerKind::Chamber,
+            Capacity::Small,
+            AccessorySet::empty(),
+        )
+        .unwrap()
     }
 
     fn star_netlist(n_leaves: usize, hot_usage: usize) -> Netlist {
@@ -287,10 +293,7 @@ mod tests {
         let net = star_netlist(3, 1);
         let layout = place(&net);
         let routed = route(&net, &layout);
-        let sum: u64 = net
-            .paths()
-            .map(|(k, _)| routed.length(k).unwrap())
-            .sum();
+        let sum: u64 = net.paths().map(|(k, _)| routed.length(k).unwrap()).sum();
         assert_eq!(routed.total_length(), sum);
     }
 

@@ -9,11 +9,10 @@
 //! [`HybridSchedule`].
 
 use crate::{Assay, HybridSchedule, OpId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-device usage statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceUsage {
     /// Device index.
     pub device: usize,
@@ -26,7 +25,7 @@ pub struct DeviceUsage {
 }
 
 /// Number of concurrently running operations over time within one layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParallelismProfile {
     /// `(time, active-op-count)` change points, ascending in time.
     pub steps: Vec<(u64, usize)>,
@@ -37,7 +36,7 @@ pub struct ParallelismProfile {
 }
 
 /// Full analysis report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleAnalysis {
     /// Fixed makespan (sum of layer makespans).
     pub fixed_makespan: u64,
@@ -223,7 +222,12 @@ mod tests {
     use mfhls_chip::{AccessorySet, Capacity, ContainerKind, DeviceConfig};
 
     fn chamber() -> DeviceConfig {
-        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+        DeviceConfig::new(
+            ContainerKind::Chamber,
+            Capacity::Small,
+            AccessorySet::empty(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -289,7 +293,9 @@ mod tests {
             a.add_dependency(cap, post).unwrap();
             a
         };
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .unwrap();
         let analysis = analyse(&assay, &r.schedule);
         assert_eq!(
             analysis.boundary_storage,
@@ -300,12 +306,11 @@ mod tests {
     #[test]
     fn benchmark_analysis_is_consistent() {
         let assay = mfhls_test_assay();
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .unwrap();
         let a = analyse(&assay, &r.schedule);
-        assert_eq!(
-            a.fixed_makespan,
-            r.schedule.exec_time(&assay).fixed
-        );
+        assert_eq!(a.fixed_makespan, r.schedule.exec_time(&assay).fixed);
         // Total busy time never exceeds devices * makespan.
         let total_busy: u64 = a.devices.iter().map(|d| d.busy).sum();
         assert!(total_busy <= a.fixed_makespan * a.devices.len() as u64);

@@ -2,7 +2,6 @@
 
 use crate::{CoreError, OpId, Operation};
 use mfhls_graph::{reach, topo, BitSet, Digraph};
-use serde::{Deserialize, Serialize};
 
 /// A bioassay: a set of [`Operation`]s and the dependency DAG between them
 /// (§2.2, attribute *c*: `o_c` is a *child* of `o_p` if it consumes `o_p`'s
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(assay.children(lyse), vec![amplify]);
 /// # Ok::<(), mfhls_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Assay {
     name: String,
     ops: Vec<Operation>,
@@ -206,10 +205,7 @@ mod tests {
     fn rejects_unknown_ids() {
         let mut a = Assay::new("t");
         let x = a.add_op(op("x"));
-        assert_eq!(
-            a.add_dependency(x, OpId(5)),
-            Err(CoreError::UnknownOp(5))
-        );
+        assert_eq!(a.add_dependency(x, OpId(5)), Err(CoreError::UnknownOp(5)));
     }
 
     #[test]

@@ -23,8 +23,7 @@ use crate::{Assay, HybridSchedule};
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn schedule_csv(assay: &Assay, schedule: &HybridSchedule) -> String {
-    let mut out =
-        String::from("op,name,layer,device,start,duration,transport,indeterminate\n");
+    let mut out = String::from("op,name,layer,device,start,duration,transport,indeterminate\n");
     for (li, layer) in schedule.layers.iter().enumerate() {
         for slot in &layer.ops {
             let op = assay.op(slot.op);

@@ -43,7 +43,7 @@ impl Default for HeuristicLayerSolver {
 
 impl LayerSolver for HeuristicLayerSolver {
     fn solve(&self, p: &LayerProblem<'_>) -> Result<LayerSolution, CoreError> {
-        let (det_order, ind_order) = priority_orders(p);
+        let (det_order, ind_order) = priority_orders(p)?;
         let mut best = construct(p, &det_order, &ind_order)?;
 
         for _ in 0..self.improvement_passes {
@@ -53,7 +53,12 @@ impl LayerSolver for HeuristicLayerSolver {
                 // may have been renumbered by pruning.
                 let binding: BTreeMap<OpId, usize> =
                     best.slots.iter().map(|s| (s.op, s.device)).collect();
-                let current = binding[&op];
+                let Some(&current) = binding.get(&op) else {
+                    return Err(CoreError::Internal(format!(
+                        "layer solution lost operation o{}",
+                        op.index()
+                    )));
+                };
                 for d in 0..best.devices.len() {
                     if d == current {
                         continue;
@@ -81,20 +86,28 @@ impl LayerSolver for HeuristicLayerSolver {
 
 /// Splits the layer's ops into a list-scheduling order for determinate ops
 /// and a priority order for indeterminate ones.
-fn priority_orders(p: &LayerProblem<'_>) -> (Vec<OpId>, Vec<OpId>) {
-    let idx_of: BTreeMap<OpId, usize> =
-        p.ops.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+fn priority_orders(p: &LayerProblem<'_>) -> Result<(Vec<OpId>, Vec<OpId>), CoreError> {
+    let idx_of: BTreeMap<OpId, usize> = p.ops.iter().enumerate().map(|(i, &o)| (o, i)).collect();
     let n = p.ops.len();
     let mut g = mfhls_graph::Digraph::new(n);
     for (a, b) in p.internal_deps() {
-        g.add_edge(idx_of[&a], idx_of[&b]).expect("layer DAG edge");
+        let (Some(&ia), Some(&ib)) = (idx_of.get(&a), idx_of.get(&b)) else {
+            return Err(CoreError::Internal(format!(
+                "internal dependency o{}->o{} references an op outside the layer",
+                a.index(),
+                b.index()
+            )));
+        };
+        g.add_edge(ia, ib)
+            .map_err(|e| CoreError::Internal(format!("layer DAG edge: {e}")))?;
     }
     let weights: Vec<u64> = p
         .ops
         .iter()
         .map(|&o| p.assay.op(o).duration().min_duration() + p.transport.of(o))
         .collect();
-    let bl = mfhls_graph::topo::bottom_levels(&g, &weights).expect("layer DAG is acyclic");
+    let bl = mfhls_graph::topo::bottom_levels(&g, &weights)
+        .map_err(|e| CoreError::Internal(format!("layer DAG is cyclic: {e}")))?;
 
     // List order: repeatedly emit the ready determinate op with the highest
     // bottom level (ties: smaller id).
@@ -112,12 +125,16 @@ fn priority_orders(p: &LayerProblem<'_>) -> (Vec<OpId>, Vec<OpId>) {
     let mut emitted = vec![false; n];
     let mut det_order = Vec::with_capacity(det.len());
     while det_order.len() < det.len() {
-        let next = det
+        let Some(next) = det
             .iter()
             .copied()
             .filter(|&i| !emitted[i] && remaining_parents[i] == 0)
             .max_by_key(|&i| (bl[i], std::cmp::Reverse(i)))
-            .expect("DAG always has a ready op");
+        else {
+            return Err(CoreError::Internal(
+                "no ready determinate op in an acyclic layer".to_owned(),
+            ));
+        };
         emitted[next] = true;
         det_order.push(p.ops[next]);
         for &c in g.successors(next) {
@@ -128,7 +145,7 @@ fn priority_orders(p: &LayerProblem<'_>) -> (Vec<OpId>, Vec<OpId>) {
     }
     let mut ind_order: Vec<usize> = (0..n).filter(|i| !det.contains(i)).collect();
     ind_order.sort_by_key(|&i| (std::cmp::Reverse(bl[i]), i));
-    (det_order, ind_order.into_iter().map(|i| p.ops[i]).collect())
+    Ok((det_order, ind_order.into_iter().map(|i| p.ops[i]).collect()))
 }
 
 /// Mutable scheduling state shared by construction and re-evaluation.
@@ -259,8 +276,7 @@ impl<'p, 'a> State<'p, 'a> {
         let keep: Vec<usize> = (0..self.devices.len())
             .filter(|d| !self.created.contains(d) || used.contains(d))
             .collect();
-        let remap: BTreeMap<usize, usize> =
-            keep.iter().enumerate().map(|(n, &o)| (o, n)).collect();
+        let remap: BTreeMap<usize, usize> = keep.iter().enumerate().map(|(n, &o)| (o, n)).collect();
         self.devices = keep.iter().map(|&o| self.devices[o]).collect();
         let slots: Vec<ScheduledOp> = self
             .slots
@@ -281,7 +297,11 @@ impl<'p, 'a> State<'p, 'a> {
             .filter_map(|o| remap.get(o).copied())
             .collect();
 
-        let makespan = slots.iter().map(|s| s.start + s.duration).max().unwrap_or(0);
+        let makespan = slots
+            .iter()
+            .map(|s| s.start + s.duration)
+            .max()
+            .unwrap_or(0);
         let w = self.p.weights;
         let mut area = 0u64;
         let mut proc = 0u64;
@@ -388,9 +408,8 @@ fn forced_reserve(
     let mut virtually_taken = taken.clone();
     let mut ind_extra = 0;
     for &op in remaining_ind {
-        let claim = (0..state.devices.len()).find(|&d| {
-            !virtually_taken.contains(&d) && device_compatible(state, op, d)
-        });
+        let claim = (0..state.devices.len())
+            .find(|&d| !virtually_taken.contains(&d) && device_compatible(state, op, d));
         match claim {
             Some(d) => {
                 virtually_taken.insert(d);
@@ -468,9 +487,7 @@ fn provision_quotas(
     ind_order: &[OpId],
 ) -> BTreeMap<DeviceConfig, usize> {
     let p = state.p;
-    let budget = p
-        .max_devices
-        .saturating_sub(active_device_count(state));
+    let budget = p.max_devices.saturating_sub(active_device_count(state));
     let mut work: BTreeMap<DeviceConfig, u64> = BTreeMap::new();
     let mut ops_count: BTreeMap<DeviceConfig, usize> = BTreeMap::new();
     for &op in det_order.iter().chain(ind_order) {
@@ -508,7 +525,7 @@ fn provision_quotas(
         for &(c, whole, _) in &shares {
             let cap = ops_count[&c].saturating_sub(quotas[&c]);
             let add = (whole as usize).min(cap).min(left - used);
-            *quotas.get_mut(&c).expect("seeded") += add;
+            *quotas.entry(c).or_insert(0) += add;
             used += add;
         }
         // Largest remainders take any leftover slots.
@@ -518,7 +535,7 @@ fn provision_quotas(
                 break;
             }
             if quotas[&c] < ops_count[&c] {
-                *quotas.get_mut(&c).expect("seeded") += 1;
+                *quotas.entry(c).or_insert(0) += 1;
                 used += 1;
             }
         }
@@ -539,12 +556,7 @@ fn construct(
         let ready = state.ready_time(op);
         let dur = p.assay.op(op).duration().min_duration();
         let t_out = p.transport.of(op);
-        let reserve = forced_reserve(
-            &state,
-            &det_order[pos + 1..],
-            ind_order,
-            &no_exclusions,
-        );
+        let reserve = forced_reserve(&state, &det_order[pos + 1..], ind_order, &no_exclusions);
         let mut best: Option<(u64, u64, usize, Decision)> = None; // (cost, start, rank)
         for dec in candidates(&state, op, &no_exclusions, reserve) {
             let d = dec.device(state.devices.len());
@@ -597,8 +609,7 @@ fn construct(
                 Decision::New(_) => state.added_paths_to_new(op, d),
                 _ => state.added_paths(op, d).len() as u64,
             };
-            let cost =
-                p.weights.time * start + state.capex(&dec) + p.weights.paths * paths;
+            let cost = p.weights.time * start + state.capex(&dec) + p.weights.paths * paths;
             let rank = match &dec {
                 Decision::Existing(_) => 0,
                 Decision::Retrofit { .. } => 1,
@@ -702,8 +713,7 @@ fn schedule_with_binding(
     for cfg in &reference.devices[base.min(reference.devices.len())..] {
         // Start each created device from the container only; accessories are
         // re-unioned from bound ops below.
-        let bare = DeviceConfig::new(cfg.container(), cfg.capacity(), Default::default())
-            .expect("existing config is valid");
+        let bare = DeviceConfig::new(cfg.container(), cfg.capacity(), Default::default()).ok()?;
         state.devices.push(bare);
         state.avail.push(0);
         let d = state.devices.len() - 1;
@@ -716,8 +726,12 @@ fn schedule_with_binding(
         }
         if state.created.contains(&d) {
             let req = p.assay.op(op).requirements();
-            if req.container.is_some_and(|k| k != state.devices[d].container())
-                || req.capacity.is_some_and(|c| c != state.devices[d].capacity())
+            if req
+                .container
+                .is_some_and(|k| k != state.devices[d].container())
+                || req
+                    .capacity
+                    .is_some_and(|c| c != state.devices[d].capacity())
             {
                 return None;
             }
@@ -746,25 +760,25 @@ fn schedule_with_binding(
         }
     }
     // Indeterminate exclusivity.
-    let ind_devs: Vec<usize> = ind_order.iter().map(|o| binding[o]).collect();
+    let ind_devs: Vec<usize> = ind_order
+        .iter()
+        .map(|o| binding.get(o).copied())
+        .collect::<Option<_>>()?;
     let distinct: BTreeSet<usize> = ind_devs.iter().copied().collect();
     if distinct.len() != ind_devs.len() {
         return None;
     }
 
     for &op in det_order {
-        let d = binding[&op];
+        let &d = binding.get(&op)?;
         let start = state.ready_time(op).max(state.avail[d]);
         state.commit(op, d, start);
     }
-    let placed: Vec<(OpId, usize, u64)> = ind_order
-        .iter()
-        .map(|&op| {
-            let d = binding[&op];
-            let e = state.ready_time(op).max(state.avail[d]);
-            (op, d, e)
-        })
-        .collect();
+    let mut placed: Vec<(OpId, usize, u64)> = Vec::with_capacity(ind_order.len());
+    for (&op, &d) in ind_order.iter().zip(&ind_devs) {
+        let e = state.ready_time(op).max(state.avail[d]);
+        placed.push((op, d, e));
+    }
     align_and_commit_indeterminate(&mut state, &placed);
     Some(state.finish())
 }
@@ -772,9 +786,11 @@ fn schedule_with_binding(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Assay, Duration, HybridSchedule, LayerSchedule, Operation, TransportConfig, TransportTimes, Weights};
+    use crate::{
+        Assay, Duration, HybridSchedule, LayerSchedule, Operation, TransportConfig, TransportTimes,
+        Weights,
+    };
     use mfhls_chip::{Accessory, Capacity, ContainerKind, CostModel};
-
 
     fn solve_single_layer(assay: &Assay, max_devices: usize) -> LayerSolution {
         let costs = CostModel::default();
@@ -972,12 +988,8 @@ mod tests {
         a.add_op(Operation::new("x").with_duration(Duration::fixed(1)));
         let costs = CostModel::default();
         let transport = TransportTimes::initial(&a, &TransportConfig::default());
-        let parent_dev_cfg = DeviceConfig::new(
-            ContainerKind::Chamber,
-            Capacity::Small,
-            Default::default(),
-        )
-        .unwrap();
+        let parent_dev_cfg =
+            DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, Default::default()).unwrap();
         let p = LayerProblem {
             assay: &a,
             ops: vec![OpId(0)],

@@ -154,11 +154,7 @@ fn build_model(p: &LayerProblem<'_>) -> BuiltModel {
     // Effective transport: reserved only when the op has an in-layer child
     // (cross-layer transfers ride the barrier), mirroring the heuristic.
     let t_eff = |i: usize| {
-        if p.assay
-            .children(ops[i])
-            .iter()
-            .any(|c| inside.contains(c))
-        {
+        if p.assay.children(ops[i]).iter().any(|c| inside.contains(c)) {
             p.transport.of(ops[i]) as f64
         } else {
             0.0
@@ -197,9 +193,7 @@ fn build_model(p: &LayerProblem<'_>) -> BuiltModel {
         for j in 0..n_devices {
             if j < n_existing {
                 // Existing device: compatibility is a constant.
-                if !p.bindable.get(j).copied().unwrap_or(false)
-                    || !p.devices[j].satisfies(req)
-                {
+                if !p.bindable.get(j).copied().unwrap_or(false) || !p.devices[j].satisfies(req) {
                     continue;
                 }
                 let v = m.binary(&format!("bind_{i}_{j}"));
@@ -317,9 +311,11 @@ fn build_model(p: &LayerProblem<'_>) -> BuiltModel {
         if p.existing_paths.contains(&key) {
             return None; // already paid for
         }
-        Some(*path_vars.entry(key).or_insert_with(|| {
-            m.binary(&format!("path_{}_{}", key.0, key.1))
-        }))
+        Some(
+            *path_vars
+                .entry(key)
+                .or_insert_with(|| m.binary(&format!("path_{}_{}", key.0, key.1))),
+        )
     };
     for &(a, b) in &internal {
         let (ia, ib) = (idx_of[&a], idx_of[&b]);
@@ -358,7 +354,10 @@ fn build_model(p: &LayerProblem<'_>) -> BuiltModel {
         for (k, &(kind, cap)) in CONFIGS.iter().enumerate() {
             let area = p.costs.container_area(kind, cap) as f64;
             let proc = p.costs.container_processing(kind, cap) as f64;
-            obj.add_term(conf[&j][k], w.area as f64 * area + w.processing as f64 * proc);
+            obj.add_term(
+                conf[&j][k],
+                w.area as f64 * area + w.processing as f64 * proc,
+            );
         }
         for (y, &a) in Accessory::ALL.iter().enumerate() {
             obj.add_term(
@@ -382,7 +381,11 @@ fn build_model(p: &LayerProblem<'_>) -> BuiltModel {
     }
 }
 
-fn decode(p: &LayerProblem<'_>, built: &BuiltModel, sol: &mfhls_ilp::MilpSolution) -> LayerSolution {
+fn decode(
+    p: &LayerProblem<'_>,
+    built: &BuiltModel,
+    sol: &mfhls_ilp::MilpSolution,
+) -> LayerSolution {
     let n_existing = p.devices.len();
     // Realised new-device configs.
     let mut devices: Vec<DeviceConfig> = p.devices.clone();
@@ -414,11 +417,7 @@ fn decode(p: &LayerProblem<'_>, built: &BuiltModel, sol: &mfhls_ilp::MilpSolutio
                 .find(|&j| built.bind.get(&(i, j)).is_some_and(|&v| sol.is_one(v)))
                 .expect("eq. 5 guarantees one binding");
             let device = slot_to_global[&j];
-            let has_internal_child = p
-                .assay
-                .children(op)
-                .iter()
-                .any(|c| inside.contains(c));
+            let has_internal_child = p.assay.children(op).iter().any(|c| inside.contains(c));
             ScheduledOp {
                 op,
                 device,
@@ -458,7 +457,11 @@ fn decode(p: &LayerProblem<'_>, built: &BuiltModel, sol: &mfhls_ilp::MilpSolutio
 
     // Cost the solution with the same formula as the heuristic, so Hybrid
     // comparisons are apples-to-apples.
-    let makespan = slots.iter().map(|s| s.start + s.duration).max().unwrap_or(0);
+    let makespan = slots
+        .iter()
+        .map(|s| s.start + s.duration)
+        .max()
+        .unwrap_or(0);
     let w = p.weights;
     let mut area = 0u64;
     let mut proc = 0u64;
@@ -466,10 +469,8 @@ fn decode(p: &LayerProblem<'_>, built: &BuiltModel, sol: &mfhls_ilp::MilpSolutio
         area += p.costs.device_area(&devices[d]);
         proc += p.costs.device_processing(&devices[d]);
     }
-    let objective = w.time * makespan
-        + w.area * area
-        + w.processing * proc
-        + w.paths * new_paths.len() as u64;
+    let objective =
+        w.time * makespan + w.area * area + w.processing * proc + w.paths * new_paths.len() as u64;
 
     LayerSolution {
         slots,
@@ -483,7 +484,10 @@ fn decode(p: &LayerProblem<'_>, built: &BuiltModel, sol: &mfhls_ilp::MilpSolutio
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Assay, Duration, HybridSchedule, LayerSchedule, Operation, TransportConfig, TransportTimes, Weights};
+    use crate::{
+        Assay, Duration, HybridSchedule, LayerSchedule, Operation, TransportConfig, TransportTimes,
+        Weights,
+    };
     use mfhls_chip::CostModel;
 
     fn problem_for<'a>(

@@ -21,11 +21,10 @@
 
 use crate::{Assay, CoreError, OpId};
 use mfhls_graph::{closure_cut, reach, BitSet};
-use serde::{Deserialize, Serialize};
 
 /// The result of layering an assay: a partition of its operations into
 /// sequential layers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layering {
     layers: Vec<Vec<OpId>>,
     layer_of: Vec<usize>,
@@ -215,26 +214,26 @@ pub fn layer_assay(assay: &Assay, threshold: usize) -> Result<Layering, CoreErro
 
         // ---- Phase 2: resource-based allocation --------------------------
         loop {
-            let inds_now: Vec<usize> = layer_set
-                .iter()
-                .filter(|&o| indeterminate[o])
-                .collect();
+            let inds_now: Vec<usize> = layer_set.iter().filter(|&o| indeterminate[o]).collect();
             if inds_now.len() <= threshold {
                 break;
             }
             // Cost of evicting each indeterminate op.
             let mut best: Option<(u64, usize, usize, Vec<usize>)> = None;
             for &oj in &inds_now {
-                let (storage, moved) = eviction_plan(assay, &layer_set, &all_anc, &all_desc, oj);
+                let (storage, moved) = eviction_plan(assay, &layer_set, &all_anc, &all_desc, oj)?;
                 let key = (storage, moved.len(), oj);
-                if best
-                    .as_ref()
-                    .is_none_or(|(s, m, o, _)| key < (*s, *m, *o))
-                {
+                if best.as_ref().is_none_or(|(s, m, o, _)| key < (*s, *m, *o)) {
                     best = Some((storage, moved.len(), oj, moved));
                 }
             }
-            let (_, _, _, moved) = best.expect("at least one indeterminate candidate");
+            let Some((_, _, _, moved)) = best else {
+                // Unreachable: `inds_now.len() > threshold >= 1` guarantees
+                // at least one candidate — surfaced as an error, not a panic.
+                return Err(CoreError::Internal(
+                    "resource-based eviction found no indeterminate candidate".to_owned(),
+                ));
+            };
             for &m in &moved {
                 layer_set.remove(m);
                 deferred.insert(m);
@@ -268,7 +267,7 @@ fn eviction_plan(
     all_anc: &[BitSet],
     all_desc: &[BitSet],
     oj: usize,
-) -> (u64, Vec<usize>) {
+) -> Result<(u64, Vec<usize>), CoreError> {
     // Candidate set: oj + its ancestors within the layer.
     let mut cand: Vec<usize> = all_anc[oj]
         .iter()
@@ -292,7 +291,12 @@ fn eviction_plan(
             }
         }
     }
-    let sink = index_of(oj).expect("sink in candidate set");
+    let Some(sink) = index_of(oj) else {
+        // Unreachable: `oj` was pushed into `cand` above.
+        return Err(CoreError::Internal(format!(
+            "eviction sink o{oj} missing from its own candidate set"
+        )));
+    };
     let cut = closure_cut::eviction_cut(cand.len(), &dep_edges, &external, sink);
 
     // Descendant closure within the layer.
@@ -328,7 +332,7 @@ fn eviction_plan(
             }
         }
     }
-    (storage, moved.iter().collect())
+    Ok((storage, moved.iter().collect()))
 }
 
 #[cfg(test)]
@@ -464,10 +468,7 @@ mod tests {
     #[test]
     fn zero_threshold_rejected() {
         let a = Assay::new("t");
-        assert!(matches!(
-            layer_assay(&a, 0),
-            Err(CoreError::Layering(_))
-        ));
+        assert!(matches!(layer_assay(&a, 0), Err(CoreError::Layering(_))));
     }
 
     #[test]

@@ -51,6 +51,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Fallible paths must surface `CoreError`, not panic. Test code (compiled
+// with the `test` cfg for the whole crate) may still unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod analysis;
 mod assay;
@@ -61,6 +64,7 @@ pub mod ilp_model;
 pub mod layering;
 mod op;
 mod problem;
+pub mod recovery;
 pub mod render;
 mod schedule;
 pub mod solver;
@@ -72,6 +76,7 @@ pub use assay::Assay;
 pub use layering::{layer_assay, Layering};
 pub use op::{Duration, OpId, Operation};
 pub use problem::{LayerProblem, Weights};
+pub use recovery::{resynthesize_suffix, Degradation, RecoveryPlan, RetryPolicy};
 pub use schedule::{ExecTime, HybridSchedule, LayerSchedule, ScheduledOp};
 pub use solver::{LayerSolution, LayerSolver, SolverKind};
 pub use synth::{IterationStats, SynthConfig, SynthesisResult, Synthesizer};
@@ -99,6 +104,12 @@ pub enum CoreError {
     Ilp(String),
     /// A produced schedule violated a paper constraint (validator message).
     InvalidSchedule(String),
+    /// An internal pipeline invariant failed — always a bug, but surfaced
+    /// as an error so callers (the CLI, the recovery loop) degrade
+    /// gracefully instead of unwinding.
+    Internal(String),
+    /// Recovery re-synthesis could not produce a usable suffix schedule.
+    Recovery(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -113,6 +124,8 @@ impl std::fmt::Display for CoreError {
             ),
             CoreError::Ilp(m) => write!(f, "ilp solver: {m}"),
             CoreError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
+            CoreError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+            CoreError::Recovery(m) => write!(f, "recovery failed: {m}"),
         }
     }
 }

@@ -1,10 +1,9 @@
 //! Component-oriented operation definitions (§2.2).
 
 use mfhls_chip::{Accessory, Capacity, ContainerKind, Requirements};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an operation within an [`Assay`](crate::Assay).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub usize);
 
 impl OpId {
@@ -23,7 +22,7 @@ impl std::fmt::Display for OpId {
 /// Execution duration of an operation (§2.2, attribute *b*): either an
 /// accurate value or *indeterminate* with a known minimum (e.g. single-cell
 /// capture, which reruns until exactly one cell is trapped).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Duration {
     /// Exact duration in time units (minutes throughout this workspace).
     Fixed(u64),
@@ -87,7 +86,7 @@ impl std::fmt::Display for Duration {
 ///     .with_duration(Duration::at_least(3));
 /// assert!(capture.duration().is_indeterminate());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Operation {
     name: String,
     requirements: Requirements,
@@ -170,7 +169,10 @@ mod tests {
         assert_eq!(op.name(), "wash");
         assert_eq!(op.requirements().container, Some(ContainerKind::Chamber));
         assert_eq!(op.requirements().capacity, Some(Capacity::Large));
-        assert!(op.requirements().accessories.contains(Accessory::SieveValve));
+        assert!(op
+            .requirements()
+            .accessories
+            .contains(Accessory::SieveValve));
         assert_eq!(op.duration().min_duration(), 7);
         assert!(!op.is_indeterminate());
     }

@@ -2,12 +2,11 @@
 
 use crate::{Assay, OpId, TransportTimes};
 use mfhls_chip::{CostModel, DeviceConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Weight coefficients of the synthesis objective (§4.3):
 /// `C_t·sum_t + C_a·sum_a + C_pr·sum_pr + C_p·sum_p`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Weights {
     /// `C_t` — total assay execution time.
     pub time: u64,

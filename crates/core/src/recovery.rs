@@ -1,0 +1,514 @@
+//! Recovery re-synthesis: survive run-time device failures by re-layering
+//! and re-synthesizing the *unfinished suffix* of a hybrid schedule on the
+//! surviving device library.
+//!
+//! The hybrid-scheduling structure makes this tractable: execution only
+//! commits to one layer at a time, so when a device fails the already
+//! executed prefix is immutable, the boundary storage holds every
+//! cross-boundary reagent, and the remaining operations form a smaller
+//! assay that can go through the same §3.2 synthesis loop again — seeded
+//! with the chip's fabricated devices (minus the quarantined ones) instead
+//! of an empty library. No new device can be fabricated at run time, so
+//! the recovery synthesis is capped at the survivor count, which
+//! [`crate::heuristic`] turns into "reuse survivors or fail".
+//!
+//! The entry point is [`resynthesize_suffix`]; [`RetryPolicy`] configures
+//! how a runtime (see `mfhls-sim`) retries aborted attempts before
+//! quarantining hardware, and [`Degradation`] reports what completed when
+//! recovery gives up.
+
+use crate::{Assay, CoreError, HybridSchedule, OpId, SynthConfig, Synthesizer};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a runtime retries faulty operations before giving up.
+///
+/// Backoff is measured in *schedule time* (the same minutes the schedule
+/// itself uses): retry `k` (0-based) waits `backoff_base * backoff_factor^k`
+/// minutes, capped at `max_backoff`, before the operation is attempted
+/// again on the same device. Once `max_retries` attempts have failed the
+/// device is quarantined and recovery re-synthesis takes over; if that also
+/// fails, the run degrades gracefully (see [`Degradation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per operation attempt before the device is quarantined.
+    pub max_retries: usize,
+    /// Backoff before the first retry, in schedule-time units.
+    pub backoff_base: u64,
+    /// Multiplier applied per successive retry (exponential backoff).
+    pub backoff_factor: u64,
+    /// Upper bound on a single backoff delay.
+    pub max_backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: 1,
+            backoff_factor: 2,
+            max_backoff: 64,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before retry number `retry` (0-based), saturating and
+    /// capped at [`RetryPolicy::max_backoff`].
+    pub fn backoff_for(&self, retry: usize) -> u64 {
+        let exp = u32::try_from(retry).unwrap_or(u32::MAX);
+        let factor = self.backoff_factor.saturating_pow(exp);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+
+    /// Total schedule-time delay of `retries` successive retries.
+    pub fn total_backoff(&self, retries: usize) -> u64 {
+        (0..retries).fold(0u64, |acc, k| acc.saturating_add(self.backoff_for(k)))
+    }
+}
+
+/// A re-synthesized plan for the unfinished suffix of an assay.
+#[derive(Debug, Clone)]
+pub struct RecoveryPlan {
+    /// The suffix assay: the not-yet-completed operations with their
+    /// internal dependency edges, reindexed densely.
+    pub assay: Assay,
+    /// The recovered hybrid schedule over [`RecoveryPlan::assay`]. Device
+    /// indices are the *original* chip indices: the seed library is never
+    /// renumbered, quarantined devices simply go unused.
+    pub schedule: HybridSchedule,
+    /// `op_map[suffix_index]` — the original id of each suffix operation.
+    pub op_map: Vec<OpId>,
+    /// Dependency edges crossing the executed/recovered boundary, as
+    /// `(completed original parent, original child)` pairs. Their reagents
+    /// sit in boundary storage, so they impose no start-time constraint on
+    /// the recovered schedule, but layout and reporting still want them.
+    pub boundary_inputs: Vec<(OpId, OpId)>,
+    /// The quarantined device indices this plan was built around.
+    pub quarantined: BTreeSet<usize>,
+}
+
+impl RecoveryPlan {
+    /// The original id of suffix operation `suffix`.
+    pub fn original_op(&self, suffix: OpId) -> Option<OpId> {
+        self.op_map.get(suffix.index()).copied()
+    }
+
+    /// The suffix id of original operation `original`, if it is part of the
+    /// recovered suffix.
+    pub fn suffix_op(&self, original: OpId) -> Option<OpId> {
+        self.op_map.iter().position(|&o| o == original).map(OpId)
+    }
+
+    /// Device indices actually used by the recovered schedule.
+    pub fn devices_used(&self) -> BTreeSet<usize> {
+        self.schedule
+            .layers
+            .iter()
+            .flat_map(|l| l.ops.iter().map(|s| s.device))
+            .collect()
+    }
+
+    /// Whether any slot binds to a quarantined device (always `false` for
+    /// plans produced by [`resynthesize_suffix`]).
+    pub fn uses_quarantined(&self) -> bool {
+        self.devices_used()
+            .iter()
+            .any(|d| self.quarantined.contains(d))
+    }
+}
+
+/// A graceful-degradation report: what the run achieved before giving up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Original ids of the operations that completed.
+    pub completed: Vec<OpId>,
+    /// Original ids of the operations that had to be abandoned.
+    pub abandoned: Vec<OpId>,
+    /// Why recovery gave up.
+    pub reason: String,
+}
+
+impl Degradation {
+    /// Builds a report from the completed-op set; every other operation of
+    /// `assay` is abandoned.
+    pub fn new(assay: &Assay, completed: &BTreeSet<OpId>, reason: String) -> Self {
+        Degradation {
+            completed: completed.iter().copied().collect(),
+            abandoned: assay.op_ids().filter(|o| !completed.contains(o)).collect(),
+            reason,
+        }
+    }
+
+    /// Fraction of the assay's operations that completed, in `[0, 1]`.
+    pub fn completion_fraction(&self) -> f64 {
+        let total = self.completed.len() + self.abandoned.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.completed.len() as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "degraded: {}/{} ops completed ({})",
+            self.completed.len(),
+            self.completed.len() + self.abandoned.len(),
+            self.reason
+        )
+    }
+}
+
+/// Re-layers and re-synthesizes the unfinished suffix of `assay` on the
+/// surviving devices of `original`.
+///
+/// * `completed` — original ids of operations that finished before the
+///   fault (the executed prefix). Must be parent-closed: a completed op's
+///   parents must all be completed.
+/// * `quarantined` — device indices (into `original.devices`) withdrawn
+///   from service. Survivors keep their indices in the returned plan.
+///
+/// With no completed ops and no quarantined devices this is the identity:
+/// the original schedule is returned unchanged (recovery is idempotent).
+///
+/// # Errors
+///
+/// * [`CoreError::Recovery`] when the executed prefix is inconsistent, a
+///   quarantined index is foreign, or the survivors cannot host the suffix
+///   (the caller should degrade gracefully via [`Degradation`]).
+/// * Other [`CoreError`] variants propagate from the synthesis loop.
+pub fn resynthesize_suffix(
+    assay: &Assay,
+    original: &HybridSchedule,
+    completed: &BTreeSet<OpId>,
+    quarantined: &BTreeSet<usize>,
+    config: &SynthConfig,
+) -> Result<RecoveryPlan, CoreError> {
+    for &op in completed {
+        if op.index() >= assay.len() {
+            return Err(CoreError::UnknownOp(op.index()));
+        }
+    }
+    for &d in quarantined {
+        if d >= original.devices.len() {
+            return Err(CoreError::Recovery(format!(
+                "quarantined device d{d} does not exist (chip has {})",
+                original.devices.len()
+            )));
+        }
+    }
+    // The executed prefix must be closed under "parent of": results cannot
+    // exist without their inputs.
+    for (p, c) in assay.dependencies() {
+        if completed.contains(&c) && !completed.contains(&p) {
+            return Err(CoreError::Recovery(format!(
+                "executed prefix is inconsistent: {c} completed before its parent {p}"
+            )));
+        }
+    }
+
+    // Idempotence: nothing happened, nothing to re-synthesize.
+    if completed.is_empty() && quarantined.is_empty() {
+        return Ok(RecoveryPlan {
+            assay: assay.clone(),
+            schedule: original.clone(),
+            op_map: assay.op_ids().collect(),
+            boundary_inputs: Vec::new(),
+            quarantined: BTreeSet::new(),
+        });
+    }
+
+    // Build the suffix assay: remaining ops, reindexed densely, with the
+    // internal edges kept and boundary edges recorded separately.
+    let mut suffix = Assay::new(&format!("{}#recovery", assay.name()));
+    let mut op_map = Vec::new();
+    let mut to_suffix: BTreeMap<OpId, OpId> = BTreeMap::new();
+    for (id, op) in assay.iter() {
+        if completed.contains(&id) {
+            continue;
+        }
+        let sid = suffix.add_op(op.clone());
+        to_suffix.insert(id, sid);
+        op_map.push(id);
+    }
+    let mut boundary_inputs = Vec::new();
+    for (p, c) in assay.dependencies() {
+        match (to_suffix.get(&p), to_suffix.get(&c)) {
+            (Some(&sp), Some(&sc)) => suffix.add_dependency(sp, sc)?,
+            (None, Some(_)) => boundary_inputs.push((p, c)),
+            // (_, None): the child completed; the prefix-closure check above
+            // already guaranteed the parent completed too.
+            _ => {}
+        }
+    }
+
+    if suffix.is_empty() {
+        // Everything already ran; an empty plan is trivially valid.
+        return Ok(RecoveryPlan {
+            assay: suffix,
+            schedule: HybridSchedule {
+                layers: Vec::new(),
+                devices: original.devices.clone(),
+                paths: BTreeSet::new(),
+            },
+            op_map,
+            boundary_inputs,
+            quarantined: quarantined.clone(),
+        });
+    }
+
+    let bindable: Vec<bool> = (0..original.devices.len())
+        .map(|d| !quarantined.contains(&d))
+        .collect();
+    let survivors = bindable.iter().filter(|&&b| b).count();
+    if survivors == 0 {
+        return Err(CoreError::Recovery(
+            "no surviving devices to re-synthesize on".to_owned(),
+        ));
+    }
+    // No hardware can be fabricated at run time: capping the budget at the
+    // survivor count makes every "create a device" decision infeasible, so
+    // the solver either reuses survivors or reports budget exhaustion.
+    let recovery_config = SynthConfig {
+        max_devices: survivors,
+        ..config.clone()
+    };
+    let result = Synthesizer::new(recovery_config)
+        .run_seeded(&suffix, &original.devices, &bindable)
+        .map_err(|e| match e {
+            CoreError::DeviceBudgetExhausted { op, .. } => CoreError::Recovery(format!(
+                "survivors cannot host suffix op o{op} ({})",
+                suffix.op(OpId(op)).name()
+            )),
+            other => other,
+        })?;
+
+    let plan = RecoveryPlan {
+        assay: suffix,
+        schedule: result.schedule,
+        op_map,
+        boundary_inputs,
+        quarantined: quarantined.clone(),
+    };
+    if plan.uses_quarantined() {
+        return Err(CoreError::Internal(
+            "recovery schedule bound an op to a quarantined device".to_owned(),
+        ));
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, Operation};
+    use mfhls_chip::{Accessory, Capacity, ContainerKind};
+
+    fn parallel_pair() -> Assay {
+        let mut a = Assay::new("pair");
+        a.add_op(
+            Operation::new("x0")
+                .capacity(Capacity::Small)
+                .with_duration(Duration::fixed(10)),
+        );
+        a.add_op(
+            Operation::new("x1")
+                .capacity(Capacity::Small)
+                .with_duration(Duration::fixed(10)),
+        );
+        a
+    }
+
+    fn chain3() -> Assay {
+        let mut a = Assay::new("chain");
+        let x = a.add_op(
+            Operation::new("x")
+                .container(ContainerKind::Ring)
+                .capacity(Capacity::Medium)
+                .accessory(Accessory::Pump)
+                .with_duration(Duration::fixed(10)),
+        );
+        let y = a.add_op(
+            Operation::new("y")
+                .accessory(Accessory::CellTrap)
+                .with_duration(Duration::at_least(3)),
+        );
+        let z = a.add_op(
+            Operation::new("z")
+                .accessory(Accessory::OpticalSystem)
+                .with_duration(Duration::fixed(5)),
+        );
+        a.add_dependency(x, y).unwrap();
+        a.add_dependency(y, z).unwrap();
+        a
+    }
+
+    fn synth(a: &Assay) -> HybridSchedule {
+        Synthesizer::new(SynthConfig::default())
+            .run(a)
+            .unwrap()
+            .schedule
+    }
+
+    /// (a) The recovered schedule never binds to a quarantined device.
+    #[test]
+    fn recovered_schedule_avoids_quarantined_devices() {
+        let a = parallel_pair();
+        let original = synth(&a);
+        assert!(
+            original.used_device_count() >= 2,
+            "parallel ops should get parallel devices"
+        );
+        let dead: BTreeSet<usize> = [0].into_iter().collect();
+        let plan = resynthesize_suffix(
+            &a,
+            &original,
+            &BTreeSet::new(),
+            &dead,
+            &SynthConfig::default(),
+        )
+        .unwrap();
+        assert!(!plan.uses_quarantined());
+        assert!(!plan.devices_used().contains(&0));
+        plan.schedule.validate(&plan.assay).unwrap();
+        // Survivor indices are preserved: the device list is unchanged.
+        assert_eq!(plan.schedule.devices, original.devices);
+    }
+
+    /// (b) Dependency edges survive the executed/recovered boundary.
+    #[test]
+    fn boundary_edges_are_preserved() {
+        let a = chain3();
+        let original = synth(&a);
+        let completed: BTreeSet<OpId> = [OpId(0)].into_iter().collect();
+        let plan = resynthesize_suffix(
+            &a,
+            &original,
+            &completed,
+            &BTreeSet::new(),
+            &SynthConfig::default(),
+        )
+        .unwrap();
+        // x -> y crosses the boundary; y -> z stays internal.
+        assert_eq!(plan.boundary_inputs, vec![(OpId(0), OpId(1))]);
+        let sy = plan.suffix_op(OpId(1)).unwrap();
+        let sz = plan.suffix_op(OpId(2)).unwrap();
+        assert_eq!(
+            plan.assay.dependencies().collect::<Vec<_>>(),
+            vec![(sy, sz)]
+        );
+        assert_eq!(plan.original_op(sy), Some(OpId(1)));
+        plan.schedule.validate(&plan.assay).unwrap();
+    }
+
+    /// (c) Recovery with zero faults is the identity.
+    #[test]
+    fn idempotent_with_zero_faults() {
+        let a = chain3();
+        let original = synth(&a);
+        let plan = resynthesize_suffix(
+            &a,
+            &original,
+            &BTreeSet::new(),
+            &BTreeSet::new(),
+            &SynthConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.schedule, original);
+        assert_eq!(plan.op_map, a.op_ids().collect::<Vec<_>>());
+        assert!(plan.boundary_inputs.is_empty());
+    }
+
+    #[test]
+    fn inconsistent_prefix_is_rejected() {
+        let a = chain3();
+        let original = synth(&a);
+        // z "completed" without y: impossible.
+        let completed: BTreeSet<OpId> = [OpId(2)].into_iter().collect();
+        let err = resynthesize_suffix(
+            &a,
+            &original,
+            &completed,
+            &BTreeSet::new(),
+            &SynthConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Recovery(_)), "{err}");
+    }
+
+    #[test]
+    fn losing_every_device_degrades() {
+        let a = parallel_pair();
+        let original = synth(&a);
+        let dead: BTreeSet<usize> = (0..original.devices.len()).collect();
+        let err = resynthesize_suffix(
+            &a,
+            &original,
+            &BTreeSet::new(),
+            &dead,
+            &SynthConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Recovery(_)), "{err}");
+        let report = Degradation::new(&a, &BTreeSet::new(), err.to_string());
+        assert_eq!(report.completed.len(), 0);
+        assert_eq!(report.abandoned.len(), 2);
+        assert_eq!(report.completion_fraction(), 0.0);
+    }
+
+    #[test]
+    fn losing_the_only_compatible_device_degrades() {
+        let a = chain3();
+        let original = synth(&a);
+        // Quarantine the ring that op x needs (completed set is empty, so x
+        // must be re-scheduled and nothing else can host it).
+        let ring = original.slot(OpId(0)).unwrap().device;
+        let dead: BTreeSet<usize> = [ring].into_iter().collect();
+        let err = resynthesize_suffix(
+            &a,
+            &original,
+            &BTreeSet::new(),
+            &dead,
+            &SynthConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Recovery(_)), "{err}");
+    }
+
+    #[test]
+    fn fully_completed_assay_yields_empty_plan() {
+        let a = parallel_pair();
+        let original = synth(&a);
+        let completed: BTreeSet<OpId> = a.op_ids().collect();
+        let plan = resynthesize_suffix(
+            &a,
+            &original,
+            &completed,
+            &BTreeSet::new(),
+            &SynthConfig::default(),
+        )
+        .unwrap();
+        assert!(plan.assay.is_empty());
+        assert!(plan.schedule.layers.is_empty());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_for(0), 1);
+        assert_eq!(p.backoff_for(1), 2);
+        assert_eq!(p.backoff_for(2), 4);
+        assert_eq!(p.backoff_for(10), 64, "capped at max_backoff");
+        assert_eq!(p.total_backoff(3), 1 + 2 + 4);
+        let none = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(none.total_backoff(0), 0);
+    }
+}

@@ -163,7 +163,6 @@ pub fn to_svg(assay: &Assay, schedule: &HybridSchedule) -> String {
     s
 }
 
-
 /// Renders the assay DAG in Graphviz DOT format, optionally clustering
 /// operations by layer (pass the layering produced by
 /// [`layer_assay`](crate::layer_assay)). Indeterminate operations are
@@ -185,7 +184,10 @@ pub fn to_svg(assay: &Assay, schedule: &HybridSchedule) -> String {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn dot(assay: &Assay, layering: Option<&crate::Layering>) -> String {
-    let mut s = format!("digraph \"{}\" {{\n  rankdir=TB;\n  node [shape=ellipse, fontname=\"monospace\"];\n", assay.name());
+    let mut s = format!(
+        "digraph \"{}\" {{\n  rankdir=TB;\n  node [shape=ellipse, fontname=\"monospace\"];\n",
+        assay.name()
+    );
     let node = |id: crate::OpId| -> String {
         let op = assay.op(id);
         let peripheries = if op.is_indeterminate() { 2 } else { 1 };
@@ -226,7 +228,9 @@ fn dot_escape(s: &str) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -291,7 +295,6 @@ mod tests {
         assert!(svg.contains("mix &amp; heat"));
         assert!(!svg.contains("mix & heat"));
     }
-
 
     #[test]
     fn dot_renders_nodes_edges_and_clusters() {

@@ -2,11 +2,10 @@
 
 use crate::{Assay, CoreError, OpId};
 use mfhls_chip::{DeviceConfig, Netlist};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// One operation's slot in a sub-schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduledOp {
     /// The operation.
     pub op: OpId,
@@ -35,7 +34,7 @@ impl ScheduledOp {
 }
 
 /// The fixed sub-schedule of one layer.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LayerSchedule {
     /// Slots, sorted by (start, op).
     pub ops: Vec<ScheduledOp>,
@@ -68,7 +67,7 @@ impl LayerSchedule {
 /// Total assay execution time in the hybrid accounting of Table 2:
 /// a fixed part (minutes) plus one symbolic extra `I_k` per layer that ends
 /// with indeterminate operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecTime {
     /// Sum of fixed layer makespans (indeterminate ops at minimum duration).
     pub fixed: u64,
@@ -89,7 +88,7 @@ impl std::fmt::Display for ExecTime {
 
 /// A complete hybrid-scheduling solution: one fixed sub-schedule per layer,
 /// the instantiated devices, and the transportation paths between them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HybridSchedule {
     /// Per-layer sub-schedules, in execution order.
     pub layers: Vec<LayerSchedule>,

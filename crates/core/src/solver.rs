@@ -95,8 +95,8 @@ impl LayerSolver for SolverKind {
                 ilp_op_limit,
                 improvement_passes,
             } => {
-                let heur = crate::heuristic::HeuristicLayerSolver { improvement_passes }
-                    .solve(problem)?;
+                let heur =
+                    crate::heuristic::HeuristicLayerSolver { improvement_passes }.solve(problem)?;
                 if problem.ops.len() > ilp_op_limit {
                     return Ok(heur);
                 }

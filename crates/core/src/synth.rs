@@ -7,7 +7,6 @@ use crate::{
     LayerSolver, Layering, SolverKind, TransportConfig, TransportTimes, Weights,
 };
 use mfhls_chip::{CostModel, DeviceConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Configuration of a synthesis run.
@@ -52,7 +51,7 @@ impl Default for SynthConfig {
 }
 
 /// Metrics of one (re-)synthesis iteration, as reported in Table 3.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IterationStats {
     /// Total assay execution time (hybrid accounting).
     pub exec_time: ExecTime,
@@ -111,6 +110,26 @@ impl Synthesizer {
     /// Propagates layering and per-layer solver failures; see
     /// [`CoreError`].
     pub fn run(&self, assay: &Assay) -> Result<SynthesisResult, CoreError> {
+        self.run_seeded(assay, &[], &[])
+    }
+
+    /// Like [`Synthesizer::run`], but seeds the device pool with an already
+    /// fabricated library. The seed devices keep their indices in the result
+    /// (they are never pruned or renumbered, even when unused), and
+    /// `seed_bindable[d] == false` hides seed device `d` from binding
+    /// entirely — the recovery path uses this to quarantine failed hardware
+    /// while keeping survivor numbering stable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layering and per-layer solver failures; see
+    /// [`CoreError`].
+    pub fn run_seeded(
+        &self,
+        assay: &Assay,
+        seed_devices: &[DeviceConfig],
+        seed_bindable: &[bool],
+    ) -> Result<SynthesisResult, CoreError> {
         let started = std::time::Instant::now();
         let layering = layer_assay(assay, self.config.indeterminate_threshold)?;
         let mut transport = TransportTimes::initial(assay, &self.config.transport);
@@ -121,10 +140,17 @@ impl Synthesizer {
         let mut prev: Option<Pass> = None;
 
         for _iter in 0..self.config.max_iterations.max(1) {
-            let pass = self.synthesize_once(assay, &layering, &transport, prev.as_ref())?;
-            pass.schedule.validate(assay).map_err(|e| {
-                CoreError::InvalidSchedule(format!("internal solver bug: {e}"))
-            })?;
+            let pass = self.synthesize_once(
+                assay,
+                &layering,
+                &transport,
+                prev.as_ref(),
+                seed_devices,
+                seed_bindable,
+            )?;
+            pass.schedule
+                .validate(assay)
+                .map_err(|e| CoreError::InvalidSchedule(format!("internal solver bug: {e}")))?;
             let stats = self.stats_for(assay, &pass.schedule);
             let exec_now = stats.exec_time.fixed;
             iterations.push(stats);
@@ -155,7 +181,11 @@ impl Synthesizer {
             }
         }
 
-        let (_, schedule) = best.expect("at least one iteration ran");
+        let Some((_, schedule)) = best else {
+            return Err(CoreError::Internal(
+                "no synthesis iteration produced a schedule".to_owned(),
+            ));
+        };
         Ok(SynthesisResult {
             schedule,
             layering,
@@ -201,28 +231,35 @@ impl Synthesizer {
         layering: &Layering,
         transport: &TransportTimes,
         prev: Option<&Pass>,
+        seed_devices: &[DeviceConfig],
+        seed_bindable: &[bool],
     ) -> Result<Pass, CoreError> {
         let mut devices: Vec<DeviceConfig> = prev
             .map(|p| p.schedule.devices.clone())
-            .unwrap_or_default();
+            .unwrap_or_else(|| seed_devices.to_vec());
         let mut paths: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut layer_schedules: Vec<LayerSchedule> = Vec::new();
         let mut device_of: Vec<Option<usize>> = vec![None; assay.len()];
 
         for (li, layer_ops) in layering.layers().iter().enumerate() {
-            let bindable: Vec<bool> = vec![true; devices.len()];
-            let cross_inputs = assay
-                .dependencies()
-                .filter(|(p_op, c)| {
-                    layering.layer_of(*c) == li && layering.layer_of(*p_op) < li
-                })
-                .map(|(p_op, c)| {
-                    (
-                        c,
-                        device_of[p_op.index()].expect("parent layer already solved"),
-                    )
-                })
+            // Seed devices carry their quarantine mask through every pass;
+            // devices the synthesis itself added are always visible.
+            let bindable: Vec<bool> = (0..devices.len())
+                .map(|d| seed_bindable.get(d).copied().unwrap_or(true))
                 .collect();
+            let mut cross_inputs = Vec::new();
+            for (p_op, c) in assay.dependencies() {
+                if layering.layer_of(c) == li && layering.layer_of(p_op) < li {
+                    let Some(pd) = device_of[p_op.index()] else {
+                        return Err(CoreError::Internal(format!(
+                            "parent o{} of o{} missing from earlier layers",
+                            p_op.index(),
+                            c.index()
+                        )));
+                    };
+                    cross_inputs.push((c, pd));
+                }
+            }
             let problem = LayerProblem {
                 assay,
                 ops: layer_ops.clone(),
@@ -250,7 +287,7 @@ impl Synthesizer {
             devices,
             paths,
         };
-        let schedule = prune_unused(assay, schedule);
+        let schedule = prune_unused(assay, schedule, seed_devices.len())?;
         Ok(Pass { schedule })
     }
 }
@@ -261,35 +298,42 @@ struct Pass {
 }
 
 /// Drops devices no operation uses (stale leftovers from a previous
-/// iteration), renumbering slots and recomputing paths.
-fn prune_unused(assay: &Assay, schedule: HybridSchedule) -> HybridSchedule {
+/// iteration), renumbering slots and recomputing paths. The first
+/// `keep_first` devices (an externally fabricated seed library) are kept
+/// even when unused, so their indices survive verbatim.
+fn prune_unused(
+    assay: &Assay,
+    schedule: HybridSchedule,
+    keep_first: usize,
+) -> Result<HybridSchedule, CoreError> {
     let used: BTreeSet<usize> = schedule
         .layers
         .iter()
         .flat_map(|l| l.ops.iter().map(|s| s.device))
         .collect();
     let keep: Vec<usize> = (0..schedule.devices.len())
-        .filter(|d| used.contains(d))
+        .filter(|&d| d < keep_first || used.contains(&d))
         .collect();
     let remap: std::collections::BTreeMap<usize, usize> =
         keep.iter().enumerate().map(|(n, &o)| (o, n)).collect();
 
     let devices = keep.iter().map(|&o| schedule.devices[o]).collect();
-    let layers = schedule
-        .layers
-        .into_iter()
-        .map(|l| {
-            LayerSchedule::new(
-                l.ops
-                    .into_iter()
-                    .map(|mut s| {
-                        s.device = remap[&s.device];
-                        s
-                    })
-                    .collect(),
-            )
-        })
-        .collect();
+    let mut layers = Vec::with_capacity(schedule.layers.len());
+    for l in schedule.layers {
+        let mut slots = Vec::with_capacity(l.ops.len());
+        for mut s in l.ops {
+            let Some(&d) = remap.get(&s.device) else {
+                return Err(CoreError::Internal(format!(
+                    "slot for o{} bound to unknown device d{}",
+                    s.op.index(),
+                    s.device
+                )));
+            };
+            s.device = d;
+            slots.push(s);
+        }
+        layers.push(LayerSchedule::new(slots));
+    }
     let mut pruned = HybridSchedule {
         layers,
         devices,
@@ -298,16 +342,19 @@ fn prune_unused(assay: &Assay, schedule: HybridSchedule) -> HybridSchedule {
     // Recompute paths from the pruned binding.
     let mut paths = BTreeSet::new();
     for (p, c) in assay.dependencies() {
-        let (sp, sc) = (
-            pruned.slot(p).expect("scheduled"),
-            pruned.slot(c).expect("scheduled"),
-        );
+        let (Some(sp), Some(sc)) = (pruned.slot(p), pruned.slot(c)) else {
+            return Err(CoreError::Internal(format!(
+                "dependency o{}->o{} has an unscheduled endpoint",
+                p.index(),
+                c.index()
+            )));
+        };
         if sp.device != sc.device {
             paths.insert(path_key(sp.device, sc.device));
         }
     }
     pruned.paths = paths;
-    pruned
+    Ok(pruned)
 }
 
 #[cfg(test)]
@@ -374,7 +421,9 @@ mod tests {
     #[test]
     fn conventional_uses_at_least_as_many_devices() {
         let assay = small_assay();
-        let ours = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+        let ours = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .unwrap();
         let conv = Synthesizer::new(SynthConfig {
             component_oriented: false,
             ..SynthConfig::default()

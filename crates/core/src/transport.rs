@@ -9,12 +9,11 @@
 //! operations whose children share their device get 0.
 
 use crate::{Assay, OpId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An arithmetic progression of candidate transport times: `terms` values
 /// evenly spaced from `min` to `max` (inclusive).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Progression {
     /// Smallest term (busiest path).
     pub min: u64,
@@ -63,7 +62,7 @@ impl Default for Progression {
 }
 
 /// User configuration for transport estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransportConfig {
     /// The constant `t` assigned to every operation before the first
     /// synthesis pass.
@@ -82,7 +81,7 @@ impl Default for TransportConfig {
 }
 
 /// Per-operation transportation times `t_p` (eq. 9).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransportTimes {
     per_op: Vec<u64>,
 }
@@ -128,8 +127,7 @@ impl TransportTimes {
                 *usage.entry(key(dp, dc)).or_insert(0) += 1;
             }
         }
-        let mut ranked: Vec<((usize, usize), u64)> =
-            usage.iter().map(|(&k, &v)| (k, v)).collect();
+        let mut ranked: Vec<((usize, usize), u64)> = usage.iter().map(|(&k, &v)| (k, v)).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let rank_of: BTreeMap<(usize, usize), usize> = ranked
             .iter()
@@ -193,7 +191,10 @@ mod tests {
             max: 5,
             terms: 5,
         };
-        assert_eq!((0..5).map(|k| p.term(k)).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(
+            (0..5).map(|k| p.term(k)).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
         let single = Progression {
             min: 4,
             max: 9,
@@ -209,7 +210,10 @@ mod tests {
             max: 10,
             terms: 4,
         }; // exact terms 0, 10/3, 20/3, 10
-        assert_eq!((0..4).map(|k| p.term(k)).collect::<Vec<_>>(), vec![0, 3, 7, 10]);
+        assert_eq!(
+            (0..4).map(|k| p.term(k)).collect::<Vec<_>>(),
+            vec![0, 3, 7, 10]
+        );
     }
 
     #[test]

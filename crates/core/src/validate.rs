@@ -52,7 +52,10 @@ pub fn validate_schedule(assay: &Assay, schedule: &HybridSchedule) -> Result<(),
             let op = assay.op(slot.op);
             // Binding consistence (eqs. 5-8).
             let Some(cfg) = schedule.devices.get(slot.device) else {
-                return err(format!("{} bound to unknown device {}", slot.op, slot.device));
+                return err(format!(
+                    "{} bound to unknown device {}",
+                    slot.op, slot.device
+                ));
             };
             if !cfg.satisfies(op.requirements()) {
                 return err(format!(
@@ -105,8 +108,7 @@ pub fn validate_schedule(assay: &Assay, schedule: &HybridSchedule) -> Result<(),
                 if a.device != b.device {
                     continue;
                 }
-                let disjoint =
-                    a.release_time() <= b.start || b.release_time() <= a.start;
+                let disjoint = a.release_time() <= b.start || b.release_time() <= a.start;
                 if !disjoint {
                     return err(format!(
                         "eq.10-13: {} and {} overlap on device {} in layer {li}",
@@ -179,7 +181,12 @@ mod tests {
     use mfhls_chip::{AccessorySet, Capacity, ContainerKind, DeviceConfig};
 
     fn chamber() -> DeviceConfig {
-        DeviceConfig::new(ContainerKind::Chamber, Capacity::Small, AccessorySet::empty()).unwrap()
+        DeviceConfig::new(
+            ContainerKind::Chamber,
+            Capacity::Small,
+            AccessorySet::empty(),
+        )
+        .unwrap()
     }
 
     fn two_op_assay() -> (Assay, crate::OpId, crate::OpId) {
@@ -190,7 +197,13 @@ mod tests {
         (a, x, y)
     }
 
-    fn slot(op: crate::OpId, device: usize, start: u64, duration: u64, transport: u64) -> ScheduledOp {
+    fn slot(
+        op: crate::OpId,
+        device: usize,
+        start: u64,
+        duration: u64,
+        transport: u64,
+    ) -> ScheduledOp {
         ScheduledOp {
             op,
             device,

@@ -91,7 +91,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, pos: 0, line: 1 }
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -304,26 +308,25 @@ pub fn parse(text: &str) -> Result<Assay, ParseError> {
     let mut ids: BTreeMap<String, OpId> = BTreeMap::new();
     let mut deferred_deps: Vec<(String, OpId, usize)> = Vec::new();
 
-    let register =
-        |assay: &mut Assay,
-         ids: &mut BTreeMap<String, OpId>,
-         deferred: &mut Vec<(String, OpId, usize)>,
-         parsed: ParsedOp,
-         line: usize|
-         -> Result<(), ParseError> {
-            if ids.contains_key(&parsed.ident) {
-                return Err(ParseError {
-                    line,
-                    message: format!("duplicate op identifier '{}'", parsed.ident),
-                });
-            }
-            let id = assay.add_op(parsed.op);
-            ids.insert(parsed.ident, id);
-            for (parent, l) in parsed.after {
-                deferred.push((parent, id, l));
-            }
-            Ok(())
-        };
+    let register = |assay: &mut Assay,
+                    ids: &mut BTreeMap<String, OpId>,
+                    deferred: &mut Vec<(String, OpId, usize)>,
+                    parsed: ParsedOp,
+                    line: usize|
+     -> Result<(), ParseError> {
+        if ids.contains_key(&parsed.ident) {
+            return Err(ParseError {
+                line,
+                message: format!("duplicate op identifier '{}'", parsed.ident),
+            });
+        }
+        let id = assay.add_op(parsed.op);
+        ids.insert(parsed.ident, id);
+        for (parent, l) in parsed.after {
+            deferred.push((parent, id, l));
+        }
+        Ok(())
+    };
 
     while let Some(tok) = p.next() {
         match tok {
@@ -335,9 +338,7 @@ pub fn parse(text: &str) -> Result<Assay, ParseError> {
             Token::Ident(kw) if kw == "repeat" => {
                 let count = match p.next() {
                     Some(Token::Number(n)) | Some(Token::Minutes(n)) => n,
-                    other => {
-                        return Err(p.error(format!("expected repeat count, found {other:?}")))
-                    }
+                    other => return Err(p.error(format!("expected repeat count, found {other:?}"))),
                 };
                 p.expect(&Token::LBrace, "'{'")?;
                 let mut templates: Vec<ParsedOp> = Vec::new();
@@ -427,106 +428,107 @@ fn parse_op(p: &mut Parser) -> Result<ParsedOp, ParseError> {
         p.expect(&Token::LBrace, "'{'")?;
         let mut op = Operation::new(display.as_deref().unwrap_or(&ident));
         let mut after: Vec<(String, usize)> = Vec::new();
-                loop {
-                    match p.next() {
-                        Some(Token::RBrace) => break,
-                        Some(Token::Ident(key)) => {
-                            p.expect(&Token::Colon, "':'")?;
-                            match key.as_str() {
-                                "container" => {
-                                    let v = p.expect_ident("container kind")?;
-                                    op = op.container(match v.as_str() {
-                                        "ring" => ContainerKind::Ring,
-                                        "chamber" => ContainerKind::Chamber,
-                                        other => {
-                                            return Err(p.error(format!(
-                                                "unknown container '{other}' (ring|chamber)"
-                                            )))
-                                        }
-                                    });
-                                }
-                                "capacity" => {
-                                    let v = p.expect_ident("capacity")?;
-                                    op = op.capacity(match v.as_str() {
-                                        "large" => Capacity::Large,
-                                        "medium" => Capacity::Medium,
-                                        "small" => Capacity::Small,
-                                        "tiny" => Capacity::Tiny,
-                                        other => {
-                                            return Err(p.error(format!(
-                                                "unknown capacity '{other}' (large|medium|small|tiny)"
-                                            )))
-                                        }
-                                    });
-                                }
-                                "accessories" => {
-                                    p.expect(&Token::LBracket, "'['")?;
-                                    loop {
-                                        match p.next() {
-                                            Some(Token::RBracket) => break,
-                                            Some(Token::Comma) => continue,
-                                            Some(Token::Ident(a)) => {
-                                                op = op.accessory(parse_accessory(&a).ok_or_else(
-                                                    || p.error(format!("unknown accessory '{a}'")),
-                                                )?);
-                                            }
-                                            other => {
-                                                return Err(p.error(format!(
-                                                    "expected accessory, found {other:?}"
-                                                )))
-                                            }
-                                        }
-                                    }
-                                }
-                                "duration" => {
-                                    let indeterminate = matches!(p.peek(), Some(Token::Ge));
-                                    if indeterminate {
-                                        p.next();
-                                    }
-                                    let minutes = match p.next() {
-                                        Some(Token::Minutes(v)) | Some(Token::Number(v)) => v,
-                                        other => {
-                                            return Err(p.error(format!(
-                                                "expected duration in minutes, found {other:?}"
-                                            )))
-                                        }
-                                    };
-                                    op = op.with_duration(if indeterminate {
-                                        Duration::at_least(minutes)
-                                    } else {
-                                        Duration::fixed(minutes)
-                                    });
-                                }
-                                "after" => {
-                                    p.expect(&Token::LBracket, "'['")?;
-                                    loop {
-                                        match p.next() {
-                                            Some(Token::RBracket) => break,
-                                            Some(Token::Comma) => continue,
-                                            Some(Token::Ident(parent)) => {
-                                                after.push((parent, p.line()));
-                                            }
-                                            other => {
-                                                return Err(p.error(format!(
-                                                    "expected op identifier, found {other:?}"
-                                                )))
-                                            }
-                                        }
-                                    }
-                                }
+        loop {
+            match p.next() {
+                Some(Token::RBrace) => break,
+                Some(Token::Ident(key)) => {
+                    p.expect(&Token::Colon, "':'")?;
+                    match key.as_str() {
+                        "container" => {
+                            let v = p.expect_ident("container kind")?;
+                            op = op.container(match v.as_str() {
+                                "ring" => ContainerKind::Ring,
+                                "chamber" => ContainerKind::Chamber,
                                 other => {
                                     return Err(p.error(format!(
-                                        "unknown attribute '{other}' \
-                                         (container|capacity|accessories|duration|after)"
+                                        "unknown container '{other}' (ring|chamber)"
                                     )))
+                                }
+                            });
+                        }
+                        "capacity" => {
+                            let v = p.expect_ident("capacity")?;
+                            op = op.capacity(match v.as_str() {
+                                "large" => Capacity::Large,
+                                "medium" => Capacity::Medium,
+                                "small" => Capacity::Small,
+                                "tiny" => Capacity::Tiny,
+                                other => {
+                                    return Err(p.error(format!(
+                                        "unknown capacity '{other}' (large|medium|small|tiny)"
+                                    )))
+                                }
+                            });
+                        }
+                        "accessories" => {
+                            p.expect(&Token::LBracket, "'['")?;
+                            loop {
+                                match p.next() {
+                                    Some(Token::RBracket) => break,
+                                    Some(Token::Comma) => continue,
+                                    Some(Token::Ident(a)) => {
+                                        op =
+                                            op.accessory(parse_accessory(&a).ok_or_else(|| {
+                                                p.error(format!("unknown accessory '{a}'"))
+                                            })?);
+                                    }
+                                    other => {
+                                        return Err(
+                                            p.error(format!("expected accessory, found {other:?}"))
+                                        )
+                                    }
+                                }
+                            }
+                        }
+                        "duration" => {
+                            let indeterminate = matches!(p.peek(), Some(Token::Ge));
+                            if indeterminate {
+                                p.next();
+                            }
+                            let minutes = match p.next() {
+                                Some(Token::Minutes(v)) | Some(Token::Number(v)) => v,
+                                other => {
+                                    return Err(p.error(format!(
+                                        "expected duration in minutes, found {other:?}"
+                                    )))
+                                }
+                            };
+                            op = op.with_duration(if indeterminate {
+                                Duration::at_least(minutes)
+                            } else {
+                                Duration::fixed(minutes)
+                            });
+                        }
+                        "after" => {
+                            p.expect(&Token::LBracket, "'['")?;
+                            loop {
+                                match p.next() {
+                                    Some(Token::RBracket) => break,
+                                    Some(Token::Comma) => continue,
+                                    Some(Token::Ident(parent)) => {
+                                        after.push((parent, p.line()));
+                                    }
+                                    other => {
+                                        return Err(p.error(format!(
+                                            "expected op identifier, found {other:?}"
+                                        )))
+                                    }
                                 }
                             }
                         }
                         other => {
-                            return Err(p.error(format!("expected attribute or '}}', found {other:?}")))
+                            return Err(p.error(format!(
+                                "unknown attribute '{other}' \
+                                         (container|capacity|accessories|duration|after)"
+                            )))
                         }
                     }
                 }
+                other => {
+                    return Err(p.error(format!("expected attribute or '}}', found {other:?}")))
+                }
+            }
+        }
         Ok(ParsedOp { ident, op, after })
     }
 }
@@ -574,9 +576,7 @@ pub fn to_text(assay: &Assay) -> String {
         }
         match op.duration() {
             Duration::Fixed(d) => out.push_str(&format!("    duration: {d}m\n")),
-            Duration::Indeterminate { min } => {
-                out.push_str(&format!("    duration: >= {min}m\n"))
-            }
+            Duration::Indeterminate { min } => out.push_str(&format!("    duration: >= {min}m\n")),
         }
         let parents = assay.parents(id);
         if !parents.is_empty() {
@@ -619,7 +619,10 @@ op capture {
         assert_eq!(load.name(), "load beads");
         assert_eq!(load.requirements().container, Some(ContainerKind::Chamber));
         assert_eq!(load.requirements().capacity, Some(Capacity::Medium));
-        assert!(load.requirements().accessories.contains(Accessory::SieveValve));
+        assert!(load
+            .requirements()
+            .accessories
+            .contains(Accessory::SieveValve));
         assert_eq!(load.duration(), Duration::fixed(8));
         let cap = a.op(OpId(1));
         assert_eq!(cap.name(), "capture");
@@ -633,7 +636,11 @@ op capture {
         for name in ["cell_trap", "cell-trap"] {
             let t = format!("assay \"x\"\nop a {{ accessories: [{name}] duration: 1m }}");
             let a = parse(&t).unwrap();
-            assert!(a.op(OpId(0)).requirements().accessories.contains(Accessory::CellTrap));
+            assert!(a
+                .op(OpId(0))
+                .requirements()
+                .accessories
+                .contains(Accessory::CellTrap));
         }
     }
 
@@ -680,7 +687,6 @@ op capture {
     fn unterminated_string_is_an_error() {
         assert!(parse("assay \"x").is_err());
     }
-
 
     #[test]
     fn repeat_block_instantiates() {

@@ -55,9 +55,18 @@ pub struct EvictionCut {
 /// assert_eq!(cut.storage, 1);
 /// assert_eq!(cut.moved, vec![1]);
 /// ```
-pub fn eviction_cut(n: usize, dep_edges: &[(usize, usize)], external_parents: &[u64], sink: usize) -> EvictionCut {
+pub fn eviction_cut(
+    n: usize,
+    dep_edges: &[(usize, usize)],
+    external_parents: &[u64],
+    sink: usize,
+) -> EvictionCut {
     assert!(sink < n, "sink {sink} out of range {n}");
-    assert_eq!(external_parents.len(), n, "external_parents length mismatch");
+    assert_eq!(
+        external_parents.len(),
+        n,
+        "external_parents length mismatch"
+    );
     // Node layout: 0..n are candidates, n is the virtual source.
     let s = n;
     let mut net = MaxFlow::new(n + 1);

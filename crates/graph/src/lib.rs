@@ -38,6 +38,7 @@ pub mod closure_cut;
 pub mod maxflow;
 pub mod reach;
 pub mod reduction;
+pub mod rng;
 pub mod topo;
 
 pub use bitset::BitSet;
@@ -62,7 +63,10 @@ impl std::fmt::Display for GraphError {
         match self {
             GraphError::Cycle(n) => write!(f, "graph contains a cycle through node {n}"),
             GraphError::NodeOutOfRange { node, len } => {
-                write!(f, "node index {node} out of range for graph with {len} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {len} nodes"
+                )
             }
         }
     }

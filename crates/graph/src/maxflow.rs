@@ -68,7 +68,11 @@ impl MaxFlow {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: u64) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range {}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range {}",
+            self.n
+        );
         let e = self.to.len();
         self.to.push(v);
         self.cap.push(cap);
@@ -87,7 +91,10 @@ impl MaxFlow {
     ///
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
-        assert!(s < self.n && t < self.n && s != t, "invalid terminals {s},{t}");
+        assert!(
+            s < self.n && t < self.n && s != t,
+            "invalid terminals {s},{t}"
+        );
         let mut total = 0u64;
         loop {
             // BFS for shortest augmenting path; parent edge per node.
@@ -301,7 +308,10 @@ mod tests {
         net.add_edge(2, 3, INF);
         let cut = net.min_cut(0, 3);
         assert_eq!(cut.value, 3);
-        assert!(cut.cut_edges.iter().all(|&(u, v)| (u, v) == (1, 3) || (u, v) == (0, 2)));
+        assert!(cut
+            .cut_edges
+            .iter()
+            .all(|&(u, v)| (u, v) == (1, 3) || (u, v) == (0, 2)));
     }
 
     #[test]
@@ -331,16 +341,15 @@ mod tests {
 
     #[test]
     fn randomised_against_brute_force() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(42);
         for _ in 0..200 {
-            let n = rng.gen_range(2..7);
-            let m = rng.gen_range(0..12);
+            let n = rng.gen_index(2, 7);
+            let m = rng.gen_index(0, 12);
             let edges: Vec<(usize, usize, u64)> = (0..m)
                 .filter_map(|_| {
-                    let u = rng.gen_range(0..n);
-                    let v = rng.gen_range(0..n);
-                    (u != v).then(|| (u, v, rng.gen_range(1..10u64)))
+                    let u = rng.gen_index(0, n);
+                    let v = rng.gen_index(0, n);
+                    (u != v).then(|| (u, v, rng.gen_range_u64(1, 9)))
                 })
                 .collect();
             let (s, t) = (0, n - 1);

@@ -41,9 +41,7 @@ pub fn transitive_reduction(g: &Digraph) -> Result<Digraph, GraphError> {
         children.dedup();
         for &v in &children {
             // u -> v is redundant iff some other child w of u reaches v.
-            let implied = children
-                .iter()
-                .any(|&w| w != v && desc[w].contains(v));
+            let implied = children.iter().any(|&w| w != v && desc[w].contains(v));
             if !implied {
                 kept.push(v);
             }
@@ -90,10 +88,7 @@ mod tests {
     fn keeps_minimal_dag_unchanged() {
         let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
         let r = transitive_reduction(&g).unwrap();
-        assert_eq!(
-            r.edges().collect::<Vec<_>>(),
-            g.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(r.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
     }
 
     #[test]
@@ -132,7 +127,17 @@ mod tests {
         use crate::reach;
         let g = Digraph::from_edges(
             7,
-            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4), (4, 5), (2, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (0, 3),
+                (3, 4),
+                (1, 4),
+                (4, 5),
+                (2, 6),
+            ],
         );
         let r = transitive_reduction(&g).unwrap();
         for u in 0..7 {

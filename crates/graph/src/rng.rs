@@ -1,0 +1,173 @@
+//! A small vendored pseudo-random number generator.
+//!
+//! The workspace must build with no network access, so instead of the
+//! `rand` crate we carry a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//! generator: 64 bits of state, full period, passes BigCrush when used as
+//! a stream, and more than adequate for seeded test-input generation and
+//! Monte-Carlo simulation. Everything in this workspace that needs
+//! randomness funnels through this module so simulations stay reproducible
+//! from a single `u64` seed.
+//!
+//! # Example
+//!
+//! ```
+//! use mfhls_graph::rng::SplitMix64;
+//!
+//! let mut a = SplitMix64::seed_from_u64(42);
+//! let mut b = SplitMix64::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//! let x = a.gen_range_u64(1, 10);
+//! assert!((1..=10).contains(&x));
+//! ```
+
+/// SplitMix64 generator state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform integer in the **inclusive** range `[lo, hi]`.
+    ///
+    /// Uses Lemire-style rejection-free multiply-shift reduction; the tiny
+    /// modulo bias (< 2⁻⁵³ for any range that fits in 53 bits) is
+    /// irrelevant for simulation and test-generation purposes.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi, "gen_range_u64: empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let bound = span + 1;
+        let hi128 = ((self.next_u64() as u128 * bound as u128) >> 64) as u64;
+        lo + hi128
+    }
+
+    /// Uniform `usize` in the **half-open** range `[lo, hi)`.
+    pub fn gen_index(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "gen_index: empty range {lo}..{hi}");
+        self.gen_range_u64(lo as u64, hi as u64 - 1) as usize
+    }
+
+    /// Uniform signed integer in the **half-open** range `[lo, hi)`.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi, "gen_range_i64: empty range {lo}..{hi}");
+        let span = (hi - lo - 1) as u64;
+        lo + self.gen_range_u64(0, span) as i64
+    }
+
+    /// Uniform float in the **inclusive** range `[lo, hi]`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Derives an independent generator for a sub-stream (e.g. fault
+    /// sampling separated from duration sampling) by jumping through a
+    /// fixed tag. SplitMix64's output function decorrelates nearby seeds,
+    /// so `split(k)` streams for distinct `k` are statistically unrelated.
+    pub fn split(&self, tag: u64) -> SplitMix64 {
+        let mut probe = SplitMix64 {
+            state: self.state ^ tag.wrapping_mul(0xA076_1D64_78BD_642F),
+        };
+        let reseed = probe.next_u64();
+        SplitMix64::seed_from_u64(reseed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Reference values from the public-domain splitmix64.c with seed 0.
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range_u64(3, 17);
+            assert!((3..=17).contains(&v));
+            let i = r.gen_index(2, 5);
+            assert!((2..5).contains(&i));
+            let s = r.gen_range_i64(-4, 4);
+            assert!((-4..4).contains(&s));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SplitMix64::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut r = SplitMix64::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn split_streams_differ_from_parent_and_each_other() {
+        let parent = SplitMix64::seed_from_u64(123);
+        let mut a = parent.split(1);
+        let mut b = parent.split(2);
+        let mut p = parent.clone();
+        let (x, y, z) = (a.next_u64(), b.next_u64(), p.next_u64());
+        assert_ne!(x, y);
+        assert_ne!(x, z);
+        assert_ne!(y, z);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let parent = SplitMix64::seed_from_u64(77);
+        let mut a = parent.split(4);
+        let mut b = parent.split(4);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -25,10 +25,8 @@ pub fn topological_sort(g: &Digraph) -> Result<Vec<usize>, GraphError> {
     // workspace a sorted frontier kept as a BinaryHeap of Reverse is fine.
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut ready: BinaryHeap<Reverse<usize>> = (0..n)
-        .filter(|&u| indeg[u] == 0)
-        .map(Reverse)
-        .collect();
+    let mut ready: BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&u| indeg[u] == 0).map(Reverse).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(Reverse(u)) = ready.pop() {
         order.push(u);
@@ -104,7 +102,6 @@ pub fn bottom_levels(g: &Digraph, weight: &[u64]) -> Result<Vec<u64>, GraphError
     Ok(bl)
 }
 
-
 /// Returns one explicit cycle (as a node sequence, first node repeated at
 /// the end) if `g` is cyclic, `None` for DAGs. Useful for error messages:
 /// "a -> b -> c -> a".
@@ -172,7 +169,6 @@ pub fn find_cycle(g: &Digraph) -> Option<Vec<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     #[test]
     fn find_cycle_on_dag_is_none() {

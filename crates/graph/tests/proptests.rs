@@ -1,26 +1,46 @@
-//! Property-based tests for the graph substrate.
+//! Randomized property tests for the graph substrate, driven by the
+//! vendored seeded PRNG (the workspace builds offline, so no proptest).
+//! Each test sweeps a fixed seed range; failures print the seed so a case
+//! can be replayed by hand.
 
+use mfhls_graph::rng::SplitMix64;
 use mfhls_graph::{closure_cut, maxflow, reach, reduction, topo, Digraph};
-use proptest::prelude::*;
 
-/// Strategy: a random DAG as (node count, forward edges).
-fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2usize..14).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |raw| {
-            raw.into_iter()
-                .filter(|&(a, b)| a != b)
-                .map(|(a, b)| (a.min(b), a.max(b))) // forward => acyclic
-                .collect::<Vec<_>>()
-        });
-        (Just(n), edges)
-    })
+/// A random DAG as (node count, forward edges): every edge points from the
+/// smaller to the larger index, so the graph is acyclic by construction.
+fn random_dag(seed: u64) -> (usize, Vec<(usize, usize)>) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let n = rng.gen_index(2, 14);
+    let m = rng.gen_index(0, n * 2);
+    let edges = (0..m)
+        .filter_map(|_| {
+            let a = rng.gen_index(0, n);
+            let b = rng.gen_index(0, n);
+            (a != b).then(|| (a.min(b), a.max(b)))
+        })
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A random capacitated digraph (cycles allowed) for flow tests.
+fn random_network(seed: u64) -> (usize, Vec<(usize, usize, u64)>) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let n = rng.gen_index(2, 8);
+    let m = rng.gen_index(0, 16);
+    let edges = (0..m)
+        .filter_map(|_| {
+            let a = rng.gen_index(0, n);
+            let b = rng.gen_index(0, n);
+            (a != b).then(|| (a, b, rng.gen_range_u64(1, 11)))
+        })
+        .collect();
+    (n, edges)
+}
 
-    #[test]
-    fn toposort_respects_edges((n, edges) in dag_strategy()) {
+#[test]
+fn toposort_respects_edges() {
+    for seed in 0u64..128 {
+        let (n, edges) = random_dag(seed);
         let g = Digraph::from_edges(n, edges.iter().copied());
         let order = topo::topological_sort(&g).expect("forward edges are acyclic");
         let mut pos = vec![0usize; n];
@@ -28,57 +48,70 @@ proptest! {
             pos[u] = k;
         }
         for &(a, b) in &edges {
-            prop_assert!(pos[a] < pos[b], "edge {a}->{b} violated");
+            assert!(pos[a] < pos[b], "seed {seed}: edge {a}->{b} violated");
         }
     }
+}
 
-    #[test]
-    fn descendants_and_ancestors_are_duals((n, edges) in dag_strategy()) {
+#[test]
+fn descendants_and_ancestors_are_duals() {
+    for seed in 0u64..128 {
+        let (n, edges) = random_dag(seed);
         let g = Digraph::from_edges(n, edges.iter().copied());
         for u in 0..n {
             let d = reach::descendants(&g, u);
             for v in d.iter() {
-                prop_assert!(reach::ancestors(&g, v).contains(u),
-                    "{u} reaches {v} but {v}'s ancestors miss {u}");
+                assert!(
+                    reach::ancestors(&g, v).contains(u),
+                    "seed {seed}: {u} reaches {v} but {v}'s ancestors miss {u}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn bulk_closures_match_pointwise((n, edges) in dag_strategy()) {
+#[test]
+fn bulk_closures_match_pointwise() {
+    for seed in 0u64..128 {
+        let (n, edges) = random_dag(seed);
         let g = Digraph::from_edges(n, edges.iter().copied());
         let all_d = reach::all_descendants(&g);
         let all_a = reach::all_ancestors(&g);
         for u in 0..n {
-            prop_assert_eq!(&all_d[u], &reach::descendants(&g, u));
-            prop_assert_eq!(&all_a[u], &reach::ancestors(&g, u));
+            assert_eq!(all_d[u], reach::descendants(&g, u), "seed {seed}");
+            assert_eq!(all_a[u], reach::ancestors(&g, u), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn transitive_reduction_preserves_reachability((n, edges) in dag_strategy()) {
+#[test]
+fn transitive_reduction_preserves_reachability() {
+    for seed in 0u64..128 {
+        let (n, edges) = random_dag(seed);
         let g = Digraph::from_edges(n, edges.iter().copied());
         let r = reduction::transitive_reduction(&g).expect("DAG");
-        prop_assert!(r.edge_count() <= g.edge_count());
+        assert!(r.edge_count() <= g.edge_count(), "seed {seed}");
         for u in 0..n {
-            prop_assert_eq!(reach::descendants(&g, u), reach::descendants(&r, u));
+            assert_eq!(
+                reach::descendants(&g, u),
+                reach::descendants(&r, u),
+                "seed {seed}"
+            );
         }
         // Reducing twice is idempotent.
         let rr = reduction::transitive_reduction(&r).expect("DAG");
-        prop_assert_eq!(
+        assert_eq!(
             r.edges().collect::<Vec<_>>(),
-            rr.edges().collect::<Vec<_>>()
+            rr.edges().collect::<Vec<_>>(),
+            "seed {seed}"
         );
     }
+}
 
-    #[test]
-    fn maxflow_bounded_by_degree_cuts(
-        (n, raw) in (2usize..8).prop_flat_map(|n| {
-            (Just(n), proptest::collection::vec((0..n, 0..n, 1u64..12), 0..16))
-        })
-    ) {
-        let edges: Vec<(usize, usize, u64)> =
-            raw.into_iter().filter(|&(a, b, _)| a != b).collect();
+#[test]
+fn maxflow_bounded_by_degree_cuts() {
+    for seed in 0u64..128 {
+        let (n, edges) = random_network(seed);
         let (s, t) = (0, n - 1);
         let mut net = maxflow::MaxFlow::new(n);
         for &(u, v, c) in &edges {
@@ -86,19 +119,24 @@ proptest! {
         }
         let flow = net.max_flow(s, t);
         // Flow can't exceed the out-capacity of s or the in-capacity of t.
-        let out_s: u64 = edges.iter().filter(|&&(u, _, _)| u == s).map(|&(_, _, c)| c).sum();
-        let in_t: u64 = edges.iter().filter(|&&(_, v, _)| v == t).map(|&(_, _, c)| c).sum();
-        prop_assert!(flow <= out_s.min(in_t));
+        let out_s: u64 = edges
+            .iter()
+            .filter(|&&(u, _, _)| u == s)
+            .map(|&(_, _, c)| c)
+            .sum();
+        let in_t: u64 = edges
+            .iter()
+            .filter(|&&(_, v, _)| v == t)
+            .map(|&(_, _, c)| c)
+            .sum();
+        assert!(flow <= out_s.min(in_t), "seed {seed}");
     }
+}
 
-    #[test]
-    fn min_cut_variants_agree_on_value(
-        (n, raw) in (2usize..8).prop_flat_map(|n| {
-            (Just(n), proptest::collection::vec((0..n, 0..n, 1u64..12), 0..16))
-        })
-    ) {
-        let edges: Vec<(usize, usize, u64)> =
-            raw.into_iter().filter(|&(a, b, _)| a != b).collect();
+#[test]
+fn min_cut_variants_agree_on_value() {
+    for seed in 0u64..128 {
+        let (n, edges) = random_network(seed.wrapping_add(1 << 32));
         let (s, t) = (0, n - 1);
         let build = || {
             let mut net = maxflow::MaxFlow::new(n);
@@ -109,26 +147,30 @@ proptest! {
         };
         let small = build().min_cut(s, t);
         let large = build().min_cut_max_source(s, t);
-        prop_assert_eq!(small.value, large.value);
+        assert_eq!(small.value, large.value, "seed {seed}");
         // min_cut_max_source's source side is a superset of min_cut's.
         for u in small.source_side.iter() {
-            prop_assert!(large.source_side.contains(u));
+            assert!(large.source_side.contains(u), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn eviction_cut_is_feasible_and_minimal_on_chains(len in 1usize..8, ext in 0u64..4) {
-        // A chain a0 -> a1 -> ... -> sink with `ext` external parents on a0.
-        let n = len + 1;
-        let edges: Vec<(usize, usize)> = (0..len).map(|i| (i, i + 1)).collect();
-        let mut external = vec![0u64; n];
-        external[0] = ext;
-        let cut = closure_cut::eviction_cut(n, &edges, &external, len);
-        // The sink always moves.
-        prop_assert!(cut.moved.contains(&len));
-        // Chain min-cut: either one internal edge (storage 1) or the
-        // external edge (storage = ext), whichever is smaller.
-        let expect = if ext == 0 { 0 } else { 1.min(ext) };
-        prop_assert_eq!(cut.storage, expect);
+#[test]
+fn eviction_cut_is_feasible_and_minimal_on_chains() {
+    // A chain a0 -> a1 -> ... -> sink with `ext` external parents on a0.
+    for len in 1usize..8 {
+        for ext in 0u64..4 {
+            let n = len + 1;
+            let edges: Vec<(usize, usize)> = (0..len).map(|i| (i, i + 1)).collect();
+            let mut external = vec![0u64; n];
+            external[0] = ext;
+            let cut = closure_cut::eviction_cut(n, &edges, &external, len);
+            // The sink always moves.
+            assert!(cut.moved.contains(&len), "len {len} ext {ext}");
+            // Chain min-cut: either one internal edge (storage 1) or the
+            // external edge (storage = ext), whichever is smaller.
+            let expect = if ext == 0 { 0 } else { 1.min(ext) };
+            assert_eq!(cut.storage, expect, "len {len} ext {ext}");
+        }
     }
 }

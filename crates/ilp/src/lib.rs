@@ -77,13 +77,22 @@ impl std::fmt::Display for IlpError {
         match self {
             IlpError::Infeasible => write!(f, "model is infeasible"),
             IlpError::UnboundedVariable { var } => {
-                write!(f, "variable {var} has an infinite bound; finite bounds are required")
+                write!(
+                    f,
+                    "variable {var} has an infinite bound; finite bounds are required"
+                )
             }
             IlpError::LimitWithoutSolution => {
-                write!(f, "search limit reached before finding an integer-feasible solution")
+                write!(
+                    f,
+                    "search limit reached before finding an integer-feasible solution"
+                )
             }
             IlpError::ForeignVariable { var, len } => {
-                write!(f, "variable id {var} out of range for model with {len} variables")
+                write!(
+                    f,
+                    "variable id {var} out of range for model with {len} variables"
+                )
             }
         }
     }

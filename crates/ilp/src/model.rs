@@ -134,12 +134,7 @@ impl LinExpr {
     ///
     /// Panics if a referenced variable index is out of range for `values`.
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(&v, &c)| c * values[v])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|(&v, &c)| c * values[v]).sum::<f64>()
     }
 
     /// Builds an expression as a weighted sum of variables.
@@ -191,17 +186,37 @@ macro_rules! impl_bin_op {
     };
 }
 
-impl_bin_op!(Add, add, 1.0, [
-    (LinExpr, LinExpr), (LinExpr, VarId), (LinExpr, f64),
-    (VarId, LinExpr), (VarId, VarId), (VarId, f64),
-    (f64, LinExpr), (f64, VarId),
-]);
+impl_bin_op!(
+    Add,
+    add,
+    1.0,
+    [
+        (LinExpr, LinExpr),
+        (LinExpr, VarId),
+        (LinExpr, f64),
+        (VarId, LinExpr),
+        (VarId, VarId),
+        (VarId, f64),
+        (f64, LinExpr),
+        (f64, VarId),
+    ]
+);
 
-impl_bin_op!(Sub, sub, -1.0, [
-    (LinExpr, LinExpr), (LinExpr, VarId), (LinExpr, f64),
-    (VarId, LinExpr), (VarId, VarId), (VarId, f64),
-    (f64, LinExpr), (f64, VarId),
-]);
+impl_bin_op!(
+    Sub,
+    sub,
+    -1.0,
+    [
+        (LinExpr, LinExpr),
+        (LinExpr, VarId),
+        (LinExpr, f64),
+        (VarId, LinExpr),
+        (VarId, VarId),
+        (VarId, f64),
+        (f64, LinExpr),
+        (f64, VarId),
+    ]
+);
 
 impl Mul<f64> for VarId {
     type Output = LinExpr;
@@ -387,9 +402,7 @@ impl Model {
             if x < v.lb - tol || x > v.ub + tol {
                 return false;
             }
-            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
-                && (x - x.round()).abs() > tol
-            {
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary) && (x - x.round()).abs() > tol {
                 return false;
             }
         }

@@ -470,12 +470,7 @@ mod tests {
 
     type RawRows = Vec<(Vec<(usize, f64)>, Sense, f64)>;
 
-    fn lp(
-        ncols: usize,
-        rows: RawRows,
-        objective: Vec<f64>,
-        bounds: Vec<(f64, f64)>,
-    ) -> LpProblem {
+    fn lp(ncols: usize, rows: RawRows, objective: Vec<f64>, bounds: Vec<(f64, f64)>) -> LpProblem {
         LpProblem {
             ncols,
             rows: rows
@@ -589,13 +584,7 @@ mod tests {
     fn degenerate_problem_terminates() {
         // Many redundant constraints through the same vertex.
         let rows = (0..8)
-            .map(|k| {
-                (
-                    vec![(0, 1.0 + k as f64 * 0.0), (1, 1.0)],
-                    Sense::Le,
-                    2.0,
-                )
-            })
+            .map(|k| (vec![(0, 1.0 + k as f64 * 0.0), (1, 1.0)], Sense::Le, 2.0))
             .collect();
         let p = lp(2, rows, vec![-1.0, -2.0], vec![(0.0, 2.0), (0.0, 2.0)]);
         let (_, obj) = expect_optimal(&p);
@@ -656,32 +645,31 @@ mod tests {
     /// is no worse than a large random sample of feasible points.
     #[test]
     fn randomised_sanity() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = mfhls_graph::rng::SplitMix64::seed_from_u64(7);
         for trial in 0..100 {
-            let n = rng.gen_range(1..5);
-            let m = rng.gen_range(0..6);
+            let n = rng.gen_index(1, 5);
+            let m = rng.gen_index(0, 6);
             let bounds: Vec<(f64, f64)> = (0..n)
                 .map(|_| {
-                    let lo: i64 = rng.gen_range(-3..3);
-                    let hi = lo + rng.gen_range(0..5);
+                    let lo: i64 = rng.gen_range_i64(-3, 3);
+                    let hi = lo + rng.gen_range_i64(0, 5);
                     (lo as f64, hi as f64)
                 })
                 .collect();
             let rows: RawRows = (0..m)
                 .map(|_| {
                     let coeffs: Vec<(usize, f64)> = (0..n)
-                        .map(|j| (j, rng.gen_range(-3..4) as f64))
+                        .map(|j| (j, rng.gen_range_i64(-3, 4) as f64))
                         .collect();
-                    let sense = match rng.gen_range(0..3) {
+                    let sense = match rng.gen_index(0, 3) {
                         0 => Sense::Le,
                         1 => Sense::Ge,
                         _ => Sense::Eq,
                     };
-                    (coeffs, sense, rng.gen_range(-6..7) as f64)
+                    (coeffs, sense, rng.gen_range_i64(-6, 7) as f64)
                 })
                 .collect();
-            let objective: Vec<f64> = (0..n).map(|_| rng.gen_range(-3..4) as f64).collect();
+            let objective: Vec<f64> = (0..n).map(|_| rng.gen_range_i64(-3, 4) as f64).collect();
             let p = lp(n, rows.clone(), objective.clone(), bounds.clone());
 
             let feasible = |x: &[f64]| -> bool {
@@ -707,11 +695,10 @@ mod tests {
                     // Sampled points must not beat the reported optimum.
                     for _ in 0..300 {
                         let cand: Vec<f64> = (0..n)
-                            .map(|j| rng.gen_range(bounds[j].0..=bounds[j].1))
+                            .map(|j| rng.gen_range_f64(bounds[j].0, bounds[j].1))
                             .collect();
                         if feasible(&cand) {
-                            let co: f64 =
-                                (0..n).map(|j| objective[j] * cand[j]).sum();
+                            let co: f64 = (0..n).map(|j| objective[j] * cand[j]).sum();
                             assert!(
                                 co >= obj - 1e-5,
                                 "trial {trial}: sampled {co} beats reported {obj}"
@@ -723,7 +710,7 @@ mod tests {
                     // No sampled point may be feasible.
                     for _ in 0..300 {
                         let cand: Vec<f64> = (0..n)
-                            .map(|j| rng.gen_range(bounds[j].0..=bounds[j].1))
+                            .map(|j| rng.gen_range_f64(bounds[j].0, bounds[j].1))
                             .collect();
                         assert!(
                             !feasible(&cand),

@@ -448,25 +448,24 @@ mod tests {
     /// Exhaustive cross-check on random small pure-integer programs.
     #[test]
     fn randomised_against_enumeration() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = mfhls_graph::rng::SplitMix64::seed_from_u64(99);
         for trial in 0..60 {
-            let n = rng.gen_range(1..4);
-            let m_rows = rng.gen_range(0..4);
-            let ubs: Vec<i64> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            let n = rng.gen_index(1, 4);
+            let m_rows = rng.gen_index(0, 4);
+            let ubs: Vec<i64> = (0..n).map(|_| rng.gen_range_i64(0, 4)).collect();
             let mut model = Model::minimize();
             let vars: Vec<VarId> = (0..n)
                 .map(|j| model.integer(&format!("v{j}"), 0.0, ubs[j] as f64))
                 .collect();
             let rows: Vec<(Vec<i64>, Sense, i64)> = (0..m_rows)
                 .map(|_| {
-                    let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-3..4)).collect();
-                    let sense = match rng.gen_range(0..3) {
+                    let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range_i64(-3, 4)).collect();
+                    let sense = match rng.gen_index(0, 3) {
                         0 => Sense::Le,
                         1 => Sense::Ge,
                         _ => Sense::Eq,
                     };
-                    (coeffs, sense, rng.gen_range(-4..8))
+                    (coeffs, sense, rng.gen_range_i64(-4, 8))
                 })
                 .collect();
             for (coeffs, sense, rhs) in &rows {
@@ -475,7 +474,7 @@ mod tests {
                 );
                 model.add_con(expr, *sense, *rhs as f64);
             }
-            let obj_coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-3..4)).collect();
+            let obj_coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range_i64(-3, 4)).collect();
             model.set_objective(crate::LinExpr::weighted_sum(
                 vars.iter().zip(&obj_coeffs).map(|(&v, &c)| (v, c as f64)),
             ));

@@ -33,7 +33,13 @@ pub fn to_lp_format(model: &Model) -> String {
         let raw = &model.vars()[i].name;
         let clean: String = raw
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         format!("v{i}_{clean}")
     };
@@ -133,7 +139,14 @@ mod tests {
     #[test]
     fn all_sections_present() {
         let text = to_lp_format(&sample());
-        for section in ["Minimize", "Subject To", "Bounds", "Binaries", "Generals", "End"] {
+        for section in [
+            "Minimize",
+            "Subject To",
+            "Bounds",
+            "Binaries",
+            "Generals",
+            "End",
+        ] {
             assert!(text.contains(section), "missing {section}\n{text}");
         }
     }

@@ -1,8 +1,10 @@
-//! Property-based tests for the MILP solver: solutions are feasible and
-//! match exhaustive enumeration on small pure-integer programs.
+//! Randomized tests for the MILP solver: solutions are feasible and match
+//! exhaustive enumeration on small pure-integer programs. Seeded with the
+//! vendored PRNG (the workspace builds offline, so no proptest); failures
+//! print the seed for replay.
 
+use mfhls_graph::rng::SplitMix64;
 use mfhls_ilp::{solve, IlpError, LinExpr, Model, Sense, SolverConfig, VarId};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct SmallIp {
@@ -11,22 +13,28 @@ struct SmallIp {
     objective: Vec<i64>,
 }
 
-fn small_ip_strategy() -> impl Strategy<Value = SmallIp> {
-    (1usize..4).prop_flat_map(|n| {
-        let ubs = proptest::collection::vec(0i64..4, n);
-        let row = (
-            proptest::collection::vec(-3i64..4, n),
-            prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)],
-            -5i64..9,
-        );
-        let rows = proptest::collection::vec(row, 0..4);
-        let objective = proptest::collection::vec(-3i64..4, n);
-        (ubs, rows, objective).prop_map(|(ubs, rows, objective)| SmallIp {
-            ubs,
-            rows,
-            objective,
+fn random_small_ip(seed: u64) -> SmallIp {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let n = rng.gen_index(1, 4);
+    let ubs: Vec<i64> = (0..n).map(|_| rng.gen_range_i64(0, 4)).collect();
+    let m = rng.gen_index(0, 4);
+    let rows = (0..m)
+        .map(|_| {
+            let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range_i64(-3, 4)).collect();
+            let sense = match rng.gen_index(0, 3) {
+                0 => Sense::Le,
+                1 => Sense::Ge,
+                _ => Sense::Eq,
+            };
+            (coeffs, sense, rng.gen_range_i64(-5, 9))
         })
-    })
+        .collect();
+    let objective = (0..n).map(|_| rng.gen_range_i64(-3, 4)).collect();
+    SmallIp {
+        ubs,
+        rows,
+        objective,
+    }
 }
 
 fn build(ip: &SmallIp) -> (Model, Vec<VarId>) {
@@ -72,75 +80,97 @@ fn enumerate_best(ip: &SmallIp, model: &Model) -> Option<f64> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(160))]
-
-    #[test]
-    fn solver_matches_enumeration(ip in small_ip_strategy()) {
+#[test]
+fn solver_matches_enumeration() {
+    for seed in 0u64..160 {
+        let ip = random_small_ip(seed);
         let (model, _) = build(&ip);
         let expect = enumerate_best(&ip, &model);
         match (solve(&model, &SolverConfig::default()), expect) {
             (Ok(sol), Some(b)) => {
-                prop_assert!(model.is_feasible(sol.values(), 1e-6),
-                    "solver returned infeasible point");
-                prop_assert!((sol.objective - b).abs() < 1e-6,
-                    "solver {} vs enumeration {b}", sol.objective);
+                assert!(
+                    model.is_feasible(sol.values(), 1e-6),
+                    "seed {seed}: solver returned infeasible point"
+                );
+                assert!(
+                    (sol.objective - b).abs() < 1e-6,
+                    "seed {seed}: solver {} vs enumeration {b}",
+                    sol.objective
+                );
             }
             (Err(IlpError::Infeasible), None) => {}
             (got, want) => {
-                return Err(TestCaseError::fail(format!(
-                    "solver {got:?} disagrees with enumeration {want:?}"
-                )));
+                panic!("seed {seed}: solver {got:?} disagrees with enumeration {want:?}")
             }
         }
     }
+}
 
-    #[test]
-    fn presolve_never_changes_the_answer(ip in small_ip_strategy()) {
+#[test]
+fn presolve_never_changes_the_answer() {
+    for seed in 0u64..160 {
+        let ip = random_small_ip(seed.wrapping_add(1 << 40));
         let (model, _) = build(&ip);
         let with = solve(&model, &SolverConfig::default());
-        let without = solve(&model, &SolverConfig {
-            presolve: false,
-            ..SolverConfig::default()
-        });
+        let without = solve(
+            &model,
+            &SolverConfig {
+                presolve: false,
+                ..SolverConfig::default()
+            },
+        );
         match (with, without) {
-            (Ok(a), Ok(b)) => prop_assert!((a.objective - b.objective).abs() < 1e-6),
+            (Ok(a), Ok(b)) => assert!(
+                (a.objective - b.objective).abs() < 1e-6,
+                "seed {seed}: {} vs {}",
+                a.objective,
+                b.objective
+            ),
             (Err(IlpError::Infeasible), Err(IlpError::Infeasible)) => {}
-            (a, b) => {
-                return Err(TestCaseError::fail(format!(
-                    "presolve changed outcome: {a:?} vs {b:?}"
-                )));
-            }
+            (a, b) => panic!("seed {seed}: presolve changed outcome: {a:?} vs {b:?}"),
         }
     }
+}
 
-    #[test]
-    fn cutoff_only_prunes_never_invents(ip in small_ip_strategy()) {
+#[test]
+fn cutoff_only_prunes_never_invents() {
+    for seed in 0u64..160 {
+        let ip = random_small_ip(seed.wrapping_add(1 << 41));
         let (model, _) = build(&ip);
         let Ok(base) = solve(&model, &SolverConfig::default()) else {
-            return Ok(()); // infeasible: nothing to check
+            continue; // infeasible: nothing to check
         };
         // A cutoff strictly above the optimum must still find the optimum.
-        let sol = solve(&model, &SolverConfig {
-            cutoff: Some(base.objective + 1.0),
-            ..SolverConfig::default()
-        }).expect("optimum below cutoff is reachable");
-        prop_assert!((sol.objective - base.objective).abs() < 1e-6);
+        let sol = solve(
+            &model,
+            &SolverConfig {
+                cutoff: Some(base.objective + 1.0),
+                ..SolverConfig::default()
+            },
+        )
+        .expect("optimum below cutoff is reachable");
+        assert!((sol.objective - base.objective).abs() < 1e-6, "seed {seed}");
         // A cutoff at/below the optimum yields no solution (all pruned).
-        let pruned = solve(&model, &SolverConfig {
-            cutoff: Some(base.objective - 0.5),
-            ..SolverConfig::default()
-        });
-        prop_assert!(pruned.is_err());
+        let pruned = solve(
+            &model,
+            &SolverConfig {
+                cutoff: Some(base.objective - 0.5),
+                ..SolverConfig::default()
+            },
+        );
+        assert!(pruned.is_err(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn lp_format_writes_every_variable(ip in small_ip_strategy()) {
+#[test]
+fn lp_format_writes_every_variable() {
+    for seed in 0u64..160 {
+        let ip = random_small_ip(seed.wrapping_add(1 << 42));
         let (model, vars) = build(&ip);
         let text = mfhls_ilp::write::to_lp_format(&model);
         for v in vars {
             let marker = format!("v{}_", v.index());
-            prop_assert!(text.contains(&marker), "missing {marker}");
+            assert!(text.contains(&marker), "seed {seed}: missing {marker}");
         }
     }
 }

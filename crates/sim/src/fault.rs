@@ -1,0 +1,960 @@
+//! Fault injection and run-time recovery for hybrid schedules.
+//!
+//! The cyberphysical premise of hybrid scheduling — a controller watches
+//! the chip and decides at layer boundaries — also makes it the natural
+//! place to *survive* hardware faults: when a device fails, the executed
+//! prefix is immutable, boundary storage holds the cross-layer reagents,
+//! and the unfinished suffix can be re-synthesized on the surviving device
+//! library (see [`mfhls_core::recovery`]).
+//!
+//! This module injects faults into simulated executions:
+//!
+//! * [`FaultModel`] — seeded probabilities for permanent device failures,
+//!   per-attempt operation aborts, accessory degradation (slowdown), and
+//!   transport-path blockage, plus deterministic forced failures for
+//!   reproducible experiments. Fault draws come from a [`SplitMix64`]
+//!   stream *split off* the duration stream, so enabling faults never
+//!   perturbs the realized durations.
+//! * [`simulate_hybrid_with_faults`] — executes a hybrid schedule,
+//!   emitting structured [`FaultEvent`]s; the run stops (degraded) at the
+//!   first layer boundary that observes a permanent fault.
+//! * [`run_with_recovery`] — the full loop: on a permanent fault the
+//!   failed hardware is quarantined and the unfinished suffix is
+//!   re-synthesized under a [`RetryPolicy`] (exponential backoff in
+//!   schedule time; give-up produces a graceful [`Degradation`] report).
+//! * [`simulate_online_with_faults`] — the fault-aware online baseline:
+//!   the dispatcher re-binds around dead devices one operation at a time.
+//!
+//! With [`FaultModel::none`] every entry point reproduces the fault-free
+//! behaviour of [`crate::simulate_hybrid`] exactly — same events, same
+//! makespan.
+
+use crate::{SimConfig, SimError, SimEvent};
+use mfhls_core::recovery::{resynthesize_suffix, Degradation, RetryPolicy};
+use mfhls_core::{Assay, HybridSchedule, OpId, SynthConfig};
+use mfhls_graph::rng::SplitMix64;
+use std::collections::BTreeSet;
+
+/// Tag used to split the fault stream off the duration stream; any fixed
+/// constant works, it only has to differ from the (untagged) main stream.
+const FAULT_STREAM_TAG: u64 = 0x0FA1_71DE_C0DE;
+
+/// A deterministic fault injection: `device` fails permanently at the
+/// boundary before global layer `layer` (0-based, counted across
+/// re-syntheses). Used by `mfhls faultsim --fail-device`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForcedFailure {
+    /// Device index (into the original schedule's device list).
+    pub device: usize,
+    /// Global layer boundary at which the failure is detected.
+    pub layer: usize,
+}
+
+/// Seeded stochastic fault model, sampled alongside the
+/// [`DurationModel`](crate::DurationModel) from an independent sub-stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModel {
+    /// Probability that a device fails permanently during one operation
+    /// execution (the operation is lost with it).
+    pub device_failure: f64,
+    /// Probability that one attempt of an operation aborts and must be
+    /// retried (with [`RetryPolicy`] backoff). Exhausted retries condemn
+    /// the device.
+    pub op_abort: f64,
+    /// Probability that an operation runs on degraded accessories,
+    /// stretching its realized duration by [`FaultModel::degradation_factor`].
+    pub accessory_degradation: f64,
+    /// Duration multiplier applied on accessory degradation (≥ 1).
+    pub degradation_factor: f64,
+    /// Probability that one cross-device reagent transfer finds its
+    /// transport path blocked; the upstream device is quarantined (the
+    /// blockage is indistinguishable from its port clogging).
+    pub path_blockage: f64,
+    /// Deterministic failures injected at fixed layer boundaries.
+    pub forced_failures: Vec<ForcedFailure>,
+}
+
+impl FaultModel {
+    /// No faults at all: simulation behaves exactly like the fault-free
+    /// entry points.
+    pub fn none() -> Self {
+        FaultModel {
+            device_failure: 0.0,
+            op_abort: 0.0,
+            accessory_degradation: 0.0,
+            degradation_factor: 1.0,
+            path_blockage: 0.0,
+            forced_failures: Vec::new(),
+        }
+    }
+
+    /// A uniform stochastic model: devices fail at `rate` per execution,
+    /// attempts abort at `2·rate`, transfers block at `rate / 2`, and
+    /// degradation (factor 2) strikes at `rate`.
+    pub fn uniform(rate: f64) -> Self {
+        FaultModel {
+            device_failure: rate,
+            op_abort: (2.0 * rate).min(1.0),
+            accessory_degradation: rate,
+            degradation_factor: 2.0,
+            path_blockage: rate / 2.0,
+            forced_failures: Vec::new(),
+        }
+    }
+
+    /// Whether the model can never produce a fault.
+    pub fn is_none(&self) -> bool {
+        self.device_failure <= 0.0
+            && self.op_abort <= 0.0
+            && self.accessory_degradation <= 0.0
+            && self.path_blockage <= 0.0
+            && self.forced_failures.is_empty()
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+/// A structured fault observation, reported at layer boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// A device failed permanently (op carries the operation that was lost
+    /// with it, if any — forced failures at a boundary lose no operation).
+    DeviceFailed {
+        /// The failed device.
+        device: usize,
+        /// Global layer index at whose boundary the failure was handled.
+        layer: usize,
+        /// The operation that was executing, if any (original id).
+        op: Option<OpId>,
+    },
+    /// One attempt of an operation aborted; it will be retried after
+    /// `backoff` schedule-time units.
+    OpAborted {
+        /// The operation (original id).
+        op: OpId,
+        /// Device it was attempted on.
+        device: usize,
+        /// Global layer index.
+        layer: usize,
+        /// 0-based retry number this abort triggers.
+        retry: usize,
+        /// Backoff delay before the retry.
+        backoff: u64,
+    },
+    /// An operation ran on degraded accessories and took `factor`× longer.
+    AccessoryDegraded {
+        /// The operation (original id).
+        op: OpId,
+        /// The degraded device.
+        device: usize,
+        /// Global layer index.
+        layer: usize,
+        /// Slowdown factor.
+        factor: f64,
+    },
+    /// A reagent transfer found its path blocked; the upstream device is
+    /// quarantined.
+    PathBlocked {
+        /// Smaller endpoint of the blocked path.
+        a: usize,
+        /// Larger endpoint of the blocked path.
+        b: usize,
+        /// Global layer index.
+        layer: usize,
+    },
+    /// The controller quarantined hardware and re-synthesized the
+    /// unfinished suffix.
+    Resynthesized {
+        /// Global layer index at which recovery ran.
+        layer: usize,
+        /// All quarantined devices so far.
+        quarantined: Vec<usize>,
+        /// Operations remaining in the recovered suffix.
+        remaining: usize,
+        /// Schedule-time cost charged for the re-synthesis (backoff).
+        backoff: u64,
+    },
+}
+
+/// How a fault-injected run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// Every operation completed.
+    Completed,
+    /// The run gave up; the report lists completed vs abandoned ops.
+    Degraded(Degradation),
+}
+
+impl RunOutcome {
+    /// Whether the run completed every operation.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+
+    /// Fraction of operations completed, in `[0, 1]`.
+    pub fn completion_fraction(&self) -> f64 {
+        match self {
+            RunOutcome::Completed => 1.0,
+            RunOutcome::Degraded(d) => d.completion_fraction(),
+        }
+    }
+}
+
+/// Result of a fault-injected execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRun {
+    /// Realized makespan up to completion or give-up.
+    pub makespan: u64,
+    /// Events of the operations that completed (original ids).
+    pub events: Vec<SimEvent>,
+    /// Structured fault observations, in occurrence order.
+    pub fault_events: Vec<FaultEvent>,
+    /// Original ids of completed operations.
+    pub completed: Vec<OpId>,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Number of recovery re-syntheses performed.
+    pub resyntheses: usize,
+    /// Run-time control decisions (barriers + completion checks + fault
+    /// handling + re-syntheses).
+    pub decisions: usize,
+}
+
+/// Executes `schedule` with fault injection but *no* recovery: the first
+/// permanent fault degrades the run at the next layer boundary. This is
+/// what a fully offline flow experiences — and, with
+/// [`FaultModel::none`], it reproduces [`crate::simulate_hybrid`] exactly.
+///
+/// # Errors
+///
+/// [`SimError::IncompleteSchedule`] if an operation has no slot.
+pub fn simulate_hybrid_with_faults(
+    assay: &Assay,
+    schedule: &HybridSchedule,
+    cfg: &SimConfig,
+    faults: &FaultModel,
+    policy: &RetryPolicy,
+) -> Result<FaultRun, SimError> {
+    run_engine(assay, schedule, cfg, faults, policy, None)
+}
+
+/// Executes `schedule` with fault injection *and* recovery re-synthesis:
+/// permanent faults quarantine the failed hardware and the unfinished
+/// suffix is re-layered and re-synthesized on the survivors (seeded with
+/// the chip's device library; see [`mfhls_core::recovery`]). Gives up —
+/// gracefully, reporting which operations completed — when the policy's
+/// retry budget is exhausted or the survivors cannot host the suffix.
+///
+/// # Errors
+///
+/// [`SimError::IncompleteSchedule`] if an operation has no slot.
+pub fn run_with_recovery(
+    assay: &Assay,
+    schedule: &HybridSchedule,
+    cfg: &SimConfig,
+    faults: &FaultModel,
+    policy: &RetryPolicy,
+    synth: &SynthConfig,
+) -> Result<FaultRun, SimError> {
+    run_engine(assay, schedule, cfg, faults, policy, Some(synth))
+}
+
+/// One in-flight fault: the hardware to quarantine.
+struct Interruption {
+    quarantine: BTreeSet<usize>,
+}
+
+fn run_engine(
+    assay: &Assay,
+    schedule: &HybridSchedule,
+    cfg: &SimConfig,
+    faults: &FaultModel,
+    policy: &RetryPolicy,
+    synth: Option<&SynthConfig>,
+) -> Result<FaultRun, SimError> {
+    for op in assay.op_ids() {
+        if schedule.slot(op).is_none() {
+            return Err(SimError::IncompleteSchedule(op.index()));
+        }
+    }
+    // Durations use the exact stream of `simulate_hybrid`; faults draw from
+    // an independent split, so the two never interfere.
+    let actual = crate::sample_durations(assay, cfg);
+    let mut frng = SplitMix64::seed_from_u64(cfg.seed).split(FAULT_STREAM_TAG);
+
+    let mut completed: BTreeSet<OpId> = BTreeSet::new();
+    let mut quarantined: BTreeSet<usize> = BTreeSet::new();
+    let mut events: Vec<SimEvent> = Vec::new();
+    let mut fault_events: Vec<FaultEvent> = Vec::new();
+    let mut clock = 0u64;
+    let mut decisions = 0usize;
+    let mut global_layer = 0usize;
+    let mut resyntheses = 0usize;
+
+    // The currently executing plan: a schedule over `cur_assay`, whose op
+    // `i` is original op `op_map[i]`. Starts as the original plan.
+    let mut cur_assay: Assay = assay.clone();
+    let mut cur_schedule: HybridSchedule = schedule.clone();
+    let mut op_map: Vec<OpId> = assay.op_ids().collect();
+
+    let give_up = |completed: &BTreeSet<OpId>,
+                   reason: String,
+                   makespan: u64,
+                   events: Vec<SimEvent>,
+                   fault_events: Vec<FaultEvent>,
+                   resyntheses: usize,
+                   decisions: usize| {
+        FaultRun {
+            makespan,
+            events,
+            completed: completed.iter().copied().collect(),
+            outcome: RunOutcome::Degraded(Degradation::new(assay, completed, reason)),
+            fault_events,
+            resyntheses,
+            decisions,
+        }
+    };
+
+    'plans: loop {
+        let mut interruption: Option<Interruption> = None;
+
+        for layer in &cur_schedule.layers {
+            // Forced failures fire at the boundary *before* the layer runs.
+            let forced: Vec<usize> = faults
+                .forced_failures
+                .iter()
+                .filter(|f| f.layer == global_layer && !quarantined.contains(&f.device))
+                .map(|f| f.device)
+                .collect();
+            if !forced.is_empty() {
+                let mut q = BTreeSet::new();
+                for d in forced {
+                    fault_events.push(FaultEvent::DeviceFailed {
+                        device: d,
+                        layer: global_layer,
+                        op: None,
+                    });
+                    q.insert(d);
+                }
+                interruption = Some(Interruption { quarantine: q });
+                break;
+            }
+
+            // Execute the layer; faults may fail individual ops, and ops
+            // downstream of a failure (same device, or same-layer children)
+            // cannot run either.
+            let mut layer_end = clock;
+            let mut layer_events: Vec<SimEvent> = Vec::new();
+            let mut done_in_layer: Vec<OpId> = Vec::new(); // current-plan ids
+            let mut failed_ops: BTreeSet<OpId> = BTreeSet::new(); // current-plan ids
+            let mut new_quarantine: BTreeSet<usize> = BTreeSet::new();
+
+            'slots: for slot in &layer.ops {
+                let orig = op_map[slot.op.index()];
+                if new_quarantine.contains(&slot.device)
+                    || cur_assay
+                        .parents(slot.op)
+                        .iter()
+                        .any(|p| failed_ops.contains(p))
+                {
+                    failed_ops.insert(slot.op);
+                    continue;
+                }
+                // Transport-path blockage: one draw per incoming
+                // cross-device transfer.
+                for p in cur_assay.parents(slot.op) {
+                    let Some(ps) = cur_schedule.slot(p) else {
+                        continue;
+                    };
+                    if ps.device != slot.device && frng.gen_bool(faults.path_blockage) {
+                        let (a, b) = if ps.device <= slot.device {
+                            (ps.device, slot.device)
+                        } else {
+                            (slot.device, ps.device)
+                        };
+                        fault_events.push(FaultEvent::PathBlocked {
+                            a,
+                            b,
+                            layer: global_layer,
+                        });
+                        fault_events.push(FaultEvent::DeviceFailed {
+                            device: ps.device,
+                            layer: global_layer,
+                            op: Some(orig),
+                        });
+                        new_quarantine.insert(ps.device);
+                        failed_ops.insert(slot.op);
+                        continue 'slots;
+                    }
+                }
+                let start = clock + slot.start;
+                let mut dur = actual[orig.index()];
+                // Permanent device failure mid-execution.
+                if frng.gen_bool(faults.device_failure) {
+                    fault_events.push(FaultEvent::DeviceFailed {
+                        device: slot.device,
+                        layer: global_layer,
+                        op: Some(orig),
+                    });
+                    new_quarantine.insert(slot.device);
+                    failed_ops.insert(slot.op);
+                    layer_end = layer_end.max(start + dur);
+                    continue;
+                }
+                // Transient aborts: retry with exponential backoff until
+                // the retry budget condemns the device.
+                let mut retries = 0usize;
+                while frng.gen_bool(faults.op_abort) {
+                    if retries >= policy.max_retries {
+                        fault_events.push(FaultEvent::DeviceFailed {
+                            device: slot.device,
+                            layer: global_layer,
+                            op: Some(orig),
+                        });
+                        new_quarantine.insert(slot.device);
+                        failed_ops.insert(slot.op);
+                        layer_end = layer_end.max(start + dur);
+                        continue 'slots;
+                    }
+                    let backoff = policy.backoff_for(retries);
+                    fault_events.push(FaultEvent::OpAborted {
+                        op: orig,
+                        device: slot.device,
+                        layer: global_layer,
+                        retry: retries,
+                        backoff,
+                    });
+                    dur = dur
+                        .saturating_add(backoff)
+                        .saturating_add(actual[orig.index()]);
+                    retries += 1;
+                    decisions += 1;
+                }
+                // Accessory degradation: slower, but still completes.
+                if frng.gen_bool(faults.accessory_degradation) {
+                    let factor = faults.degradation_factor.max(1.0);
+                    fault_events.push(FaultEvent::AccessoryDegraded {
+                        op: orig,
+                        device: slot.device,
+                        layer: global_layer,
+                        factor,
+                    });
+                    dur = (dur as f64 * factor).ceil() as u64;
+                }
+                let end = start + dur;
+                layer_end = layer_end.max(end + slot.transport);
+                if cur_assay.op(slot.op).is_indeterminate() {
+                    decisions += 1;
+                }
+                layer_events.push(SimEvent {
+                    op: orig,
+                    device: slot.device,
+                    start,
+                    end,
+                });
+                done_in_layer.push(slot.op);
+            }
+
+            completed.extend(done_in_layer.iter().map(|&o| op_map[o.index()]));
+            events.extend(layer_events);
+            clock = layer_end;
+            decisions += 1; // barrier decision
+            global_layer += 1;
+            if !failed_ops.is_empty() {
+                decisions += 1; // fault-handling decision
+                interruption = Some(Interruption {
+                    quarantine: new_quarantine,
+                });
+                break;
+            }
+        }
+
+        let Some(interruption) = interruption else {
+            // Every layer of the current plan executed cleanly.
+            events.sort_by_key(|e| (e.start, e.op));
+            return Ok(FaultRun {
+                makespan: clock,
+                events,
+                completed: completed.iter().copied().collect(),
+                outcome: RunOutcome::Completed,
+                fault_events,
+                resyntheses,
+                decisions,
+            });
+        };
+
+        quarantined.extend(interruption.quarantine);
+
+        let Some(synth) = synth else {
+            events.sort_by_key(|e| (e.start, e.op));
+            return Ok(give_up(
+                &completed,
+                "permanent fault without a recovery policy".to_owned(),
+                clock,
+                events,
+                fault_events,
+                resyntheses,
+                decisions,
+            ));
+        };
+        if resyntheses >= policy.max_retries.max(1) {
+            events.sort_by_key(|e| (e.start, e.op));
+            return Ok(give_up(
+                &completed,
+                format!("retry budget exhausted after {resyntheses} re-syntheses"),
+                clock,
+                events,
+                fault_events,
+                resyntheses,
+                decisions,
+            ));
+        }
+        match resynthesize_suffix(assay, schedule, &completed, &quarantined, synth) {
+            Ok(plan) => {
+                let backoff = policy.backoff_for(resyntheses);
+                resyntheses += 1;
+                decisions += 1;
+                clock = clock.saturating_add(backoff);
+                fault_events.push(FaultEvent::Resynthesized {
+                    layer: global_layer,
+                    quarantined: quarantined.iter().copied().collect(),
+                    remaining: plan.assay.len(),
+                    backoff,
+                });
+                cur_assay = plan.assay;
+                cur_schedule = plan.schedule;
+                op_map = plan.op_map;
+                continue 'plans;
+            }
+            Err(e) => {
+                events.sort_by_key(|e| (e.start, e.op));
+                return Ok(give_up(
+                    &completed,
+                    e.to_string(),
+                    clock,
+                    events,
+                    fault_events,
+                    resyntheses,
+                    decisions,
+                ));
+            }
+        }
+    }
+}
+
+/// Fault-aware fully-online baseline: dispatches operations the moment
+/// their parents and a compatible device are free (binding seeded from
+/// `schedule`), paying `decision_latency` per dispatch. On a device
+/// failure the dispatcher quarantines it and greedily re-binds to any
+/// compatible surviving device; operations with no surviving host (or
+/// whose ancestors were abandoned) are abandoned.
+///
+/// # Errors
+///
+/// [`SimError::IncompleteSchedule`] if an operation has no binding.
+pub fn simulate_online_with_faults(
+    assay: &Assay,
+    schedule: &HybridSchedule,
+    cfg: &SimConfig,
+    faults: &FaultModel,
+    policy: &RetryPolicy,
+    decision_latency: u64,
+) -> Result<FaultRun, SimError> {
+    for op in assay.op_ids() {
+        if schedule.slot(op).is_none() {
+            return Err(SimError::IncompleteSchedule(op.index()));
+        }
+    }
+    let actual = crate::sample_durations(assay, cfg);
+    let mut frng = SplitMix64::seed_from_u64(cfg.seed).split(FAULT_STREAM_TAG);
+
+    let preferred: Vec<usize> = assay
+        .op_ids()
+        .filter_map(|o| schedule.slot(o).map(|s| s.device))
+        .collect();
+    let n_devices = schedule.devices.len();
+    let mut device_free = vec![0u64; n_devices];
+    let mut quarantined: BTreeSet<usize> = BTreeSet::new();
+    let mut finish: Vec<Option<u64>> = vec![None; assay.len()];
+    let mut abandoned: BTreeSet<OpId> = BTreeSet::new();
+    let mut events: Vec<SimEvent> = Vec::new();
+    let mut fault_events: Vec<FaultEvent> = Vec::new();
+    let mut decisions = 0usize;
+
+    let mut remaining: Vec<OpId> = assay.op_ids().collect();
+    while !remaining.is_empty() {
+        // Abandon ops whose parents are abandoned.
+        remaining.retain(|&op| {
+            if assay.parents(op).iter().any(|p| abandoned.contains(p)) {
+                abandoned.insert(op);
+                false
+            } else {
+                true
+            }
+        });
+        // Pick the ready op that can start earliest.
+        let mut best: Option<(u64, usize, usize)> = None; // (start, device, idx)
+        for (k, &op) in remaining.iter().enumerate() {
+            let parents_done: Option<u64> = assay
+                .parents(op)
+                .iter()
+                .map(|p| finish[p.index()])
+                .try_fold(0u64, |acc, f| f.map(|v| acc.max(v)));
+            let Some(ready) = parents_done else { continue };
+            // Preferred device first, then any compatible survivor.
+            let req = assay.op(op).requirements();
+            let host = std::iter::once(preferred[op.index()])
+                .chain(0..n_devices)
+                .filter(|d| !quarantined.contains(d))
+                .filter(|&d| schedule.devices[d].satisfies(req))
+                .min_by_key(|&d| device_free[d].max(ready));
+            let Some(dev) = host else { continue };
+            let start = ready.max(device_free[dev]) + decision_latency;
+            if best.is_none_or(|(s, _, _)| start < s) {
+                best = Some((start, dev, k));
+            }
+        }
+        let Some((start, dev, k)) = best else {
+            // Nothing ready can be hosted: abandon all remaining.
+            abandoned.extend(remaining.iter().copied());
+            break;
+        };
+        let op = remaining.swap_remove(k);
+        decisions += 1;
+        let mut dur = actual[op.index()];
+        // Fault draws, same scheme as the hybrid engine.
+        if frng.gen_bool(faults.device_failure) {
+            fault_events.push(FaultEvent::DeviceFailed {
+                device: dev,
+                layer: 0,
+                op: Some(op),
+            });
+            quarantined.insert(dev);
+            remaining.push(op); // retry elsewhere next round
+            continue;
+        }
+        let mut retries = 0usize;
+        let mut condemned = false;
+        while frng.gen_bool(faults.op_abort) {
+            if retries >= policy.max_retries {
+                fault_events.push(FaultEvent::DeviceFailed {
+                    device: dev,
+                    layer: 0,
+                    op: Some(op),
+                });
+                quarantined.insert(dev);
+                remaining.push(op);
+                condemned = true;
+                break;
+            }
+            let backoff = policy.backoff_for(retries);
+            fault_events.push(FaultEvent::OpAborted {
+                op,
+                device: dev,
+                layer: 0,
+                retry: retries,
+                backoff,
+            });
+            dur = dur
+                .saturating_add(backoff)
+                .saturating_add(actual[op.index()]);
+            retries += 1;
+        }
+        if condemned {
+            continue;
+        }
+        if frng.gen_bool(faults.accessory_degradation) {
+            let factor = faults.degradation_factor.max(1.0);
+            fault_events.push(FaultEvent::AccessoryDegraded {
+                op,
+                device: dev,
+                layer: 0,
+                factor,
+            });
+            dur = (dur as f64 * factor).ceil() as u64;
+        }
+        let end = start + dur;
+        device_free[dev] = end;
+        finish[op.index()] = Some(end);
+        events.push(SimEvent {
+            op,
+            device: dev,
+            start,
+            end,
+        });
+    }
+
+    let makespan = events.iter().map(|e| e.end).max().unwrap_or(0);
+    events.sort_by_key(|e| (e.start, e.op));
+    let completed: BTreeSet<OpId> = assay
+        .op_ids()
+        .filter(|o| finish[o.index()].is_some())
+        .collect();
+    let outcome = if completed.len() == assay.len() {
+        RunOutcome::Completed
+    } else {
+        RunOutcome::Degraded(Degradation::new(
+            assay,
+            &completed,
+            "online dispatcher ran out of surviving hosts".to_owned(),
+        ))
+    };
+    Ok(FaultRun {
+        makespan,
+        events,
+        completed: completed.iter().copied().collect(),
+        outcome,
+        fault_events,
+        resyntheses: 0,
+        decisions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_hybrid, DurationModel};
+    use mfhls_core::{Duration, Operation, SynthConfig, Synthesizer};
+
+    fn demo_assay() -> Assay {
+        let mut a = Assay::new("demo");
+        let prep = a.add_op(
+            Operation::new("prep")
+                .capacity(mfhls_chip::Capacity::Small)
+                .with_duration(Duration::fixed(5)),
+        );
+        let cap = a.add_op(Operation::new("capture").with_duration(Duration::at_least(3)));
+        let det = a.add_op(Operation::new("detect").with_duration(Duration::fixed(4)));
+        let _side = a.add_op(
+            Operation::new("side")
+                .capacity(mfhls_chip::Capacity::Small)
+                .with_duration(Duration::fixed(6)),
+        );
+        a.add_dependency(prep, cap).unwrap();
+        a.add_dependency(cap, det).unwrap();
+        a
+    }
+
+    fn synth(a: &Assay) -> HybridSchedule {
+        Synthesizer::new(SynthConfig::default())
+            .run(a)
+            .unwrap()
+            .schedule
+    }
+
+    #[test]
+    fn no_faults_reproduces_hybrid_exactly() {
+        let a = demo_assay();
+        let s = synth(&a);
+        for seed in 0..20 {
+            let cfg = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
+            let base = simulate_hybrid(&a, &s, &cfg).unwrap();
+            let faulty = simulate_hybrid_with_faults(
+                &a,
+                &s,
+                &cfg,
+                &FaultModel::none(),
+                &RetryPolicy::default(),
+            )
+            .unwrap();
+            assert_eq!(faulty.makespan, base.makespan, "seed {seed}");
+            assert_eq!(faulty.events, base.events, "seed {seed}");
+            assert_eq!(faulty.decisions, base.decisions, "seed {seed}");
+            assert!(faulty.fault_events.is_empty());
+            assert!(faulty.outcome.is_complete());
+
+            let recovered = run_with_recovery(
+                &a,
+                &s,
+                &cfg,
+                &FaultModel::none(),
+                &RetryPolicy::default(),
+                &SynthConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(recovered.makespan, base.makespan, "seed {seed}");
+            assert_eq!(recovered.resyntheses, 0);
+        }
+    }
+
+    #[test]
+    fn forced_failure_triggers_recovery_and_avoids_dead_device() {
+        let a = demo_assay();
+        let s = synth(&a);
+        let dead = s.slot(OpId(0)).unwrap().device;
+        let faults = FaultModel {
+            forced_failures: vec![ForcedFailure {
+                device: dead,
+                layer: 0,
+            }],
+            ..FaultModel::none()
+        };
+        let run = run_with_recovery(
+            &a,
+            &s,
+            &SimConfig {
+                model: DurationModel::Exact,
+                seed: 1,
+            },
+            &faults,
+            &RetryPolicy::default(),
+            &SynthConfig::default(),
+        )
+        .unwrap();
+        assert!(run.outcome.is_complete(), "{:?}", run.outcome);
+        assert_eq!(run.resyntheses, 1);
+        assert!(run
+            .fault_events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::DeviceFailed { device, .. } if *device == dead)));
+        // No completed event ran on the dead device.
+        assert!(run.events.iter().all(|e| e.device != dead));
+        assert_eq!(run.completed.len(), a.len());
+    }
+
+    #[test]
+    fn recovery_without_policy_degrades() {
+        let a = demo_assay();
+        let s = synth(&a);
+        let dead = s.slot(OpId(0)).unwrap().device;
+        let faults = FaultModel {
+            forced_failures: vec![ForcedFailure {
+                device: dead,
+                layer: 0,
+            }],
+            ..FaultModel::none()
+        };
+        let run = simulate_hybrid_with_faults(
+            &a,
+            &s,
+            &SimConfig::default(),
+            &faults,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(!run.outcome.is_complete());
+        assert!(run.outcome.completion_fraction() < 1.0);
+    }
+
+    #[test]
+    fn aborts_extend_but_complete() {
+        let a = demo_assay();
+        let s = synth(&a);
+        let cfg = SimConfig {
+            model: DurationModel::Exact,
+            seed: 7,
+        };
+        let base = simulate_hybrid(&a, &s, &cfg).unwrap();
+        // High abort rate, generous retry budget: runs complete but slower.
+        let faults = FaultModel {
+            op_abort: 0.4,
+            ..FaultModel::none()
+        };
+        let policy = RetryPolicy {
+            max_retries: 50,
+            ..RetryPolicy::default()
+        };
+        let mut extended = false;
+        for seed in 0..20 {
+            let run = run_with_recovery(
+                &a,
+                &s,
+                &SimConfig { seed, ..cfg },
+                &faults,
+                &policy,
+                &SynthConfig::default(),
+            )
+            .unwrap();
+            assert!(run.outcome.is_complete(), "seed {seed}: {:?}", run.outcome);
+            assert!(run.makespan >= base.makespan);
+            if run.makespan > base.makespan {
+                extended = true;
+            }
+        }
+        assert!(extended, "40% abort rate never fired in 20 seeds");
+    }
+
+    #[test]
+    fn degradation_slows_without_failing() {
+        let a = demo_assay();
+        let s = synth(&a);
+        let faults = FaultModel {
+            accessory_degradation: 1.0, // always degraded
+            degradation_factor: 3.0,
+            ..FaultModel::none()
+        };
+        let cfg = SimConfig {
+            model: DurationModel::Exact,
+            seed: 0,
+        };
+        let base = simulate_hybrid(&a, &s, &cfg).unwrap();
+        let run =
+            simulate_hybrid_with_faults(&a, &s, &cfg, &faults, &RetryPolicy::default()).unwrap();
+        assert!(run.outcome.is_complete());
+        assert!(
+            run.makespan >= base.makespan * 2,
+            "3x degradation on every op"
+        );
+        assert!(run
+            .fault_events
+            .iter()
+            .all(|e| matches!(e, FaultEvent::AccessoryDegraded { .. })));
+    }
+
+    #[test]
+    fn online_rebinds_around_dead_devices() {
+        let a = demo_assay();
+        let s = synth(&a);
+        let run = simulate_online_with_faults(
+            &a,
+            &s,
+            &SimConfig {
+                model: DurationModel::Exact,
+                seed: 0,
+            },
+            &FaultModel::none(),
+            &RetryPolicy::default(),
+            1,
+        )
+        .unwrap();
+        assert!(run.outcome.is_complete());
+        assert_eq!(run.events.len(), a.len());
+    }
+
+    #[test]
+    fn losing_everything_degrades_gracefully() {
+        let a = demo_assay();
+        let s = synth(&a);
+        // Fail every device at the first boundary.
+        let faults = FaultModel {
+            forced_failures: (0..s.devices.len())
+                .map(|d| ForcedFailure {
+                    device: d,
+                    layer: 0,
+                })
+                .collect(),
+            ..FaultModel::none()
+        };
+        let run = run_with_recovery(
+            &a,
+            &s,
+            &SimConfig::default(),
+            &faults,
+            &RetryPolicy::default(),
+            &SynthConfig::default(),
+        )
+        .unwrap();
+        let RunOutcome::Degraded(report) = &run.outcome else {
+            panic!("losing every device must degrade");
+        };
+        assert_eq!(report.completed.len(), 0);
+        assert_eq!(report.abandoned.len(), a.len());
+    }
+}

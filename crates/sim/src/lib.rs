@@ -21,15 +21,25 @@
 //!
 //! The three policies regenerate the hybrid-vs-offline-vs-online ablation
 //! (Ablation B in `DESIGN.md`).
+//!
+//! The [`fault`] module injects run-time faults (permanent device failures,
+//! aborted attempts, degradation, path blockage) into these executions and
+//! drives recovery re-synthesis; [`trials`] adds Monte-Carlo survivability
+//! comparisons across the three policies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod trials;
 
+pub use fault::{
+    run_with_recovery, simulate_hybrid_with_faults, simulate_online_with_faults, FaultEvent,
+    FaultModel, FaultRun, ForcedFailure, RunOutcome,
+};
+
 use mfhls_core::{Assay, Duration, HybridSchedule, OpId, Operation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mfhls_graph::rng::SplitMix64;
 
 /// How actual durations of indeterminate operations are sampled.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,7 +65,7 @@ pub enum DurationModel {
 
 impl DurationModel {
     /// Samples an actual duration for an operation with minimum `min`.
-    pub fn sample(&self, min: u64, rng: &mut StdRng) -> u64 {
+    pub fn sample(&self, min: u64, rng: &mut SplitMix64) -> u64 {
         match *self {
             DurationModel::Exact => min,
             DurationModel::GeometricRetry {
@@ -70,7 +80,7 @@ impl DurationModel {
                 min.saturating_mul(attempts as u64)
             }
             DurationModel::UniformSlack { max_factor } => {
-                let f = rng.gen_range(1.0..=max_factor.max(1.0));
+                let f = rng.gen_range_f64(1.0, max_factor.max(1.0));
                 (min as f64 * f).round() as u64
             }
         }
@@ -140,6 +150,9 @@ pub enum SimError {
         /// The shared device.
         device: usize,
     },
+    /// A synthesis step run on behalf of the simulator failed (e.g. the
+    /// padded-offline baseline could not be synthesized).
+    Synthesis(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -149,6 +162,7 @@ impl std::fmt::Display for SimError {
             SimError::RuntimeConflict { a, b, device } => {
                 write!(f, "o{a} and o{b} overlap on device {device} at run time")
             }
+            SimError::Synthesis(m) => write!(f, "synthesis for simulation failed: {m}"),
         }
     }
 }
@@ -157,7 +171,7 @@ impl std::error::Error for SimError {}
 
 /// Samples the realized duration of every operation.
 fn sample_durations(assay: &Assay, cfg: &SimConfig) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
     assay
         .iter()
         .map(|(_, op)| match op.duration() {
@@ -618,13 +632,17 @@ mod tests {
         // rules); the simulator is the runtime back-stop.
         let mut conflicted = false;
         for seed in 0..20 {
-            match simulate_hybrid(&a, &schedule, &SimConfig {
-                model: DurationModel::GeometricRetry {
-                    success_probability: 0.5,
-                    max_attempts: 10,
+            match simulate_hybrid(
+                &a,
+                &schedule,
+                &SimConfig {
+                    model: DurationModel::GeometricRetry {
+                        success_probability: 0.5,
+                        max_attempts: 10,
+                    },
+                    seed,
                 },
-                seed,
-            }) {
+            ) {
                 Err(SimError::RuntimeConflict { device: 0, .. }) => {
                     conflicted = true;
                     break;
@@ -649,7 +667,7 @@ mod tests {
 
     #[test]
     fn duration_models_sample_sanely() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         assert_eq!(DurationModel::Exact.sample(7, &mut rng), 7);
         for _ in 0..100 {
             let g = DurationModel::GeometricRetry {

@@ -1,11 +1,19 @@
-//! Monte-Carlo trial aggregation over simulated executions.
+//! Monte-Carlo trial aggregation over simulated executions, including
+//! fault-injected survivability comparisons across scheduling policies.
 
-use crate::{simulate_hybrid, simulate_online, DurationModel, SimConfig, SimError};
-use mfhls_core::{Assay, HybridSchedule};
-use serde::{Deserialize, Serialize};
+use crate::fault::{
+    run_with_recovery, simulate_hybrid_with_faults, simulate_online_with_faults, FaultModel,
+};
+use crate::{
+    pad_indeterminate, simulate_hybrid, simulate_online, simulate_padded, DurationModel, SimConfig,
+    SimError,
+};
+use mfhls_core::recovery::RetryPolicy;
+use mfhls_core::{Assay, Duration, HybridSchedule, OpId, SynthConfig, Synthesizer};
+use std::collections::BTreeSet;
 
 /// Summary statistics over repeated stochastic executions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrialStats {
     /// Number of trials aggregated.
     pub trials: u64,
@@ -134,6 +142,195 @@ pub fn run_online_trials(
     Ok(TrialStats::from_spans(spans, decisions))
 }
 
+/// Per-policy survivability summary over fault-injected Monte-Carlo trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalStats {
+    /// Policy name (`hybrid+recovery`, `padded-offline`, `online`).
+    pub policy: &'static str,
+    /// Number of seeded trials.
+    pub trials: u64,
+    /// Trials in which every operation completed.
+    pub completed_runs: u64,
+    /// `completed_runs / trials`.
+    pub completion_rate: f64,
+    /// Mean fraction of operations completed per trial (1.0 on success).
+    pub mean_completed_fraction: f64,
+    /// Expected makespan over *successful* trials (`None` if none succeeded).
+    pub mean_makespan_success: Option<u64>,
+    /// Mean recovery re-syntheses per trial (0 for policies without
+    /// recovery).
+    pub mean_resyntheses: f64,
+}
+
+impl std::fmt::Display for SurvivalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<16} {:>4} trials: {:>5.1}% complete, mean coverage {:>5.1}%",
+            self.policy,
+            self.trials,
+            self.completion_rate * 100.0,
+            self.mean_completed_fraction * 100.0,
+        )?;
+        match self.mean_makespan_success {
+            Some(m) => write!(f, ", mean makespan {m}m on success")?,
+            None => write!(f, ", no successful run")?,
+        }
+        if self.mean_resyntheses > 0.0 {
+            write!(f, ", {:.2} re-syntheses/trial", self.mean_resyntheses)?;
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates one policy's runs into a [`SurvivalStats`].
+#[derive(Default)]
+struct SurvivalAcc {
+    completed_runs: u64,
+    fraction_sum: f64,
+    makespan_sum: u64,
+    resyntheses_sum: u64,
+    trials: u64,
+}
+
+impl SurvivalAcc {
+    fn record(&mut self, complete: bool, fraction: f64, makespan: u64, resyntheses: usize) {
+        self.trials += 1;
+        self.fraction_sum += fraction;
+        self.resyntheses_sum += resyntheses as u64;
+        if complete {
+            self.completed_runs += 1;
+            self.makespan_sum += makespan;
+        }
+    }
+
+    fn finish(self, policy: &'static str) -> SurvivalStats {
+        SurvivalStats {
+            policy,
+            trials: self.trials,
+            completed_runs: self.completed_runs,
+            completion_rate: self.completed_runs as f64 / self.trials.max(1) as f64,
+            mean_completed_fraction: self.fraction_sum / self.trials.max(1) as f64,
+            mean_makespan_success: (self.completed_runs > 0)
+                .then(|| (self.makespan_sum as f64 / self.completed_runs as f64).round() as u64),
+            mean_resyntheses: self.resyntheses_sum as f64 / self.trials.max(1) as f64,
+        }
+    }
+}
+
+/// Operations abandoned when a padded-offline run overruns its padding:
+/// every indeterminate op whose realized duration exceeded the pad, plus
+/// all transitive descendants.
+fn padded_overrun_abandoned(assay: &Assay, actual: &[u64], pad_factor: f64) -> BTreeSet<OpId> {
+    let mut abandoned: BTreeSet<OpId> = assay
+        .iter()
+        .filter(|(id, op)| match op.duration() {
+            Duration::Fixed(_) => false,
+            Duration::Indeterminate { min } => {
+                actual[id.index()] > (min as f64 * pad_factor.max(1.0)).ceil() as u64
+            }
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let mut frontier: Vec<OpId> = abandoned.iter().copied().collect();
+    while let Some(op) = frontier.pop() {
+        for c in assay.children(op) {
+            if abandoned.insert(c) {
+                frontier.push(c);
+            }
+        }
+    }
+    abandoned
+}
+
+/// Monte-Carlo survivability comparison: runs `trials` fault-injected
+/// executions (seeds `0..trials`) under each of three policies and reports
+/// completion rate, mean completed fraction, and expected makespan over
+/// successful runs:
+///
+/// 1. **hybrid+recovery** — the paper's hybrid schedule plus this repo's
+///    recovery re-synthesis ([`run_with_recovery`]);
+/// 2. **padded-offline** — indeterminate durations padded by `pad_factor`
+///    and synthesized offline; the trial fails on any permanent fault (no
+///    run-time control to react) or padding overrun;
+/// 3. **online** — the fault-aware fully-online dispatcher
+///    ([`simulate_online_with_faults`]) paying `decision_latency` per
+///    dispatch.
+///
+/// # Errors
+///
+/// [`SimError::Synthesis`] if the padded baseline cannot be synthesized;
+/// otherwise propagates the first [`SimError`] from any run.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn survivability_trials(
+    assay: &Assay,
+    schedule: &HybridSchedule,
+    model: DurationModel,
+    faults: &FaultModel,
+    policy: &RetryPolicy,
+    synth: &SynthConfig,
+    trials: u64,
+    pad_factor: f64,
+    decision_latency: u64,
+) -> Result<Vec<SurvivalStats>, SimError> {
+    assert!(trials > 0, "at least one trial required");
+    let padded_assay = pad_indeterminate(assay, pad_factor);
+    let padded_schedule = Synthesizer::new(synth.clone())
+        .run(&padded_assay)
+        .map_err(|e| SimError::Synthesis(e.to_string()))?
+        .schedule;
+
+    let mut hybrid = SurvivalAcc::default();
+    let mut padded = SurvivalAcc::default();
+    let mut online = SurvivalAcc::default();
+    let n = assay.len().max(1) as f64;
+
+    for seed in 0..trials {
+        let cfg = SimConfig { model, seed };
+
+        let run = run_with_recovery(assay, schedule, &cfg, faults, policy, synth)?;
+        hybrid.record(
+            run.outcome.is_complete(),
+            run.outcome.completion_fraction(),
+            run.makespan,
+            run.resyntheses,
+        );
+
+        let prun =
+            simulate_hybrid_with_faults(&padded_assay, &padded_schedule, &cfg, faults, policy)?;
+        let pad_ok = simulate_padded(assay, prun.makespan, pad_factor, &cfg).success;
+        let complete = prun.outcome.is_complete() && pad_ok;
+        let fraction = if !prun.outcome.is_complete() {
+            prun.outcome.completion_fraction()
+        } else if !pad_ok {
+            let actual = crate::sample_durations(assay, &cfg);
+            1.0 - padded_overrun_abandoned(assay, &actual, pad_factor).len() as f64 / n
+        } else {
+            1.0
+        };
+        padded.record(complete, fraction, prun.makespan, 0);
+
+        let orun =
+            simulate_online_with_faults(assay, schedule, &cfg, faults, policy, decision_latency)?;
+        online.record(
+            orun.outcome.is_complete(),
+            orun.outcome.completion_fraction(),
+            orun.makespan,
+            0,
+        );
+    }
+
+    Ok(vec![
+        hybrid.finish("hybrid+recovery"),
+        padded.finish("padded-offline"),
+        online.finish("online"),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,8 +376,7 @@ mod tests {
     #[test]
     fn online_trials_report_per_op_decisions() {
         let (a, s) = setup();
-        let stats =
-            run_online_trials(&a, &s, DurationModel::Exact, 10, 1, false).unwrap();
+        let stats = run_online_trials(&a, &s, DurationModel::Exact, 10, 1, false).unwrap();
         assert_eq!(stats.decisions, a.len());
     }
 
@@ -198,5 +394,111 @@ mod tests {
     fn zero_trials_panics() {
         let (a, s) = setup();
         let _ = run_hybrid_trials(&a, &s, DurationModel::Exact, 0);
+    }
+
+    /// Assay with device redundancy: two interchangeable parallel ops, so
+    /// recovery has a survivor to fall back on.
+    fn redundant_setup() -> (Assay, HybridSchedule) {
+        let mut a = Assay::new("redundant");
+        a.add_op(Operation::new("p0").with_duration(Duration::fixed(5)));
+        a.add_op(Operation::new("p1").with_duration(Duration::fixed(5)));
+        let r = Synthesizer::new(SynthConfig::default()).run(&a).unwrap();
+        assert!(r.schedule.used_device_count() >= 2);
+        (a, r.schedule)
+    }
+
+    #[test]
+    fn survivability_without_faults_is_perfect() {
+        let (a, s) = setup();
+        let stats = survivability_trials(
+            &a,
+            &s,
+            DurationModel::Exact,
+            &FaultModel::none(),
+            &RetryPolicy::default(),
+            &SynthConfig::default(),
+            10,
+            3.0,
+            1,
+        )
+        .unwrap();
+        assert_eq!(stats.len(), 3);
+        for st in &stats {
+            assert_eq!(st.completion_rate, 1.0, "{st}");
+            assert_eq!(st.mean_completed_fraction, 1.0, "{st}");
+            assert!(st.mean_makespan_success.is_some());
+            assert_eq!(st.mean_resyntheses, 0.0);
+        }
+        // Fault-free hybrid survivability equals the plain hybrid baseline.
+        let base = simulate_hybrid(
+            &a,
+            &s,
+            &SimConfig {
+                model: DurationModel::Exact,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(stats[0].mean_makespan_success, Some(base.makespan));
+    }
+
+    #[test]
+    fn survivability_under_faults_favors_recovery_over_offline() {
+        let (a, s) = redundant_setup();
+        let stats = survivability_trials(
+            &a,
+            &s,
+            DurationModel::Exact,
+            &FaultModel::uniform(0.05),
+            &RetryPolicy::default(),
+            &SynthConfig::default(),
+            100,
+            3.0,
+            1,
+        )
+        .unwrap();
+        let hybrid = &stats[0];
+        let padded = &stats[1];
+        assert_eq!(hybrid.policy, "hybrid+recovery");
+        assert_eq!(padded.policy, "padded-offline");
+        for st in &stats {
+            assert_eq!(st.trials, 100);
+            assert!((0.0..=1.0).contains(&st.completion_rate), "{st}");
+            assert!(
+                st.mean_completed_fraction >= st.completion_rate,
+                "partial credit can only add: {st}"
+            );
+        }
+        // The offline flow cannot react to a permanent fault; recovery can.
+        assert!(
+            hybrid.completion_rate >= padded.completion_rate,
+            "hybrid {} < padded {}",
+            hybrid.completion_rate,
+            padded.completion_rate
+        );
+        assert!(
+            hybrid.mean_resyntheses > 0.0,
+            "5% device faults over 100 trials never fired"
+        );
+    }
+
+    #[test]
+    fn survival_stats_display_is_informative() {
+        let (a, s) = setup();
+        let stats = survivability_trials(
+            &a,
+            &s,
+            DurationModel::Exact,
+            &FaultModel::none(),
+            &RetryPolicy::default(),
+            &SynthConfig::default(),
+            5,
+            3.0,
+            1,
+        )
+        .unwrap();
+        let text = stats[0].to_string();
+        assert!(text.contains("hybrid+recovery"), "{text}");
+        assert!(text.contains("100.0% complete"), "{text}");
     }
 }

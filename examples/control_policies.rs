@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example control_policies`
 
 use mfhls::sim::{
-    pad_indeterminate, simulate_hybrid, simulate_online, simulate_padded, DurationModel,
-    SimConfig,
+    pad_indeterminate, simulate_hybrid, simulate_online, simulate_padded, DurationModel, SimConfig,
 };
 use mfhls::{SynthConfig, Synthesizer};
 
@@ -69,7 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         online_decisions = run.decisions;
         online_spans.push(run.makespan);
     }
-    report("online, 2m/decision", &mut online_spans, online_decisions, None);
+    report(
+        "online, 2m/decision",
+        &mut online_spans,
+        online_decisions,
+        None,
+    );
 
     println!(
         "\nhybrid needs {} run-time decisions; fully online needs {} — and the offline\n\
@@ -81,11 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 fn report(name: &str, spans: &mut [u64], decisions: usize, failure_rate: Option<f64>) {
     spans.sort_unstable();
-    let (lo, med, hi) = (
-        spans[0],
-        spans[spans.len() / 2],
-        spans[spans.len() - 1],
-    );
+    let (lo, med, hi) = (spans[0], spans[spans.len() / 2], spans[spans.len() - 1]);
     print!("{name:<20} makespan {lo:>4}/{med:>4}/{hi:>4}m (min/med/max)");
     if decisions > 0 {
         print!("  decisions {decisions}");

@@ -10,7 +10,11 @@ use mfhls::{SynthConfig, Synthesizer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let assay = mfhls::assays::kinase_activity(2);
-    println!("assay: {} — {} ops (all determinate)", assay.name(), assay.len());
+    println!(
+        "assay: {} — {} ops (all determinate)",
+        assay.name(),
+        assay.len()
+    );
 
     let ours = Synthesizer::new(SynthConfig::default()).run(&assay)?;
     let conv = conventional::run(&assay, SynthConfig::default())?;

@@ -8,13 +8,21 @@
 //! mfhls validate protocol.mfa
 //! mfhls simulate protocol.mfa [--trials N] [--policy hybrid|online]
 //!                             [--success-probability P] [--latency M]
+//! mfhls faultsim protocol.mfa [--trials N] [--seed S] [--fault-rate R]
+//!                             [--fail-device D[@L]] [--max-retries K]
+//!                             [--pad-factor F] [--exact]
 //! mfhls export-lp protocol.mfa [--layer K] [--out FILE]
 //! mfhls bench
 //! ```
 
+use mfhls::core::recovery::{resynthesize_suffix, RetryPolicy};
 use mfhls::core::{analysis, export, ilp_model, render};
-use mfhls::sim::{trials, DurationModel};
+use mfhls::sim::{
+    run_with_recovery, simulate_hybrid, trials, DurationModel, FaultModel, ForcedFailure,
+    RunOutcome, SimConfig,
+};
 use mfhls::{Assay, SolverKind, SynthConfig, Synthesizer, Weights};
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -39,6 +47,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "synth" => synth(&args[1..]),
         "validate" => validate(&args[1..]),
         "simulate" => simulate(&args[1..]),
+        "faultsim" => faultsim(&args[1..]),
         "export-lp" => export_lp(&args[1..]),
         "graph" => graph(&args[1..]),
         "bench" => bench(),
@@ -60,6 +69,10 @@ fn print_usage() {
          mfhls validate <file.mfa>\n  \
          mfhls simulate <file.mfa> [--trials N] [--policy hybrid|online]\n             \
          [--success-probability P] [--latency M]\n  \
+         mfhls faultsim <file.mfa> [--trials N] [--seed S] [--fault-rate R]\n             \
+         [--device-failure P] [--op-abort P] [--degradation P] [--path-blockage P]\n             \
+         [--fail-device D[@L]] [--max-retries K] [--pad-factor F]\n             \
+         [--success-probability P] [--latency M] [--exact]\n  \
          mfhls export-lp <file.mfa> [--layer K] [--out FILE]\n  \
          mfhls graph <file.mfa> [--layers] [--out FILE]\n  \
          mfhls bench"
@@ -101,8 +114,7 @@ fn load_assay(args: &[String]) -> Result<(Assay, Flags<'_>), CliError> {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err("expected a .mfa file path".into());
     };
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let assay = mfhls::dsl::parse(&text).map_err(|e| format!("{path}:{e}"))?;
     Ok((assay, Flags { args: &args[1..] }))
 }
@@ -216,7 +228,10 @@ fn validate(args: &[String]) -> Result<(), CliError> {
     );
     let layering = mfhls::layer_assay(&assay, 10)?;
     layering.validate(&assay, 10)?;
-    println!("OK: layers into {} layers at threshold 10", layering.num_layers());
+    println!(
+        "OK: layers into {} layers at threshold 10",
+        layering.num_layers()
+    );
     Ok(())
 }
 
@@ -233,12 +248,149 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
     };
     let stats = match flags.value("--policy").unwrap_or("hybrid") {
         "hybrid" => trials::run_hybrid_trials(&assay, &result.schedule, model, n)?,
-        "online" => {
-            trials::run_online_trials(&assay, &result.schedule, model, n, latency, true)?
-        }
+        "online" => trials::run_online_trials(&assay, &result.schedule, model, n, latency, true)?,
         other => return Err(format!("unknown policy '{other}'").into()),
     };
     println!("{stats}");
+    Ok(())
+}
+
+fn faultsim(args: &[String]) -> Result<(), CliError> {
+    let (assay, flags) = load_assay(args)?;
+    let config = config_from(&flags)?;
+    let n = flags.parsed("--trials", 100u64)?;
+    let seed = flags.parsed("--seed", 0u64)?;
+    let p = flags.parsed("--success-probability", 0.53f64)?;
+    let latency = flags.parsed("--latency", 2u64)?;
+    let pad_factor = flags.parsed("--pad-factor", 3.0f64)?;
+
+    let rate = flags.parsed("--fault-rate", 0.0f64)?;
+    let mut faults = if rate > 0.0 {
+        FaultModel::uniform(rate)
+    } else {
+        FaultModel::none()
+    };
+    faults.device_failure = flags.parsed("--device-failure", faults.device_failure)?;
+    faults.op_abort = flags.parsed("--op-abort", faults.op_abort)?;
+    faults.accessory_degradation = flags.parsed("--degradation", faults.accessory_degradation)?;
+    faults.path_blockage = flags.parsed("--path-blockage", faults.path_blockage)?;
+    let policy = RetryPolicy {
+        max_retries: flags.parsed("--max-retries", 3usize)?,
+        ..RetryPolicy::default()
+    };
+    let model = if flags.has("--exact") {
+        DurationModel::Exact
+    } else {
+        DurationModel::GeometricRetry {
+            success_probability: p,
+            max_attempts: 20,
+        }
+    };
+
+    let result = Synthesizer::new(config.clone()).run(&assay)?;
+    let schedule = &result.schedule;
+    schedule.validate(&assay)?;
+    let cfg = SimConfig { model, seed };
+    let base = simulate_hybrid(&assay, schedule, &cfg)?;
+    println!(
+        "{}: {} ops -> {} layers, {} devices | baseline hybrid makespan {}m (seed {seed})",
+        assay.name(),
+        assay.len(),
+        schedule.layers.len(),
+        schedule.used_device_count(),
+        base.makespan
+    );
+
+    // Deterministic forced failure: emit the recovered schedule itself.
+    if let Some(spec) = flags.value("--fail-device") {
+        let (device, layer): (usize, usize) = match spec.split_once('@') {
+            Some((d, l)) => (
+                d.parse()
+                    .map_err(|e| format!("invalid --fail-device: {e}"))?,
+                l.parse()
+                    .map_err(|e| format!("invalid --fail-device: {e}"))?,
+            ),
+            None => (
+                spec.parse()
+                    .map_err(|e| format!("invalid --fail-device: {e}"))?,
+                0,
+            ),
+        };
+        faults.forced_failures.push(ForcedFailure { device, layer });
+        println!("\nforced failure: device d{device} at layer boundary {layer}");
+        let quarantined: BTreeSet<usize> = [device].into_iter().collect();
+        match resynthesize_suffix(&assay, schedule, &BTreeSet::new(), &quarantined, &config) {
+            Ok(plan) => {
+                plan.schedule.validate(&plan.assay)?;
+                println!(
+                    "recovered schedule: {} ops over {} layers, exec time {}, devices {:?} (quarantined d{device} unused: {})",
+                    plan.assay.len(),
+                    plan.schedule.layers.len(),
+                    plan.schedule.exec_time(&plan.assay),
+                    plan.devices_used(),
+                    !plan.uses_quarantined()
+                );
+            }
+            Err(e) => println!("recovery infeasible from the start boundary: {e}"),
+        }
+    }
+
+    // One narrated fault-injected run with recovery.
+    let run = run_with_recovery(&assay, schedule, &cfg, &faults, &policy, &config)?;
+    if faults.is_none() {
+        println!(
+            "\nfault-free run: makespan {}m ({} baseline — {})",
+            run.makespan,
+            if run.makespan == base.makespan {
+                "=="
+            } else {
+                "!="
+            },
+            if run.makespan == base.makespan {
+                "reproduces simulate_hybrid exactly"
+            } else {
+                "MISMATCH, please report"
+            }
+        );
+    } else {
+        println!("\nfault-injected run (seed {seed}):");
+        for ev in &run.fault_events {
+            println!("  {ev:?}");
+        }
+        match &run.outcome {
+            RunOutcome::Completed => println!(
+                "  completed all {} ops in {}m after {} re-synthesis(es)",
+                run.completed.len(),
+                run.makespan,
+                run.resyntheses
+            ),
+            RunOutcome::Degraded(d) => println!("  {d}"),
+        }
+    }
+
+    // Monte-Carlo survivability comparison across policies. Forced
+    // failures are a single-run demo feature; the trials compare the
+    // policies under the stochastic fault process only.
+    if n > 0 {
+        let faults = FaultModel {
+            forced_failures: Vec::new(),
+            ..faults
+        };
+        println!(
+            "\nsurvivability over {n} seeded trials (device failure {:.1}%, op abort {:.1}%, \
+             degradation {:.1}%, path blockage {:.1}%):",
+            faults.device_failure * 100.0,
+            faults.op_abort * 100.0,
+            faults.accessory_degradation * 100.0,
+            faults.path_blockage * 100.0
+        );
+        let stats = trials::survivability_trials(
+            &assay, schedule, model, &faults, &policy, &config, n, pad_factor, latency,
+        )?;
+        for st in &stats {
+            println!("  {st}");
+        }
+    }
     Ok(())
 }
 
@@ -254,8 +406,7 @@ fn export_lp(args: &[String]) -> Result<(), CliError> {
         )
         .into());
     }
-    let transport =
-        mfhls::core::TransportTimes::initial(&assay, &config.transport);
+    let transport = mfhls::core::TransportTimes::initial(&assay, &config.transport);
     let problem = mfhls::core::LayerProblem {
         assay: &assay,
         ops: layering.layers()[layer_idx].clone(),
@@ -283,7 +434,10 @@ fn export_lp(args: &[String]) -> Result<(), CliError> {
 fn graph(args: &[String]) -> Result<(), CliError> {
     let (assay, flags) = load_assay(args)?;
     let layering = if flags.has("--layers") {
-        Some(mfhls::layer_assay(&assay, flags.parsed("--threshold", 10usize)?)?)
+        Some(mfhls::layer_assay(
+            &assay,
+            flags.parsed("--threshold", 10usize)?,
+        )?)
     } else {
         None
     };

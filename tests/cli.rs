@@ -43,8 +43,18 @@ fn unknown_command_fails() {
 #[test]
 fn synth_reports_metrics() {
     let path = write_protocol("synth", PROTOCOL);
-    let out = mfhls(&["synth", path.to_str().unwrap(), "--gantt", "--report", "--iterations"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = mfhls(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--gantt",
+        "--report",
+        "--iterations",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("cli test: 7 ops (3 indeterminate)"), "{text}");
     assert!(text.contains("exec time"));
@@ -74,7 +84,11 @@ fn synth_custom_weights_and_budget() {
         "--threshold",
         "4",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let _ = std::fs::remove_file(path);
 }
 
@@ -113,7 +127,11 @@ fn simulate_prints_trial_stats() {
         "--policy",
         "hybrid",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("20 trials"), "{text}");
     let _ = std::fs::remove_file(path);
@@ -161,7 +179,12 @@ fn export_lp_rejects_out_of_range_layer() {
 fn svg_export_writes_file() {
     let path = write_protocol("svg", PROTOCOL);
     let svg = std::env::temp_dir().join(format!("mfhls_cli_{}.svg", std::process::id()));
-    let out = mfhls(&["synth", path.to_str().unwrap(), "--svg", svg.to_str().unwrap()]);
+    let out = mfhls(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--svg",
+        svg.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let content = std::fs::read_to_string(&svg).expect("svg written");
     assert!(content.starts_with("<svg"));
@@ -173,7 +196,12 @@ fn svg_export_writes_file() {
 fn csv_export_writes_file() {
     let path = write_protocol("csv", PROTOCOL);
     let csv = std::env::temp_dir().join(format!("mfhls_cli_{}.csv", std::process::id()));
-    let out = mfhls(&["synth", path.to_str().unwrap(), "--csv", csv.to_str().unwrap()]);
+    let out = mfhls(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let content = std::fs::read_to_string(&csv).expect("csv written");
     assert!(content.starts_with("op,name,layer,device"));
@@ -195,7 +223,10 @@ fn graph_emits_dot() {
 
 #[test]
 fn repo_protocol_files_synthesize() {
-    for file in ["protocols/single_cell_screen.mfa", "protocols/bead_wash.mfa"] {
+    for file in [
+        "protocols/single_cell_screen.mfa",
+        "protocols/bead_wash.mfa",
+    ] {
         let out = mfhls(&["synth", file]);
         assert!(
             out.status.success(),
@@ -203,4 +234,51 @@ fn repo_protocol_files_synthesize() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
+}
+
+#[test]
+fn faultsim_fault_free_matches_baseline() {
+    let out = mfhls(&[
+        "faultsim",
+        "protocols/single_cell_screen.mfa",
+        "--trials",
+        "0",
+        "--exact",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("reproduces simulate_hybrid exactly"),
+        "{text}"
+    );
+}
+
+#[test]
+fn faultsim_forced_failure_reports_recovery() {
+    let out = mfhls(&[
+        "faultsim",
+        "protocols/single_cell_screen.mfa",
+        "--trials",
+        "25",
+        "--fail-device",
+        "8",
+        "--fault-rate",
+        "0.01",
+        "--exact",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("forced failure: device d8"), "{text}");
+    assert!(text.contains("quarantined d8 unused: true"), "{text}");
+    assert!(text.contains("hybrid+recovery"), "{text}");
+    assert!(text.contains("padded-offline"), "{text}");
+    assert!(text.contains("online"), "{text}");
 }

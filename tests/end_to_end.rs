@@ -69,7 +69,9 @@ fn layering_matches_paper_structure() {
 #[test]
 fn progressive_resynthesis_reports_improvements() {
     let assay = mfhls::assays::rtqpcr(20);
-    let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+    let r = Synthesizer::new(SynthConfig::default())
+        .run(&assay)
+        .unwrap();
     assert!(r.iterations.len() >= 2, "re-synthesis should iterate");
     let first = r.iterations[0].exec_time.fixed;
     let best = r.schedule.exec_time(&assay).fixed;
@@ -85,8 +87,12 @@ fn dsl_round_trip_synthesises_identically() {
     let assay = mfhls::assays::gene_expression(3);
     let text = mfhls::dsl::to_text(&assay);
     let reparsed = mfhls::dsl::parse(&text).unwrap();
-    let a = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
-    let b = Synthesizer::new(SynthConfig::default()).run(&reparsed).unwrap();
+    let a = Synthesizer::new(SynthConfig::default())
+        .run(&assay)
+        .unwrap();
+    let b = Synthesizer::new(SynthConfig::default())
+        .run(&reparsed)
+        .unwrap();
     assert_eq!(
         a.schedule.exec_time(&assay),
         b.schedule.exec_time(&reparsed)
@@ -100,12 +106,18 @@ fn dsl_round_trip_synthesises_identically() {
 #[test]
 fn schedules_execute_without_runtime_conflicts() {
     for (case, _, assay) in mfhls::assays::benchmarks() {
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .unwrap();
         for seed in 0..5 {
-            let sim = simulate_hybrid(&assay, &r.schedule, &SimConfig {
-                seed,
-                ..SimConfig::default()
-            })
+            let sim = simulate_hybrid(
+                &assay,
+                &r.schedule,
+                &SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            )
             .unwrap_or_else(|e| panic!("case {case} seed {seed}: {e}"));
             // Realized makespan is never below the fixed accounting.
             assert!(sim.makespan >= r.schedule.exec_time(&assay).fixed);
@@ -155,7 +167,9 @@ fn hybrid_solver_never_loses_to_heuristic() {
 #[test]
 fn netlist_and_layout_are_consistent_with_schedule() {
     let assay = mfhls::assays::kinase_activity(2);
-    let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+    let r = Synthesizer::new(SynthConfig::default())
+        .run(&assay)
+        .unwrap();
     let netlist = r.schedule.to_netlist(&assay);
     assert_eq!(netlist.devices().len(), r.schedule.devices.len());
     assert_eq!(netlist.path_count(), r.schedule.path_count());
@@ -177,7 +191,9 @@ fn benchmark_chips_fit_a_large_die() {
         ..floorplan::ChipSpec::default()
     };
     for (case, _, assay) in mfhls::assays::benchmarks() {
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .unwrap();
         let netlist = r.schedule.to_netlist(&assay);
         let report = floorplan::check(
             &netlist,
@@ -197,7 +213,6 @@ fn benchmark_chips_fit_a_large_die() {
     }
 }
 
-
 #[test]
 fn committed_protocol_files_match_generators() {
     // protocols/benchmarks/*.mfa are generated artifacts
@@ -205,7 +220,10 @@ fn committed_protocol_files_match_generators() {
     // sync with the canonical assay generators.
     for (file, assay) in [
         ("case1_kinase.mfa", mfhls::assays::kinase_activity(2)),
-        ("case2_gene_expression.mfa", mfhls::assays::gene_expression(10)),
+        (
+            "case2_gene_expression.mfa",
+            mfhls::assays::gene_expression(10),
+        ),
         ("case3_rtqpcr.mfa", mfhls::assays::rtqpcr(20)),
         ("bonus_cell_culture.mfa", mfhls::assays::cell_culture(4, 3)),
     ] {
@@ -233,5 +251,114 @@ fn conventional_schedules_also_validate_component_rules() {
     for (_, _, assay) in mfhls::assays::benchmarks() {
         let conv = conventional::run(&assay, SynthConfig::default()).unwrap();
         conv.schedule.validate(&assay).unwrap();
+    }
+}
+
+#[test]
+fn faultsim_recovers_from_seeded_device_failures() {
+    use mfhls::core::recovery::{resynthesize_suffix, RetryPolicy};
+    use mfhls::sim::{run_with_recovery, DurationModel, FaultModel, ForcedFailure, RunOutcome};
+    use std::collections::BTreeSet;
+
+    let text = std::fs::read_to_string("protocols/single_cell_screen.mfa").unwrap();
+    let assay = mfhls::dsl::parse(&text).unwrap();
+    let config = SynthConfig::default();
+    let result = Synthesizer::new(config.clone()).run(&assay).unwrap();
+    let schedule = &result.schedule;
+    schedule.validate(&assay).unwrap();
+    let cfg = SimConfig {
+        model: DurationModel::GeometricRetry {
+            success_probability: 0.53,
+            max_attempts: 20,
+        },
+        seed: 42,
+    };
+    let policy = RetryPolicy::default();
+
+    // Faults disabled: the fault-aware engine reproduces the plain hybrid
+    // simulation exactly.
+    let base = simulate_hybrid(&assay, schedule, &cfg).unwrap();
+    let clean = run_with_recovery(
+        &assay,
+        schedule,
+        &cfg,
+        &FaultModel::none(),
+        &policy,
+        &config,
+    )
+    .unwrap();
+    assert_eq!(clean.makespan, base.makespan);
+    assert!(matches!(clean.outcome, RunOutcome::Completed));
+    assert_eq!(clean.resyntheses, 0);
+    assert!(clean.fault_events.is_empty());
+
+    // Force each device to fail at the first boundary in turn: every run
+    // either recovers (completing all ops without ever using the dead
+    // device) or degrades gracefully because the sole host of a device
+    // class was lost. At least one device must be survivable.
+    let mut survived = 0usize;
+    for dead in 0..schedule.devices.len() {
+        let faults = FaultModel {
+            forced_failures: vec![ForcedFailure {
+                device: dead,
+                layer: 0,
+            }],
+            ..FaultModel::none()
+        };
+        let run = run_with_recovery(&assay, schedule, &cfg, &faults, &policy, &config).unwrap();
+        match run.outcome {
+            RunOutcome::Completed => {
+                assert!(run.resyntheses >= 1, "d{dead}: recovery must re-synthesize");
+                assert!(
+                    run.events.iter().all(|e| e.device != dead),
+                    "d{dead}: a completed op ran on the quarantined device"
+                );
+                assert_eq!(run.completed.len(), assay.len());
+                survived += 1;
+            }
+            RunOutcome::Degraded(report) => {
+                assert!(!report.reason.is_empty());
+            }
+        }
+    }
+    assert!(survived > 0, "no single-device failure is survivable");
+
+    // The recovered schedule itself validates and avoids the quarantine.
+    let dead: BTreeSet<usize> = [8].into_iter().collect();
+    let plan = resynthesize_suffix(&assay, schedule, &BTreeSet::new(), &dead, &config).unwrap();
+    plan.schedule.validate(&plan.assay).unwrap();
+    assert!(!plan.uses_quarantined());
+    assert_eq!(plan.schedule.devices, schedule.devices, "no renumbering");
+}
+
+#[test]
+fn faultsim_survivability_ranks_recovery_above_offline() {
+    use mfhls::core::recovery::RetryPolicy;
+    use mfhls::sim::{trials, DurationModel, FaultModel};
+
+    let text = std::fs::read_to_string("protocols/single_cell_screen.mfa").unwrap();
+    let assay = mfhls::dsl::parse(&text).unwrap();
+    let config = SynthConfig::default();
+    let result = Synthesizer::new(config.clone()).run(&assay).unwrap();
+    let stats = trials::survivability_trials(
+        &assay,
+        &result.schedule,
+        DurationModel::Exact,
+        &FaultModel::uniform(0.01),
+        &RetryPolicy::default(),
+        &config,
+        100,
+        3.0,
+        2,
+    )
+    .unwrap();
+    assert_eq!(stats.len(), 3, "three policies reported");
+    let hybrid = &stats[0];
+    let padded = &stats[1];
+    assert_eq!(hybrid.policy, "hybrid+recovery");
+    assert!(hybrid.completion_rate >= padded.completion_rate);
+    for st in &stats {
+        assert_eq!(st.trials, 100);
+        assert!(st.mean_completed_fraction >= st.completion_rate);
     }
 }

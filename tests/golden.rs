@@ -101,7 +101,9 @@ fn table3_trajectory_is_pinned() {
     // Case 2's iteration trail: a >10% first-iteration gain triggers a
     // second iteration, which gains <10% and stops the loop.
     let assay = mfhls::assays::gene_expression(10);
-    let r = Synthesizer::new(SynthConfig::default()).run(&assay).unwrap();
+    let r = Synthesizer::new(SynthConfig::default())
+        .run(&assay)
+        .unwrap();
     let execs: Vec<u64> = r.iterations.iter().map(|it| it.exec_time.fixed).collect();
     assert_eq!(execs, vec![148, 118, 119]);
     // The adopted schedule is the best iteration, not the last.
@@ -119,9 +121,7 @@ fn dsl_printer_output_is_pinned() {
             .accessory(mfhls::chip::Accessory::Pump)
             .with_duration(Duration::fixed(10)),
     );
-    let y = a.add_op(
-        Operation::new("capture").with_duration(Duration::at_least(3)),
-    );
+    let y = a.add_op(Operation::new("capture").with_duration(Duration::at_least(3)));
     a.add_dependency(x, y).unwrap();
     let expected = r#"assay "golden"
 

@@ -1,29 +1,36 @@
-//! Property-based tests over randomly generated assays: every layering,
+//! Randomized invariant tests over generated assays: every layering,
 //! schedule, simulation, and DSL round-trip invariant must hold for
-//! arbitrary DAGs, not just the benchmark protocols.
+//! arbitrary DAGs, not just the benchmark protocols. Driven by the
+//! vendored seeded PRNG (the workspace builds offline, so no proptest);
+//! failures print the seed for replay.
 
 use mfhls::assays::{random_assay, RandomAssayParams};
+use mfhls::graph::rng::SplitMix64;
 use mfhls::sim::{simulate_hybrid, SimConfig};
 use mfhls::{layer_assay, SynthConfig, Synthesizer};
-use proptest::prelude::*;
 
-fn params_strategy() -> impl Strategy<Value = RandomAssayParams> {
-    (2usize..28, 0.02f64..0.3, 0.0f64..0.4, 2u64..40).prop_map(
-        |(ops, edge_probability, indeterminate_fraction, max_duration)| RandomAssayParams {
-            ops,
-            edge_probability,
-            indeterminate_fraction,
-            max_duration,
-        },
-    )
+const CASES: u64 = 48;
+
+/// Derives `(assay seed, params)` for one randomized case.
+fn random_case(case: u64, tag: u64) -> (u64, RandomAssayParams) {
+    let mut rng = SplitMix64::seed_from_u64(case ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let seed = rng.gen_range_u64(0, 9_999);
+    let params = RandomAssayParams {
+        ops: rng.gen_index(2, 28),
+        edge_probability: rng.gen_range_f64(0.02, 0.3),
+        indeterminate_fraction: rng.gen_range_f64(0.0, 0.4),
+        max_duration: rng.gen_range_u64(2, 39),
+    };
+    (seed, params)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Algorithm 1 output always satisfies its structural invariants.
-    #[test]
-    fn layering_invariants(seed in 0u64..10_000, params in params_strategy(), threshold in 1usize..12) {
+/// Algorithm 1 output always satisfies its structural invariants.
+#[test]
+fn layering_invariants() {
+    for case in 0..CASES {
+        let (seed, params) = random_case(case, 1);
+        let mut rng = SplitMix64::seed_from_u64(case);
+        let threshold = rng.gen_index(1, 12);
         let assay = random_assay(seed, params);
         let layering = layer_assay(&assay, threshold).expect("layering never fails on a DAG");
         layering.validate(&assay, threshold).expect("invariants");
@@ -33,147 +40,221 @@ proptest! {
             .filter(|(p, c)| layering.layer_of(*p) != layering.layer_of(*c))
             .count() as u64;
         let storage = layering.boundary_storage(&assay);
-        prop_assert!(storage.iter().sum::<u64>() >= total_cross,
-            "storage {storage:?} vs {total_cross} crossing edges");
+        assert!(
+            storage.iter().sum::<u64>() >= total_cross,
+            "case {case}: storage {storage:?} vs {total_cross} crossing edges"
+        );
     }
+}
 
-    /// Synthesized schedules always pass the full paper-constraint
-    /// validator, for both binding modes.
-    #[test]
-    fn schedules_validate(seed in 0u64..10_000, params in params_strategy()) {
+/// Synthesized schedules always pass the full paper-constraint validator,
+/// for both binding modes.
+#[test]
+fn schedules_validate() {
+    for case in 0..CASES {
+        let (seed, params) = random_case(case, 2);
         let assay = random_assay(seed, params);
-        let ours = Synthesizer::new(SynthConfig::default()).run(&assay).expect("synthesizable");
-        ours.schedule.validate(&assay).expect("ours valid");
-        let conv = mfhls::core::conventional::run(&assay, SynthConfig::default())
+        let ours = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
             .expect("synthesizable");
+        ours.schedule.validate(&assay).expect("ours valid");
+        let conv =
+            mfhls::core::conventional::run(&assay, SynthConfig::default()).expect("synthesizable");
         conv.schedule.validate(&assay).expect("conv valid");
         // Resource budget respected by construction.
-        prop_assert!(ours.schedule.used_device_count() <= 25);
+        assert!(ours.schedule.used_device_count() <= 25, "case {case}");
     }
+}
 
-    /// Synthesis is deterministic: same input, same output.
-    #[test]
-    fn synthesis_is_deterministic(seed in 0u64..10_000) {
+/// Synthesis is deterministic: same input, same output.
+#[test]
+fn synthesis_is_deterministic() {
+    for case in 0..CASES {
+        let (seed, _) = random_case(case, 3);
         let assay = random_assay(seed, RandomAssayParams::default());
-        let a = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
-        let b = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
-        prop_assert_eq!(a.schedule, b.schedule);
+        let a = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("ok");
+        let b = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("ok");
+        assert_eq!(a.schedule, b.schedule, "case {case}");
     }
+}
 
-    /// Executing a valid schedule never errors and never undercuts the
-    /// fixed accounting.
-    #[test]
-    fn simulation_respects_fixed_bound(seed in 0u64..5_000, sim_seed in 0u64..50) {
-        let assay = random_assay(seed, RandomAssayParams::default());
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
-        let run = simulate_hybrid(&assay, &r.schedule, &SimConfig {
-            seed: sim_seed,
-            ..SimConfig::default()
-        }).expect("no runtime conflicts");
-        prop_assert!(run.makespan >= r.schedule.exec_time(&assay).fixed);
-        prop_assert_eq!(run.events.len(), assay.len());
+/// Executing a valid schedule never errors and never undercuts the fixed
+/// accounting.
+#[test]
+fn simulation_respects_fixed_bound() {
+    for case in 0..CASES {
+        let (seed, _) = random_case(case, 4);
+        let mut rng = SplitMix64::seed_from_u64(case);
+        let sim_seed = rng.gen_range_u64(0, 49);
+        let assay = random_assay(seed % 5_000, RandomAssayParams::default());
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("ok");
+        let run = simulate_hybrid(
+            &assay,
+            &r.schedule,
+            &SimConfig {
+                seed: sim_seed,
+                ..SimConfig::default()
+            },
+        )
+        .expect("no runtime conflicts");
+        assert!(
+            run.makespan >= r.schedule.exec_time(&assay).fixed,
+            "case {case}"
+        );
+        assert_eq!(run.events.len(), assay.len(), "case {case}");
     }
+}
 
-    /// DSL print -> parse is the identity on structure.
-    #[test]
-    fn dsl_round_trip(seed in 0u64..10_000, params in params_strategy()) {
+/// DSL print -> parse is the identity on structure.
+#[test]
+fn dsl_round_trip() {
+    for case in 0..CASES {
+        let (seed, params) = random_case(case, 5);
         let assay = random_assay(seed, params);
         let text = mfhls::dsl::to_text(&assay);
         let back = mfhls::dsl::parse(&text).expect("printer output parses");
-        prop_assert_eq!(assay.len(), back.len());
+        assert_eq!(assay.len(), back.len(), "case {case}");
         // Edge *sets* must match; the printer groups edges by child, so
         // the order may differ from the original insertion order.
         let mut original: Vec<_> = assay.dependencies().collect();
         let mut round_tripped: Vec<_> = back.dependencies().collect();
         original.sort_unstable();
         round_tripped.sort_unstable();
-        prop_assert_eq!(original, round_tripped);
+        assert_eq!(original, round_tripped, "case {case}");
         for (id, op) in assay.iter() {
-            prop_assert_eq!(op.requirements(), back.op(id).requirements());
-            prop_assert_eq!(op.duration(), back.op(id).duration());
+            assert_eq!(op.requirements(), back.op(id).requirements(), "case {case}");
+            assert_eq!(op.duration(), back.op(id).duration(), "case {case}");
         }
     }
+}
 
-    /// Progressive re-synthesis never returns a schedule worse than the
-    /// first iteration.
-    #[test]
-    fn resynthesis_never_regresses(seed in 0u64..5_000) {
-        let assay = random_assay(seed, RandomAssayParams {
-            ops: 16,
-            indeterminate_fraction: 0.2,
-            ..RandomAssayParams::default()
-        });
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+/// Progressive re-synthesis never returns a schedule worse than the first
+/// iteration.
+#[test]
+fn resynthesis_never_regresses() {
+    for case in 0..CASES {
+        let (seed, _) = random_case(case, 6);
+        let assay = random_assay(
+            seed % 5_000,
+            RandomAssayParams {
+                ops: 16,
+                indeterminate_fraction: 0.2,
+                ..RandomAssayParams::default()
+            },
+        );
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("ok");
         let best = r.schedule.exec_time(&assay).fixed;
-        prop_assert!(best <= r.iterations[0].exec_time.fixed);
+        assert!(best <= r.iterations[0].exec_time.fixed, "case {case}");
     }
+}
 
-
-    /// Analysis invariants: critical-path ops exist and are unique, device
-    /// utilisation is within [0, 1], peak parallelism never exceeds the
-    /// device count, and total busy time fits devices x makespan.
-    #[test]
-    fn analysis_invariants(seed in 0u64..10_000, params in params_strategy()) {
+/// Analysis invariants: critical-path ops exist and are unique, device
+/// utilisation is within [0, 1], peak parallelism never exceeds the
+/// device count, and total busy time fits devices x makespan.
+#[test]
+fn analysis_invariants() {
+    for case in 0..CASES {
         use mfhls::core::analysis;
+        let (seed, params) = random_case(case, 7);
         let assay = random_assay(seed, params);
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("ok");
         let report = analysis::analyse(&assay, &r.schedule);
-        prop_assert_eq!(report.fixed_makespan, r.schedule.exec_time(&assay).fixed);
+        assert_eq!(
+            report.fixed_makespan,
+            r.schedule.exec_time(&assay).fixed,
+            "case {case}"
+        );
         let mut seen = std::collections::BTreeSet::new();
         for &op in &report.critical_path {
-            prop_assert!(seen.insert(op), "critical path revisits {}", op);
-            prop_assert!(r.schedule.slot(op).is_some());
+            assert!(seen.insert(op), "case {case}: critical path revisits {op}");
+            assert!(r.schedule.slot(op).is_some(), "case {case}");
         }
         let mut busy_total = 0u64;
         for d in &report.devices {
-            prop_assert!(d.utilisation >= 0.0 && d.utilisation <= 1.0 + 1e-9);
+            assert!(
+                d.utilisation >= 0.0 && d.utilisation <= 1.0 + 1e-9,
+                "case {case}"
+            );
             busy_total += d.busy;
         }
-        prop_assert!(
-            busy_total <= report.fixed_makespan * r.schedule.devices.len().max(1) as u64
+        assert!(
+            busy_total <= report.fixed_makespan * r.schedule.devices.len().max(1) as u64,
+            "case {case}"
         );
         for p in &report.parallelism {
-            prop_assert!(p.peak <= r.schedule.devices.len());
+            assert!(p.peak <= r.schedule.devices.len(), "case {case}");
         }
-        prop_assert_eq!(
+        assert_eq!(
             report.boundary_storage,
-            r.layering.boundary_storage(&assay)
+            r.layering.boundary_storage(&assay),
+            "case {case}"
         );
     }
+}
 
-    /// The floorplan report's arithmetic is internally consistent for any
-    /// synthesized chip.
-    #[test]
-    fn floorplan_consistency(seed in 0u64..10_000) {
+/// The floorplan report's arithmetic is internally consistent for any
+/// synthesized chip.
+#[test]
+fn floorplan_consistency() {
+    for case in 0..CASES {
         use mfhls::chip::{control::ControlModel, floorplan, CostModel};
+        let (seed, _) = random_case(case, 8);
         let assay = random_assay(seed, RandomAssayParams::default());
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("ok");
         let netlist = r.schedule.to_netlist(&assay);
         let spec = floorplan::ChipSpec::default();
-        let report = floorplan::check(&netlist, &spec, &CostModel::default(), &ControlModel::default());
-        prop_assert!(report.total_area >= report.device_area);
-        prop_assert_eq!(
+        let report = floorplan::check(
+            &netlist,
+            &spec,
+            &CostModel::default(),
+            &ControlModel::default(),
+        );
+        assert!(report.total_area >= report.device_area, "case {case}");
+        assert_eq!(
             report.fits,
-            report.total_area <= spec.max_area
-                && report.control.total_ports() <= spec.max_ports
+            report.total_area <= spec.max_area && report.control.total_ports() <= spec.max_ports,
+            "case {case}"
         );
         // Shared pump drive never needs more ports than individual drive.
         let individual = floorplan::check(
             &netlist,
-            &floorplan::ChipSpec { shared_pump_drive: false, ..spec },
+            &floorplan::ChipSpec {
+                shared_pump_drive: false,
+                ..spec
+            },
             &CostModel::default(),
             &ControlModel::default(),
         );
-        prop_assert!(report.control.control_ports <= individual.control.control_ports);
+        assert!(
+            report.control.control_ports <= individual.control.control_ports,
+            "case {case}"
+        );
     }
+}
 
-    /// CSV exports stay rectangular: every row has the header's column
-    /// count, one row per operation.
-    #[test]
-    fn csv_export_is_rectangular(seed in 0u64..10_000) {
+/// CSV exports stay rectangular: every row has the header's column count,
+/// one row per operation.
+#[test]
+fn csv_export_is_rectangular() {
+    for case in 0..CASES {
         use mfhls::core::export;
+        let (seed, _) = random_case(case, 9);
         let assay = random_assay(seed, RandomAssayParams::default());
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("ok");
         // Quote-aware column counter (quoted fields may contain commas,
         // e.g. accessory sets).
         fn cols(line: &str) -> usize {
@@ -188,45 +269,63 @@ proptest! {
             }
             n
         }
-        for csv in [export::schedule_csv(&assay, &r.schedule), export::assay_csv(&assay)] {
+        for csv in [
+            export::schedule_csv(&assay, &r.schedule),
+            export::assay_csv(&assay),
+        ] {
             let mut lines = csv.lines();
             let header_cols = cols(lines.next().expect("header"));
             let mut rows = 0;
             for line in lines {
                 rows += 1;
-                prop_assert_eq!(cols(line), header_cols, "line {}", line);
+                assert_eq!(cols(line), header_cols, "case {case}: line {line}");
             }
-            prop_assert_eq!(rows, assay.len());
+            assert_eq!(rows, assay.len(), "case {case}");
         }
     }
+}
 
-    /// Gantt rendering never panics and mentions every device lane.
-    #[test]
-    fn gantt_renders_any_schedule(seed in 0u64..10_000, width in 1usize..200) {
+/// Gantt rendering never panics and mentions every device lane.
+#[test]
+fn gantt_renders_any_schedule() {
+    for case in 0..CASES {
         use mfhls::core::render;
+        let (seed, _) = random_case(case, 10);
+        let mut rng = SplitMix64::seed_from_u64(case);
+        let width = rng.gen_index(1, 200);
         let assay = random_assay(seed, RandomAssayParams::default());
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("ok");
         let chart = render::gantt(&assay, &r.schedule, width);
         for layer in &r.schedule.layers {
             for slot in &layer.ops {
                 let lane = format!("d{}", slot.device);
-                prop_assert!(chart.contains(&lane), "missing lane {}", lane);
+                assert!(chart.contains(&lane), "case {case}: missing lane {lane}");
             }
         }
     }
+}
 
-    /// The transport estimates after refinement stay within the
-    /// user-declared progression.
-    #[test]
-    fn transport_refinement_bounded(seed in 0u64..10_000) {
+/// The transport estimates after refinement stay within the user-declared
+/// progression.
+#[test]
+fn transport_refinement_bounded() {
+    for case in 0..CASES {
         use mfhls::core::{TransportConfig, TransportTimes};
+        let (seed, _) = random_case(case, 11);
         let assay = random_assay(seed, RandomAssayParams::default());
-        let r = Synthesizer::new(SynthConfig::default()).run(&assay).expect("ok");
+        let r = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .expect("ok");
         let cfg = TransportConfig::default();
         let refined = TransportTimes::refined(&assay, &cfg, &r.schedule.device_of(&assay));
         for op in assay.op_ids() {
             let t = refined.of(op);
-            prop_assert!(t == 0 || (cfg.progression.min..=cfg.progression.max).contains(&t));
+            assert!(
+                t == 0 || (cfg.progression.min..=cfg.progression.max).contains(&t),
+                "case {case}"
+            );
         }
     }
 }
