@@ -1,23 +1,71 @@
 //! Benches for the end-to-end synthesis flow: one benchmark per Table 2
 //! row pair (our method and the conventional baseline on each case), plus
 //! the progressive re-synthesis loop behind Table 3. Uses the vendored
-//! `mfhls_bench::timing` harness.
+//! `mfhls_bench::timing` harness and writes a machine-readable
+//! `BENCH_synthesis.json` (per-assay wall-clock, exec-time, layer-cache
+//! hit rate) for CI smoke checks and regression diffing.
+//!
+//! Sample count defaults to 10; set `MFHLS_BENCH_SAMPLES` to override
+//! (CI smoke runs use a small value). The report lands in the working
+//! directory (the `crates/bench` package dir under `cargo bench`) unless
+//! `MFHLS_BENCH_OUT` names another path.
 
-use mfhls_bench::timing::bench;
+use mfhls_bench::report::{CaseReport, SynthesisReport};
+use mfhls_bench::timing::{bench, measure, samples_from_env};
+use mfhls_bench::CaseResult;
 use mfhls_core::SynthConfig;
 
-fn table2() {
-    for (case, _, assay) in mfhls_assays::benchmarks() {
-        bench("table2", &format!("ours_case{case}"), 10, || {
-            mfhls_bench::run_ours(&assay, SynthConfig::default())
-        });
-        bench("table2", &format!("conventional_case{case}"), 10, || {
-            mfhls_bench::run_conventional(&assay, SynthConfig::default())
-        });
+fn case_report(
+    name: String,
+    method: &str,
+    sample: mfhls_bench::timing::Sample,
+    r: &CaseResult,
+) -> CaseReport {
+    let (hits, misses) = r.result.iterations.iter().fold((0u64, 0u64), |(h, m), it| {
+        (h + it.cache_hits, m + it.cache_misses)
+    });
+    CaseReport {
+        name,
+        method: method.to_string(),
+        wall: sample,
+        exec: r.exec.clone(),
+        exec_fixed: r.result.final_stats().exec_time.fixed,
+        devices: r.devices,
+        paths: r.paths,
+        iterations: r.result.iterations.len(),
+        cache_hits: hits,
+        cache_misses: misses,
     }
 }
 
-fn table3() {
+fn table2(samples: usize) -> Vec<CaseReport> {
+    let mut cases = Vec::new();
+    for (case, _, assay) in mfhls_assays::benchmarks() {
+        let (wall, r) = measure(samples, || {
+            mfhls_bench::run_ours(&assay, SynthConfig::default())
+        });
+        let name = format!("ours_case{case}");
+        print_line(&name, wall);
+        cases.push(case_report(name, "ours", wall, &r));
+
+        let (wall, r) = measure(samples, || {
+            mfhls_bench::run_conventional(&assay, SynthConfig::default())
+        });
+        let name = format!("conventional_case{case}");
+        print_line(&name, wall);
+        cases.push(case_report(name, "conventional", wall, &r));
+    }
+    cases
+}
+
+fn print_line(name: &str, s: mfhls_bench::timing::Sample) {
+    println!(
+        "table2/{name:<24} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        s.min, s.median, s.mean, s.count
+    );
+}
+
+fn table3(samples: usize) {
     for (case, _, assay) in mfhls_assays::benchmarks() {
         if assay.indeterminate_ops().is_empty() {
             continue;
@@ -26,7 +74,7 @@ fn table3() {
         bench(
             "table3_resynthesis",
             &format!("initial_only_case{case}"),
-            10,
+            samples,
             || {
                 mfhls_bench::run_ours(
                     &assay,
@@ -40,13 +88,27 @@ fn table3() {
         bench(
             "table3_resynthesis",
             &format!("progressive_case{case}"),
-            10,
+            samples,
             || mfhls_bench::run_ours(&assay, SynthConfig::default()),
         );
     }
 }
 
 fn main() {
-    table2();
-    table3();
+    let samples = samples_from_env(10);
+    let cases = table2(samples);
+    table3(samples);
+
+    let report = SynthesisReport {
+        threads: mfhls_par::max_threads(),
+        samples,
+        cases,
+    };
+    let path =
+        std::env::var("MFHLS_BENCH_OUT").unwrap_or_else(|_| "BENCH_synthesis.json".to_string());
+    let path = std::path::Path::new(&path);
+    match report.write(path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
 }

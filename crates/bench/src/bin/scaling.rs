@@ -15,11 +15,13 @@ use mfhls_core::SynthConfig;
 
 fn main() {
     println!("Scaling: single-cell RT-qPCR, 6 ops per cell, |D| = 25, t = 10\n");
-    let mut rows = Vec::new();
-    for cells in [5usize, 10, 20, 40, 80] {
+    let sizes = [5usize, 10, 20, 40, 80];
+    // Each cell count is an independent synthesis; fan out across the pool
+    // and keep the rows in input order.
+    let rows: Vec<Vec<String>> = mfhls_par::par_map(&sizes, |&cells| {
         let assay = mfhls_assays::rtqpcr(cells);
         let r = run_ours(&assay, SynthConfig::default());
-        rows.push(vec![
+        vec![
             cells.to_string(),
             assay.len().to_string(),
             r.result.layering.num_layers().to_string(),
@@ -27,8 +29,8 @@ fn main() {
             r.devices.to_string(),
             r.paths.to_string(),
             fmt_runtime(r.runtime),
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
             "cells",

@@ -27,12 +27,19 @@ use mfhls_core::SynthConfig;
 fn main() {
     println!("Table 2: Synthesis Results for Bioassays");
     println!("(|D| = 25, indeterminate threshold t = 10)\n");
-    let mut rows = Vec::new();
-    for (case, tag, assay) in mfhls_assays::benchmarks() {
+    let benchmarks = mfhls_assays::benchmarks();
+    // One work item per assay; results come back in input order, so the
+    // table rows are identical at any thread count.
+    let results = mfhls_par::par_map(&benchmarks, |(_, _, assay)| {
         let config = SynthConfig::default();
-        let conv = run_conventional(&assay, config.clone());
-        let ours = run_ours(&assay, config);
-        for (label, r) in [("Conv.", &conv), ("Our", &ours)] {
+        (
+            run_conventional(assay, config.clone()),
+            run_ours(assay, config),
+        )
+    });
+    let mut rows = Vec::new();
+    for ((case, tag, assay), (conv, ours)) in benchmarks.iter().zip(&results) {
+        for (label, r) in [("Conv.", conv), ("Our", ours)] {
             rows.push(vec![
                 format!("{case} {tag}"),
                 format!(

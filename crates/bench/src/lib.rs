@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod timing;
 
 use mfhls_core::{Assay, SynthConfig, SynthesisResult, Synthesizer};

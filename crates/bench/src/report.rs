@@ -1,0 +1,190 @@
+//! Machine-readable benchmark reports.
+//!
+//! The `synthesis` bench target writes a `BENCH_synthesis.json` next to its
+//! console output so CI (and regression tooling) can diff per-assay
+//! wall-clock, execution time, and layer-cache hit rates without scraping
+//! stdout. The workspace builds offline, so the JSON is hand-rolled here —
+//! the schema is flat enough that serde would be overkill anyway.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::timing::Sample;
+
+/// Schema tag stamped into every report, bumped on breaking changes.
+pub const SCHEMA: &str = "mfhls-bench-synthesis/v1";
+
+/// One benchmarked (assay, method) pair.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Bench case name, e.g. `ours_case2`.
+    pub name: String,
+    /// `ours` or `conventional`.
+    pub method: String,
+    /// Wall-clock timing over the samples.
+    pub wall: Sample,
+    /// Execution time string in the paper's format (e.g. `244m+I1`).
+    pub exec: String,
+    /// Fixed part of the execution time, in time units.
+    pub exec_fixed: u64,
+    /// Devices used.
+    pub devices: usize,
+    /// Transportation paths used.
+    pub paths: usize,
+    /// Re-synthesis iterations run.
+    pub iterations: usize,
+    /// Layer sub-problems served from the memo cache, summed over
+    /// iterations.
+    pub cache_hits: u64,
+    /// Layer sub-problems solved from scratch, summed over iterations.
+    pub cache_misses: u64,
+}
+
+impl CaseReport {
+    /// Cache hit rate in `[0, 1]`, or 0 when the cache saw no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The full report written to `BENCH_synthesis.json`.
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    /// Worker threads the run used (`mfhls_par::max_threads()`).
+    pub threads: usize,
+    /// Samples per case.
+    pub samples: usize,
+    /// One entry per benchmarked (assay, method) pair.
+    pub cases: Vec<CaseReport>,
+}
+
+impl SynthesisReport {
+    /// Renders the report as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(SCHEMA));
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"samples\": {},", self.samples);
+        let _ = writeln!(out, "  \"cases\": [");
+        for (k, c) in self.cases.iter().enumerate() {
+            let comma = if k + 1 < self.cases.len() { "," } else { "" };
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"name\": {},", json_str(&c.name));
+            let _ = writeln!(out, "      \"method\": {},", json_str(&c.method));
+            let _ = writeln!(out, "      \"wall_ms\": {{");
+            let _ = writeln!(out, "        \"min\": {},", json_ms(c.wall.min));
+            let _ = writeln!(out, "        \"median\": {},", json_ms(c.wall.median));
+            let _ = writeln!(out, "        \"mean\": {},", json_ms(c.wall.mean));
+            let _ = writeln!(out, "        \"count\": {}", c.wall.count);
+            let _ = writeln!(out, "      }},");
+            let _ = writeln!(out, "      \"exec\": {},", json_str(&c.exec));
+            let _ = writeln!(out, "      \"exec_fixed\": {},", c.exec_fixed);
+            let _ = writeln!(out, "      \"devices\": {},", c.devices);
+            let _ = writeln!(out, "      \"paths\": {},", c.paths);
+            let _ = writeln!(out, "      \"iterations\": {},", c.iterations);
+            let _ = writeln!(out, "      \"cache_hits\": {},", c.cache_hits);
+            let _ = writeln!(out, "      \"cache_misses\": {},", c.cache_misses);
+            let _ = writeln!(out, "      \"cache_hit_rate\": {:.6}", c.hit_rate());
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+fn json_ms(d: Duration) -> String {
+    format!("{:.6}", d.as_secs_f64() * 1e3)
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SynthesisReport {
+        SynthesisReport {
+            threads: 4,
+            samples: 3,
+            cases: vec![CaseReport {
+                name: "ours_case1".into(),
+                method: "ours".into(),
+                wall: Sample {
+                    min: Duration::from_micros(1500),
+                    median: Duration::from_micros(2000),
+                    mean: Duration::from_micros(1800),
+                    count: 3,
+                },
+                exec: "110m".into(),
+                exec_fixed: 110,
+                devices: 5,
+                paths: 5,
+                iterations: 2,
+                cache_hits: 3,
+                cache_misses: 5,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_schema_and_case_fields() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"schema\": \"mfhls-bench-synthesis/v1\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"name\": \"ours_case1\""));
+        assert!(json.contains("\"min\": 1.500000"));
+        assert!(json.contains("\"cache_hit_rate\": 0.375000"));
+        // Balanced braces/brackets — a cheap structural sanity check in
+        // lieu of a JSON parser.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        let mut report = sample_report();
+        report.cases[0].cache_hits = 0;
+        report.cases[0].cache_misses = 0;
+        assert_eq!(report.cases[0].hit_rate(), 0.0);
+    }
+}

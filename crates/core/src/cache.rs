@@ -1,0 +1,231 @@
+//! Layer-solution memoization for progressive re-synthesis.
+//!
+//! Re-synthesis (§3.2) repeatedly re-solves per-layer scheduling problems;
+//! across iterations many of those sub-problems are *structurally
+//! identical* — same device pool, same inherited paths, same transport
+//! estimates. A [`LayerCache`] lives for the duration of one
+//! [`Synthesizer::run_seeded`](crate::Synthesizer::run_seeded) call and maps
+//! the structural identity of a sub-problem to its solved
+//! [`LayerSolution`], so a revisit skips the solver entirely.
+//!
+//! Because the cache never outlives a run, everything constant within a run
+//! (the assay, the layering, weights, costs, the solver configuration, the
+//! device budget, the binding mode) is deliberately *not* part of the key.
+//! The key captures exactly the inputs that vary between passes:
+//!
+//! * the layer index (which fixes the op set under a fixed layering — the
+//!   ops are still stored verbatim as a guard),
+//! * the inherited device pool and its bindability mask,
+//! * the transport paths accumulated by earlier layers,
+//! * cross-layer parent placements, and
+//! * the per-op transport-time estimates (these change whenever transport
+//!   refinement changes an op's estimate).
+//!
+//! All built-in solvers are deterministic functions of the
+//! [`LayerProblem`](crate::LayerProblem), so replaying a cached solution is
+//! observationally identical to re-solving — schedules are bitwise equal
+//! with the cache on or off.
+
+use crate::{LayerProblem, LayerSolution, OpId};
+use mfhls_chip::DeviceConfig;
+use std::collections::HashMap;
+
+/// The structural identity of one per-layer sub-problem; see the module
+/// docs for what is (and is not) part of the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerKey {
+    layer: usize,
+    ops: Vec<OpId>,
+    devices: Vec<DeviceConfig>,
+    bindable: Vec<bool>,
+    existing_paths: Vec<(usize, usize)>,
+    cross_inputs: Vec<(OpId, usize)>,
+    transport: Vec<u64>,
+}
+
+impl LayerKey {
+    /// Extracts the structural key of `problem` as posed for `layer`.
+    pub fn of(problem: &LayerProblem<'_>, layer: usize) -> LayerKey {
+        LayerKey {
+            layer,
+            ops: problem.ops.clone(),
+            devices: problem.devices.clone(),
+            bindable: problem.bindable.clone(),
+            existing_paths: problem.existing_paths.iter().copied().collect(),
+            cross_inputs: problem.cross_inputs.clone(),
+            transport: problem
+                .ops
+                .iter()
+                .map(|&o| problem.transport.of(o))
+                .collect(),
+        }
+    }
+}
+
+/// A per-run memo table of solved layer sub-problems with hit/miss
+/// accounting. See the module docs for the key contract.
+#[derive(Debug, Default)]
+pub struct LayerCache {
+    map: HashMap<LayerKey, LayerSolution>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LayerCache {
+    /// Creates an empty cache.
+    pub fn new() -> LayerCache {
+        LayerCache::default()
+    }
+
+    /// Looks up a solution, counting a hit or a miss.
+    pub fn lookup(&mut self, key: &LayerKey) -> Option<LayerSolution> {
+        match self.map.get(key) {
+            Some(sol) => {
+                self.hits += 1;
+                Some(sol.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is present, without touching the counters.
+    pub fn contains(&self, key: &LayerKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Stores a solution (counted as part of the preceding
+    /// [`LayerCache::lookup`] miss).
+    pub fn insert(&mut self, key: LayerKey, solution: LayerSolution) {
+        self.map.insert(key, solution);
+    }
+
+    /// Stores a speculatively pre-solved solution without touching the
+    /// counters — used by the parallel pre-solve phase, whose predictions
+    /// are not demand lookups.
+    pub fn warm(&mut self, key: LayerKey, solution: LayerSolution) {
+        self.map.entry(key).or_insert(solution);
+    }
+
+    /// Demand lookups that found a solution since the last
+    /// [`LayerCache::take_counters`] call.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand lookups that missed since the last
+    /// [`LayerCache::take_counters`] call.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached layer solutions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Returns `(hits, misses)` accumulated since the previous call and
+    /// resets both counters — one call per re-synthesis iteration gives
+    /// per-iteration figures.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        let out = (self.hits, self.misses);
+        self.hits = 0;
+        self.misses = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        Assay, Duration, LayerSolver, Operation, TransportConfig, TransportTimes, Weights,
+    };
+    use mfhls_chip::CostModel;
+    use std::collections::BTreeSet;
+
+    fn assay() -> Assay {
+        let mut a = Assay::new("t");
+        a.add_op(Operation::new("x").with_duration(Duration::fixed(5)));
+        a.add_op(Operation::new("y").with_duration(Duration::fixed(3)));
+        a
+    }
+
+    fn problem<'a>(
+        assay: &'a Assay,
+        transport: &'a TransportTimes,
+        costs: &'a CostModel,
+    ) -> LayerProblem<'a> {
+        LayerProblem {
+            assay,
+            ops: assay.op_ids().collect(),
+            devices: vec![],
+            bindable: vec![],
+            max_devices: 4,
+            transport,
+            weights: Weights::default(),
+            costs,
+            existing_paths: BTreeSet::new(),
+            cross_inputs: vec![],
+            component_oriented: true,
+        }
+    }
+
+    #[test]
+    fn identical_problems_share_a_key() {
+        let a = assay();
+        let t = TransportTimes::initial(&a, &TransportConfig::default());
+        let costs = CostModel::default();
+        let k1 = LayerKey::of(&problem(&a, &t, &costs), 0);
+        let k2 = LayerKey::of(&problem(&a, &t, &costs), 0);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn key_distinguishes_layer_paths_and_transport() {
+        let a = assay();
+        let t = TransportTimes::initial(&a, &TransportConfig::default());
+        let costs = CostModel::default();
+        let base = LayerKey::of(&problem(&a, &t, &costs), 0);
+        assert_ne!(base, LayerKey::of(&problem(&a, &t, &costs), 1));
+        let mut with_path = problem(&a, &t, &costs);
+        with_path.existing_paths.insert((0, 1));
+        assert_ne!(base, LayerKey::of(&with_path, 0));
+        let device_of = vec![0usize, 0];
+        let refined = TransportTimes::refined(&a, &TransportConfig::default(), &device_of);
+        let refined_problem = problem(&a, &refined, &costs);
+        let refined_key = LayerKey::of(&refined_problem, 0);
+        // Refinement with everything co-located drops transport estimates.
+        assert_ne!(base, refined_key);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let a = assay();
+        let t = TransportTimes::initial(&a, &TransportConfig::default());
+        let costs = CostModel::default();
+        let p = problem(&a, &t, &costs);
+        let key = LayerKey::of(&p, 0);
+        let mut cache = LayerCache::new();
+        assert!(cache.lookup(&key).is_none());
+        let sol = crate::solver::SolverKind::default().solve(&p).unwrap();
+        cache.insert(key.clone(), sol.clone());
+        assert!(cache.contains(&key));
+        assert_eq!(cache.lookup(&key), Some(sol.clone()));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.take_counters(), (1, 1));
+        assert_eq!(cache.take_counters(), (0, 0));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+        // warm never overwrites and never counts.
+        cache.warm(key.clone(), sol);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+}

@@ -24,6 +24,7 @@
 use crate::problem::path_key;
 use crate::{CoreError, LayerProblem, LayerSolution, LayerSolver, OpId, ScheduledOp};
 use mfhls_chip::DeviceConfig;
+use mfhls_graph::BitSet;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The heuristic solver; see the module docs.
@@ -43,8 +44,9 @@ impl Default for HeuristicLayerSolver {
 
 impl LayerSolver for HeuristicLayerSolver {
     fn solve(&self, p: &LayerProblem<'_>) -> Result<LayerSolution, CoreError> {
+        let ctx = Ctx::new(p);
         let (det_order, ind_order) = priority_orders(p)?;
-        let mut best = construct(p, &det_order, &ind_order)?;
+        let mut best = construct(p, &ctx, &det_order, &ind_order)?;
 
         for _ in 0..self.improvement_passes {
             let mut improved_any = false;
@@ -59,21 +61,42 @@ impl LayerSolver for HeuristicLayerSolver {
                         op.index()
                     )));
                 };
-                for d in 0..best.devices.len() {
-                    if d == current {
-                        continue;
-                    }
-                    let mut cand = binding.clone();
-                    cand.insert(op, d);
-                    if let Some(sol) =
-                        schedule_with_binding(p, &det_order, &ind_order, &cand, &best)
-                    {
-                        if sol.objective < best.objective {
-                            best = sol;
-                            improved_any = true;
-                            break; // next op, with a fresh binding map
+                let alternatives: Vec<usize> =
+                    (0..best.devices.len()).filter(|&d| d != current).collect();
+                // Adoption rule: the first improving device in ascending
+                // order. The parallel path evaluates every alternative and
+                // keeps the first improving one, which is exactly what the
+                // sequential early-break finds — results are identical at
+                // any thread count.
+                let adopted = if mfhls_par::max_threads() > 1 && alternatives.len() > 1 {
+                    mfhls_par::par_map(&alternatives, |&d| {
+                        let mut cand = binding.clone();
+                        cand.insert(op, d);
+                        schedule_with_binding(p, &ctx, &det_order, &ind_order, &cand, &best)
+                            .filter(|sol| sol.objective < best.objective)
+                    })
+                    .into_iter()
+                    .flatten()
+                    .next()
+                } else {
+                    let mut found = None;
+                    for &d in &alternatives {
+                        let mut cand = binding.clone();
+                        cand.insert(op, d);
+                        if let Some(sol) =
+                            schedule_with_binding(p, &ctx, &det_order, &ind_order, &cand, &best)
+                        {
+                            if sol.objective < best.objective {
+                                found = Some(sol);
+                                break; // next op, with a fresh binding map
+                            }
                         }
                     }
+                    found
+                };
+                if let Some(sol) = adopted {
+                    best = sol;
+                    improved_any = true;
                 }
             }
             if !improved_any {
@@ -81,6 +104,99 @@ impl LayerSolver for HeuristicLayerSolver {
             }
         }
         Ok(best)
+    }
+}
+
+/// A set of unordered device-index pairs `(a, b)` with `a <= b` (the shape
+/// produced by [`path_key`]), backed by a fixed-capacity bitset over
+/// `a * cap + b`. Replaces the per-candidate `BTreeSet<(usize, usize)>`
+/// allocations on the binding hot path.
+#[derive(Clone)]
+struct PairSet {
+    bits: BitSet,
+    cap: usize,
+}
+
+impl PairSet {
+    /// Capacity for device indices `0..cap`.
+    fn new(cap: usize) -> PairSet {
+        PairSet {
+            bits: BitSet::new(cap * cap),
+            cap,
+        }
+    }
+
+    fn encode(&self, (a, b): (usize, usize)) -> usize {
+        debug_assert!(a <= b, "pair keys are ordered");
+        a * self.cap + b
+    }
+
+    fn contains(&self, key: (usize, usize)) -> bool {
+        self.bits.contains(self.encode(key))
+    }
+
+    fn insert(&mut self, key: (usize, usize)) -> bool {
+        let k = self.encode(key);
+        self.bits.insert(k)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cap = self.cap;
+        self.bits.iter().map(move |k| (k / cap, k % cap))
+    }
+}
+
+/// Immutable per-problem context computed once per [`HeuristicLayerSolver::solve`]
+/// call: in-layer parent lists, internal-child flags, fresh-device configs,
+/// and the existing-path bitset. Hoists the per-candidate `assay.parents`
+/// edge scans and `BTreeSet` rebuilds out of the hot scheduling loops.
+struct Ctx {
+    /// In-layer parents per *global* op index. Ops outside the layer never
+    /// hold slots, so only in-layer parents can constrain ready times or
+    /// contribute paths.
+    parents: Vec<Vec<OpId>>,
+    /// Whether the (layer) op has at least one child inside the layer.
+    internal_child: Vec<bool>,
+    /// Fresh-device config per global op index (layer ops only).
+    fresh: Vec<Option<DeviceConfig>>,
+    /// Paths that already exist on the chip.
+    existing: PairSet,
+    /// Device-index capacity of every [`PairSet`] of this problem: the
+    /// inherited pool plus at most one created device per layer op.
+    pair_cap: usize,
+}
+
+impl Ctx {
+    fn new(p: &LayerProblem<'_>) -> Ctx {
+        let n = p.assay.len();
+        let mut in_layer = vec![false; n];
+        for &o in &p.ops {
+            in_layer[o.index()] = true;
+        }
+        let mut parents: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        let mut internal_child = vec![false; n];
+        for (q, c) in p.assay.dependencies() {
+            if in_layer[q.index()] && in_layer[c.index()] {
+                parents[c.index()].push(q);
+                internal_child[q.index()] = true;
+            }
+        }
+        let mut fresh = vec![None; n];
+        for &o in &p.ops {
+            fresh[o.index()] = fresh_config(p, o);
+        }
+        let pair_cap = p.devices.len() + p.ops.len() + 1;
+        let mut existing = PairSet::new(pair_cap);
+        for &k in &p.existing_paths {
+            existing.insert(k);
+        }
+        Ctx {
+            parents,
+            internal_child,
+            fresh,
+            existing,
+            pair_cap,
+        }
     }
 }
 
@@ -151,65 +267,87 @@ fn priority_orders(p: &LayerProblem<'_>) -> Result<(Vec<OpId>, Vec<OpId>), CoreE
 /// Mutable scheduling state shared by construction and re-evaluation.
 struct State<'p, 'a> {
     p: &'p LayerProblem<'a>,
+    ctx: &'p Ctx,
     devices: Vec<DeviceConfig>,
     /// Device indices created by this layer.
     created: BTreeSet<usize>,
     avail: Vec<u64>,
     slots: BTreeMap<OpId, ScheduledOp>,
-    new_paths: BTreeSet<(usize, usize)>,
+    new_paths: PairSet,
     /// Creation quotas per fresh config (see [`provision_quotas`]); empty
     /// when quotas are not enforced (re-evaluation never creates devices).
     quotas: BTreeMap<DeviceConfig, usize>,
     /// Devices created so far per fresh config.
     created_of: BTreeMap<DeviceConfig, usize>,
+    /// `compat_any[op]` — some current device can host `op`. Maintained
+    /// incrementally by [`apply_decision`] (devices are only appended or
+    /// gain accessories, so compatibility never regresses). Empty until
+    /// [`State::init_compat`] runs; only `construct` needs it.
+    compat_any: Vec<bool>,
 }
 
 impl<'p, 'a> State<'p, 'a> {
-    fn new(p: &'p LayerProblem<'a>) -> Self {
+    fn new(p: &'p LayerProblem<'a>, ctx: &'p Ctx) -> Self {
         State {
             p,
+            ctx,
             devices: p.devices.clone(),
             created: BTreeSet::new(),
             avail: vec![0; p.devices.len()],
             slots: BTreeMap::new(),
-            new_paths: BTreeSet::new(),
+            new_paths: PairSet::new(ctx.pair_cap),
             quotas: BTreeMap::new(),
             created_of: BTreeMap::new(),
+            compat_any: Vec::new(),
         }
     }
 
     /// Earliest start of `op` given its already-scheduled in-layer parents.
     fn ready_time(&self, op: OpId) -> u64 {
-        self.p
-            .assay
-            .parents(op)
-            .into_iter()
-            .filter_map(|q| self.slots.get(&q))
+        self.ctx.parents[op.index()]
+            .iter()
+            .filter_map(|q| self.slots.get(q))
             .map(|s| s.start + s.duration + self.p.transport.of(s.op))
             .max()
             .unwrap_or(0)
     }
 
-    /// Whether `op` has at least one child inside this layer (its device is
-    /// held for transport after it finishes).
-    fn has_internal_child(&self, op: OpId) -> bool {
-        let inside: BTreeSet<OpId> = self.p.ops.iter().copied().collect();
-        self.p
-            .assay
-            .children(op)
-            .into_iter()
-            .any(|c| inside.contains(&c))
+    /// Populates `compat_any` from the current device pool.
+    fn init_compat(&mut self) {
+        let mut compat = vec![false; self.p.assay.len()];
+        for &op in &self.p.ops {
+            compat[op.index()] = (0..self.devices.len()).any(|d| device_compatible(self, op, d));
+        }
+        self.compat_any = compat;
     }
 
-    /// Distinct *new* paths that binding `op` to `device` would create.
-    fn added_paths(&self, op: OpId, device: usize) -> BTreeSet<(usize, usize)> {
-        let mut added = BTreeSet::new();
-        for q in self.p.assay.parents(op) {
-            if let Some(s) = self.slots.get(&q) {
+    /// Re-checks still-unsatisfiable ops against device `d` after it was
+    /// created or retrofitted.
+    fn refresh_compat_for(&mut self, d: usize) {
+        if self.compat_any.is_empty() {
+            return;
+        }
+        for i in 0..self.p.ops.len() {
+            let op = self.p.ops[i];
+            if !self.compat_any[op.index()] && device_compatible(self, op, d) {
+                self.compat_any[op.index()] = true;
+            }
+        }
+    }
+
+    /// Number of distinct *new* paths that binding `op` to `device` would
+    /// create.
+    fn added_path_count(&self, op: OpId, device: usize) -> u64 {
+        let mut added: Vec<(usize, usize)> = Vec::new();
+        for q in &self.ctx.parents[op.index()] {
+            if let Some(s) = self.slots.get(q) {
                 if s.device != device {
                     let k = path_key(s.device, device);
-                    if !self.p.existing_paths.contains(&k) && !self.new_paths.contains(&k) {
-                        added.insert(k);
+                    if !self.ctx.existing.contains(k)
+                        && !self.new_paths.contains(k)
+                        && !added.contains(&k)
+                    {
+                        added.push(k);
                     }
                 }
             }
@@ -217,25 +355,50 @@ impl<'p, 'a> State<'p, 'a> {
         for &(child, pd) in &self.p.cross_inputs {
             if child == op && pd != device {
                 let k = path_key(pd, device);
-                if !self.p.existing_paths.contains(&k) && !self.new_paths.contains(&k) {
-                    added.insert(k);
+                if !self.ctx.existing.contains(k)
+                    && !self.new_paths.contains(k)
+                    && !added.contains(&k)
+                {
+                    added.push(k);
                 }
             }
         }
-        added
+        added.len() as u64
+    }
+
+    /// Inserts the new paths that binding `op` to `device` creates.
+    fn commit_paths(&mut self, op: OpId, device: usize) {
+        for qi in 0..self.ctx.parents[op.index()].len() {
+            let q = self.ctx.parents[op.index()][qi];
+            if let Some(s) = self.slots.get(&q) {
+                if s.device != device {
+                    let k = path_key(s.device, device);
+                    if !self.ctx.existing.contains(k) {
+                        self.new_paths.insert(k);
+                    }
+                }
+            }
+        }
+        for ci in 0..self.p.cross_inputs.len() {
+            let (child, pd) = self.p.cross_inputs[ci];
+            if child == op && pd != device {
+                let k = path_key(pd, device);
+                if !self.ctx.existing.contains(k) {
+                    self.new_paths.insert(k);
+                }
+            }
+        }
     }
 
     /// Records a slot and its induced paths.
     fn commit(&mut self, op: OpId, device: usize, start: u64) {
         let dur = self.p.assay.op(op).duration().min_duration();
-        let transport = if self.has_internal_child(op) {
+        let transport = if self.ctx.internal_child[op.index()] {
             self.p.transport.of(op)
         } else {
             0
         };
-        for k in self.added_paths(op, device) {
-            self.new_paths.insert(k);
-        }
+        self.commit_paths(op, device);
         self.slots.insert(
             op,
             ScheduledOp {
@@ -288,7 +451,7 @@ impl<'p, 'a> State<'p, 'a> {
             .collect();
         let new_paths: BTreeSet<(usize, usize)> = self
             .new_paths
-            .into_iter()
+            .iter()
             .map(|(a, b)| path_key(remap[&a], remap[&b]))
             .collect();
         let new_devices: Vec<usize> = self
@@ -398,9 +561,8 @@ fn forced_reserve(
 ) -> usize {
     let mut configs: BTreeSet<DeviceConfig> = BTreeSet::new();
     for &op in remaining_det {
-        let satisfied = (0..state.devices.len()).any(|d| device_compatible(state, op, d));
-        if !satisfied {
-            if let Some(cfg) = fresh_config(state.p, op) {
+        if !state.compat_any[op.index()] {
+            if let Some(cfg) = state.ctx.fresh[op.index()] {
                 configs.insert(cfg);
             }
         }
@@ -461,7 +623,7 @@ fn candidates(
     let forced = out.is_empty();
     let effective_reserve = if forced { 0 } else { reserve };
     if active_device_count(state) + effective_reserve < p.max_devices {
-        if let Some(cfg) = fresh_config(p, op) {
+        if let Some(cfg) = state.ctx.fresh[op.index()] {
             let within_quota = state
                 .quotas
                 .get(&cfg)
@@ -491,7 +653,7 @@ fn provision_quotas(
     let mut work: BTreeMap<DeviceConfig, u64> = BTreeMap::new();
     let mut ops_count: BTreeMap<DeviceConfig, usize> = BTreeMap::new();
     for &op in det_order.iter().chain(ind_order) {
-        if let Some(cfg) = fresh_config(p, op) {
+        if let Some(cfg) = state.ctx.fresh[op.index()] {
             *work.entry(cfg).or_insert(0) += p.assay.op(op).duration().min_duration().max(1);
             *ops_count.entry(cfg).or_insert(0) += 1;
         }
@@ -546,10 +708,12 @@ fn provision_quotas(
 /// Greedy construction.
 fn construct(
     p: &LayerProblem<'_>,
+    ctx: &Ctx,
     det_order: &[OpId],
     ind_order: &[OpId],
 ) -> Result<LayerSolution, CoreError> {
-    let mut state = State::new(p);
+    let mut state = State::new(p, ctx);
+    state.init_compat();
     state.quotas = provision_quotas(&state, det_order, ind_order);
     let no_exclusions = BTreeSet::new();
     for (pos, &op) in det_order.iter().enumerate() {
@@ -567,7 +731,7 @@ fn construct(
                     // Paths to a fresh device: count parents on other devices.
                     state.added_paths_to_new(op, d)
                 }
-                _ => state.added_paths(op, d).len() as u64,
+                _ => state.added_path_count(op, d),
             };
             let cost = p.weights.time * (start + dur + t_out)
                 + state.capex(&dec)
@@ -607,7 +771,7 @@ fn construct(
             let start = ready.max(avail);
             let paths = match &dec {
                 Decision::New(_) => state.added_paths_to_new(op, d),
-                _ => state.added_paths(op, d).len() as u64,
+                _ => state.added_path_count(op, d),
             };
             let cost = p.weights.time * start + state.capex(&dec) + p.weights.paths * paths;
             let rank = match &dec {
@@ -640,15 +804,21 @@ impl State<'_, '_> {
     /// Path count to a not-yet-created device index (all parent devices
     /// differ by definition).
     fn added_paths_to_new(&self, op: OpId, new_d: usize) -> u64 {
-        let mut keys = BTreeSet::new();
-        for q in self.p.assay.parents(op) {
-            if let Some(s) = self.slots.get(&q) {
-                keys.insert(path_key(s.device, new_d));
+        let mut keys: Vec<(usize, usize)> = Vec::new();
+        for q in &self.ctx.parents[op.index()] {
+            if let Some(s) = self.slots.get(q) {
+                let k = path_key(s.device, new_d);
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
             }
         }
         for &(child, pd) in &self.p.cross_inputs {
             if child == op {
-                keys.insert(path_key(pd, new_d));
+                let k = path_key(pd, new_d);
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
             }
         }
         keys.len() as u64
@@ -663,6 +833,7 @@ fn apply_decision(state: &mut State<'_, '_>, dec: Decision) -> usize {
             let mut updated = *cfg;
             updated.add_accessories(union);
             *cfg = updated;
+            state.refresh_compat_for(device);
             device
         }
         Decision::New(cfg) => {
@@ -671,6 +842,7 @@ fn apply_decision(state: &mut State<'_, '_>, dec: Decision) -> usize {
             let d = state.devices.len() - 1;
             state.created.insert(d);
             *state.created_of.entry(cfg).or_insert(0) += 1;
+            state.refresh_compat_for(d);
             d
         }
     }
@@ -701,12 +873,13 @@ fn align_and_commit_indeterminate(state: &mut State<'_, '_>, placed: &[(OpId, us
 /// violates indeterminate exclusivity.
 fn schedule_with_binding(
     p: &LayerProblem<'_>,
+    ctx: &Ctx,
     det_order: &[OpId],
     ind_order: &[OpId],
     binding: &BTreeMap<OpId, usize>,
     reference: &LayerSolution,
 ) -> Option<LayerSolution> {
-    let mut state = State::new(p);
+    let mut state = State::new(p, ctx);
     // Recreate the reference's created devices with their *base* (cheapest)
     // configs; retrofits re-derive from the ops actually bound there.
     let base = p.devices.len();

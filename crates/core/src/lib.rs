@@ -57,6 +57,7 @@
 
 pub mod analysis;
 mod assay;
+pub mod cache;
 pub mod conventional;
 pub mod export;
 pub mod heuristic;
@@ -73,6 +74,7 @@ pub mod transport;
 pub mod validate;
 
 pub use assay::Assay;
+pub use cache::{LayerCache, LayerKey};
 pub use layering::{layer_assay, Layering};
 pub use op::{Duration, OpId, Operation};
 pub use problem::{LayerProblem, Weights};

@@ -1,10 +1,11 @@
 //! The synthesis driver: layering, per-layer solving with device
 //! inheritance, transport refinement, and progressive re-synthesis (§3.2).
 
+use crate::cache::{LayerCache, LayerKey};
 use crate::problem::path_key;
 use crate::{
     layer_assay, Assay, CoreError, ExecTime, HybridSchedule, LayerProblem, LayerSchedule,
-    LayerSolver, Layering, SolverKind, TransportConfig, TransportTimes, Weights,
+    LayerSolver, Layering, OpId, SolverKind, TransportConfig, TransportTimes, Weights,
 };
 use mfhls_chip::{CostModel, DeviceConfig};
 use std::collections::BTreeSet;
@@ -32,6 +33,11 @@ pub struct SynthConfig {
     pub min_improvement: f64,
     /// Hard cap on re-synthesis iterations.
     pub max_iterations: usize,
+    /// Memoize per-layer solutions within a run (see [`crate::cache`]):
+    /// structurally identical sub-problems revisited by later re-synthesis
+    /// iterations skip the solver. Schedules are identical either way; the
+    /// flag exists for measurement and as an escape hatch.
+    pub layer_cache: bool,
 }
 
 impl Default for SynthConfig {
@@ -46,6 +52,7 @@ impl Default for SynthConfig {
             component_oriented: true,
             min_improvement: 0.10,
             max_iterations: 6,
+            layer_cache: true,
         }
     }
 }
@@ -61,6 +68,14 @@ pub struct IterationStats {
     pub path_count: usize,
     /// Weighted objective of the full assay.
     pub objective: u64,
+    /// Layer sub-problems this iteration served from the memo cache.
+    ///
+    /// Diagnostics only: speculation pre-solves layers in parallel, so the
+    /// hit/miss split may vary with the thread count even though the
+    /// schedule never does.
+    pub cache_hits: u64,
+    /// Layer sub-problems this iteration had to solve from scratch.
+    pub cache_misses: u64,
 }
 
 /// The outcome of a synthesis run.
@@ -135,11 +150,17 @@ impl Synthesizer {
         let mut transport = TransportTimes::initial(assay, &self.config.transport);
 
         let mut iterations = Vec::new();
-        let mut best: Option<(u64, HybridSchedule)> = None;
-        // Devices newly created per layer in the previous iteration (D'_i).
+        let mut best_exec: Option<u64> = None;
+        // The best pass so far; its schedule seeds the next iteration's
+        // device pool (D of §3.2) and is moved — never cloned — into the
+        // result at the end.
         let mut prev: Option<Pass> = None;
+        let mut cache = self.config.layer_cache.then(LayerCache::new);
 
         for _iter in 0..self.config.max_iterations.max(1) {
+            if let (Some(cache), Some(prev)) = (cache.as_mut(), prev.as_ref()) {
+                self.speculate(assay, &layering, &transport, prev, seed_bindable, cache);
+            }
             let pass = self.synthesize_once(
                 assay,
                 &layering,
@@ -147,47 +168,54 @@ impl Synthesizer {
                 prev.as_ref(),
                 seed_devices,
                 seed_bindable,
+                cache.as_mut(),
             )?;
             pass.schedule
                 .validate(assay)
                 .map_err(|e| CoreError::InvalidSchedule(format!("internal solver bug: {e}")))?;
-            let stats = self.stats_for(assay, &pass.schedule);
+            let mut stats = self.stats_for(assay, &pass.schedule);
+            if let Some(cache) = cache.as_mut() {
+                (stats.cache_hits, stats.cache_misses) = cache.take_counters();
+            }
             let exec_now = stats.exec_time.fixed;
             iterations.push(stats);
 
-            let better = best
-                .as_ref()
-                .is_none_or(|(prev_exec, _)| exec_now < *prev_exec);
-            let improvement = best.as_ref().map_or(1.0, |(prev_exec, _)| {
-                if *prev_exec == 0 {
+            let better = best_exec.is_none_or(|prev_exec| exec_now < prev_exec);
+            let improvement = best_exec.map_or(1.0, |prev_exec| {
+                if prev_exec == 0 {
                     0.0
                 } else {
-                    (*prev_exec as f64 - exec_now as f64) / *prev_exec as f64
+                    (prev_exec as f64 - exec_now as f64) / prev_exec as f64
                 }
             });
             if better {
-                best = Some((exec_now, pass.schedule.clone()));
+                best_exec = Some(exec_now);
+                prev = Some(pass);
             }
+            // A non-improving pass never continues the search (improvement
+            // <= 0 cannot exceed the non-negative threshold), so the best
+            // pass is always the one in `prev` when the loop goes on.
+            if !(better && improvement > self.config.min_improvement) {
+                break;
+            }
+            let Some(prev) = prev.as_ref() else {
+                unreachable!("continuing the search implies an adopted pass");
+            };
             // Refine transport estimates from this pass's binding (§4.1).
             transport = TransportTimes::refined(
                 assay,
                 &self.config.transport,
-                &pass.schedule.device_of(assay),
+                &prev.schedule.device_of(assay),
             );
-            let continue_search = improvement > self.config.min_improvement;
-            prev = Some(pass);
-            if !continue_search {
-                break;
-            }
         }
 
-        let Some((_, schedule)) = best else {
+        let Some(best) = prev else {
             return Err(CoreError::Internal(
                 "no synthesis iteration produced a schedule".to_owned(),
             ));
         };
         Ok(SynthesisResult {
-            schedule,
+            schedule: best.schedule,
             layering,
             iterations,
             runtime: started.elapsed(),
@@ -213,6 +241,81 @@ impl Synthesizer {
             exec_time,
             device_count,
             path_count,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Pre-solves next-pass layer sub-problems in parallel to warm `cache`.
+    ///
+    /// Layers inside a pass are sequentially dependent (each inherits the
+    /// previous layer's device pool and paths), so they cannot be solved
+    /// concurrently *exactly*. Instead, each layer's sub-problem is
+    /// *predicted* from the inputs recorded while solving `prev` — same
+    /// structure, current (refined) transport — and solved speculatively on
+    /// the pool. Near the re-synthesis fixpoint the predictions match the
+    /// real sub-problems and the sequential walk in
+    /// [`Synthesizer::synthesize_once`] becomes pure cache hits. The walk
+    /// remains the single source of truth: a wrong prediction is simply an
+    /// unused cache entry, so schedules are bitwise identical at any thread
+    /// count.
+    fn speculate(
+        &self,
+        assay: &Assay,
+        layering: &Layering,
+        transport: &TransportTimes,
+        prev: &Pass,
+        seed_bindable: &[bool],
+        cache: &mut LayerCache,
+    ) {
+        if mfhls_par::max_threads() <= 1 {
+            return;
+        }
+        let jobs: Vec<(usize, LayerProblem<'_>, LayerKey)> = layering
+            .layers()
+            .iter()
+            .enumerate()
+            .filter_map(|(li, layer_ops)| {
+                // Layer 0's next-pass inputs are fully known (the previous
+                // schedule's device pool, no accumulated paths); later
+                // layers are predicted from the recorded inputs.
+                let (devices, existing_paths, cross_inputs) = if li == 0 {
+                    (prev.schedule.devices.clone(), BTreeSet::new(), Vec::new())
+                } else {
+                    let rec = prev.recorded.get(li)?;
+                    (
+                        rec.devices.clone(),
+                        rec.existing_paths.clone(),
+                        rec.cross_inputs.clone(),
+                    )
+                };
+                let problem = LayerProblem {
+                    assay,
+                    ops: layer_ops.clone(),
+                    bindable: bindable_mask(devices.len(), seed_bindable),
+                    devices,
+                    max_devices: self.config.max_devices,
+                    transport,
+                    weights: self.config.weights,
+                    costs: &self.config.costs,
+                    existing_paths,
+                    cross_inputs,
+                    component_oriented: self.config.component_oriented,
+                };
+                let key = LayerKey::of(&problem, li);
+                if cache.contains(&key) {
+                    return None;
+                }
+                Some((li, problem, key))
+            })
+            .collect();
+        let solved = mfhls_par::par_map(&jobs, |(_, problem, _)| {
+            self.config.solver.solve(problem).ok()
+        });
+        for ((_, _, key), sol) in jobs.into_iter().zip(solved) {
+            if let Some(sol) = sol {
+                cache.warm(key, sol);
+            }
         }
     }
 
@@ -225,6 +328,7 @@ impl Synthesizer {
     /// pass devices bind capex-free (the chip pays for each device once) and
     /// are pruned when no layer uses them anymore, which keeps the global
     /// pool within `|D|`.
+    #[allow(clippy::too_many_arguments)]
     fn synthesize_once(
         &self,
         assay: &Assay,
@@ -233,6 +337,7 @@ impl Synthesizer {
         prev: Option<&Pass>,
         seed_devices: &[DeviceConfig],
         seed_bindable: &[bool],
+        mut cache: Option<&mut LayerCache>,
     ) -> Result<Pass, CoreError> {
         let mut devices: Vec<DeviceConfig> = prev
             .map(|p| p.schedule.devices.clone())
@@ -240,13 +345,12 @@ impl Synthesizer {
         let mut paths: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut layer_schedules: Vec<LayerSchedule> = Vec::new();
         let mut device_of: Vec<Option<usize>> = vec![None; assay.len()];
+        let mut recorded: Vec<RecordedLayer> = Vec::with_capacity(layering.num_layers());
 
         for (li, layer_ops) in layering.layers().iter().enumerate() {
             // Seed devices carry their quarantine mask through every pass;
             // devices the synthesis itself added are always visible.
-            let bindable: Vec<bool> = (0..devices.len())
-                .map(|d| seed_bindable.get(d).copied().unwrap_or(true))
-                .collect();
+            let bindable = bindable_mask(devices.len(), seed_bindable);
             let mut cross_inputs = Vec::new();
             for (p_op, c) in assay.dependencies() {
                 if layering.layer_of(c) == li && layering.layer_of(p_op) < li {
@@ -273,7 +377,25 @@ impl Synthesizer {
                 cross_inputs,
                 component_oriented: self.config.component_oriented,
             };
-            let sol = self.config.solver.solve(&problem)?;
+            recorded.push(RecordedLayer {
+                devices: problem.devices.clone(),
+                existing_paths: problem.existing_paths.clone(),
+                cross_inputs: problem.cross_inputs.clone(),
+            });
+            let sol = match cache.as_deref_mut() {
+                Some(cache) => {
+                    let key = LayerKey::of(&problem, li);
+                    match cache.lookup(&key) {
+                        Some(sol) => sol,
+                        None => {
+                            let sol = self.config.solver.solve(&problem)?;
+                            cache.insert(key, sol.clone());
+                            sol
+                        }
+                    }
+                }
+                None => self.config.solver.solve(&problem)?,
+            };
             devices = sol.devices;
             paths.extend(sol.new_paths);
             for s in &sol.slots {
@@ -288,13 +410,32 @@ impl Synthesizer {
             paths,
         };
         let schedule = prune_unused(assay, schedule, seed_devices.len())?;
-        Ok(Pass { schedule })
+        Ok(Pass { schedule, recorded })
     }
+}
+
+/// Visibility mask for a layer's device pool: seed devices carry their
+/// quarantine mask; synthesis-created devices are always visible.
+fn bindable_mask(num_devices: usize, seed_bindable: &[bool]) -> Vec<bool> {
+    (0..num_devices)
+        .map(|d| seed_bindable.get(d).copied().unwrap_or(true))
+        .collect()
 }
 
 /// One synthesis pass.
 struct Pass {
     schedule: HybridSchedule,
+    /// The structural inputs each layer's sub-problem was actually solved
+    /// with, in layer order — the basis for the next pass's speculative
+    /// pre-solving (see [`Synthesizer::speculate`]).
+    recorded: Vec<RecordedLayer>,
+}
+
+/// The per-layer-varying inputs of one solved layer sub-problem.
+struct RecordedLayer {
+    devices: Vec<DeviceConfig>,
+    existing_paths: BTreeSet<(usize, usize)>,
+    cross_inputs: Vec<(OpId, usize)>,
 }
 
 /// Drops devices no operation uses (stale leftovers from a previous

@@ -97,10 +97,17 @@ pub fn run_hybrid_trials(
     trials: u64,
 ) -> Result<TrialStats, SimError> {
     assert!(trials > 0, "at least one trial required");
+    // Each trial owns its own seeded RNG stream, so trials run in parallel;
+    // the ordered reduction folds results in seed order, making the stats
+    // bitwise identical to the sequential loop at any thread count.
+    let seeds: Vec<u64> = (0..trials).collect();
+    let runs = mfhls_par::par_map(&seeds, |&seed| {
+        simulate_hybrid(assay, schedule, &SimConfig { model, seed })
+    });
     let mut spans = Vec::with_capacity(trials as usize);
     let mut decisions = 0;
-    for seed in 0..trials {
-        let run = simulate_hybrid(assay, schedule, &SimConfig { model, seed })?;
+    for run in runs {
+        let run = run?;
         decisions = run.decisions;
         spans.push(run.makespan);
     }
@@ -126,16 +133,20 @@ pub fn run_online_trials(
     serial_decisions: bool,
 ) -> Result<TrialStats, SimError> {
     assert!(trials > 0, "at least one trial required");
-    let mut spans = Vec::with_capacity(trials as usize);
-    let mut decisions = 0;
-    for seed in 0..trials {
-        let run = simulate_online(
+    let seeds: Vec<u64> = (0..trials).collect();
+    let runs = mfhls_par::par_map(&seeds, |&seed| {
+        simulate_online(
             assay,
             schedule,
             &SimConfig { model, seed },
             decision_latency,
             serial_decisions,
-        )?;
+        )
+    });
+    let mut spans = Vec::with_capacity(trials as usize);
+    let mut decisions = 0;
+    for run in runs {
+        let run = run?;
         decisions = run.decisions;
         spans.push(run.makespan);
     }
@@ -220,9 +231,16 @@ impl SurvivalAcc {
 
 /// Operations abandoned when a padded-offline run overruns its padding:
 /// every indeterminate op whose realized duration exceeded the pad, plus
-/// all transitive descendants.
-fn padded_overrun_abandoned(assay: &Assay, actual: &[u64], pad_factor: f64) -> BTreeSet<OpId> {
-    let mut abandoned: BTreeSet<OpId> = assay
+/// all transitive descendants. `descendants` is the assay's reach table
+/// ([`mfhls_graph::reach::all_descendants`]), computed once per trial batch
+/// instead of re-walking the dependency edges inside every trial.
+fn padded_overrun_abandoned(
+    assay: &Assay,
+    descendants: &[mfhls_graph::BitSet],
+    actual: &[u64],
+    pad_factor: f64,
+) -> BTreeSet<OpId> {
+    let overrun: Vec<OpId> = assay
         .iter()
         .filter(|(id, op)| match op.duration() {
             Duration::Fixed(_) => false,
@@ -232,15 +250,12 @@ fn padded_overrun_abandoned(assay: &Assay, actual: &[u64], pad_factor: f64) -> B
         })
         .map(|(id, _)| id)
         .collect();
-    let mut frontier: Vec<OpId> = abandoned.iter().copied().collect();
-    while let Some(op) = frontier.pop() {
-        for c in assay.children(op) {
-            if abandoned.insert(c) {
-                frontier.push(c);
-            }
-        }
+    let mut closure = mfhls_graph::BitSet::new(assay.len());
+    for &op in &overrun {
+        closure.insert(op.index());
+        closure.union_with(&descendants[op.index()]);
     }
-    abandoned
+    closure.iter().map(OpId).collect()
 }
 
 /// Monte-Carlo survivability comparison: runs `trials` fault-injected
@@ -283,17 +298,22 @@ pub fn survivability_trials(
         .run(&padded_assay)
         .map_err(|e| SimError::Synthesis(e.to_string()))?
         .schedule;
-
-    let mut hybrid = SurvivalAcc::default();
-    let mut padded = SurvivalAcc::default();
-    let mut online = SurvivalAcc::default();
+    // Transitive-reach table shared by every trial's overrun accounting.
+    let descendants = mfhls_graph::reach::all_descendants(&assay.graph());
     let n = assay.len().max(1) as f64;
 
-    for seed in 0..trials {
+    // One record per policy per trial: (complete, fraction, makespan,
+    // resyntheses). Trials are independent (each owns a per-seed SplitMix64
+    // stream), so they run in parallel; the ordered reduction below folds
+    // them in seed order, so every statistic — including the f64 fraction
+    // sums — is bitwise identical to the sequential loop.
+    type PolicyRecord = (bool, f64, u64, usize);
+    let seeds: Vec<u64> = (0..trials).collect();
+    let outcomes: Vec<Result<[PolicyRecord; 3], SimError>> = mfhls_par::par_map(&seeds, |&seed| {
         let cfg = SimConfig { model, seed };
 
         let run = run_with_recovery(assay, schedule, &cfg, faults, policy, synth)?;
-        hybrid.record(
+        let hybrid = (
             run.outcome.is_complete(),
             run.outcome.completion_fraction(),
             run.makespan,
@@ -308,20 +328,32 @@ pub fn survivability_trials(
             prun.outcome.completion_fraction()
         } else if !pad_ok {
             let actual = crate::sample_durations(assay, &cfg);
-            1.0 - padded_overrun_abandoned(assay, &actual, pad_factor).len() as f64 / n
+            1.0 - padded_overrun_abandoned(assay, &descendants, &actual, pad_factor).len() as f64
+                / n
         } else {
             1.0
         };
-        padded.record(complete, fraction, prun.makespan, 0);
+        let padded = (complete, fraction, prun.makespan, 0);
 
         let orun =
             simulate_online_with_faults(assay, schedule, &cfg, faults, policy, decision_latency)?;
-        online.record(
+        let online = (
             orun.outcome.is_complete(),
             orun.outcome.completion_fraction(),
             orun.makespan,
             0,
         );
+        Ok([hybrid, padded, online])
+    });
+
+    let mut hybrid = SurvivalAcc::default();
+    let mut padded = SurvivalAcc::default();
+    let mut online = SurvivalAcc::default();
+    for outcome in outcomes {
+        let [h, p, o] = outcome?;
+        hybrid.record(h.0, h.1, h.2, h.3);
+        padded.record(p.0, p.1, p.2, p.3);
+        online.record(o.0, o.1, o.2, o.3);
     }
 
     Ok(vec![

@@ -3,14 +3,14 @@
 //!
 //! ```text
 //! mfhls synth protocol.mfa [--conventional] [--max-devices N] [--threshold T]
-//!                          [--weights Ct,Ca,Cpr,Cp] [--gantt] [--svg FILE]
-//!                          [--report] [--iterations]
+//!                          [--weights Ct,Ca,Cpr,Cp] [--threads N] [--gantt]
+//!                          [--svg FILE] [--report] [--iterations]
 //! mfhls validate protocol.mfa
 //! mfhls simulate protocol.mfa [--trials N] [--policy hybrid|online]
 //!                             [--success-probability P] [--latency M]
 //! mfhls faultsim protocol.mfa [--trials N] [--seed S] [--fault-rate R]
 //!                             [--fail-device D[@L]] [--max-retries K]
-//!                             [--pad-factor F] [--exact]
+//!                             [--pad-factor F] [--threads N] [--exact]
 //! mfhls export-lp protocol.mfa [--layer K] [--out FILE]
 //! mfhls bench
 //! ```
@@ -64,18 +64,22 @@ fn print_usage() {
         "mfhls — component-oriented HLS for continuous-flow microfluidics (DAC'17)\n\n\
          USAGE:\n  \
          mfhls synth <file.mfa> [--conventional] [--max-devices N] [--threshold T]\n             \
-         [--weights Ct,Ca,Cpr,Cp] [--solver heuristic|ilp|hybrid] [--gantt]\n             \
-         [--svg FILE] [--csv FILE] [--report] [--iterations]\n  \
+         [--weights Ct,Ca,Cpr,Cp] [--solver heuristic|ilp|hybrid] [--threads N]\n             \
+         [--svg FILE] [--csv FILE] [--gantt] [--report] [--iterations]\n  \
          mfhls validate <file.mfa>\n  \
          mfhls simulate <file.mfa> [--trials N] [--policy hybrid|online]\n             \
          [--success-probability P] [--latency M]\n  \
          mfhls faultsim <file.mfa> [--trials N] [--seed S] [--fault-rate R]\n             \
          [--device-failure P] [--op-abort P] [--degradation P] [--path-blockage P]\n             \
          [--fail-device D[@L]] [--max-retries K] [--pad-factor F]\n             \
-         [--success-probability P] [--latency M] [--exact]\n  \
+         [--success-probability P] [--latency M] [--threads N] [--exact]\n  \
          mfhls export-lp <file.mfa> [--layer K] [--out FILE]\n  \
          mfhls graph <file.mfa> [--layers] [--out FILE]\n  \
-         mfhls bench"
+         mfhls bench\n\n\
+         OPTIONS:\n  \
+         --threads N   worker-pool size for parallel trials / candidate search\n                \
+         (default: MFHLS_THREADS env var, then the CPU count).\n                \
+         Output is bitwise-identical at any thread count."
     );
 }
 
@@ -120,6 +124,15 @@ fn load_assay(args: &[String]) -> Result<(Assay, Flags<'_>), CliError> {
 }
 
 fn config_from(flags: &Flags<'_>) -> Result<SynthConfig, CliError> {
+    if let Some(n) = flags.value("--threads") {
+        let n: usize = n
+            .parse()
+            .map_err(|e| format!("invalid value for --threads: {e}"))?;
+        if n == 0 {
+            return Err("--threads wants at least 1".into());
+        }
+        mfhls::par::set_default_threads(Some(n));
+    }
     let mut config = SynthConfig {
         max_devices: flags.parsed("--max-devices", 25usize)?,
         indeterminate_threshold: flags.parsed("--threshold", 10usize)?,

@@ -21,6 +21,7 @@
 //! | [`dsl`] | `mfhls-dsl` | text format for assay descriptions |
 //! | [`graph`] | `mfhls-graph` | DAG utilities, max-flow/min-cut |
 //! | [`ilp`] | `mfhls-ilp` | the MILP solver substrate (simplex + branch-and-bound) |
+//! | [`par`] | `mfhls-par` | deterministic scoped thread pool (`par_map`, thread-count control) |
 //!
 //! The most common items are re-exported at the top level.
 //!
@@ -61,6 +62,7 @@ pub use mfhls_core as core;
 pub use mfhls_dsl as dsl;
 pub use mfhls_graph as graph;
 pub use mfhls_ilp as ilp;
+pub use mfhls_par as par;
 pub use mfhls_sim as sim;
 
 pub use mfhls_core::{

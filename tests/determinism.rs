@@ -1,0 +1,151 @@
+//! Thread-count invariance: the determinism contract of `mfhls-par`.
+//!
+//! Every parallel site in the workspace (synthesis candidate search and
+//! speculative layer pre-solving, simulation trials, survivability
+//! studies) must produce **bitwise-identical** results at any thread
+//! count. These tests pin that contract by running the same work pinned
+//! to 1 and 4 workers and comparing full result structures, and check
+//! that the layer-solution memo cache is a pure accelerator (cache on ≡
+//! cache off).
+
+use mfhls::core::recovery::RetryPolicy;
+use mfhls::par::with_threads;
+use mfhls::sim::{run_with_recovery, trials, DurationModel, FaultModel, SimConfig};
+use mfhls::{SynthConfig, Synthesizer};
+
+fn cases() -> Vec<mfhls::Assay> {
+    // Cases 1 and 2 of Table 2 — big enough to exercise multi-layer
+    // synthesis and re-synthesis, small enough for a debug test run.
+    vec![
+        mfhls::assays::kinase_activity(2),
+        mfhls::assays::gene_expression(10),
+    ]
+}
+
+#[test]
+fn synthesis_is_thread_count_invariant() {
+    for assay in cases() {
+        let run = || {
+            Synthesizer::new(SynthConfig::default())
+                .run(&assay)
+                .expect("benchmark assay must synthesize")
+        };
+        let seq = with_threads(1, run);
+        let par = with_threads(4, run);
+        assert_eq!(
+            seq.schedule,
+            par.schedule,
+            "schedule differs between 1 and 4 threads for '{}'",
+            assay.name()
+        );
+        // Iteration metrics must match too, except the cache hit/miss
+        // split, which is documented as thread-dependent diagnostics
+        // (speculation warms the cache from a worker pool).
+        assert_eq!(seq.iterations.len(), par.iterations.len());
+        for (s, p) in seq.iterations.iter().zip(&par.iterations) {
+            assert_eq!(s.exec_time, p.exec_time);
+            assert_eq!(s.device_count, p.device_count);
+            assert_eq!(s.path_count, p.path_count);
+            assert_eq!(s.objective, p.objective);
+        }
+    }
+}
+
+#[test]
+fn layer_cache_is_a_pure_accelerator() {
+    for assay in cases() {
+        let run = |cache: bool| {
+            Synthesizer::new(SynthConfig {
+                layer_cache: cache,
+                ..SynthConfig::default()
+            })
+            .run(&assay)
+            .expect("benchmark assay must synthesize")
+        };
+        let cold = run(false);
+        let warm = run(true);
+        assert_eq!(
+            cold.schedule,
+            warm.schedule,
+            "layer cache changed the schedule for '{}'",
+            assay.name()
+        );
+        assert!(cold.iterations.iter().all(|it| it.cache_hits == 0));
+    }
+}
+
+#[test]
+fn simulation_trials_are_thread_count_invariant() {
+    let assay = mfhls::assays::gene_expression(10);
+    let result = Synthesizer::new(SynthConfig::default())
+        .run(&assay)
+        .expect("benchmark assay must synthesize");
+    let model = DurationModel::GeometricRetry {
+        success_probability: 0.53,
+        max_attempts: 20,
+    };
+    let hybrid = |_| trials::run_hybrid_trials(&assay, &result.schedule, model, 32).unwrap();
+    assert_eq!(
+        with_threads(1, || hybrid(())),
+        with_threads(4, || hybrid(()))
+    );
+    let online =
+        |_| trials::run_online_trials(&assay, &result.schedule, model, 32, 2, true).unwrap();
+    assert_eq!(
+        with_threads(1, || online(())),
+        with_threads(4, || online(()))
+    );
+}
+
+#[test]
+fn fault_events_and_survivability_are_thread_count_invariant() {
+    let assay = mfhls::assays::gene_expression(10);
+    let config = SynthConfig::default();
+    let result = Synthesizer::new(config.clone())
+        .run(&assay)
+        .expect("benchmark assay must synthesize");
+    let model = DurationModel::GeometricRetry {
+        success_probability: 0.53,
+        max_attempts: 20,
+    };
+    let faults = FaultModel::uniform(0.02);
+    let policy = RetryPolicy::default();
+
+    // A single fault-injected run with recovery re-synthesis: the exact
+    // fault event sequence must not depend on the pool size.
+    let one_run = || {
+        run_with_recovery(
+            &assay,
+            &result.schedule,
+            &SimConfig { model, seed: 7 },
+            &faults,
+            &policy,
+            &config,
+        )
+        .expect("fault-injected run must not error")
+    };
+    let seq = with_threads(1, one_run);
+    let par = with_threads(4, one_run);
+    assert_eq!(seq.fault_events, par.fault_events);
+    assert_eq!(seq.makespan, par.makespan);
+    assert_eq!(seq.completed, par.completed);
+
+    // Monte-Carlo survivability: per-policy statistics (f64 means
+    // included) must be bitwise identical — the ordered reduction folds
+    // trial records in seed order.
+    let survive = || {
+        trials::survivability_trials(
+            &assay,
+            &result.schedule,
+            model,
+            &faults,
+            &policy,
+            &config,
+            24,
+            3.0,
+            2,
+        )
+        .expect("survivability trials must not error")
+    };
+    assert_eq!(with_threads(1, survive), with_threads(4, survive));
+}
