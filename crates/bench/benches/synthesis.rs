@@ -24,6 +24,10 @@ fn case_report(
     let (hits, misses) = r.result.iterations.iter().fold((0u64, 0u64), |(h, m), it| {
         (h + it.cache_hits, m + it.cache_misses)
     });
+    let mut solver = mfhls_core::SolverStats::default();
+    for it in &r.result.iterations {
+        solver.merge(&it.solver);
+    }
     CaseReport {
         name,
         method: method.to_string(),
@@ -35,6 +39,7 @@ fn case_report(
         iterations: r.result.iterations.len(),
         cache_hits: hits,
         cache_misses: misses,
+        solver,
     }
 }
 

@@ -12,7 +12,9 @@ use std::time::Duration;
 use crate::timing::Sample;
 
 /// Schema tag stamped into every report, bumped on breaking changes.
-pub const SCHEMA: &str = "mfhls-bench-synthesis/v1";
+/// `v2` added the exact-solver counters (`ilp_solves`, `ilp_nodes`,
+/// `lp_pivots`, `warm_solves`, `cold_solves`, `warm_start_rate`).
+pub const SCHEMA: &str = "mfhls-bench-synthesis/v2";
 
 /// One benchmarked (assay, method) pair.
 #[derive(Debug, Clone)]
@@ -38,6 +40,9 @@ pub struct CaseReport {
     pub cache_hits: u64,
     /// Layer sub-problems solved from scratch, summed over iterations.
     pub cache_misses: u64,
+    /// Exact-solver work behind the run, summed over iterations (all zero
+    /// under the pure heuristic solver).
+    pub solver: mfhls_core::SolverStats,
 }
 
 impl CaseReport {
@@ -90,7 +95,18 @@ impl SynthesisReport {
             let _ = writeln!(out, "      \"iterations\": {},", c.iterations);
             let _ = writeln!(out, "      \"cache_hits\": {},", c.cache_hits);
             let _ = writeln!(out, "      \"cache_misses\": {},", c.cache_misses);
-            let _ = writeln!(out, "      \"cache_hit_rate\": {:.6}", c.hit_rate());
+            let _ = writeln!(out, "      \"cache_hit_rate\": {:.6},", c.hit_rate());
+            let _ = writeln!(out, "      \"ilp_solves\": {},", c.solver.ilp_solves);
+            let _ = writeln!(out, "      \"ilp_optimal\": {},", c.solver.proven_optimal);
+            let _ = writeln!(out, "      \"ilp_nodes\": {},", c.solver.nodes);
+            let _ = writeln!(out, "      \"lp_pivots\": {},", c.solver.pivots);
+            let _ = writeln!(out, "      \"warm_solves\": {},", c.solver.warm_solves);
+            let _ = writeln!(out, "      \"cold_solves\": {},", c.solver.cold_solves);
+            let _ = writeln!(
+                out,
+                "      \"warm_start_rate\": {:.6}",
+                c.solver.warm_start_rate()
+            );
             let _ = writeln!(out, "    }}{comma}");
         }
         let _ = writeln!(out, "  ]");
@@ -152,6 +168,15 @@ mod tests {
                 iterations: 2,
                 cache_hits: 3,
                 cache_misses: 5,
+                solver: mfhls_core::SolverStats {
+                    ilp_solves: 4,
+                    proven_optimal: 3,
+                    nodes: 17,
+                    pivots: 120,
+                    warm_solves: 15,
+                    cold_solves: 5,
+                    ..Default::default()
+                },
             }],
         }
     }
@@ -159,11 +184,15 @@ mod tests {
     #[test]
     fn json_has_schema_and_case_fields() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"mfhls-bench-synthesis/v1\""));
+        assert!(json.contains("\"schema\": \"mfhls-bench-synthesis/v2\""));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"name\": \"ours_case1\""));
         assert!(json.contains("\"min\": 1.500000"));
-        assert!(json.contains("\"cache_hit_rate\": 0.375000"));
+        assert!(json.contains("\"cache_hit_rate\": 0.375000,"));
+        assert!(json.contains("\"ilp_solves\": 4"));
+        assert!(json.contains("\"ilp_nodes\": 17"));
+        assert!(json.contains("\"lp_pivots\": 120"));
+        assert!(json.contains("\"warm_start_rate\": 0.750000"));
         // Balanced braces/brackets — a cheap structural sanity check in
         // lieu of a JSON parser.
         assert_eq!(

@@ -482,6 +482,7 @@ impl<'p, 'a> State<'p, 'a> {
             new_devices,
             new_paths,
             objective,
+            stats: crate::SolverStats::default(),
         }
     }
 }

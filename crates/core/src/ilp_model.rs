@@ -18,8 +18,10 @@
 //! marginal cost; new devices are priced by their chosen configuration.
 //! Exactness is cross-checked against exhaustive search and the heuristic
 //! solver in the test-suite. The model grows as
-//! `O(|ops|² · |devices|)`, so this back-end is intended for small layers
-//! (see [`SolverKind::Hybrid`](crate::SolverKind)).
+//! `O(|ops|² · |devices|)`; with the warm-started bounded-variable simplex
+//! behind `mfhls-ilp` (DESIGN.md §9) it is practical for paper-scale layers
+//! of ~25 operations, and [`SolverKind::Hybrid`](crate::SolverKind) remains
+//! the right choice beyond that.
 
 use crate::problem::path_key;
 use crate::{CoreError, LayerProblem, LayerSolution, LayerSolver, OpId, ScheduledOp};
@@ -47,6 +49,10 @@ pub struct IlpLayerSolver {
     /// Optional objective cutoff (e.g. a heuristic solution's objective):
     /// the search only explores strictly better nodes.
     pub cutoff: Option<u64>,
+    /// Carry the simplex basis across branch-and-bound nodes (default:
+    /// true). `false` cold-solves every node — the scratch baseline used to
+    /// benchmark the warm-start win.
+    pub warm_start: bool,
 }
 
 impl Default for IlpLayerSolver {
@@ -55,31 +61,83 @@ impl Default for IlpLayerSolver {
             max_nodes: 200_000,
             time_limit: None,
             cutoff: None,
+            warm_start: true,
         }
+    }
+}
+
+impl IlpLayerSolver {
+    /// Like [`LayerSolver::solve`], but also returns the solver work
+    /// counters — populated even when the solve *fails* (e.g. the cutoff
+    /// pruned every node, as routinely happens on Hybrid attempts), which
+    /// `solve` cannot report.
+    pub fn solve_with_stats(
+        &self,
+        p: &LayerProblem<'_>,
+    ) -> (Result<LayerSolution, CoreError>, crate::SolverStats) {
+        if !p.component_oriented {
+            return (
+                Err(CoreError::Ilp(
+                    "the exact back-end only implements the component-oriented model; \
+                     use the heuristic solver for the conventional baseline"
+                        .to_owned(),
+                )),
+                crate::SolverStats::default(),
+            );
+        }
+        let built = build_model(p);
+        let config = SolverConfig {
+            max_nodes: self.max_nodes,
+            time_limit: self.time_limit,
+            cutoff: self.cutoff.map(|c| c as f64),
+            warm_start: self.warm_start,
+            ..SolverConfig::default()
+        };
+        let mut bb = match mfhls_ilp::BranchAndBound::new(&built.model, &config) {
+            Ok(bb) => bb,
+            // Presolve proved infeasibility (or a malformed bound): no
+            // search ran, so there are no counters to report.
+            Err(e) => {
+                return (
+                    Err(CoreError::Ilp(e.to_string())),
+                    crate::SolverStats {
+                        ilp_solves: 1,
+                        ..crate::SolverStats::default()
+                    },
+                )
+            }
+        };
+        match bb.run() {
+            Ok(sol) => {
+                let stats = core_stats(bb.stats(), sol.status == mfhls_ilp::SolveStatus::Optimal);
+                (Ok(decode(p, &built, &sol, stats)), stats)
+            }
+            Err(e) => (
+                Err(CoreError::Ilp(e.to_string())),
+                core_stats(bb.stats(), false),
+            ),
+        }
+    }
+}
+
+/// Converts the `mfhls-ilp` counters into the aggregate-friendly core type.
+fn core_stats(s: mfhls_ilp::SolveStats, optimal: bool) -> crate::SolverStats {
+    crate::SolverStats {
+        ilp_solves: 1,
+        proven_optimal: u64::from(optimal),
+        nodes: s.nodes,
+        pivots: s.pivots,
+        warm_solves: s.warm_solves,
+        cold_solves: s.cold_solves,
+        incumbents_supplied: u64::from(s.incumbent_source == mfhls_ilp::IncumbentSource::Supplied),
+        incumbents_diving: u64::from(s.incumbent_source == mfhls_ilp::IncumbentSource::Diving),
+        incumbents_search: u64::from(s.incumbent_source == mfhls_ilp::IncumbentSource::Search),
     }
 }
 
 impl LayerSolver for IlpLayerSolver {
     fn solve(&self, p: &LayerProblem<'_>) -> Result<LayerSolution, CoreError> {
-        if !p.component_oriented {
-            return Err(CoreError::Ilp(
-                "the exact back-end only implements the component-oriented model; \
-                 use the heuristic solver for the conventional baseline"
-                    .to_owned(),
-            ));
-        }
-        let built = build_model(p);
-        let sol = mfhls_ilp::solve(
-            &built.model,
-            &SolverConfig {
-                max_nodes: self.max_nodes,
-                time_limit: self.time_limit,
-                cutoff: self.cutoff.map(|c| c as f64),
-                ..SolverConfig::default()
-            },
-        )
-        .map_err(|e| CoreError::Ilp(e.to_string()))?;
-        Ok(decode(p, &built, &sol))
+        self.solve_with_stats(p).0
     }
 }
 
@@ -385,6 +443,7 @@ fn decode(
     p: &LayerProblem<'_>,
     built: &BuiltModel,
     sol: &mfhls_ilp::MilpSolution,
+    stats: crate::SolverStats,
 ) -> LayerSolution {
     let n_existing = p.devices.len();
     // Realised new-device configs.
@@ -478,6 +537,7 @@ fn decode(
         new_devices: created,
         new_paths,
         objective,
+        stats,
     }
 }
 

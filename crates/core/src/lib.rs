@@ -80,7 +80,7 @@ pub use op::{Duration, OpId, Operation};
 pub use problem::{LayerProblem, Weights};
 pub use recovery::{resynthesize_suffix, Degradation, RecoveryPlan, RetryPolicy};
 pub use schedule::{ExecTime, HybridSchedule, LayerSchedule, ScheduledOp};
-pub use solver::{LayerSolution, LayerSolver, SolverKind};
+pub use solver::{LayerSolution, LayerSolver, SolverKind, SolverStats};
 pub use synth::{IterationStats, SynthConfig, SynthesisResult, Synthesizer};
 pub use transport::{Progression, TransportConfig, TransportTimes};
 

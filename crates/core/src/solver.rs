@@ -4,6 +4,62 @@ use crate::{CoreError, LayerProblem, ScheduledOp};
 use mfhls_chip::DeviceConfig;
 use std::collections::BTreeSet;
 
+/// Work counters of the exact (MILP) solver path, aggregated per layer
+/// solution, per re-synthesis iteration and per benchmark case.
+///
+/// All fields are exact integers so the type stays `Eq`-comparable and the
+/// determinism contract extends to solver diagnostics: the counters are
+/// stored inside [`LayerSolution`], so a layer-cache hit replays exactly the
+/// counters of the original solve and per-iteration sums are identical at
+/// any thread count. Heuristic-only solutions carry all-zero counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Exact MILP layer solves attempted (0 for pure-heuristic solutions).
+    pub ilp_solves: u64,
+    /// Of those, how many terminated with proven optimality.
+    pub proven_optimal: u64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// Simplex pivots across all LP solves (nodes, probes, dives).
+    pub pivots: u64,
+    /// LP solves that reused the carried (warm) basis.
+    pub warm_solves: u64,
+    /// LP solves started from the cold all-slack basis.
+    pub cold_solves: u64,
+    /// Searches whose final incumbent was the caller-supplied warm start.
+    pub incumbents_supplied: u64,
+    /// Searches whose final incumbent came from the diving heuristic.
+    pub incumbents_diving: u64,
+    /// Searches whose final incumbent came from the tree search.
+    pub incumbents_search: u64,
+}
+
+impl SolverStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.ilp_solves += other.ilp_solves;
+        self.proven_optimal += other.proven_optimal;
+        self.nodes += other.nodes;
+        self.pivots += other.pivots;
+        self.warm_solves += other.warm_solves;
+        self.cold_solves += other.cold_solves;
+        self.incumbents_supplied += other.incumbents_supplied;
+        self.incumbents_diving += other.incumbents_diving;
+        self.incumbents_search += other.incumbents_search;
+    }
+
+    /// Fraction of LP solves that reused a carried basis (0.0 when no LP
+    /// was solved).
+    pub fn warm_start_rate(&self) -> f64 {
+        let total = self.warm_solves + self.cold_solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_solves as f64 / total as f64
+        }
+    }
+}
+
 /// Solution of one layer's scheduling & binding problem.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerSolution {
@@ -19,6 +75,9 @@ pub struct LayerSolution {
     pub new_paths: BTreeSet<(usize, usize)>,
     /// The weighted objective value this solution was costed at.
     pub objective: u64,
+    /// Exact-solver work counters behind this solution (all zero when the
+    /// heuristic produced it without an ILP attempt).
+    pub stats: SolverStats,
 }
 
 impl LayerSolution {
@@ -53,8 +112,10 @@ pub enum SolverKind {
         /// Number of re-binding improvement passes (0 = construction only).
         improvement_passes: usize,
     },
-    /// The faithful ILP model of §4, solved exactly by `mfhls-ilp`.
-    /// Practical for small layers (≲ 10 operations, few devices).
+    /// The faithful ILP model of §4, solved exactly by `mfhls-ilp`. The
+    /// warm-started dual simplex makes this practical for paper-scale
+    /// layers (~25 operations with a small device budget); very large
+    /// layers should still prefer [`SolverKind::Hybrid`].
     Ilp {
         /// Branch-and-bound node budget.
         max_nodes: usize,
@@ -95,20 +156,26 @@ impl LayerSolver for SolverKind {
                 ilp_op_limit,
                 improvement_passes,
             } => {
-                let heur =
+                let mut heur =
                     crate::heuristic::HeuristicLayerSolver { improvement_passes }.solve(problem)?;
                 if problem.ops.len() > ilp_op_limit {
                     return Ok(heur);
                 }
-                let exact = crate::ilp_model::IlpLayerSolver {
+                let (exact, stats) = crate::ilp_model::IlpLayerSolver {
                     max_nodes,
                     time_limit: Some(std::time::Duration::from_secs(10)),
                     cutoff: Some(heur.objective),
+                    ..crate::ilp_model::IlpLayerSolver::default()
                 }
-                .solve(problem);
+                .solve_with_stats(problem);
                 match exact {
                     Ok(exact) if exact.objective < heur.objective => Ok(exact),
-                    _ => Ok(heur),
+                    _ => {
+                        // Keep the heuristic solution but record the work the
+                        // (pruned or unlucky) exact attempt performed.
+                        heur.stats.merge(&stats);
+                        Ok(heur)
+                    }
                 }
             }
         }

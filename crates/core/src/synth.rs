@@ -76,6 +76,13 @@ pub struct IterationStats {
     pub cache_hits: u64,
     /// Layer sub-problems this iteration had to solve from scratch.
     pub cache_misses: u64,
+    /// Exact-solver work counters summed over this iteration's layers.
+    ///
+    /// Unlike the cache split, these are *deterministic*: the counters live
+    /// inside each cached [`crate::LayerSolution`], so a cache hit replays
+    /// the original solve's counters and the sums are identical at any
+    /// thread count. All zero under the pure heuristic solver.
+    pub solver: crate::SolverStats,
 }
 
 /// The outcome of a synthesis run.
@@ -174,6 +181,7 @@ impl Synthesizer {
                 .validate(assay)
                 .map_err(|e| CoreError::InvalidSchedule(format!("internal solver bug: {e}")))?;
             let mut stats = self.stats_for(assay, &pass.schedule);
+            stats.solver = pass.solver;
             if let Some(cache) = cache.as_mut() {
                 (stats.cache_hits, stats.cache_misses) = cache.take_counters();
             }
@@ -243,6 +251,7 @@ impl Synthesizer {
             path_count,
             cache_hits: 0,
             cache_misses: 0,
+            solver: crate::SolverStats::default(),
         }
     }
 
@@ -346,6 +355,7 @@ impl Synthesizer {
         let mut layer_schedules: Vec<LayerSchedule> = Vec::new();
         let mut device_of: Vec<Option<usize>> = vec![None; assay.len()];
         let mut recorded: Vec<RecordedLayer> = Vec::with_capacity(layering.num_layers());
+        let mut solver_stats = crate::SolverStats::default();
 
         for (li, layer_ops) in layering.layers().iter().enumerate() {
             // Seed devices carry their quarantine mask through every pass;
@@ -396,6 +406,7 @@ impl Synthesizer {
                 }
                 None => self.config.solver.solve(&problem)?,
             };
+            solver_stats.merge(&sol.stats);
             devices = sol.devices;
             paths.extend(sol.new_paths);
             for s in &sol.slots {
@@ -410,7 +421,11 @@ impl Synthesizer {
             paths,
         };
         let schedule = prune_unused(assay, schedule, seed_devices.len())?;
-        Ok(Pass { schedule, recorded })
+        Ok(Pass {
+            schedule,
+            recorded,
+            solver: solver_stats,
+        })
     }
 }
 
@@ -429,6 +444,9 @@ struct Pass {
     /// with, in layer order — the basis for the next pass's speculative
     /// pre-solving (see [`Synthesizer::speculate`]).
     recorded: Vec<RecordedLayer>,
+    /// Exact-solver counters summed over the pass's layer solutions
+    /// (cached solutions contribute the counters of their original solve).
+    solver: crate::SolverStats,
 }
 
 /// The per-layer-varying inputs of one solved layer sub-problem.

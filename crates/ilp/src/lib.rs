@@ -8,12 +8,16 @@
 //! * [`Model`] — a builder API for variables ([`VarId`], [`VarKind`]), linear
 //!   expressions ([`LinExpr`] with operator overloading), constraints and a
 //!   linear objective.
-//! * [`simplex`] — a dense two-phase primal simplex for the LP relaxation
-//!   (Bland's rule, explicit bound rows; all variables must carry finite
-//!   bounds, which every model in this workspace does).
-//! * [`solve`] / [`BranchAndBound`] — depth-first branch-and-bound with
-//!   most-fractional branching, optional warm incumbents, and node/time
-//!   limits.
+//! * [`simplex`] — a bounded-variable dual simplex for the LP relaxation:
+//!   bounds are handled implicitly in the ratio test (no explicit bound
+//!   rows), and the tableau is warm-startable across bound changes; all
+//!   variables must carry finite bounds, which every model in this
+//!   workspace does.
+//! * [`solve`] / [`BranchAndBound`] — depth-first branch-and-bound that
+//!   carries the parent's basis into each child (a dual-simplex pass repairs
+//!   it after the branching-bound change), branches by reliability-
+//!   initialized pseudo-costs, seeds an incumbent with a deterministic
+//!   rounding/diving heuristic, and reports work counters ([`SolveStats`]).
 //! * [`presolve`] — activity-based bound tightening and fixed-variable
 //!   detection.
 //!
@@ -48,7 +52,9 @@ mod solver;
 pub mod write;
 
 pub use model::{LinExpr, Model, Sense, VarId, VarKind};
-pub use solver::{solve, BranchAndBound, MilpSolution, SolveStatus, SolverConfig};
+pub use solver::{
+    solve, BranchAndBound, IncumbentSource, MilpSolution, SolveStats, SolveStatus, SolverConfig,
+};
 
 /// Errors returned by the solvers in this crate.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,15 +1,30 @@
-//! Dense two-phase primal simplex for LP relaxations.
+//! Bounded-variable dual simplex for LP relaxations, warm-startable across
+//! branch-and-bound nodes.
 //!
 //! Design notes (documented because this is the numerical core of the MILP
 //! substrate):
 //!
-//! * Every variable must have **finite bounds** `[lb, ub]`. Variables are
-//!   shifted to `y = x - lb ∈ [0, ub - lb]`, and each upper bound becomes an
-//!   explicit `y ≤ ub - lb` row. This trades rows for simplicity and is
-//!   plenty for the model sizes the exact path is used on.
-//! * Phase 1 minimises the sum of artificial variables; phase 2 the true
-//!   objective. Degenerate cycling is avoided by switching from Dantzig to
-//!   Bland's rule after a run of degenerate pivots.
+//! * Every structural variable must have **finite bounds** `[lb, ub]`, and the
+//!   bounds are handled *implicitly*: a nonbasic variable rests at either its
+//!   lower or its upper bound, and the ratio test knows about both. No bound
+//!   ever becomes an explicit row, which roughly halves the row count of our
+//!   scheduling models compared to the earlier two-phase formulation.
+//! * Each constraint row gets exactly one slack, turning it into an equality:
+//!   `Le` slacks live in `[0, ∞)`, `Ge` slacks in `(−∞, 0]`, and `Eq` slacks
+//!   are fixed at `[0, 0]`. Slacks have zero cost, so the all-slack basis with
+//!   every structural variable parked at the bound its objective coefficient
+//!   prefers (`c_j ≥ 0` → lower, `c_j < 0` → upper) is **dual feasible by
+//!   construction**.
+//! * The engine is dual-simplex-only. Starting from any dual-feasible basis it
+//!   pivots until the basic values satisfy their bounds, at which point the
+//!   point is primal *and* dual feasible — i.e. optimal. Crucially, changing
+//!   variable *bounds* never touches the tableau coefficients or the reduced
+//!   costs, so a basis that was optimal for the parent branch-and-bound node
+//!   stays dual feasible for any child (or cousin) node: a warm restart is
+//!   "set the new bounds, refresh the basic values, run a few dual pivots".
+//! * Degenerate cycling is avoided by switching the leaving-row rule from
+//!   max-violation to smallest-basis-index (dual Bland) after a run of
+//!   stalled pivots; a hard pivot cap backstops numerical livelock.
 //! * Tolerances: pivot candidates need magnitude `> PIVOT_EPS`; feasibility
 //!   and optimality use `OPT_EPS`.
 
@@ -19,10 +34,14 @@ use crate::{IlpError, Sense};
 pub const PIVOT_EPS: f64 = 1e-9;
 /// Optimality / feasibility tolerance.
 pub const OPT_EPS: f64 = 1e-7;
-/// Consecutive degenerate pivots before switching to Bland's rule.
-const BLAND_TRIGGER: usize = 40;
-/// Hard cap on simplex pivots, as a defence against numerical livelock.
-const MAX_PIVOTS: usize = 200_000;
+/// Coefficients below this magnitude are dropped during row canonicalization.
+const COEFF_EPS: f64 = 1e-12;
+/// Consecutive stalled (no dual-objective progress) pivots before switching
+/// the leaving-row rule to dual Bland.
+const BLAND_TRIGGER: usize = 64;
+/// Default hard cap on simplex pivots for the one-shot entry points, as a
+/// defence against numerical livelock.
+const MAX_PIVOTS: u64 = 200_000;
 
 /// One row of an [`LpProblem`]: sparse coefficients, sense and rhs.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +52,27 @@ pub struct LpRow {
     pub sense: Sense,
     /// Right-hand side.
     pub rhs: f64,
+}
+
+impl LpRow {
+    /// Canonicalizes the sparse coefficient list in place: sorts by column,
+    /// accumulates duplicate columns, and drops near-zero coefficients.
+    ///
+    /// The public API keeps the documented accumulate semantics — callers may
+    /// push `(j, c)` pairs freely — and [`BoundedSimplex::new`] canonicalizes
+    /// on ingest so the numerical core never special-cases repeated columns.
+    pub fn canonicalize(&mut self) {
+        self.coeffs.sort_by_key(|&(j, _)| j);
+        let mut out: Vec<(usize, f64)> = Vec::with_capacity(self.coeffs.len());
+        for &(j, c) in &self.coeffs {
+            match out.last_mut() {
+                Some((k, acc)) if *k == j => *acc += c,
+                _ => out.push((j, c)),
+            }
+        }
+        out.retain(|&(_, c)| c.abs() > COEFF_EPS);
+        self.coeffs = out;
+    }
 }
 
 /// A bounded linear program `min c·x  s.t.  rows, lb ≤ x ≤ ub`.
@@ -67,7 +107,18 @@ pub enum LpResult {
     Unbounded,
 }
 
-/// Solves a bounded LP with the two-phase primal simplex.
+/// Outcome of one [`BoundedSimplex::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimplexOutcome {
+    /// Primal and dual feasible: the current basis is optimal.
+    Optimal,
+    /// A bound violation admits no entering column: the LP is infeasible.
+    Infeasible,
+    /// The pivot cap was reached before convergence.
+    PivotLimit,
+}
+
+/// Solves a bounded LP with the bounded-variable dual simplex.
 ///
 /// # Errors
 ///
@@ -98,151 +149,39 @@ pub fn solve_lp(p: &LpProblem) -> Result<LpResult, IlpError> {
     solve_lp_with_bounds(p, &p.lb, &p.ub)
 }
 
-/// Like [`solve_lp`], but with the bound vectors supplied separately —
-/// branch-and-bound changes bounds at every node, and this entry point
-/// avoids cloning the (much larger) constraint rows each time.
+/// Like [`solve_lp`], but with the bound vectors supplied separately.
+///
+/// For repeated solves over the same rows (branch-and-bound), prefer keeping
+/// a [`BoundedSimplex`] alive and calling [`BoundedSimplex::set_bounds`] +
+/// [`BoundedSimplex::solve`]: this entry point rebuilds the tableau each call.
 ///
 /// # Errors
 ///
 /// Same as [`solve_lp`].
 pub fn solve_lp_with_bounds(p: &LpProblem, lb: &[f64], ub: &[f64]) -> Result<LpResult, IlpError> {
-    validate(p, lb, ub)?;
-    let n = p.ncols;
-
-    // Shift x = y + lb; span s_j = ub_j - lb_j.
-    let span: Vec<f64> = (0..n).map(|j| ub[j] - lb[j]).collect();
-
-    // Assemble rows: constraints with shifted rhs, then bound rows.
-    struct RawRow {
-        dense: Vec<f64>,
-        sense: Sense,
-        rhs: f64,
-    }
-    let mut raw: Vec<RawRow> = Vec::with_capacity(p.rows.len() + n);
-    for row in &p.rows {
-        let mut dense = vec![0.0; n];
-        let mut shift = 0.0;
-        for &(j, c) in &row.coeffs {
-            dense[j] += c;
-            shift += c * lb[j];
+    let mut sx = BoundedSimplex::new(p)?;
+    sx.set_bounds(lb, ub);
+    match sx.solve(MAX_PIVOTS) {
+        SimplexOutcome::Optimal => {
+            let (x, objective) = sx.extract();
+            Ok(LpResult::Optimal { x, objective })
         }
-        raw.push(RawRow {
-            dense,
-            sense: row.sense,
-            rhs: row.rhs - shift,
-        });
+        SimplexOutcome::Infeasible => Ok(LpResult::Infeasible),
+        // Defensive: cannot trigger at the model sizes this entry point is
+        // used on. Reported as infeasible, matching the two-phase behaviour.
+        SimplexOutcome::PivotLimit => Ok(LpResult::Infeasible),
     }
-    for j in 0..n {
-        let mut dense = vec![0.0; n];
-        dense[j] = 1.0;
-        raw.push(RawRow {
-            dense,
-            sense: Sense::Le,
-            rhs: span[j],
-        });
-    }
-
-    // Normalise to rhs >= 0.
-    for r in &mut raw {
-        if r.rhs < 0.0 {
-            for c in &mut r.dense {
-                *c = -*c;
-            }
-            r.rhs = -r.rhs;
-            r.sense = match r.sense {
-                Sense::Le => Sense::Ge,
-                Sense::Ge => Sense::Le,
-                Sense::Eq => Sense::Eq,
-            };
-        }
-    }
-
-    let m = raw.len();
-    // Column layout: structural 0..n | slack/surplus | artificial.
-    let n_slack = raw
-        .iter()
-        .filter(|r| matches!(r.sense, Sense::Le | Sense::Ge))
-        .count();
-    let n_art = raw
-        .iter()
-        .filter(|r| matches!(r.sense, Sense::Ge | Sense::Eq))
-        .count();
-    let total = n + n_slack + n_art;
-
-    let mut t = Tableau::new(m, total);
-    let mut slack_cursor = n;
-    let mut art_cursor = n + n_slack;
-    let art_start = n + n_slack;
-    for (i, r) in raw.iter().enumerate() {
-        for j in 0..n {
-            t.set(i, j, r.dense[j]);
-        }
-        t.set_rhs(i, r.rhs);
-        match r.sense {
-            Sense::Le => {
-                t.set(i, slack_cursor, 1.0);
-                t.basis[i] = slack_cursor;
-                slack_cursor += 1;
-            }
-            Sense::Ge => {
-                t.set(i, slack_cursor, -1.0);
-                slack_cursor += 1;
-                t.set(i, art_cursor, 1.0);
-                t.basis[i] = art_cursor;
-                art_cursor += 1;
-            }
-            Sense::Eq => {
-                t.set(i, art_cursor, 1.0);
-                t.basis[i] = art_cursor;
-                art_cursor += 1;
-            }
-        }
-        let _ = i;
-    }
-
-    // Phase 1: min sum of artificials.
-    t.load_costs(|j| if j >= art_start { 1.0 } else { 0.0 });
-    match t.optimize(|_| true) {
-        PhaseOutcome::Optimal => {}
-        PhaseOutcome::Unbounded => return Ok(LpResult::Unbounded), // cannot happen: phase-1 obj >= 0
-        PhaseOutcome::PivotLimit => return Ok(LpResult::Infeasible),
-    }
-    if t.objective_value() > 1e-6 {
-        return Ok(LpResult::Infeasible);
-    }
-    t.evict_artificials(art_start);
-
-    // Phase 2: true objective over structural columns.
-    t.load_costs(|j| if j < n { p.objective[j] } else { 0.0 });
-    match t.optimize(|j| j < art_start) {
-        PhaseOutcome::Optimal => {}
-        PhaseOutcome::Unbounded => return Ok(LpResult::Unbounded),
-        PhaseOutcome::PivotLimit => {
-            // Extremely defensive: return the current (feasible) point.
-        }
-    }
-
-    // Extract solution.
-    let mut y = vec![0.0; n];
-    for (i, &b) in t.basis.iter().enumerate() {
-        if b < n && !t.dropped[i] {
-            y[b] = t.rhs(i).max(0.0);
-        }
-    }
-    let x: Vec<f64> = (0..n).map(|j| y[j] + lb[j]).collect();
-    let objective = (0..n).map(|j| p.objective[j] * x[j]).sum();
-    Ok(LpResult::Optimal { x, objective })
 }
 
-fn validate(p: &LpProblem, lb: &[f64], ub: &[f64]) -> Result<(), IlpError> {
+fn validate(p: &LpProblem) -> Result<(), IlpError> {
+    assert_eq!(p.lb.len(), p.ncols, "lb length mismatch");
+    assert_eq!(p.ub.len(), p.ncols, "ub length mismatch");
+    assert_eq!(p.objective.len(), p.ncols, "objective length mismatch");
     for j in 0..p.ncols {
-        if !lb[j].is_finite() || !ub[j].is_finite() {
+        if !p.lb[j].is_finite() || !p.ub[j].is_finite() {
             return Err(IlpError::UnboundedVariable { var: j });
         }
     }
-    assert_eq!(lb.len(), p.ncols, "lb length mismatch");
-    assert_eq!(ub.len(), p.ncols, "ub length mismatch");
-    assert_eq!(p.objective.len(), p.ncols, "objective length mismatch");
     for row in &p.rows {
         for &(j, _) in &row.coeffs {
             if j >= p.ncols {
@@ -256,211 +195,464 @@ fn validate(p: &LpProblem, lb: &[f64], ub: &[f64]) -> Result<(), IlpError> {
     Ok(())
 }
 
-enum PhaseOutcome {
-    Optimal,
-    Unbounded,
-    PivotLimit,
-}
-
-/// Dense simplex tableau. Row `m` is the cost row; column `total` is the rhs.
-struct Tableau {
+/// A persistent dense dual-simplex tableau over `n` structural columns and
+/// one slack column per row.
+///
+/// The intended lifecycle for branch-and-bound:
+///
+/// 1. [`BoundedSimplex::new`] once per model (builds the cold all-slack basis),
+/// 2. per node: [`BoundedSimplex::set_bounds`] with the node's structural
+///    bounds, then [`BoundedSimplex::solve`] — the basis left behind by the
+///    previous node is dual feasible for *any* bound assignment, so interior
+///    nodes typically cost a handful of pivots,
+/// 3. [`BoundedSimplex::cold_reset`] to discard the carried basis (the
+///    scratch-solve baseline, and a recovery hatch after a pivot-limit stop).
+#[derive(Debug, Clone)]
+pub struct BoundedSimplex {
+    /// Structural columns.
+    n: usize,
+    /// Rows.
     m: usize,
+    /// Total columns: structural + one slack per row.
     total: usize,
-    // (m + 1) x (total + 1), row-major.
-    a: Vec<f64>,
+    /// Original canonical matrix, `m × n` row-major (structural part only).
+    a0: Vec<f64>,
+    /// Original right-hand sides.
+    b0: Vec<f64>,
+    /// Costs, length `total` (slack costs are zero).
+    cost: Vec<f64>,
+    /// Current bounds, length `total`; slack bounds encode the row sense and
+    /// never change, structural bounds change per node.
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Current tableau `B⁻¹[A | I]`, `m × total` row-major.
+    tab: Vec<f64>,
+    /// `B⁻¹ b`, updated only by pivots.
+    binv_b: Vec<f64>,
+    /// Reduced costs, length `total`; zero on basic columns.
+    d: Vec<f64>,
+    /// Basic variable of each row.
     basis: Vec<usize>,
-    /// Rows found redundant after phase 1 (artificial stuck at zero with no
-    /// structural pivot available). They are frozen out of later pivots.
-    dropped: Vec<bool>,
+    /// Row of each basic column, `usize::MAX` when nonbasic.
+    row_of: Vec<usize>,
+    /// Whether a nonbasic column rests at its upper bound (vs lower).
+    at_upper: Vec<bool>,
+    /// Current values of the basic variables.
+    xb: Vec<f64>,
+    /// Lifetime pivot counter (monotonic, survives `cold_reset`).
+    pivots: u64,
 }
 
-impl Tableau {
-    fn new(m: usize, total: usize) -> Self {
-        Tableau {
+impl BoundedSimplex {
+    /// Builds the tableau from `p` (rows canonicalized on ingest) and
+    /// installs the cold all-slack basis.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`solve_lp`]: [`IlpError::UnboundedVariable`] for a
+    /// non-finite structural bound, [`IlpError::ForeignVariable`] for a row
+    /// referencing a column `>= ncols`.
+    pub fn new(p: &LpProblem) -> Result<BoundedSimplex, IlpError> {
+        validate(p)?;
+        let n = p.ncols;
+        let m = p.rows.len();
+        let total = n + m;
+
+        let mut a0 = vec![0.0; m * n];
+        let mut b0 = vec![0.0; m];
+        let mut lb = vec![0.0; total];
+        let mut ub = vec![0.0; total];
+        lb[..n].copy_from_slice(&p.lb);
+        ub[..n].copy_from_slice(&p.ub);
+        for (i, row) in p.rows.iter().enumerate() {
+            let mut canon = row.clone();
+            canon.canonicalize();
+            for &(j, c) in &canon.coeffs {
+                a0[i * n + j] = c;
+            }
+            b0[i] = canon.rhs;
+            let s = n + i;
+            match canon.sense {
+                Sense::Le => {
+                    lb[s] = 0.0;
+                    ub[s] = f64::INFINITY;
+                }
+                Sense::Ge => {
+                    lb[s] = f64::NEG_INFINITY;
+                    ub[s] = 0.0;
+                }
+                Sense::Eq => {
+                    lb[s] = 0.0;
+                    ub[s] = 0.0;
+                }
+            }
+        }
+
+        let mut cost = vec![0.0; total];
+        cost[..n].copy_from_slice(&p.objective);
+
+        let mut sx = BoundedSimplex {
+            n,
             m,
             total,
-            a: vec![0.0; (m + 1) * (total + 1)],
+            a0,
+            b0,
+            cost,
+            lb,
+            ub,
+            tab: vec![0.0; m * total],
+            binv_b: vec![0.0; m],
+            d: vec![0.0; total],
             basis: vec![usize::MAX; m],
-            dropped: vec![false; m],
+            row_of: vec![usize::MAX; total],
+            at_upper: vec![false; total],
+            xb: vec![0.0; m],
+            pivots: 0,
+        };
+        sx.cold_reset();
+        Ok(sx)
+    }
+
+    /// Discards the carried basis and reinstalls the cold start: all slacks
+    /// basic, each structural variable nonbasic at the bound its cost
+    /// prefers. This basis is dual feasible for any bound assignment.
+    ///
+    /// The lifetime pivot counter is *not* reset.
+    pub fn cold_reset(&mut self) {
+        let (n, m, total) = (self.n, self.m, self.total);
+        self.tab.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..m {
+            let off = i * total;
+            self.tab[off..off + n].copy_from_slice(&self.a0[i * n..(i + 1) * n]);
+            self.tab[off + n + i] = 1.0;
+            self.basis[i] = n + i;
+        }
+        self.binv_b.copy_from_slice(&self.b0);
+        self.d.copy_from_slice(&self.cost);
+        for j in 0..total {
+            self.row_of[j] = usize::MAX;
+            self.at_upper[j] = j < n && self.cost[j] < 0.0;
+        }
+        for i in 0..m {
+            self.row_of[n + i] = i;
         }
     }
 
-    #[inline]
-    fn idx(&self, r: usize, c: usize) -> usize {
-        r * (self.total + 1) + c
+    /// Installs the structural bounds for the next [`BoundedSimplex::solve`]
+    /// call. Panics if the slices are not `ncols` long.
+    pub fn set_bounds(&mut self, lb: &[f64], ub: &[f64]) {
+        self.lb[..self.n].copy_from_slice(lb);
+        self.ub[..self.n].copy_from_slice(ub);
     }
 
-    #[inline]
-    fn get(&self, r: usize, c: usize) -> f64 {
-        self.a[self.idx(r, c)]
+    /// Lifetime pivot count (monotonic across warm restarts and cold resets).
+    pub fn pivots(&self) -> u64 {
+        self.pivots
     }
 
-    #[inline]
-    fn set(&mut self, r: usize, c: usize, v: f64) {
-        let i = self.idx(r, c);
-        self.a[i] = v;
-    }
-
-    #[inline]
-    fn rhs(&self, r: usize) -> f64 {
-        self.get(r, self.total)
-    }
-
-    #[inline]
-    fn set_rhs(&mut self, r: usize, v: f64) {
-        let c = self.total;
-        self.set(r, c, v);
-    }
-
-    /// Current objective value (cost row rhs holds `-z`).
-    fn objective_value(&self) -> f64 {
-        -self.rhs(self.m)
-    }
-
-    /// Installs a cost row and eliminates basic columns so reduced costs are
-    /// consistent with the current basis.
-    fn load_costs(&mut self, cost: impl Fn(usize) -> f64) {
+    /// Recomputes the basic values from `B⁻¹b` and the nonbasic resting
+    /// points. Called at the start of every solve, because bound changes move
+    /// the nonbasic contributions without any pivot.
+    fn refresh_xb(&mut self) {
+        self.xb.copy_from_slice(&self.binv_b);
         for j in 0..self.total {
-            let v = cost(j);
-            self.set(self.m, j, v);
-        }
-        self.set_rhs(self.m, 0.0);
-        for i in 0..self.m {
-            if self.dropped[i] {
+            if self.row_of[j] != usize::MAX {
                 continue;
             }
-            let b = self.basis[i];
-            let cb = self.get(self.m, b);
-            if cb != 0.0 {
-                self.row_axpy(self.m, i, -cb);
-            }
-        }
-    }
-
-    /// `row[dst] += factor * row[src]`.
-    fn row_axpy(&mut self, dst: usize, src: usize, factor: f64) {
-        let w = self.total + 1;
-        let (src_off, dst_off) = (src * w, dst * w);
-        for k in 0..w {
-            let v = self.a[src_off + k];
+            let v = if self.at_upper[j] {
+                self.ub[j]
+            } else {
+                self.lb[j]
+            };
+            debug_assert!(v.is_finite(), "nonbasic column {j} rests at {v}");
             if v != 0.0 {
-                self.a[dst_off + k] += factor * v;
+                for i in 0..self.m {
+                    let a = self.tab[i * self.total + j];
+                    if a != 0.0 {
+                        self.xb[i] -= a * v;
+                    }
+                }
             }
         }
     }
 
-    fn pivot(&mut self, r: usize, c: usize) {
-        let w = self.total + 1;
-        let piv = self.get(r, c);
-        debug_assert!(piv.abs() > PIVOT_EPS, "pivot too small: {piv}");
-        let inv = 1.0 / piv;
-        let r_off = r * w;
-        for k in 0..w {
-            self.a[r_off + k] *= inv;
-        }
-        // Clean the pivot cell exactly.
-        self.a[r_off + c] = 1.0;
-        for i in 0..=self.m {
-            if i == r {
+    /// Runs dual-simplex pivots from the current basis until the basic
+    /// values satisfy their bounds (optimal), a violated row admits no
+    /// entering column (infeasible), or `max_pivots` pivots have been spent
+    /// by this call.
+    pub fn solve(&mut self, max_pivots: u64) -> SimplexOutcome {
+        // Repair dual feasibility first. Fixed columns (`ub == lb`) are
+        // excluded from the ratio test, so eliminations can push their
+        // reduced costs to either sign; when a later bound change un-fixes
+        // such a column it rests nonbasic with `d` possibly on the wrong
+        // side. The resting side of a nonbasic column is a free choice —
+        // flip it to match the sign of `d`. If the matching bound is
+        // infinite (cannot happen for boxed MILP columns; defensive for
+        // raw LP use) fall back to the cold dual-feasible basis.
+        let mut need_cold = false;
+        for j in 0..self.total {
+            if self.row_of[j] != usize::MAX || self.ub[j] - self.lb[j] <= COEFF_EPS {
                 continue;
             }
-            let f = self.get(i, c);
-            if f != 0.0 {
-                self.row_axpy(i, r, -f);
-                let ic = self.idx(i, c);
-                self.a[ic] = 0.0;
-            }
-        }
-        self.basis[r] = c;
-    }
-
-    /// Primal simplex iterations on the current cost row. `allowed` filters
-    /// columns that may enter (used to ban artificials in phase 2).
-    fn optimize(&mut self, allowed: impl Fn(usize) -> bool) -> PhaseOutcome {
-        let mut degenerate_run = 0usize;
-        let mut bland = false;
-        for _ in 0..MAX_PIVOTS {
-            // Entering column.
-            let mut entering = None;
-            if bland {
-                for j in 0..self.total {
-                    if allowed(j) && self.get(self.m, j) < -OPT_EPS {
-                        entering = Some(j);
+            if self.at_upper[j] {
+                if self.d[j] > PIVOT_EPS {
+                    if self.lb[j].is_finite() {
+                        self.at_upper[j] = false;
+                    } else {
+                        need_cold = true;
                         break;
                     }
                 }
-            } else {
-                let mut best = -OPT_EPS;
-                for j in 0..self.total {
-                    let r = self.get(self.m, j);
-                    if allowed(j) && r < best {
-                        best = r;
-                        entering = Some(j);
-                    }
-                }
-            }
-            let Some(c) = entering else {
-                return PhaseOutcome::Optimal;
-            };
-            // Ratio test (Bland tie-break: smallest basis index).
-            let mut leave: Option<(usize, f64)> = None;
-            for i in 0..self.m {
-                if self.dropped[i] {
-                    continue;
-                }
-                let aic = self.get(i, c);
-                if aic > PIVOT_EPS {
-                    let ratio = self.rhs(i) / aic;
-                    let better = match leave {
-                        None => true,
-                        Some((li, lr)) => {
-                            ratio < lr - PIVOT_EPS
-                                || (ratio < lr + PIVOT_EPS && self.basis[i] < self.basis[li])
-                        }
-                    };
-                    if better {
-                        leave = Some((i, ratio));
-                    }
-                }
-            }
-            let Some((r, ratio)) = leave else {
-                return PhaseOutcome::Unbounded;
-            };
-            if ratio.abs() < PIVOT_EPS {
-                degenerate_run += 1;
-                if degenerate_run >= BLAND_TRIGGER {
-                    bland = true;
-                }
-            } else {
-                degenerate_run = 0;
-            }
-            self.pivot(r, c);
-        }
-        PhaseOutcome::PivotLimit
-    }
-
-    /// After phase 1, pivot artificial variables out of the basis, dropping
-    /// redundant rows where impossible.
-    fn evict_artificials(&mut self, art_start: usize) {
-        for i in 0..self.m {
-            if self.dropped[i] || self.basis[i] < art_start {
-                continue;
-            }
-            // rhs must be ~0 here since phase-1 optimum is 0.
-            let mut pivot_col = None;
-            for j in 0..art_start {
-                if self.get(i, j).abs() > 1e-6 {
-                    pivot_col = Some(j);
+            } else if self.d[j] < -PIVOT_EPS {
+                if self.ub[j].is_finite() {
+                    self.at_upper[j] = true;
+                } else {
+                    need_cold = true;
                     break;
                 }
             }
-            match pivot_col {
-                Some(j) => self.pivot(i, j),
-                None => {
-                    self.dropped[i] = true;
+        }
+        if need_cold {
+            self.cold_reset();
+        }
+        self.refresh_xb();
+        let mut spent = 0u64;
+        let mut stalled = 0usize;
+        let mut bland = false;
+        loop {
+            // Leaving row: the basic variable most outside its bounds
+            // (tie-break: smallest basis index); under dual Bland, the
+            // violated row whose basic variable has the smallest index.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                let b = self.basis[i];
+                let viol = if self.xb[i] > self.ub[b] + OPT_EPS {
+                    self.xb[i] - self.ub[b]
+                } else if self.xb[i] < self.lb[b] - OPT_EPS {
+                    self.lb[b] - self.xb[i]
+                } else {
+                    continue;
+                };
+                let better = match leave {
+                    None => true,
+                    Some((li, lv)) => {
+                        if bland {
+                            self.basis[i] < self.basis[li]
+                        } else {
+                            viol > lv + PIVOT_EPS
+                                || (viol > lv - PIVOT_EPS && self.basis[i] < self.basis[li])
+                        }
+                    }
+                };
+                if better {
+                    leave = Some((i, viol));
+                }
+            }
+            let Some((r, _)) = leave else {
+                return SimplexOutcome::Optimal;
+            };
+            if spent >= max_pivots {
+                return SimplexOutcome::PivotLimit;
+            }
+
+            let bvar = self.basis[r];
+            let leaves_up = self.xb[r] > self.ub[bvar];
+            let target = if leaves_up {
+                self.ub[bvar]
+            } else {
+                self.lb[bvar]
+            };
+            // Entering column: dual ratio test. With `ᾱ = sgn·α_rj`
+            // (`sgn = +1` when the leaving variable must decrease, `−1` when
+            // it must increase), a nonbasic column is admissible when moving
+            // off its resting bound pushes the violated row toward `target`:
+            // at-lower needs `ᾱ > 0`, at-upper needs `ᾱ < 0`. The minimum of
+            // `d_j / ᾱ` keeps every reduced cost on its dual-feasible side.
+            let sgn = if leaves_up { 1.0 } else { -1.0 };
+            let row_off = r * self.total;
+            let mut cands: Vec<(f64, usize)> = Vec::new();
+            for j in 0..self.total {
+                if self.row_of[j] != usize::MAX || self.ub[j] - self.lb[j] <= COEFF_EPS {
+                    continue;
+                }
+                let ab = sgn * self.tab[row_off + j];
+                let admissible = if self.at_upper[j] {
+                    ab < -PIVOT_EPS
+                } else {
+                    ab > PIVOT_EPS
+                };
+                if admissible {
+                    cands.push((self.d[j] / ab, j));
+                }
+            }
+            if cands.is_empty() {
+                // The violated row cannot be repaired: primal infeasible.
+                return SimplexOutcome::Infeasible;
+            }
+            cands.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
+
+            // Long-step ("bound-flip") ratio test: walk the candidates in
+            // dual-ratio order. A candidate whose full lower↔upper range
+            // cannot absorb the row's remaining bound violation is *flipped*
+            // to its opposite bound (no basis change — after the eventual
+            // pivot its reduced cost crosses zero, so the opposite bound is
+            // where dual feasibility wants it anyway); the first candidate
+            // that can finish the repair enters the basis. Without this an
+            // entering variable lands far outside its own box and the next
+            // iterations pivot it straight back out — a ping-pong that can
+            // burn thousands of pivots per node on big-M models.
+            let mut resid = (self.xb[r] - target).abs();
+            let mut q = cands[cands.len() - 1].1;
+            let mut flips: Vec<usize> = Vec::new();
+            for &(_, j) in &cands {
+                let width = self.ub[j] - self.lb[j];
+                let cap = self.tab[row_off + j].abs() * width;
+                if width.is_finite() && cap < resid - PIVOT_EPS {
+                    flips.push(j);
+                    resid -= cap;
+                } else {
+                    q = j;
+                    break;
+                }
+            }
+            if flips.len() == cands.len() {
+                // Even moving every admissible column across its whole range
+                // cannot repair the row: primal infeasible.
+                return SimplexOutcome::Infeasible;
+            }
+            for &j in &flips {
+                let (from, to) = if self.at_upper[j] {
+                    (self.ub[j], self.lb[j])
+                } else {
+                    (self.lb[j], self.ub[j])
+                };
+                self.at_upper[j] = !self.at_upper[j];
+                let delta = to - from;
+                if delta != 0.0 {
+                    for i in 0..self.m {
+                        let a = self.tab[i * self.total + j];
+                        if a != 0.0 {
+                            self.xb[i] -= a * delta;
+                        }
+                    }
+                }
+            }
+
+            let progress = self.pivot(r, q, target, leaves_up);
+            spent += 1;
+            if progress.abs() < 1e-12 {
+                stalled += 1;
+                if stalled >= BLAND_TRIGGER {
+                    bland = true;
+                }
+            } else {
+                stalled = 0;
+            }
+        }
+    }
+
+    /// Performs the `(r, q)` pivot, sending the leaving variable to `target`
+    /// (its violated bound). Returns the dual-objective progress `d_q · Δq`
+    /// made by the step (used for stall detection).
+    fn pivot(&mut self, r: usize, q: usize, target: f64, leaves_up: bool) -> f64 {
+        let total = self.total;
+        let row_off = r * total;
+        let alpha = self.tab[row_off + q];
+        debug_assert!(alpha.abs() > PIVOT_EPS, "pivot too small: {alpha}");
+
+        let vq = if self.at_upper[q] {
+            self.ub[q]
+        } else {
+            self.lb[q]
+        };
+        let dq_step = (self.xb[r] - target) / alpha;
+        let progress = self.d[q] * dq_step;
+
+        // Basic values move with the entering variable (pre-elimination tab).
+        for i in 0..self.m {
+            if i != r {
+                let a = self.tab[i * total + q];
+                if a != 0.0 {
+                    self.xb[i] -= a * dq_step;
                 }
             }
         }
+
+        // Status bookkeeping: the leaving variable rests at the bound it was
+        // pushed to; the entering variable becomes basic at `vq + Δq`.
+        let bvar = self.basis[r];
+        self.row_of[bvar] = usize::MAX;
+        self.at_upper[bvar] = leaves_up;
+        self.basis[r] = q;
+        self.row_of[q] = r;
+        self.xb[r] = vq + dq_step;
+
+        // Eliminate column q: scale the pivot row, clear it elsewhere,
+        // keeping `B⁻¹b` and the reduced-cost row in lockstep.
+        let inv = 1.0 / alpha;
+        for v in &mut self.tab[row_off..row_off + total] {
+            *v *= inv;
+        }
+        self.tab[row_off + q] = 1.0;
+        self.binv_b[r] *= inv;
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let f = self.tab[i * total + q];
+            if f != 0.0 {
+                let off = i * total;
+                for k in 0..total {
+                    let v = self.tab[row_off + k];
+                    if v != 0.0 {
+                        self.tab[off + k] -= f * v;
+                    }
+                }
+                self.tab[off + q] = 0.0;
+                self.binv_b[i] -= f * self.binv_b[r];
+            }
+        }
+        let f = self.d[q];
+        if f != 0.0 {
+            for k in 0..total {
+                let v = self.tab[row_off + k];
+                if v != 0.0 {
+                    self.d[k] -= f * v;
+                }
+            }
+            self.d[q] = 0.0;
+        }
+
+        self.pivots += 1;
+        progress
+    }
+
+    /// Extracts `(x, c·x)` for the structural variables from the current
+    /// basis. Only meaningful after [`SimplexOutcome::Optimal`]; basic values
+    /// are clamped into their bounds (they satisfy them to `OPT_EPS` at
+    /// optimality).
+    pub fn extract(&self) -> (Vec<f64>, f64) {
+        let x: Vec<f64> = (0..self.n)
+            .map(|j| {
+                let v = match self.row_of[j] {
+                    usize::MAX => {
+                        if self.at_upper[j] {
+                            self.ub[j]
+                        } else {
+                            self.lb[j]
+                        }
+                    }
+                    i => self.xb[i],
+                };
+                v.max(self.lb[j]).min(self.ub[j])
+            })
+            .collect();
+        let objective = (0..self.n).map(|j| self.cost[j] * x[j]).sum();
+        (x, objective)
     }
 }
 
@@ -593,7 +785,9 @@ mod tests {
 
     #[test]
     fn redundant_equalities_dropped() {
-        // x + y == 2 duplicated: phase 1 must cope with a redundant row.
+        // x + y == 2 duplicated: the dual simplex must cope with the
+        // dependent row (after the first repair pivot it collapses to an
+        // all-zero row whose fixed slack sits exactly on its bound).
         let p = lp(
             2,
             vec![
@@ -638,6 +832,65 @@ mod tests {
         );
         let (x, _) = expect_optimal(&p);
         assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_columns_accumulate() {
+        // (0, 0.5) + (0, 0.5) must act as a single coefficient of 1.0, and a
+        // cancelling pair must vanish entirely.
+        let p = lp(
+            2,
+            vec![
+                (vec![(0, 0.5), (0, 0.5), (1, 1.0)], Sense::Le, 3.0),
+                (vec![(1, 2.0), (1, -2.0), (0, 1.0)], Sense::Ge, 1.0),
+            ],
+            vec![-1.0, -1.0],
+            vec![(0.0, 2.0), (0.0, 2.0)],
+        );
+        let (x, obj) = expect_optimal(&p);
+        assert!((obj + 3.0).abs() < 1e-6, "obj={obj}, x={x:?}");
+
+        let mut row = LpRow {
+            coeffs: vec![(1, 2.0), (1, -2.0), (0, 0.5), (0, 0.5)],
+            sense: Sense::Le,
+            rhs: 0.0,
+        };
+        row.canonicalize();
+        assert_eq!(row.coeffs, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn warm_restart_after_bound_change() {
+        // Solve, tighten a bound, re-solve warm: the carried basis must stay
+        // dual feasible and land on the new optimum in few pivots.
+        let p = lp(
+            2,
+            vec![(vec![(0, 1.0), (1, 1.0)], Sense::Le, 3.0)],
+            vec![-1.0, -2.0],
+            vec![(0.0, 2.0), (0.0, 2.0)],
+        );
+        let mut sx = BoundedSimplex::new(&p).unwrap();
+        assert_eq!(sx.solve(1_000), SimplexOutcome::Optimal);
+        let (_, obj) = sx.extract();
+        assert!((obj + 5.0).abs() < 1e-6, "cold obj={obj}");
+        let cold_pivots = sx.pivots();
+
+        // Branch: y <= 0. New optimum: x = 2, y = 0 -> obj -2.
+        sx.set_bounds(&[0.0, 0.0], &[2.0, 0.0]);
+        assert_eq!(sx.solve(1_000), SimplexOutcome::Optimal);
+        let (x, obj) = sx.extract();
+        assert!((obj + 2.0).abs() < 1e-6, "warm obj={obj}, x={x:?}");
+        assert!(
+            sx.pivots() - cold_pivots <= 2,
+            "warm repair took {} pivots",
+            sx.pivots() - cold_pivots
+        );
+
+        // Relax back: the basis from the child is still dual feasible.
+        sx.set_bounds(&p.lb, &p.ub);
+        assert_eq!(sx.solve(1_000), SimplexOutcome::Optimal);
+        let (_, obj) = sx.extract();
+        assert!((obj + 5.0).abs() < 1e-6, "relaxed obj={obj}");
     }
 
     /// Random LPs: compare against brute-force over a fine grid is too weak;

@@ -1,10 +1,32 @@
-//! Depth-first branch-and-bound over the simplex LP relaxation.
+//! Warm-started branch-and-bound over the bounded-variable dual simplex.
+//!
+//! The search keeps **one** [`BoundedSimplex`] alive for its whole lifetime:
+//! branching only ever changes variable bounds, and bound changes preserve
+//! dual feasibility of whatever basis the previous node left behind, so an
+//! interior node costs a handful of dual pivots instead of a full solve.
+//! Branching variables are chosen by reliability-initialized pseudo-costs
+//! (binaries first), and a deterministic rounding/diving pass at the root
+//! produces an early incumbent for pruning. Everything is sequential and
+//! deterministic: same model + config ⇒ same pivots, nodes and solution.
 
 use crate::model::{Model, VarId};
 use crate::presolve;
-use crate::simplex::{solve_lp_with_bounds, LpProblem, LpResult, LpRow};
+use crate::simplex::{BoundedSimplex, LpProblem, LpRow, SimplexOutcome};
 use crate::IlpError;
 use std::time::{Duration, Instant};
+
+/// Pivot cap for a single node re-solve (backstop, not a tuning knob).
+const NODE_PIVOTS: u64 = 200_000;
+/// Pivot cap for one strong-branching probe.
+const PROBE_PIVOTS: u64 = 2_000;
+/// Pivot cap for one diving step.
+const DIVE_PIVOTS: u64 = 20_000;
+/// Observations per direction before a variable's pseudo-cost is trusted.
+const RELIABILITY: u32 = 1;
+/// Total strong-branching probes allowed per search.
+const STRONG_BUDGET: u64 = 48;
+/// Pseudo-cost gain recorded when a probe proves a child infeasible.
+const INFEASIBLE_GAIN: f64 = 1e6;
 
 /// Configuration of the MILP search.
 #[derive(Debug, Clone)]
@@ -26,6 +48,10 @@ pub struct SolverConfig {
     /// externally-known solution (e.g. a heuristic) without encoding the
     /// full assignment.
     pub cutoff: Option<f64>,
+    /// Carry the simplex basis between nodes (default: true). `false` resets
+    /// to the cold all-slack basis before every LP solve — the scratch-solve
+    /// baseline used to benchmark the warm-start win.
+    pub warm_start: bool,
 }
 
 impl Default for SolverConfig {
@@ -37,6 +63,7 @@ impl Default for SolverConfig {
             incumbent: None,
             presolve: true,
             cutoff: None,
+            warm_start: true,
         }
     }
 }
@@ -51,6 +78,41 @@ pub enum SolveStatus {
     Feasible,
 }
 
+/// Where the final incumbent of a search came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IncumbentSource {
+    /// No incumbent was produced (only possible on error paths).
+    #[default]
+    None,
+    /// The caller-supplied [`SolverConfig::incumbent`] was never improved.
+    Supplied,
+    /// The root diving heuristic found it.
+    Diving,
+    /// The tree search found it at an integral node.
+    Search,
+}
+
+/// Work counters of one branch-and-bound search. All fields are exact
+/// integers so downstream aggregates stay `Eq`-comparable; derived rates
+/// (e.g. warm-start reuse) are computed by consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// Total simplex pivots across all LP solves (nodes, probes, dives).
+    pub pivots: u64,
+    /// LP solves that reused the carried basis.
+    pub warm_solves: u64,
+    /// LP solves started from the cold all-slack basis.
+    pub cold_solves: u64,
+    /// Strong-branching probes spent initializing pseudo-costs.
+    pub strong_branches: u64,
+    /// Diving passes attempted.
+    pub dives: u64,
+    /// Provenance of the returned incumbent.
+    pub incumbent_source: IncumbentSource,
+}
+
 /// An integer-feasible solution returned by [`solve`].
 #[derive(Debug, Clone)]
 pub struct MilpSolution {
@@ -61,6 +123,8 @@ pub struct MilpSolution {
     pub status: SolveStatus,
     /// Number of branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Work counters of the search that produced this solution.
+    pub stats: SolveStats,
 }
 
 impl MilpSolution {
@@ -112,21 +176,50 @@ pub fn solve(model: &Model, config: &SolverConfig) -> Result<MilpSolution, IlpEr
     BranchAndBound::new(model, config)?.run()
 }
 
+/// Outcome of one LP solve inside the search.
+enum NodeLp {
+    Optimal(Vec<f64>, f64),
+    Infeasible,
+    Limit,
+}
+
+/// One open node: a bound box plus, for pseudo-cost learning, the branching
+/// decision that created it (`variable`, `went up?`, `fractionality at the
+/// parent`, `parent LP objective`).
+struct Node {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    parent: Option<(usize, bool, f64, f64)>,
+}
+
 /// The branch-and-bound engine behind [`solve`], exposed for callers that
-/// want to inspect node counts or reuse a configured instance.
+/// want to inspect work counters (also available after a failed [`run`],
+/// unlike [`MilpSolution::stats`]) or reuse a configured instance.
+///
+/// [`run`]: BranchAndBound::run
 pub struct BranchAndBound<'a> {
     model: &'a Model,
     config: &'a SolverConfig,
-    base: LpProblem,
+    sx: BoundedSimplex,
     int_vars: Vec<usize>,
     /// Per-variable flag: true for 0/1 variables (branched first).
     is_binary: Vec<bool>,
     lb0: Vec<f64>,
     ub0: Vec<f64>,
+    /// Pseudo-cost sums / observation counts, per variable and direction.
+    pc_dn: Vec<f64>,
+    pc_up: Vec<f64>,
+    n_dn: Vec<u32>,
+    n_up: Vec<u32>,
+    /// The very first solve uses the basis fresh from construction; it is
+    /// counted as a cold solve even in warm-start mode.
+    fresh_basis: bool,
+    stats: SolveStats,
 }
 
 impl<'a> BranchAndBound<'a> {
-    /// Prepares the search (validates bounds, applies presolve).
+    /// Prepares the search (validates bounds, applies presolve, builds the
+    /// persistent simplex tableau).
     ///
     /// # Errors
     ///
@@ -170,6 +263,7 @@ impl<'a> BranchAndBound<'a> {
             lb: lb0.clone(),
             ub: ub0.clone(),
         };
+        let sx = BoundedSimplex::new(&base)?;
         let int_vars: Vec<usize> = model.integer_vars().iter().map(|v| v.index()).collect();
         let is_binary = model
             .vars()
@@ -179,12 +273,24 @@ impl<'a> BranchAndBound<'a> {
         Ok(BranchAndBound {
             model,
             config,
-            base,
+            sx,
             int_vars,
             is_binary,
             lb0,
             ub0,
+            pc_dn: vec![0.0; n],
+            pc_up: vec![0.0; n],
+            n_dn: vec![0; n],
+            n_up: vec![0; n],
+            fresh_basis: true,
+            stats: SolveStats::default(),
         })
+    }
+
+    /// Work counters accumulated so far. Valid after [`BranchAndBound::run`]
+    /// even when it returned an error (e.g. a cutoff pruned every node).
+    pub fn stats(&self) -> SolveStats {
+        self.stats
     }
 
     /// Runs the search to completion or to a limit.
@@ -195,21 +301,35 @@ impl<'a> BranchAndBound<'a> {
     pub fn run(&mut self) -> Result<MilpSolution, IlpError> {
         let start = Instant::now();
         let obj_const = self.model.objective().constant();
-        let mut best: Option<(f64, Vec<f64>)> = None;
+        let cutoff = self.config.cutoff;
+        // An incumbent is accepted only when it beats the current best AND
+        // clears the external cutoff — a cutoff at (or below) a solution's
+        // objective means the caller already has something at least as good.
+        let accepts = |best: &Option<(f64, Vec<f64>, IncumbentSource)>, obj: f64| {
+            best.as_ref().is_none_or(|(b, _, _)| obj < *b - 1e-9)
+                && cutoff.is_none_or(|c| obj < c - 1e-9)
+        };
+
+        let mut best: Option<(f64, Vec<f64>, IncumbentSource)> = None;
         if let Some(seed) = &self.config.incumbent {
             if self.model.is_feasible(seed, 1e-6) {
                 let rounded = self.round_ints(seed.clone());
                 let obj = self.model.objective().eval(&rounded);
-                best = Some((obj, rounded));
+                if accepts(&best, obj) {
+                    best = Some((obj, rounded, IncumbentSource::Supplied));
+                }
             }
         }
 
-        let mut stack: Vec<(Vec<f64>, Vec<f64>)> = vec![(self.lb0.clone(), self.ub0.clone())];
-        let mut nodes = 0usize;
+        let mut stack: Vec<Node> = vec![Node {
+            lb: self.lb0.clone(),
+            ub: self.ub0.clone(),
+            parent: None,
+        }];
         let mut limit_hit = false;
 
-        while let Some((lb, ub)) = stack.pop() {
-            if nodes >= self.config.max_nodes {
+        while let Some(node) = stack.pop() {
+            if self.stats.nodes >= self.config.max_nodes as u64 {
                 limit_hit = true;
                 break;
             }
@@ -219,16 +339,32 @@ impl<'a> BranchAndBound<'a> {
                     break;
                 }
             }
-            nodes += 1;
+            self.stats.nodes += 1;
+            let at_root = self.stats.nodes == 1;
 
-            let (x, obj) = match solve_lp_with_bounds(&self.base, &lb, &ub)? {
-                LpResult::Optimal { x, objective } => (x, objective),
-                LpResult::Infeasible => continue,
-                LpResult::Unbounded => continue, // cannot happen with finite bounds
+            let (x, obj) = match self.solve_node(&node.lb, &node.ub, NODE_PIVOTS) {
+                NodeLp::Optimal(x, obj) => (x, obj),
+                NodeLp::Infeasible => continue,
+                NodeLp::Limit => {
+                    limit_hit = true;
+                    break;
+                }
             };
-            let bound = match (&best, self.config.cutoff) {
-                (Some((b, _)), Some(c)) => Some(b.min(c)),
-                (Some((b, _)), None) => Some(*b),
+            // Pseudo-cost learning: the LP degradation per unit of the
+            // fractionality the branch removed.
+            if let Some((j, up, frac, parent_obj)) = node.parent {
+                let gain = ((obj - parent_obj) / frac.max(1e-6)).max(0.0);
+                if up {
+                    self.pc_up[j] += gain;
+                    self.n_up[j] += 1;
+                } else {
+                    self.pc_dn[j] += gain;
+                    self.n_dn[j] += 1;
+                }
+            }
+            let bound = match (&best, cutoff) {
+                (Some((b, _, _)), Some(c)) => Some(b.min(c)),
+                (Some((b, _, _)), None) => Some(*b),
                 (None, c) => c,
             };
             if let Some(bound) = bound {
@@ -238,74 +374,242 @@ impl<'a> BranchAndBound<'a> {
                     continue;
                 }
             }
-            // Branch on the most fractional variable, binaries first:
-            // fixing structural 0/1 decisions (bindings, configurations,
-            // conflict selectors) collapses the big-M disjunctions much
-            // faster than squeezing start-time integers.
-            let mut branch: Option<(usize, f64)> = None;
-            let mut best_key = (false, self.config.int_tol);
+
+            // Fractional integer variables of this node's LP optimum.
+            let mut cands: Vec<(usize, f64)> = Vec::new();
             for &j in &self.int_vars {
-                let f = (x[j] - x[j].round()).abs();
-                if f <= self.config.int_tol {
-                    continue;
-                }
-                let key = (self.is_binary[j], f);
-                if key > best_key {
-                    best_key = key;
-                    branch = Some((j, x[j]));
+                if (x[j] - x[j].round()).abs() > self.config.int_tol {
+                    cands.push((j, x[j]));
                 }
             }
-            match branch {
-                None => {
-                    let rounded = self.round_ints(x);
-                    if self.model.is_feasible(&rounded, 1e-5) {
-                        let robj = self.model.objective().eval(&rounded);
-                        if best.as_ref().is_none_or(|(b, _)| robj < *b - 1e-9) {
-                            best = Some((robj, rounded));
-                        }
+            if cands.is_empty() {
+                let rounded = self.round_ints(x);
+                if self.model.is_feasible(&rounded, 1e-5) {
+                    let robj = self.model.objective().eval(&rounded);
+                    if accepts(&best, robj) {
+                        best = Some((robj, rounded, IncumbentSource::Search));
                     }
                 }
-                Some((j, xj)) => {
-                    let floor = xj.floor();
-                    // Explore the nearer branch first (pushed last).
-                    let mut down = (lb.clone(), ub.clone());
-                    down.1[j] = floor.min(ub[j]);
-                    let mut up = (lb, ub);
-                    up.0[j] = (floor + 1.0).max(up.0[j]);
-                    let down_feasible = down.0[j] <= down.1[j] + 1e-12;
-                    let up_feasible = up.0[j] <= up.1[j] + 1e-12;
-                    if xj - floor <= 0.5 {
-                        if up_feasible {
-                            stack.push(up);
-                        }
-                        if down_feasible {
-                            stack.push(down);
-                        }
-                    } else {
-                        if down_feasible {
-                            stack.push(down);
-                        }
-                        if up_feasible {
-                            stack.push(up);
-                        }
+                continue;
+            }
+
+            // Root diving: chase an early incumbent before growing the tree.
+            if at_root {
+                if let Some((dobj, dx)) = self.dive(&node.lb, &node.ub, &x) {
+                    if accepts(&best, dobj) {
+                        best = Some((dobj, dx, IncumbentSource::Diving));
                     }
+                }
+            }
+
+            let (j, xj) = self.choose_branch(&node.lb, &node.ub, &cands);
+            let floor = xj.floor();
+            let f_dn = xj - floor;
+            // Explore the nearer branch first (pushed last).
+            let mut down = Node {
+                lb: node.lb.clone(),
+                ub: node.ub.clone(),
+                parent: Some((j, false, f_dn, obj)),
+            };
+            down.ub[j] = floor.min(node.ub[j]);
+            let mut up = Node {
+                lb: node.lb,
+                ub: node.ub,
+                parent: Some((j, true, 1.0 - f_dn, obj)),
+            };
+            up.lb[j] = (floor + 1.0).max(up.lb[j]);
+            let down_feasible = down.lb[j] <= down.ub[j] + 1e-12;
+            let up_feasible = up.lb[j] <= up.ub[j] + 1e-12;
+            if f_dn <= 0.5 {
+                if up_feasible {
+                    stack.push(up);
+                }
+                if down_feasible {
+                    stack.push(down);
+                }
+            } else {
+                if down_feasible {
+                    stack.push(down);
+                }
+                if up_feasible {
+                    stack.push(up);
                 }
             }
         }
 
         match best {
-            Some((objective, values)) => Ok(MilpSolution {
-                values,
-                objective,
-                status: if limit_hit {
-                    SolveStatus::Feasible
-                } else {
-                    SolveStatus::Optimal
-                },
-                nodes,
-            }),
+            Some((objective, values, source)) => {
+                self.stats.incumbent_source = source;
+                Ok(MilpSolution {
+                    values,
+                    objective,
+                    status: if limit_hit {
+                        SolveStatus::Feasible
+                    } else {
+                        SolveStatus::Optimal
+                    },
+                    nodes: self.stats.nodes as usize,
+                    stats: self.stats,
+                })
+            }
             None if limit_hit => Err(IlpError::LimitWithoutSolution),
             None => Err(IlpError::Infeasible),
+        }
+    }
+
+    /// One LP solve over the persistent simplex. In warm-start mode the
+    /// carried basis is reused (it is dual feasible for any bounds); in
+    /// scratch mode the tableau is reset to the cold basis first.
+    fn solve_node(&mut self, lb: &[f64], ub: &[f64], cap: u64) -> NodeLp {
+        if !self.config.warm_start || self.fresh_basis {
+            if !self.fresh_basis {
+                self.sx.cold_reset();
+            }
+            self.stats.cold_solves += 1;
+        } else {
+            self.stats.warm_solves += 1;
+        }
+        self.fresh_basis = false;
+        self.sx.set_bounds(lb, ub);
+        let out = self.sx.solve(cap);
+        self.stats.pivots = self.sx.pivots();
+        match out {
+            SimplexOutcome::Optimal => {
+                let (x, obj) = self.sx.extract();
+                NodeLp::Optimal(x, obj)
+            }
+            SimplexOutcome::Infeasible => NodeLp::Infeasible,
+            SimplexOutcome::PivotLimit => NodeLp::Limit,
+        }
+    }
+
+    /// Deterministic rounding/diving heuristic: repeatedly fix the most
+    /// fractional integer variable to its nearest integer and repair the LP
+    /// with a warm dual-simplex pass. Returns a model-feasible point (and its
+    /// true objective, constant included) or `None` if the dive dead-ends.
+    fn dive(&mut self, lb0: &[f64], ub0: &[f64], x0: &[f64]) -> Option<(f64, Vec<f64>)> {
+        self.stats.dives += 1;
+        let mut lb = lb0.to_vec();
+        let mut ub = ub0.to_vec();
+        let mut x = x0.to_vec();
+        for _ in 0..self.int_vars.len() {
+            let mut pick: Option<usize> = None;
+            let mut worst = self.config.int_tol;
+            for &j in &self.int_vars {
+                let f = (x[j] - x[j].round()).abs();
+                if f > worst {
+                    worst = f;
+                    pick = Some(j);
+                }
+            }
+            let Some(j) = pick else { break };
+            let v = x[j].round().clamp(lb[j], ub[j]);
+            lb[j] = v;
+            ub[j] = v;
+            match self.solve_node(&lb, &ub, DIVE_PIVOTS) {
+                NodeLp::Optimal(nx, _) => x = nx,
+                _ => return None,
+            }
+        }
+        let rounded = self.round_ints(x);
+        if self.model.is_feasible(&rounded, 1e-5) {
+            Some((self.model.objective().eval(&rounded), rounded))
+        } else {
+            None
+        }
+    }
+
+    /// Picks the branching variable among `cands` (fractional integers):
+    /// binaries are preferred outright — fixing structural 0/1 decisions
+    /// (bindings, configurations, conflict selectors) collapses the big-M
+    /// disjunctions much faster than squeezing start-time integers — then
+    /// the pseudo-cost product rule decides, with unreliable pseudo-costs
+    /// initialized by bounded strong-branching probes.
+    fn choose_branch(&mut self, lb: &[f64], ub: &[f64], cands: &[(usize, f64)]) -> (usize, f64) {
+        let nbins = cands.iter().filter(|&&(j, _)| self.is_binary[j]).count();
+        let pool: Vec<(usize, f64)> = if nbins > 0 {
+            cands
+                .iter()
+                .copied()
+                .filter(|&(j, _)| self.is_binary[j])
+                .collect()
+        } else {
+            cands.to_vec()
+        };
+        if pool.len() == 1 {
+            return pool[0];
+        }
+
+        // Reliability initialization: probe unobserved directions with a
+        // bounded warm dual solve, in ascending variable order.
+        for &(j, xj) in &pool {
+            let floor = xj.floor();
+            if self.n_dn[j] < RELIABILITY && self.stats.strong_branches < STRONG_BUDGET {
+                self.probe(lb, ub, j, floor, false, xj - floor);
+            }
+            if self.n_up[j] < RELIABILITY && self.stats.strong_branches < STRONG_BUDGET {
+                self.probe(lb, ub, j, floor, true, (floor + 1.0) - xj);
+            }
+        }
+
+        let mut best = pool[0];
+        let mut best_score = f64::NEG_INFINITY;
+        for &(j, xj) in &pool {
+            let f_dn = xj - xj.floor();
+            let f_up = 1.0 - f_dn;
+            let avg_dn = if self.n_dn[j] > 0 {
+                self.pc_dn[j] / f64::from(self.n_dn[j])
+            } else {
+                1.0
+            };
+            let avg_up = if self.n_up[j] > 0 {
+                self.pc_up[j] / f64::from(self.n_up[j])
+            } else {
+                1.0
+            };
+            let score = (avg_dn * f_dn).max(1e-6) * (avg_up * f_up).max(1e-6);
+            if score > best_score + 1e-12 {
+                best_score = score;
+                best = (j, xj);
+            }
+        }
+        best
+    }
+
+    /// One strong-branching probe: solve the would-be child LP under a pivot
+    /// cap and record the observed degradation as a pseudo-cost observation.
+    fn probe(&mut self, lb: &[f64], ub: &[f64], j: usize, floor: f64, up: bool, frac: f64) {
+        self.stats.strong_branches += 1;
+        let base = self.sx.extract().1;
+        let mut clb = lb.to_vec();
+        let mut cub = ub.to_vec();
+        if up {
+            clb[j] = (floor + 1.0).max(clb[j]);
+        } else {
+            cub[j] = floor.min(cub[j]);
+        }
+        if clb[j] > cub[j] + 1e-12 {
+            // Empty child: branching this way closes the subtree outright.
+            let (pc, n) = if up {
+                (&mut self.pc_up[j], &mut self.n_up[j])
+            } else {
+                (&mut self.pc_dn[j], &mut self.n_dn[j])
+            };
+            *pc += INFEASIBLE_GAIN;
+            *n += 1;
+            return;
+        }
+        let gain = match self.solve_node(&clb, &cub, PROBE_PIVOTS) {
+            NodeLp::Optimal(_, child_obj) => ((child_obj - base) / frac.max(1e-6)).max(0.0),
+            NodeLp::Infeasible => INFEASIBLE_GAIN,
+            NodeLp::Limit => return, // unobserved; budget still consumed
+        };
+        if up {
+            self.pc_up[j] += gain;
+            self.n_up[j] += 1;
+        } else {
+            self.pc_dn[j] += gain;
+            self.n_dn[j] += 1;
         }
     }
 
@@ -398,6 +702,7 @@ mod tests {
         let sol = solve(&m, &config).unwrap();
         assert_eq!(sol.status, SolveStatus::Feasible);
         assert_eq!(sol.objective, 1.0);
+        assert_eq!(sol.stats.incumbent_source, IncumbentSource::Supplied);
     }
 
     #[test]
@@ -443,6 +748,49 @@ mod tests {
         m.set_objective(x + y);
         let sol = solve(&m, &cfg()).unwrap();
         assert_eq!(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn scratch_mode_agrees_with_warm_start() {
+        // Same optimum either way; scratch mode must report zero warm solves.
+        let mut m = Model::minimize();
+        let x = m.integer("x", 0.0, 7.0);
+        let y = m.integer("y", 0.0, 7.0);
+        let q = m.binary("q");
+        m.add_con(3.0 * x + 5.0 * y, Sense::Le, 19.0);
+        m.add_con(1.0 * x + 1.0 * y - 4.0 * q, Sense::Ge, -1.0);
+        m.set_objective(-(2.0 * x + 3.0 * y) + 1.0 * q);
+        let warm = solve(&m, &cfg()).unwrap();
+        let scratch = solve(
+            &m,
+            &SolverConfig {
+                warm_start: false,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        assert_eq!(warm.objective, scratch.objective);
+        assert_eq!(scratch.stats.warm_solves, 0);
+        assert!(warm.stats.warm_solves > 0 || warm.stats.nodes <= 1);
+        assert!(warm.stats.pivots > 0 && scratch.stats.pivots > 0);
+    }
+
+    #[test]
+    fn stats_survive_failed_runs() {
+        // A cutoff at the optimum prunes everything; the counters must still
+        // be readable from the engine.
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.add_con(1.0 * x, Sense::Ge, 1.0);
+        m.set_objective(1.0 * x);
+        let config = SolverConfig {
+            cutoff: Some(1.0),
+            ..SolverConfig::default()
+        };
+        let mut bb = BranchAndBound::new(&m, &config).unwrap();
+        assert!(bb.run().is_err());
+        assert!(bb.stats().nodes >= 1);
+        assert_eq!(bb.stats().incumbent_source, IncumbentSource::None);
     }
 
     /// Exhaustive cross-check on random small pure-integer programs.

@@ -192,6 +192,20 @@ fn synth(args: &[String]) -> Result<(), CliError> {
         result.schedule.path_count(),
         result.runtime
     );
+    let mut solver = mfhls::core::SolverStats::default();
+    for it in &result.iterations {
+        solver.merge(&it.solver);
+    }
+    if solver.ilp_solves > 0 {
+        println!(
+            "exact solver: {} solves ({} proven optimal) | {} nodes | {} LP pivots | warm-start rate {:.1}%",
+            solver.ilp_solves,
+            solver.proven_optimal,
+            solver.nodes,
+            solver.pivots,
+            solver.warm_start_rate() * 100.0
+        );
+    }
     if flags.has("--iterations") {
         for (k, it) in result.iterations.iter().enumerate() {
             println!(

@@ -52,6 +52,82 @@ fn synthesis_is_thread_count_invariant() {
 }
 
 #[test]
+fn ilp_solver_is_thread_count_invariant() {
+    // The exact §4 path must honour the same contract as the heuristic:
+    // identical schedules AND identical solver work counters at any thread
+    // count. The counters live inside cached layer solutions, so cache hits
+    // (however speculation warmed the cache) replay the original solve's
+    // numbers. Hand-built two-layer assay: small enough for debug-mode
+    // exact solves, with an indeterminate op so re-synthesis and
+    // speculative pre-solving actually run.
+    use mfhls::chip::{Accessory, Capacity, ContainerKind};
+    use mfhls::{Duration, Operation};
+    let mut assay = mfhls::Assay::new("ilp-determinism");
+    let mix = assay.add_op(
+        Operation::new("mix")
+            .container(ContainerKind::Ring)
+            .capacity(Capacity::Medium)
+            .accessory(Accessory::Pump)
+            .with_duration(Duration::fixed(6)),
+    );
+    let heat = assay.add_op(
+        Operation::new("heat")
+            .container(ContainerKind::Chamber)
+            .capacity(Capacity::Small)
+            .accessory(Accessory::HeatingPad)
+            .with_duration(Duration::fixed(4)),
+    );
+    let capture = assay.add_op(
+        Operation::new("capture")
+            .container(ContainerKind::Chamber)
+            .capacity(Capacity::Small)
+            .with_duration(Duration::at_least(3)),
+    );
+    let wash = assay.add_op(
+        Operation::new("wash")
+            .container(ContainerKind::Ring)
+            .capacity(Capacity::Medium)
+            .accessory(Accessory::Pump)
+            .with_duration(Duration::fixed(5)),
+    );
+    let detect = assay.add_op(
+        Operation::new("detect")
+            .accessory(Accessory::OpticalSystem)
+            .with_duration(Duration::fixed(2)),
+    );
+    assay.add_dependency(mix, capture).unwrap();
+    assay.add_dependency(heat, capture).unwrap();
+    assay.add_dependency(capture, wash).unwrap();
+    assay.add_dependency(wash, detect).unwrap();
+    let run = || {
+        Synthesizer::new(SynthConfig {
+            solver: mfhls::core::SolverKind::Ilp { max_nodes: 100_000 },
+            ..SynthConfig::default()
+        })
+        .run(&assay)
+        .expect("small assay must synthesize with the exact solver")
+    };
+    let seq = with_threads(1, run);
+    let par = with_threads(4, run);
+    assert_eq!(
+        seq.schedule, par.schedule,
+        "ILP schedule differs between 1 and 4 threads"
+    );
+    assert_eq!(seq.iterations.len(), par.iterations.len());
+    for (s, p) in seq.iterations.iter().zip(&par.iterations) {
+        assert_eq!(s.exec_time, p.exec_time);
+        assert_eq!(s.objective, p.objective);
+        assert_eq!(
+            s.solver, p.solver,
+            "ILP solver stats differ between 1 and 4 threads"
+        );
+    }
+    // The exact path actually ran: every iteration carries ILP work.
+    assert!(seq.iterations.iter().all(|it| it.solver.ilp_solves > 0));
+    assert!(seq.iterations.iter().all(|it| it.solver.pivots > 0));
+}
+
+#[test]
 fn layer_cache_is_a_pure_accelerator() {
     for assay in cases() {
         let run = |cache: bool| {

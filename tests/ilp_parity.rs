@@ -1,0 +1,97 @@
+//! Exact-vs-heuristic parity on per-layer sub-problems.
+//!
+//! Walks the layering of small benchmark assays, lifts each layer into a
+//! standalone single-layer assay (same ops, same internal dependencies),
+//! and solves it with both back-ends: the exact §4 solver must never be
+//! worse than the heuristic on the same sub-problem, and both solutions
+//! must pass the paper-constraint validator.
+
+use mfhls::chip::CostModel;
+use mfhls::core::heuristic::HeuristicLayerSolver;
+use mfhls::core::ilp_model::IlpLayerSolver;
+use mfhls::core::{
+    layer_assay, Assay, HybridSchedule, LayerProblem, LayerSchedule, LayerSolver as _,
+    TransportConfig, TransportTimes, Weights,
+};
+use std::collections::BTreeSet;
+
+/// Rebuilds one layer of `assay` as a standalone assay: the layer's ops
+/// (fresh dense ids, insertion order = ascending original id) plus the
+/// dependencies internal to the layer.
+fn lift_layer(assay: &Assay, ops: &[mfhls::core::OpId]) -> Assay {
+    let mut sub = Assay::new(&format!("{}-layer", assay.name()));
+    let ids: Vec<_> = ops
+        .iter()
+        .map(|&o| sub.add_op(assay.op(o).clone()))
+        .collect();
+    for (parent, child) in assay.dependencies() {
+        if let (Some(p), Some(c)) = (
+            ops.iter().position(|&o| o == parent),
+            ops.iter().position(|&o| o == child),
+        ) {
+            sub.add_dependency(ids[p], ids[c])
+                .expect("layer deps stay acyclic");
+        }
+    }
+    sub
+}
+
+/// Wraps a single-layer solution as a complete schedule for the validator.
+fn as_schedule(sol: &mfhls::core::LayerSolution) -> HybridSchedule {
+    HybridSchedule {
+        layers: vec![LayerSchedule::new(sol.slots.clone())],
+        devices: sol.devices.clone(),
+        paths: sol.new_paths.clone(),
+    }
+}
+
+#[test]
+fn exact_layer_solutions_never_lose_to_heuristic() {
+    let costs = CostModel::default();
+    for assay in [
+        mfhls::assays::kinase_activity(1),
+        mfhls::assays::gene_expression(4),
+    ] {
+        let layering = layer_assay(&assay, 10).expect("benchmark assay must layer");
+        for (layer, ops) in layering.layers().iter().enumerate() {
+            if ops.len() > 12 {
+                continue; // keep debug-mode runtime bounded
+            }
+            let sub = lift_layer(&assay, ops);
+            let transport = TransportTimes::initial(&sub, &TransportConfig::default());
+            let problem = LayerProblem {
+                assay: &sub,
+                ops: sub.op_ids().collect(),
+                devices: vec![],
+                bindable: vec![],
+                max_devices: 6,
+                transport: &transport,
+                weights: Weights::default(),
+                costs: &costs,
+                existing_paths: BTreeSet::new(),
+                cross_inputs: vec![],
+                component_oriented: true,
+            };
+            let heur = HeuristicLayerSolver::default()
+                .solve(&problem)
+                .expect("heuristic must solve every layer");
+            let exact = IlpLayerSolver::default()
+                .solve(&problem)
+                .expect("exact solver must solve every layer");
+            assert!(
+                exact.objective <= heur.objective,
+                "{} layer {layer}: exact {} > heuristic {}",
+                assay.name(),
+                exact.objective,
+                heur.objective
+            );
+            assert!(exact.stats.ilp_solves == 1 && exact.stats.proven_optimal == 1);
+            assert_eq!(heur.stats, Default::default());
+            for (label, sol) in [("exact", &exact), ("heuristic", &heur)] {
+                as_schedule(sol)
+                    .validate(&sub)
+                    .unwrap_or_else(|e| panic!("{label} layer {layer} schedule invalid: {e}"));
+            }
+        }
+    }
+}

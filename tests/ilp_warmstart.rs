@@ -1,0 +1,87 @@
+//! Acceptance pin for the warm-started exact path: a paper-scale layer
+//! (25 operations) solves to *proven* optimality under the default node
+//! budget, and carrying the simplex basis across branch-and-bound nodes
+//! costs at least 5× fewer LP pivots than cold-solving every node on the
+//! identical model.
+
+use mfhls::chip::{Capacity, ContainerKind, CostModel};
+use mfhls::core::ilp_model::IlpLayerSolver;
+use mfhls::core::{
+    Assay, Duration, LayerProblem, Operation, TransportConfig, TransportTimes, Weights,
+};
+use std::collections::BTreeSet;
+
+/// A 25-op single-layer assay: a dependency chain over the first 23 ops
+/// (scheduling order mostly forced) with two free tail ops, alternating
+/// between two container classes so bindings genuinely compete. Mirrors
+/// the `ilp_warmstart` bench bin.
+fn layer_assay() -> Assay {
+    let n = 25;
+    let mut assay = Assay::new("warmstart-25");
+    let ids: Vec<_> = (0..n)
+        .map(|k| {
+            let mut op =
+                Operation::new(&format!("o{k}")).with_duration(Duration::fixed(2 + (k as u64 % 5)));
+            op = if k % 2 == 0 {
+                op.container(ContainerKind::Ring).capacity(Capacity::Medium)
+            } else {
+                op.container(ContainerKind::Chamber)
+                    .capacity(Capacity::Small)
+            };
+            assay.add_op(op)
+        })
+        .collect();
+    for k in 1..(n - 2) {
+        assay.add_dependency(ids[k - 1], ids[k]).expect("acyclic");
+    }
+    assay
+}
+
+#[test]
+fn paper_scale_layer_proves_optimality_with_5x_fewer_pivots_warm() {
+    let assay = layer_assay();
+    let costs = CostModel::default();
+    let transport = TransportTimes::initial(&assay, &TransportConfig::default());
+    let problem = LayerProblem {
+        assay: &assay,
+        ops: assay.op_ids().collect(),
+        devices: vec![],
+        bindable: vec![],
+        max_devices: 2,
+        transport: &transport,
+        weights: Weights::default(),
+        costs: &costs,
+        existing_paths: BTreeSet::new(),
+        cross_inputs: vec![],
+        component_oriented: true,
+    };
+
+    let (warm_sol, warm) = IlpLayerSolver::default().solve_with_stats(&problem);
+    let warm_sol = warm_sol.expect("warm solve must succeed");
+    assert_eq!(
+        warm.proven_optimal, 1,
+        "default budget must prove optimality"
+    );
+    assert_eq!(warm.cold_solves, 1, "only the first LP starts cold");
+    assert!(warm.warm_solves > 0);
+
+    let (cold_sol, cold) = IlpLayerSolver {
+        warm_start: false,
+        ..IlpLayerSolver::default()
+    }
+    .solve_with_stats(&problem);
+    let cold_sol = cold_sol.expect("scratch solve must succeed");
+    assert_eq!(cold.proven_optimal, 1);
+    assert_eq!(cold.warm_solves, 0, "scratch mode must never reuse a basis");
+
+    assert_eq!(
+        warm_sol.objective, cold_sol.objective,
+        "both modes must prove the same optimum"
+    );
+    assert!(
+        cold.pivots >= 5 * warm.pivots,
+        "warm start saved too little: {} cold vs {} warm pivots",
+        cold.pivots,
+        warm.pivots
+    );
+}
