@@ -25,6 +25,7 @@ use mfhls_bench::{fmt_runtime, print_table, run_conventional, run_ours};
 use mfhls_core::SynthConfig;
 
 fn main() {
+    let _trace = mfhls_bench::EnvTrace::from_env();
     println!("Table 2: Synthesis Results for Bioassays");
     println!("(|D| = 25, indeterminate threshold t = 10)\n");
     let benchmarks = mfhls_assays::benchmarks();

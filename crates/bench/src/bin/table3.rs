@@ -19,6 +19,7 @@ use mfhls_bench::{print_table, run_ours};
 use mfhls_core::SynthConfig;
 
 fn main() {
+    let _trace = mfhls_bench::EnvTrace::from_env();
     println!("Table 3: Improvement from Progressive Re-Synthesis\n");
     let mut rows = Vec::new();
     for (case, tag, assay) in mfhls_assays::benchmarks() {

@@ -60,6 +60,44 @@ fn case_result(assay: &Assay, result: SynthesisResult) -> CaseResult {
     }
 }
 
+/// Captures an execution trace of a benchmark run when the
+/// `MFHLS_TRACE_OUT` environment variable names an output path.
+///
+/// Construct one at the top of a benchmark `main`; the trace is written as
+/// JSONL (schema `mfhls-obs/v1`, see `mfhls trace-check`) when the guard
+/// drops. Recording is thread-local to the constructing thread, so work the
+/// harness dispatches to pool workers is not recorded — the trace covers
+/// the sequential driver portion of the run.
+pub struct EnvTrace {
+    path: Option<String>,
+}
+
+impl EnvTrace {
+    /// Starts a capture if `MFHLS_TRACE_OUT` is set and non-empty.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let path = std::env::var("MFHLS_TRACE_OUT")
+            .ok()
+            .filter(|p| !p.is_empty());
+        if path.is_some() {
+            mfhls_obs::start_capture(mfhls_obs::CaptureConfig::default());
+        }
+        EnvTrace { path }
+    }
+}
+
+impl Drop for EnvTrace {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else { return };
+        if let Some(trace) = mfhls_obs::finish_capture() {
+            match std::fs::write(&path, trace.to_jsonl()) {
+                Ok(()) => eprintln!("trace: {} records written to {path}", trace.len()),
+                Err(e) => eprintln!("trace: cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
 /// Formats a duration the way the paper's Runtime column does
 /// (`5.531s` / `5m12s`).
 pub fn fmt_runtime(d: std::time::Duration) -> String {

@@ -48,7 +48,10 @@ impl LayerSolver for HeuristicLayerSolver {
         let (det_order, ind_order) = priority_orders(p)?;
         let mut best = construct(p, &ctx, &det_order, &ind_order)?;
 
+        let mut rounds = 0u64;
+        let mut adoptions = 0u64;
         for _ in 0..self.improvement_passes {
+            rounds += 1;
             let mut improved_any = false;
             for &op in p.ops.iter() {
                 // Re-derive the binding after every adoption: device indices
@@ -97,12 +100,15 @@ impl LayerSolver for HeuristicLayerSolver {
                 if let Some(sol) = adopted {
                     best = sol;
                     improved_any = true;
+                    adoptions += 1;
                 }
             }
             if !improved_any {
                 break;
             }
         }
+        best.stats.heuristic_rounds = rounds;
+        best.stats.rebind_adoptions = adoptions;
         Ok(best)
     }
 }

@@ -132,6 +132,8 @@ fn core_stats(s: mfhls_ilp::SolveStats, optimal: bool) -> crate::SolverStats {
         incumbents_supplied: u64::from(s.incumbent_source == mfhls_ilp::IncumbentSource::Supplied),
         incumbents_diving: u64::from(s.incumbent_source == mfhls_ilp::IncumbentSource::Diving),
         incumbents_search: u64::from(s.incumbent_source == mfhls_ilp::IncumbentSource::Search),
+        heuristic_rounds: 0,
+        rebind_adoptions: 0,
     }
 }
 

@@ -21,6 +21,7 @@
 
 use crate::{Assay, CoreError, OpId};
 use mfhls_graph::{closure_cut, reach, BitSet};
+use mfhls_obs as obs;
 
 /// The result of layering an assay: a partition of its operations into
 /// sequential layers.
@@ -169,6 +170,11 @@ pub fn layer_assay(assay: &Assay, threshold: usize) -> Result<Layering, CoreErro
     if !mfhls_graph::topo::is_acyclic(&graph) {
         return Err(CoreError::CyclicAssay);
     }
+    let _span = obs::span(
+        obs::Level::Info,
+        "layering",
+        &[("ops", n.into()), ("threshold", threshold.into())],
+    );
     let all_desc = reach::all_descendants(&graph);
     let all_anc = reach::all_ancestors(&graph);
     let indeterminate: Vec<bool> = assay.iter().map(|(_, o)| o.is_indeterminate()).collect();
@@ -200,11 +206,18 @@ pub fn layer_assay(assay: &Assay, threshold: usize) -> Result<Layering, CoreErro
             };
             chosen_inds.push(o);
             graph_set.remove(o);
+            let mut newly_deferred = 0u64;
             for d in all_desc[o].iter() {
                 if graph_set.remove(d) {
                     deferred.insert(d);
+                    newly_deferred += 1;
                 }
             }
+            obs::event(
+                obs::Level::Debug,
+                "keep_indeterminate",
+                &[("op", o.into()), ("deferred", newly_deferred.into())],
+            );
         }
         // Layer = chosen inds + everything still in graph_set.
         let mut layer_set = graph_set;
@@ -227,13 +240,22 @@ pub fn layer_assay(assay: &Assay, threshold: usize) -> Result<Layering, CoreErro
                     best = Some((storage, moved.len(), oj, moved));
                 }
             }
-            let Some((_, _, _, moved)) = best else {
+            let Some((storage, _, evicted, moved)) = best else {
                 // Unreachable: `inds_now.len() > threshold >= 1` guarantees
                 // at least one candidate — surfaced as an error, not a panic.
                 return Err(CoreError::Internal(
                     "resource-based eviction found no indeterminate candidate".to_owned(),
                 ));
             };
+            obs::event(
+                obs::Level::Debug,
+                "evict_indeterminate",
+                &[
+                    ("op", evicted.into()),
+                    ("storage", storage.into()),
+                    ("moved", moved.len().into()),
+                ],
+            );
             for &m in &moved {
                 layer_set.remove(m);
                 deferred.insert(m);
@@ -250,6 +272,23 @@ pub fn layer_assay(assay: &Assay, threshold: usize) -> Result<Layering, CoreErro
         for &op in &layer {
             layer_of[op.index()] = li;
         }
+        obs::event(
+            obs::Level::Info,
+            "layer_formed",
+            &[
+                ("layer", li.into()),
+                ("ops", layer.len().into()),
+                (
+                    "indeterminate",
+                    layer
+                        .iter()
+                        .filter(|o| indeterminate[o.index()])
+                        .count()
+                        .into(),
+                ),
+                ("deferred", deferred.count().into()),
+            ],
+        );
         layers.push(layer);
         remaining = deferred;
     }

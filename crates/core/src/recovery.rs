@@ -274,6 +274,16 @@ pub fn resynthesize_suffix(
     // No hardware can be fabricated at run time: capping the budget at the
     // survivor count makes every "create a device" decision infeasible, so
     // the solver either reuses survivors or reports budget exhaustion.
+    mfhls_obs::event(
+        mfhls_obs::Level::Info,
+        "recovery_resynthesis",
+        &[
+            ("remaining", suffix.len().into()),
+            ("completed", completed.len().into()),
+            ("quarantined", quarantined.len().into()),
+            ("survivors", survivors.into()),
+        ],
+    );
     let recovery_config = SynthConfig {
         max_devices: survivors,
         ..config.clone()

@@ -41,7 +41,13 @@ pub fn gantt(assay: &Assay, schedule: &HybridSchedule, width: usize) -> String {
             .max()
             .unwrap_or(0)
             .max(1);
-        let scale = |t: u64| ((t as usize) * (width - 1)) / span as usize;
+        // u128 avoids overflow for extreme timestamps (e.g. fault-extended
+        // or degraded slots), and the clamp keeps any slot whose release
+        // time exceeds the layer span inside the lane.
+        let scale = |t: u64| -> usize {
+            ((u128::from(t) * (width as u128 - 1)) / u128::from(span)).min(width as u128 - 1)
+                as usize
+        };
         out.push_str(&format!(
             "layer {li} (makespan {}m{})\n",
             layer.makespan(),
@@ -236,7 +242,7 @@ fn xml_escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Duration, Operation, SynthConfig, Synthesizer};
+    use crate::{Duration, Operation, ScheduledOp, SynthConfig, Synthesizer};
 
     fn demo() -> (Assay, HybridSchedule) {
         let mut a = Assay::new("demo");
@@ -275,6 +281,32 @@ mod tests {
         // Width below the floor is clamped, not a panic.
         let chart = gantt(&a, &s, 1);
         assert!(!chart.is_empty());
+    }
+
+    #[test]
+    fn gantt_clamps_slots_beyond_the_layer_span() {
+        // Fault-extended or degraded slots can overrun the span the lane
+        // was scaled against, and extreme times used to overflow the
+        // fixed-point scale multiply. Both must clamp to the lane width.
+        let (a, mut s) = demo();
+        let first = s.layers[0].ops[0];
+        // An extreme duration: `t * (width - 1)` overflows 64-bit math.
+        s.layers[0].ops[0].duration = u64::MAX / 2;
+        // A slot released far past every other slot's release time, on a
+        // layer whose span is dominated by the extreme one above.
+        s.layers[0].ops.push(ScheduledOp {
+            start: u64::MAX / 2,
+            duration: 1,
+            transport: u64::MAX / 4,
+            ..first
+        });
+        let chart = gantt(&a, &s, 60);
+        assert!(chart.contains("layer 0"));
+        // Every lane stays exactly `width` cells wide.
+        for lane in chart.lines().filter(|l| l.trim_start().starts_with('d')) {
+            let cells = lane.split_whitespace().nth(1).unwrap_or("");
+            assert!(cells.len() <= 60, "lane overflowed: {lane}");
+        }
     }
 
     #[test]

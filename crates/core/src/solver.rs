@@ -4,14 +4,15 @@ use crate::{CoreError, LayerProblem, ScheduledOp};
 use mfhls_chip::DeviceConfig;
 use std::collections::BTreeSet;
 
-/// Work counters of the exact (MILP) solver path, aggregated per layer
-/// solution, per re-synthesis iteration and per benchmark case.
+/// Work counters of the layer solvers (exact MILP path plus the heuristic
+/// improvement loop), aggregated per layer solution, per re-synthesis
+/// iteration and per benchmark case.
 ///
 /// All fields are exact integers so the type stays `Eq`-comparable and the
 /// determinism contract extends to solver diagnostics: the counters are
 /// stored inside [`LayerSolution`], so a layer-cache hit replays exactly the
 /// counters of the original solve and per-iteration sums are identical at
-/// any thread count. Heuristic-only solutions carry all-zero counters.
+/// any thread count. Heuristic-only solutions carry zero ILP counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SolverStats {
     /// Exact MILP layer solves attempted (0 for pure-heuristic solutions).
@@ -32,6 +33,11 @@ pub struct SolverStats {
     pub incumbents_diving: u64,
     /// Searches whose final incumbent came from the tree search.
     pub incumbents_search: u64,
+    /// Heuristic re-binding improvement rounds actually executed (bounded
+    /// by `improvement_passes`; the loop exits early on a fixpoint).
+    pub heuristic_rounds: u64,
+    /// Re-binding candidates adopted across those rounds.
+    pub rebind_adoptions: u64,
 }
 
 impl SolverStats {
@@ -46,6 +52,8 @@ impl SolverStats {
         self.incumbents_supplied += other.incumbents_supplied;
         self.incumbents_diving += other.incumbents_diving;
         self.incumbents_search += other.incumbents_search;
+        self.heuristic_rounds += other.heuristic_rounds;
+        self.rebind_adoptions += other.rebind_adoptions;
     }
 
     /// Fraction of LP solves that reused a carried basis (0.0 when no LP
@@ -75,8 +83,8 @@ pub struct LayerSolution {
     pub new_paths: BTreeSet<(usize, usize)>,
     /// The weighted objective value this solution was costed at.
     pub objective: u64,
-    /// Exact-solver work counters behind this solution (all zero when the
-    /// heuristic produced it without an ILP attempt).
+    /// Solver work counters behind this solution (ILP counters are all
+    /// zero when the heuristic produced it without an ILP attempt).
     pub stats: SolverStats,
 }
 

@@ -8,6 +8,7 @@ use crate::{
     LayerSolver, Layering, OpId, SolverKind, TransportConfig, TransportTimes, Weights,
 };
 use mfhls_chip::{CostModel, DeviceConfig};
+use mfhls_obs as obs;
 use std::collections::BTreeSet;
 
 /// Configuration of a synthesis run.
@@ -153,6 +154,20 @@ impl Synthesizer {
         seed_bindable: &[bool],
     ) -> Result<SynthesisResult, CoreError> {
         let started = std::time::Instant::now();
+        let solver_name = match self.config.solver {
+            SolverKind::Heuristic { .. } => "heuristic",
+            SolverKind::Ilp { .. } => "ilp",
+            SolverKind::Hybrid { .. } => "hybrid",
+        };
+        let _span = obs::span(
+            obs::Level::Info,
+            "synthesis",
+            &[
+                ("assay", assay.name().into()),
+                ("ops", assay.len().into()),
+                ("solver", solver_name.into()),
+            ],
+        );
         let layering = layer_assay(assay, self.config.indeterminate_threshold)?;
         let mut transport = TransportTimes::initial(assay, &self.config.transport);
 
@@ -164,7 +179,8 @@ impl Synthesizer {
         let mut prev: Option<Pass> = None;
         let mut cache = self.config.layer_cache.then(LayerCache::new);
 
-        for _iter in 0..self.config.max_iterations.max(1) {
+        for iter in 0..self.config.max_iterations.max(1) {
+            let _iter_span = obs::span(obs::Level::Debug, "iteration", &[("iter", iter.into())]);
             if let (Some(cache), Some(prev)) = (cache.as_mut(), prev.as_ref()) {
                 self.speculate(assay, &layering, &transport, prev, seed_bindable, cache);
             }
@@ -186,6 +202,7 @@ impl Synthesizer {
                 (stats.cache_hits, stats.cache_misses) = cache.take_counters();
             }
             let exec_now = stats.exec_time.fixed;
+            let objective = stats.objective;
             iterations.push(stats);
 
             let better = best_exec.is_none_or(|prev_exec| exec_now < prev_exec);
@@ -196,6 +213,23 @@ impl Synthesizer {
                     (prev_exec as f64 - exec_now as f64) / prev_exec as f64
                 }
             });
+            // The §3.2 adopt/reject decision: a pass is adopted when it
+            // improves the fixed execution time, and the search continues
+            // only when the improvement clears `min_improvement`.
+            obs::event(
+                obs::Level::Info,
+                if better {
+                    "pass_adopted"
+                } else {
+                    "pass_rejected"
+                },
+                &[
+                    ("iter", iter.into()),
+                    ("exec_time", exec_now.into()),
+                    ("objective", objective.into()),
+                    ("improvement", improvement.into()),
+                ],
+            );
             if better {
                 best_exec = Some(exec_now);
                 prev = Some(pass);
@@ -210,11 +244,32 @@ impl Synthesizer {
                 unreachable!("continuing the search implies an adopted pass");
             };
             // Refine transport estimates from this pass's binding (§4.1).
-            transport = TransportTimes::refined(
+            let refined = TransportTimes::refined(
                 assay,
                 &self.config.transport,
                 &prev.schedule.device_of(assay),
             );
+            if obs::is_enabled() {
+                let mut changed = 0u64;
+                let mut delta_total = 0u64;
+                for op in assay.op_ids() {
+                    let (before, after) = (transport.of(op), refined.of(op));
+                    if before != after {
+                        changed += 1;
+                        delta_total += before.abs_diff(after);
+                    }
+                }
+                obs::event(
+                    obs::Level::Debug,
+                    "transport_refined",
+                    &[
+                        ("iter", iter.into()),
+                        ("changed", changed.into()),
+                        ("delta_total", delta_total.into()),
+                    ],
+                );
+            }
+            transport = refined;
         }
 
         let Some(best) = prev else {
@@ -318,6 +373,11 @@ impl Synthesizer {
                 Some((li, problem, key))
             })
             .collect();
+        obs::diagnostic(
+            obs::Level::Debug,
+            "speculative_warm",
+            &[("jobs", jobs.len().into())],
+        );
         let solved = mfhls_par::par_map(&jobs, |(_, problem, _)| {
             self.config.solver.solve(problem).ok()
         });
@@ -396,8 +456,22 @@ impl Synthesizer {
                 Some(cache) => {
                     let key = LayerKey::of(&problem, li);
                     match cache.lookup(&key) {
-                        Some(sol) => sol,
+                        Some(sol) => {
+                            // Diagnostic, not logical: how speculation warmed
+                            // the cache depends on the pool size.
+                            obs::diagnostic(
+                                obs::Level::Debug,
+                                "cache_hit",
+                                &[("layer", li.into())],
+                            );
+                            sol
+                        }
                         None => {
+                            obs::diagnostic(
+                                obs::Level::Debug,
+                                "cache_miss",
+                                &[("layer", li.into())],
+                            );
                             let sol = self.config.solver.solve(&problem)?;
                             cache.insert(key, sol.clone());
                             sol
@@ -407,6 +481,26 @@ impl Synthesizer {
                 None => self.config.solver.solve(&problem)?,
             };
             solver_stats.merge(&sol.stats);
+            // Logical even on a cache hit: cached solutions replay the
+            // original solve's counters, so these fields are identical at
+            // any thread count and with the cache on or off.
+            obs::event(
+                obs::Level::Info,
+                "layer_solved",
+                &[
+                    ("layer", li.into()),
+                    ("ops", sol.slots.len().into()),
+                    ("makespan", sol.makespan().into()),
+                    ("objective", sol.objective.into()),
+                    ("new_devices", sol.new_devices.len().into()),
+                    ("new_paths", sol.new_paths.len().into()),
+                    ("heuristic_rounds", sol.stats.heuristic_rounds.into()),
+                    ("rebind_adoptions", sol.stats.rebind_adoptions.into()),
+                    ("ilp_solves", sol.stats.ilp_solves.into()),
+                    ("ilp_nodes", sol.stats.nodes.into()),
+                    ("lp_pivots", sol.stats.pivots.into()),
+                ],
+            );
             devices = sol.devices;
             paths.extend(sol.new_paths);
             for s in &sol.slots {

@@ -49,7 +49,7 @@
 
 use mfhls_chip::{Accessory, Capacity, ContainerKind};
 use mfhls_core::{Assay, Duration, OpId, Operation};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A parse failure, with a 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -270,8 +270,10 @@ impl Parser {
 /// # Errors
 ///
 /// Returns a [`ParseError`] with the offending line for syntax errors,
-/// unknown keywords/values, duplicate or missing op identifiers, and
-/// dependency cycles.
+/// unknown keywords/values, duplicate op identifiers or display names,
+/// and `after:` references that do not name a previously defined op —
+/// which covers undefined identifiers, forward references, and self
+/// references (so no dependency cycle can survive parsing).
 ///
 /// # Example
 ///
@@ -306,11 +308,11 @@ pub fn parse(text: &str) -> Result<Assay, ParseError> {
     };
     let mut assay = Assay::new(&name);
     let mut ids: BTreeMap<String, OpId> = BTreeMap::new();
-    let mut deferred_deps: Vec<(String, OpId, usize)> = Vec::new();
+    let mut names: BTreeSet<String> = BTreeSet::new();
 
     let register = |assay: &mut Assay,
                     ids: &mut BTreeMap<String, OpId>,
-                    deferred: &mut Vec<(String, OpId, usize)>,
+                    names: &mut BTreeSet<String>,
                     parsed: ParsedOp,
                     line: usize|
      -> Result<(), ParseError> {
@@ -320,10 +322,47 @@ pub fn parse(text: &str) -> Result<Assay, ParseError> {
                 message: format!("duplicate op identifier '{}'", parsed.ident),
             });
         }
+        if !names.insert(parsed.op.name().to_owned()) {
+            return Err(ParseError {
+                line,
+                message: format!(
+                    "duplicate op name '{}' (op '{}')",
+                    parsed.op.name(),
+                    parsed.ident
+                ),
+            });
+        }
+        // Resolve `after` before the op joins the id table: every
+        // reference must point at a previously defined op, which rejects
+        // self references and forward references (the only way to write a
+        // cycle) right here, naming the offending op.
+        let mut parents = Vec::new();
+        for (parent, l) in &parsed.after {
+            if *parent == parsed.ident {
+                return Err(ParseError {
+                    line: *l,
+                    message: format!("op '{}' cannot appear in its own after list", parsed.ident),
+                });
+            }
+            let Some(&pid) = ids.get(parent) else {
+                return Err(ParseError {
+                    line: *l,
+                    message: format!(
+                        "unknown op identifier '{parent}' in after list of op '{}' \
+                         (ops must be defined before they are referenced)",
+                        parsed.ident
+                    ),
+                });
+            };
+            parents.push((pid, *l));
+        }
         let id = assay.add_op(parsed.op);
         ids.insert(parsed.ident, id);
-        for (parent, l) in parsed.after {
-            deferred.push((parent, id, l));
+        for (pid, l) in parents {
+            assay.add_dependency(pid, id).map_err(|e| ParseError {
+                line: l,
+                message: e.to_string(),
+            })?;
         }
         Ok(())
     };
@@ -333,7 +372,7 @@ pub fn parse(text: &str) -> Result<Assay, ParseError> {
             Token::Ident(kw) if kw == "op" => {
                 let line = p.line();
                 let parsed = parse_op(&mut p)?;
-                register(&mut assay, &mut ids, &mut deferred_deps, parsed, line)?;
+                register(&mut assay, &mut ids, &mut names, parsed, line)?;
             }
             Token::Ident(kw) if kw == "repeat" => {
                 let count = match p.next() {
@@ -375,7 +414,7 @@ pub fn parse(text: &str) -> Result<Assay, ParseError> {
                             })
                             .collect();
                         let line = p.line();
-                        register(&mut assay, &mut ids, &mut deferred_deps, inst, line)?;
+                        register(&mut assay, &mut ids, &mut names, inst, line)?;
                     }
                 }
             }
@@ -383,18 +422,6 @@ pub fn parse(text: &str) -> Result<Assay, ParseError> {
         }
     }
 
-    for (parent, child, line) in deferred_deps {
-        let Some(&pid) = ids.get(&parent) else {
-            return Err(ParseError {
-                line,
-                message: format!("unknown op identifier '{parent}' in after list"),
-            });
-        };
-        assay.add_dependency(pid, child).map_err(|e| ParseError {
-            line,
-            message: e.to_string(),
-        })?;
-    }
     Ok(assay)
 }
 
@@ -671,10 +698,34 @@ op capture {
     }
 
     #[test]
-    fn cycle_is_an_error() {
-        // Self-dependency is the smallest cycle expressible.
+    fn self_reference_is_an_error() {
+        // Self-dependency is the smallest cycle expressible; it is caught
+        // at registration with a message naming the op.
         let e = parse("assay \"x\"\nop a { duration: 1m after: [a] }").unwrap_err();
-        assert!(e.message.contains("cycle"), "{e}");
+        assert!(e.message.contains("'a'"), "{e}");
+        assert!(e.message.contains("own after list"), "{e}");
+    }
+
+    #[test]
+    fn forward_reference_is_an_error() {
+        // `b` is defined later in the file; references must point backward,
+        // which is what makes cycles unrepresentable.
+        let e = parse(
+            "assay \"x\"\nop a { duration: 1m after: [b] }\nop b { duration: 1m after: [a] }",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown op identifier 'b'"), "{e}");
+        assert!(e.message.contains("'a'"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_display_name_is_an_error() {
+        let e = parse("assay \"x\"\nop a \"mix\" { duration: 1m }\nop b \"mix\" { duration: 2m }")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate op name 'mix'"), "{e}");
+        assert!(e.message.contains("'b'"), "{e}");
     }
 
     #[test]

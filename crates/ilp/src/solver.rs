@@ -173,7 +173,19 @@ impl MilpSolution {
 /// # Ok::<(), mfhls_ilp::IlpError>(())
 /// ```
 pub fn solve(model: &Model, config: &SolverConfig) -> Result<MilpSolution, IlpError> {
-    BranchAndBound::new(model, config)?.run()
+    let solution = BranchAndBound::new(model, config)?.run()?;
+    // Diagnostic, not logical: at two or more threads these solves happen
+    // on speculative pool workers and never reach the recording thread.
+    mfhls_obs::diagnostic(
+        mfhls_obs::Level::Debug,
+        "ilp_solve",
+        &[
+            ("nodes", solution.stats.nodes.into()),
+            ("pivots", solution.stats.pivots.into()),
+            ("optimal", (solution.status == SolveStatus::Optimal).into()),
+        ],
+    );
+    Ok(solution)
 }
 
 /// Outcome of one LP solve inside the search.

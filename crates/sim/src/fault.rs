@@ -33,6 +33,7 @@ use crate::{SimConfig, SimError, SimEvent};
 use mfhls_core::recovery::{resynthesize_suffix, Degradation, RetryPolicy};
 use mfhls_core::{Assay, HybridSchedule, OpId, SynthConfig};
 use mfhls_graph::rng::SplitMix64;
+use mfhls_obs as obs;
 use std::collections::BTreeSet;
 
 /// Tag used to split the fault stream off the duration stream; any fixed
@@ -268,6 +269,86 @@ struct Interruption {
     quarantine: BTreeSet<usize>,
 }
 
+/// Mirrors a [`FaultEvent`] into the observability layer as it is pushed.
+///
+/// Logical, not diagnostic: the fault stream is seeded, so a single run's
+/// event sequence is identical at any thread count. Monte-Carlo fan-outs
+/// (`trials`) mute recording around their per-trial closures instead.
+fn record_fault(ev: &FaultEvent) {
+    if !obs::is_enabled() {
+        return;
+    }
+    match *ev {
+        FaultEvent::DeviceFailed { device, layer, op } => obs::event(
+            obs::Level::Warn,
+            "fault_device_failed",
+            &[
+                ("device", device.into()),
+                ("layer", layer.into()),
+                ("op", op.map_or(-1i64, |o| o.index() as i64).into()),
+            ],
+        ),
+        FaultEvent::OpAborted {
+            op,
+            device,
+            layer,
+            retry,
+            backoff,
+        } => obs::event(
+            obs::Level::Warn,
+            "fault_op_aborted",
+            &[
+                ("op", op.index().into()),
+                ("device", device.into()),
+                ("layer", layer.into()),
+                ("retry", retry.into()),
+                ("backoff", backoff.into()),
+            ],
+        ),
+        FaultEvent::AccessoryDegraded {
+            op,
+            device,
+            layer,
+            factor,
+        } => obs::event(
+            obs::Level::Warn,
+            "fault_accessory_degraded",
+            &[
+                ("op", op.index().into()),
+                ("device", device.into()),
+                ("layer", layer.into()),
+                ("factor", factor.into()),
+            ],
+        ),
+        FaultEvent::PathBlocked { a, b, layer } => obs::event(
+            obs::Level::Warn,
+            "fault_path_blocked",
+            &[("a", a.into()), ("b", b.into()), ("layer", layer.into())],
+        ),
+        FaultEvent::Resynthesized {
+            layer,
+            ref quarantined,
+            remaining,
+            backoff,
+        } => obs::event(
+            obs::Level::Info,
+            "fault_resynthesized",
+            &[
+                ("layer", layer.into()),
+                ("quarantined", quarantined.len().into()),
+                ("remaining", remaining.into()),
+                ("backoff", backoff.into()),
+            ],
+        ),
+    }
+}
+
+/// Records `ev` into the trace, then appends it to `events`.
+fn push_fault(events: &mut Vec<FaultEvent>, ev: FaultEvent) {
+    record_fault(&ev);
+    events.push(ev);
+}
+
 fn run_engine(
     assay: &Assay,
     schedule: &HybridSchedule,
@@ -308,6 +389,16 @@ fn run_engine(
                    fault_events: Vec<FaultEvent>,
                    resyntheses: usize,
                    decisions: usize| {
+        obs::event(
+            obs::Level::Warn,
+            "run_degraded",
+            &[
+                ("completed", completed.len().into()),
+                ("makespan", makespan.into()),
+                ("resyntheses", resyntheses.into()),
+                ("reason", reason.as_str().into()),
+            ],
+        );
         FaultRun {
             makespan,
             events,
@@ -333,11 +424,14 @@ fn run_engine(
             if !forced.is_empty() {
                 let mut q = BTreeSet::new();
                 for d in forced {
-                    fault_events.push(FaultEvent::DeviceFailed {
-                        device: d,
-                        layer: global_layer,
-                        op: None,
-                    });
+                    push_fault(
+                        &mut fault_events,
+                        FaultEvent::DeviceFailed {
+                            device: d,
+                            layer: global_layer,
+                            op: None,
+                        },
+                    );
                     q.insert(d);
                 }
                 interruption = Some(Interruption { quarantine: q });
@@ -376,16 +470,22 @@ fn run_engine(
                         } else {
                             (slot.device, ps.device)
                         };
-                        fault_events.push(FaultEvent::PathBlocked {
-                            a,
-                            b,
-                            layer: global_layer,
-                        });
-                        fault_events.push(FaultEvent::DeviceFailed {
-                            device: ps.device,
-                            layer: global_layer,
-                            op: Some(orig),
-                        });
+                        push_fault(
+                            &mut fault_events,
+                            FaultEvent::PathBlocked {
+                                a,
+                                b,
+                                layer: global_layer,
+                            },
+                        );
+                        push_fault(
+                            &mut fault_events,
+                            FaultEvent::DeviceFailed {
+                                device: ps.device,
+                                layer: global_layer,
+                                op: Some(orig),
+                            },
+                        );
                         new_quarantine.insert(ps.device);
                         failed_ops.insert(slot.op);
                         continue 'slots;
@@ -395,11 +495,14 @@ fn run_engine(
                 let mut dur = actual[orig.index()];
                 // Permanent device failure mid-execution.
                 if frng.gen_bool(faults.device_failure) {
-                    fault_events.push(FaultEvent::DeviceFailed {
-                        device: slot.device,
-                        layer: global_layer,
-                        op: Some(orig),
-                    });
+                    push_fault(
+                        &mut fault_events,
+                        FaultEvent::DeviceFailed {
+                            device: slot.device,
+                            layer: global_layer,
+                            op: Some(orig),
+                        },
+                    );
                     new_quarantine.insert(slot.device);
                     failed_ops.insert(slot.op);
                     layer_end = layer_end.max(start + dur);
@@ -410,24 +513,30 @@ fn run_engine(
                 let mut retries = 0usize;
                 while frng.gen_bool(faults.op_abort) {
                     if retries >= policy.max_retries {
-                        fault_events.push(FaultEvent::DeviceFailed {
-                            device: slot.device,
-                            layer: global_layer,
-                            op: Some(orig),
-                        });
+                        push_fault(
+                            &mut fault_events,
+                            FaultEvent::DeviceFailed {
+                                device: slot.device,
+                                layer: global_layer,
+                                op: Some(orig),
+                            },
+                        );
                         new_quarantine.insert(slot.device);
                         failed_ops.insert(slot.op);
                         layer_end = layer_end.max(start + dur);
                         continue 'slots;
                     }
                     let backoff = policy.backoff_for(retries);
-                    fault_events.push(FaultEvent::OpAborted {
-                        op: orig,
-                        device: slot.device,
-                        layer: global_layer,
-                        retry: retries,
-                        backoff,
-                    });
+                    push_fault(
+                        &mut fault_events,
+                        FaultEvent::OpAborted {
+                            op: orig,
+                            device: slot.device,
+                            layer: global_layer,
+                            retry: retries,
+                            backoff,
+                        },
+                    );
                     dur = dur
                         .saturating_add(backoff)
                         .saturating_add(actual[orig.index()]);
@@ -437,12 +546,15 @@ fn run_engine(
                 // Accessory degradation: slower, but still completes.
                 if frng.gen_bool(faults.accessory_degradation) {
                     let factor = faults.degradation_factor.max(1.0);
-                    fault_events.push(FaultEvent::AccessoryDegraded {
-                        op: orig,
-                        device: slot.device,
-                        layer: global_layer,
-                        factor,
-                    });
+                    push_fault(
+                        &mut fault_events,
+                        FaultEvent::AccessoryDegraded {
+                            op: orig,
+                            device: slot.device,
+                            layer: global_layer,
+                            factor,
+                        },
+                    );
                     dur = (dur as f64 * factor).ceil() as u64;
                 }
                 let end = start + dur;
@@ -476,6 +588,15 @@ fn run_engine(
         let Some(interruption) = interruption else {
             // Every layer of the current plan executed cleanly.
             events.sort_by_key(|e| (e.start, e.op));
+            obs::event(
+                obs::Level::Info,
+                "run_completed",
+                &[
+                    ("makespan", clock.into()),
+                    ("resyntheses", resyntheses.into()),
+                    ("decisions", decisions.into()),
+                ],
+            );
             return Ok(FaultRun {
                 makespan: clock,
                 events,
@@ -519,12 +640,15 @@ fn run_engine(
                 resyntheses += 1;
                 decisions += 1;
                 clock = clock.saturating_add(backoff);
-                fault_events.push(FaultEvent::Resynthesized {
-                    layer: global_layer,
-                    quarantined: quarantined.iter().copied().collect(),
-                    remaining: plan.assay.len(),
-                    backoff,
-                });
+                push_fault(
+                    &mut fault_events,
+                    FaultEvent::Resynthesized {
+                        layer: global_layer,
+                        quarantined: quarantined.iter().copied().collect(),
+                        remaining: plan.assay.len(),
+                        backoff,
+                    },
+                );
                 cur_assay = plan.assay;
                 cur_schedule = plan.schedule;
                 op_map = plan.op_map;
@@ -628,11 +752,14 @@ pub fn simulate_online_with_faults(
         let mut dur = actual[op.index()];
         // Fault draws, same scheme as the hybrid engine.
         if frng.gen_bool(faults.device_failure) {
-            fault_events.push(FaultEvent::DeviceFailed {
-                device: dev,
-                layer: 0,
-                op: Some(op),
-            });
+            push_fault(
+                &mut fault_events,
+                FaultEvent::DeviceFailed {
+                    device: dev,
+                    layer: 0,
+                    op: Some(op),
+                },
+            );
             quarantined.insert(dev);
             remaining.push(op); // retry elsewhere next round
             continue;
@@ -641,24 +768,30 @@ pub fn simulate_online_with_faults(
         let mut condemned = false;
         while frng.gen_bool(faults.op_abort) {
             if retries >= policy.max_retries {
-                fault_events.push(FaultEvent::DeviceFailed {
-                    device: dev,
-                    layer: 0,
-                    op: Some(op),
-                });
+                push_fault(
+                    &mut fault_events,
+                    FaultEvent::DeviceFailed {
+                        device: dev,
+                        layer: 0,
+                        op: Some(op),
+                    },
+                );
                 quarantined.insert(dev);
                 remaining.push(op);
                 condemned = true;
                 break;
             }
             let backoff = policy.backoff_for(retries);
-            fault_events.push(FaultEvent::OpAborted {
-                op,
-                device: dev,
-                layer: 0,
-                retry: retries,
-                backoff,
-            });
+            push_fault(
+                &mut fault_events,
+                FaultEvent::OpAborted {
+                    op,
+                    device: dev,
+                    layer: 0,
+                    retry: retries,
+                    backoff,
+                },
+            );
             dur = dur
                 .saturating_add(backoff)
                 .saturating_add(actual[op.index()]);
@@ -669,12 +802,15 @@ pub fn simulate_online_with_faults(
         }
         if frng.gen_bool(faults.accessory_degradation) {
             let factor = faults.degradation_factor.max(1.0);
-            fault_events.push(FaultEvent::AccessoryDegraded {
-                op,
-                device: dev,
-                layer: 0,
-                factor,
-            });
+            push_fault(
+                &mut fault_events,
+                FaultEvent::AccessoryDegraded {
+                    op,
+                    device: dev,
+                    layer: 0,
+                    factor,
+                },
+            );
             dur = (dur as f64 * factor).ceil() as u64;
         }
         let end = start + dur;

@@ -102,6 +102,10 @@ pub fn run_hybrid_trials(
     // bitwise identical to the sequential loop at any thread count.
     let seeds: Vec<u64> = (0..trials).collect();
     let runs = mfhls_par::par_map(&seeds, |&seed| {
+        // With one thread the closure runs inline on the recording thread;
+        // muting keeps per-trial events out of the (thread-count-invariant)
+        // logical trace.
+        let _quiet = mfhls_obs::muted();
         simulate_hybrid(assay, schedule, &SimConfig { model, seed })
     });
     let mut spans = Vec::with_capacity(trials as usize);
@@ -135,6 +139,7 @@ pub fn run_online_trials(
     assert!(trials > 0, "at least one trial required");
     let seeds: Vec<u64> = (0..trials).collect();
     let runs = mfhls_par::par_map(&seeds, |&seed| {
+        let _quiet = mfhls_obs::muted();
         simulate_online(
             assay,
             schedule,
@@ -310,6 +315,10 @@ pub fn survivability_trials(
     type PolicyRecord = (bool, f64, u64, usize);
     let seeds: Vec<u64> = (0..trials).collect();
     let outcomes: Vec<Result<[PolicyRecord; 3], SimError>> = mfhls_par::par_map(&seeds, |&seed| {
+        // Inline at one thread ⇒ would record on the capture thread; the
+        // per-trial fault/recovery events (and the nested re-synthesis
+        // spans) must not leak into the logical trace.
+        let _quiet = mfhls_obs::muted();
         let cfg = SimConfig { model, seed };
 
         let run = run_with_recovery(assay, schedule, &cfg, faults, policy, synth)?;

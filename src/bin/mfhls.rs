@@ -12,8 +12,15 @@
 //!                             [--fail-device D[@L]] [--max-retries K]
 //!                             [--pad-factor F] [--threads N] [--exact]
 //! mfhls export-lp protocol.mfa [--layer K] [--out FILE]
+//! mfhls trace-check trace.jsonl
 //! mfhls bench
 //! ```
+//!
+//! `synth`, `simulate`, and `faultsim` additionally accept
+//! `--trace FILE [--trace-format jsonl|chrome] [--log LEVEL]` to capture a
+//! deterministic execution trace (see `mfhls-obs`). Unknown flags and flags
+//! missing their value are rejected with a targeted error and a nonzero
+//! exit code.
 
 use mfhls::core::recovery::{resynthesize_suffix, RetryPolicy};
 use mfhls::core::{analysis, export, ilp_model, render};
@@ -50,7 +57,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "faultsim" => faultsim(&args[1..]),
         "export-lp" => export_lp(&args[1..]),
         "graph" => graph(&args[1..]),
-        "bench" => bench(),
+        "trace-check" => trace_check(&args[1..]),
+        "bench" => bench(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -75,12 +83,76 @@ fn print_usage() {
          [--success-probability P] [--latency M] [--threads N] [--exact]\n  \
          mfhls export-lp <file.mfa> [--layer K] [--out FILE]\n  \
          mfhls graph <file.mfa> [--layers] [--out FILE]\n  \
+         mfhls trace-check <trace.jsonl>\n  \
          mfhls bench\n\n\
          OPTIONS:\n  \
          --threads N   worker-pool size for parallel trials / candidate search\n                \
          (default: MFHLS_THREADS env var, then the CPU count).\n                \
-         Output is bitwise-identical at any thread count."
+         Output is bitwise-identical at any thread count.\n  \
+         --trace FILE  (synth|simulate|faultsim) capture a deterministic\n                \
+         execution trace; --trace-format jsonl|chrome picks the\n                \
+         encoding (default jsonl, validated by 'mfhls trace-check').\n  \
+         --log LEVEL   echo trace records at or above LEVEL to stderr\n                \
+         (error|warn|info|debug|trace)."
     );
+}
+
+/// Flags shared by every subcommand that builds a [`SynthConfig`].
+const CONFIG_FLAGS: &[(&str, bool)] = &[
+    ("--threads", true),
+    ("--max-devices", true),
+    ("--threshold", true),
+    ("--weights", true),
+    ("--solver", true),
+    ("--conventional", false),
+];
+
+/// Flags shared by every subcommand that can capture an execution trace.
+const TRACE_FLAGS: &[(&str, bool)] =
+    &[("--trace", true), ("--trace-format", true), ("--log", true)];
+
+/// Validates the argument list of subcommand `cmd` against its flag
+/// specification before anything else runs: every `--flag` must appear in
+/// `specs` (each entry is `(name, takes_value)`), value-taking flags must be
+/// followed by a value, and at most `max_positionals` bare arguments are
+/// accepted. Typos like `--trails` fail here with a targeted error instead
+/// of being silently ignored.
+fn check_flags(
+    cmd: &str,
+    args: &[String],
+    max_positionals: usize,
+    specs: &[&[(&str, bool)]],
+) -> Result<(), CliError> {
+    let mut positionals = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            match specs
+                .iter()
+                .flat_map(|s| s.iter())
+                .find(|(name, _)| *name == a)
+            {
+                None => {
+                    return Err(
+                        format!("unknown flag '{a}' for 'mfhls {cmd}' (try 'mfhls help')").into(),
+                    )
+                }
+                Some((_, true)) => match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => i += 1,
+                    _ => return Err(format!("flag '{a}' of 'mfhls {cmd}' expects a value").into()),
+                },
+                Some((_, false)) => {}
+            }
+        } else {
+            positionals += 1;
+            if positionals > max_positionals {
+                return Err(format!("unexpected argument '{a}' for 'mfhls {cmd}'").into());
+            }
+        }
+        i += 1;
+    }
+    Ok(())
 }
 
 /// Minimal flag cursor over the argument list.
@@ -121,6 +193,60 @@ fn load_assay(args: &[String]) -> Result<(Assay, Flags<'_>), CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let assay = mfhls::dsl::parse(&text).map_err(|e| format!("{path}:{e}"))?;
     Ok((assay, Flags { args: &args[1..] }))
+}
+
+/// Parsed `--trace FILE [--trace-format jsonl|chrome] [--log LEVEL]`.
+struct TraceOpts {
+    path: Option<String>,
+    chrome: bool,
+    echo: Option<mfhls::obs::Level>,
+}
+
+fn trace_opts(flags: &Flags<'_>) -> Result<TraceOpts, CliError> {
+    let chrome = match flags.value("--trace-format").unwrap_or("jsonl") {
+        "jsonl" => false,
+        "chrome" => true,
+        other => {
+            return Err(format!("unknown trace format '{other}' (expected jsonl|chrome)").into())
+        }
+    };
+    let echo = match flags.value("--log") {
+        None => None,
+        Some(l) => Some(l.parse::<mfhls::obs::Level>()?),
+    };
+    Ok(TraceOpts {
+        path: flags.value("--trace").map(str::to_owned),
+        chrome,
+        echo,
+    })
+}
+
+/// Starts a capture when `--trace` or `--log` was given. Wall-clock
+/// timestamps stay off so `--trace` output is byte-for-byte reproducible;
+/// the Chrome exporter falls back to sequence numbers for its timeline.
+fn start_trace(opts: &TraceOpts) {
+    if opts.path.is_some() || opts.echo.is_some() {
+        mfhls::obs::start_capture(mfhls::obs::CaptureConfig {
+            wall_clock: false,
+            echo: opts.echo,
+        });
+    }
+}
+
+fn finish_trace(opts: &TraceOpts) -> Result<(), CliError> {
+    let Some(trace) = mfhls::obs::finish_capture() else {
+        return Ok(());
+    };
+    if let Some(path) = &opts.path {
+        let text = if opts.chrome {
+            trace.to_chrome_trace()
+        } else {
+            trace.to_jsonl()
+        };
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace: {} records written to {path}", trace.len());
+    }
+    Ok(())
 }
 
 fn config_from(flags: &Flags<'_>) -> Result<SynthConfig, CliError> {
@@ -172,11 +298,23 @@ fn config_from(flags: &Flags<'_>) -> Result<SynthConfig, CliError> {
     Ok(config)
 }
 
+const SYNTH_FLAGS: &[(&str, bool)] = &[
+    ("--svg", true),
+    ("--csv", true),
+    ("--gantt", false),
+    ("--report", false),
+    ("--iterations", false),
+];
+
 fn synth(args: &[String]) -> Result<(), CliError> {
+    check_flags("synth", args, 1, &[CONFIG_FLAGS, TRACE_FLAGS, SYNTH_FLAGS])?;
     let (assay, flags) = load_assay(args)?;
     let config = config_from(&flags)?;
+    let trace = trace_opts(&flags)?;
+    start_trace(&trace);
     let result = Synthesizer::new(config).run(&assay)?;
     result.schedule.validate(&assay)?;
+    finish_trace(&trace)?;
 
     println!(
         "{}: {} ops ({} indeterminate) -> {} layers",
@@ -245,6 +383,7 @@ fn synth(args: &[String]) -> Result<(), CliError> {
 }
 
 fn validate(args: &[String]) -> Result<(), CliError> {
+    check_flags("validate", args, 1, &[])?;
     let (assay, _) = load_assay(args)?;
     println!(
         "OK: '{}' parses — {} ops, {} dependencies, {} indeterminate",
@@ -262,12 +401,27 @@ fn validate(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+const SIMULATE_FLAGS: &[(&str, bool)] = &[
+    ("--trials", true),
+    ("--policy", true),
+    ("--success-probability", true),
+    ("--latency", true),
+];
+
 fn simulate(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "simulate",
+        args,
+        1,
+        &[CONFIG_FLAGS, TRACE_FLAGS, SIMULATE_FLAGS],
+    )?;
     let (assay, flags) = load_assay(args)?;
     let config = config_from(&flags)?;
     let n = flags.parsed("--trials", 100u64)?;
     let p = flags.parsed("--success-probability", 0.53f64)?;
     let latency = flags.parsed("--latency", 2u64)?;
+    let trace = trace_opts(&flags)?;
+    start_trace(&trace);
     let result = Synthesizer::new(config).run(&assay)?;
     let model = DurationModel::GeometricRetry {
         success_probability: p,
@@ -276,15 +430,39 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
     let stats = match flags.value("--policy").unwrap_or("hybrid") {
         "hybrid" => trials::run_hybrid_trials(&assay, &result.schedule, model, n)?,
         "online" => trials::run_online_trials(&assay, &result.schedule, model, n, latency, true)?,
-        other => return Err(format!("unknown policy '{other}'").into()),
+        other => return Err(format!("unknown policy '{other}' (expected hybrid|online)").into()),
     };
+    finish_trace(&trace)?;
     println!("{stats}");
     Ok(())
 }
 
+const FAULTSIM_FLAGS: &[(&str, bool)] = &[
+    ("--trials", true),
+    ("--seed", true),
+    ("--fault-rate", true),
+    ("--device-failure", true),
+    ("--op-abort", true),
+    ("--degradation", true),
+    ("--path-blockage", true),
+    ("--fail-device", true),
+    ("--max-retries", true),
+    ("--pad-factor", true),
+    ("--success-probability", true),
+    ("--latency", true),
+    ("--exact", false),
+];
+
 fn faultsim(args: &[String]) -> Result<(), CliError> {
+    check_flags(
+        "faultsim",
+        args,
+        1,
+        &[CONFIG_FLAGS, TRACE_FLAGS, FAULTSIM_FLAGS],
+    )?;
     let (assay, flags) = load_assay(args)?;
     let config = config_from(&flags)?;
+    let trace = trace_opts(&flags)?;
     let n = flags.parsed("--trials", 100u64)?;
     let seed = flags.parsed("--seed", 0u64)?;
     let p = flags.parsed("--success-probability", 0.53f64)?;
@@ -314,6 +492,7 @@ fn faultsim(args: &[String]) -> Result<(), CliError> {
         }
     };
 
+    start_trace(&trace);
     let result = Synthesizer::new(config.clone()).run(&assay)?;
     let schedule = &result.schedule;
     schedule.validate(&assay)?;
@@ -418,10 +597,14 @@ fn faultsim(args: &[String]) -> Result<(), CliError> {
             println!("  {st}");
         }
     }
+    finish_trace(&trace)?;
     Ok(())
 }
 
+const EXPORT_LP_FLAGS: &[(&str, bool)] = &[("--layer", true), ("--out", true)];
+
 fn export_lp(args: &[String]) -> Result<(), CliError> {
+    check_flags("export-lp", args, 1, &[CONFIG_FLAGS, EXPORT_LP_FLAGS])?;
     let (assay, flags) = load_assay(args)?;
     let layer_idx = flags.parsed("--layer", 0usize)?;
     let config = config_from(&flags)?;
@@ -458,7 +641,10 @@ fn export_lp(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+const GRAPH_FLAGS: &[(&str, bool)] = &[("--layers", false), ("--threshold", true), ("--out", true)];
+
 fn graph(args: &[String]) -> Result<(), CliError> {
+    check_flags("graph", args, 1, &[GRAPH_FLAGS])?;
     let (assay, flags) = load_assay(args)?;
     let layering = if flags.has("--layers") {
         Some(mfhls::layer_assay(
@@ -479,7 +665,20 @@ fn graph(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn bench() -> Result<(), CliError> {
+/// Validates a JSONL trace produced by `--trace` (schema `mfhls-obs/v1`).
+fn trace_check(args: &[String]) -> Result<(), CliError> {
+    check_flags("trace-check", args, 1, &[])?;
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("expected a trace file path".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let n = mfhls::obs::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("OK: {path} is a valid mfhls-obs/v1 trace ({n} records)");
+    Ok(())
+}
+
+fn bench(args: &[String]) -> Result<(), CliError> {
+    check_flags("bench", args, 0, &[])?;
     println!("Running the Table 2 benchmark cases (see mfhls-bench for the full harness):\n");
     for (case, tag, assay) in mfhls::assays::benchmarks() {
         let ours = Synthesizer::new(SynthConfig::default()).run(&assay)?;

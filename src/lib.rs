@@ -21,6 +21,7 @@
 //! | [`dsl`] | `mfhls-dsl` | text format for assay descriptions |
 //! | [`graph`] | `mfhls-graph` | DAG utilities, max-flow/min-cut |
 //! | [`ilp`] | `mfhls-ilp` | the MILP solver substrate (simplex + branch-and-bound) |
+//! | [`obs`] | `mfhls-obs` | deterministic structured tracing (spans, events, counters, exporters) |
 //! | [`par`] | `mfhls-par` | deterministic scoped thread pool (`par_map`, thread-count control) |
 //!
 //! The most common items are re-exported at the top level.
@@ -62,6 +63,7 @@ pub use mfhls_core as core;
 pub use mfhls_dsl as dsl;
 pub use mfhls_graph as graph;
 pub use mfhls_ilp as ilp;
+pub use mfhls_obs as obs;
 pub use mfhls_par as par;
 pub use mfhls_sim as sim;
 

@@ -237,6 +237,136 @@ fn repo_protocol_files_synthesize() {
 }
 
 #[test]
+fn unknown_flag_is_rejected() {
+    let path = write_protocol("badflag", PROTOCOL);
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--trails", "5"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag '--trails'"), "{err}");
+    assert!(err.contains("'mfhls synth'"), "{err}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn flag_missing_value_is_rejected() {
+    let path = write_protocol("noval", PROTOCOL);
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--svg"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("'--svg' of 'mfhls synth' expects a value")
+    );
+    // A flag as the "value" of another flag is also a missing value.
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--max-devices", "--gantt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expects a value"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn misspelled_policy_is_rejected() {
+    let path = write_protocol("hybird", PROTOCOL);
+    let out = mfhls(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--trials",
+        "1",
+        "--policy",
+        "hybird",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown policy 'hybird'"), "{err}");
+    assert!(err.contains("hybrid|online"), "{err}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unexpected_positional_is_rejected() {
+    let path = write_protocol("extra", PROTOCOL);
+    let out = mfhls(&["synth", path.to_str().unwrap(), "stray.mfa"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument 'stray.mfa'"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn trace_flag_writes_validating_jsonl() {
+    let path = write_protocol("trace", PROTOCOL);
+    let trace = std::env::temp_dir().join(format!("mfhls_cli_{}.jsonl", std::process::id()));
+    let out = mfhls(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let content = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(
+        content.starts_with("{\"schema\":\"mfhls-obs/v1\""),
+        "{content}"
+    );
+    assert!(content.contains("\"name\":\"layer_solved\""), "{content}");
+
+    // The binary's own validator accepts the file it just wrote...
+    let out = mfhls(&["trace-check", trace.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("valid mfhls-obs/v1 trace"));
+
+    // ...and rejects a corrupted one.
+    std::fs::write(&trace, content.replace("mfhls-obs/v1", "bogus/v0")).expect("rewrite");
+    let out = mfhls(&["trace-check", trace.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn trace_chrome_format_emits_trace_events() {
+    let path = write_protocol("chrome", PROTOCOL);
+    let trace = std::env::temp_dir().join(format!("mfhls_cli_{}.chrome.json", std::process::id()));
+    let out = mfhls(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let content = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(content.starts_with("{\"traceEvents\":["), "{content}");
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn log_flag_echoes_to_stderr() {
+    let path = write_protocol("log", PROTOCOL);
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--log", "info"]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[info] synthesis"), "{err}");
+    assert!(err.contains("layer_solved"), "{err}");
+
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--log", "loud"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown log level 'loud'"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn faultsim_fault_free_matches_baseline() {
     let out = mfhls(&[
         "faultsim",

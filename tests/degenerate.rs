@@ -1,0 +1,100 @@
+//! Zero-sized and degenerate inputs through the whole pipeline:
+//! synthesize → validate → analyse → render → simulate. These pin the
+//! guards that keep empty assays, single operations, and all-zero
+//! durations from dividing by zero or panicking anywhere downstream.
+
+use mfhls::core::recovery::Degradation;
+use mfhls::core::{analysis, render};
+use mfhls::sim::{simulate_hybrid, DurationModel, SimConfig};
+use mfhls::{Assay, Duration, Operation, SynthConfig, Synthesizer};
+use std::collections::BTreeSet;
+
+fn exact() -> SimConfig {
+    SimConfig {
+        model: DurationModel::Exact,
+        seed: 0,
+    }
+}
+
+#[test]
+fn empty_assay_flows_through_the_pipeline() {
+    let assay = Assay::new("empty");
+    let result = Synthesizer::new(SynthConfig::default())
+        .run(&assay)
+        .expect("empty assay synthesizes");
+    assert_eq!(result.layering.num_layers(), 0);
+    result.schedule.validate(&assay).expect("empty validates");
+    assert_eq!(result.schedule.exec_time(&assay).to_string(), "0m");
+
+    let report = analysis::analyse(&assay, &result.schedule);
+    assert_eq!(report.fixed_makespan, 0);
+    assert!(report.devices.is_empty());
+    assert!(report.critical_path.is_empty());
+
+    // Rendering an empty schedule must not panic or divide by zero.
+    let chart = render::gantt(&assay, &result.schedule, 60);
+    assert!(!chart.contains("layer"), "{chart}");
+    assert!(render::to_svg(&assay, &result.schedule).starts_with("<svg"));
+
+    let sim = simulate_hybrid(&assay, &result.schedule, &exact()).expect("empty simulates");
+    assert_eq!(sim.makespan, 0);
+
+    // A degradation report over zero operations counts as fully complete.
+    let d = Degradation::new(&assay, &BTreeSet::new(), "nothing to do".into());
+    assert_eq!(d.completion_fraction(), 1.0);
+}
+
+#[test]
+fn single_op_assay_flows_through_the_pipeline() {
+    let mut assay = Assay::new("solo");
+    let op = assay.add_op(Operation::new("solo op").with_duration(Duration::Fixed(5)));
+    let result = Synthesizer::new(SynthConfig::default())
+        .run(&assay)
+        .expect("single-op assay synthesizes");
+    assert_eq!(result.layering.num_layers(), 1);
+    result.schedule.validate(&assay).expect("solo validates");
+    assert_eq!(result.schedule.exec_time(&assay).to_string(), "5m");
+
+    let report = analysis::analyse(&assay, &result.schedule);
+    assert_eq!(report.fixed_makespan, 5);
+    assert_eq!(report.critical_path, vec![op]);
+    assert_eq!(report.devices.len(), 1);
+    assert!(report.devices[0].utilisation > 0.0);
+
+    let chart = render::gantt(&assay, &result.schedule, 60);
+    assert!(chart.contains("layer 0"), "{chart}");
+
+    let sim = simulate_hybrid(&assay, &result.schedule, &exact()).expect("solo simulates");
+    assert_eq!(sim.makespan, 5);
+}
+
+#[test]
+fn all_zero_durations_flow_through_the_pipeline() {
+    let mut assay = Assay::new("instant");
+    let x = assay.add_op(Operation::new("x").with_duration(Duration::Fixed(0)));
+    let y = assay.add_op(Operation::new("y").with_duration(Duration::Fixed(0)));
+    let z = assay.add_op(Operation::new("z").with_duration(Duration::Fixed(0)));
+    assay.add_dependency(x, y).unwrap();
+    assay.add_dependency(y, z).unwrap();
+
+    let result = Synthesizer::new(SynthConfig::default())
+        .run(&assay)
+        .expect("zero-duration assay synthesizes");
+    result.schedule.validate(&assay).expect("instant validates");
+    assert_eq!(result.schedule.exec_time(&assay).to_string(), "0m");
+
+    // fixed_makespan == 0 pins the division guard: utilisation must come
+    // back 0.0, not NaN.
+    let report = analysis::analyse(&assay, &result.schedule);
+    assert_eq!(report.fixed_makespan, 0);
+    for d in &report.devices {
+        assert_eq!(d.utilisation, 0.0, "device d{} utilisation", d.device);
+    }
+
+    // gantt's span.max(1) guard: a zero-length layer still renders.
+    let chart = render::gantt(&assay, &result.schedule, 60);
+    assert!(chart.contains("layer 0"), "{chart}");
+
+    let sim = simulate_hybrid(&assay, &result.schedule, &exact()).expect("instant simulates");
+    assert_eq!(sim.makespan, 0);
+}

@@ -6,7 +6,8 @@
 //! count. These tests pin that contract by running the same work pinned
 //! to 1 and 4 workers and comparing full result structures, and check
 //! that the layer-solution memo cache is a pure accelerator (cache on ≡
-//! cache off).
+//! cache off). The `mfhls-obs` logical record stream is held to the same
+//! standard: identical fingerprints at any thread count and cache setting.
 
 use mfhls::core::recovery::RetryPolicy;
 use mfhls::par::with_threads;
@@ -148,6 +149,91 @@ fn layer_cache_is_a_pure_accelerator() {
         );
         assert!(cold.iterations.iter().all(|it| it.cache_hits == 0));
     }
+}
+
+#[test]
+fn logical_trace_is_thread_count_and_cache_invariant() {
+    // The observability layer's determinism contract: the *logical* record
+    // stream (spans, layer/iteration events — everything except diagnostics
+    // like cache hit/miss splits and speculative ILP solves) is identical
+    // at any thread count and with the layer cache on or off.
+    let assay = mfhls::assays::gene_expression(10);
+    let traced = |threads: usize, cache: bool| {
+        with_threads(threads, || {
+            mfhls::obs::start_capture(mfhls::obs::CaptureConfig::default());
+            let result = Synthesizer::new(SynthConfig {
+                layer_cache: cache,
+                ..SynthConfig::default()
+            })
+            .run(&assay)
+            .expect("benchmark assay must synthesize");
+            let trace = mfhls::obs::finish_capture().expect("capture was active");
+            (result.schedule, trace)
+        })
+    };
+    let (schedule_1, trace_1) = traced(1, true);
+    let (schedule_4, trace_4) = traced(4, true);
+    let (schedule_nc, trace_nc) = traced(1, false);
+    assert_eq!(schedule_1, schedule_4);
+    assert_eq!(schedule_1, schedule_nc);
+
+    let fp_1 = trace_1.logical_fingerprint();
+    assert!(
+        fp_1.contains("layer_solved") && fp_1.contains("synthesis"),
+        "logical fingerprint must cover the pipeline: {fp_1}"
+    );
+    assert_eq!(
+        fp_1,
+        trace_4.logical_fingerprint(),
+        "logical trace differs between 1 and 4 threads"
+    );
+    assert_eq!(
+        fp_1,
+        trace_nc.logical_fingerprint(),
+        "logical trace differs between cache on and cache off"
+    );
+    // With capture active the full JSONL export round-trips the validator.
+    let n = mfhls::obs::validate_jsonl(&trace_1.to_jsonl()).expect("exported trace validates");
+    assert_eq!(n, trace_1.len());
+}
+
+#[test]
+fn fault_run_trace_is_thread_count_invariant() {
+    // Fault injection and recovery re-synthesis emit logical events too;
+    // the whole narrated run must trace identically at any pool size.
+    let assay = mfhls::assays::gene_expression(10);
+    let config = SynthConfig::default();
+    let result = Synthesizer::new(config.clone())
+        .run(&assay)
+        .expect("benchmark assay must synthesize");
+    let model = DurationModel::GeometricRetry {
+        success_probability: 0.53,
+        max_attempts: 20,
+    };
+    let faults = FaultModel::uniform(0.02);
+    let policy = RetryPolicy::default();
+    let traced = |threads: usize| {
+        with_threads(threads, || {
+            mfhls::obs::start_capture(mfhls::obs::CaptureConfig::default());
+            let run = run_with_recovery(
+                &assay,
+                &result.schedule,
+                &SimConfig { model, seed: 7 },
+                &faults,
+                &policy,
+                &config,
+            )
+            .expect("fault-injected run must not error");
+            let trace = mfhls::obs::finish_capture().expect("capture was active");
+            (run.makespan, trace)
+        })
+    };
+    let (makespan_1, trace_1) = traced(1);
+    let (makespan_4, trace_4) = traced(4);
+    assert_eq!(makespan_1, makespan_4);
+    let fp = trace_1.logical_fingerprint();
+    assert!(!fp.is_empty(), "fault run must record logical events");
+    assert_eq!(fp, trace_4.logical_fingerprint());
 }
 
 #[test]

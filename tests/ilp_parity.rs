@@ -86,7 +86,11 @@ fn exact_layer_solutions_never_lose_to_heuristic() {
                 heur.objective
             );
             assert!(exact.stats.ilp_solves == 1 && exact.stats.proven_optimal == 1);
-            assert_eq!(heur.stats, Default::default());
+            // The heuristic reports its own work but zero ILP counters.
+            assert_eq!(heur.stats.ilp_solves, 0);
+            assert_eq!(heur.stats.nodes, 0);
+            assert_eq!(heur.stats.pivots, 0);
+            assert!(heur.stats.heuristic_rounds >= 1);
             for (label, sol) in [("exact", &exact), ("heuristic", &heur)] {
                 as_schedule(sol)
                     .validate(&sub)
