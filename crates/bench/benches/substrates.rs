@@ -88,10 +88,10 @@ fn heuristic_layer_bench() {
     bench("heuristic_layer", "rtqpcr_single_pass", 20, || {
         mfhls_bench::run_ours(
             &assay,
-            mfhls_core::SynthConfig {
-                max_iterations: 1,
-                ..mfhls_core::SynthConfig::default()
-            },
+            mfhls_core::SynthConfig::builder()
+                .max_iterations(1)
+                .build()
+                .expect("valid config"),
         )
     });
 }

@@ -83,10 +83,10 @@ fn table3(samples: usize) {
             || {
                 mfhls_bench::run_ours(
                     &assay,
-                    SynthConfig {
-                        max_iterations: 1,
-                        ..SynthConfig::default()
-                    },
+                    SynthConfig::builder()
+                        .max_iterations(1)
+                        .build()
+                        .expect("valid config"),
                 )
             },
         );

@@ -33,25 +33,29 @@ fn main() {
                     max_duration: 20,
                 },
             );
-            let ilp = Synthesizer::new(SynthConfig {
-                solver: SolverKind::Hybrid {
-                    max_nodes: 400_000,
-                    ilp_op_limit: 10,
-                    improvement_passes: 2,
-                },
-                max_devices: 6,
-                max_iterations: 1,
-                ..SynthConfig::default()
-            })
+            let ilp = Synthesizer::new(
+                SynthConfig::builder()
+                    .solver(SolverKind::Hybrid {
+                        max_nodes: 400_000,
+                        ilp_op_limit: 10,
+                        improvement_passes: 2,
+                    })
+                    .max_devices(6)
+                    .max_iterations(1)
+                    .build()
+                    .expect("valid config"),
+            )
             .run(&assay);
-            let heur = Synthesizer::new(SynthConfig {
-                solver: SolverKind::Heuristic {
-                    improvement_passes: 2,
-                },
-                max_devices: 6,
-                max_iterations: 1,
-                ..SynthConfig::default()
-            })
+            let heur = Synthesizer::new(
+                SynthConfig::builder()
+                    .solver(SolverKind::Heuristic {
+                        improvement_passes: 2,
+                    })
+                    .max_devices(6)
+                    .max_iterations(1)
+                    .build()
+                    .expect("valid config"),
+            )
             .run(&assay)
             .expect("heuristic always succeeds");
             let Ok(ilp) = ilp else {

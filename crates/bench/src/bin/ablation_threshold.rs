@@ -36,10 +36,10 @@ fn main() {
             let storage: u64 = layering.boundary_storage(&assay).iter().sum();
             let ours = run_ours(
                 &assay,
-                SynthConfig {
-                    indeterminate_threshold: t,
-                    ..SynthConfig::default()
-                },
+                SynthConfig::builder()
+                    .indeterminate_threshold(t)
+                    .build()
+                    .expect("valid config"),
             );
             rows.push(vec![
                 t.to_string(),

@@ -29,18 +29,18 @@ fn main() {
             };
             let off = run_ours(
                 &assay,
-                SynthConfig {
-                    transport,
-                    max_iterations: 1, // no refinement pass
-                    ..SynthConfig::default()
-                },
+                SynthConfig::builder()
+                    .transport(transport)
+                    .max_iterations(1) // no refinement pass
+                    .build()
+                    .expect("valid config"),
             );
             let on = run_ours(
                 &assay,
-                SynthConfig {
-                    transport,
-                    ..SynthConfig::default()
-                },
+                SynthConfig::builder()
+                    .transport(transport)
+                    .build()
+                    .expect("valid config"),
             );
             rows.push(vec![
                 initial.to_string(),

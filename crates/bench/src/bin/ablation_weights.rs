@@ -57,10 +57,10 @@ fn main() {
     ] {
         let r = run_ours(
             &assay,
-            SynthConfig {
-                weights,
-                ..SynthConfig::default()
-            },
+            SynthConfig::builder()
+                .weights(weights)
+                .build()
+                .expect("valid config"),
         );
         rows.push(vec![
             label.to_string(),

@@ -1,4 +1,5 @@
-//! Layer-solution memoization for progressive re-synthesis.
+//! Layer-solution memoization for progressive re-synthesis — per-run and
+//! shared across runs.
 //!
 //! Re-synthesis (§3.2) repeatedly re-solves per-layer scheduling problems;
 //! across iterations many of those sub-problems are *structurally
@@ -8,10 +9,11 @@
 //! the structural identity of a sub-problem to its solved
 //! [`LayerSolution`], so a revisit skips the solver entirely.
 //!
-//! Because the cache never outlives a run, everything constant within a run
-//! (the assay, the layering, weights, costs, the solver configuration, the
-//! device budget, the binding mode) is deliberately *not* part of the key.
-//! The key captures exactly the inputs that vary between passes:
+//! Because the per-run cache never outlives a run, everything constant
+//! within a run (the assay, the layering, weights, costs, the solver
+//! configuration, the device budget, the binding mode) is deliberately
+//! *not* part of the key. The key captures exactly the inputs that vary
+//! between passes:
 //!
 //! * the layer index (which fixes the op set under a fixed layering — the
 //!   ops are still stored verbatim as a guard),
@@ -21,14 +23,36 @@
 //! * the per-op transport-time estimates (these change whenever transport
 //!   refinement changes an op's estimate).
 //!
+//! # Cross-request sharing
+//!
+//! A long-lived synthesis service (`mfhls-svc`) sees the same assays over
+//! and over; a cache that dies with each run wastes exactly the workload
+//! that dominates. A [`SharedLayerCache`] outlives individual runs: it is
+//! handed to a [`Synthesizer`](crate::Synthesizer) behind an `Arc` (see
+//! [`Synthesizer::with_shared_cache`](crate::Synthesizer::with_shared_cache))
+//! and re-scopes every [`LayerKey`] with a [`CacheContext`] — a canonical
+//! fingerprint of everything the per-run key deliberately omits (the full
+//! assay structure and the solver-relevant configuration). Two runs share
+//! entries iff their contexts are byte-identical, so distinct assays or
+//! configs can never alias.
+//!
+//! The shared cache is bounded: insertions beyond the configured capacity
+//! evict the oldest entry (FIFO by a global insertion stamp — a
+//! deterministic function of the insertion *sequence*, though the sequence
+//! itself depends on request execution order). Hit/miss/eviction counters
+//! are exposed via [`SharedLayerCache::stats`] and surfaced as `mfhls-obs`
+//! counters by the service.
+//!
 //! All built-in solvers are deterministic functions of the
 //! [`LayerProblem`](crate::LayerProblem), so replaying a cached solution is
 //! observationally identical to re-solving — schedules are bitwise equal
-//! with the cache on or off.
+//! with either cache on or off, whatever its occupancy.
 
-use crate::{LayerProblem, LayerSolution, OpId};
+use crate::{LayerProblem, LayerSolution, OpId, SynthConfig};
 use mfhls_chip::DeviceConfig;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 
 /// The structural identity of one per-layer sub-problem; see the module
 /// docs for what is (and is not) part of the key.
@@ -142,6 +166,315 @@ impl LayerCache {
     }
 }
 
+/// The canonical fingerprint of everything a [`LayerKey`] deliberately
+/// omits because it is constant within one run: the full assay structure
+/// and the solver-relevant configuration. A [`SharedLayerCache`] scopes
+/// every key with one of these so entries from different assays or
+/// configurations can never alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheContext(Arc<str>);
+
+impl CacheContext {
+    /// Builds the context for synthesising `assay` under `config`.
+    ///
+    /// The encoding covers every input that can change a layer solution
+    /// beyond what [`LayerKey`] already captures: each operation's
+    /// requirements and duration, the dependency edges, the layering
+    /// threshold, the device budget, the objective weights, the cost
+    /// model, the solver kind (with its parameters) and the binding mode.
+    /// Operation display names are excluded — they never influence
+    /// solving.
+    pub fn of(assay: &crate::Assay, config: &SynthConfig) -> CacheContext {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "cfg:d{} t{} w{:?} c{:?} s{:?} co{}|",
+            config.max_devices,
+            config.indeterminate_threshold,
+            config.weights,
+            config.costs,
+            config.solver,
+            config.component_oriented,
+        );
+        let _ = write!(s, "tr{:?}|", config.transport);
+        for op in assay.op_ids() {
+            let o = assay.op(op);
+            let _ = write!(
+                s,
+                "o{}:{:?}/{:?};",
+                op.index(),
+                o.requirements(),
+                o.duration()
+            );
+        }
+        s.push('|');
+        for (p, c) in assay.dependencies() {
+            let _ = write!(s, "e{}>{};", p.index(), c.index());
+        }
+        CacheContext(s.into())
+    }
+}
+
+/// Aggregate counters of a [`SharedLayerCache`].
+///
+/// Hits and misses count *demand* lookups only (speculative warming is
+/// excluded, mirroring [`LayerCache`]). The split is diagnostic: it varies
+/// with request interleaving and worker count, while the schedules served
+/// from the cache never do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups that found an entry.
+    pub hits: u64,
+    /// Demand lookups that missed.
+    pub misses: u64,
+    /// Entries stored (demand and speculative).
+    pub insertions: u64,
+    /// Entries dropped to keep the cache within its capacity.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Configured entry bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0.0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A layer-key scoped by its run context; the key type of the shared map.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SharedKey {
+    context: CacheContext,
+    key: LayerKey,
+}
+
+#[derive(Debug, Default)]
+struct SharedState {
+    map: HashMap<SharedKey, (u64, LayerSolution)>,
+    /// Insertion stamps, oldest first — the FIFO eviction order.
+    order: BTreeMap<u64, SharedKey>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe layer-solution cache shared across synthesis
+/// runs. See the module docs for the key contract and the eviction policy.
+#[derive(Debug)]
+pub struct SharedLayerCache {
+    state: Mutex<SharedState>,
+    capacity: usize,
+}
+
+impl SharedLayerCache {
+    /// Creates a cache bounded to `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> SharedLayerCache {
+        SharedLayerCache {
+            state: Mutex::new(SharedState::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, SharedState> {
+        // A poisoned mutex means a solver panicked mid-insert; the map
+        // itself is never left partially mutated, so keep serving.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn lookup(&self, context: &CacheContext, key: &LayerKey) -> Option<LayerSolution> {
+        let mut st = self.locked();
+        // Borrow-free probe: build the composite key only on the stack.
+        let probe = SharedKey {
+            context: context.clone(),
+            key: key.clone(),
+        };
+        match st.map.get(&probe) {
+            Some((_, sol)) => {
+                let sol = sol.clone();
+                st.hits += 1;
+                Some(sol)
+            }
+            None => {
+                st.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn contains(&self, context: &CacheContext, key: &LayerKey) -> bool {
+        let st = self.locked();
+        let probe = SharedKey {
+            context: context.clone(),
+            key: key.clone(),
+        };
+        st.map.contains_key(&probe)
+    }
+
+    fn insert(&self, context: &CacheContext, key: LayerKey, solution: LayerSolution) {
+        let shared = SharedKey {
+            context: context.clone(),
+            key,
+        };
+        let mut st = self.locked();
+        if st.map.contains_key(&shared) {
+            return;
+        }
+        let stamp = st.next_stamp;
+        st.next_stamp += 1;
+        st.map.insert(shared.clone(), (stamp, solution));
+        st.order.insert(stamp, shared);
+        st.insertions += 1;
+        while st.map.len() > self.capacity {
+            let Some((&oldest, _)) = st.order.iter().next() else {
+                break;
+            };
+            if let Some(victim) = st.order.remove(&oldest) {
+                st.map.remove(&victim);
+                st.evictions += 1;
+            }
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let st = self.locked();
+        CacheStats {
+            hits: st.hits,
+            misses: st.misses,
+            insertions: st.insertions,
+            evictions: st.evictions,
+            entries: st.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of cached layer solutions.
+    pub fn len(&self) -> usize {
+        self.locked().map.len()
+    }
+
+    /// Whether the cache holds no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut st = self.locked();
+        st.map.clear();
+        st.order.clear();
+    }
+}
+
+/// The cache view one synthesis run works against: either a private
+/// [`LayerCache`] that dies with the run, or a [`SharedLayerCache`] handle
+/// scoped by the run's [`CacheContext`]. Either way the run keeps its own
+/// hit/miss counters so [`IterationStats`](crate::IterationStats) reports
+/// per-run figures.
+#[derive(Debug)]
+pub enum RunCache {
+    /// A per-run memo table (the default).
+    Local(LayerCache),
+    /// A handle into a cross-request shared cache.
+    Shared {
+        /// The long-lived cache.
+        cache: Arc<SharedLayerCache>,
+        /// This run's scoping context.
+        context: CacheContext,
+        /// Demand hits charged to this run.
+        hits: u64,
+        /// Demand misses charged to this run.
+        misses: u64,
+    },
+}
+
+impl RunCache {
+    /// A fresh per-run cache.
+    pub fn local() -> RunCache {
+        RunCache::Local(LayerCache::new())
+    }
+
+    /// A handle into `cache`, scoped to `assay` under `config`.
+    pub fn shared(
+        cache: Arc<SharedLayerCache>,
+        assay: &crate::Assay,
+        config: &SynthConfig,
+    ) -> RunCache {
+        RunCache::Shared {
+            context: CacheContext::of(assay, config),
+            cache,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a solution, counting a hit or a miss.
+    pub fn lookup(&mut self, key: &LayerKey) -> Option<LayerSolution> {
+        match self {
+            RunCache::Local(c) => c.lookup(key),
+            RunCache::Shared {
+                cache,
+                context,
+                hits,
+                misses,
+            } => {
+                let sol = cache.lookup(context, key);
+                match sol.is_some() {
+                    true => *hits += 1,
+                    false => *misses += 1,
+                }
+                sol
+            }
+        }
+    }
+
+    /// Whether `key` is present, without touching the counters.
+    pub fn contains(&self, key: &LayerKey) -> bool {
+        match self {
+            RunCache::Local(c) => c.contains(key),
+            RunCache::Shared { cache, context, .. } => cache.contains(context, key),
+        }
+    }
+
+    /// Stores a demand-solved solution.
+    pub fn insert(&mut self, key: LayerKey, solution: LayerSolution) {
+        match self {
+            RunCache::Local(c) => c.insert(key, solution),
+            RunCache::Shared { cache, context, .. } => cache.insert(context, key, solution),
+        }
+    }
+
+    /// Stores a speculatively pre-solved solution without counting.
+    pub fn warm(&mut self, key: LayerKey, solution: LayerSolution) {
+        match self {
+            RunCache::Local(c) => c.warm(key, solution),
+            RunCache::Shared { cache, context, .. } => cache.insert(context, key, solution),
+        }
+    }
+
+    /// Returns this run's `(hits, misses)` since the previous call and
+    /// resets them.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        match self {
+            RunCache::Local(c) => c.take_counters(),
+            RunCache::Shared { hits, misses, .. } => (std::mem::take(hits), std::mem::take(misses)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +560,61 @@ mod tests {
         // warm never overwrites and never counts.
         cache.warm(key.clone(), sol);
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn context_distinguishes_assays_and_configs() {
+        let a = assay();
+        let config = SynthConfig::default();
+        assert_eq!(CacheContext::of(&a, &config), CacheContext::of(&a, &config));
+        let mut b = assay();
+        b.add_op(Operation::new("z").with_duration(Duration::fixed(9)));
+        assert_ne!(CacheContext::of(&a, &config), CacheContext::of(&b, &config));
+        let tighter = SynthConfig::builder().max_devices(3).build().unwrap();
+        assert_ne!(
+            CacheContext::of(&a, &config),
+            CacheContext::of(&a, &tighter)
+        );
+    }
+
+    #[test]
+    fn shared_cache_scopes_by_context_and_evicts_fifo() {
+        let a = assay();
+        let t = TransportTimes::initial(&a, &TransportConfig::default());
+        let costs = CostModel::default();
+        let p = problem(&a, &t, &costs);
+        let sol = crate::solver::SolverKind::default().solve(&p).unwrap();
+        let config = SynthConfig::default();
+
+        let shared = Arc::new(SharedLayerCache::new(2));
+        let mut run_a = RunCache::shared(shared.clone(), &a, &config);
+        let key0 = LayerKey::of(&p, 0);
+        assert!(run_a.lookup(&key0).is_none());
+        run_a.insert(key0.clone(), sol.clone());
+        assert_eq!(run_a.lookup(&key0), Some(sol.clone()));
+        assert_eq!(run_a.take_counters(), (1, 1));
+
+        // A different context never sees the entry.
+        let mut b = assay();
+        b.add_op(Operation::new("z").with_duration(Duration::fixed(9)));
+        let mut run_b = RunCache::shared(shared.clone(), &b, &config);
+        assert!(!run_b.contains(&key0));
+        assert!(run_b.lookup(&key0).is_none());
+
+        // FIFO eviction keeps the bound: capacity 2, three inserts.
+        run_a.insert(LayerKey::of(&p, 1), sol.clone());
+        run_a.insert(LayerKey::of(&p, 2), sol.clone());
+        let stats = shared.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.insertions, 3);
+        // The oldest entry (key0) was the victim.
+        assert!(!run_a.contains(&key0));
+        assert!(run_a.contains(&LayerKey::of(&p, 2)));
+        assert!(stats.hit_rate() > 0.0);
+
+        shared.clear();
+        assert!(shared.is_empty());
     }
 }

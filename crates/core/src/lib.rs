@@ -74,19 +74,26 @@ pub mod transport;
 pub mod validate;
 
 pub use assay::Assay;
-pub use cache::{LayerCache, LayerKey};
+pub use cache::{CacheContext, CacheStats, LayerCache, LayerKey, RunCache, SharedLayerCache};
 pub use layering::{layer_assay, Layering};
 pub use op::{Duration, OpId, Operation};
 pub use problem::{LayerProblem, Weights};
 pub use recovery::{resynthesize_suffix, Degradation, RecoveryPlan, RetryPolicy};
 pub use schedule::{ExecTime, HybridSchedule, LayerSchedule, ScheduledOp};
 pub use solver::{LayerSolution, LayerSolver, SolverKind, SolverStats};
-pub use synth::{IterationStats, SynthConfig, SynthesisResult, Synthesizer};
+pub use synth::{IterationStats, SynthConfig, SynthConfigBuilder, SynthesisResult, Synthesizer};
 pub use transport::{Progression, TransportConfig, TransportTimes};
 
 /// Errors produced by the synthesis pipeline.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm so future
+/// variants are not breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
+    /// A configuration failed validation (see
+    /// [`SynthConfig::validate`]).
+    Config(String),
     /// The assay dependency graph is cyclic.
     CyclicAssay,
     /// An operation id does not belong to the assay.
@@ -117,6 +124,7 @@ pub enum CoreError {
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            CoreError::Config(m) => write!(f, "invalid configuration: {m}"),
             CoreError::CyclicAssay => write!(f, "assay dependency graph contains a cycle"),
             CoreError::UnknownOp(i) => write!(f, "unknown operation id {i}"),
             CoreError::Layering(m) => write!(f, "layering failed: {m}"),

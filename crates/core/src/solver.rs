@@ -113,6 +113,7 @@ pub trait LayerSolver {
 
 /// Built-in solver strategies.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum SolverKind {
     /// Priority list scheduling + greedy binding + re-binding improvement.
     /// Scales to the paper's 120-operation cases.

@@ -1,7 +1,7 @@
 //! The synthesis driver: layering, per-layer solving with device
 //! inheritance, transport refinement, and progressive re-synthesis (§3.2).
 
-use crate::cache::{LayerCache, LayerKey};
+use crate::cache::{LayerKey, RunCache, SharedLayerCache};
 use crate::problem::path_key;
 use crate::{
     layer_assay, Assay, CoreError, ExecTime, HybridSchedule, LayerProblem, LayerSchedule,
@@ -10,9 +10,18 @@ use crate::{
 use mfhls_chip::{CostModel, DeviceConfig};
 use mfhls_obs as obs;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Configuration of a synthesis run.
+///
+/// Construct one with [`SynthConfig::builder`], which validates the
+/// numeric ranges, or start from [`SynthConfig::default`] and mutate
+/// fields. The struct is `#[non_exhaustive]`: future revisions may add
+/// fields without breaking downstream code, so functional-update literals
+/// (`SynthConfig { .., ..Default::default() }`) are reserved to this
+/// crate.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SynthConfig {
     /// Maximum number of devices `|D|` allowed on the chip (paper: 25).
     pub max_devices: usize,
@@ -55,6 +64,135 @@ impl Default for SynthConfig {
             max_iterations: 6,
             layer_cache: true,
         }
+    }
+}
+
+impl SynthConfig {
+    /// A builder seeded with [`SynthConfig::default`]; the standard way to
+    /// customise a configuration now that the struct is
+    /// `#[non_exhaustive]`.
+    pub fn builder() -> SynthConfigBuilder {
+        SynthConfigBuilder {
+            config: SynthConfig::default(),
+        }
+    }
+
+    /// Checks the numeric ranges every synthesis entry point relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] when `max_devices == 0`,
+    /// `max_iterations == 0`, or `min_improvement` is outside `[0, 1]`
+    /// (NaN included).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.max_devices == 0 {
+            return Err(CoreError::Config(
+                "max_devices must be at least 1".to_owned(),
+            ));
+        }
+        if self.max_iterations == 0 {
+            return Err(CoreError::Config(
+                "max_iterations must be at least 1".to_owned(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.min_improvement) {
+            return Err(CoreError::Config(format!(
+                "min_improvement must lie in [0, 1], got {}",
+                self.min_improvement
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SynthConfig`] with range validation at
+/// [`SynthConfigBuilder::build`]. Setters follow the field names.
+///
+/// ```
+/// use mfhls_core::SynthConfig;
+/// let config = SynthConfig::builder()
+///     .max_devices(12)
+///     .min_improvement(0.05)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(config.max_devices, 12);
+/// assert!(SynthConfig::builder().max_devices(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthConfigBuilder {
+    config: SynthConfig,
+}
+
+impl SynthConfigBuilder {
+    /// Device budget `|D|`.
+    pub fn max_devices(mut self, n: usize) -> Self {
+        self.config.max_devices = n;
+        self
+    }
+
+    /// Indeterminate-operations-per-layer threshold `t`.
+    pub fn indeterminate_threshold(mut self, t: usize) -> Self {
+        self.config.indeterminate_threshold = t;
+        self
+    }
+
+    /// Objective weights.
+    pub fn weights(mut self, w: Weights) -> Self {
+        self.config.weights = w;
+        self
+    }
+
+    /// Transport estimation settings.
+    pub fn transport(mut self, t: TransportConfig) -> Self {
+        self.config.transport = t;
+        self
+    }
+
+    /// Device cost model.
+    pub fn costs(mut self, c: CostModel) -> Self {
+        self.config.costs = c;
+        self
+    }
+
+    /// Per-layer solver strategy.
+    pub fn solver(mut self, s: SolverKind) -> Self {
+        self.config.solver = s;
+        self
+    }
+
+    /// Component-oriented binding (`true`, the paper) or the conventional
+    /// exact-signature baseline (`false`).
+    pub fn component_oriented(mut self, on: bool) -> Self {
+        self.config.component_oriented = on;
+        self
+    }
+
+    /// Re-synthesis continues while the relative improvement exceeds this.
+    pub fn min_improvement(mut self, f: f64) -> Self {
+        self.config.min_improvement = f;
+        self
+    }
+
+    /// Hard cap on re-synthesis iterations.
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.config.max_iterations = n;
+        self
+    }
+
+    /// Enable or disable per-layer solution memoization.
+    pub fn layer_cache(mut self, on: bool) -> Self {
+        self.config.layer_cache = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthConfig::validate`].
+    pub fn build(self) -> Result<SynthConfig, CoreError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -111,12 +249,27 @@ impl SynthesisResult {
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
     config: SynthConfig,
+    shared_cache: Option<Arc<SharedLayerCache>>,
 }
 
 impl Synthesizer {
     /// Creates a synthesizer with the given configuration.
     pub fn new(config: SynthConfig) -> Self {
-        Synthesizer { config }
+        Synthesizer {
+            config,
+            shared_cache: None,
+        }
+    }
+
+    /// Memoizes layer solutions in `cache` instead of a per-run table, so
+    /// structurally identical sub-problems are shared *across* runs (the
+    /// `mfhls-svc` service hands every worker the same cache). Ignored
+    /// while [`SynthConfig::layer_cache`] is `false`. Schedules are
+    /// bitwise identical with any cache arrangement — the cache is a pure
+    /// accelerator.
+    pub fn with_shared_cache(mut self, cache: Arc<SharedLayerCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
     }
 
     /// The configuration in use.
@@ -154,6 +307,7 @@ impl Synthesizer {
         seed_bindable: &[bool],
     ) -> Result<SynthesisResult, CoreError> {
         let started = std::time::Instant::now();
+        self.config.validate()?;
         let solver_name = match self.config.solver {
             SolverKind::Heuristic { .. } => "heuristic",
             SolverKind::Ilp { .. } => "ilp",
@@ -177,7 +331,11 @@ impl Synthesizer {
         // device pool (D of §3.2) and is moved — never cloned — into the
         // result at the end.
         let mut prev: Option<Pass> = None;
-        let mut cache = self.config.layer_cache.then(LayerCache::new);
+        let mut cache: Option<RunCache> =
+            self.config.layer_cache.then(|| match &self.shared_cache {
+                Some(shared) => RunCache::shared(shared.clone(), assay, &self.config),
+                None => RunCache::local(),
+            });
 
         for iter in 0..self.config.max_iterations.max(1) {
             let _iter_span = obs::span(obs::Level::Debug, "iteration", &[("iter", iter.into())]);
@@ -330,7 +488,7 @@ impl Synthesizer {
         transport: &TransportTimes,
         prev: &Pass,
         seed_bindable: &[bool],
-        cache: &mut LayerCache,
+        cache: &mut RunCache,
     ) {
         if mfhls_par::max_threads() <= 1 {
             return;
@@ -406,7 +564,7 @@ impl Synthesizer {
         prev: Option<&Pass>,
         seed_devices: &[DeviceConfig],
         seed_bindable: &[bool],
-        mut cache: Option<&mut LayerCache>,
+        mut cache: Option<&mut RunCache>,
     ) -> Result<Pass, CoreError> {
         let mut devices: Vec<DeviceConfig> = prev
             .map(|p| p.schedule.devices.clone())
@@ -638,6 +796,52 @@ mod tests {
         a.add_dependency(mix, capture).unwrap();
         a.add_dependency(capture, detect).unwrap();
         a
+    }
+
+    #[test]
+    fn builder_validates_ranges() {
+        assert!(SynthConfig::builder().build().is_ok());
+        for bad in [
+            SynthConfig::builder().max_devices(0),
+            SynthConfig::builder().max_iterations(0),
+            SynthConfig::builder().min_improvement(-0.1),
+            SynthConfig::builder().min_improvement(1.5),
+            SynthConfig::builder().min_improvement(f64::NAN),
+        ] {
+            assert!(matches!(bad.build(), Err(CoreError::Config(_))));
+        }
+        // Field mutation bypasses the builder; the run entry point still
+        // rejects the config with the same typed error.
+        let config = SynthConfig {
+            max_devices: 0,
+            ..SynthConfig::default()
+        };
+        let err = Synthesizer::new(config).run(&small_assay()).unwrap_err();
+        assert!(matches!(err, CoreError::Config(_)));
+    }
+
+    #[test]
+    fn shared_cache_is_a_pure_accelerator_across_runs() {
+        let assay = small_assay();
+        let baseline = Synthesizer::new(SynthConfig::default())
+            .run(&assay)
+            .unwrap();
+        let shared = std::sync::Arc::new(SharedLayerCache::new(64));
+        let cold = Synthesizer::new(SynthConfig::default())
+            .with_shared_cache(shared.clone())
+            .run(&assay)
+            .unwrap();
+        let before = shared.stats();
+        let warm = Synthesizer::new(SynthConfig::default())
+            .with_shared_cache(shared.clone())
+            .run(&assay)
+            .unwrap();
+        let after = shared.stats();
+        assert_eq!(baseline.schedule, cold.schedule);
+        assert_eq!(baseline.schedule, warm.schedule);
+        // The second run demand-hits entries the first run inserted.
+        assert!(after.hits > before.hits, "{before:?} -> {after:?}");
+        assert!(warm.iterations.iter().map(|it| it.cache_hits).sum::<u64>() > 0);
     }
 
     #[test]

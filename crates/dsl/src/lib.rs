@@ -425,6 +425,43 @@ pub fn parse(text: &str) -> Result<Assay, ParseError> {
     Ok(assay)
 }
 
+/// Parses an assay description, rejecting assays larger than `max_ops`.
+///
+/// This is [`parse`] plus an admission-control bound for services that
+/// accept untrusted inline DSL (the `mfhls-svc` batched synthesis
+/// service): a small `repeat` count multiplies the op count, so byte
+/// length alone does not bound the work a request can demand. The limit
+/// is checked after parsing — the parser itself is linear in the input —
+/// and reported with the total op count so callers can surface a precise
+/// rejection.
+///
+/// # Errors
+///
+/// Everything [`parse`] rejects, plus a [`ParseError`] (line 1) when the
+/// assay defines more than `max_ops` operations.
+///
+/// # Example
+///
+/// ```
+/// let text = "assay \"big\"\nrepeat 100 { op x { duration: 1m } }";
+/// let e = mfhls_dsl::parse_with_limit(text, 64).unwrap_err();
+/// assert!(e.message.contains("100"));
+/// assert!(mfhls_dsl::parse_with_limit(text, 100).is_ok());
+/// ```
+pub fn parse_with_limit(text: &str, max_ops: usize) -> Result<Assay, ParseError> {
+    let assay = parse(text)?;
+    if assay.len() > max_ops {
+        return Err(ParseError {
+            line: 1,
+            message: format!(
+                "assay defines {} operations, exceeding the limit of {max_ops}",
+                assay.len()
+            ),
+        });
+    }
+    Ok(assay)
+}
+
 /// Clones `op` with a different display name.
 fn rename(op: &Operation, name: &str) -> Operation {
     Operation::new(name)

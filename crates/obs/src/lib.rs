@@ -423,6 +423,42 @@ pub fn is_enabled() -> bool {
     ACTIVE.with(|a| a.get())
 }
 
+/// Runs `f` under its own capture and returns its trace, preserving any
+/// capture already active on the calling thread.
+///
+/// [`start_capture`] *replaces* the thread's recorder, which is wrong for
+/// code that needs a scoped trace inside a larger one — e.g. the
+/// `mfhls-svc` service tracing its own request lifecycle while a request
+/// asks for a per-synthesis trace artifact. This helper parks the current
+/// recorder (no records are added to it while `f` runs), installs a fresh
+/// one for `f`, and restores the outer capture afterwards.
+///
+/// ```
+/// use mfhls_obs as obs;
+/// obs::start_capture(obs::CaptureConfig::default());
+/// obs::event(obs::Level::Info, "outer", &[]);
+/// let ((), inner) = obs::with_capture(obs::CaptureConfig::default(), || {
+///     obs::event(obs::Level::Info, "inner", &[]);
+/// });
+/// obs::event(obs::Level::Info, "outer2", &[]);
+/// let outer = obs::finish_capture().expect("outer capture still active");
+/// assert_eq!(inner.records.len(), 1);
+/// assert_eq!(outer.records.len(), 2);
+/// ```
+pub fn with_capture<R>(config: CaptureConfig, f: impl FnOnce() -> R) -> (R, Trace) {
+    let saved_recorder = RECORDER.with(|r| r.borrow_mut().take());
+    let saved_active = ACTIVE.with(|a| a.get());
+    start_capture(config);
+    let result = f();
+    let trace = finish_capture().unwrap_or(Trace {
+        records: Vec::new(),
+        wall_clock: false,
+    });
+    RECORDER.with(|r| *r.borrow_mut() = saved_recorder);
+    ACTIVE.with(|a| a.set(saved_active));
+    (result, trace)
+}
+
 fn with_recorder(f: impl FnOnce(&mut Recorder)) {
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {

@@ -1,0 +1,632 @@
+//! The batched synthesis service: deterministic admission windows over a
+//! worker pool, with a cross-request shared layer cache.
+//!
+//! # Determinism model
+//!
+//! A long-lived service with backpressure sounds inherently racy — queue
+//! occupancy would depend on how fast workers drain it, and so would
+//! which request gets the `overloaded` rejection. This service avoids
+//! that with **synchronous admission windows**:
+//!
+//! * The serve loop reads NDJSON lines one at a time and only *admits*
+//!   requests (parse, resolve the assay, validate the config). Nothing
+//!   solves yet.
+//! * A blank line, a `{"type":"flush"}` control, EOF, or
+//!   `{"type":"shutdown"}` closes the window: the pending batch runs on
+//!   the worker pool ([`mfhls_par::par_map`], whose ordered reduction is
+//!   bitwise-deterministic at any thread count), and the responses are
+//!   written in admission order.
+//! * Admission-time failures — malformed lines, version mismatches,
+//!   parse/config errors, and `overloaded` rejections when the window
+//!   already holds `queue_capacity` requests — are written *immediately*,
+//!   before the batch runs.
+//!
+//! Queue occupancy is therefore a pure function of the input stream, not
+//! of worker timing: the same NDJSON input produces byte-identical output
+//! at 1 worker and at 16 (`tests/service.rs` pins this, and the CI
+//! `serve-smoke` job diffs the two against a golden file).
+//!
+//! # The shared cache
+//!
+//! All requests served by one [`SynthesisService`] share a bounded
+//! [`SharedLayerCache`]: request *N* re-solving a layer that request *M*
+//! already solved gets a cache hit. The cache is a pure accelerator —
+//! `mfhls-core` pins that schedules are identical with the cache on or
+//! off — so cross-request interleaving may change the hit/miss split
+//! (reported as diagnostics) but never a response byte.
+
+use crate::api::{
+    parse_incoming, response_error, response_ok, Artifacts, ErrorKind, Incoming, RequestError,
+    SynthesisRequest,
+};
+use crate::json::Json;
+use mfhls_core::{Assay, CacheStats, SharedLayerCache, SynthConfig, Synthesizer};
+use mfhls_obs as obs;
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tuning knobs of a [`SynthesisService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads per batch (`0` = the `mfhls-par` default, i.e. the
+    /// `MFHLS_THREADS` env var, then the CPU count). Responses are
+    /// byte-identical at any setting.
+    pub workers: usize,
+    /// Maximum requests admitted per window; further requests are
+    /// rejected with `overloaded` until the window flushes.
+    pub queue_capacity: usize,
+    /// Bound on the shared layer cache (entries; FIFO eviction).
+    pub cache_entries: usize,
+    /// Share the layer cache across requests. Off = every request gets
+    /// its own per-run cache (responses identical either way).
+    pub shared_cache: bool,
+    /// Admission bound on operations per assay (inline DSL `repeat`
+    /// blocks can multiply a small request into a huge one).
+    pub max_ops: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 128,
+            cache_entries: 256,
+            shared_cache: true,
+            max_ops: 512,
+        }
+    }
+}
+
+/// Lifetime totals of a serve loop, reported when it ends.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceSummary {
+    /// Requests admitted into a window.
+    pub accepted: u64,
+    /// Requests solved successfully.
+    pub solved: u64,
+    /// Requests rejected (admission- or solve-time, any [`ErrorKind`]).
+    pub rejected: u64,
+    /// Of the rejected, how many by cancellation.
+    pub cancelled: u64,
+    /// Windows flushed (batches executed).
+    pub batches: u64,
+    /// Whether a `shutdown` control ended the loop.
+    pub shutdown: bool,
+    /// Shared-cache statistics at the end of the loop.
+    pub cache: CacheStats,
+}
+
+impl ServiceSummary {
+    /// Folds another loop's totals into this one (TCP mode serves one
+    /// summary per connection).
+    pub fn merge(&mut self, other: &ServiceSummary) {
+        self.accepted += other.accepted;
+        self.solved += other.solved;
+        self.rejected += other.rejected;
+        self.cancelled += other.cancelled;
+        self.batches += other.batches;
+        self.shutdown |= other.shutdown;
+        self.cache = other.cache;
+    }
+}
+
+impl std::fmt::Display for ServiceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} accepted, {} solved, {} rejected ({} cancelled) over {} batch(es); \
+             cache {}/{} entries, {:.1}% hit rate",
+            self.accepted,
+            self.solved,
+            self.rejected,
+            self.cancelled,
+            self.batches,
+            self.cache.entries,
+            self.cache.capacity,
+            self.cache.hit_rate() * 100.0
+        )
+    }
+}
+
+/// A request admitted into the current window.
+struct Pending {
+    id: String,
+    assay: Assay,
+    config: SynthConfig,
+    artifacts: Artifacts,
+    deadline_ms: Option<u64>,
+    admitted_at: Instant,
+    cancelled: bool,
+}
+
+/// How one request left the service (drives obs events and the summary).
+enum Outcome {
+    Solved,
+    Rejected(ErrorKind),
+}
+
+/// The long-lived batched synthesis service. See the [module
+/// docs](self) for the determinism model.
+pub struct SynthesisService {
+    config: ServiceConfig,
+    cache: Arc<SharedLayerCache>,
+}
+
+impl SynthesisService {
+    /// Creates a service with a fresh shared cache of
+    /// `config.cache_entries` entries.
+    pub fn new(config: ServiceConfig) -> SynthesisService {
+        let cache = Arc::new(SharedLayerCache::new(config.cache_entries));
+        SynthesisService { config, cache }
+    }
+
+    /// The cross-request shared layer cache (for inspection in tests and
+    /// the CLI summary).
+    pub fn cache(&self) -> &Arc<SharedLayerCache> {
+        &self.cache
+    }
+
+    /// Serves NDJSON requests from `input`, writing NDJSON responses to
+    /// `output`, until EOF or a `shutdown` control.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors on `input`/`output`; protocol problems become
+    /// error *responses*, never an early return.
+    pub fn serve<R: BufRead, W: Write>(
+        &self,
+        input: R,
+        mut output: W,
+    ) -> io::Result<ServiceSummary> {
+        let mut summary = ServiceSummary::default();
+        let mut pending: Vec<Pending> = Vec::new();
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                self.flush(&mut pending, &mut output, &mut summary)?;
+                continue;
+            }
+            match parse_incoming(&line) {
+                Err(e) => {
+                    // Salvage the id when the envelope parsed far enough
+                    // to carry one, so the client can correlate.
+                    let id = Json::parse(&line)
+                        .ok()
+                        .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_owned));
+                    self.reject(id.as_deref(), &e, &mut output, &mut summary)?;
+                }
+                Ok(Incoming::Flush) => {
+                    self.flush(&mut pending, &mut output, &mut summary)?;
+                }
+                Ok(Incoming::Shutdown) => {
+                    self.flush(&mut pending, &mut output, &mut summary)?;
+                    summary.shutdown = true;
+                    break;
+                }
+                Ok(Incoming::Cancel(id)) => {
+                    let mut found = false;
+                    for p in pending.iter_mut().filter(|p| p.id == id) {
+                        p.cancelled = true;
+                        found = true;
+                    }
+                    if !found {
+                        let e = RequestError {
+                            kind: ErrorKind::MalformedRequest,
+                            message: format!("no pending request '{id}' to cancel"),
+                        };
+                        self.reject(Some(&id), &e, &mut output, &mut summary)?;
+                    }
+                }
+                Ok(Incoming::Synthesize(req)) => {
+                    self.admit(*req, &mut pending, &mut output, &mut summary)?;
+                }
+            }
+        }
+        self.flush(&mut pending, &mut output, &mut summary)?;
+        summary.cache = self.cache.stats();
+        Ok(summary)
+    }
+
+    /// Serves connections from a bound TCP listener, one at a time (so
+    /// batches from different connections never interleave and output
+    /// stays deterministic per connection). Stops after the first
+    /// connection when `once`, or when any connection sends `shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// Accept/stream I/O errors.
+    pub fn serve_listener(
+        &self,
+        listener: &std::net::TcpListener,
+        once: bool,
+    ) -> io::Result<ServiceSummary> {
+        let mut total = ServiceSummary::default();
+        loop {
+            let (stream, _peer) = listener.accept()?;
+            let reader = io::BufReader::new(stream.try_clone()?);
+            let summary = self.serve(reader, stream)?;
+            total.merge(&summary);
+            if once || total.shutdown {
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Writes an immediate rejection response and records it.
+    fn reject<W: Write>(
+        &self,
+        id: Option<&str>,
+        e: &RequestError,
+        output: &mut W,
+        summary: &mut ServiceSummary,
+    ) -> io::Result<()> {
+        obs::event(
+            obs::Level::Warn,
+            "svc.request_rejected",
+            &[
+                ("id", obs::Value::Str(id.unwrap_or(""))),
+                ("kind", obs::Value::Str(e.kind.as_str())),
+            ],
+        );
+        obs::counter("svc.rejected", 1);
+        summary.rejected += 1;
+        if e.kind == ErrorKind::Cancelled {
+            summary.cancelled += 1;
+        }
+        write_line(output, &response_error(id, e.kind, &e.message))
+    }
+
+    /// Admission: reject over capacity, resolve the assay and config,
+    /// then queue.
+    fn admit<W: Write>(
+        &self,
+        req: SynthesisRequest,
+        pending: &mut Vec<Pending>,
+        output: &mut W,
+        summary: &mut ServiceSummary,
+    ) -> io::Result<()> {
+        if pending.len() >= self.config.queue_capacity {
+            let e = RequestError {
+                kind: ErrorKind::Overloaded,
+                message: format!(
+                    "queue full (capacity {}); flush or wait for the current window",
+                    self.config.queue_capacity
+                ),
+            };
+            return self.reject(Some(&req.id), &e, output, summary);
+        }
+        let assay = match req.resolve_assay(self.config.max_ops) {
+            Ok(a) => a,
+            Err(e) => return self.reject(Some(&req.id), &e, output, summary),
+        };
+        let config = match req.resolve_config() {
+            Ok(c) => c,
+            Err(e) => return self.reject(Some(&req.id), &e, output, summary),
+        };
+        obs::event(
+            obs::Level::Info,
+            "svc.request_accepted",
+            &[("id", obs::Value::Str(&req.id))],
+        );
+        obs::event(
+            obs::Level::Debug,
+            "svc.request_queued",
+            &[("depth", obs::Value::U64(pending.len() as u64 + 1))],
+        );
+        obs::counter("svc.accepted", 1);
+        summary.accepted += 1;
+        pending.push(Pending {
+            id: req.id,
+            assay,
+            config,
+            artifacts: req.artifacts,
+            deadline_ms: req.deadline_ms,
+            admitted_at: Instant::now(),
+            cancelled: false,
+        });
+        Ok(())
+    }
+
+    /// Closes the window: runs the batch on the worker pool and writes
+    /// the responses in admission order.
+    fn flush<W: Write>(
+        &self,
+        pending: &mut Vec<Pending>,
+        output: &mut W,
+        summary: &mut ServiceSummary,
+    ) -> io::Result<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(pending);
+        obs::event(
+            obs::Level::Info,
+            "svc.batch_flush",
+            &[("size", obs::Value::U64(batch.len() as u64))],
+        );
+        summary.batches += 1;
+        let before = self.cache.stats();
+        let results = if self.config.workers == 0 {
+            mfhls_par::par_map(&batch, |p| self.solve_one(p))
+        } else {
+            mfhls_par::with_threads(self.config.workers, || {
+                mfhls_par::par_map(&batch, |p| self.solve_one(p))
+            })
+        };
+        for (p, (line, outcome)) in batch.iter().zip(&results) {
+            match outcome {
+                Outcome::Solved => {
+                    obs::event(
+                        obs::Level::Info,
+                        "svc.request_solved",
+                        &[("id", obs::Value::Str(&p.id))],
+                    );
+                    obs::counter("svc.solved", 1);
+                    summary.solved += 1;
+                }
+                Outcome::Rejected(kind) => {
+                    obs::event(
+                        obs::Level::Warn,
+                        "svc.request_rejected",
+                        &[
+                            ("id", obs::Value::Str(&p.id)),
+                            ("kind", obs::Value::Str(kind.as_str())),
+                        ],
+                    );
+                    obs::counter("svc.rejected", 1);
+                    summary.rejected += 1;
+                    if *kind == ErrorKind::Cancelled {
+                        summary.cancelled += 1;
+                    }
+                }
+            }
+            write_line(output, line)?;
+        }
+        // Cache movement is timing-dependent under the shared cache, so
+        // it goes to the diagnostic class (excluded from determinism
+        // comparisons), mirroring the per-run split in IterationStats.
+        let after = self.cache.stats();
+        obs::diagnostic_counter("svc.cache_hits", (after.hits - before.hits) as i64);
+        obs::diagnostic_counter("svc.cache_misses", (after.misses - before.misses) as i64);
+        output.flush()
+    }
+
+    /// Solves one admitted request on a worker thread. Muted: a request's
+    /// synthesis records must not leak into the service's own capture
+    /// (par_map runs inline on the serve thread at 1 worker). The `trace`
+    /// artifact gets its own scoped capture instead.
+    fn solve_one(&self, p: &Pending) -> (Json, Outcome) {
+        let _mute = obs::muted();
+        if p.cancelled {
+            return (
+                response_error(
+                    Some(&p.id),
+                    ErrorKind::Cancelled,
+                    "cancelled before execution",
+                ),
+                Outcome::Rejected(ErrorKind::Cancelled),
+            );
+        }
+        if let Some(ms) = p.deadline_ms {
+            // `0` is deterministically expired; positive deadlines are
+            // wall-clock (best effort, like any timeout).
+            let expired = ms == 0 || u128::from(ms) <= p.admitted_at.elapsed().as_millis();
+            if expired {
+                return (
+                    response_error(
+                        Some(&p.id),
+                        ErrorKind::DeadlineExceeded,
+                        &format!("deadline of {ms}ms passed before execution"),
+                    ),
+                    Outcome::Rejected(ErrorKind::DeadlineExceeded),
+                );
+            }
+        }
+        let mut synthesizer = Synthesizer::new(p.config.clone());
+        if self.config.shared_cache {
+            synthesizer = synthesizer.with_shared_cache(self.cache.clone());
+        }
+        let (outcome, fingerprint) = if p.artifacts.trace {
+            let (r, trace) = obs::with_capture(
+                obs::CaptureConfig {
+                    wall_clock: false,
+                    echo: None,
+                },
+                || synthesizer.run(&p.assay),
+            );
+            (r, Some(trace.logical_fingerprint()))
+        } else {
+            (synthesizer.run(&p.assay), None)
+        };
+        match outcome {
+            Ok(result) => (
+                response_ok(&p.id, &p.assay, &result, p.artifacts, fingerprint),
+                Outcome::Solved,
+            ),
+            Err(e) => (
+                response_error(Some(&p.id), ErrorKind::SynthesisError, &e.to_string()),
+                Outcome::Rejected(ErrorKind::SynthesisError),
+            ),
+        }
+    }
+}
+
+fn write_line<W: Write>(output: &mut W, line: &Json) -> io::Result<()> {
+    let mut text = String::new();
+    line.write(&mut text);
+    text.push('\n');
+    output.write_all(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: &str, dsl_ops: usize) -> String {
+        let mut dsl = "assay \\\"t\\\"".to_owned();
+        for k in 0..dsl_ops {
+            dsl.push_str(&format!("\\nop x{k} {{ duration: {}m }}", k + 1));
+        }
+        format!(
+            r#"{{"version":"mfhls-api/v1","type":"synthesize","id":"{id}","assay":{{"dsl":"{dsl}"}}}}"#
+        )
+    }
+
+    fn run(service: &SynthesisService, input: &str) -> (String, ServiceSummary) {
+        let mut out = Vec::new();
+        let summary = service
+            .serve(io::BufReader::new(input.as_bytes()), &mut out)
+            .expect("in-memory serve cannot fail");
+        (
+            String::from_utf8(out).expect("responses are UTF-8"),
+            summary,
+        )
+    }
+
+    #[test]
+    fn batch_solves_in_admission_order() {
+        let service = SynthesisService::new(ServiceConfig::default());
+        let input = format!("{}\n{}\n{}\n", req("a", 2), req("b", 3), req("c", 1));
+        let (out, summary) = run(&service, &input);
+        let ids: Vec<&str> = out
+            .lines()
+            .map(|l| {
+                let v = Json::parse(l).unwrap();
+                assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+                "abc" // placeholder replaced below
+            })
+            .collect();
+        assert_eq!(ids.len(), 3);
+        let got: Vec<String> = out
+            .lines()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(got, ["a", "b", "c"]);
+        assert_eq!(summary.solved, 3);
+        assert_eq!(summary.batches, 1);
+    }
+
+    #[test]
+    fn overload_rejects_immediately_and_deterministically() {
+        let service = SynthesisService::new(ServiceConfig {
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let input = format!(
+            "{}\n{}\n{}\n\n{}\n",
+            req("a", 1),
+            req("b", 1),
+            req("c", 1), // over capacity -> rejected
+            req("d", 1)  // new window -> fine
+        );
+        let (out, summary) = run(&service, &input);
+        let lines: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 4);
+        // The rejection is written before the batch's responses.
+        assert_eq!(lines[0].get("id").and_then(Json::as_str), Some("c"));
+        assert_eq!(
+            lines[0]
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("overloaded")
+        );
+        assert_eq!(lines[1].get("id").and_then(Json::as_str), Some("a"));
+        assert_eq!(lines[3].get("id").and_then(Json::as_str), Some("d"));
+        assert_eq!(summary.rejected, 1);
+        assert_eq!(summary.solved, 3);
+        assert_eq!(summary.batches, 2);
+    }
+
+    #[test]
+    fn cancel_and_zero_deadline_reject_typed() {
+        let service = SynthesisService::new(ServiceConfig::default());
+        let deadline = r#"{"version":"mfhls-api/v1","type":"synthesize","id":"dl","assay":{"dsl":"assay \"t\"\nop a { duration: 1m }"},"deadline_ms":0}"#;
+        let input = format!(
+            "{}\n{}\n{deadline}\n{}\n",
+            req("keep", 1),
+            req("drop", 1),
+            r#"{"type":"cancel","id":"drop"}"#
+        );
+        let (out, summary) = run(&service, &input);
+        let by_id: std::collections::BTreeMap<String, Json> = out
+            .lines()
+            .map(|l| {
+                let v = Json::parse(l).unwrap();
+                (v.get("id").and_then(Json::as_str).unwrap().to_owned(), v)
+            })
+            .collect();
+        let kind = |id: &str| {
+            by_id[id]
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+        };
+        assert_eq!(
+            by_id["keep"].get("status").and_then(Json::as_str),
+            Some("ok")
+        );
+        assert_eq!(kind("drop").as_deref(), Some("cancelled"));
+        assert_eq!(kind("dl").as_deref(), Some("deadline_exceeded"));
+        assert_eq!(summary.cancelled, 1);
+        assert_eq!(summary.rejected, 2);
+    }
+
+    #[test]
+    fn malformed_lines_get_immediate_errors_with_salvaged_id() {
+        let service = SynthesisService::new(ServiceConfig::default());
+        let input = "this is not json\n{\"type\":\"synthesize\",\"id\":\"noversion\",\"assay\":{\"dsl\":\"x\"}}\n";
+        let (out, summary) = run(&service, input);
+        let lines: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].get("id"), Some(&Json::Null));
+        assert_eq!(lines[1].get("id").and_then(Json::as_str), Some("noversion"));
+        for l in &lines {
+            assert_eq!(
+                l.get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str),
+                Some("malformed_request")
+            );
+        }
+        assert_eq!(summary.rejected, 2);
+        assert_eq!(summary.accepted, 0);
+    }
+
+    #[test]
+    fn shutdown_flushes_then_stops() {
+        let service = SynthesisService::new(ServiceConfig::default());
+        let input = format!(
+            "{}\n{}\n{}\n",
+            req("a", 1),
+            r#"{"type":"shutdown"}"#,
+            req("ignored", 1)
+        );
+        let (out, summary) = run(&service, &input);
+        assert_eq!(out.lines().count(), 1);
+        assert!(summary.shutdown);
+        assert_eq!(summary.solved, 1);
+    }
+
+    #[test]
+    fn shared_cache_hits_across_requests() {
+        let service = SynthesisService::new(ServiceConfig::default());
+        let input = format!("{}\n\n{}\n", req("first", 4), req("second", 4));
+        let (_, summary) = run(&service, &input);
+        assert_eq!(summary.solved, 2);
+        assert!(
+            summary.cache.hits > 0,
+            "identical request should hit the shared cache: {:?}",
+            summary.cache
+        );
+    }
+}

@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assay.indeterminate_ops().len()
     );
 
-    let result = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+    // Builder-constructed config (validated): identical to the defaults.
+    let config = SynthConfig::builder().layer_cache(true).build()?;
+    let result = Synthesizer::new(config).run(&assay)?;
     result.schedule.validate(&assay)?;
     println!(
         "layers {} | exec {} | devices {} | paths {}",

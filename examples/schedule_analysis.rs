@@ -10,7 +10,13 @@ use mfhls::{SynthConfig, Synthesizer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let assay = mfhls::assays::gene_expression(4);
-    let result = Synthesizer::new(SynthConfig::default()).run(&assay)?;
+    // The validating builder is the standard way to customise a config;
+    // these are the paper's defaults spelled out.
+    let config = SynthConfig::builder()
+        .max_devices(25)
+        .indeterminate_threshold(10)
+        .build()?;
+    let result = Synthesizer::new(config).run(&assay)?;
     result.schedule.validate(&assay)?;
 
     println!("=== Gantt ===\n");

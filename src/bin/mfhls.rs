@@ -13,12 +13,18 @@
 //!                             [--pad-factor F] [--threads N] [--exact]
 //! mfhls export-lp protocol.mfa [--layer K] [--out FILE]
 //! mfhls trace-check trace.jsonl
+//! mfhls serve [--workers N] [--queue N] [--cache-entries N] [--max-ops N]
+//!             [--no-shared-cache] [--tcp ADDR] [--once]
 //! mfhls bench
 //! ```
 //!
 //! `synth`, `simulate`, and `faultsim` additionally accept
 //! `--trace FILE [--trace-format jsonl|chrome] [--log LEVEL]` to capture a
-//! deterministic execution trace (see `mfhls-obs`). Unknown flags and flags
+//! deterministic execution trace (see `mfhls-obs`), and
+//! `--format text|json` to emit their result as one `mfhls-api/v1` JSON
+//! object instead of prose. `serve` runs the batched synthesis service of
+//! `mfhls-svc` over stdin/stdout NDJSON (or a local TCP listener),
+//! sharing a bounded layer cache across requests. Unknown flags and flags
 //! missing their value are rejected with a targeted error and a nonzero
 //! exit code.
 
@@ -28,7 +34,7 @@ use mfhls::sim::{
     run_with_recovery, simulate_hybrid, trials, DurationModel, FaultModel, ForcedFailure,
     RunOutcome, SimConfig,
 };
-use mfhls::{Assay, SolverKind, SynthConfig, Synthesizer, Weights};
+use mfhls::{Assay, SynthConfig, Synthesizer, Weights};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
@@ -58,6 +64,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "export-lp" => export_lp(&args[1..]),
         "graph" => graph(&args[1..]),
         "trace-check" => trace_check(&args[1..]),
+        "serve" => serve(&args[1..]),
         "bench" => bench(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -84,8 +91,12 @@ fn print_usage() {
          mfhls export-lp <file.mfa> [--layer K] [--out FILE]\n  \
          mfhls graph <file.mfa> [--layers] [--out FILE]\n  \
          mfhls trace-check <trace.jsonl>\n  \
+         mfhls serve [--workers N] [--queue N] [--cache-entries N] [--max-ops N]\n             \
+         [--no-shared-cache] [--tcp ADDR] [--once]\n  \
          mfhls bench\n\n\
          OPTIONS:\n  \
+         --format F    (synth|simulate|faultsim) text (default) or json — one\n                \
+         mfhls-api/v1 object on stdout.\n  \
          --threads N   worker-pool size for parallel trials / candidate search\n                \
          (default: MFHLS_THREADS env var, then the CPU count).\n                \
          Output is bitwise-identical at any thread count.\n  \
@@ -234,6 +245,12 @@ fn start_trace(opts: &TraceOpts) {
 }
 
 fn finish_trace(opts: &TraceOpts) -> Result<(), CliError> {
+    finish_trace_quietly(opts, false)
+}
+
+/// `quiet_stdout` diverts the confirmation line to stderr — used when
+/// stdout carries machine-readable output (`--format json`, `serve`).
+fn finish_trace_quietly(opts: &TraceOpts, quiet_stdout: bool) -> Result<(), CliError> {
     let Some(trace) = mfhls::obs::finish_capture() else {
         return Ok(());
     };
@@ -244,7 +261,12 @@ fn finish_trace(opts: &TraceOpts) -> Result<(), CliError> {
             trace.to_jsonl()
         };
         std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("trace: {} records written to {path}", trace.len());
+        let message = format!("trace: {} records written to {path}", trace.len());
+        if quiet_stdout {
+            eprintln!("{message}");
+        } else {
+            println!("{message}");
+        }
     }
     Ok(())
 }
@@ -259,11 +281,13 @@ fn config_from(flags: &Flags<'_>) -> Result<SynthConfig, CliError> {
         }
         mfhls::par::set_default_threads(Some(n));
     }
-    let mut config = SynthConfig {
-        max_devices: flags.parsed("--max-devices", 25usize)?,
-        indeterminate_threshold: flags.parsed("--threshold", 10usize)?,
-        ..SynthConfig::default()
-    };
+    // Flag defaults come from `SynthConfig::default()` itself, so the CLI
+    // can never drift from the library (the old code re-stated the paper
+    // values as literals here).
+    let defaults = SynthConfig::default();
+    let mut builder = SynthConfig::builder()
+        .max_devices(flags.parsed("--max-devices", defaults.max_devices)?)
+        .indeterminate_threshold(flags.parsed("--threshold", defaults.indeterminate_threshold)?);
     if let Some(w) = flags.value("--weights") {
         let parts: Vec<u64> = w
             .split(',')
@@ -273,34 +297,37 @@ fn config_from(flags: &Flags<'_>) -> Result<SynthConfig, CliError> {
         let [time, area, processing, paths] = parts[..] else {
             return Err("--weights wants exactly four numbers: Ct,Ca,Cpr,Cp".into());
         };
-        config.weights = Weights {
+        builder = builder.weights(Weights {
             time,
             area,
             processing,
             paths,
-        };
+        });
     }
-    match flags.value("--solver") {
-        None | Some("heuristic") => {}
-        Some("ilp") => config.solver = SolverKind::Ilp { max_nodes: 500_000 },
-        Some("hybrid") => {
-            config.solver = SolverKind::Hybrid {
-                max_nodes: 200_000,
-                ilp_op_limit: 8,
-                improvement_passes: 2,
-            }
-        }
-        Some(other) => return Err(format!("unknown solver '{other}'").into()),
+    if let Some(name) = flags.value("--solver") {
+        // Same name -> SolverKind mapping as the service API.
+        builder = builder.solver(mfhls::svc::solver_from_str(name)?);
     }
+    let mut config = builder.build()?;
     if flags.has("--conventional") {
         config = mfhls::core::conventional::conventional_config(config);
     }
     Ok(config)
 }
 
+/// Parsed `--format text|json`.
+fn json_format(flags: &Flags<'_>) -> Result<bool, CliError> {
+    match flags.value("--format").unwrap_or("text") {
+        "text" => Ok(false),
+        "json" => Ok(true),
+        other => Err(format!("unknown format '{other}' (expected text|json)").into()),
+    }
+}
+
 const SYNTH_FLAGS: &[(&str, bool)] = &[
     ("--svg", true),
     ("--csv", true),
+    ("--format", true),
     ("--gantt", false),
     ("--report", false),
     ("--iterations", false),
@@ -310,12 +337,27 @@ fn synth(args: &[String]) -> Result<(), CliError> {
     check_flags("synth", args, 1, &[CONFIG_FLAGS, TRACE_FLAGS, SYNTH_FLAGS])?;
     let (assay, flags) = load_assay(args)?;
     let config = config_from(&flags)?;
+    let json = json_format(&flags)?;
     let trace = trace_opts(&flags)?;
     start_trace(&trace);
     let result = Synthesizer::new(config).run(&assay)?;
     result.schedule.validate(&assay)?;
-    finish_trace(&trace)?;
+    finish_trace_quietly(&trace, json)?;
 
+    if json {
+        // One mfhls-api/v1 object on stdout; file artifacts still work,
+        // with their confirmations diverted to stderr.
+        println!("{}", mfhls::svc::api::synth_json(&assay, &result));
+        if let Some(path) = flags.value("--svg") {
+            std::fs::write(path, render::to_svg(&assay, &result.schedule))?;
+            eprintln!("schedule SVG written to {path}");
+        }
+        if let Some(path) = flags.value("--csv") {
+            std::fs::write(path, export::schedule_csv(&assay, &result.schedule))?;
+            eprintln!("schedule CSV written to {path}");
+        }
+        return Ok(());
+    }
     println!(
         "{}: {} ops ({} indeterminate) -> {} layers",
         assay.name(),
@@ -406,6 +448,7 @@ const SIMULATE_FLAGS: &[(&str, bool)] = &[
     ("--policy", true),
     ("--success-probability", true),
     ("--latency", true),
+    ("--format", true),
 ];
 
 fn simulate(args: &[String]) -> Result<(), CliError> {
@@ -417,6 +460,7 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
     )?;
     let (assay, flags) = load_assay(args)?;
     let config = config_from(&flags)?;
+    let json = json_format(&flags)?;
     let n = flags.parsed("--trials", 100u64)?;
     let p = flags.parsed("--success-probability", 0.53f64)?;
     let latency = flags.parsed("--latency", 2u64)?;
@@ -427,13 +471,21 @@ fn simulate(args: &[String]) -> Result<(), CliError> {
         success_probability: p,
         max_attempts: 20,
     };
-    let stats = match flags.value("--policy").unwrap_or("hybrid") {
+    let policy = flags.value("--policy").unwrap_or("hybrid");
+    let stats = match policy {
         "hybrid" => trials::run_hybrid_trials(&assay, &result.schedule, model, n)?,
         "online" => trials::run_online_trials(&assay, &result.schedule, model, n, latency, true)?,
         other => return Err(format!("unknown policy '{other}' (expected hybrid|online)").into()),
     };
-    finish_trace(&trace)?;
-    println!("{stats}");
+    finish_trace_quietly(&trace, json)?;
+    if json {
+        println!(
+            "{}",
+            mfhls::svc::api::trial_stats_json(assay.name(), policy, &stats)
+        );
+    } else {
+        println!("{stats}");
+    }
     Ok(())
 }
 
@@ -450,6 +502,7 @@ const FAULTSIM_FLAGS: &[(&str, bool)] = &[
     ("--pad-factor", true),
     ("--success-probability", true),
     ("--latency", true),
+    ("--format", true),
     ("--exact", false),
 ];
 
@@ -462,6 +515,7 @@ fn faultsim(args: &[String]) -> Result<(), CliError> {
     )?;
     let (assay, flags) = load_assay(args)?;
     let config = config_from(&flags)?;
+    let json = json_format(&flags)?;
     let trace = trace_opts(&flags)?;
     let n = flags.parsed("--trials", 100u64)?;
     let seed = flags.parsed("--seed", 0u64)?;
@@ -498,17 +552,21 @@ fn faultsim(args: &[String]) -> Result<(), CliError> {
     schedule.validate(&assay)?;
     let cfg = SimConfig { model, seed };
     let base = simulate_hybrid(&assay, schedule, &cfg)?;
-    println!(
-        "{}: {} ops -> {} layers, {} devices | baseline hybrid makespan {}m (seed {seed})",
-        assay.name(),
-        assay.len(),
-        schedule.layers.len(),
-        schedule.used_device_count(),
-        base.makespan
-    );
+    if !json {
+        println!(
+            "{}: {} ops -> {} layers, {} devices | baseline hybrid makespan {}m (seed {seed})",
+            assay.name(),
+            assay.len(),
+            schedule.layers.len(),
+            schedule.used_device_count(),
+            base.makespan
+        );
+    }
 
     // Deterministic forced failure: emit the recovered schedule itself.
-    if let Some(spec) = flags.value("--fail-device") {
+    // Narrative sections are text-mode only; `--format json` reports the
+    // baseline and the survivability comparison.
+    if let Some(spec) = flags.value("--fail-device").filter(|_| !json) {
         let (device, layer): (usize, usize) = match spec.split_once('@') {
             Some((d, l)) => (
                 d.parse()
@@ -542,6 +600,32 @@ fn faultsim(args: &[String]) -> Result<(), CliError> {
     }
 
     // One narrated fault-injected run with recovery.
+    if json {
+        let stats = if n > 0 {
+            let faults = FaultModel {
+                forced_failures: Vec::new(),
+                ..faults
+            };
+            trials::survivability_trials(
+                &assay, schedule, model, &faults, &policy, &config, n, pad_factor, latency,
+            )?
+        } else {
+            Vec::new()
+        };
+        let mut out = mfhls::svc::api::survival_stats_json(assay.name(), &stats);
+        if let mfhls::svc::Json::Object(entries) = &mut out {
+            entries.insert(
+                3,
+                (
+                    "baseline_makespan".to_owned(),
+                    mfhls::svc::Json::Int(base.makespan as i64),
+                ),
+            );
+        }
+        finish_trace_quietly(&trace, true)?;
+        println!("{out}");
+        return Ok(());
+    }
     let run = run_with_recovery(&assay, schedule, &cfg, &faults, &policy, &config)?;
     if faults.is_none() {
         println!(
@@ -674,6 +758,60 @@ fn trace_check(args: &[String]) -> Result<(), CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let n = mfhls::obs::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
     println!("OK: {path} is a valid mfhls-obs/v1 trace ({n} records)");
+    Ok(())
+}
+
+const SERVE_FLAGS: &[(&str, bool)] = &[
+    ("--workers", true),
+    ("--queue", true),
+    ("--cache-entries", true),
+    ("--max-ops", true),
+    ("--no-shared-cache", false),
+    ("--tcp", true),
+    ("--once", false),
+];
+
+/// Runs the `mfhls-svc` batched synthesis service. NDJSON requests come
+/// from stdin (responses on stdout) or, with `--tcp ADDR`, from local TCP
+/// connections served one at a time. The lifetime summary goes to stderr
+/// so stdout stays protocol-clean.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    check_flags("serve", args, 0, &[SERVE_FLAGS, TRACE_FLAGS])?;
+    let flags = Flags { args };
+    let trace = trace_opts(&flags)?;
+    let defaults = mfhls::svc::ServiceConfig::default();
+    let queue_capacity = flags.parsed("--queue", defaults.queue_capacity)?;
+    if queue_capacity == 0 {
+        return Err("--queue wants at least 1".into());
+    }
+    let max_ops = flags.parsed("--max-ops", defaults.max_ops)?;
+    if max_ops == 0 {
+        return Err("--max-ops wants at least 1".into());
+    }
+    let config = mfhls::svc::ServiceConfig {
+        workers: flags.parsed("--workers", defaults.workers)?,
+        queue_capacity,
+        cache_entries: flags.parsed("--cache-entries", defaults.cache_entries)?,
+        shared_cache: !flags.has("--no-shared-cache"),
+        max_ops,
+    };
+    let service = mfhls::svc::SynthesisService::new(config);
+    start_trace(&trace);
+    let summary = match flags.value("--tcp") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            eprintln!("mfhls serve: listening on {}", listener.local_addr()?);
+            service.serve_listener(&listener, flags.has("--once"))?
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            service.serve(stdin.lock(), stdout.lock())?
+        }
+    };
+    finish_trace_quietly(&trace, true)?;
+    eprintln!("mfhls serve: {summary}");
     Ok(())
 }
 

@@ -412,3 +412,205 @@ fn faultsim_forced_failure_reports_recovery() {
     assert!(text.contains("padded-offline"), "{text}");
     assert!(text.contains("online"), "{text}");
 }
+
+fn mfhls_with_stdin(args: &[&str], input: &str) -> std::process::Output {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mfhls"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write to child stdin");
+    child.wait_with_output().expect("binary runs")
+}
+
+#[test]
+fn synth_format_json_emits_api_response() {
+    let path = write_protocol("fmtjson", PROTOCOL);
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--format", "json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v = mfhls::svc::Json::parse(text.trim()).expect("stdout is one JSON document");
+    assert_eq!(
+        v.get("version").and_then(mfhls::svc::Json::as_str),
+        Some("mfhls-api/v1")
+    );
+    assert_eq!(
+        v.get("type").and_then(mfhls::svc::Json::as_str),
+        Some("synthesis")
+    );
+    assert_eq!(
+        v.get("assay").and_then(mfhls::svc::Json::as_str),
+        Some("cli test")
+    );
+    assert!(v.get("stats").is_some(), "{text}");
+
+    let out = mfhls(&["synth", path.to_str().unwrap(), "--format", "yaml"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown format"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn simulate_format_json_emits_trial_stats() {
+    let path = write_protocol("simjson", PROTOCOL);
+    let out = mfhls(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--trials",
+        "5",
+        "--format",
+        "json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = mfhls::svc::Json::parse(String::from_utf8_lossy(&out.stdout).trim())
+        .expect("stdout is one JSON document");
+    assert_eq!(
+        v.get("version").and_then(mfhls::svc::Json::as_str),
+        Some("mfhls-api/v1")
+    );
+    assert_eq!(v.get("trials").and_then(mfhls::svc::Json::as_u64), Some(5));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn faultsim_format_json_emits_survival_stats() {
+    let out = mfhls(&[
+        "faultsim",
+        "protocols/single_cell_screen.mfa",
+        "--trials",
+        "4",
+        "--format",
+        "json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = mfhls::svc::Json::parse(String::from_utf8_lossy(&out.stdout).trim())
+        .expect("stdout is one JSON document");
+    assert_eq!(
+        v.get("version").and_then(mfhls::svc::Json::as_str),
+        Some("mfhls-api/v1")
+    );
+    assert!(v.get("baseline_makespan").is_some());
+    assert!(v.get("policies").is_some());
+}
+
+const SERVE_BATCH: &str = concat!(
+    r#"{"version":"mfhls-api/v1","type":"synthesize","id":"one","assay":{"dsl":"assay \"a\"\nop p { duration: 4m }\nop q { duration: >= 2m after: [p] }"}}"#,
+    "\n",
+    r#"{"version":"mfhls-api/v1","type":"synthesize","id":"two","assay":{"benchmark":"kinase","scale":1}}"#,
+    "\n",
+    "not json\n",
+    r#"{"version":"mfhls-api/v1","type":"shutdown"}"#,
+    "\n",
+);
+
+#[test]
+fn serve_round_trips_ndjson_over_stdin() {
+    let out = mfhls_with_stdin(&["serve", "--workers", "1"], SERVE_BATCH);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<mfhls::svc::Json> = stdout
+        .lines()
+        .map(|l| mfhls::svc::Json::parse(l).expect("each response line is JSON"))
+        .collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    // The malformed line is rejected immediately, before the batch that
+    // the shutdown control flushes.
+    assert_eq!(
+        lines[0]
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(mfhls::svc::Json::as_str),
+        Some("malformed_request")
+    );
+    assert_eq!(
+        lines[1].get("id").and_then(mfhls::svc::Json::as_str),
+        Some("one")
+    );
+    assert_eq!(
+        lines[2].get("id").and_then(mfhls::svc::Json::as_str),
+        Some("two")
+    );
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(summary.contains("mfhls serve:"), "{summary}");
+    assert!(summary.contains("2 accepted, 2 solved"), "{summary}");
+}
+
+#[test]
+fn serve_is_worker_count_invariant_end_to_end() {
+    let run = |workers: &str| {
+        let out = mfhls_with_stdin(&["serve", "--workers", workers], SERVE_BATCH);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    assert_eq!(
+        run("1"),
+        run("4"),
+        "serve responses differ between 1 and 4 workers"
+    );
+}
+
+#[test]
+fn serve_overload_rejection_is_typed() {
+    let mut input = String::new();
+    for i in 0..3 {
+        input.push_str(&format!(
+            r#"{{"version":"mfhls-api/v1","type":"synthesize","id":"b{i}","assay":{{"dsl":"assay \"b\"\nop p {{ duration: 2m }}"}}}}"#
+        ));
+        input.push('\n');
+    }
+    let out = mfhls_with_stdin(&["serve", "--workers", "1", "--queue", "2"], &input);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first = mfhls::svc::Json::parse(stdout.lines().next().expect("responses written"))
+        .expect("response is JSON");
+    assert_eq!(
+        first.get("id").and_then(mfhls::svc::Json::as_str),
+        Some("b2")
+    );
+    assert_eq!(
+        first
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(mfhls::svc::Json::as_str),
+        Some("overloaded")
+    );
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = mfhls_with_stdin(&["serve", "--queue", "0"], "");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--queue"));
+    let out = mfhls_with_stdin(&["serve", "--bogus"], "");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

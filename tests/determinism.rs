@@ -101,10 +101,12 @@ fn ilp_solver_is_thread_count_invariant() {
     assay.add_dependency(capture, wash).unwrap();
     assay.add_dependency(wash, detect).unwrap();
     let run = || {
-        Synthesizer::new(SynthConfig {
-            solver: mfhls::core::SolverKind::Ilp { max_nodes: 100_000 },
-            ..SynthConfig::default()
-        })
+        Synthesizer::new(
+            SynthConfig::builder()
+                .solver(mfhls::core::SolverKind::Ilp { max_nodes: 100_000 })
+                .build()
+                .expect("valid config"),
+        )
         .run(&assay)
         .expect("small assay must synthesize with the exact solver")
     };
@@ -132,10 +134,12 @@ fn ilp_solver_is_thread_count_invariant() {
 fn layer_cache_is_a_pure_accelerator() {
     for assay in cases() {
         let run = |cache: bool| {
-            Synthesizer::new(SynthConfig {
-                layer_cache: cache,
-                ..SynthConfig::default()
-            })
+            Synthesizer::new(
+                SynthConfig::builder()
+                    .layer_cache(cache)
+                    .build()
+                    .expect("valid config"),
+            )
             .run(&assay)
             .expect("benchmark assay must synthesize")
         };
@@ -161,10 +165,12 @@ fn logical_trace_is_thread_count_and_cache_invariant() {
     let traced = |threads: usize, cache: bool| {
         with_threads(threads, || {
             mfhls::obs::start_capture(mfhls::obs::CaptureConfig::default());
-            let result = Synthesizer::new(SynthConfig {
-                layer_cache: cache,
-                ..SynthConfig::default()
-            })
+            let result = Synthesizer::new(
+                SynthConfig::builder()
+                    .layer_cache(cache)
+                    .build()
+                    .expect("valid config"),
+            )
             .run(&assay)
             .expect("benchmark assay must synthesize");
             let trace = mfhls::obs::finish_capture().expect("capture was active");

@@ -135,24 +135,28 @@ fn hybrid_solver_never_loses_to_heuristic() {
     assay.add_dependency(a, c).unwrap();
     assay.add_dependency(b, c).unwrap();
 
-    let heur = Synthesizer::new(SynthConfig {
-        solver: SolverKind::Heuristic {
-            improvement_passes: 2,
-        },
-        max_devices: 4,
-        ..SynthConfig::default()
-    })
+    let heur = Synthesizer::new(
+        SynthConfig::builder()
+            .solver(SolverKind::Heuristic {
+                improvement_passes: 2,
+            })
+            .max_devices(4)
+            .build()
+            .unwrap(),
+    )
     .run(&assay)
     .unwrap();
-    let hybrid = Synthesizer::new(SynthConfig {
-        solver: SolverKind::Hybrid {
-            max_nodes: 100_000,
-            ilp_op_limit: 8,
-            improvement_passes: 2,
-        },
-        max_devices: 4,
-        ..SynthConfig::default()
-    })
+    let hybrid = Synthesizer::new(
+        SynthConfig::builder()
+            .solver(SolverKind::Hybrid {
+                max_nodes: 100_000,
+                ilp_op_limit: 8,
+                improvement_passes: 2,
+            })
+            .max_devices(4)
+            .build()
+            .unwrap(),
+    )
     .run(&assay)
     .unwrap();
     hybrid.schedule.validate(&assay).unwrap();
