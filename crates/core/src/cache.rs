@@ -54,6 +54,26 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
+/// A persistence layer behind a [`SharedLayerCache`]: the cache reads
+/// through to it on a miss and writes behind to it on insert.
+///
+/// Implementations must be *pure accelerators*: `fetch` either returns a
+/// solution previously passed to `persist` for exactly that
+/// `(context, key)` pair, or `None`. They must never fail a lookup — a
+/// broken backing store degrades to always-`None`/no-op, surfacing
+/// problems through its own diagnostics, so the cache (and every response
+/// built from it) behaves identically whether the backing is healthy,
+/// degraded, or absent. `mfhls-store` provides the on-disk implementation.
+pub trait CacheBacking: Send + Sync + std::fmt::Debug {
+    /// Returns the persisted solution for `(context, key)`, if any.
+    fn fetch(&self, context: &CacheContext, key: &LayerKey) -> Option<LayerSolution>;
+
+    /// Records `(context, key) -> solution` for future processes. Must be
+    /// infallible from the caller's perspective (failures are the
+    /// implementation's to swallow and report out-of-band).
+    fn persist(&self, context: &CacheContext, key: &LayerKey, solution: &LayerSolution);
+}
+
 /// The structural identity of one per-layer sub-problem; see the module
 /// docs for what is (and is not) part of the key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -84,6 +104,56 @@ impl LayerKey {
                 .collect(),
         }
     }
+
+    /// Decomposes the key into its constituent fields, for persistence
+    /// layers that need to serialise it ([`CacheBacking`] implementations).
+    pub fn to_parts(&self) -> LayerKeyParts {
+        LayerKeyParts {
+            layer: self.layer,
+            ops: self.ops.clone(),
+            devices: self.devices.clone(),
+            bindable: self.bindable.clone(),
+            existing_paths: self.existing_paths.clone(),
+            cross_inputs: self.cross_inputs.clone(),
+            transport: self.transport.clone(),
+        }
+    }
+
+    /// Reassembles a key from fields previously produced by
+    /// [`LayerKey::to_parts`]. Round-trips exactly: the reassembled key is
+    /// `==` (and hashes equal) to the original.
+    pub fn from_parts(parts: LayerKeyParts) -> LayerKey {
+        LayerKey {
+            layer: parts.layer,
+            ops: parts.ops,
+            devices: parts.devices,
+            bindable: parts.bindable,
+            existing_paths: parts.existing_paths,
+            cross_inputs: parts.cross_inputs,
+            transport: parts.transport,
+        }
+    }
+}
+
+/// The constituent fields of a [`LayerKey`], exposed (fields public) so a
+/// [`CacheBacking`] implementation outside this crate can serialise and
+/// reassemble keys without this crate committing to a wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerKeyParts {
+    /// Layer index within the layering.
+    pub layer: usize,
+    /// Operations of the layer, in layering order.
+    pub ops: Vec<OpId>,
+    /// Inherited device pool.
+    pub devices: Vec<DeviceConfig>,
+    /// Bindability mask over `devices`.
+    pub bindable: Vec<bool>,
+    /// Transport paths accumulated by earlier layers.
+    pub existing_paths: Vec<(usize, usize)>,
+    /// Cross-layer parent placements.
+    pub cross_inputs: Vec<(OpId, usize)>,
+    /// Per-op transport-time estimates, parallel to `ops`.
+    pub transport: Vec<u64>,
 }
 
 /// A per-run memo table of solved layer sub-problems with hit/miss
@@ -213,6 +283,19 @@ impl CacheContext {
         }
         CacheContext(s.into())
     }
+
+    /// The canonical encoding, for persistence layers that need to store
+    /// the context alongside a key. Two contexts are equal iff these
+    /// strings are equal.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Rebuilds a context from a string previously returned by
+    /// [`CacheContext::as_str`]. Round-trips exactly.
+    pub fn from_canonical(s: &str) -> CacheContext {
+        CacheContext(s.into())
+    }
 }
 
 /// Aggregate counters of a [`SharedLayerCache`].
@@ -264,15 +347,26 @@ struct SharedState {
     next_stamp: u64,
     hits: u64,
     misses: u64,
+    /// Hits since the last [`SharedLayerCache::take_window_counters`] call.
+    window_hits: u64,
+    /// Misses since the last [`SharedLayerCache::take_window_counters`] call.
+    window_misses: u64,
     insertions: u64,
     evictions: u64,
 }
 
 /// A bounded, thread-safe layer-solution cache shared across synthesis
 /// runs. See the module docs for the key contract and the eviction policy.
+///
+/// When a [`CacheBacking`] is attached ([`SharedLayerCache::set_backing`])
+/// the cache *reads through* to it on a miss (a persisted solution is
+/// promoted back into the map and served as a hit) and *writes behind* to
+/// it on every fresh insert. The backing is consulted strictly outside the
+/// cache lock, so a slow or faulty store never blocks concurrent lookups.
 #[derive(Debug)]
 pub struct SharedLayerCache {
     state: Mutex<SharedState>,
+    backing: Mutex<Option<Arc<dyn CacheBacking>>>,
     capacity: usize,
 }
 
@@ -281,37 +375,58 @@ impl SharedLayerCache {
     pub fn new(capacity: usize) -> SharedLayerCache {
         SharedLayerCache {
             state: Mutex::new(SharedState::default()),
+            backing: Mutex::new(None),
             capacity: capacity.max(1),
         }
     }
 
+    /// Attaches a persistence layer. Subsequent misses read through to it
+    /// and subsequent inserts write behind to it. Attach *after* any bulk
+    /// warm-load so the loaded entries are not immediately re-persisted.
+    pub fn set_backing(&self, backing: Arc<dyn CacheBacking>) {
+        *lock_or_recover(&self.backing) = Some(backing);
+    }
+
+    fn backing(&self) -> Option<Arc<dyn CacheBacking>> {
+        lock_or_recover(&self.backing).clone()
+    }
+
     fn locked(&self) -> std::sync::MutexGuard<'_, SharedState> {
-        // A poisoned mutex means a solver panicked mid-insert; the map
-        // itself is never left partially mutated, so keep serving.
-        match self.state.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        lock_or_recover(&self.state)
     }
 
     fn lookup(&self, context: &CacheContext, key: &LayerKey) -> Option<LayerSolution> {
-        let mut st = self.locked();
-        // Borrow-free probe: build the composite key only on the stack.
-        let probe = SharedKey {
-            context: context.clone(),
-            key: key.clone(),
-        };
-        match st.map.get(&probe) {
-            Some((_, sol)) => {
+        {
+            let mut st = self.locked();
+            // Borrow-free probe: build the composite key only on the stack.
+            let probe = SharedKey {
+                context: context.clone(),
+                key: key.clone(),
+            };
+            if let Some((_, sol)) = st.map.get(&probe) {
                 let sol = sol.clone();
                 st.hits += 1;
-                Some(sol)
-            }
-            None => {
-                st.misses += 1;
-                None
+                st.window_hits += 1;
+                return Some(sol);
             }
         }
+        // Read-through: consult the backing outside the lock. A persisted
+        // solution counts as a hit (the run got a memoized solution) and
+        // is promoted back into the map for subsequent lookups.
+        if let Some(sol) = self
+            .backing()
+            .and_then(|backing| backing.fetch(context, key))
+        {
+            self.insert_into_map(context, key.clone(), sol.clone());
+            let mut st = self.locked();
+            st.hits += 1;
+            st.window_hits += 1;
+            return Some(sol);
+        }
+        let mut st = self.locked();
+        st.misses += 1;
+        st.window_misses += 1;
+        None
     }
 
     fn contains(&self, context: &CacheContext, key: &LayerKey) -> bool {
@@ -324,13 +439,36 @@ impl SharedLayerCache {
     }
 
     fn insert(&self, context: &CacheContext, key: LayerKey, solution: LayerSolution) {
+        // Write-behind: persist freshly inserted solutions, outside the
+        // lock. The backing dedups entries it already holds, so promoting
+        // a read-through result back into the map never re-persists it.
+        match self.backing() {
+            None => {
+                self.insert_into_map(context, key, solution);
+            }
+            Some(backing) => {
+                if self.insert_into_map(context, key.clone(), solution.clone()) {
+                    backing.persist(context, &key, &solution);
+                }
+            }
+        }
+    }
+
+    /// Inserts into the in-memory map only; returns whether the entry was
+    /// freshly inserted (false = already present, nothing changed).
+    fn insert_into_map(
+        &self,
+        context: &CacheContext,
+        key: LayerKey,
+        solution: LayerSolution,
+    ) -> bool {
         let shared = SharedKey {
             context: context.clone(),
             key,
         };
         let mut st = self.locked();
         if st.map.contains_key(&shared) {
-            return;
+            return false;
         }
         let stamp = st.next_stamp;
         st.next_stamp += 1;
@@ -346,6 +484,28 @@ impl SharedLayerCache {
                 st.evictions += 1;
             }
         }
+        true
+    }
+
+    /// Inserts an entry loaded from a persistent store without notifying
+    /// the backing (bulk warm-load path; also safe before
+    /// [`SharedLayerCache::set_backing`] is called at all).
+    pub fn warm_load(&self, context: &CacheContext, key: LayerKey, solution: LayerSolution) {
+        self.insert_into_map(context, key, solution);
+    }
+
+    /// Returns the demand `(hits, misses)` accumulated since the previous
+    /// call and resets the window counters (the lifetime counters reported
+    /// by [`SharedLayerCache::stats`] keep accumulating). One call per
+    /// admission window gives per-window figures — the `mfhls-svc` serve
+    /// loop uses this so its summary reports window rates instead of
+    /// silently mixing in traffic from earlier connections.
+    pub fn take_window_counters(&self) -> (u64, u64) {
+        let mut st = self.locked();
+        (
+            std::mem::take(&mut st.window_hits),
+            std::mem::take(&mut st.window_misses),
+        )
     }
 
     /// Current counters and occupancy.
@@ -472,6 +632,16 @@ impl RunCache {
             RunCache::Local(c) => c.take_counters(),
             RunCache::Shared { hits, misses, .. } => (std::mem::take(hits), std::mem::take(misses)),
         }
+    }
+}
+
+/// Locks `mutex`, recovering from poison: a poisoned mutex means a solver
+/// panicked mid-operation, but neither the map nor the backing slot is
+/// ever left partially mutated, so keep serving.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
     }
 }
 

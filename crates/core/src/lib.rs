@@ -74,7 +74,10 @@ pub mod transport;
 pub mod validate;
 
 pub use assay::Assay;
-pub use cache::{CacheContext, CacheStats, LayerCache, LayerKey, RunCache, SharedLayerCache};
+pub use cache::{
+    CacheBacking, CacheContext, CacheStats, LayerCache, LayerKey, LayerKeyParts, RunCache,
+    SharedLayerCache,
+};
 pub use layering::{layer_assay, Layering};
 pub use op::{Duration, OpId, Operation};
 pub use problem::{LayerProblem, Weights};

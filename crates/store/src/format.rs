@@ -1,0 +1,473 @@
+//! The `mfhls-store/v1` on-disk format: segment framing and the solution
+//! record payload.
+//!
+//! # Segment layout
+//!
+//! ```text
+//! +----------------------+  offset 0
+//! | magic  "MFHLSTO1"    |  8 bytes — names format version 1
+//! +----------------------+
+//! | record               |  repeated until EOF
+//! |   kind      u8       |  1 = solution record
+//! |   len       u32 LE   |  payload length in bytes
+//! |   checksum  u64 LE   |  FNV-1a 64 over kind ‖ len ‖ payload
+//! |   payload   [u8;len] |
+//! +----------------------+
+//! ```
+//!
+//! The checksum covers the *framing* (kind and length) as well as the
+//! payload, so a bit flip anywhere in a record — including one that would
+//! misframe every subsequent record — is detected. Scanning is resumable
+//! after a payload-level corruption (the framing still walks), and a
+//! record that runs past the end of the segment is a *torn tail*: the
+//! signature of a crash mid-append, reported with the offset to truncate
+//! back to.
+//!
+//! # Solution record payload
+//!
+//! A context string (the [`CacheContext`] canonical encoding), the
+//! [`LayerKeyParts`], and the [`LayerSolution`] — everything needed to
+//! re-populate a `SharedLayerCache` entry in a later process.
+
+use crate::codec::{ByteReader, ByteWriter, DecodeError};
+use mfhls_chip::{Accessory, AccessorySet, Capacity, ContainerKind, DeviceConfig};
+use mfhls_core::{LayerKeyParts, LayerSolution, OpId, ScheduledOp, SolverStats};
+use std::collections::BTreeSet;
+
+/// Magic bytes opening every segment file; the trailing `1` is the format
+/// version.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"MFHLSTO1";
+
+/// Record kind tag of a solution record (the only kind in v1).
+pub const KIND_SOLUTION: u8 = 1;
+
+/// Bytes of framing ahead of every payload: kind + len + checksum.
+pub const RECORD_HEADER_LEN: usize = 1 + 4 + 8;
+
+/// Sanity cap on one record's payload (64 MiB); anything larger is
+/// treated as corrupt framing rather than attempted.
+pub const MAX_PAYLOAD_LEN: u32 = 64 << 20;
+
+/// FNV-1a 64-bit over `bytes` — small, dependency-free, and with the
+/// record length in the mix it reliably flags torn and flipped records.
+pub fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One persisted cache entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionRecord {
+    /// The run-context scope ([`mfhls_core::CacheContext`] canonical form).
+    pub context: String,
+    /// The layer key, decomposed.
+    pub key: LayerKeyParts,
+    /// The solved layer.
+    pub solution: LayerSolution,
+}
+
+/// Frames `payload` as one on-disk record (kind + len + checksum + bytes).
+pub fn frame_record(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let len_bytes = len.to_le_bytes();
+    let checksum = fnv1a64(&[&[kind], &len_bytes, payload]);
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&len_bytes);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes one record ready to append: framing plus payload.
+pub fn encode_record(record: &SolutionRecord) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.str(&record.context);
+    encode_key(&mut w, &record.key);
+    encode_solution(&mut w, &record.solution);
+    frame_record(KIND_SOLUTION, &w.finish())
+}
+
+/// Decodes a solution-record payload (the checksum has already been
+/// verified by the scanner).
+pub fn decode_record(payload: &[u8]) -> Result<SolutionRecord, DecodeError> {
+    let mut r = ByteReader::new(payload);
+    let context = r.str()?.to_owned();
+    let key = decode_key(&mut r)?;
+    let solution = decode_solution(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(DecodeError);
+    }
+    Ok(SolutionRecord {
+        context,
+        key,
+        solution,
+    })
+}
+
+fn encode_key(w: &mut ByteWriter, key: &LayerKeyParts) {
+    w.size(key.layer);
+    w.size(key.ops.len());
+    for op in &key.ops {
+        w.size(op.index());
+    }
+    w.size(key.devices.len());
+    for d in &key.devices {
+        encode_device(w, d);
+    }
+    w.size(key.bindable.len());
+    for &b in &key.bindable {
+        w.u8(u8::from(b));
+    }
+    w.size(key.existing_paths.len());
+    for &(a, b) in &key.existing_paths {
+        w.size(a);
+        w.size(b);
+    }
+    w.size(key.cross_inputs.len());
+    for &(op, d) in &key.cross_inputs {
+        w.size(op.index());
+        w.size(d);
+    }
+    w.size(key.transport.len());
+    for &t in &key.transport {
+        w.u64(t);
+    }
+}
+
+fn decode_key(r: &mut ByteReader<'_>) -> Result<LayerKeyParts, DecodeError> {
+    let layer = r.size()?;
+    let ops = decode_vec(r, |r| Ok(OpId(r.size()?)))?;
+    let devices = decode_vec(r, decode_device)?;
+    let bindable = decode_vec(r, |r| match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(DecodeError),
+    })?;
+    let existing_paths = decode_vec(r, |r| Ok((r.size()?, r.size()?)))?;
+    let cross_inputs = decode_vec(r, |r| Ok((OpId(r.size()?), r.size()?)))?;
+    let transport = decode_vec(r, |r| r.u64())?;
+    Ok(LayerKeyParts {
+        layer,
+        ops,
+        devices,
+        bindable,
+        existing_paths,
+        cross_inputs,
+        transport,
+    })
+}
+
+fn encode_solution(w: &mut ByteWriter, sol: &LayerSolution) {
+    w.size(sol.slots.len());
+    for s in &sol.slots {
+        w.size(s.op.index());
+        w.size(s.device);
+        w.u64(s.start);
+        w.u64(s.duration);
+        w.u64(s.transport);
+    }
+    w.size(sol.devices.len());
+    for d in &sol.devices {
+        encode_device(w, d);
+    }
+    w.size(sol.new_devices.len());
+    for &d in &sol.new_devices {
+        w.size(d);
+    }
+    w.size(sol.new_paths.len());
+    for &(a, b) in &sol.new_paths {
+        w.size(a);
+        w.size(b);
+    }
+    w.u64(sol.objective);
+    encode_stats(w, &sol.stats);
+}
+
+fn decode_solution(r: &mut ByteReader<'_>) -> Result<LayerSolution, DecodeError> {
+    let slots = decode_vec(r, |r| {
+        Ok(ScheduledOp {
+            op: OpId(r.size()?),
+            device: r.size()?,
+            start: r.u64()?,
+            duration: r.u64()?,
+            transport: r.u64()?,
+        })
+    })?;
+    let devices = decode_vec(r, decode_device)?;
+    let new_devices = decode_vec(r, |r| r.size())?;
+    let new_paths: BTreeSet<(usize, usize)> = decode_vec(r, |r| Ok((r.size()?, r.size()?)))?
+        .into_iter()
+        .collect();
+    let objective = r.u64()?;
+    let stats = decode_stats(r)?;
+    Ok(LayerSolution {
+        slots,
+        devices,
+        new_devices,
+        new_paths,
+        objective,
+        stats,
+    })
+}
+
+fn encode_stats(w: &mut ByteWriter, st: &SolverStats) {
+    for v in [
+        st.ilp_solves,
+        st.proven_optimal,
+        st.nodes,
+        st.pivots,
+        st.warm_solves,
+        st.cold_solves,
+        st.incumbents_supplied,
+        st.incumbents_diving,
+        st.incumbents_search,
+        st.heuristic_rounds,
+        st.rebind_adoptions,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_stats(r: &mut ByteReader<'_>) -> Result<SolverStats, DecodeError> {
+    Ok(SolverStats {
+        ilp_solves: r.u64()?,
+        proven_optimal: r.u64()?,
+        nodes: r.u64()?,
+        pivots: r.u64()?,
+        warm_solves: r.u64()?,
+        cold_solves: r.u64()?,
+        incumbents_supplied: r.u64()?,
+        incumbents_diving: r.u64()?,
+        incumbents_search: r.u64()?,
+        heuristic_rounds: r.u64()?,
+        rebind_adoptions: r.u64()?,
+    })
+}
+
+fn encode_device(w: &mut ByteWriter, d: &DeviceConfig) {
+    w.u8(match d.container() {
+        ContainerKind::Ring => 0,
+        ContainerKind::Chamber => 1,
+    });
+    w.u8(d.capacity().index() as u8);
+    let mut bits = 0u8;
+    for a in Accessory::ALL {
+        if d.accessories().contains(a) {
+            bits |= 1 << a.index();
+        }
+    }
+    w.u8(bits);
+}
+
+fn decode_device(r: &mut ByteReader<'_>) -> Result<DeviceConfig, DecodeError> {
+    let container = match r.u8()? {
+        0 => ContainerKind::Ring,
+        1 => ContainerKind::Chamber,
+        _ => return Err(DecodeError),
+    };
+    let capacity = *Capacity::ALL.get(r.u8()? as usize).ok_or(DecodeError)?;
+    let bits = r.u8()?;
+    if bits & !0b1_1111 != 0 {
+        return Err(DecodeError);
+    }
+    let mut accessories = AccessorySet::empty();
+    for a in Accessory::ALL {
+        if bits & (1 << a.index()) != 0 {
+            accessories.insert(a);
+        }
+    }
+    // An invalid container/capacity combination means a corrupt byte that
+    // happened to survive the checksum; reject it rather than panic.
+    DeviceConfig::new(container, capacity, accessories).map_err(|_| DecodeError)
+}
+
+fn decode_vec<T>(
+    r: &mut ByteReader<'_>,
+    mut item: impl FnMut(&mut ByteReader<'_>) -> Result<T, DecodeError>,
+) -> Result<Vec<T>, DecodeError> {
+    let n = r.size()?;
+    // Cap the pre-allocation by what the input could possibly hold (one
+    // byte per item minimum) so a lying length cannot balloon memory.
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(item(r)?);
+    }
+    Ok(out)
+}
+
+/// Result of scanning one segment's bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentScan {
+    /// Decoded records, in file order.
+    pub records: Vec<SolutionRecord>,
+    /// Records skipped because their checksum failed or their payload
+    /// would not decode, with their byte offsets.
+    pub quarantined: Vec<(u64, crate::error::CorruptKind)>,
+    /// Offset of the first byte of a torn tail, if the segment ends
+    /// mid-record. Truncating to this offset makes the segment clean.
+    pub torn_tail_at: Option<u64>,
+    /// Offset one past the last fully-framed record (where appends should
+    /// resume after truncating any tail).
+    pub clean_len: u64,
+}
+
+/// Scans a whole segment image: validates the magic, then walks records,
+/// quarantining corrupt ones and stopping at a torn tail. Never panics,
+/// whatever the bytes.
+pub fn scan_segment(bytes: &[u8]) -> Result<SegmentScan, crate::error::CorruptKind> {
+    use crate::error::CorruptKind;
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(CorruptKind::BadHeader);
+    }
+    let mut scan = SegmentScan {
+        records: Vec::new(),
+        quarantined: Vec::new(),
+        torn_tail_at: None,
+        clean_len: SEGMENT_MAGIC.len() as u64,
+    };
+    let mut pos = SEGMENT_MAGIC.len();
+    while pos < bytes.len() {
+        let remaining = &bytes[pos..];
+        if remaining.len() < RECORD_HEADER_LEN {
+            scan.torn_tail_at = Some(pos as u64);
+            break;
+        }
+        let kind = remaining[0];
+        let len = u32::from_le_bytes([remaining[1], remaining[2], remaining[3], remaining[4]]);
+        let checksum = u64::from_le_bytes([
+            remaining[5],
+            remaining[6],
+            remaining[7],
+            remaining[8],
+            remaining[9],
+            remaining[10],
+            remaining[11],
+            remaining[12],
+        ]);
+        if len > MAX_PAYLOAD_LEN {
+            // The length itself is impossible: framing is untrustworthy
+            // from here on. Everything to EOF is one quarantined tail.
+            scan.quarantined.push((pos as u64, CorruptKind::BadFraming));
+            scan.torn_tail_at = Some(pos as u64);
+            break;
+        }
+        let end = pos + RECORD_HEADER_LEN + len as usize;
+        if end > bytes.len() {
+            // Runs past EOF: either a torn append or a flipped length
+            // bit. Either way the tail is unusable.
+            scan.torn_tail_at = Some(pos as u64);
+            break;
+        }
+        let payload = &bytes[pos + RECORD_HEADER_LEN..end];
+        let expected = fnv1a64(&[&[kind], &len.to_le_bytes(), payload]);
+        if expected != checksum {
+            scan.quarantined
+                .push((pos as u64, CorruptKind::ChecksumMismatch));
+        } else if kind != KIND_SOLUTION {
+            // Unknown-but-checksummed kinds are skipped silently: that is
+            // how a v1 reader survives a v1.x writer's new record types.
+        } else {
+            match decode_record(payload) {
+                Ok(rec) => scan.records.push(rec),
+                Err(_) => scan.quarantined.push((pos as u64, CorruptKind::BadPayload)),
+            }
+        }
+        pos = end;
+        scan.clean_len = pos as u64;
+    }
+    Ok(scan)
+}
+
+/// A fresh segment image: just the magic, ready for appends.
+pub fn empty_segment() -> Vec<u8> {
+    SEGMENT_MAGIC.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(tag: u64) -> SolutionRecord {
+        SolutionRecord {
+            context: format!("ctx-{tag}"),
+            key: LayerKeyParts {
+                layer: tag as usize,
+                ops: vec![OpId(0), OpId(1)],
+                devices: vec![],
+                bindable: vec![true, false],
+                existing_paths: vec![(0, 1)],
+                cross_inputs: vec![(OpId(2), 3)],
+                transport: vec![tag, tag + 1],
+            },
+            solution: LayerSolution {
+                slots: vec![ScheduledOp {
+                    op: OpId(0),
+                    device: 0,
+                    start: 0,
+                    duration: tag,
+                    transport: 2,
+                }],
+                devices: vec![],
+                new_devices: vec![0],
+                new_paths: [(0, 1)].into_iter().collect(),
+                objective: tag * 7,
+                stats: SolverStats::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let rec = sample_record(9);
+        let framed = encode_record(&rec);
+        let payload = &framed[RECORD_HEADER_LEN..];
+        assert_eq!(decode_record(payload), Ok(rec));
+    }
+
+    #[test]
+    fn scan_detects_flip_tear_and_unknown_kind() {
+        use crate::error::CorruptKind;
+        let mut seg = empty_segment();
+        seg.extend(encode_record(&sample_record(1)));
+        let second_at = seg.len();
+        seg.extend(encode_record(&sample_record(2)));
+        seg.extend(frame_record(42, b"future record kind"));
+        let third_kind_end = seg.len();
+        seg.extend(encode_record(&sample_record(3)));
+
+        let clean = scan_segment(&seg).expect("header is intact");
+        assert_eq!(clean.records.len(), 3);
+        assert!(clean.quarantined.is_empty());
+        assert_eq!(clean.torn_tail_at, None);
+        assert_eq!(clean.clean_len, seg.len() as u64);
+
+        // Flip one payload bit of the second record: it alone quarantines.
+        let mut flipped = seg.clone();
+        flipped[second_at + RECORD_HEADER_LEN + 3] ^= 0x10;
+        let scan = scan_segment(&flipped).expect("header still intact");
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(
+            scan.quarantined,
+            vec![(second_at as u64, CorruptKind::ChecksumMismatch)]
+        );
+
+        // Cut the final record short: torn tail at its start offset.
+        let torn = &seg[..seg.len() - 5];
+        let scan = scan_segment(torn).expect("header still intact");
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.torn_tail_at, Some(third_kind_end as u64));
+        assert_eq!(scan.clean_len, third_kind_end as u64);
+
+        // A wrong magic is rejected outright.
+        let mut bad = seg;
+        bad[0] ^= 0xFF;
+        assert_eq!(scan_segment(&bad), Err(CorruptKind::BadHeader));
+    }
+}

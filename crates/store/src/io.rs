@@ -1,0 +1,461 @@
+//! The storage I/O seam: a [`StoreIo`] trait the store does *all* its
+//! file access through, with a real filesystem implementation, an
+//! in-memory implementation for hermetic tests, and a deterministic
+//! fault-injecting decorator.
+//!
+//! The shim exists so the ugly half of persistence — short writes, torn
+//! tails, bit rot, full disks, unreadable files — can be produced on
+//! demand, seeded and reproducible, instead of waiting for production to
+//! produce them. [`FaultyIo`] wraps any other implementation and injects
+//! exactly those faults according to a [`FaultPlan`].
+
+use mfhls_graph::rng::SplitMix64;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Every file operation the solution store performs. Implementations may
+/// fail any call with any [`io::Error`]; the store must survive all of
+/// them.
+pub trait StoreIo: Send + Sync + std::fmt::Debug {
+    /// Creates `dir` and its parents if missing.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Lists the files directly inside `dir`, sorted by file name.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Current length of a file in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+
+    /// Appends `bytes` at the end of `path`, returning how many bytes
+    /// were actually persisted (a *short write* persists fewer than
+    /// `bytes.len()` — callers must handle that).
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize>;
+
+    /// Truncates `path` to `len` bytes (rolls back a torn append).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Atomically replaces `path` with `bytes`: write to a temporary
+    /// sibling, sync it, then rename over `path`. A crash at any point
+    /// leaves either the old content or the new, never a mixture.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flushes `path` to stable storage.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem. Stateless: every call opens the file it needs, so
+/// a crash between calls never wedges a descriptor.
+#[derive(Debug, Default)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out: Vec<PathBuf> = fs::read_dir(dir)?
+            .map(|entry| entry.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        out.sort();
+        Ok(out)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let mut file = fs::OpenOptions::new().append(true).open(path)?;
+        file.write_all(bytes)?;
+        Ok(bytes.len())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // Sync the directory so the rename itself survives a crash.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let mut file = fs::OpenOptions::new().append(true).open(path)?;
+        file.flush()?;
+        file.sync_all()
+    }
+}
+
+/// An in-memory filesystem for hermetic tests: a sorted map of path →
+/// bytes behind a mutex. `write_atomic` is genuinely atomic (one map
+/// insert) and `list` returns name-sorted paths, mirroring [`RealIo`].
+#[derive(Debug, Default)]
+pub struct MemIo {
+    files: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+}
+
+impl MemIo {
+    /// An empty in-memory filesystem.
+    pub fn new() -> MemIo {
+        MemIo::default()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, BTreeMap<PathBuf, Vec<u8>>> {
+        match self.files.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// The current bytes of `path`, if it exists (test inspection).
+    pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
+        self.locked().get(path).cloned()
+    }
+
+    /// Overwrites `path` with `bytes` directly — the test-side hand on
+    /// the disk, used to plant corruption or simulate a crash image.
+    pub fn set_contents(&self, path: &Path, bytes: Vec<u8>) {
+        self.locked().insert(path.to_path_buf(), bytes);
+    }
+
+    /// All file paths currently present, name-sorted.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.locked().keys().cloned().collect()
+    }
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("no such file: {}", path.display()),
+    )
+}
+
+impl StoreIo for MemIo {
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        Ok(self
+            .locked()
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.locked()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.locked()
+            .get(path)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let mut files = self.locked();
+        let file = files.get_mut(path).ok_or_else(|| not_found(path))?;
+        file.extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut files = self.locked();
+        let file = files.get_mut(path).ok_or_else(|| not_found(path))?;
+        file.truncate(len as usize);
+        Ok(())
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.locked().insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        if self.locked().contains_key(path) {
+            Ok(())
+        } else {
+            Err(not_found(path))
+        }
+    }
+}
+
+/// The storage fault classes [`FaultyIo`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// An append persists only a prefix and *reports* the short count.
+    ShortWrite,
+    /// An append persists only a prefix but reports full success — the
+    /// torn record is only discoverable at the next load, exactly like a
+    /// crash (or SIGKILL) landing mid-`write(2)`.
+    TornTail,
+    /// A read returns the file with one bit flipped (bit rot).
+    BitFlip,
+    /// A write fails with `ENOSPC` without persisting anything.
+    Enospc,
+    /// A read fails outright with an I/O error.
+    ReadError,
+}
+
+impl FaultKind {
+    /// All fault classes, in declaration order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::ShortWrite,
+        FaultKind::TornTail,
+        FaultKind::BitFlip,
+        FaultKind::Enospc,
+        FaultKind::ReadError,
+    ];
+}
+
+/// A seeded, deterministic schedule of faults. Probabilities are per
+/// eligible operation; the same plan over the same operation sequence
+/// injects the same faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// RNG seed; equal seeds over equal op sequences give equal faults.
+    pub seed: u64,
+    /// Operations to pass through untouched before faults arm.
+    pub arm_after: u64,
+    /// Probability a write (append) short-writes.
+    pub short_write: f64,
+    /// Probability a write (append) tears silently.
+    pub torn_tail: f64,
+    /// Probability a read comes back with one flipped bit.
+    pub bit_flip: f64,
+    /// Probability a write (append/atomic/sync) fails with `ENOSPC`.
+    pub enospc: f64,
+    /// Probability a read fails outright.
+    pub read_error: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the decorator becomes transparent).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            arm_after: 0,
+            short_write: 0.0,
+            torn_tail: 0.0,
+            bit_flip: 0.0,
+            enospc: 0.0,
+            read_error: 0.0,
+        }
+    }
+
+    /// A plan injecting exactly one fault class with probability `p`.
+    pub fn only(kind: FaultKind, p: f64, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::none(seed);
+        match kind {
+            FaultKind::ShortWrite => plan.short_write = p,
+            FaultKind::TornTail => plan.torn_tail = p,
+            FaultKind::BitFlip => plan.bit_flip = p,
+            FaultKind::Enospc => plan.enospc = p,
+            FaultKind::ReadError => plan.read_error = p,
+        }
+        plan
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    rng: Option<SplitMix64>,
+    ops: u64,
+    injected: BTreeMap<FaultKind, u64>,
+}
+
+/// A [`StoreIo`] decorator that injects the faults scheduled by a
+/// [`FaultPlan`] into an inner implementation. Reads and writes that are
+/// not selected for a fault pass through unchanged.
+#[derive(Debug)]
+pub struct FaultyIo<I> {
+    inner: I,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+}
+
+impl<I: StoreIo> FaultyIo<I> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: I, plan: FaultPlan) -> FaultyIo<I> {
+        FaultyIo {
+            inner,
+            plan,
+            state: Mutex::new(FaultState::default()),
+        }
+    }
+
+    /// The wrapped implementation (test inspection).
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// How many faults of each class have been injected so far.
+    pub fn injected(&self) -> BTreeMap<FaultKind, u64> {
+        self.locked().injected.clone()
+    }
+
+    /// Total faults injected across all classes.
+    pub fn injected_total(&self) -> u64 {
+        self.locked().injected.values().sum()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Rolls the dice for one operation: returns the chosen fault (at
+    /// most one per op, tried in [`FaultKind::ALL`] order restricted to
+    /// `eligible`) and a raw random draw for fault parameterisation.
+    fn roll(&self, eligible: &[FaultKind]) -> (Option<FaultKind>, u64) {
+        let mut st = self.locked();
+        let seed = self.plan.seed;
+        let rng = st
+            .rng
+            .get_or_insert_with(|| SplitMix64::seed_from_u64(seed));
+        // One draw per (op, class) keeps the stream aligned regardless of
+        // which class fires.
+        let draws: Vec<(FaultKind, bool)> = FaultKind::ALL
+            .iter()
+            .map(|&k| (k, rng.gen_bool(self.probability(k))))
+            .collect();
+        let param = rng.next_u64();
+        st.ops += 1;
+        if st.ops <= self.plan.arm_after {
+            return (None, param);
+        }
+        let chosen = draws
+            .into_iter()
+            .find(|&(k, fired)| fired && eligible.contains(&k))
+            .map(|(k, _)| k);
+        if let Some(k) = chosen {
+            *st.injected.entry(k).or_insert(0) += 1;
+        }
+        (chosen, param)
+    }
+
+    fn probability(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::ShortWrite => self.plan.short_write,
+            FaultKind::TornTail => self.plan.torn_tail,
+            FaultKind::BitFlip => self.plan.bit_flip,
+            FaultKind::Enospc => self.plan.enospc,
+            FaultKind::ReadError => self.plan.read_error,
+        }
+    }
+}
+
+fn enospc() -> io::Error {
+    // Raw ENOSPC so callers see exactly what a full disk produces.
+    io::Error::from_raw_os_error(28)
+}
+
+impl<I: StoreIo> StoreIo for FaultyIo<I> {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let (fault, param) = self.roll(&[FaultKind::BitFlip, FaultKind::ReadError]);
+        match fault {
+            Some(FaultKind::ReadError) => Err(io::Error::other(format!(
+                "injected read error on {}",
+                path.display()
+            ))),
+            Some(FaultKind::BitFlip) => {
+                let mut bytes = self.inner.read(path)?;
+                if !bytes.is_empty() {
+                    let bit = param as usize % (bytes.len() * 8);
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                }
+                Ok(bytes)
+            }
+            _ => self.inner.read(path),
+        }
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let (fault, param) = self.roll(&[
+            FaultKind::ShortWrite,
+            FaultKind::TornTail,
+            FaultKind::Enospc,
+        ]);
+        match fault {
+            Some(FaultKind::Enospc) => Err(enospc()),
+            Some(FaultKind::ShortWrite) if !bytes.is_empty() => {
+                let cut = param as usize % bytes.len();
+                let n = self.inner.append(path, &bytes[..cut])?;
+                Ok(n.min(cut))
+            }
+            Some(FaultKind::TornTail) if !bytes.is_empty() => {
+                let cut = param as usize % bytes.len();
+                self.inner.append(path, &bytes[..cut])?;
+                // Lie: report the full length, like a crash mid-write
+                // that the process never got to observe.
+                Ok(bytes.len())
+            }
+            _ => self.inner.append(path, bytes),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let (fault, _) = self.roll(&[FaultKind::Enospc]);
+        match fault {
+            Some(FaultKind::Enospc) => Err(enospc()),
+            _ => self.inner.write_atomic(path, bytes),
+        }
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let (fault, _) = self.roll(&[FaultKind::Enospc]);
+        match fault {
+            Some(FaultKind::Enospc) => Err(enospc()),
+            _ => self.inner.sync(path),
+        }
+    }
+}

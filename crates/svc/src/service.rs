@@ -40,11 +40,12 @@ use crate::api::{
     SynthesisRequest,
 };
 use crate::json::Json;
-use mfhls_core::{Assay, CacheStats, SharedLayerCache, SynthConfig, Synthesizer};
+use mfhls_core::{Assay, CacheStats, RetryPolicy, SharedLayerCache, SynthConfig, Synthesizer};
 use mfhls_obs as obs;
+use mfhls_store::{SolutionStore, StoreStats};
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`SynthesisService`].
 #[derive(Debug, Clone)]
@@ -95,6 +96,14 @@ pub struct ServiceSummary {
     pub shutdown: bool,
     /// Shared-cache statistics at the end of the loop.
     pub cache: CacheStats,
+    /// Cache hits observed by this loop's own admission windows (the
+    /// per-window counters are drained at every flush, so TCP-mode
+    /// connections don't inherit each other's rates).
+    pub window_hits: u64,
+    /// Cache misses observed by this loop's own admission windows.
+    pub window_misses: u64,
+    /// Persistent-store statistics, when the service runs with one.
+    pub store: Option<StoreStats>,
 }
 
 impl ServiceSummary {
@@ -108,6 +117,22 @@ impl ServiceSummary {
         self.batches += other.batches;
         self.shutdown |= other.shutdown;
         self.cache = other.cache;
+        self.window_hits += other.window_hits;
+        self.window_misses += other.window_misses;
+        if other.store.is_some() {
+            self.store = other.store.clone();
+        }
+    }
+
+    /// Hit rate over the windows this loop actually served (not process
+    /// lifetime): hits / (hits + misses), or 0 when no lookups happened.
+    pub fn window_hit_rate(&self) -> f64 {
+        let total = self.window_hits + self.window_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.window_hits as f64 / total as f64
+        }
     }
 }
 
@@ -116,7 +141,7 @@ impl std::fmt::Display for ServiceSummary {
         write!(
             f,
             "{} accepted, {} solved, {} rejected ({} cancelled) over {} batch(es); \
-             cache {}/{} entries, {:.1}% hit rate",
+             cache {}/{} entries, {:.1}% window hit rate",
             self.accepted,
             self.solved,
             self.rejected,
@@ -124,8 +149,12 @@ impl std::fmt::Display for ServiceSummary {
             self.batches,
             self.cache.entries,
             self.cache.capacity,
-            self.cache.hit_rate() * 100.0
-        )
+            self.window_hit_rate() * 100.0
+        )?;
+        if let Some(store) = &self.store {
+            write!(f, "; store {store}")?;
+        }
+        Ok(())
     }
 }
 
@@ -151,6 +180,7 @@ enum Outcome {
 pub struct SynthesisService {
     config: ServiceConfig,
     cache: Arc<SharedLayerCache>,
+    store: Option<Arc<SolutionStore>>,
 }
 
 impl SynthesisService {
@@ -158,13 +188,43 @@ impl SynthesisService {
     /// `config.cache_entries` entries.
     pub fn new(config: ServiceConfig) -> SynthesisService {
         let cache = Arc::new(SharedLayerCache::new(config.cache_entries));
-        SynthesisService { config, cache }
+        SynthesisService {
+            config,
+            cache,
+            store: None,
+        }
+    }
+
+    /// Creates a service backed by a persistent [`SolutionStore`]: the
+    /// shared cache is warm-loaded from the store's surviving records,
+    /// then attached read-through/write-behind. The store is a pure
+    /// accelerator — a degraded or faulted store changes diagnostics,
+    /// never a response byte — so this constructor is infallible.
+    pub fn with_store(config: ServiceConfig, store: Arc<SolutionStore>) -> SynthesisService {
+        let cache = Arc::new(SharedLayerCache::new(config.cache_entries));
+        let warmed = store.warm_into(&cache);
+        obs::event(
+            obs::Level::Info,
+            "svc.store_attached",
+            &[("warmed", obs::Value::U64(warmed))],
+        );
+        cache.set_backing(store.clone());
+        SynthesisService {
+            config,
+            cache,
+            store: Some(store),
+        }
     }
 
     /// The cross-request shared layer cache (for inspection in tests and
     /// the CLI summary).
     pub fn cache(&self) -> &Arc<SharedLayerCache> {
         &self.cache
+    }
+
+    /// The persistent store backing the cache, if one was attached.
+    pub fn store(&self) -> Option<&Arc<SolutionStore>> {
+        self.store.as_ref()
     }
 
     /// Serves NDJSON requests from `input`, writing NDJSON responses to
@@ -179,7 +239,12 @@ impl SynthesisService {
         input: R,
         mut output: W,
     ) -> io::Result<ServiceSummary> {
-        let mut summary = ServiceSummary::default();
+        // The summary starts with a store snapshot so flush() can report
+        // per-window deltas even when this is not the store's first loop.
+        let mut summary = ServiceSummary {
+            store: self.store.as_ref().map(|s| s.stats()),
+            ..ServiceSummary::default()
+        };
         let mut pending: Vec<Pending> = Vec::new();
         for line in input.lines() {
             let line = line?;
@@ -225,6 +290,7 @@ impl SynthesisService {
         }
         self.flush(&mut pending, &mut output, &mut summary)?;
         summary.cache = self.cache.stats();
+        summary.store = self.store.as_ref().map(|s| s.stats());
         Ok(summary)
     }
 
@@ -233,17 +299,45 @@ impl SynthesisService {
     /// stays deterministic per connection). Stops after the first
     /// connection when `once`, or when any connection sends `shutdown`.
     ///
+    /// Transient `accept` failures (`EINTR`, fd exhaustion, a connection
+    /// aborted in the backlog) get a bounded backoff-retry via
+    /// [`RetryPolicy`] instead of tearing the listener down; only a
+    /// persistent or non-transient error returns.
+    ///
     /// # Errors
     ///
-    /// Accept/stream I/O errors.
+    /// Stream I/O errors, and accept errors that are non-transient or
+    /// outlast the retry budget.
     pub fn serve_listener(
         &self,
         listener: &std::net::TcpListener,
         once: bool,
     ) -> io::Result<ServiceSummary> {
         let mut total = ServiceSummary::default();
+        let mut backoff = AcceptBackoff::new(RetryPolicy::default());
         loop {
-            let (stream, _peer) = listener.accept()?;
+            let (stream, _peer) = match listener.accept() {
+                Ok(conn) => {
+                    backoff.reset();
+                    conn
+                }
+                Err(e) => match backoff.on_error(&e) {
+                    Some(delay) => {
+                        obs::event(
+                            obs::Level::Warn,
+                            "svc.accept_retry",
+                            &[
+                                ("kind", obs::Value::Str(&format!("{:?}", e.kind()))),
+                                ("delay_ms", obs::Value::U64(delay.as_millis() as u64)),
+                            ],
+                        );
+                        obs::diagnostic_counter("svc.accept_retries", 1);
+                        std::thread::sleep(delay);
+                        continue;
+                    }
+                    None => return Err(e),
+                },
+            };
             let reader = io::BufReader::new(stream.try_clone()?);
             let summary = self.serve(reader, stream)?;
             total.merge(&summary);
@@ -346,7 +440,6 @@ impl SynthesisService {
             &[("size", obs::Value::U64(batch.len() as u64))],
         );
         summary.batches += 1;
-        let before = self.cache.stats();
         let results = if self.config.workers == 0 {
             mfhls_par::par_map(&batch, |p| self.solve_one(p))
         } else {
@@ -386,9 +479,31 @@ impl SynthesisService {
         // Cache movement is timing-dependent under the shared cache, so
         // it goes to the diagnostic class (excluded from determinism
         // comparisons), mirroring the per-run split in IterationStats.
-        let after = self.cache.stats();
-        obs::diagnostic_counter("svc.cache_hits", (after.hits - before.hits) as i64);
-        obs::diagnostic_counter("svc.cache_misses", (after.misses - before.misses) as i64);
+        // Draining the per-window counters here (rather than diffing
+        // lifetime stats) keeps each window's — and each connection's —
+        // rate independent of what ran before it.
+        let (window_hits, window_misses) = self.cache.take_window_counters();
+        obs::diagnostic_counter("svc.cache_hits", window_hits as i64);
+        obs::diagnostic_counter("svc.cache_misses", window_misses as i64);
+        summary.window_hits += window_hits;
+        summary.window_misses += window_misses;
+        // The store moves while solve_one runs muted, so its counters are
+        // re-emitted here as this window's deltas against the snapshot
+        // carried in the summary.
+        if let Some(store) = &self.store {
+            let now = store.stats();
+            let prev = summary.store.take().unwrap_or_default();
+            obs::diagnostic_counter("store_hit", (now.hits - prev.hits) as i64);
+            obs::diagnostic_counter("store_miss", (now.misses - prev.misses) as i64);
+            obs::diagnostic_counter("store_appended", (now.appended - prev.appended) as i64);
+            if now.dropped > prev.dropped {
+                obs::diagnostic_counter("store_dropped", (now.dropped - prev.dropped) as i64);
+            }
+            if now.degraded && !prev.degraded {
+                obs::diagnostic_counter("store_degraded", 1);
+            }
+            summary.store = Some(now);
+        }
         output.flush()
     }
 
@@ -450,6 +565,54 @@ impl SynthesisService {
             ),
         }
     }
+}
+
+/// Bounded retry state for the TCP accept loop: transient errors sleep
+/// and retry (backoff from a [`RetryPolicy`], interpreted as
+/// milliseconds); non-transient errors or an exhausted budget give up.
+/// A successful accept resets the budget.
+#[derive(Debug)]
+struct AcceptBackoff {
+    policy: RetryPolicy,
+    consecutive: usize,
+}
+
+impl AcceptBackoff {
+    fn new(policy: RetryPolicy) -> AcceptBackoff {
+        AcceptBackoff {
+            policy,
+            consecutive: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// `Some(delay)` if the caller should sleep and retry the accept,
+    /// `None` if the error should propagate.
+    fn on_error(&mut self, e: &io::Error) -> Option<Duration> {
+        if !is_transient_accept_error(e) || self.consecutive >= self.policy.max_retries {
+            return None;
+        }
+        let delay = Duration::from_millis(self.policy.backoff_for(self.consecutive));
+        self.consecutive += 1;
+        Some(delay)
+    }
+}
+
+/// Accept errors worth retrying: signal interruption, a peer that reset
+/// before we accepted, spurious readiness, and file-descriptor
+/// exhaustion (`EMFILE`/`ENFILE`, which clears as connections close).
+fn is_transient_accept_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+    ) || matches!(e.raw_os_error(), Some(23 | 24)) // ENFILE | EMFILE
 }
 
 fn write_line<W: Write>(output: &mut W, line: &Json) -> io::Result<()> {
@@ -628,5 +791,59 @@ mod tests {
             "identical request should hit the shared cache: {:?}",
             summary.cache
         );
+        assert!(
+            summary.window_hits > 0,
+            "window counters should see the same hits: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn window_counters_reset_between_serve_loops() {
+        // The bug this pins: the summary previously diffed lifetime cache
+        // stats, so a second connection inherited the first one's rate.
+        let service = SynthesisService::new(ServiceConfig::default());
+        let warm = format!("{}\n\n{}\n", req("a", 4), req("b", 4));
+        let (_, first) = run(&service, &warm);
+        assert!(first.window_hits > 0);
+        // A loop over a disjoint assay sees only misses, regardless of
+        // the hits racked up by the first loop.
+        let (_, second) = run(&service, &req("fresh", 7));
+        assert_eq!(second.window_hits, 0, "{second:?}");
+        assert!(second.window_misses > 0, "{second:?}");
+        assert_eq!(second.window_hit_rate(), 0.0);
+        // Lifetime stats still accumulate for capacity accounting.
+        assert!(second.cache.hits >= first.window_hits);
+    }
+
+    #[test]
+    fn accept_backoff_retries_transient_until_budget() {
+        let emfile = io::Error::from_raw_os_error(24);
+        assert!(is_transient_accept_error(&emfile));
+        assert!(is_transient_accept_error(&io::Error::from(
+            io::ErrorKind::Interrupted
+        )));
+        assert!(!is_transient_accept_error(&io::Error::from(
+            io::ErrorKind::PermissionDenied
+        )));
+
+        let policy = RetryPolicy::default();
+        let mut backoff = AcceptBackoff::new(policy);
+        let mut delays = Vec::new();
+        while let Some(d) = backoff.on_error(&emfile) {
+            delays.push(d.as_millis() as u64);
+        }
+        assert_eq!(delays.len(), policy.max_retries);
+        let expected: Vec<u64> = (0..policy.max_retries)
+            .map(|k| policy.backoff_for(k))
+            .collect();
+        assert_eq!(delays, expected);
+        // A successful accept resets the budget.
+        backoff.reset();
+        assert!(backoff.on_error(&emfile).is_some());
+        // Non-transient errors propagate immediately even with budget.
+        backoff.reset();
+        assert!(backoff
+            .on_error(&io::Error::from(io::ErrorKind::PermissionDenied))
+            .is_none());
     }
 }

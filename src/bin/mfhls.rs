@@ -14,7 +14,7 @@
 //! mfhls export-lp protocol.mfa [--layer K] [--out FILE]
 //! mfhls trace-check trace.jsonl
 //! mfhls serve [--workers N] [--queue N] [--cache-entries N] [--max-ops N]
-//!             [--no-shared-cache] [--tcp ADDR] [--once]
+//!             [--no-shared-cache] [--store DIR] [--tcp ADDR] [--once]
 //! mfhls bench
 //! ```
 //!
@@ -92,7 +92,7 @@ fn print_usage() {
          mfhls graph <file.mfa> [--layers] [--out FILE]\n  \
          mfhls trace-check <trace.jsonl>\n  \
          mfhls serve [--workers N] [--queue N] [--cache-entries N] [--max-ops N]\n             \
-         [--no-shared-cache] [--tcp ADDR] [--once]\n  \
+         [--no-shared-cache] [--store DIR] [--tcp ADDR] [--once]\n  \
          mfhls bench\n\n\
          OPTIONS:\n  \
          --format F    (synth|simulate|faultsim) text (default) or json — one\n                \
@@ -104,7 +104,11 @@ fn print_usage() {
          execution trace; --trace-format jsonl|chrome picks the\n                \
          encoding (default jsonl, validated by 'mfhls trace-check').\n  \
          --log LEVEL   echo trace records at or above LEVEL to stderr\n                \
-         (error|warn|info|debug|trace)."
+         (error|warn|info|debug|trace).\n  \
+         --store DIR   (serve) persist solved layers to DIR (mfhls-store/v1\n                \
+         segments) so a restarted server warms instantly; corrupt\n                \
+         or unwritable stores degrade to memory-only, never fail\n                \
+         a request."
     );
 }
 
@@ -767,6 +771,7 @@ const SERVE_FLAGS: &[(&str, bool)] = &[
     ("--cache-entries", true),
     ("--max-ops", true),
     ("--no-shared-cache", false),
+    ("--store", true),
     ("--tcp", true),
     ("--once", false),
 ];
@@ -795,7 +800,22 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         shared_cache: !flags.has("--no-shared-cache"),
         max_ops,
     };
-    let service = mfhls::svc::SynthesisService::new(config);
+    let service = match flags.value("--store") {
+        Some(dir) => {
+            if flags.has("--no-shared-cache") {
+                return Err("--store needs the shared cache; drop --no-shared-cache".into());
+            }
+            let store = mfhls::store::SolutionStore::open(
+                std::path::Path::new(dir),
+                mfhls::store::StoreConfig::default(),
+                std::sync::Arc::new(mfhls::store::RealIo),
+            );
+            let stats = store.stats();
+            eprintln!("mfhls serve: store {dir}: {stats}");
+            mfhls::svc::SynthesisService::with_store(config, std::sync::Arc::new(store))
+        }
+        None => mfhls::svc::SynthesisService::new(config),
+    };
     start_trace(&trace);
     let summary = match flags.value("--tcp") {
         Some(addr) => {

@@ -23,6 +23,7 @@
 //! | [`ilp`] | `mfhls-ilp` | the MILP solver substrate (simplex + branch-and-bound) |
 //! | [`obs`] | `mfhls-obs` | deterministic structured tracing (spans, events, counters, exporters) |
 //! | [`par`] | `mfhls-par` | deterministic scoped thread pool (`par_map`, thread-count control) |
+//! | [`store`] | `mfhls-store` | crash-safe on-disk solution store (`mfhls-store/v1` segments, fault injection, graceful degradation) |
 //! | [`svc`] | `mfhls-svc` | batched synthesis service: `mfhls-api/v1` NDJSON requests over stdin/stdout or TCP |
 //!
 //! The most common items are re-exported at the top level.
@@ -67,6 +68,7 @@ pub use mfhls_ilp as ilp;
 pub use mfhls_obs as obs;
 pub use mfhls_par as par;
 pub use mfhls_sim as sim;
+pub use mfhls_store as store;
 pub use mfhls_svc as svc;
 
 pub use mfhls_core::{
