@@ -120,6 +120,140 @@ impl SynthesisReport {
     }
 }
 
+/// Schema tag for serve-plane load reports (`BENCH_serve.json`),
+/// bumped on breaking changes.
+pub const SERVE_SCHEMA: &str = "mfhls-bench-serve/v1";
+
+/// Per-request latency quantiles from an `mfhls-obs` log2 histogram.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyReport {
+    /// Median latency in microseconds (histogram bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// Smallest observed latency in microseconds.
+    pub min_us: u64,
+    /// Largest observed latency in microseconds.
+    pub max_us: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Observations behind the quantiles (one per response line).
+    pub count: u64,
+}
+
+impl LatencyReport {
+    /// Extracts the report fields from a histogram of microsecond
+    /// observations.
+    pub fn from_histogram(h: &mfhls_obs::Log2Histogram) -> LatencyReport {
+        LatencyReport {
+            p50_us: h.quantile(0.50),
+            p99_us: h.quantile(0.99),
+            min_us: h.min(),
+            max_us: h.max(),
+            mean_us: h.mean(),
+            count: h.count(),
+        }
+    }
+}
+
+/// One configuration the load generator drove through the serve plane.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Run label, e.g. `drain_baseline` or `pipelined_s4`.
+    pub name: String,
+    /// Transport: `stdin` (in-process) or `tcp` (loopback).
+    pub mode: String,
+    /// Shard worker-groups (`ServiceConfig::shards`).
+    pub shards: usize,
+    /// Windows in flight (`ServiceConfig::pipeline_windows`; 1 = drain).
+    pub pipeline_windows: usize,
+    /// Worker threads per shard pool (0 = auto).
+    pub workers: usize,
+    /// End-to-end wall clock for the whole request stream.
+    pub wall: Duration,
+    /// Responses per second (`responses_total / wall`).
+    pub throughput_rps: f64,
+    /// Requests solved successfully.
+    pub solved: u64,
+    /// Requests rejected (parse errors, oversized, overload).
+    pub rejected: u64,
+    /// Total response lines observed on the output stream.
+    pub responses_total: u64,
+    /// Per-response latency distribution (admission-to-flush).
+    pub latency: LatencyReport,
+}
+
+/// The full report written to `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Worker threads available to the process.
+    pub threads: usize,
+    /// Requests in the generated workload (including invalid lines).
+    pub requests: usize,
+    /// Requests per admission window.
+    pub window: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Throughput of the best pipelined run over the drain baseline.
+    /// The ≥2× goal is pinned here as data, not as a flaky assert.
+    pub speedup_vs_drain: f64,
+    /// The throughput target the serve rework aims for.
+    pub target_speedup: f64,
+    /// One entry per driven configuration.
+    pub runs: Vec<ServeRun>,
+}
+
+impl ServeReport {
+    /// Renders the report as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(SERVE_SCHEMA));
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"window\": {},", self.window);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"speedup_vs_drain\": {:.6},", self.speedup_vs_drain);
+        let _ = writeln!(out, "  \"target_speedup\": {:.6},", self.target_speedup);
+        let _ = writeln!(out, "  \"runs\": [");
+        for (k, r) in self.runs.iter().enumerate() {
+            let comma = if k + 1 < self.runs.len() { "," } else { "" };
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"name\": {},", json_str(&r.name));
+            let _ = writeln!(out, "      \"mode\": {},", json_str(&r.mode));
+            let _ = writeln!(out, "      \"shards\": {},", r.shards);
+            let _ = writeln!(out, "      \"pipeline_windows\": {},", r.pipeline_windows);
+            let _ = writeln!(out, "      \"workers\": {},", r.workers);
+            let _ = writeln!(out, "      \"wall_ms\": {},", json_ms(r.wall));
+            let _ = writeln!(out, "      \"throughput_rps\": {:.6},", r.throughput_rps);
+            let _ = writeln!(out, "      \"solved\": {},", r.solved);
+            let _ = writeln!(out, "      \"rejected\": {},", r.rejected);
+            let _ = writeln!(out, "      \"responses_total\": {},", r.responses_total);
+            let _ = writeln!(out, "      \"latency_us\": {{");
+            let _ = writeln!(out, "        \"p50\": {},", r.latency.p50_us);
+            let _ = writeln!(out, "        \"p99\": {},", r.latency.p99_us);
+            let _ = writeln!(out, "        \"min\": {},", r.latency.min_us);
+            let _ = writeln!(out, "        \"max\": {},", r.latency.max_us);
+            let _ = writeln!(out, "        \"mean\": {:.6},", r.latency.mean_us);
+            let _ = writeln!(out, "        \"count\": {}", r.latency.count);
+            let _ = writeln!(out, "      }}");
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
 fn json_ms(d: Duration) -> String {
     format!("{:.6}", d.as_secs_f64() * 1e3)
 }
@@ -207,6 +341,43 @@ mod tests {
     fn strings_are_escaped() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn serve_report_json_is_balanced_and_tagged() {
+        let mut hist = mfhls_obs::Log2Histogram::new();
+        for v in [120, 480, 900, 4100] {
+            hist.observe(v);
+        }
+        let report = ServeReport {
+            threads: 4,
+            requests: 2000,
+            window: 16,
+            seed: 0xC0FFEE,
+            speedup_vs_drain: 2.4,
+            target_speedup: 2.0,
+            runs: vec![ServeRun {
+                name: "pipelined_s4".into(),
+                mode: "stdin".into(),
+                shards: 4,
+                pipeline_windows: 2,
+                workers: 0,
+                wall: Duration::from_millis(350),
+                throughput_rps: 5714.28,
+                solved: 1700,
+                rejected: 300,
+                responses_total: 2000,
+                latency: LatencyReport::from_histogram(&hist),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mfhls-bench-serve/v1\""));
+        assert!(json.contains("\"speedup_vs_drain\": 2.400000"));
+        assert!(json.contains("\"name\": \"pipelined_s4\""));
+        assert!(json.contains("\"p99\":"));
+        assert!(json.contains("\"count\": 4"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -375,6 +375,48 @@ pub fn benchmark_assay(name: &str, scale: Option<usize>) -> Result<Assay, String
 }
 
 impl SynthesisRequest {
+    /// Re-serializes the request into its canonical byte form: the same
+    /// fields a client sent, written through the deterministic [`Json`]
+    /// writer in a fixed field order, independent of the wire line's
+    /// whitespace, key order, or escaping choices. This is the input to
+    /// shard routing ([`crate::shard::shard_of`]) — two requests with
+    /// identical content always land on the same shard, on any process.
+    pub fn canonical_request_bytes(&self) -> Vec<u8> {
+        let assay = match &self.assay {
+            AssaySource::Dsl(text) => obj(vec![("dsl", Json::Str(text.clone()))]),
+            AssaySource::Benchmark { name, scale } => {
+                let mut entries = vec![("benchmark", Json::Str(name.clone()))];
+                if let Some(scale) = scale {
+                    entries.push(("scale", Json::Int(*scale as i64)));
+                }
+                obj(entries)
+            }
+        };
+        let mut artifacts = Vec::new();
+        for (on, name) in [
+            (self.artifacts.stats, "stats"),
+            (self.artifacts.schedule, "schedule"),
+            (self.artifacts.gantt, "gantt"),
+            (self.artifacts.trace, "trace"),
+            (self.artifacts.diagnostics, "diagnostics"),
+        ] {
+            if on {
+                artifacts.push(Json::Str(name.to_owned()));
+            }
+        }
+        let mut entries = vec![("id", Json::Str(self.id.clone())), ("assay", assay)];
+        if let Some(config) = &self.config {
+            entries.push(("config", config.clone()));
+        }
+        entries.push(("artifacts", Json::Array(artifacts)));
+        if let Some(ms) = self.deadline_ms {
+            entries.push(("deadline_ms", Json::Int(ms as i64)));
+        }
+        let mut out = String::new();
+        obj(entries).write(&mut out);
+        out.into_bytes()
+    }
+
     /// Materializes the assay (parsing inline DSL with `max_ops` as the
     /// admission bound, or instantiating a named benchmark).
     ///
@@ -913,6 +955,29 @@ mod tests {
             bad.resolve_assay(64).unwrap_err().kind,
             ErrorKind::ParseError
         );
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_wire_formatting() {
+        // Same content, different whitespace and field order on the wire.
+        let a = parse_incoming(
+            r#"{"version":"mfhls-api/v1","type":"synthesize","id":"r1","assay":{"dsl":"assay \"t\"\nop a { duration: 1m }"},"deadline_ms":5}"#,
+        )
+        .unwrap();
+        let b = parse_incoming(
+            r#"{ "deadline_ms": 5, "id": "r1", "type": "synthesize", "assay": { "dsl": "assay \"t\"\nop a { duration: 1m }" }, "version": "mfhls-api/v1" }"#,
+        )
+        .unwrap();
+        let (Incoming::Synthesize(a), Incoming::Synthesize(b)) = (a, b) else {
+            panic!("expected synthesize requests");
+        };
+        assert_eq!(a.canonical_request_bytes(), b.canonical_request_bytes());
+        // Different content diverges.
+        let Incoming::Synthesize(c) = parse_incoming(&synth_req(r#","deadline_ms":6"#)).unwrap()
+        else {
+            panic!("expected a synthesize request");
+        };
+        assert_ne!(a.canonical_request_bytes(), c.canonical_request_bytes());
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //!   (`flush`/`cancel`/`shutdown`), typed error kinds, and the response
 //!   builders the CLI's `--format json` mode reuses.
 //! * [`service`] — [`SynthesisService`]: deterministic admission windows
-//!   feeding an `mfhls-par` worker pool, a bounded cross-request
+//!   feeding sharded `mfhls-par` worker pools ([`shard`] routes each
+//!   request by a stable FNV hash of its canonical bytes), pipelined
+//!   across windows (ingest → shard-solve → write as typed concurrent
+//!   stages), a bounded cross-request
 //!   [`SharedLayerCache`](mfhls_core::SharedLayerCache), typed overload
-//!   rejection, and byte-identical responses at any worker count. Runs
-//!   over any `BufRead`/`Write` pair (the CLI wires up stdin/stdout) or a
-//!   local TCP listener.
+//!   rejection, and byte-identical responses at any worker, shard, or
+//!   pipeline-depth setting. Runs over any `BufRead`/`Write` pair (the
+//!   CLI wires up stdin/stdout) or a local TCP listener.
 //!
 //! ```
 //! use mfhls_svc::{ServiceConfig, SynthesisService};
@@ -38,11 +41,13 @@
 
 pub mod api;
 pub mod json;
+mod pipeline;
 pub mod service;
+pub mod shard;
 
 pub use api::{
     benchmark_assay, parse_incoming, solver_from_str, Artifacts, AssaySource, ErrorKind, Incoming,
     RequestError, SynthesisRequest, VERSION,
 };
 pub use json::{Json, JsonError};
-pub use service::{ServiceConfig, ServiceSummary, SynthesisService};
+pub use service::{ServiceConfig, ServiceSummary, ShardStats, SynthesisService};

@@ -1,5 +1,6 @@
-//! The batched synthesis service: deterministic admission windows over a
-//! worker pool, with a cross-request shared layer cache.
+//! The batched synthesis service: deterministic admission windows over
+//! sharded worker pools, pipelined across windows, with a cross-request
+//! shared layer cache.
 //!
 //! # Determinism model
 //!
@@ -8,23 +9,46 @@
 //! which request gets the `overloaded` rejection. This service avoids
 //! that with **synchronous admission windows**:
 //!
-//! * The serve loop reads NDJSON lines one at a time and only *admits*
+//! * The ingest stage reads NDJSON lines one at a time and only *admits*
 //!   requests (parse, resolve the assay, validate the config). Nothing
 //!   solves yet.
 //! * A blank line, a `{"type":"flush"}` control, EOF, or
 //!   `{"type":"shutdown"}` closes the window: the pending batch runs on
-//!   the worker pool ([`mfhls_par::par_map`], whose ordered reduction is
+//!   the worker pools ([`mfhls_par::par_map`], whose ordered reduction is
 //!   bitwise-deterministic at any thread count), and the responses are
 //!   written in admission order.
 //! * Admission-time failures — malformed lines, version mismatches,
 //!   parse/config errors, and `overloaded` rejections when the window
-//!   already holds `queue_capacity` requests — are written *immediately*,
-//!   before the batch runs.
+//!   already holds `queue_capacity` requests — are serialized into the
+//!   window's buffer ahead of the batch responses, so each window's
+//!   bytes are `[rejections in input order] ++ [responses in admission
+//!   order]`, written with one buffered flush at the window boundary.
 //!
 //! Queue occupancy is therefore a pure function of the input stream, not
 //! of worker timing: the same NDJSON input produces byte-identical output
-//! at 1 worker and at 16 (`tests/service.rs` pins this, and the CI
-//! `serve-smoke` job diffs the two against a golden file).
+//! at 1 worker and at 16, at 1 shard and at 8, with pipelining on or off
+//! (`tests/service.rs` pins the full matrix, and the CI `serve-smoke` /
+//! `serve-bench-smoke` jobs diff the streams end-to-end).
+//!
+//! # Shards and pipelining
+//!
+//! Admitted requests are routed to one of [`ServiceConfig::shards`]
+//! worker-groups by a stable FNV-1a hash of their canonical bytes
+//! ([`crate::shard`]); each shard solves its slice on its own `mfhls-par`
+//! pool and an ordered cross-shard reduction reassembles responses in
+//! admission order. With [`ServiceConfig::pipeline_windows`] > 1 the
+//! loop additionally runs as a three-stage pipeline (see
+//! [`crate::pipeline`]): window *k+1* is admitted while window *k*
+//! solves and window *k−1* drains to the client. Both are pure
+//! throughput features: per-request responses depend only on the request
+//! itself plus the shared cache, and the cache is a pure accelerator, so
+//! neither routing nor overlap can change a response byte.
+//!
+//! When an `mfhls-obs` capture is active on the serving thread the loop
+//! falls back to the sequential in-line path (captures are thread-local,
+//! and a deterministic trace of a concurrent pipeline would interleave);
+//! the byte-identity pins guarantee this fallback is observationally
+//! equivalent.
 //!
 //! # The shared cache
 //!
@@ -40,18 +64,20 @@ use crate::api::{
     SynthesisRequest,
 };
 use crate::json::Json;
+use crate::pipeline::{merge_shards, AdmittedWindow, SolvedWindow, WindowStats};
+use crate::shard;
 use mfhls_core::{Assay, CacheStats, RetryPolicy, SharedLayerCache, SynthConfig, Synthesizer};
 use mfhls_obs as obs;
 use mfhls_store::{SolutionStore, StoreStats};
 use std::io::{self, BufRead, Write};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`SynthesisService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads per batch (`0` = the `mfhls-par` default, i.e. the
-    /// `MFHLS_THREADS` env var, then the CPU count). Responses are
+    /// Worker threads per shard pool (`0` = the `mfhls-par` default, i.e.
+    /// the `MFHLS_THREADS` env var, then the CPU count). Responses are
     /// byte-identical at any setting.
     pub workers: usize,
     /// Maximum requests admitted per window; further requests are
@@ -65,6 +91,15 @@ pub struct ServiceConfig {
     /// Admission bound on operations per assay (inline DSL `repeat`
     /// blocks can multiply a small request into a huge one).
     pub max_ops: usize,
+    /// Shard worker-groups per window. Each admitted request is routed
+    /// by the stable FNV hash of its canonical bytes; every shard solves
+    /// its slice on its own `mfhls-par` pool. Responses are
+    /// byte-identical at any setting.
+    pub shards: usize,
+    /// Windows in flight across the ingest → solve → write pipeline
+    /// (`1` = the sequential drain loop, i.e. pipelining off). Responses
+    /// are byte-identical at any setting.
+    pub pipeline_windows: usize,
 }
 
 impl Default for ServiceConfig {
@@ -75,8 +110,22 @@ impl Default for ServiceConfig {
             cache_entries: 256,
             shared_cache: true,
             max_ops: 512,
+            shards: 1,
+            pipeline_windows: 2,
         }
     }
+}
+
+/// Deterministic per-shard serve-loop counters (see
+/// [`ServiceSummary::shards`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests this shard solved (or rejected at solve time).
+    pub requests: u64,
+    /// Layer-cache hits observed by this shard's requests.
+    pub hits: u64,
+    /// Layer-cache misses observed by this shard's requests.
+    pub misses: u64,
 }
 
 /// Lifetime totals of a serve loop, reported when it ends.
@@ -102,6 +151,11 @@ pub struct ServiceSummary {
     pub window_hits: u64,
     /// Cache misses observed by this loop's own admission windows.
     pub window_misses: u64,
+    /// Per-shard request and cache-hit counters (one entry per
+    /// configured shard), so shard imbalance is visible without a trace.
+    pub shards: Vec<ShardStats>,
+    /// Transient TCP `accept` failures that were retried with backoff.
+    pub accept_retries: u64,
     /// Persistent-store statistics, when the service runs with one.
     pub store: Option<StoreStats>,
 }
@@ -119,6 +173,8 @@ impl ServiceSummary {
         self.cache = other.cache;
         self.window_hits += other.window_hits;
         self.window_misses += other.window_misses;
+        merge_shards(&mut self.shards, &other.shards);
+        self.accept_retries += other.accept_retries;
         if other.store.is_some() {
             self.store = other.store.clone();
         }
@@ -132,6 +188,20 @@ impl ServiceSummary {
             0.0
         } else {
             self.window_hits as f64 / total as f64
+        }
+    }
+
+    /// Folds one window's deterministic counters into the lifetime
+    /// totals (everything but `batches`, which the caller owns).
+    fn absorb_window(&mut self, w: &WindowStats) {
+        self.solved += w.solved;
+        self.rejected += w.rejected;
+        self.cancelled += w.cancelled;
+        self.window_hits += w.window_hits;
+        self.window_misses += w.window_misses;
+        merge_shards(&mut self.shards, &w.shards);
+        if w.store.is_some() {
+            self.store = w.store.clone();
         }
     }
 }
@@ -151,6 +221,15 @@ impl std::fmt::Display for ServiceSummary {
             self.cache.capacity,
             self.window_hit_rate() * 100.0
         )?;
+        if self.shards.len() > 1 {
+            write!(f, "; shards [req/hit]")?;
+            for s in &self.shards {
+                write!(f, " {}/{}", s.requests, s.hits)?;
+            }
+        }
+        if self.accept_retries > 0 {
+            write!(f, "; {} accept retries", self.accept_retries)?;
+        }
         if let Some(store) = &self.store {
             write!(f, "; store {store}")?;
         }
@@ -159,20 +238,31 @@ impl std::fmt::Display for ServiceSummary {
 }
 
 /// A request admitted into the current window.
-struct Pending {
-    id: String,
-    assay: Assay,
-    config: SynthConfig,
-    artifacts: Artifacts,
-    deadline_ms: Option<u64>,
-    admitted_at: Instant,
-    cancelled: bool,
+pub(crate) struct Pending {
+    pub(crate) id: String,
+    pub(crate) assay: Assay,
+    pub(crate) config: SynthConfig,
+    pub(crate) artifacts: Artifacts,
+    pub(crate) deadline_ms: Option<u64>,
+    pub(crate) admitted_at: Instant,
+    pub(crate) cancelled: bool,
+    /// Worker-group this request is routed to (see [`crate::shard`]).
+    pub(crate) shard: usize,
 }
 
 /// How one request left the service (drives obs events and the summary).
 enum Outcome {
     Solved,
     Rejected(ErrorKind),
+}
+
+/// One request's solved result before serialization into the window
+/// buffer: the response value plus its deterministic accounting.
+struct SolvedOne {
+    line: Json,
+    outcome: Outcome,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// The long-lived batched synthesis service. See the [module
@@ -230,26 +320,178 @@ impl SynthesisService {
     /// Serves NDJSON requests from `input`, writing NDJSON responses to
     /// `output`, until EOF or a `shutdown` control.
     ///
+    /// With [`ServiceConfig::pipeline_windows`] > 1 this runs the typed
+    /// three-stage pipeline (ingest → shard-solve → write); with an
+    /// active `mfhls-obs` capture on this thread, or `pipeline_windows
+    /// == 1`, it runs the sequential in-line loop. Output bytes are
+    /// identical either way.
+    ///
     /// # Errors
     ///
     /// Only I/O errors on `input`/`output`; protocol problems become
     /// error *responses*, never an early return.
-    pub fn serve<R: BufRead, W: Write>(
+    pub fn serve<R: BufRead, W: Write + Send>(
+        &self,
+        input: R,
+        output: W,
+    ) -> io::Result<ServiceSummary> {
+        if self.config.pipeline_windows > 1 && !obs::is_enabled() {
+            self.serve_pipelined(input, output)
+        } else {
+            self.serve_inline(input, output)
+        }
+    }
+
+    /// The sequential drain loop: each window is admitted, solved, and
+    /// written before the next line is read.
+    fn serve_inline<R: BufRead, W: Write>(
         &self,
         input: R,
         mut output: W,
     ) -> io::Result<ServiceSummary> {
-        // The summary starts with a store snapshot so flush() can report
-        // per-window deltas even when this is not the store's first loop.
+        // The summary starts with a store snapshot so each window can
+        // report per-window deltas even when this is not the store's
+        // first loop.
         let mut summary = ServiceSummary {
             store: self.store.as_ref().map(|s| s.stats()),
             ..ServiceSummary::default()
         };
+        self.admission_loop(input, &mut summary, |mut window, summary| {
+            if !window.batch.is_empty() {
+                summary.batches += 1;
+                let prev_store = summary.store.take();
+                let stats = self.run_window(&window.batch, &mut window.buf, prev_store);
+                summary.absorb_window(&stats);
+            }
+            output.write_all(window.buf.as_bytes())?;
+            output.flush()?;
+            let mut scratch = window.buf;
+            scratch.clear();
+            Ok(scratch)
+        })?;
+        summary.cache = self.cache.stats();
+        summary.store = self.store.as_ref().map(|s| s.stats());
+        Ok(summary)
+    }
+
+    /// The pipelined loop: ingest on the calling thread, solve and write
+    /// on their own stage threads, windows flowing through bounded
+    /// channels (see [`crate::pipeline`]).
+    fn serve_pipelined<R: BufRead, W: Write + Send>(
+        &self,
+        input: R,
+        output: W,
+    ) -> io::Result<ServiceSummary> {
+        let depth = self.config.pipeline_windows - 1;
+        let (solve_tx, solve_rx) = mpsc::sync_channel::<AdmittedWindow>(depth);
+        let (write_tx, write_rx) = mpsc::sync_channel::<SolvedWindow>(depth);
+        let (recycle_tx, recycle_rx) = mpsc::channel::<io::Result<String>>();
+        let mut summary = ServiceSummary::default();
+        let (read_result, solve_totals, batches, write_result) = std::thread::scope(|scope| {
+            let solver = scope.spawn(move || {
+                let mut totals = WindowStats::new(self.config.shards.max(1));
+                let mut batches = 0u64;
+                let mut prev_store = self.store.as_ref().map(|s| s.stats());
+                while let Ok(mut window) = solve_rx.recv() {
+                    if !window.batch.is_empty() {
+                        batches += 1;
+                        let stats =
+                            self.run_window(&window.batch, &mut window.buf, prev_store.take());
+                        prev_store = stats.store.clone();
+                        totals.add(&stats);
+                    }
+                    if write_tx.send(SolvedWindow { buf: window.buf }).is_err() {
+                        break; // writer gone; teardown in progress
+                    }
+                }
+                (totals, batches)
+            });
+            let writer = scope.spawn(move || {
+                let mut output = output;
+                let mut failed: Option<io::Error> = None;
+                while let Ok(window) = write_rx.recv() {
+                    if failed.is_some() {
+                        continue; // keep draining so earlier stages never block
+                    }
+                    match output
+                        .write_all(window.buf.as_bytes())
+                        .and_then(|()| output.flush())
+                    {
+                        Ok(()) => {
+                            let mut scratch = window.buf;
+                            scratch.clear();
+                            let _ = recycle_tx.send(Ok(scratch));
+                        }
+                        Err(e) => {
+                            let _ = recycle_tx.send(Err(io::Error::new(e.kind(), e.to_string())));
+                            failed = Some(e);
+                        }
+                    }
+                }
+                match failed {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            });
+            let read_result = self.admission_loop(input, &mut summary, |window, _summary| {
+                if solve_tx.send(window).is_err() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "solve stage stopped",
+                    ));
+                }
+                // Pick up a recycled scratch buffer (or the writer's
+                // error) without blocking; a fresh String otherwise.
+                match recycle_rx.try_recv() {
+                    Ok(Ok(scratch)) => Ok(scratch),
+                    Ok(Err(e)) => Err(e),
+                    Err(_) => Ok(String::new()),
+                }
+            });
+            drop(solve_tx);
+            let (totals, batches) = match solver.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            let write_result = match writer.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            (read_result, totals, batches, write_result)
+        });
+        summary.batches += batches;
+        summary.absorb_window(&solve_totals);
+        write_result?;
+        read_result?;
+        summary.cache = self.cache.stats();
+        summary.store = self.store.as_ref().map(|s| s.stats());
+        Ok(summary)
+    }
+
+    /// The shared ingest/parse stage: reads lines, admits requests, and
+    /// hands each closed window to `on_window` (which must return a —
+    /// possibly recycled — scratch `String` for the next window).
+    fn admission_loop<R: BufRead, F>(
+        &self,
+        input: R,
+        summary: &mut ServiceSummary,
+        mut on_window: F,
+    ) -> io::Result<()>
+    where
+        F: FnMut(AdmittedWindow, &mut ServiceSummary) -> io::Result<String>,
+    {
         let mut pending: Vec<Pending> = Vec::new();
+        let mut buf = String::new();
         for line in input.lines() {
             let line = line?;
             if line.trim().is_empty() {
-                self.flush(&mut pending, &mut output, &mut summary)?;
+                if !pending.is_empty() || !buf.is_empty() {
+                    let window = AdmittedWindow {
+                        buf: std::mem::take(&mut buf),
+                        batch: std::mem::take(&mut pending),
+                    };
+                    buf = on_window(window, summary)?;
+                }
                 continue;
             }
             match parse_incoming(&line) {
@@ -259,15 +501,27 @@ impl SynthesisService {
                     let id = Json::parse(&line)
                         .ok()
                         .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_owned));
-                    self.reject(id.as_deref(), &e, &mut output, &mut summary)?;
+                    self.reject(id.as_deref(), &e, &mut buf, summary);
                 }
                 Ok(Incoming::Flush) => {
-                    self.flush(&mut pending, &mut output, &mut summary)?;
+                    if !pending.is_empty() || !buf.is_empty() {
+                        let window = AdmittedWindow {
+                            buf: std::mem::take(&mut buf),
+                            batch: std::mem::take(&mut pending),
+                        };
+                        buf = on_window(window, summary)?;
+                    }
                 }
                 Ok(Incoming::Shutdown) => {
-                    self.flush(&mut pending, &mut output, &mut summary)?;
+                    if !pending.is_empty() || !buf.is_empty() {
+                        let window = AdmittedWindow {
+                            buf: std::mem::take(&mut buf),
+                            batch: std::mem::take(&mut pending),
+                        };
+                        on_window(window, summary)?;
+                    }
                     summary.shutdown = true;
-                    break;
+                    return Ok(());
                 }
                 Ok(Incoming::Cancel(id)) => {
                     let mut found = false;
@@ -280,18 +534,22 @@ impl SynthesisService {
                             kind: ErrorKind::MalformedRequest,
                             message: format!("no pending request '{id}' to cancel"),
                         };
-                        self.reject(Some(&id), &e, &mut output, &mut summary)?;
+                        self.reject(Some(&id), &e, &mut buf, summary);
                     }
                 }
                 Ok(Incoming::Synthesize(req)) => {
-                    self.admit(*req, &mut pending, &mut output, &mut summary)?;
+                    self.admit(*req, &mut pending, &mut buf, summary);
                 }
             }
         }
-        self.flush(&mut pending, &mut output, &mut summary)?;
-        summary.cache = self.cache.stats();
-        summary.store = self.store.as_ref().map(|s| s.stats());
-        Ok(summary)
+        if !pending.is_empty() || !buf.is_empty() {
+            let window = AdmittedWindow {
+                buf: std::mem::take(&mut buf),
+                batch: std::mem::take(&mut pending),
+            };
+            on_window(window, summary)?;
+        }
+        Ok(())
     }
 
     /// Serves connections from a bound TCP listener, one at a time (so
@@ -302,7 +560,8 @@ impl SynthesisService {
     /// Transient `accept` failures (`EINTR`, fd exhaustion, a connection
     /// aborted in the backlog) get a bounded backoff-retry via
     /// [`RetryPolicy`] instead of tearing the listener down; only a
-    /// persistent or non-transient error returns.
+    /// persistent or non-transient error returns. The retries taken are
+    /// surfaced in [`ServiceSummary::accept_retries`].
     ///
     /// # Errors
     ///
@@ -332,6 +591,7 @@ impl SynthesisService {
                             ],
                         );
                         obs::diagnostic_counter("svc.accept_retries", 1);
+                        total.accept_retries += 1;
                         std::thread::sleep(delay);
                         continue;
                     }
@@ -347,14 +607,15 @@ impl SynthesisService {
         }
     }
 
-    /// Writes an immediate rejection response and records it.
-    fn reject<W: Write>(
+    /// Serializes an immediate rejection response into the window buffer
+    /// and records it.
+    fn reject(
         &self,
         id: Option<&str>,
         e: &RequestError,
-        output: &mut W,
+        buf: &mut String,
         summary: &mut ServiceSummary,
-    ) -> io::Result<()> {
+    ) {
         obs::event(
             obs::Level::Warn,
             "svc.request_rejected",
@@ -368,18 +629,19 @@ impl SynthesisService {
         if e.kind == ErrorKind::Cancelled {
             summary.cancelled += 1;
         }
-        write_line(output, &response_error(id, e.kind, &e.message))
+        response_error(id, e.kind, &e.message).write(buf);
+        buf.push('\n');
     }
 
     /// Admission: reject over capacity, resolve the assay and config,
-    /// then queue.
-    fn admit<W: Write>(
+    /// assign the shard, then queue.
+    fn admit(
         &self,
         req: SynthesisRequest,
         pending: &mut Vec<Pending>,
-        output: &mut W,
+        buf: &mut String,
         summary: &mut ServiceSummary,
-    ) -> io::Result<()> {
+    ) {
         if pending.len() >= self.config.queue_capacity {
             let e = RequestError {
                 kind: ErrorKind::Overloaded,
@@ -388,15 +650,21 @@ impl SynthesisService {
                     self.config.queue_capacity
                 ),
             };
-            return self.reject(Some(&req.id), &e, output, summary);
+            return self.reject(Some(&req.id), &e, buf, summary);
         }
         let assay = match req.resolve_assay(self.config.max_ops) {
             Ok(a) => a,
-            Err(e) => return self.reject(Some(&req.id), &e, output, summary),
+            Err(e) => return self.reject(Some(&req.id), &e, buf, summary),
         };
         let config = match req.resolve_config() {
             Ok(c) => c,
-            Err(e) => return self.reject(Some(&req.id), &e, output, summary),
+            Err(e) => return self.reject(Some(&req.id), &e, buf, summary),
+        };
+        let shards = self.config.shards.max(1);
+        let shard = if shards > 1 {
+            shard::shard_of(&req.canonical_request_bytes(), shards)
+        } else {
+            0
         };
         obs::event(
             obs::Level::Info,
@@ -418,37 +686,29 @@ impl SynthesisService {
             deadline_ms: req.deadline_ms,
             admitted_at: Instant::now(),
             cancelled: false,
+            shard,
         });
-        Ok(())
     }
 
-    /// Closes the window: runs the batch on the worker pool and writes
-    /// the responses in admission order.
-    fn flush<W: Write>(
+    /// The solve stage: dispatches the batch across shard pools, merges
+    /// the results back in admission order, and appends the serialized
+    /// responses to `buf`. Returns the window's deterministic counters.
+    fn run_window(
         &self,
-        pending: &mut Vec<Pending>,
-        output: &mut W,
-        summary: &mut ServiceSummary,
-    ) -> io::Result<()> {
-        if pending.is_empty() {
-            return Ok(());
-        }
-        let batch = std::mem::take(pending);
+        batch: &[Pending],
+        buf: &mut String,
+        prev_store: Option<StoreStats>,
+    ) -> WindowStats {
         obs::event(
             obs::Level::Info,
             "svc.batch_flush",
             &[("size", obs::Value::U64(batch.len() as u64))],
         );
-        summary.batches += 1;
-        let results = if self.config.workers == 0 {
-            mfhls_par::par_map(&batch, |p| self.solve_one(p))
-        } else {
-            mfhls_par::with_threads(self.config.workers, || {
-                mfhls_par::par_map(&batch, |p| self.solve_one(p))
-            })
-        };
-        for (p, (line, outcome)) in batch.iter().zip(&results) {
-            match outcome {
+        let shards = self.config.shards.max(1);
+        let mut stats = WindowStats::new(shards);
+        let results = self.solve_batch(batch);
+        for (p, solved) in batch.iter().zip(&results) {
+            match &solved.outcome {
                 Outcome::Solved => {
                     obs::event(
                         obs::Level::Info,
@@ -456,7 +716,7 @@ impl SynthesisService {
                         &[("id", obs::Value::Str(&p.id))],
                     );
                     obs::counter("svc.solved", 1);
-                    summary.solved += 1;
+                    stats.solved += 1;
                 }
                 Outcome::Rejected(kind) => {
                     obs::event(
@@ -468,13 +728,18 @@ impl SynthesisService {
                         ],
                     );
                     obs::counter("svc.rejected", 1);
-                    summary.rejected += 1;
+                    stats.rejected += 1;
                     if *kind == ErrorKind::Cancelled {
-                        summary.cancelled += 1;
+                        stats.cancelled += 1;
                     }
                 }
             }
-            write_line(output, line)?;
+            let per_shard = &mut stats.shards[p.shard % shards];
+            per_shard.requests += 1;
+            per_shard.hits += solved.cache_hits;
+            per_shard.misses += solved.cache_misses;
+            solved.line.write(buf);
+            buf.push('\n');
         }
         // Cache movement is timing-dependent under the shared cache, so
         // it goes to the diagnostic class (excluded from determinism
@@ -485,14 +750,14 @@ impl SynthesisService {
         let (window_hits, window_misses) = self.cache.take_window_counters();
         obs::diagnostic_counter("svc.cache_hits", window_hits as i64);
         obs::diagnostic_counter("svc.cache_misses", window_misses as i64);
-        summary.window_hits += window_hits;
-        summary.window_misses += window_misses;
+        stats.window_hits = window_hits;
+        stats.window_misses = window_misses;
         // The store moves while solve_one runs muted, so its counters are
-        // re-emitted here as this window's deltas against the snapshot
-        // carried in the summary.
+        // re-emitted here as this window's deltas against the previous
+        // window's snapshot.
         if let Some(store) = &self.store {
             let now = store.stats();
-            let prev = summary.store.take().unwrap_or_default();
+            let prev = prev_store.unwrap_or_default();
             obs::diagnostic_counter("store_hit", (now.hits - prev.hits) as i64);
             obs::diagnostic_counter("store_miss", (now.misses - prev.misses) as i64);
             obs::diagnostic_counter("store_appended", (now.appended - prev.appended) as i64);
@@ -502,39 +767,91 @@ impl SynthesisService {
             if now.degraded && !prev.degraded {
                 obs::diagnostic_counter("store_degraded", 1);
             }
-            summary.store = Some(now);
+            stats.store = Some(now);
         }
-        output.flush()
+        stats
+    }
+
+    /// Shard dispatch + ordered merge: partitions the batch by each
+    /// request's shard, solves every non-empty shard on its own scoped
+    /// thread (each with its own `mfhls-par` pool), and reassembles the
+    /// results in admission order. With one shard this degenerates to a
+    /// single `par_map` on the calling thread.
+    fn solve_batch(&self, batch: &[Pending]) -> Vec<SolvedOne> {
+        let shards = self.config.shards.max(1);
+        if shards == 1 {
+            return self.solve_slice(&batch.iter().collect::<Vec<_>>());
+        }
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (i, p) in batch.iter().enumerate() {
+            by_shard[p.shard % shards].push(i);
+        }
+        let mut merged: Vec<Option<SolvedOne>> = Vec::with_capacity(batch.len());
+        merged.resize_with(batch.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = by_shard
+                .iter()
+                .filter(|indices| !indices.is_empty())
+                .map(|indices| {
+                    let handle = scope.spawn(move || {
+                        let slice: Vec<&Pending> = indices.iter().map(|&i| &batch[i]).collect();
+                        self.solve_slice(&slice)
+                    });
+                    (indices, handle)
+                })
+                .collect();
+            for (indices, handle) in handles {
+                let solved = match handle.join() {
+                    Ok(v) => v,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                };
+                for (&i, s) in indices.iter().zip(solved) {
+                    merged[i] = Some(s);
+                }
+            }
+        });
+        merged
+            .into_iter()
+            .map(|s| s.expect("every admitted request belongs to exactly one shard"))
+            .collect()
+    }
+
+    /// Runs one shard's slice on an `mfhls-par` pool (the configured
+    /// worker count, or the pool default at 0).
+    fn solve_slice(&self, slice: &[&Pending]) -> Vec<SolvedOne> {
+        if self.config.workers == 0 {
+            mfhls_par::par_map(slice, |p| self.solve_one(p))
+        } else {
+            mfhls_par::with_threads(self.config.workers, || {
+                mfhls_par::par_map(slice, |p| self.solve_one(p))
+            })
+        }
     }
 
     /// Solves one admitted request on a worker thread. Muted: a request's
     /// synthesis records must not leak into the service's own capture
     /// (par_map runs inline on the serve thread at 1 worker). The `trace`
     /// artifact gets its own scoped capture instead.
-    fn solve_one(&self, p: &Pending) -> (Json, Outcome) {
+    fn solve_one(&self, p: &Pending) -> SolvedOne {
         let _mute = obs::muted();
+        let rejected = |kind: ErrorKind, message: &str| SolvedOne {
+            line: response_error(Some(&p.id), kind, message),
+            outcome: Outcome::Rejected(kind),
+            cache_hits: 0,
+            cache_misses: 0,
+        };
         if p.cancelled {
-            return (
-                response_error(
-                    Some(&p.id),
-                    ErrorKind::Cancelled,
-                    "cancelled before execution",
-                ),
-                Outcome::Rejected(ErrorKind::Cancelled),
-            );
+            return rejected(ErrorKind::Cancelled, "cancelled before execution");
         }
         if let Some(ms) = p.deadline_ms {
             // `0` is deterministically expired; positive deadlines are
-            // wall-clock (best effort, like any timeout).
+            // wall-clock (best effort, like any timeout — under
+            // pipelining a window may wait behind its predecessor).
             let expired = ms == 0 || u128::from(ms) <= p.admitted_at.elapsed().as_millis();
             if expired {
-                return (
-                    response_error(
-                        Some(&p.id),
-                        ErrorKind::DeadlineExceeded,
-                        &format!("deadline of {ms}ms passed before execution"),
-                    ),
-                    Outcome::Rejected(ErrorKind::DeadlineExceeded),
+                return rejected(
+                    ErrorKind::DeadlineExceeded,
+                    &format!("deadline of {ms}ms passed before execution"),
                 );
             }
         }
@@ -555,14 +872,17 @@ impl SynthesisService {
             (synthesizer.run(&p.assay), None)
         };
         match outcome {
-            Ok(result) => (
-                response_ok(&p.id, &p.assay, &result, p.artifacts, fingerprint),
-                Outcome::Solved,
-            ),
-            Err(e) => (
-                response_error(Some(&p.id), ErrorKind::SynthesisError, &e.to_string()),
-                Outcome::Rejected(ErrorKind::SynthesisError),
-            ),
+            Ok(result) => {
+                let cache_hits = result.iterations.iter().map(|it| it.cache_hits).sum();
+                let cache_misses = result.iterations.iter().map(|it| it.cache_misses).sum();
+                SolvedOne {
+                    line: response_ok(&p.id, &p.assay, &result, p.artifacts, fingerprint),
+                    outcome: Outcome::Solved,
+                    cache_hits,
+                    cache_misses,
+                }
+            }
+            Err(e) => rejected(ErrorKind::SynthesisError, &e.to_string()),
         }
     }
 }
@@ -613,13 +933,6 @@ fn is_transient_accept_error(e: &io::Error) -> bool {
             | io::ErrorKind::ConnectionAborted
             | io::ErrorKind::ConnectionReset
     ) || matches!(e.raw_os_error(), Some(23 | 24)) // ENFILE | EMFILE
-}
-
-fn write_line<W: Write>(output: &mut W, line: &Json) -> io::Result<()> {
-    let mut text = String::new();
-    line.write(&mut text);
-    text.push('\n');
-    output.write_all(text.as_bytes())
 }
 
 #[cfg(test)]
@@ -813,6 +1126,152 @@ mod tests {
         assert_eq!(second.window_hit_rate(), 0.0);
         // Lifetime stats still accumulate for capacity accounting.
         assert!(second.cache.hits >= first.window_hits);
+    }
+
+    #[test]
+    fn pipelined_and_inline_streams_are_byte_identical() {
+        // Three windows mixing solved requests, a malformed line, an
+        // overload rejection, and a cancel.
+        let mut input = String::new();
+        for w in 0..3 {
+            for k in 0..4 {
+                input.push_str(&req(&format!("w{w}k{k}"), 1 + (w + k) % 3));
+                input.push('\n');
+            }
+            input.push_str("not json at all\n");
+            if w == 1 {
+                input.push_str("{\"type\":\"cancel\",\"id\":\"w1k2\"}\n");
+            }
+            input.push('\n');
+        }
+        let mut streams = Vec::new();
+        for pipeline_windows in [1, 2, 4] {
+            let service = SynthesisService::new(ServiceConfig {
+                pipeline_windows,
+                queue_capacity: 3,
+                ..ServiceConfig::default()
+            });
+            let (out, summary) = run(&service, &input);
+            assert_eq!(summary.batches, 3, "windows at depth {pipeline_windows}");
+            assert_eq!(summary.cancelled, 1);
+            streams.push(out);
+        }
+        assert_eq!(streams[0], streams[1]);
+        assert_eq!(streams[0], streams[2]);
+    }
+
+    #[test]
+    fn sharded_streams_are_byte_identical_and_counted() {
+        let mut input = String::new();
+        for k in 0..12 {
+            input.push_str(&req(&format!("r{k}"), 1 + k % 4));
+            input.push('\n');
+        }
+        let baseline = {
+            let service = SynthesisService::new(ServiceConfig {
+                shards: 1,
+                pipeline_windows: 1,
+                ..ServiceConfig::default()
+            });
+            run(&service, &input).0
+        };
+        for shards in [2usize, 4] {
+            let service = SynthesisService::new(ServiceConfig {
+                shards,
+                ..ServiceConfig::default()
+            });
+            let (out, summary) = run(&service, &input);
+            assert_eq!(out, baseline, "shards={shards}");
+            assert_eq!(summary.shards.len(), shards);
+            let total: u64 = summary.shards.iter().map(|s| s.requests).sum();
+            assert_eq!(total, 12, "every request lands on a shard: {summary:?}");
+            assert!(
+                summary.shards.iter().filter(|s| s.requests > 0).count() > 1,
+                "12 distinct requests should spread over {shards} shards: {summary:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_writer_error_surfaces() {
+        struct FailingWriter {
+            after: usize,
+        }
+        impl Write for FailingWriter {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                if self.after == 0 {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "sink closed"));
+                }
+                self.after -= 1;
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let service = SynthesisService::new(ServiceConfig::default());
+        // Many windows so the reader is guaranteed to observe the
+        // writer's failure (or finish input, either way the error must
+        // surface from serve()).
+        let mut input = String::new();
+        for k in 0..8 {
+            input.push_str(&req(&format!("r{k}"), 1));
+            input.push_str("\n\n");
+        }
+        let err = service
+            .serve(
+                io::BufReader::new(input.as_bytes()),
+                FailingWriter { after: 1 },
+            )
+            .expect_err("writer failure must propagate");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn summary_display_surfaces_shards_and_retries() {
+        let mut summary = ServiceSummary {
+            accepted: 4,
+            solved: 4,
+            batches: 1,
+            shards: vec![
+                ShardStats {
+                    requests: 3,
+                    hits: 2,
+                    misses: 1,
+                },
+                ShardStats {
+                    requests: 1,
+                    hits: 0,
+                    misses: 2,
+                },
+            ],
+            accept_retries: 2,
+            ..ServiceSummary::default()
+        };
+        let line = summary.to_string();
+        assert!(line.contains("shards [req/hit] 3/2 1/0"), "{line}");
+        assert!(line.contains("2 accept retries"), "{line}");
+        // merge() folds shard counters element-wise and adds retries.
+        let other = ServiceSummary {
+            shards: vec![
+                ShardStats::default(),
+                ShardStats {
+                    requests: 5,
+                    hits: 1,
+                    misses: 0,
+                },
+            ],
+            accept_retries: 1,
+            ..ServiceSummary::default()
+        };
+        summary.merge(&other);
+        assert_eq!(summary.shards[1].requests, 6);
+        assert_eq!(summary.shards[1].hits, 1);
+        assert_eq!(summary.accept_retries, 3);
+        // Single-shard summaries keep the line free of shard noise.
+        let quiet = ServiceSummary::default().to_string();
+        assert!(!quiet.contains("shards"), "{quiet}");
+        assert!(!quiet.contains("retries"), "{quiet}");
     }
 
     #[test]

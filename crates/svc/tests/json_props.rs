@@ -1,0 +1,126 @@
+//! Seeded property tests of the `mfhls-svc::json` escape/unescape path.
+//!
+//! The serve plane serializes every response through
+//! [`Json::write`]/[`write_json_string`] into a shared scratch buffer
+//! recycled across windows; this suite pins that the buffer-reuse
+//! rewrite cannot regress escaping. Adversarial inputs are generated
+//! from the vendored SplitMix64 (same seeds on every run and platform):
+//! control characters, quotes and backslashes, multi-byte UTF-8,
+//! surrogate-adjacent code points (U+D7FF, U+E000, U+FFFD, U+10FFFF),
+//! and documents nested to the parser's depth bound.
+
+use mfhls_graph::rng::SplitMix64;
+use mfhls_svc::json::{write_json_string, Json, MAX_DEPTH};
+
+/// Code points the escaper must handle exactly: every control char, the
+/// two escape triggers, boundary and max code points, and the characters
+/// directly adjacent to the UTF-16 surrogate range (the closest valid
+/// scalar values to the \uD800..\uDFFF escapes the parser must reject).
+const ADVERSARIAL: &[char] = &[
+    '\u{0}',
+    '\u{1}',
+    '\u{8}',
+    '\u{9}',
+    '\u{A}',
+    '\u{C}',
+    '\u{D}',
+    '\u{1F}',
+    '"',
+    '\\',
+    '/',
+    '\u{7F}',
+    '\u{80}',
+    '\u{7FF}',
+    '\u{800}',
+    '\u{D7FF}',
+    '\u{E000}',
+    '\u{FFFD}',
+    '\u{FFFF}',
+    '\u{10000}',
+    '\u{10FFFF}',
+    'a',
+    ' ',
+];
+
+fn adversarial_string(rng: &mut SplitMix64) -> String {
+    let len = rng.gen_index(0, 48);
+    let mut s = String::new();
+    for _ in 0..len {
+        if rng.gen_bool(0.7) {
+            s.push(ADVERSARIAL[rng.gen_index(0, ADVERSARIAL.len())]);
+        } else {
+            // Any valid scalar value, skipping the surrogate gap.
+            let cp = rng.gen_range_u64(0, 0x11_0000 - 0x800) as u32;
+            let cp = if cp >= 0xD800 { cp + 0x800 } else { cp };
+            s.push(char::from_u32(cp).expect("surrogate gap skipped"));
+        }
+    }
+    s
+}
+
+#[test]
+fn escape_unescape_round_trips_adversarial_strings() {
+    let mut rng = SplitMix64::seed_from_u64(0x5ECA_9E00);
+    for case in 0..2000 {
+        let original = adversarial_string(&mut rng);
+        let mut wire = String::new();
+        write_json_string(&original, &mut wire);
+        let parsed = Json::parse(&wire)
+            .unwrap_or_else(|e| panic!("case {case}: escaped form failed to parse: {e}\n{wire}"));
+        assert_eq!(
+            parsed.as_str(),
+            Some(original.as_str()),
+            "case {case}: round trip changed the string"
+        );
+        // The wire form never carries a raw control character or an
+        // unescaped quote/backslash that could break NDJSON framing.
+        let interior = &wire[1..wire.len() - 1];
+        assert!(
+            !interior.chars().any(|c| c < '\u{20}'),
+            "case {case}: raw control char on the wire: {wire:?}"
+        );
+    }
+}
+
+#[test]
+fn buffer_reuse_cannot_bleed_between_serializations() {
+    // The serve plane reuses one String scratch across windows; writing
+    // into a dirty-then-cleared buffer must produce the same bytes as a
+    // fresh one.
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF);
+    let mut scratch = String::new();
+    for _ in 0..500 {
+        let value = Json::Object(vec![
+            ("id".to_owned(), Json::Str(adversarial_string(&mut rng))),
+            ("msg".to_owned(), Json::Str(adversarial_string(&mut rng))),
+        ]);
+        let mut fresh = String::new();
+        value.write(&mut fresh);
+        scratch.clear();
+        value.write(&mut scratch);
+        assert_eq!(fresh, scratch);
+        assert_eq!(Json::parse(&scratch).expect("round trip"), value);
+    }
+}
+
+#[test]
+fn deep_nesting_round_trips_up_to_the_bound() {
+    // A document exactly at MAX_DEPTH parses and round-trips; one past
+    // the bound is rejected (the parser's stack guard), so adversarial
+    // nesting can never overflow the serve thread.
+    let mut rng = SplitMix64::seed_from_u64(7);
+    let mut value = Json::Str(adversarial_string(&mut rng));
+    for _ in 0..MAX_DEPTH {
+        value = Json::Array(vec![value]);
+    }
+    let mut wire = String::new();
+    value.write(&mut wire);
+    let parsed = Json::parse(&wire).expect("depth at the bound parses");
+    assert_eq!(parsed, value);
+
+    let too_deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+    assert!(
+        Json::parse(&too_deep).is_err(),
+        "nesting past MAX_DEPTH must be rejected"
+    );
+}

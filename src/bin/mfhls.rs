@@ -13,8 +13,9 @@
 //!                             [--pad-factor F] [--threads N] [--exact]
 //! mfhls export-lp protocol.mfa [--layer K] [--out FILE]
 //! mfhls trace-check trace.jsonl
-//! mfhls serve [--workers N] [--queue N] [--cache-entries N] [--max-ops N]
-//!             [--no-shared-cache] [--store DIR] [--tcp ADDR] [--once]
+//! mfhls serve [--workers N] [--shards S] [--window D] [--queue N]
+//!             [--cache-entries N] [--max-ops N] [--no-shared-cache]
+//!             [--store DIR] [--tcp ADDR] [--once]
 //! mfhls bench
 //! ```
 //!
@@ -24,9 +25,11 @@
 //! `--format text|json` to emit their result as one `mfhls-api/v1` JSON
 //! object instead of prose. `serve` runs the batched synthesis service of
 //! `mfhls-svc` over stdin/stdout NDJSON (or a local TCP listener),
-//! sharing a bounded layer cache across requests. Unknown flags and flags
-//! missing their value are rejected with a targeted error and a nonzero
-//! exit code.
+//! sharding each window over `--shards` worker-groups, pipelining up to
+//! `--window` admission windows through ingest/solve/write stages, and
+//! sharing a bounded layer cache across requests. Unknown flags, flags
+//! missing their value, and zero/absurd sizing values are rejected with a
+//! targeted error naming the flag and a nonzero exit code.
 
 use mfhls::core::recovery::{resynthesize_suffix, RetryPolicy};
 use mfhls::core::{analysis, export, ilp_model, render};
@@ -91,8 +94,9 @@ fn print_usage() {
          mfhls export-lp <file.mfa> [--layer K] [--out FILE]\n  \
          mfhls graph <file.mfa> [--layers] [--out FILE]\n  \
          mfhls trace-check <trace.jsonl>\n  \
-         mfhls serve [--workers N] [--queue N] [--cache-entries N] [--max-ops N]\n             \
-         [--no-shared-cache] [--store DIR] [--tcp ADDR] [--once]\n  \
+         mfhls serve [--workers N] [--shards S] [--window D] [--queue N]\n             \
+         [--cache-entries N] [--max-ops N] [--no-shared-cache]\n             \
+         [--store DIR] [--tcp ADDR] [--once]\n  \
          mfhls bench\n\n\
          OPTIONS:\n  \
          --format F    (synth|simulate|faultsim) text (default) or json — one\n                \
@@ -108,7 +112,15 @@ fn print_usage() {
          --store DIR   (serve) persist solved layers to DIR (mfhls-store/v1\n                \
          segments) so a restarted server warms instantly; corrupt\n                \
          or unwritable stores degrade to memory-only, never fail\n                \
-         a request."
+         a request.\n  \
+         --workers N   (serve) worker threads per shard pool; 0 (the\n                \
+         default) = auto, i.e. MFHLS_THREADS, then the CPU count.\n  \
+         --shards S    (serve) shard worker-groups per window (default 1);\n                \
+         requests route by a stable FNV hash of their canonical\n                \
+         bytes. Responses are byte-identical at any setting.\n  \
+         --window D    (serve) admission windows in flight across the\n                \
+         ingest/solve/write pipeline (default 2; 1 = pipelining\n                \
+         off). Responses are byte-identical at any setting."
     );
 }
 
@@ -767,6 +779,8 @@ fn trace_check(args: &[String]) -> Result<(), CliError> {
 
 const SERVE_FLAGS: &[(&str, bool)] = &[
     ("--workers", true),
+    ("--shards", true),
+    ("--window", true),
     ("--queue", true),
     ("--cache-entries", true),
     ("--max-ops", true),
@@ -775,6 +789,11 @@ const SERVE_FLAGS: &[(&str, bool)] = &[
     ("--tcp", true),
     ("--once", false),
 ];
+
+/// Upper sanity bound on `--shards`/`--window`/`--queue`: values past
+/// this are far beyond any useful setting on one machine and almost
+/// certainly a typo (e.g. a byte size pasted into the wrong flag).
+const SERVE_ABSURD: usize = 65_536;
 
 /// Runs the `mfhls-svc` batched synthesis service. NDJSON requests come
 /// from stdin (responses on stdout) or, with `--tcp ADDR`, from local TCP
@@ -785,10 +804,27 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let flags = Flags { args };
     let trace = trace_opts(&flags)?;
     let defaults = mfhls::svc::ServiceConfig::default();
-    let queue_capacity = flags.parsed("--queue", defaults.queue_capacity)?;
-    if queue_capacity == 0 {
-        return Err("--queue wants at least 1".into());
-    }
+    // Zero or absurd values on the serve-plane sizing flags are always a
+    // mistake; fail at parse time naming the flag rather than spinning up
+    // a degenerate service.
+    let bounded = |flag: &str, value: usize| -> Result<usize, CliError> {
+        if value == 0 {
+            return Err(format!("flag '{flag}' of 'mfhls serve' wants at least 1").into());
+        }
+        if value > SERVE_ABSURD {
+            return Err(format!(
+                "flag '{flag}' of 'mfhls serve' wants at most {SERVE_ABSURD} (got {value})"
+            )
+            .into());
+        }
+        Ok(value)
+    };
+    let queue_capacity = bounded("--queue", flags.parsed("--queue", defaults.queue_capacity)?)?;
+    let shards = bounded("--shards", flags.parsed("--shards", defaults.shards)?)?;
+    let pipeline_windows = bounded(
+        "--window",
+        flags.parsed("--window", defaults.pipeline_windows)?,
+    )?;
     let max_ops = flags.parsed("--max-ops", defaults.max_ops)?;
     if max_ops == 0 {
         return Err("--max-ops wants at least 1".into());
@@ -799,6 +835,8 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         cache_entries: flags.parsed("--cache-entries", defaults.cache_entries)?,
         shared_cache: !flags.has("--no-shared-cache"),
         max_ops,
+        shards,
+        pipeline_windows,
     };
     let service = match flags.value("--store") {
         Some(dir) => {
@@ -825,9 +863,11 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             service.serve_listener(&listener, flags.has("--once"))?
         }
         None => {
+            // stdout() rather than stdout().lock(): the pipelined serve
+            // plane moves the writer onto its write stage, so it must be
+            // Send (StdoutLock is not). Stdout locks per write anyway.
             let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            service.serve(stdin.lock(), stdout.lock())?
+            service.serve(stdin.lock(), std::io::stdout())?
         }
     };
     finish_trace_quietly(&trace, true)?;

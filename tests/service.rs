@@ -2,11 +2,14 @@
 //!
 //! The service's determinism contract extends the workspace-wide one
 //! pinned in `tests/determinism.rs`: NDJSON responses must be
-//! **byte-identical** at any worker count, with the shared cross-request
-//! layer cache on or off, because the cache is a pure accelerator and
-//! batches reduce in admission order. These tests drive a large in-flight
-//! window (the ≥64-request acceptance criterion), typed rejection paths,
-//! the cache eviction bound, and the observability counters.
+//! **byte-identical** at any worker count, at any shard count, with the
+//! window pipeline on or off, and with the shared cross-request layer
+//! cache on or off — because the cache is a pure accelerator, shard
+//! results merge in admission order, and windows flow through the
+//! pipeline in FIFO order. These tests drive a large in-flight window
+//! (the ≥64-request acceptance criterion), the full shards × workers ×
+//! pipelining matrix, typed rejection paths, the cache eviction bound,
+//! and the observability counters.
 
 use mfhls::svc::{Json, ServiceConfig, ServiceSummary, SynthesisService, VERSION};
 use std::io::BufReader;
@@ -338,6 +341,79 @@ fn rejection_paths_are_typed_and_worker_invariant() {
     assert_eq!(summary.rejected, 5);
     assert_eq!(summary.cancelled, 1);
     assert_eq!(summary.solved, 2);
+}
+
+#[test]
+fn response_stream_is_byte_identical_across_shard_worker_pipeline_matrix() {
+    // The acceptance matrix of the sharded, pipelined serve plane:
+    // --shards {1,2,4} × --workers {0,1,4} × pipelining on/off must all
+    // produce the same bytes. Three windows of mixed traffic (varied
+    // protocols, artifacts, a malformed line, a cancel, a zero deadline)
+    // so shard routing, solve-time rejections, and the window pipeline
+    // all engage.
+    let mut input = String::new();
+    for window in 0..3 {
+        for i in 0..8 {
+            let mut extra = Vec::new();
+            if i % 4 == 1 {
+                extra.push((
+                    "artifacts",
+                    Json::Array(vec![
+                        Json::Str("stats".to_owned()),
+                        Json::Str("schedule".to_owned()),
+                    ]),
+                ));
+            }
+            if window == 2 && i == 6 {
+                extra.push(("deadline_ms", Json::Int(0)));
+            }
+            input.push_str(&request(
+                &format!("w{window}r{i}"),
+                window * 8 + i,
+                1 + i % 4,
+                extra,
+            ));
+            input.push('\n');
+        }
+        if window == 0 {
+            input.push_str("definitely not json\n");
+        }
+        if window == 1 {
+            input.push_str("{\"type\":\"cancel\",\"id\":\"w1r3\"}\n");
+        }
+        input.push('\n');
+    }
+    let mut baseline: Option<(String, u64)> = None;
+    for shards in [1usize, 2, 4] {
+        for workers in [0usize, 1, 4] {
+            for pipeline_windows in [1usize, 2] {
+                let (out, summary) = serve(
+                    ServiceConfig {
+                        shards,
+                        workers,
+                        pipeline_windows,
+                        ..ServiceConfig::default()
+                    },
+                    &input,
+                );
+                assert_eq!(summary.batches, 3);
+                match &baseline {
+                    None => baseline = Some((out, summary.solved)),
+                    Some((bytes, solved)) => {
+                        assert_eq!(
+                            &out, bytes,
+                            "stream diverged at shards={shards} workers={workers} \
+                             pipeline_windows={pipeline_windows}"
+                        );
+                        assert_eq!(summary.solved, *solved);
+                    }
+                }
+                // Every request is accounted to exactly one shard.
+                let routed: u64 = summary.shards.iter().map(|s| s.requests).sum();
+                assert_eq!(routed, summary.solved + (summary.rejected - 1)); // -1: the malformed line never reaches a shard
+            }
+        }
+    }
 }
 
 #[test]
