@@ -14,17 +14,21 @@
 //!     --requests 2000 --shards 4 --mode stdin --out BENCH_serve.json
 //! ```
 //!
-//! The workload is a pure function of `--seed`: `--responses FILE`
-//! dumps the response stream so two invocations at different
-//! `--shards`/`--window` settings can be diffed byte-for-byte (CI's
-//! `serve-bench-smoke` job does exactly that).
+//! The workload is a pure function of `--seed` and `--mix`:
+//! `--responses FILE` dumps the response stream so two invocations at
+//! different `--shards`/`--window`/`--no-cache` settings can be diffed
+//! byte-for-byte (CI's `serve-bench-smoke` and `delta-cache-smoke` jobs
+//! do exactly that). `--mix dup,neardup,err,oversized` sets the workload
+//! composition as whole percentages summing to 100; the near-duplicate
+//! arm mixes re-labelled, op-renamed, and op-permuted variants so the
+//! delta cache *and* the canonical layer index both see traffic.
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, Read, Write};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use mfhls_bench::report::{LatencyReport, ServeReport, ServeRun};
+use mfhls_bench::report::{LatencyReport, MixReport, ServeReport, ServeRun};
 use mfhls_graph::rng::SplitMix64;
 use mfhls_obs::Log2Histogram;
 use mfhls_svc::{Json, ServiceConfig, SynthesisService};
@@ -39,6 +43,8 @@ struct Args {
     workers: usize,
     window: usize,
     seed: u64,
+    mix: MixReport,
+    no_cache: bool,
     mode: String,
     out: String,
     responses: Option<String>,
@@ -52,6 +58,13 @@ fn parse_args() -> Result<Args, String> {
         workers: 0,
         window: 2,
         seed: 0x5EED_10AD,
+        mix: MixReport {
+            dup: 60,
+            neardup: 25,
+            err: 10,
+            oversized: 5,
+        },
+        no_cache: false,
         mode: "stdin".into(),
         out: "BENCH_serve.json".into(),
         responses: None,
@@ -69,6 +82,8 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = value(&flag)?.parse().map_err(|e| format!("{e}"))?,
             "--window" => args.window = parse_num(&flag, &value(&flag)?)?,
             "--seed" => args.seed = value(&flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--mix" => args.mix = parse_mix(&value(&flag)?)?,
+            "--no-cache" => args.no_cache = true,
             "--mode" => args.mode = value(&flag)?,
             "--out" => args.out = value(&flag)?,
             "--responses" => args.responses = Some(value(&flag)?),
@@ -82,6 +97,37 @@ fn parse_args() -> Result<Args, String> {
         ));
     }
     Ok(args)
+}
+
+/// Parses `--mix dup,neardup,err,oversized`: four whole percentages
+/// summing to exactly 100 (e.g. the default `60,25,10,5`).
+fn parse_mix(value: &str) -> Result<MixReport, String> {
+    let parts: Vec<&str> = value.split(',').collect();
+    if parts.len() != 4 {
+        return Err(format!(
+            "flag '--mix' wants 4 comma-separated percentages \
+             (dup,neardup,err,oversized), got {} in '{value}'",
+            parts.len()
+        ));
+    }
+    let mut pct = [0u64; 4];
+    for (slot, part) in pct.iter_mut().zip(&parts) {
+        *slot = part.trim().parse().map_err(|_| {
+            format!("flag '--mix' wants whole percentages, got '{part}' in '{value}'")
+        })?;
+    }
+    let total: u64 = pct.iter().sum();
+    if total != 100 {
+        return Err(format!(
+            "flag '--mix' wants percentages summing to 100, got {total} in '{value}'"
+        ));
+    }
+    Ok(MixReport {
+        dup: pct[0],
+        neardup: pct[1],
+        err: pct[2],
+        oversized: pct[3],
+    })
 }
 
 fn parse_num(flag: &str, value: &str) -> Result<usize, String> {
@@ -103,11 +149,12 @@ struct Window {
     responses: usize,
 }
 
-/// The seeded workload: ~60% exact duplicates from a small base pool
-/// (exercising the shared layer cache), ~25% near-duplicates (same assay
-/// under a fresh id — same layers, different shard route), ~10% parse
-/// errors, ~5% oversized assays rejected at admission.
-fn generate_workload(requests: usize, batch: usize, seed: u64) -> Vec<Window> {
+/// The seeded workload, composed per `--mix` (default 60/25/10/5):
+/// exact duplicates from a small base pool (exercising the shared layer
+/// cache), near-duplicates (re-labelled, op-renamed, and op-permuted
+/// variants — see [`neardup_line`]), parse errors, and oversized assays
+/// rejected at admission.
+fn generate_workload(requests: usize, batch: usize, seed: u64, mix: MixReport) -> Vec<Window> {
     let mut rng = SplitMix64::seed_from_u64(seed);
     let pool = base_pool();
     let mut windows = Vec::new();
@@ -116,16 +163,13 @@ fn generate_workload(requests: usize, batch: usize, seed: u64) -> Vec<Window> {
         responses: 0,
     };
     for k in 0..requests {
-        let roll = rng.next_f64();
-        let line = if roll < 0.60 {
+        let roll = rng.next_f64() * 100.0;
+        let line = if roll < mix.dup as f64 {
             // Exact duplicate: same id, same content, same shard.
             pool[rng.gen_index(0, pool.len())].clone()
-        } else if roll < 0.85 {
-            // Near-duplicate: same assay, fresh id. The layer cache still
-            // hits, but the canonical bytes (and hence the shard) differ.
-            let (name, assay) = pool_assay(&pool, &mut rng);
-            request_line(&format!("{name}-dup{k}"), assay)
-        } else if roll < 0.95 {
+        } else if roll < (mix.dup + mix.neardup) as f64 {
+            neardup_line(k, &pool, &mut rng)
+        } else if roll < (mix.dup + mix.neardup + mix.err) as f64 {
             // Parse errors: malformed framing the admitter must reject
             // without disturbing the rest of the window.
             match rng.gen_index(0, 3) {
@@ -161,17 +205,23 @@ fn generate_workload(requests: usize, batch: usize, seed: u64) -> Vec<Window> {
     windows
 }
 
+/// The (ops, fan) shapes of the inline-DSL pool assays: a chain of `ops`
+/// operations, the last `fan` of which hang off the first operation.
+/// Near-duplicate variants are cut from the same list so their shapes
+/// (and per-layer structures) match something the pool already solved.
+const DSL_SHAPES: &[(usize, usize)] = &[(2, 1), (3, 1), (4, 2), (5, 2), (6, 3), (3, 3)];
+
 /// The distinct requests duplicates are drawn from: small inline-DSL
 /// chains/fans plus the named benchmark assays at bench-scale sizes.
 fn base_pool() -> Vec<String> {
     let mut pool = Vec::new();
-    for (k, (ops, fan)) in [(2, 1), (3, 1), (4, 2), (5, 2), (6, 3), (3, 3)]
-        .iter()
-        .enumerate()
-    {
+    for (k, (ops, fan)) in DSL_SHAPES.iter().enumerate() {
         pool.push(request_line(
             &format!("dsl{k}"),
-            Json::Object(vec![("dsl".to_owned(), Json::Str(dsl_chain(*ops, *fan)))]),
+            Json::Object(vec![(
+                "dsl".to_owned(),
+                Json::Str(dsl_chain(*ops, *fan, "p", 0)),
+            )]),
         ));
     }
     for (k, (name, scale)) in [
@@ -196,22 +246,90 @@ fn base_pool() -> Vec<String> {
 
 /// A small deterministic DSL assay: a chain of `ops` operations, the
 /// last `fan` of which hang off the first operation instead.
-fn dsl_chain(ops: usize, fan: usize) -> String {
+///
+/// `prefix` renames every operation (op names never influence solving,
+/// so a renamed chain is byte-different on the wire yet structurally
+/// identical — the delta cache's case). `rotate` shifts the
+/// *declaration order* of the independent fan operations while keeping
+/// names, durations, and edges: the graph is unchanged but operations
+/// get different ids, so exact layer keys differ while the canonical
+/// (structure-hashed) keys still match — the canonical index's case.
+fn dsl_chain(ops: usize, fan: usize, prefix: &str, rotate: usize) -> String {
     let mut s = String::from("assay \"load\"\n");
-    for k in 0..ops {
+    let op_line = |k: usize| {
         let dur = 2 + (k * 3) % 7;
         if k == 0 {
-            s.push_str(&format!("op p0 {{ duration: {dur}m }}\n"));
+            format!("op {prefix}0 {{ duration: {dur}m }}\n")
         } else if k + fan >= ops {
-            s.push_str(&format!("op p{k} {{ duration: {dur}m after: [p0] }}\n"));
+            format!("op {prefix}{k} {{ duration: {dur}m after: [{prefix}0] }}\n")
         } else {
-            s.push_str(&format!(
-                "op p{k} {{ duration: >= {dur}m after: [p{}] }}\n",
+            format!(
+                "op {prefix}{k} {{ duration: >= {dur}m after: [{prefix}{}] }}\n",
                 k - 1
-            ));
+            )
         }
+    };
+    // Op 0 is always the root even when `fan == ops` claims it, so the
+    // rotatable set starts no earlier than index 1.
+    let first_fan = (ops - fan).max(1);
+    let nfan = ops - first_fan;
+    for k in 0..first_fan {
+        s.push_str(&op_line(k));
+    }
+    for j in 0..nfan {
+        s.push_str(&op_line(first_fan + (j + rotate) % nfan));
     }
     s
+}
+
+/// One near-duplicate request: a variant of a pool assay that should be
+/// answered from prior work without a from-scratch synthesis.
+///
+/// Three flavors, uniformly mixed:
+/// * *re-labelled* — a pool request under a fresh id (byte-different
+///   line, identical assay: the delta cache replays it whole);
+/// * *op-renamed* — a pool DSL chain with every op renamed (names are
+///   excluded from the structural shape: still a whole-request replay);
+/// * *op-permuted* — a pool DSL chain with its independent fan ops
+///   declared in rotated order (different op ids defeat the exact layer
+///   keys and the whole-request shape; the canonical layer index must
+///   recognize the structure).
+fn neardup_line(k: usize, pool: &[String], rng: &mut SplitMix64) -> String {
+    match rng.gen_index(0, 3) {
+        0 => {
+            let (name, assay) = pool_assay(pool, rng);
+            request_line(&format!("{name}-dup{k}"), assay)
+        }
+        1 => {
+            let (ops, fan) = DSL_SHAPES[rng.gen_index(0, DSL_SHAPES.len())];
+            request_line(
+                &format!("ren{k}"),
+                Json::Object(vec![(
+                    "dsl".to_owned(),
+                    Json::Str(dsl_chain(ops, fan, "q", 0)),
+                )]),
+            )
+        }
+        _ => {
+            // Only shapes with ≥ 2 independent fan ops (excluding the
+            // root) have a non-trivial declaration-order rotation.
+            let wide: Vec<(usize, usize)> = DSL_SHAPES
+                .iter()
+                .copied()
+                .filter(|&(o, f)| o - (o - f).max(1) >= 2)
+                .collect();
+            let (ops, fan) = wide[rng.gen_index(0, wide.len())];
+            let nfan = ops - (ops - fan).max(1);
+            let rotate = 1 + rng.gen_index(0, nfan - 1);
+            request_line(
+                &format!("perm{k}"),
+                Json::Object(vec![(
+                    "dsl".to_owned(),
+                    Json::Str(dsl_chain(ops, fan, "p", rotate)),
+                )]),
+            )
+        }
+    }
 }
 
 /// Re-parses a pool line and returns its assay object for re-labelling.
@@ -326,8 +444,28 @@ struct RunOutcome {
     wall: std::time::Duration,
     solved: u64,
     rejected: u64,
+    exact_hits: u64,
+    canonical_hits: u64,
+    store_hits: u64,
+    misses: u64,
+    delta_hits: u64,
     bytes: Vec<u8>,
     hist: Log2Histogram,
+}
+
+/// Extracts the cache-counter quintuple from a loop summary (the window
+/// counters classify canonical and store hits; exact is the remainder).
+fn counters(summary: &mfhls_svc::ServiceSummary) -> (u64, u64, u64, u64, u64) {
+    let exact = summary
+        .window_hits
+        .saturating_sub(summary.window_canonical_hits + summary.window_store_hits);
+    (
+        exact,
+        summary.window_canonical_hits,
+        summary.window_store_hits,
+        summary.window_misses,
+        summary.delta_hits,
+    )
 }
 
 fn run_stdin(config: ServiceConfig, windows: &[Window]) -> io::Result<RunOutcome> {
@@ -359,10 +497,16 @@ fn run_stdin(config: ServiceConfig, windows: &[Window]) -> io::Result<RunOutcome
                 hist: s.hist.clone(),
             }
         });
+    let (exact_hits, canonical_hits, store_hits, misses, delta_hits) = counters(&summary);
     Ok(RunOutcome {
         wall,
         solved: summary.solved,
         rejected: summary.rejected,
+        exact_hits,
+        canonical_hits,
+        store_hits,
+        misses,
+        delta_hits,
         bytes: state.bytes,
         hist: state.hist,
     })
@@ -424,10 +568,16 @@ fn run_tcp(config: ServiceConfig, windows: &[Window]) -> io::Result<RunOutcome> 
         writer.join().expect("client writer panicked")?;
         let summary = server.join().expect("server panicked")?;
         let wall = start.elapsed();
+        let (exact_hits, canonical_hits, store_hits, misses, delta_hits) = counters(&summary);
         Ok(RunOutcome {
             wall,
             solved: summary.solved,
             rejected: summary.rejected,
+            exact_hits,
+            canonical_hits,
+            store_hits,
+            misses,
+            delta_hits,
             bytes,
             hist,
         })
@@ -449,15 +599,21 @@ fn main() {
 }
 
 fn run(args: &Args) -> io::Result<()> {
-    let windows = generate_workload(args.requests, args.batch, args.seed);
+    let windows = generate_workload(args.requests, args.batch, args.seed, args.mix);
     let total_responses: usize = windows.iter().map(|w| w.responses).sum();
     eprintln!(
-        "serve_load: {} requests over {} windows (batch {}), seed {:#x}, mode {}",
+        "serve_load: {} requests over {} windows (batch {}), seed {:#x}, \
+         mix {}/{}/{}/{}, mode {}{}",
         args.requests,
         windows.len(),
         args.batch,
         args.seed,
-        args.mode
+        args.mix.dup,
+        args.mix.neardup,
+        args.mix.err,
+        args.mix.oversized,
+        args.mode,
+        if args.no_cache { ", caches OFF" } else { "" },
     );
 
     let drive = |shards: usize, pipeline_windows: usize| -> io::Result<RunOutcome> {
@@ -466,6 +622,8 @@ fn run(args: &Args) -> io::Result<()> {
             shards,
             pipeline_windows,
             queue_capacity: args.batch.max(ServiceConfig::default().queue_capacity),
+            shared_cache: !args.no_cache,
+            delta_cache: !args.no_cache,
             ..ServiceConfig::default()
         };
         if args.mode == "tcp" {
@@ -500,6 +658,11 @@ fn run(args: &Args) -> io::Result<()> {
         solved: o.solved,
         rejected: o.rejected,
         responses_total: o.hist.count(),
+        cache_exact_hits: o.exact_hits,
+        cache_canonical_hits: o.canonical_hits,
+        cache_store_hits: o.store_hits,
+        cache_misses: o.misses,
+        delta_hits: o.delta_hits,
         latency: LatencyReport::from_histogram(&o.hist),
     };
     let report = ServeReport {
@@ -507,6 +670,7 @@ fn run(args: &Args) -> io::Result<()> {
         requests: args.requests,
         window: args.batch,
         seed: args.seed,
+        mix: args.mix,
         speedup_vs_drain: speedup,
         target_speedup: TARGET_SPEEDUP,
         runs: vec![
@@ -528,6 +692,16 @@ fn run(args: &Args) -> io::Result<()> {
         report.runs[1].latency.p50_us,
         report.runs[1].latency.p99_us,
         args.out
+    );
+    eprintln!(
+        "serve_load: pipelined cache: {} exact, {} canonical, {} store, {} miss; \
+         {} delta replays; reuse rate {:.3}",
+        pipelined.exact_hits,
+        pipelined.canonical_hits,
+        pipelined.store_hits,
+        pipelined.misses,
+        pipelined.delta_hits,
+        report.runs[1].reuse_rate(),
     );
     if let Some(path) = &args.responses {
         std::fs::write(path, &pipelined.bytes)?;

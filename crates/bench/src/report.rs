@@ -121,8 +121,24 @@ impl SynthesisReport {
 }
 
 /// Schema tag for serve-plane load reports (`BENCH_serve.json`),
-/// bumped on breaking changes.
-pub const SERVE_SCHEMA: &str = "mfhls-bench-serve/v1";
+/// bumped on breaking changes. `v2` added the workload `mix` object and
+/// the per-run cache counters (`cache_exact_hits`, `cache_canonical_hits`,
+/// `cache_store_hits`, `cache_misses`, `delta_hits`, `reuse_rate`).
+pub const SERVE_SCHEMA: &str = "mfhls-bench-serve/v2";
+
+/// The workload composition driven through the serve plane, as whole
+/// percentages summing to 100 (the `--mix` flag of `serve_load`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixReport {
+    /// Exact duplicates of base-pool requests.
+    pub dup: u64,
+    /// Near-duplicates: re-labelled, op-renamed, or op-permuted variants.
+    pub neardup: u64,
+    /// Malformed lines the admitter must reject.
+    pub err: u64,
+    /// Assays past the admission `max_ops` bound.
+    pub oversized: u64,
+}
 
 /// Per-request latency quantiles from an `mfhls-obs` log2 histogram.
 #[derive(Debug, Clone, Default)]
@@ -179,8 +195,37 @@ pub struct ServeRun {
     pub rejected: u64,
     /// Total response lines observed on the output stream.
     pub responses_total: u64,
+    /// Layer-cache demand hits served by the exact in-memory index.
+    pub cache_exact_hits: u64,
+    /// Layer-cache demand hits served by the canonical (structural) index.
+    pub cache_canonical_hits: u64,
+    /// Layer-cache demand lookups filled by store read-through.
+    pub cache_store_hits: u64,
+    /// Layer-cache demand lookups that missed everywhere.
+    pub cache_misses: u64,
+    /// Whole-request delta-cache replays (full-shape match, no synthesis).
+    pub delta_hits: u64,
     /// Per-response latency distribution (admission-to-flush).
     pub latency: LatencyReport,
+}
+
+impl ServeRun {
+    /// Solved requests answered without fresh synthesis work: delta
+    /// replays plus requests whose every layer came out of the cache, as
+    /// a fraction of layer lookups + replays. 0.0 when nothing was
+    /// looked up.
+    pub fn reuse_rate(&self) -> f64 {
+        let reused = self.cache_exact_hits
+            + self.cache_canonical_hits
+            + self.cache_store_hits
+            + self.delta_hits;
+        let total = reused + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            reused as f64 / total as f64
+        }
+    }
 }
 
 /// The full report written to `BENCH_serve.json`.
@@ -194,6 +239,8 @@ pub struct ServeReport {
     pub window: usize,
     /// Workload generator seed.
     pub seed: u64,
+    /// Workload composition percentages.
+    pub mix: MixReport,
     /// Throughput of the best pipelined run over the drain baseline.
     /// The ≥2× goal is pinned here as data, not as a flaky assert.
     pub speedup_vs_drain: f64,
@@ -213,6 +260,12 @@ impl ServeReport {
         let _ = writeln!(out, "  \"requests\": {},", self.requests);
         let _ = writeln!(out, "  \"window\": {},", self.window);
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"mix\": {{");
+        let _ = writeln!(out, "    \"dup\": {},", self.mix.dup);
+        let _ = writeln!(out, "    \"neardup\": {},", self.mix.neardup);
+        let _ = writeln!(out, "    \"err\": {},", self.mix.err);
+        let _ = writeln!(out, "    \"oversized\": {}", self.mix.oversized);
+        let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"speedup_vs_drain\": {:.6},", self.speedup_vs_drain);
         let _ = writeln!(out, "  \"target_speedup\": {:.6},", self.target_speedup);
         let _ = writeln!(out, "  \"runs\": [");
@@ -229,6 +282,16 @@ impl ServeReport {
             let _ = writeln!(out, "      \"solved\": {},", r.solved);
             let _ = writeln!(out, "      \"rejected\": {},", r.rejected);
             let _ = writeln!(out, "      \"responses_total\": {},", r.responses_total);
+            let _ = writeln!(out, "      \"cache_exact_hits\": {},", r.cache_exact_hits);
+            let _ = writeln!(
+                out,
+                "      \"cache_canonical_hits\": {},",
+                r.cache_canonical_hits
+            );
+            let _ = writeln!(out, "      \"cache_store_hits\": {},", r.cache_store_hits);
+            let _ = writeln!(out, "      \"cache_misses\": {},", r.cache_misses);
+            let _ = writeln!(out, "      \"delta_hits\": {},", r.delta_hits);
+            let _ = writeln!(out, "      \"reuse_rate\": {:.6},", r.reuse_rate());
             let _ = writeln!(out, "      \"latency_us\": {{");
             let _ = writeln!(out, "        \"p50\": {},", r.latency.p50_us);
             let _ = writeln!(out, "        \"p99\": {},", r.latency.p99_us);
@@ -354,6 +417,12 @@ mod tests {
             requests: 2000,
             window: 16,
             seed: 0xC0FFEE,
+            mix: MixReport {
+                dup: 60,
+                neardup: 25,
+                err: 10,
+                oversized: 5,
+            },
             speedup_vs_drain: 2.4,
             target_speedup: 2.0,
             runs: vec![ServeRun {
@@ -367,17 +436,50 @@ mod tests {
                 solved: 1700,
                 rejected: 300,
                 responses_total: 2000,
+                cache_exact_hits: 900,
+                cache_canonical_hits: 200,
+                cache_store_hits: 50,
+                cache_misses: 350,
+                delta_hits: 600,
                 latency: LatencyReport::from_histogram(&hist),
             }],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mfhls-bench-serve/v1\""));
+        assert!(json.contains("\"schema\": \"mfhls-bench-serve/v2\""));
         assert!(json.contains("\"speedup_vs_drain\": 2.400000"));
         assert!(json.contains("\"name\": \"pipelined_s4\""));
+        assert!(json.contains("\"neardup\": 25"));
+        assert!(json.contains("\"cache_canonical_hits\": 200"));
+        assert!(json.contains("\"delta_hits\": 600"));
+        // (900 + 200 + 50 + 600) / (900 + 200 + 50 + 600 + 350) = 0.833333
+        assert!(json.contains("\"reuse_rate\": 0.833333"));
         assert!(json.contains("\"p99\":"));
         assert!(json.contains("\"count\": 4"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn reuse_rate_handles_zero_lookups() {
+        let run = ServeRun {
+            name: "drain".into(),
+            mode: "stdin".into(),
+            shards: 1,
+            pipeline_windows: 1,
+            workers: 0,
+            wall: Duration::from_millis(1),
+            throughput_rps: 0.0,
+            solved: 0,
+            rejected: 0,
+            responses_total: 0,
+            cache_exact_hits: 0,
+            cache_canonical_hits: 0,
+            cache_store_hits: 0,
+            cache_misses: 0,
+            delta_hits: 0,
+            latency: LatencyReport::default(),
+        };
+        assert_eq!(run.reuse_rate(), 0.0);
     }
 
     #[test]

@@ -43,6 +43,37 @@
 //! are exposed via [`SharedLayerCache::stats`] and surfaced as `mfhls-obs`
 //! counters by the service.
 //!
+//! # Canonical (content-addressed) index
+//!
+//! The exact index above shares nothing between *different* requests: the
+//! [`CacheContext`] fingerprints the whole assay, so a lightly edited or
+//! renumbered assay misses on every layer even when most of its layer
+//! sub-problems are identical to cached ones. The canonical index fixes
+//! that. Every lookup may carry a [`CanonicalLayerKey`] — a self-contained
+//! encoding of the layer sub-problem (per-op requirements, durations and
+//! transport estimates; internal dependencies; the inherited device pool,
+//! bindability and paths; cross-layer parent placements; the
+//! solver-relevant configuration scalars) that is independent of the
+//! surrounding assay, the layer index, and the absolute op IDs:
+//!
+//! * `canon` bytes are produced by Weisfeiler–Leman colour refinement over
+//!   the layer's op/device graph followed by a canonical reordering, so
+//!   any op/device ID permutation of the same structure yields the same
+//!   bytes — the cross-request content address.
+//! * `positional` bytes encode the sub-problem in the exact order the
+//!   solver sees it. They are the **exactness gate**: a canonical match is
+//!   served only when the stored entry's positional bytes equal the
+//!   incoming ones. The built-in solvers are *positionally pure* (they
+//!   read op IDs only through positions, order comparisons and output
+//!   slots), so under that gate the stored solution translated through the
+//!   positional op correspondence is bitwise what the solver would have
+//!   produced — reordered isomorphs address the same bucket but re-solve.
+//!
+//! Lookups consult the exact index first, then the canonical index, then
+//! the [`CacheBacking`] (exact, then canonical). The four outcomes are
+//! counted separately ([`CacheCounters`]): exact hits, canonical hits,
+//! store (read-through) fills, and misses.
+//!
 //! All built-in solvers are deterministic functions of the
 //! [`LayerProblem`](crate::LayerProblem), so replaying a cached solution is
 //! observationally identical to re-solving — schedules are bitwise equal
@@ -72,6 +103,31 @@ pub trait CacheBacking: Send + Sync + std::fmt::Debug {
     /// infallible from the caller's perspective (failures are the
     /// implementation's to swallow and report out-of-band).
     fn persist(&self, context: &CacheContext, key: &LayerKey, solution: &LayerSolution);
+
+    /// Returns a persisted solution whose [`CanonicalLayerKey`] matches
+    /// `canonical` — same `canon` bytes *and* same `positional` bytes —
+    /// together with the op list the stored solution's slots refer to (the
+    /// caller translates them to its own ops by position). The default
+    /// implementation (and any v1-era backing) has no canonical index and
+    /// always misses.
+    fn fetch_canonical(&self, canonical: &CanonicalLayerKey) -> Option<(Vec<OpId>, LayerSolution)> {
+        let _ = canonical;
+        None
+    }
+
+    /// Like [`CacheBacking::persist`], but with the canonical key so the
+    /// backing can index the entry for [`CacheBacking::fetch_canonical`].
+    /// The default drops the canonical key and delegates to `persist`.
+    fn persist_canonical(
+        &self,
+        context: &CacheContext,
+        key: &LayerKey,
+        canonical: &CanonicalLayerKey,
+        solution: &LayerSolution,
+    ) {
+        let _ = canonical;
+        self.persist(context, key, solution);
+    }
 }
 
 /// The structural identity of one per-layer sub-problem; see the module
@@ -156,13 +212,425 @@ pub struct LayerKeyParts {
     pub transport: Vec<u64>,
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 — the same dependency-free hash the serve plane's shard
+/// router and the store's record checksums use, duplicated here so
+/// `mfhls-core` stays dependency-free.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Incremental FNV-1a signature accumulator for the WL refinement rounds.
+#[derive(Clone, Copy)]
+struct Sig(u64);
+
+impl Sig {
+    fn new(seed: u64) -> Sig {
+        let mut s = Sig(FNV_OFFSET);
+        s.push(seed);
+        s
+    }
+
+    fn push(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a sorted copy of `values` — the multiset of neighbour
+    /// colours, order-independent by construction.
+    fn push_multiset(&mut self, values: &mut Vec<u64>) {
+        values.sort_unstable();
+        self.push(values.len() as u64);
+        for &v in values.iter() {
+            self.push(v);
+        }
+        values.clear();
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// The content-addressed identity of one layer sub-problem, independent of
+/// the surrounding assay, the layer index, and the absolute op/device IDs.
+/// See the module docs for the `canon`/`positional` split and the
+/// exactness gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalLayerKey {
+    /// Permutation-invariant content address (WL-canonicalised encoding).
+    canon: Arc<[u8]>,
+    /// Identity-order encoding — equal iff the solver sees bitwise the
+    /// same sub-problem modulo a positional op relabeling.
+    positional: Arc<[u8]>,
+    /// The sub-problem's ops in problem order; cached slots translate to
+    /// these by position.
+    ops: Vec<OpId>,
+}
+
+impl CanonicalLayerKey {
+    /// Extracts the canonical key of `problem`. `solver_fingerprint`
+    /// pins the solver kind and its parameters (e.g.
+    /// `format!("{:?}", config.solver)`) — the only solver-relevant input
+    /// the [`LayerProblem`] itself does not carry.
+    pub fn of(problem: &LayerProblem<'_>, solver_fingerprint: &str) -> CanonicalLayerKey {
+        let n = problem.ops.len();
+        let nd = problem.devices.len();
+        let pos: HashMap<OpId, usize> = problem
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (o, i))
+            .collect();
+        // Defensive: a reference outside the layer (never produced by the
+        // synthesis loop) maps past the end and simply never matches.
+        let at = |o: &OpId| pos.get(o).copied().unwrap_or(n);
+
+        // Scalar header shared by both encodings: every solver-relevant
+        // input that is not per-op or per-device.
+        let mut header = String::new();
+        let _ = write!(
+            header,
+            "clk1|s:{solver_fingerprint}|md{}|w{:?}|c{:?}|co{}|n{n}|d{nd}|",
+            problem.max_devices, problem.weights, problem.costs, problem.component_oriented,
+        );
+
+        // Per-op / per-device attribute strings. Display names are
+        // excluded — they never influence solving.
+        let attrs: Vec<String> = problem
+            .ops
+            .iter()
+            .map(|&o| {
+                let op = problem.assay.op(o);
+                format!(
+                    "{:?}/{:?}/t{}",
+                    op.requirements(),
+                    op.duration(),
+                    problem.transport.of(o)
+                )
+            })
+            .collect();
+        let dattrs: Vec<String> = problem
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(j, d)| {
+                format!(
+                    "{d:?}/b{}",
+                    problem.bindable.get(j).copied().unwrap_or(true)
+                )
+            })
+            .collect();
+
+        // Relations, as positions: internal deps in assay insertion order
+        // (the order the solver's context scan sees them), cross-layer
+        // inputs in problem order, paths in their canonical sorted order.
+        let deps: Vec<(usize, usize)> = problem
+            .internal_deps()
+            .iter()
+            .map(|(p, c)| (at(p), at(c)))
+            .collect();
+        let cross: Vec<(usize, usize)> = problem
+            .cross_inputs
+            .iter()
+            .map(|(c, d)| (at(c), *d))
+            .collect();
+        let paths: Vec<(usize, usize)> = problem.existing_paths.iter().copied().collect();
+
+        // --- positional bytes: everything in the order the solver sees it.
+        let mut positional = header.clone();
+        for a in &attrs {
+            positional.push_str(a);
+            positional.push(';');
+        }
+        positional.push('|');
+        for d in &dattrs {
+            positional.push_str(d);
+            positional.push(';');
+        }
+        positional.push('|');
+        for &(p, c) in &deps {
+            let _ = write!(positional, "e{p}>{c};");
+        }
+        positional.push('|');
+        for &(c, d) in &cross {
+            let _ = write!(positional, "x{c}@{d};");
+        }
+        positional.push('|');
+        for &(a, b) in &paths {
+            let _ = write!(positional, "p{a}-{b};");
+        }
+
+        // --- canon bytes: WL colour refinement over the op/device graph,
+        // then a canonical reordering by final colour.
+        let mut osig: Vec<u64> = attrs.iter().map(|a| fnv1a64(a.as_bytes())).collect();
+        let mut dsig: Vec<u64> = dattrs.iter().map(|a| fnv1a64(a.as_bytes())).collect();
+        let mut op_parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut op_children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(p, c) in &deps {
+            if p < n && c < n {
+                op_parents[c].push(p);
+                op_children[p].push(c);
+            }
+        }
+        let mut op_feeds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut dev_feeds: Vec<Vec<usize>> = vec![Vec::new(); nd];
+        for &(c, d) in &cross {
+            if c < n && d < nd {
+                op_feeds[c].push(d);
+                dev_feeds[d].push(c);
+            }
+        }
+        let mut dev_partners: Vec<Vec<usize>> = vec![Vec::new(); nd];
+        for &(a, b) in &paths {
+            if a < nd && b < nd {
+                dev_partners[a].push(b);
+                dev_partners[b].push(a);
+            }
+        }
+
+        let mut colours = distinct_colours(&osig, &dsig);
+        let mut scratch: Vec<u64> = Vec::new();
+        for _ in 0..(n + nd).max(1) {
+            let next_o: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut sig = Sig::new(osig[i]);
+                    scratch.extend(op_parents[i].iter().map(|&p| osig[p]));
+                    sig.push_multiset(&mut scratch);
+                    scratch.extend(op_children[i].iter().map(|&c| osig[c]));
+                    sig.push_multiset(&mut scratch);
+                    scratch.extend(op_feeds[i].iter().map(|&d| dsig[d]));
+                    sig.push_multiset(&mut scratch);
+                    sig.finish()
+                })
+                .collect();
+            let next_d: Vec<u64> = (0..nd)
+                .map(|j| {
+                    let mut sig = Sig::new(dsig[j]);
+                    scratch.extend(dev_feeds[j].iter().map(|&o| osig[o]));
+                    sig.push_multiset(&mut scratch);
+                    scratch.extend(dev_partners[j].iter().map(|&d| dsig[d]));
+                    sig.push_multiset(&mut scratch);
+                    sig.finish()
+                })
+                .collect();
+            osig = next_o;
+            dsig = next_d;
+            let refined = distinct_colours(&osig, &dsig);
+            if refined == colours {
+                break;
+            }
+            colours = refined;
+        }
+
+        // Canonical orders: by final colour, original position as the
+        // tie-break. WL-equivalent nodes are indistinguishable by every
+        // encoded attribute and relation, so the tie-break choice cannot
+        // change the emitted bytes for automorphic twins; genuinely
+        // distinct-but-WL-equal nodes at worst cost a canonical miss,
+        // never a wrong hit (the positional gate still applies).
+        let mut oorder: Vec<usize> = (0..n).collect();
+        oorder.sort_by_key(|&i| (osig[i], i));
+        let mut orank = vec![0usize; n];
+        for (r, &i) in oorder.iter().enumerate() {
+            orank[i] = r;
+        }
+        let mut dorder: Vec<usize> = (0..nd).collect();
+        dorder.sort_by_key(|&j| (dsig[j], j));
+        let mut drank = vec![0usize; nd];
+        for (r, &j) in dorder.iter().enumerate() {
+            drank[j] = r;
+        }
+
+        let mut canon = header;
+        for &i in &oorder {
+            canon.push_str(&attrs[i]);
+            canon.push(';');
+        }
+        canon.push('|');
+        for &j in &dorder {
+            canon.push_str(&dattrs[j]);
+            canon.push(';');
+        }
+        canon.push('|');
+        let mut cdeps: Vec<(usize, usize)> = deps
+            .iter()
+            .filter(|&&(p, c)| p < n && c < n)
+            .map(|&(p, c)| (orank[p], orank[c]))
+            .collect();
+        cdeps.sort_unstable();
+        for &(p, c) in &cdeps {
+            let _ = write!(canon, "e{p}>{c};");
+        }
+        canon.push('|');
+        let mut ccross: Vec<(usize, usize)> = cross
+            .iter()
+            .filter(|&&(c, d)| c < n && d < nd)
+            .map(|&(c, d)| (orank[c], drank[d]))
+            .collect();
+        ccross.sort_unstable();
+        for &(c, d) in &ccross {
+            let _ = write!(canon, "x{c}@{d};");
+        }
+        canon.push('|');
+        let mut cpaths: Vec<(usize, usize)> = paths
+            .iter()
+            .filter(|&&(a, b)| a < nd && b < nd)
+            .map(|&(a, b)| {
+                let (ra, rb) = (drank[a], drank[b]);
+                (ra.min(rb), ra.max(rb))
+            })
+            .collect();
+        cpaths.sort_unstable();
+        for &(a, b) in &cpaths {
+            let _ = write!(canon, "p{a}-{b};");
+        }
+
+        CanonicalLayerKey {
+            canon: canon.into_bytes().into(),
+            positional: positional.into_bytes().into(),
+            ops: problem.ops.clone(),
+        }
+    }
+
+    /// The permutation-invariant content address.
+    pub fn canon_bytes(&self) -> &[u8] {
+        &self.canon
+    }
+
+    /// The identity-order encoding (the exactness gate).
+    pub fn positional_bytes(&self) -> &[u8] {
+        &self.positional
+    }
+
+    /// The sub-problem's ops in problem order.
+    pub fn ops(&self) -> &[OpId] {
+        &self.ops
+    }
+
+    /// Reassembles a key from raw parts previously obtained through the
+    /// accessors — the persistence path (`mfhls-store/v2` records carry
+    /// all three fields verbatim).
+    pub fn from_raw(canon: Vec<u8>, positional: Vec<u8>, ops: Vec<OpId>) -> CanonicalLayerKey {
+        CanonicalLayerKey {
+            canon: canon.into(),
+            positional: positional.into(),
+            ops,
+        }
+    }
+}
+
+/// Number of distinct WL colours across ops and devices — the refinement
+/// fixpoint detector.
+fn distinct_colours(osig: &[u64], dsig: &[u64]) -> usize {
+    let mut all: Vec<u64> = osig.iter().chain(dsig.iter()).copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    all.len()
+}
+
+/// Rewrites `solution`'s slots from `stored_ops` to `incoming_ops` by
+/// position. Sound only under the positional gate: both op lists are
+/// ascending and the positionally pure solvers are equivariant under
+/// order-preserving relabelings, so the translated solution is bitwise
+/// what a direct solve of the incoming problem would produce. Devices,
+/// paths, objective and solver stats are position-based and carry over
+/// unchanged.
+fn translate_solution(
+    stored_ops: &[OpId],
+    incoming_ops: &[OpId],
+    solution: &LayerSolution,
+) -> LayerSolution {
+    let map: HashMap<OpId, OpId> = stored_ops
+        .iter()
+        .zip(incoming_ops.iter())
+        .map(|(&s, &i)| (s, i))
+        .collect();
+    let mut out = solution.clone();
+    for slot in &mut out.slots {
+        if let Some(&mapped) = map.get(&slot.op) {
+            slot.op = mapped;
+        }
+    }
+    out
+}
+
+/// How a cache lookup was satisfied; see [`CacheCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitClass {
+    /// Found under the exact `(context, key)` pair.
+    Exact,
+    /// Found through the canonical index and translated by position.
+    Canonical,
+    /// Filled by reading through to the [`CacheBacking`].
+    Store,
+}
+
+/// Classified demand-lookup counters. `store_hits` are read-through fills
+/// from the persistent backing — deliberately *not* folded into the
+/// in-memory hit counts (a fill did disk work and says nothing about the
+/// in-memory cache's effectiveness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Demand lookups satisfied by the exact index.
+    pub exact_hits: u64,
+    /// Demand lookups satisfied by the canonical index (translated).
+    pub canonical_hits: u64,
+    /// Demand lookups filled by the persistent backing.
+    pub store_hits: u64,
+    /// Demand lookups nothing could satisfy.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Total satisfied lookups across all three hit classes.
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.canonical_hits + self.store_hits
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn absorb(&mut self, other: &CacheCounters) {
+        self.exact_hits += other.exact_hits;
+        self.canonical_hits += other.canonical_hits;
+        self.store_hits += other.store_hits;
+        self.misses += other.misses;
+    }
+
+    fn count(&mut self, class: HitClass) {
+        match class {
+            HitClass::Exact => self.exact_hits += 1,
+            HitClass::Canonical => self.canonical_hits += 1,
+            HitClass::Store => self.store_hits += 1,
+        }
+    }
+}
+
 /// A per-run memo table of solved layer sub-problems with hit/miss
 /// accounting. See the module docs for the key contract.
 #[derive(Debug, Default)]
 pub struct LayerCache {
     map: HashMap<LayerKey, LayerSolution>,
-    hits: u64,
-    misses: u64,
+    /// Canonical index: canon bytes -> stored positional variants. Within
+    /// one run this pays off for structurally repeated layers (e.g. DSL
+    /// `repeat` blocks) that the exact index keeps apart by layer index.
+    canon: HashMap<Arc<[u8]>, Vec<LocalCanonEntry>>,
+    counters: CacheCounters,
+}
+
+#[derive(Debug)]
+struct LocalCanonEntry {
+    positional: Arc<[u8]>,
+    ops: Vec<OpId>,
+    solution: LayerSolution,
 }
 
 impl LayerCache {
@@ -171,51 +639,107 @@ impl LayerCache {
         LayerCache::default()
     }
 
-    /// Looks up a solution, counting a hit or a miss.
-    pub fn lookup(&mut self, key: &LayerKey) -> Option<LayerSolution> {
-        match self.map.get(key) {
-            Some(sol) => {
-                self.hits += 1;
-                Some(sol.clone())
-            }
-            None => {
-                self.misses += 1;
-                None
+    /// Looks up a solution, counting the outcome. The exact index is
+    /// consulted first; on a miss the canonical index is, under the
+    /// positional exactness gate (see the module docs).
+    pub fn lookup(
+        &mut self,
+        key: &LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+    ) -> Option<(LayerSolution, HitClass)> {
+        if let Some(sol) = self.map.get(key) {
+            self.counters.exact_hits += 1;
+            return Some((sol.clone(), HitClass::Exact));
+        }
+        if let Some(ck) = canonical {
+            let found = self
+                .canon
+                .get(ck.canon_bytes())
+                .and_then(|bucket| {
+                    bucket
+                        .iter()
+                        .find(|e| e.positional.as_ref() == ck.positional_bytes())
+                })
+                .map(|e| translate_solution(&e.ops, ck.ops(), &e.solution));
+            if let Some(sol) = found {
+                self.counters.canonical_hits += 1;
+                // Promote under the exact key so the next revisit of this
+                // layer is an exact hit.
+                self.map.insert(key.clone(), sol.clone());
+                return Some((sol, HitClass::Canonical));
             }
         }
+        self.counters.misses += 1;
+        None
     }
 
-    /// Whether `key` is present, without touching the counters.
-    pub fn contains(&self, key: &LayerKey) -> bool {
-        self.map.contains_key(key)
+    /// Whether the lookup would hit (exact or canonical), without touching
+    /// the counters.
+    pub fn contains(&self, key: &LayerKey, canonical: Option<&CanonicalLayerKey>) -> bool {
+        if self.map.contains_key(key) {
+            return true;
+        }
+        canonical.is_some_and(|ck| {
+            self.canon.get(ck.canon_bytes()).is_some_and(|bucket| {
+                bucket
+                    .iter()
+                    .any(|e| e.positional.as_ref() == ck.positional_bytes())
+            })
+        })
     }
 
     /// Stores a solution (counted as part of the preceding
     /// [`LayerCache::lookup`] miss).
-    pub fn insert(&mut self, key: LayerKey, solution: LayerSolution) {
+    pub fn insert(
+        &mut self,
+        key: LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+        solution: LayerSolution,
+    ) {
+        if let Some(ck) = canonical {
+            let bucket = self.canon.entry(ck.canon.clone()).or_default();
+            if !bucket
+                .iter()
+                .any(|e| e.positional.as_ref() == ck.positional_bytes())
+            {
+                bucket.push(LocalCanonEntry {
+                    positional: ck.positional.clone(),
+                    ops: ck.ops.clone(),
+                    solution: solution.clone(),
+                });
+            }
+        }
         self.map.insert(key, solution);
     }
 
     /// Stores a speculatively pre-solved solution without touching the
     /// counters — used by the parallel pre-solve phase, whose predictions
     /// are not demand lookups.
-    pub fn warm(&mut self, key: LayerKey, solution: LayerSolution) {
-        self.map.entry(key).or_insert(solution);
+    pub fn warm(
+        &mut self,
+        key: LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+        solution: LayerSolution,
+    ) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        self.insert(key, canonical, solution);
     }
 
-    /// Demand lookups that found a solution since the last
+    /// Demand lookups that found a solution (any hit class) since the last
     /// [`LayerCache::take_counters`] call.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.counters.hits()
     }
 
     /// Demand lookups that missed since the last
     /// [`LayerCache::take_counters`] call.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.counters.misses
     }
 
-    /// Number of cached layer solutions.
+    /// Number of cached layer solutions (exact entries).
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -225,14 +749,11 @@ impl LayerCache {
         self.map.is_empty()
     }
 
-    /// Returns `(hits, misses)` accumulated since the previous call and
-    /// resets both counters — one call per re-synthesis iteration gives
-    /// per-iteration figures.
-    pub fn take_counters(&mut self) -> (u64, u64) {
-        let out = (self.hits, self.misses);
-        self.hits = 0;
-        self.misses = 0;
-        out
+    /// Returns the counters accumulated since the previous call and resets
+    /// them — one call per re-synthesis iteration gives per-iteration
+    /// figures.
+    pub fn take_counters(&mut self) -> CacheCounters {
+        std::mem::take(&mut self.counters)
     }
 }
 
@@ -306,9 +827,16 @@ impl CacheContext {
 /// from the cache never do.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Demand lookups that found an entry.
+    /// Demand lookups satisfied by the exact in-memory index.
     pub hits: u64,
-    /// Demand lookups that missed.
+    /// Demand lookups satisfied by the canonical in-memory index.
+    pub canonical_hits: u64,
+    /// Demand lookups filled by reading through to the backing store.
+    /// Split from `hits` deliberately: a fill did disk work, so folding it
+    /// into the in-memory hit count (as earlier releases did) overstates
+    /// the cache's effectiveness.
+    pub store_hits: u64,
+    /// Demand lookups that missed everywhere.
     pub misses: u64,
     /// Entries stored (demand and speculative).
     pub insertions: u64,
@@ -321,13 +849,15 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// `hits / (hits + misses)`, or 0.0 before the first lookup.
+    /// Satisfied lookups (any hit class) over all lookups, or 0.0 before
+    /// the first lookup.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let hits = self.hits + self.canonical_hits + self.store_hits;
+        let total = hits + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            hits as f64 / total as f64
         }
     }
 }
@@ -339,18 +869,36 @@ struct SharedKey {
     key: LayerKey,
 }
 
+/// One cached solution plus the canonical bytes needed to keep the
+/// canonical index in sync on eviction.
+#[derive(Debug)]
+struct StoredEntry {
+    solution: LayerSolution,
+    canon: Option<Arc<[u8]>>,
+}
+
+/// A canonical-index pointer back into the exact map. The stored ops for
+/// translation live on `shared.key` (its op list), so nothing is
+/// duplicated beyond the positional bytes.
+#[derive(Debug)]
+struct SharedCanonEntry {
+    positional: Arc<[u8]>,
+    shared: SharedKey,
+}
+
 #[derive(Debug, Default)]
 struct SharedState {
-    map: HashMap<SharedKey, (u64, LayerSolution)>,
+    map: HashMap<SharedKey, StoredEntry>,
+    /// Canonical index: canon bytes -> stored positional variants.
+    canon: HashMap<Arc<[u8]>, Vec<SharedCanonEntry>>,
     /// Insertion stamps, oldest first — the FIFO eviction order.
     order: BTreeMap<u64, SharedKey>,
     next_stamp: u64,
-    hits: u64,
-    misses: u64,
-    /// Hits since the last [`SharedLayerCache::take_window_counters`] call.
-    window_hits: u64,
-    /// Misses since the last [`SharedLayerCache::take_window_counters`] call.
-    window_misses: u64,
+    /// Lifetime classified counters.
+    counters: CacheCounters,
+    /// Counters since the last [`SharedLayerCache::take_window_counters`]
+    /// call.
+    window: CacheCounters,
     insertions: u64,
     evictions: u64,
 }
@@ -395,7 +943,12 @@ impl SharedLayerCache {
         lock_or_recover(&self.state)
     }
 
-    fn lookup(&self, context: &CacheContext, key: &LayerKey) -> Option<LayerSolution> {
+    fn lookup(
+        &self,
+        context: &CacheContext,
+        key: &LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+    ) -> Option<(LayerSolution, HitClass)> {
         {
             let mut st = self.locked();
             // Borrow-free probe: build the composite key only on the stack.
@@ -403,52 +956,112 @@ impl SharedLayerCache {
                 context: context.clone(),
                 key: key.clone(),
             };
-            if let Some((_, sol)) = st.map.get(&probe) {
-                let sol = sol.clone();
-                st.hits += 1;
-                st.window_hits += 1;
-                return Some(sol);
+            if let Some(e) = st.map.get(&probe) {
+                let sol = e.solution.clone();
+                st.counters.count(HitClass::Exact);
+                st.window.count(HitClass::Exact);
+                return Some((sol, HitClass::Exact));
+            }
+            // Canonical index, under the positional exactness gate.
+            if let Some(ck) = canonical {
+                let found = st
+                    .canon
+                    .get(ck.canon_bytes())
+                    .and_then(|bucket| {
+                        bucket.iter().find(|e| {
+                            e.positional.as_ref() == ck.positional_bytes()
+                                && st.map.contains_key(&e.shared)
+                        })
+                    })
+                    .and_then(|e| {
+                        st.map
+                            .get(&e.shared)
+                            .map(|s| translate_solution(&e.shared.key.ops, ck.ops(), &s.solution))
+                    });
+                if let Some(sol) = found {
+                    st.counters.count(HitClass::Canonical);
+                    st.window.count(HitClass::Canonical);
+                    drop(st);
+                    // Promote under the incoming exact key so the next
+                    // identical request skips the bucket scan.
+                    self.insert_into_map(context, key.clone(), canonical, sol.clone());
+                    return Some((sol, HitClass::Canonical));
+                }
             }
         }
         // Read-through: consult the backing outside the lock. A persisted
-        // solution counts as a hit (the run got a memoized solution) and
-        // is promoted back into the map for subsequent lookups.
-        if let Some(sol) = self
-            .backing()
-            .and_then(|backing| backing.fetch(context, key))
-        {
-            self.insert_into_map(context, key.clone(), sol.clone());
-            let mut st = self.locked();
-            st.hits += 1;
-            st.window_hits += 1;
-            return Some(sol);
+        // solution is a *store* fill — counted apart from in-memory hits
+        // (earlier releases folded these into plain hits, overstating the
+        // in-memory cache) — and is promoted into the map for subsequent
+        // lookups.
+        if let Some(backing) = self.backing() {
+            if let Some(sol) = backing.fetch(context, key) {
+                self.insert_into_map(context, key.clone(), canonical, sol.clone());
+                let mut st = self.locked();
+                st.counters.count(HitClass::Store);
+                st.window.count(HitClass::Store);
+                return Some((sol, HitClass::Store));
+            }
+            if let Some(ck) = canonical {
+                if let Some((stored_ops, sol)) = backing.fetch_canonical(ck) {
+                    let sol = translate_solution(&stored_ops, ck.ops(), &sol);
+                    self.insert_into_map(context, key.clone(), canonical, sol.clone());
+                    let mut st = self.locked();
+                    st.counters.count(HitClass::Store);
+                    st.window.count(HitClass::Store);
+                    return Some((sol, HitClass::Store));
+                }
+            }
         }
         let mut st = self.locked();
-        st.misses += 1;
-        st.window_misses += 1;
+        st.counters.misses += 1;
+        st.window.misses += 1;
         None
     }
 
-    fn contains(&self, context: &CacheContext, key: &LayerKey) -> bool {
+    fn contains(
+        &self,
+        context: &CacheContext,
+        key: &LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+    ) -> bool {
         let st = self.locked();
         let probe = SharedKey {
             context: context.clone(),
             key: key.clone(),
         };
-        st.map.contains_key(&probe)
+        if st.map.contains_key(&probe) {
+            return true;
+        }
+        canonical.is_some_and(|ck| {
+            st.canon.get(ck.canon_bytes()).is_some_and(|bucket| {
+                bucket.iter().any(|e| {
+                    e.positional.as_ref() == ck.positional_bytes() && st.map.contains_key(&e.shared)
+                })
+            })
+        })
     }
 
-    fn insert(&self, context: &CacheContext, key: LayerKey, solution: LayerSolution) {
+    fn insert(
+        &self,
+        context: &CacheContext,
+        key: LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+        solution: LayerSolution,
+    ) {
         // Write-behind: persist freshly inserted solutions, outside the
         // lock. The backing dedups entries it already holds, so promoting
         // a read-through result back into the map never re-persists it.
         match self.backing() {
             None => {
-                self.insert_into_map(context, key, solution);
+                self.insert_into_map(context, key, canonical, solution);
             }
             Some(backing) => {
-                if self.insert_into_map(context, key.clone(), solution.clone()) {
-                    backing.persist(context, &key, &solution);
+                if self.insert_into_map(context, key.clone(), canonical, solution.clone()) {
+                    match canonical {
+                        Some(ck) => backing.persist_canonical(context, &key, ck, &solution),
+                        None => backing.persist(context, &key, &solution),
+                    }
                 }
             }
         }
@@ -460,6 +1073,7 @@ impl SharedLayerCache {
         &self,
         context: &CacheContext,
         key: LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
         solution: LayerSolution,
     ) -> bool {
         let shared = SharedKey {
@@ -472,7 +1086,20 @@ impl SharedLayerCache {
         }
         let stamp = st.next_stamp;
         st.next_stamp += 1;
-        st.map.insert(shared.clone(), (stamp, solution));
+        if let Some(ck) = canonical {
+            let entry = SharedCanonEntry {
+                positional: ck.positional.clone(),
+                shared: shared.clone(),
+            };
+            st.canon.entry(ck.canon.clone()).or_default().push(entry);
+        }
+        st.map.insert(
+            shared.clone(),
+            StoredEntry {
+                solution,
+                canon: canonical.map(|ck| ck.canon.clone()),
+            },
+        );
         st.order.insert(stamp, shared);
         st.insertions += 1;
         while st.map.len() > self.capacity {
@@ -480,7 +1107,18 @@ impl SharedLayerCache {
                 break;
             };
             if let Some(victim) = st.order.remove(&oldest) {
-                st.map.remove(&victim);
+                if let Some(entry) = st.map.remove(&victim) {
+                    // Keep the canonical index in sync: drop the pointer
+                    // that referenced the evicted entry.
+                    if let Some(cb) = entry.canon {
+                        if let Some(bucket) = st.canon.get_mut(&cb) {
+                            bucket.retain(|e| e.shared != victim);
+                            if bucket.is_empty() {
+                                st.canon.remove(&cb);
+                            }
+                        }
+                    }
+                }
                 st.evictions += 1;
             }
         }
@@ -489,31 +1127,39 @@ impl SharedLayerCache {
 
     /// Inserts an entry loaded from a persistent store without notifying
     /// the backing (bulk warm-load path; also safe before
-    /// [`SharedLayerCache::set_backing`] is called at all).
-    pub fn warm_load(&self, context: &CacheContext, key: LayerKey, solution: LayerSolution) {
-        self.insert_into_map(context, key, solution);
+    /// [`SharedLayerCache::set_backing`] is called at all). `canonical` is
+    /// `None` for records persisted before the canonical index existed
+    /// (`mfhls-store/v1`) — those warm the exact index only.
+    pub fn warm_load(
+        &self,
+        context: &CacheContext,
+        key: LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+        solution: LayerSolution,
+    ) {
+        self.insert_into_map(context, key, canonical, solution);
     }
 
-    /// Returns the demand `(hits, misses)` accumulated since the previous
-    /// call and resets the window counters (the lifetime counters reported
-    /// by [`SharedLayerCache::stats`] keep accumulating). One call per
-    /// admission window gives per-window figures — the `mfhls-svc` serve
-    /// loop uses this so its summary reports window rates instead of
-    /// silently mixing in traffic from earlier connections.
-    pub fn take_window_counters(&self) -> (u64, u64) {
+    /// Returns the classified demand counters accumulated since the
+    /// previous call and resets the window counters (the lifetime counters
+    /// reported by [`SharedLayerCache::stats`] keep accumulating). One
+    /// call per admission window gives per-window figures — the
+    /// `mfhls-svc` serve loop uses this so its summary reports window
+    /// rates instead of silently mixing in traffic from earlier
+    /// connections.
+    pub fn take_window_counters(&self) -> CacheCounters {
         let mut st = self.locked();
-        (
-            std::mem::take(&mut st.window_hits),
-            std::mem::take(&mut st.window_misses),
-        )
+        std::mem::take(&mut st.window)
     }
 
     /// Current counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         let st = self.locked();
         CacheStats {
-            hits: st.hits,
-            misses: st.misses,
+            hits: st.counters.exact_hits,
+            canonical_hits: st.counters.canonical_hits,
+            store_hits: st.counters.store_hits,
+            misses: st.counters.misses,
             insertions: st.insertions,
             evictions: st.evictions,
             entries: st.map.len(),
@@ -535,6 +1181,7 @@ impl SharedLayerCache {
     pub fn clear(&self) {
         let mut st = self.locked();
         st.map.clear();
+        st.canon.clear();
         st.order.clear();
     }
 }
@@ -554,10 +1201,8 @@ pub enum RunCache {
         cache: Arc<SharedLayerCache>,
         /// This run's scoping context.
         context: CacheContext,
-        /// Demand hits charged to this run.
-        hits: u64,
-        /// Demand misses charged to this run.
-        misses: u64,
+        /// Classified demand counters charged to this run.
+        counters: CacheCounters,
     },
 }
 
@@ -576,61 +1221,80 @@ impl RunCache {
         RunCache::Shared {
             context: CacheContext::of(assay, config),
             cache,
-            hits: 0,
-            misses: 0,
+            counters: CacheCounters::default(),
         }
     }
 
-    /// Looks up a solution, counting a hit or a miss.
-    pub fn lookup(&mut self, key: &LayerKey) -> Option<LayerSolution> {
+    /// Looks up a solution, counting the classified outcome.
+    pub fn lookup(
+        &mut self,
+        key: &LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+    ) -> Option<(LayerSolution, HitClass)> {
         match self {
-            RunCache::Local(c) => c.lookup(key),
+            RunCache::Local(c) => c.lookup(key, canonical),
             RunCache::Shared {
                 cache,
                 context,
-                hits,
-                misses,
-            } => {
-                let sol = cache.lookup(context, key);
-                match sol.is_some() {
-                    true => *hits += 1,
-                    false => *misses += 1,
+                counters,
+            } => match cache.lookup(context, key, canonical) {
+                Some((sol, class)) => {
+                    counters.count(class);
+                    Some((sol, class))
                 }
-                sol
-            }
+                None => {
+                    counters.misses += 1;
+                    None
+                }
+            },
         }
     }
 
-    /// Whether `key` is present, without touching the counters.
-    pub fn contains(&self, key: &LayerKey) -> bool {
+    /// Whether a lookup would hit (exact or canonical), without touching
+    /// the counters.
+    pub fn contains(&self, key: &LayerKey, canonical: Option<&CanonicalLayerKey>) -> bool {
         match self {
-            RunCache::Local(c) => c.contains(key),
-            RunCache::Shared { cache, context, .. } => cache.contains(context, key),
+            RunCache::Local(c) => c.contains(key, canonical),
+            RunCache::Shared { cache, context, .. } => cache.contains(context, key, canonical),
         }
     }
 
     /// Stores a demand-solved solution.
-    pub fn insert(&mut self, key: LayerKey, solution: LayerSolution) {
+    pub fn insert(
+        &mut self,
+        key: LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+        solution: LayerSolution,
+    ) {
         match self {
-            RunCache::Local(c) => c.insert(key, solution),
-            RunCache::Shared { cache, context, .. } => cache.insert(context, key, solution),
+            RunCache::Local(c) => c.insert(key, canonical, solution),
+            RunCache::Shared { cache, context, .. } => {
+                cache.insert(context, key, canonical, solution)
+            }
         }
     }
 
     /// Stores a speculatively pre-solved solution without counting.
-    pub fn warm(&mut self, key: LayerKey, solution: LayerSolution) {
+    pub fn warm(
+        &mut self,
+        key: LayerKey,
+        canonical: Option<&CanonicalLayerKey>,
+        solution: LayerSolution,
+    ) {
         match self {
-            RunCache::Local(c) => c.warm(key, solution),
-            RunCache::Shared { cache, context, .. } => cache.insert(context, key, solution),
+            RunCache::Local(c) => c.warm(key, canonical, solution),
+            RunCache::Shared { cache, context, .. } => {
+                cache.insert(context, key, canonical, solution)
+            }
         }
     }
 
-    /// Returns this run's `(hits, misses)` since the previous call and
+    /// Returns this run's classified counters since the previous call and
     /// resets them.
-    pub fn take_counters(&mut self) -> (u64, u64) {
+    pub fn take_counters(&mut self) -> CacheCounters {
         match self {
             RunCache::Local(c) => c.take_counters(),
-            RunCache::Shared { hits, misses, .. } => (std::mem::take(hits), std::mem::take(misses)),
+            RunCache::Shared { counters, .. } => std::mem::take(counters),
         }
     }
 }
@@ -638,7 +1302,7 @@ impl RunCache {
 /// Locks `mutex`, recovering from poison: a poisoned mutex means a solver
 /// panicked mid-operation, but neither the map nor the backing slot is
 /// ever left partially mutated, so keep serving.
-fn lock_or_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_or_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     match mutex.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -717,18 +1381,28 @@ mod tests {
         let p = problem(&a, &t, &costs);
         let key = LayerKey::of(&p, 0);
         let mut cache = LayerCache::new();
-        assert!(cache.lookup(&key).is_none());
+        assert!(cache.lookup(&key, None).is_none());
         let sol = crate::solver::SolverKind::default().solve(&p).unwrap();
-        cache.insert(key.clone(), sol.clone());
-        assert!(cache.contains(&key));
-        assert_eq!(cache.lookup(&key), Some(sol.clone()));
+        cache.insert(key.clone(), None, sol.clone());
+        assert!(cache.contains(&key, None));
+        assert_eq!(
+            cache.lookup(&key, None),
+            Some((sol.clone(), HitClass::Exact))
+        );
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
-        assert_eq!(cache.take_counters(), (1, 1));
-        assert_eq!(cache.take_counters(), (0, 0));
+        assert_eq!(
+            cache.take_counters(),
+            CacheCounters {
+                exact_hits: 1,
+                misses: 1,
+                ..CacheCounters::default()
+            }
+        );
+        assert_eq!(cache.take_counters(), CacheCounters::default());
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
         // warm never overwrites and never counts.
-        cache.warm(key.clone(), sol);
+        cache.warm(key.clone(), None, sol);
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
     }
 
@@ -759,32 +1433,155 @@ mod tests {
         let shared = Arc::new(SharedLayerCache::new(2));
         let mut run_a = RunCache::shared(shared.clone(), &a, &config);
         let key0 = LayerKey::of(&p, 0);
-        assert!(run_a.lookup(&key0).is_none());
-        run_a.insert(key0.clone(), sol.clone());
-        assert_eq!(run_a.lookup(&key0), Some(sol.clone()));
-        assert_eq!(run_a.take_counters(), (1, 1));
+        assert!(run_a.lookup(&key0, None).is_none());
+        run_a.insert(key0.clone(), None, sol.clone());
+        assert_eq!(
+            run_a.lookup(&key0, None),
+            Some((sol.clone(), HitClass::Exact))
+        );
+        assert_eq!(
+            run_a.take_counters(),
+            CacheCounters {
+                exact_hits: 1,
+                misses: 1,
+                ..CacheCounters::default()
+            }
+        );
 
         // A different context never sees the entry.
         let mut b = assay();
         b.add_op(Operation::new("z").with_duration(Duration::fixed(9)));
         let mut run_b = RunCache::shared(shared.clone(), &b, &config);
-        assert!(!run_b.contains(&key0));
-        assert!(run_b.lookup(&key0).is_none());
+        assert!(!run_b.contains(&key0, None));
+        assert!(run_b.lookup(&key0, None).is_none());
 
         // FIFO eviction keeps the bound: capacity 2, three inserts.
-        run_a.insert(LayerKey::of(&p, 1), sol.clone());
-        run_a.insert(LayerKey::of(&p, 2), sol.clone());
+        run_a.insert(LayerKey::of(&p, 1), None, sol.clone());
+        run_a.insert(LayerKey::of(&p, 2), None, sol.clone());
         let stats = shared.stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.capacity, 2);
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.insertions, 3);
         // The oldest entry (key0) was the victim.
-        assert!(!run_a.contains(&key0));
-        assert!(run_a.contains(&LayerKey::of(&p, 2)));
+        assert!(!run_a.contains(&key0, None));
+        assert!(run_a.contains(&LayerKey::of(&p, 2), None));
         assert!(stats.hit_rate() > 0.0);
 
         shared.clear();
         assert!(shared.is_empty());
+    }
+
+    /// Two single-layer problems whose ops carry the same attributes in
+    /// swapped positions: isomorphic (same canon bytes) but positionally
+    /// different (the exactness gate must refuse to serve one for the
+    /// other).
+    fn two_op_assay(d0: u64, d1: u64) -> Assay {
+        let mut a = Assay::new("t");
+        a.add_op(Operation::new("p").with_duration(Duration::fixed(d0)));
+        a.add_op(Operation::new("q").with_duration(Duration::fixed(d1)));
+        a
+    }
+
+    #[test]
+    fn canonical_key_is_permutation_invariant_and_gated() {
+        let t_cfg = TransportConfig::default();
+        let costs = CostModel::default();
+        let a = two_op_assay(5, 3);
+        let b = two_op_assay(3, 5); // same multiset, swapped positions
+        let ta = TransportTimes::initial(&a, &t_cfg);
+        let tb = TransportTimes::initial(&b, &t_cfg);
+        let ka = CanonicalLayerKey::of(&problem(&a, &ta, &costs), "h");
+        let kb = CanonicalLayerKey::of(&problem(&b, &tb, &costs), "h");
+        assert_eq!(ka.canon_bytes(), kb.canon_bytes(), "isomorphic layers");
+        assert_ne!(
+            ka.positional_bytes(),
+            kb.positional_bytes(),
+            "the exactness gate distinguishes the orderings"
+        );
+        // A structurally different layer gets a different canon address.
+        let c = two_op_assay(5, 4);
+        let tc = TransportTimes::initial(&c, &t_cfg);
+        let kc = CanonicalLayerKey::of(&problem(&c, &tc, &costs), "h");
+        assert_ne!(ka.canon_bytes(), kc.canon_bytes());
+        // The solver fingerprint scopes the address.
+        let ka_ilp = CanonicalLayerKey::of(&problem(&a, &ta, &costs), "ilp");
+        assert_ne!(ka.canon_bytes(), ka_ilp.canon_bytes());
+    }
+
+    #[test]
+    fn canonical_hit_translates_ops_by_position() {
+        let t_cfg = TransportConfig::default();
+        let costs = CostModel::default();
+        let a = two_op_assay(5, 3);
+        let ta = TransportTimes::initial(&a, &t_cfg);
+        let pa = problem(&a, &ta, &costs);
+        let ck_a = CanonicalLayerKey::of(&pa, "h");
+        let sol_a = crate::solver::SolverKind::default().solve(&pa).unwrap();
+
+        // A three-op assay whose *second and third* ops form the same
+        // layer: same content at shifted op IDs, different CacheContext.
+        let mut b = Assay::new("u");
+        b.add_op(Operation::new("r").with_duration(Duration::fixed(9)));
+        b.add_op(Operation::new("p").with_duration(Duration::fixed(5)));
+        b.add_op(Operation::new("q").with_duration(Duration::fixed(3)));
+        let tb = TransportTimes::initial(&b, &t_cfg);
+        let mut pb = problem(&b, &tb, &costs);
+        pb.ops = vec![OpId(1), OpId(2)];
+        let ck_b = CanonicalLayerKey::of(&pb, "h");
+        assert_eq!(ck_a.canon_bytes(), ck_b.canon_bytes());
+        assert_eq!(ck_a.positional_bytes(), ck_b.positional_bytes());
+
+        let config = SynthConfig::default();
+        let shared = Arc::new(SharedLayerCache::new(16));
+        let mut run_a = RunCache::shared(shared.clone(), &a, &config);
+        run_a.insert(LayerKey::of(&pa, 0), Some(&ck_a), sol_a.clone());
+
+        // The other context misses exactly but hits canonically; slots are
+        // translated to b's op IDs and match a direct solve bit-for-bit.
+        let mut run_b = RunCache::shared(shared.clone(), &b, &config);
+        let key_b = LayerKey::of(&pb, 0);
+        let (sol_b, class) = run_b.lookup(&key_b, Some(&ck_b)).expect("canonical hit");
+        assert_eq!(class, HitClass::Canonical);
+        let direct = crate::solver::SolverKind::default().solve(&pb).unwrap();
+        assert_eq!(sol_b, direct);
+        assert_eq!(
+            run_b.take_counters(),
+            CacheCounters {
+                canonical_hits: 1,
+                ..CacheCounters::default()
+            }
+        );
+        assert_eq!(shared.stats().canonical_hits, 1);
+
+        // A *reordered* isomorph shares the canon address but fails the
+        // positional gate: safe miss, never a translated serve.
+        let c = two_op_assay(3, 5);
+        let tc = TransportTimes::initial(&c, &t_cfg);
+        let pc = problem(&c, &tc, &costs);
+        let ck_c = CanonicalLayerKey::of(&pc, "h");
+        assert_eq!(ck_c.canon_bytes(), ck_a.canon_bytes());
+        let mut run_c = RunCache::shared(shared, &c, &config);
+        assert!(run_c.lookup(&LayerKey::of(&pc, 0), Some(&ck_c)).is_none());
+    }
+
+    #[test]
+    fn local_cache_canonical_hits_across_layers() {
+        let t_cfg = TransportConfig::default();
+        let costs = CostModel::default();
+        let a = two_op_assay(5, 3);
+        let ta = TransportTimes::initial(&a, &t_cfg);
+        let p = problem(&a, &ta, &costs);
+        let ck = CanonicalLayerKey::of(&p, "h");
+        let sol = crate::solver::SolverKind::default().solve(&p).unwrap();
+        let mut cache = LayerCache::new();
+        cache.insert(LayerKey::of(&p, 0), Some(&ck), sol.clone());
+        // Same sub-problem posed as a different layer: exact key differs,
+        // canonical index serves it.
+        let (got, class) = cache
+            .lookup(&LayerKey::of(&p, 3), Some(&ck))
+            .expect("canonical hit across layer indices");
+        assert_eq!(class, HitClass::Canonical);
+        assert_eq!(got, sol);
     }
 }

@@ -59,6 +59,7 @@ pub mod analysis;
 mod assay;
 pub mod cache;
 pub mod conventional;
+pub mod delta;
 pub mod export;
 pub mod heuristic;
 pub mod ilp_model;
@@ -75,9 +76,10 @@ pub mod validate;
 
 pub use assay::Assay;
 pub use cache::{
-    CacheBacking, CacheContext, CacheStats, LayerCache, LayerKey, LayerKeyParts, RunCache,
-    SharedLayerCache,
+    CacheBacking, CacheContext, CacheCounters, CacheStats, CanonicalLayerKey, HitClass, LayerCache,
+    LayerKey, LayerKeyParts, RunCache, SharedLayerCache,
 };
+pub use delta::{AssayShape, DeltaCache, DeltaStats};
 pub use layering::{layer_assay, Layering};
 pub use op::{Duration, OpId, Operation};
 pub use problem::{LayerProblem, Weights};

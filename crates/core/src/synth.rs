@@ -1,7 +1,7 @@
 //! The synthesis driver: layering, per-layer solving with device
 //! inheritance, transport refinement, and progressive re-synthesis (§3.2).
 
-use crate::cache::{LayerKey, RunCache, SharedLayerCache};
+use crate::cache::{CanonicalLayerKey, HitClass, LayerKey, RunCache, SharedLayerCache};
 use crate::problem::path_key;
 use crate::{
     layer_assay, Assay, CoreError, ExecTime, HybridSchedule, LayerProblem, LayerSchedule,
@@ -207,12 +207,19 @@ pub struct IterationStats {
     pub path_count: usize,
     /// Weighted objective of the full assay.
     pub objective: u64,
-    /// Layer sub-problems this iteration served from the memo cache.
+    /// Layer sub-problems this iteration served from the memo cache (all
+    /// hit classes: exact, canonical, and store fills).
     ///
     /// Diagnostics only: speculation pre-solves layers in parallel, so the
     /// hit/miss split may vary with the thread count even though the
     /// schedule never does.
     pub cache_hits: u64,
+    /// The subset of `cache_hits` served through the canonical
+    /// (content-addressed) index and translated by position.
+    pub cache_canonical_hits: u64,
+    /// The subset of `cache_hits` filled by reading through to a
+    /// persistent store.
+    pub cache_store_hits: u64,
     /// Layer sub-problems this iteration had to solve from scratch.
     pub cache_misses: u64,
     /// Exact-solver work counters summed over this iteration's layers.
@@ -357,7 +364,11 @@ impl Synthesizer {
             let mut stats = self.stats_for(assay, &pass.schedule);
             stats.solver = pass.solver;
             if let Some(cache) = cache.as_mut() {
-                (stats.cache_hits, stats.cache_misses) = cache.take_counters();
+                let counters = cache.take_counters();
+                stats.cache_hits = counters.hits();
+                stats.cache_canonical_hits = counters.canonical_hits;
+                stats.cache_store_hits = counters.store_hits;
+                stats.cache_misses = counters.misses;
             }
             let exec_now = stats.exec_time.fixed;
             let objective = stats.objective;
@@ -463,6 +474,8 @@ impl Synthesizer {
             device_count,
             path_count,
             cache_hits: 0,
+            cache_canonical_hits: 0,
+            cache_store_hits: 0,
             cache_misses: 0,
             solver: crate::SolverStats::default(),
         }
@@ -493,7 +506,8 @@ impl Synthesizer {
         if mfhls_par::max_threads() <= 1 {
             return;
         }
-        let jobs: Vec<(usize, LayerProblem<'_>, LayerKey)> = layering
+        let solver_fp = format!("{:?}", self.config.solver);
+        let jobs: Vec<(usize, LayerProblem<'_>, LayerKey, CanonicalLayerKey)> = layering
             .layers()
             .iter()
             .enumerate()
@@ -525,10 +539,11 @@ impl Synthesizer {
                     component_oriented: self.config.component_oriented,
                 };
                 let key = LayerKey::of(&problem, li);
-                if cache.contains(&key) {
+                let canonical = CanonicalLayerKey::of(&problem, &solver_fp);
+                if cache.contains(&key, Some(&canonical)) {
                     return None;
                 }
-                Some((li, problem, key))
+                Some((li, problem, key, canonical))
             })
             .collect();
         obs::diagnostic(
@@ -536,12 +551,12 @@ impl Synthesizer {
             "speculative_warm",
             &[("jobs", jobs.len().into())],
         );
-        let solved = mfhls_par::par_map(&jobs, |(_, problem, _)| {
+        let solved = mfhls_par::par_map(&jobs, |(_, problem, _, _)| {
             self.config.solver.solve(problem).ok()
         });
-        for ((_, _, key), sol) in jobs.into_iter().zip(solved) {
+        for ((_, _, key, canonical), sol) in jobs.into_iter().zip(solved) {
             if let Some(sol) = sol {
-                cache.warm(key, sol);
+                cache.warm(key, Some(&canonical), sol);
             }
         }
     }
@@ -574,6 +589,7 @@ impl Synthesizer {
         let mut device_of: Vec<Option<usize>> = vec![None; assay.len()];
         let mut recorded: Vec<RecordedLayer> = Vec::with_capacity(layering.num_layers());
         let mut solver_stats = crate::SolverStats::default();
+        let solver_fp = format!("{:?}", self.config.solver);
 
         for (li, layer_ops) in layering.layers().iter().enumerate() {
             // Seed devices carry their quarantine mask through every pass;
@@ -613,15 +629,18 @@ impl Synthesizer {
             let sol = match cache.as_deref_mut() {
                 Some(cache) => {
                     let key = LayerKey::of(&problem, li);
-                    match cache.lookup(&key) {
-                        Some(sol) => {
+                    let canonical = CanonicalLayerKey::of(&problem, &solver_fp);
+                    match cache.lookup(&key, Some(&canonical)) {
+                        Some((sol, class)) => {
                             // Diagnostic, not logical: how speculation warmed
-                            // the cache depends on the pool size.
-                            obs::diagnostic(
-                                obs::Level::Debug,
-                                "cache_hit",
-                                &[("layer", li.into())],
-                            );
+                            // the cache depends on the pool size, and the
+                            // hit class on what other requests ran first.
+                            let name = match class {
+                                HitClass::Exact => "cache_hit",
+                                HitClass::Canonical => "cache_canonical_hit",
+                                HitClass::Store => "cache_store_hit",
+                            };
+                            obs::diagnostic(obs::Level::Debug, name, &[("layer", li.into())]);
                             sol
                         }
                         None => {
@@ -631,7 +650,7 @@ impl Synthesizer {
                                 &[("layer", li.into())],
                             );
                             let sol = self.config.solver.solve(&problem)?;
-                            cache.insert(key, sol.clone());
+                            cache.insert(key, Some(&canonical), sol.clone());
                             sol
                         }
                     }

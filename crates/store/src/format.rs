@@ -1,14 +1,14 @@
-//! The `mfhls-store/v1` on-disk format: segment framing and the solution
-//! record payload.
+//! The `mfhls-store/v2` on-disk format (still reading v1): segment framing
+//! and the solution record payloads.
 //!
 //! # Segment layout
 //!
 //! ```text
 //! +----------------------+  offset 0
-//! | magic  "MFHLSTO1"    |  8 bytes — names format version 1
-//! +----------------------+
+//! | magic  "MFHLSTO2"    |  8 bytes — names the format version
+//! +----------------------+  ("MFHLSTO1" segments are read too)
 //! | record               |  repeated until EOF
-//! |   kind      u8       |  1 = solution record
+//! |   kind      u8       |  1 = solution record, 2 = canonical solution
 //! |   len       u32 LE   |  payload length in bytes
 //! |   checksum  u64 LE   |  FNV-1a 64 over kind ‖ len ‖ payload
 //! |   payload   [u8;len] |
@@ -23,23 +23,37 @@
 //! signature of a crash mid-append, reported with the offset to truncate
 //! back to.
 //!
-//! # Solution record payload
+//! # Solution record payloads
 //!
-//! A context string (the [`CacheContext`] canonical encoding), the
-//! [`LayerKeyParts`], and the [`LayerSolution`] — everything needed to
-//! re-populate a `SharedLayerCache` entry in a later process.
+//! Kind 1 (`mfhls-store/v1`): a context string (the [`CacheContext`]
+//! canonical encoding), the [`LayerKeyParts`], and the [`LayerSolution`] —
+//! everything needed to re-populate a `SharedLayerCache` entry in a later
+//! process.
+//!
+//! Kind 2 (`mfhls-store/v2`): the same three fields plus the
+//! content-addressed [`CanonicalLayerKey`](mfhls_core::CanonicalLayerKey)
+//! bytes (`canon` and `positional`, length-prefixed, between the key and
+//! the solution), so a later process can also serve *canonical* lookups
+//! from disk. A v1 reader skips kind-2 records as an unknown-but-
+//! checksummed kind (forward compatible); this reader accepts both magics
+//! and both kinds (backward compatible).
 
 use crate::codec::{ByteReader, ByteWriter, DecodeError};
 use mfhls_chip::{Accessory, AccessorySet, Capacity, ContainerKind, DeviceConfig};
 use mfhls_core::{LayerKeyParts, LayerSolution, OpId, ScheduledOp, SolverStats};
 use std::collections::BTreeSet;
 
-/// Magic bytes opening every segment file; the trailing `1` is the format
-/// version.
+/// Magic bytes of a v1 segment file; still accepted when reading.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"MFHLSTO1";
 
-/// Record kind tag of a solution record (the only kind in v1).
+/// Magic bytes of a v2 segment file; what new segments are created with.
+pub const SEGMENT_MAGIC_V2: &[u8; 8] = b"MFHLSTO2";
+
+/// Record kind tag of a v1 solution record (no canonical key).
 pub const KIND_SOLUTION: u8 = 1;
+
+/// Record kind tag of a v2 solution record carrying the canonical key.
+pub const KIND_CANONICAL_SOLUTION: u8 = 2;
 
 /// Bytes of framing ahead of every payload: kind + len + checksum.
 pub const RECORD_HEADER_LEN: usize = 1 + 4 + 8;
@@ -61,6 +75,16 @@ pub fn fnv1a64(chunks: &[&[u8]]) -> u64 {
     h
 }
 
+/// The content-addressed key bytes a v2 record carries; the op list for
+/// canonical translation lives on the accompanying [`LayerKeyParts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalParts {
+    /// Permutation-invariant content address.
+    pub canon: Vec<u8>,
+    /// Identity-order encoding (the exactness gate).
+    pub positional: Vec<u8>,
+}
+
 /// One persisted cache entry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolutionRecord {
@@ -70,6 +94,9 @@ pub struct SolutionRecord {
     pub key: LayerKeyParts,
     /// The solved layer.
     pub solution: LayerSolution,
+    /// The canonical key bytes — `Some` for v2 (kind 2) records, `None`
+    /// for records persisted by a v1 writer.
+    pub canonical: Option<CanonicalParts>,
 }
 
 /// Frames `payload` as one on-disk record (kind + len + checksum + bytes).
@@ -85,17 +112,28 @@ pub fn frame_record(kind: u8, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Encodes one record ready to append: framing plus payload.
+/// Encodes one record ready to append: framing plus payload. Records with
+/// a canonical key frame as kind 2, the rest as v1-compatible kind 1.
 pub fn encode_record(record: &SolutionRecord) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.str(&record.context);
     encode_key(&mut w, &record.key);
-    encode_solution(&mut w, &record.solution);
-    frame_record(KIND_SOLUTION, &w.finish())
+    match &record.canonical {
+        None => {
+            encode_solution(&mut w, &record.solution);
+            frame_record(KIND_SOLUTION, &w.finish())
+        }
+        Some(c) => {
+            w.bytes(&c.canon);
+            w.bytes(&c.positional);
+            encode_solution(&mut w, &record.solution);
+            frame_record(KIND_CANONICAL_SOLUTION, &w.finish())
+        }
+    }
 }
 
-/// Decodes a solution-record payload (the checksum has already been
-/// verified by the scanner).
+/// Decodes a kind-1 (v1) solution-record payload (the checksum has already
+/// been verified by the scanner).
 pub fn decode_record(payload: &[u8]) -> Result<SolutionRecord, DecodeError> {
     let mut r = ByteReader::new(payload);
     let context = r.str()?.to_owned();
@@ -108,6 +146,26 @@ pub fn decode_record(payload: &[u8]) -> Result<SolutionRecord, DecodeError> {
         context,
         key,
         solution,
+        canonical: None,
+    })
+}
+
+/// Decodes a kind-2 (v2) canonical-solution payload.
+pub fn decode_canonical_record(payload: &[u8]) -> Result<SolutionRecord, DecodeError> {
+    let mut r = ByteReader::new(payload);
+    let context = r.str()?.to_owned();
+    let key = decode_key(&mut r)?;
+    let canon = r.bytes()?.to_vec();
+    let positional = r.bytes()?.to_vec();
+    let solution = decode_solution(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(DecodeError);
+    }
+    Ok(SolutionRecord {
+        context,
+        key,
+        solution,
+        canonical: Some(CanonicalParts { canon, positional }),
     })
 }
 
@@ -323,7 +381,10 @@ pub struct SegmentScan {
 /// whatever the bytes.
 pub fn scan_segment(bytes: &[u8]) -> Result<SegmentScan, crate::error::CorruptKind> {
     use crate::error::CorruptKind;
-    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+    let magic_ok = bytes.len() >= SEGMENT_MAGIC.len()
+        && (&bytes[..SEGMENT_MAGIC.len()] == SEGMENT_MAGIC
+            || &bytes[..SEGMENT_MAGIC_V2.len()] == SEGMENT_MAGIC_V2);
+    if !magic_ok {
         return Err(CorruptKind::BadHeader);
     }
     let mut scan = SegmentScan {
@@ -370,14 +431,19 @@ pub fn scan_segment(bytes: &[u8]) -> Result<SegmentScan, crate::error::CorruptKi
         if expected != checksum {
             scan.quarantined
                 .push((pos as u64, CorruptKind::ChecksumMismatch));
-        } else if kind != KIND_SOLUTION {
-            // Unknown-but-checksummed kinds are skipped silently: that is
-            // how a v1 reader survives a v1.x writer's new record types.
-        } else {
-            match decode_record(payload) {
+        } else if kind == KIND_SOLUTION || kind == KIND_CANONICAL_SOLUTION {
+            let decoded = if kind == KIND_SOLUTION {
+                decode_record(payload)
+            } else {
+                decode_canonical_record(payload)
+            };
+            match decoded {
                 Ok(rec) => scan.records.push(rec),
                 Err(_) => scan.quarantined.push((pos as u64, CorruptKind::BadPayload)),
             }
+        } else {
+            // Unknown-but-checksummed kinds are skipped silently: that is
+            // how an old reader survives a newer writer's record types.
         }
         pos = end;
         scan.clean_len = pos as u64;
@@ -385,8 +451,14 @@ pub fn scan_segment(bytes: &[u8]) -> Result<SegmentScan, crate::error::CorruptKi
     Ok(scan)
 }
 
-/// A fresh segment image: just the magic, ready for appends.
+/// A fresh segment image: just the (v2) magic, ready for appends.
 pub fn empty_segment() -> Vec<u8> {
+    SEGMENT_MAGIC_V2.to_vec()
+}
+
+/// A fresh *v1* segment image — kept for compatibility tests and for
+/// tooling that needs to fabricate v1 directories.
+pub fn empty_segment_v1() -> Vec<u8> {
     SEGMENT_MAGIC.to_vec()
 }
 
@@ -420,6 +492,17 @@ mod tests {
                 objective: tag * 7,
                 stats: SolverStats::default(),
             },
+            canonical: None,
+        }
+    }
+
+    fn sample_canonical_record(tag: u64) -> SolutionRecord {
+        SolutionRecord {
+            canonical: Some(CanonicalParts {
+                canon: format!("canon-{tag}").into_bytes(),
+                positional: format!("pos-{tag}").into_bytes(),
+            }),
+            ..sample_record(tag)
         }
     }
 
@@ -427,8 +510,38 @@ mod tests {
     fn record_round_trips() {
         let rec = sample_record(9);
         let framed = encode_record(&rec);
+        assert_eq!(framed[0], KIND_SOLUTION);
         let payload = &framed[RECORD_HEADER_LEN..];
         assert_eq!(decode_record(payload), Ok(rec));
+    }
+
+    #[test]
+    fn canonical_record_round_trips_as_kind_2() {
+        let rec = sample_canonical_record(11);
+        let framed = encode_record(&rec);
+        assert_eq!(framed[0], KIND_CANONICAL_SOLUTION);
+        let payload = &framed[RECORD_HEADER_LEN..];
+        assert_eq!(decode_canonical_record(payload), Ok(rec));
+    }
+
+    #[test]
+    fn scanner_reads_both_magics_and_both_kinds() {
+        // A v1 segment containing a v1 record plus a (future, to a v1
+        // writer) kind-2 record scans fully under the v2 reader...
+        let mut v1 = empty_segment_v1();
+        v1.extend(encode_record(&sample_record(1)));
+        v1.extend(encode_record(&sample_canonical_record(2)));
+        let scan = scan_segment(&v1).expect("v1 magic accepted");
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].canonical, None);
+        assert!(scan.records[1].canonical.is_some());
+
+        // ...and a fresh v2 segment likewise.
+        let mut v2 = empty_segment();
+        assert_eq!(&v2[..8], SEGMENT_MAGIC_V2);
+        v2.extend(encode_record(&sample_canonical_record(3)));
+        let scan = scan_segment(&v2).expect("v2 magic accepted");
+        assert_eq!(scan.records.len(), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Property tests of the `mfhls-store/v1` record format and the store's
-//! crash-replay behaviour, driven by the workspace's vendored
-//! [`SplitMix64`] — no external property-testing dependency.
+//! Property tests of the `mfhls-store/v2` record format (and its v1
+//! compatibility) plus the store's crash-replay behaviour, driven by the
+//! workspace's vendored [`SplitMix64`] — no external property-testing
+//! dependency.
 //!
 //! The load-bearing properties:
 //!
@@ -19,10 +20,13 @@
 //!   appends afterwards.
 
 use mfhls_chip::{Accessory, AccessorySet, ContainerKind, DeviceConfig};
-use mfhls_core::{CacheContext, LayerKey, LayerKeyParts, OpId};
+use mfhls_core::{CacheContext, CanonicalLayerKey, LayerKey, LayerKeyParts, OpId};
 use mfhls_core::{LayerSolution, ScheduledOp, SolverStats};
 use mfhls_graph::rng::SplitMix64;
-use mfhls_store::format::{encode_record, scan_segment, SolutionRecord, SEGMENT_MAGIC};
+use mfhls_store::format::{
+    empty_segment_v1, encode_record, scan_segment, CanonicalParts, SolutionRecord, SEGMENT_MAGIC,
+    SEGMENT_MAGIC_V2,
+};
 use mfhls_store::{MemIo, SolutionStore, StoreConfig};
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -105,10 +109,21 @@ fn rng_solution(rng: &mut SplitMix64) -> LayerSolution {
 }
 
 fn rng_record(rng: &mut SplitMix64) -> SolutionRecord {
+    // Half the corpus carries a canonical key, so every property below
+    // (round-trip, torn tails, bit flips) covers both record kinds.
+    let canonical = rng.gen_bool(0.5).then(|| CanonicalParts {
+        canon: (0..8 + below(rng, 24))
+            .map(|_| rng.next_u64() as u8)
+            .collect(),
+        positional: (0..8 + below(rng, 24))
+            .map(|_| rng.next_u64() as u8)
+            .collect(),
+    });
     SolutionRecord {
         context: format!("cfg:prop-{}|", below(rng, 1 << 20)),
         key: rng_key(rng),
         solution: rng_solution(rng),
+        canonical,
     }
 }
 
@@ -206,7 +221,9 @@ fn crash_truncated_store_reloads_the_clean_prefix_and_keeps_working() {
     let io = Arc::new(MemIo::new());
     let store = SolutionStore::open(dir, StoreConfig::default(), io.clone());
     for (key, sol) in &entries {
-        store.append(&ctx, key, sol).expect("MemIo append succeeds");
+        store
+            .append(&ctx, key, None, sol)
+            .expect("MemIo append succeeds");
     }
     let full = io.contents(&seg_path).expect("segment exists");
     drop(store);
@@ -240,9 +257,71 @@ fn crash_truncated_store_reloads_the_clean_prefix_and_keeps_working() {
         // cleanly and survive yet another reopen.
         let (key, sol) = &entries[entries.len() - 1];
         reopened
-            .append(&ctx, key, sol)
+            .append(&ctx, key, None, sol)
             .expect("append after tail repair");
         let third = SolutionStore::open(dir, StoreConfig::default(), io);
         assert_eq!(third.fetch(&ctx, key).as_ref(), Some(sol), "cut at {cut}");
     }
+}
+
+#[test]
+fn a_v1_directory_round_trips_and_upgrades_to_canonical_service() {
+    let dir = Path::new("/mem/upgrade");
+    let seg_path = dir.join("segment-00001.mfs");
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0006);
+
+    // Fabricate a directory exactly as a v1 writer left it: v1 magic,
+    // kind-1 records only.
+    let mut v1_records = Vec::new();
+    let mut seg = empty_segment_v1();
+    for _ in 0..4 {
+        let mut rec = rng_record(&mut rng);
+        rec.canonical = None;
+        seg.extend_from_slice(&encode_record(&rec));
+        v1_records.push(rec);
+    }
+    let io = Arc::new(MemIo::new());
+    io.set_contents(&seg_path, seg);
+
+    let store = SolutionStore::open(dir, StoreConfig::default(), io.clone());
+    let stats = store.stats();
+    assert!(!stats.degraded, "{stats:?}");
+    assert_eq!(stats.loaded, v1_records.len() as u64);
+    assert_eq!(stats.quarantined, 0);
+
+    // Exact fetches work straight off the v1 image...
+    let rec = &v1_records[0];
+    let key = LayerKey::from_parts(rec.key.clone());
+    let rec_ctx = CacheContext::from_canonical(&rec.context);
+    assert_eq!(store.fetch(&rec_ctx, &key), Some(rec.solution.clone()));
+
+    // ...but canonical lookups miss until the entry is re-persisted with
+    // its canonical key, which upgrades it in place via a kind-2 append.
+    let ck = CanonicalLayerKey::from_raw(
+        b"canon-upgrade".to_vec(),
+        b"pos-upgrade".to_vec(),
+        rec.key.ops.clone(),
+    );
+    assert_eq!(store.fetch_canonical(&ck), None);
+    store
+        .append(&rec_ctx, &key, Some(&ck), &rec.solution)
+        .expect("upgrade append");
+    let (ops, sol) = store.fetch_canonical(&ck).expect("canonical hit");
+    assert_eq!(ops, rec.key.ops);
+    assert_eq!(sol, rec.solution);
+
+    // The upgrade survives a reload without double-counting the entry.
+    let reopened = SolutionStore::open(dir, StoreConfig::default(), io.clone());
+    let (ops, sol) = reopened.fetch_canonical(&ck).expect("hit after reload");
+    assert_eq!(ops, rec.key.ops);
+    assert_eq!(sol, rec.solution);
+    assert_eq!(reopened.stats().entries, v1_records.len());
+
+    // A fresh directory starts life with the v2 magic.
+    let fresh_dir = Path::new("/mem/fresh");
+    let _fresh = SolutionStore::open(fresh_dir, StoreConfig::default(), io.clone());
+    let fresh_seg = io
+        .contents(&fresh_dir.join("segment-00001.mfs"))
+        .expect("fresh segment exists");
+    assert_eq!(&fresh_seg[..8], SEGMENT_MAGIC_V2);
 }

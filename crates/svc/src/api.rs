@@ -680,6 +680,7 @@ pub fn response_ok(
     result: &SynthesisResult,
     artifacts: Artifacts,
     trace_fingerprint: Option<String>,
+    delta_hit: bool,
 ) -> Json {
     let mut entries = vec![
         ("version", Json::Str(VERSION.to_owned())),
@@ -703,16 +704,28 @@ pub fn response_ok(
         entries.push(("trace_fingerprint", Json::Str(fp)));
     }
     if artifacts.diagnostics {
-        entries.push(("diagnostics", diagnostics_json(result)));
+        entries.push(("diagnostics", diagnostics_json(result, delta_hit)));
     }
     obj(entries)
 }
 
 /// The nondeterministic `diagnostics` payload: wall-clock runtime and the
 /// per-run layer-cache split (which may vary with the thread count and,
-/// for the shared cache, with cross-request interleaving).
-pub fn diagnostics_json(result: &SynthesisResult) -> Json {
+/// for the shared cache, with cross-request interleaving). `cache_hits`
+/// is the total; `cache_canonical_hits` (renumbered layers served via the
+/// canonical index) and `cache_store_hits` (read-through fills from a
+/// persistent store) are its classified subsets, the remainder being
+/// exact in-memory hits. `delta_hit` marks a response replayed whole from
+/// the service's delta cache — its other counters then describe the run
+/// that originally produced the result.
+pub fn diagnostics_json(result: &SynthesisResult, delta_hit: bool) -> Json {
     let hits: u64 = result.iterations.iter().map(|it| it.cache_hits).sum();
+    let canonical: u64 = result
+        .iterations
+        .iter()
+        .map(|it| it.cache_canonical_hits)
+        .sum();
+    let store: u64 = result.iterations.iter().map(|it| it.cache_store_hits).sum();
     let misses: u64 = result.iterations.iter().map(|it| it.cache_misses).sum();
     obj(vec![
         (
@@ -720,7 +733,10 @@ pub fn diagnostics_json(result: &SynthesisResult) -> Json {
             Json::Int(result.runtime.as_micros().min(i64::MAX as u128) as i64),
         ),
         ("cache_hits", Json::Int(hits as i64)),
+        ("cache_canonical_hits", Json::Int(canonical as i64)),
+        ("cache_store_hits", Json::Int(store as i64)),
         ("cache_misses", Json::Int(misses as i64)),
+        ("delta_hit", Json::Bool(delta_hit)),
     ])
 }
 
@@ -1003,7 +1019,8 @@ mod tests {
         let result = Synthesizer::new(SynthConfig::default())
             .run(&assay)
             .unwrap();
-        let text = response_ok("r1", &assay, &result, Artifacts::default(), None).to_string();
+        let text =
+            response_ok("r1", &assay, &result, Artifacts::default(), None, false).to_string();
         assert!(!text.contains("runtime"), "{text}");
         assert!(!text.contains("cache_"), "{text}");
         let v = Json::parse(&text).unwrap();
@@ -1020,8 +1037,12 @@ mod tests {
                 ..Artifacts::default()
             },
             None,
+            false,
         )
         .to_string();
         assert!(with.contains("runtime_us"), "{with}");
+        assert!(with.contains("cache_canonical_hits"), "{with}");
+        assert!(with.contains("cache_store_hits"), "{with}");
+        assert!(with.contains("\"delta_hit\":false"), "{with}");
     }
 }

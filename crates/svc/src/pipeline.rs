@@ -63,10 +63,17 @@ pub(crate) struct WindowStats {
     pub rejected: u64,
     /// Of the rejected, how many by cancellation.
     pub cancelled: u64,
-    /// Shared-cache hits drained from the per-window counters.
+    /// Shared-cache hits (any class) drained from the per-window
+    /// counters.
     pub window_hits: u64,
+    /// Of `window_hits`, those the canonical index served.
+    pub window_canonical_hits: u64,
+    /// Of `window_hits`, those filled by store read-through.
+    pub window_store_hits: u64,
     /// Shared-cache misses drained from the per-window counters.
     pub window_misses: u64,
+    /// Whole-request delta-cache replays in this window.
+    pub delta_hits: u64,
     /// Per-shard request/hit/miss counters (length = configured shards).
     pub shards: Vec<ShardStats>,
     /// Store snapshot after this window (when a store is attached).
@@ -89,7 +96,10 @@ impl WindowStats {
         self.rejected += other.rejected;
         self.cancelled += other.cancelled;
         self.window_hits += other.window_hits;
+        self.window_canonical_hits += other.window_canonical_hits;
+        self.window_store_hits += other.window_store_hits;
         self.window_misses += other.window_misses;
+        self.delta_hits += other.delta_hits;
         merge_shards(&mut self.shards, &other.shards);
         if other.store.is_some() {
             self.store = other.store.clone();
@@ -104,7 +114,10 @@ pub(crate) fn merge_shards(into: &mut Vec<ShardStats>, from: &[ShardStats]) {
     }
     for (a, b) in into.iter_mut().zip(from) {
         a.requests += b.requests;
-        a.hits += b.hits;
+        a.exact_hits += b.exact_hits;
+        a.canonical_hits += b.canonical_hits;
+        a.store_hits += b.store_hits;
+        a.delta_hits += b.delta_hits;
         a.misses += b.misses;
     }
 }

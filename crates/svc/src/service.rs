@@ -66,7 +66,10 @@ use crate::api::{
 use crate::json::Json;
 use crate::pipeline::{merge_shards, AdmittedWindow, SolvedWindow, WindowStats};
 use crate::shard;
-use mfhls_core::{Assay, CacheStats, RetryPolicy, SharedLayerCache, SynthConfig, Synthesizer};
+use mfhls_core::{
+    Assay, AssayShape, CacheStats, DeltaCache, RetryPolicy, SharedLayerCache, SynthConfig,
+    Synthesizer,
+};
 use mfhls_obs as obs;
 use mfhls_store::{SolutionStore, StoreStats};
 use std::io::{self, BufRead, Write};
@@ -100,6 +103,14 @@ pub struct ServiceConfig {
     /// (`1` = the sequential drain loop, i.e. pipelining off). Responses
     /// are byte-identical at any setting.
     pub pipeline_windows: usize,
+    /// Keep a whole-request delta cache: a request whose positional
+    /// [`AssayShape`] (structure + config, names excluded) matches an
+    /// earlier request replays that result without synthesizing. A pure
+    /// accelerator — replayed results are the byte-exact value the full
+    /// pipeline would deterministically recompute — so responses are
+    /// identical on or off. Requests carrying the `trace` artifact bypass
+    /// it (their fingerprint must come from a live run).
+    pub delta_cache: bool,
 }
 
 impl Default for ServiceConfig {
@@ -112,20 +123,40 @@ impl Default for ServiceConfig {
             max_ops: 512,
             shards: 1,
             pipeline_windows: 2,
+            delta_cache: true,
         }
     }
 }
 
-/// Deterministic per-shard serve-loop counters (see
-/// [`ServiceSummary::shards`]).
+/// Per-shard serve-loop counters (see [`ServiceSummary::shards`]).
+/// `requests` is deterministic; the classified cache counters are
+/// diagnostic-class (cross-request interleaving moves hits between
+/// classes, never response bytes).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardStats {
     /// Requests this shard solved (or rejected at solve time).
     pub requests: u64,
-    /// Layer-cache hits observed by this shard's requests.
-    pub hits: u64,
+    /// Exact-key layer-cache hits observed by this shard's requests.
+    pub exact_hits: u64,
+    /// Layer-cache hits served through the canonical (renumbering-
+    /// invariant) index.
+    pub canonical_hits: u64,
+    /// Layer-cache fills read through from the persistent store. These
+    /// were previously folded into the plain hit count, hiding how much
+    /// traffic the disk actually absorbed.
+    pub store_hits: u64,
+    /// Whole-request delta-cache replays (synthesis skipped entirely, so
+    /// these contribute no layer-level counters at all).
+    pub delta_hits: u64,
     /// Layer-cache misses observed by this shard's requests.
     pub misses: u64,
+}
+
+impl ShardStats {
+    /// Total layer-cache hits of any class.
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.canonical_hits + self.store_hits
+    }
 }
 
 /// Lifetime totals of a serve loop, reported when it ends.
@@ -145,12 +176,19 @@ pub struct ServiceSummary {
     pub shutdown: bool,
     /// Shared-cache statistics at the end of the loop.
     pub cache: CacheStats,
-    /// Cache hits observed by this loop's own admission windows (the
-    /// per-window counters are drained at every flush, so TCP-mode
-    /// connections don't inherit each other's rates).
+    /// Cache hits (any class) observed by this loop's own admission
+    /// windows (the per-window counters are drained at every flush, so
+    /// TCP-mode connections don't inherit each other's rates).
     pub window_hits: u64,
+    /// Of `window_hits`, how many the canonical index served.
+    pub window_canonical_hits: u64,
+    /// Of `window_hits`, how many were read-through fills from the
+    /// persistent store (previously misreported as plain hits).
+    pub window_store_hits: u64,
     /// Cache misses observed by this loop's own admission windows.
     pub window_misses: u64,
+    /// Whole-request delta-cache replays by this loop's windows.
+    pub delta_hits: u64,
     /// Per-shard request and cache-hit counters (one entry per
     /// configured shard), so shard imbalance is visible without a trace.
     pub shards: Vec<ShardStats>,
@@ -172,7 +210,10 @@ impl ServiceSummary {
         self.shutdown |= other.shutdown;
         self.cache = other.cache;
         self.window_hits += other.window_hits;
+        self.window_canonical_hits += other.window_canonical_hits;
+        self.window_store_hits += other.window_store_hits;
         self.window_misses += other.window_misses;
+        self.delta_hits += other.delta_hits;
         merge_shards(&mut self.shards, &other.shards);
         self.accept_retries += other.accept_retries;
         if other.store.is_some() {
@@ -198,7 +239,10 @@ impl ServiceSummary {
         self.rejected += w.rejected;
         self.cancelled += w.cancelled;
         self.window_hits += w.window_hits;
+        self.window_canonical_hits += w.window_canonical_hits;
+        self.window_store_hits += w.window_store_hits;
         self.window_misses += w.window_misses;
+        self.delta_hits += w.delta_hits;
         merge_shards(&mut self.shards, &w.shards);
         if w.store.is_some() {
             self.store = w.store.clone();
@@ -221,10 +265,24 @@ impl std::fmt::Display for ServiceSummary {
             self.cache.capacity,
             self.window_hit_rate() * 100.0
         )?;
+        if self.window_canonical_hits > 0 || self.window_store_hits > 0 {
+            write!(
+                f,
+                " ({} canonical, {} store)",
+                self.window_canonical_hits, self.window_store_hits
+            )?;
+        }
+        if self.delta_hits > 0 {
+            write!(f, "; {} delta replays", self.delta_hits)?;
+        }
         if self.shards.len() > 1 {
-            write!(f, "; shards [req/hit]")?;
+            write!(f, "; shards [req/exact/canon/store/delta]")?;
             for s in &self.shards {
-                write!(f, " {}/{}", s.requests, s.hits)?;
+                write!(
+                    f,
+                    " {}/{}/{}/{}/{}",
+                    s.requests, s.exact_hits, s.canonical_hits, s.store_hits, s.delta_hits
+                )?;
             }
         }
         if self.accept_retries > 0 {
@@ -262,7 +320,10 @@ struct SolvedOne {
     line: Json,
     outcome: Outcome,
     cache_hits: u64,
+    cache_canonical_hits: u64,
+    cache_store_hits: u64,
     cache_misses: u64,
+    delta_hit: bool,
 }
 
 /// The long-lived batched synthesis service. See the [module
@@ -270,6 +331,7 @@ struct SolvedOne {
 pub struct SynthesisService {
     config: ServiceConfig,
     cache: Arc<SharedLayerCache>,
+    delta: Option<Arc<DeltaCache>>,
     store: Option<Arc<SolutionStore>>,
 }
 
@@ -278,9 +340,13 @@ impl SynthesisService {
     /// `config.cache_entries` entries.
     pub fn new(config: ServiceConfig) -> SynthesisService {
         let cache = Arc::new(SharedLayerCache::new(config.cache_entries));
+        let delta = config
+            .delta_cache
+            .then(|| Arc::new(DeltaCache::new(config.cache_entries)));
         SynthesisService {
             config,
             cache,
+            delta,
             store: None,
         }
     }
@@ -299,9 +365,13 @@ impl SynthesisService {
             &[("warmed", obs::Value::U64(warmed))],
         );
         cache.set_backing(store.clone());
+        let delta = config
+            .delta_cache
+            .then(|| Arc::new(DeltaCache::new(config.cache_entries)));
         SynthesisService {
             config,
             cache,
+            delta,
             store: Some(store),
         }
     }
@@ -310,6 +380,11 @@ impl SynthesisService {
     /// the CLI summary).
     pub fn cache(&self) -> &Arc<SharedLayerCache> {
         &self.cache
+    }
+
+    /// The whole-request delta cache, when enabled.
+    pub fn delta(&self) -> Option<&Arc<DeltaCache>> {
+        self.delta.as_ref()
     }
 
     /// The persistent store backing the cache, if one was attached.
@@ -736,8 +811,16 @@ impl SynthesisService {
             }
             let per_shard = &mut stats.shards[p.shard % shards];
             per_shard.requests += 1;
-            per_shard.hits += solved.cache_hits;
+            per_shard.canonical_hits += solved.cache_canonical_hits;
+            per_shard.store_hits += solved.cache_store_hits;
+            per_shard.exact_hits += solved
+                .cache_hits
+                .saturating_sub(solved.cache_canonical_hits + solved.cache_store_hits);
             per_shard.misses += solved.cache_misses;
+            if solved.delta_hit {
+                per_shard.delta_hits += 1;
+                stats.delta_hits += 1;
+            }
             solved.line.write(buf);
             buf.push('\n');
         }
@@ -747,11 +830,17 @@ impl SynthesisService {
         // Draining the per-window counters here (rather than diffing
         // lifetime stats) keeps each window's — and each connection's —
         // rate independent of what ran before it.
-        let (window_hits, window_misses) = self.cache.take_window_counters();
-        obs::diagnostic_counter("svc.cache_hits", window_hits as i64);
-        obs::diagnostic_counter("svc.cache_misses", window_misses as i64);
-        stats.window_hits = window_hits;
-        stats.window_misses = window_misses;
+        let window = self.cache.take_window_counters();
+        obs::diagnostic_counter("svc.cache_hits", window.hits() as i64);
+        obs::diagnostic_counter("svc.cache_exact_hits", window.exact_hits as i64);
+        obs::diagnostic_counter("svc.cache_canonical_hits", window.canonical_hits as i64);
+        obs::diagnostic_counter("svc.cache_store_hits", window.store_hits as i64);
+        obs::diagnostic_counter("svc.cache_misses", window.misses as i64);
+        obs::diagnostic_counter("svc.delta_hits", stats.delta_hits as i64);
+        stats.window_hits = window.hits();
+        stats.window_canonical_hits = window.canonical_hits;
+        stats.window_store_hits = window.store_hits;
+        stats.window_misses = window.misses;
         // The store moves while solve_one runs muted, so its counters are
         // re-emitted here as this window's deltas against the previous
         // window's snapshot.
@@ -838,7 +927,10 @@ impl SynthesisService {
             line: response_error(Some(&p.id), kind, message),
             outcome: Outcome::Rejected(kind),
             cache_hits: 0,
+            cache_canonical_hits: 0,
+            cache_store_hits: 0,
             cache_misses: 0,
+            delta_hit: false,
         };
         if p.cancelled {
             return rejected(ErrorKind::Cancelled, "cancelled before execution");
@@ -853,6 +945,29 @@ impl SynthesisService {
                     ErrorKind::DeadlineExceeded,
                     &format!("deadline of {ms}ms passed before execution"),
                 );
+            }
+        }
+        // The whole-request delta cache: a positional-shape match means a
+        // structurally identical assay under the same config already ran,
+        // and the pipeline is deterministic, so its result is the exact
+        // value a fresh run would recompute. Requests wanting a `trace`
+        // fingerprint must actually run, so they bypass the cache both
+        // ways.
+        let shape = match &self.delta {
+            Some(_) if !p.artifacts.trace => AssayShape::of(&p.assay, &p.config).ok(),
+            _ => None,
+        };
+        if let (Some(delta), Some(shape)) = (&self.delta, &shape) {
+            if let Some(result) = delta.lookup_full(shape) {
+                return SolvedOne {
+                    line: response_ok(&p.id, &p.assay, &result, p.artifacts, None, true),
+                    outcome: Outcome::Solved,
+                    cache_hits: 0,
+                    cache_canonical_hits: 0,
+                    cache_store_hits: 0,
+                    cache_misses: 0,
+                    delta_hit: true,
+                };
             }
         }
         let mut synthesizer = Synthesizer::new(p.config.clone());
@@ -873,13 +988,25 @@ impl SynthesisService {
         };
         match outcome {
             Ok(result) => {
+                if let (Some(delta), Some(shape)) = (&self.delta, &shape) {
+                    delta.insert(shape, &result);
+                }
                 let cache_hits = result.iterations.iter().map(|it| it.cache_hits).sum();
+                let cache_canonical_hits = result
+                    .iterations
+                    .iter()
+                    .map(|it| it.cache_canonical_hits)
+                    .sum();
+                let cache_store_hits = result.iterations.iter().map(|it| it.cache_store_hits).sum();
                 let cache_misses = result.iterations.iter().map(|it| it.cache_misses).sum();
                 SolvedOne {
-                    line: response_ok(&p.id, &p.assay, &result, p.artifacts, fingerprint),
+                    line: response_ok(&p.id, &p.assay, &result, p.artifacts, fingerprint, false),
                     outcome: Outcome::Solved,
                     cache_hits,
+                    cache_canonical_hits,
+                    cache_store_hits,
                     cache_misses,
+                    delta_hit: false,
                 }
             }
             Err(e) => rejected(ErrorKind::SynthesisError, &e.to_string()),
@@ -1095,7 +1222,12 @@ mod tests {
 
     #[test]
     fn shared_cache_hits_across_requests() {
-        let service = SynthesisService::new(ServiceConfig::default());
+        // Delta cache off: it would replay the duplicate whole and leave
+        // the layer cache — the thing under test — untouched.
+        let service = SynthesisService::new(ServiceConfig {
+            delta_cache: false,
+            ..ServiceConfig::default()
+        });
         let input = format!("{}\n\n{}\n", req("first", 4), req("second", 4));
         let (_, summary) = run(&service, &input);
         assert_eq!(summary.solved, 2);
@@ -1114,7 +1246,12 @@ mod tests {
     fn window_counters_reset_between_serve_loops() {
         // The bug this pins: the summary previously diffed lifetime cache
         // stats, so a second connection inherited the first one's rate.
-        let service = SynthesisService::new(ServiceConfig::default());
+        // (Delta cache off so the duplicate actually reaches the layer
+        // cache instead of being replayed whole.)
+        let service = SynthesisService::new(ServiceConfig {
+            delta_cache: false,
+            ..ServiceConfig::default()
+        });
         let warm = format!("{}\n\n{}\n", req("a", 4), req("b", 4));
         let (_, first) = run(&service, &warm);
         assert!(first.window_hits > 0);
@@ -1233,23 +1370,39 @@ mod tests {
             accepted: 4,
             solved: 4,
             batches: 1,
+            window_hits: 5,
+            window_canonical_hits: 2,
+            window_store_hits: 1,
+            delta_hits: 3,
             shards: vec![
                 ShardStats {
                     requests: 3,
-                    hits: 2,
+                    exact_hits: 2,
+                    canonical_hits: 1,
+                    store_hits: 1,
+                    delta_hits: 2,
                     misses: 1,
                 },
                 ShardStats {
                     requests: 1,
-                    hits: 0,
+                    exact_hits: 0,
+                    canonical_hits: 1,
+                    store_hits: 0,
+                    delta_hits: 1,
                     misses: 2,
                 },
             ],
             accept_retries: 2,
             ..ServiceSummary::default()
         };
+        assert_eq!(summary.shards[0].hits(), 4);
         let line = summary.to_string();
-        assert!(line.contains("shards [req/hit] 3/2 1/0"), "{line}");
+        assert!(line.contains("(2 canonical, 1 store)"), "{line}");
+        assert!(line.contains("3 delta replays"), "{line}");
+        assert!(
+            line.contains("shards [req/exact/canon/store/delta] 3/2/1/1/2 1/0/1/0/1"),
+            "{line}"
+        );
         assert!(line.contains("2 accept retries"), "{line}");
         // merge() folds shard counters element-wise and adds retries.
         let other = ServiceSummary {
@@ -1257,8 +1410,8 @@ mod tests {
                 ShardStats::default(),
                 ShardStats {
                     requests: 5,
-                    hits: 1,
-                    misses: 0,
+                    exact_hits: 1,
+                    ..ShardStats::default()
                 },
             ],
             accept_retries: 1,
@@ -1266,12 +1419,43 @@ mod tests {
         };
         summary.merge(&other);
         assert_eq!(summary.shards[1].requests, 6);
-        assert_eq!(summary.shards[1].hits, 1);
+        assert_eq!(summary.shards[1].exact_hits, 1);
         assert_eq!(summary.accept_retries, 3);
         // Single-shard summaries keep the line free of shard noise.
         let quiet = ServiceSummary::default().to_string();
         assert!(!quiet.contains("shards"), "{quiet}");
         assert!(!quiet.contains("retries"), "{quiet}");
+        assert!(!quiet.contains("delta"), "{quiet}");
+        assert!(!quiet.contains("canonical"), "{quiet}");
+    }
+
+    #[test]
+    fn delta_cache_replays_structural_duplicates_byte_identically() {
+        // `req` generates name-bearing DSL; a renamed twin is the same
+        // positional shape, so with the delta cache on the second request
+        // replays the first result without synthesizing.
+        let renamed = |id: &str, dsl_ops: usize| {
+            let mut dsl = "assay \\\"other\\\"".to_owned();
+            for k in 0..dsl_ops {
+                dsl.push_str(&format!("\\nop y{k} {{ duration: {}m }}", k + 1));
+            }
+            format!(
+                r#"{{"version":"mfhls-api/v1","type":"synthesize","id":"{id}","assay":{{"dsl":"{dsl}"}}}}"#
+            )
+        };
+        let input = format!("{}\n\n{}\n", req("orig", 4), renamed("twin", 4));
+        let with = SynthesisService::new(ServiceConfig::default());
+        let (out_on, on) = run(&with, &input);
+        assert_eq!(on.delta_hits, 1, "{on:?}");
+        let without = SynthesisService::new(ServiceConfig {
+            delta_cache: false,
+            ..ServiceConfig::default()
+        });
+        let (out_off, off) = run(&without, &input);
+        assert_eq!(off.delta_hits, 0, "{off:?}");
+        // Ids differ per line but each line is byte-identical to the
+        // cache-off run of the same stream.
+        assert_eq!(out_on, out_off);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! mfhls trace-check trace.jsonl
 //! mfhls serve [--workers N] [--shards S] [--window D] [--queue N]
 //!             [--cache-entries N] [--max-ops N] [--no-shared-cache]
-//!             [--store DIR] [--tcp ADDR] [--once]
+//!             [--no-delta-cache] [--store DIR] [--tcp ADDR] [--once]
 //! mfhls bench
 //! ```
 //!
@@ -96,7 +96,7 @@ fn print_usage() {
          mfhls trace-check <trace.jsonl>\n  \
          mfhls serve [--workers N] [--shards S] [--window D] [--queue N]\n             \
          [--cache-entries N] [--max-ops N] [--no-shared-cache]\n             \
-         [--store DIR] [--tcp ADDR] [--once]\n  \
+         [--no-delta-cache] [--store DIR] [--tcp ADDR] [--once]\n  \
          mfhls bench\n\n\
          OPTIONS:\n  \
          --format F    (synth|simulate|faultsim) text (default) or json — one\n                \
@@ -785,6 +785,7 @@ const SERVE_FLAGS: &[(&str, bool)] = &[
     ("--cache-entries", true),
     ("--max-ops", true),
     ("--no-shared-cache", false),
+    ("--no-delta-cache", false),
     ("--store", true),
     ("--tcp", true),
     ("--once", false),
@@ -834,6 +835,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         queue_capacity,
         cache_entries: flags.parsed("--cache-entries", defaults.cache_entries)?,
         shared_cache: !flags.has("--no-shared-cache"),
+        delta_cache: !flags.has("--no-delta-cache"),
         max_ops,
         shards,
         pipeline_windows,
