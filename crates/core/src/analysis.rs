@@ -8,7 +8,7 @@
 //! This module computes those diagnostics from a validated
 //! [`HybridSchedule`].
 
-use crate::{Assay, HybridSchedule, OpId};
+use crate::{Assay, CoreError, HybridSchedule, OpId};
 use std::collections::BTreeMap;
 
 /// Per-device usage statistics.
@@ -51,13 +51,61 @@ pub struct ScheduleAnalysis {
     pub boundary_storage: Vec<u64>,
 }
 
+/// Fallible analysis: audits that `assay` and `schedule` agree on the op
+/// set before computing anything, so degenerate or mismatched inputs come
+/// back as a [`CoreError::InvalidSchedule`] naming the offending op
+/// instead of a panic (or, worse, a silently wrong report — the storage
+/// accounting would quietly drop edges whose endpoints are unscheduled).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSchedule`] if a slot references an op
+/// foreign to `assay`, an op is scheduled in more than one layer, or an
+/// op of `assay` is missing from `schedule`; the message names the op.
+pub fn try_analyse(
+    assay: &Assay,
+    schedule: &HybridSchedule,
+) -> Result<ScheduleAnalysis, CoreError> {
+    let mut seen = vec![false; assay.len()];
+    for layer in &schedule.layers {
+        for slot in &layer.ops {
+            let i = slot.op.index();
+            if i >= assay.len() {
+                return Err(CoreError::InvalidSchedule(format!(
+                    "analysis: slot references foreign op {} ({} ops in assay)",
+                    slot.op,
+                    assay.len()
+                )));
+            }
+            if seen[i] {
+                return Err(CoreError::InvalidSchedule(format!(
+                    "analysis: {} ('{}') is scheduled in more than one layer",
+                    slot.op,
+                    assay.op(slot.op).name()
+                )));
+            }
+            seen[i] = true;
+        }
+    }
+    if let Some(i) = seen.iter().position(|&s| !s) {
+        let id = OpId(i);
+        return Err(CoreError::InvalidSchedule(format!(
+            "analysis: {id} ('{}') is not scheduled in any layer",
+            assay.op(id).name()
+        )));
+    }
+    Ok(analyse_audited(assay, schedule))
+}
+
 /// Analyses a schedule. The schedule should pass
 /// [`HybridSchedule::validate`] first; analysis of an invalid schedule is
-/// not meaningful (but will not panic as long as every op is scheduled).
+/// not meaningful. Prefer [`try_analyse`] when the schedule comes from an
+/// untrusted source.
 ///
 /// # Panics
 ///
-/// Panics if some operation of `assay` is missing from `schedule`.
+/// Panics if `assay` and `schedule` disagree on the op set (see
+/// [`try_analyse`]); the panic message names the offending op.
 ///
 /// # Example
 ///
@@ -75,6 +123,13 @@ pub struct ScheduleAnalysis {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn analyse(assay: &Assay, schedule: &HybridSchedule) -> ScheduleAnalysis {
+    match try_analyse(assay, schedule) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn analyse_audited(assay: &Assay, schedule: &HybridSchedule) -> ScheduleAnalysis {
     let fixed_makespan: u64 = schedule.layers.iter().map(|l| l.makespan()).sum();
 
     // Device usage across all layers.
@@ -195,6 +250,10 @@ fn profile(intervals: Vec<(u64, u64)>) -> ParallelismProfile {
 /// Outputs that must be stored across each layer boundary: dependency
 /// edges whose parent runs in layer `<= i` and whose child runs in layer
 /// `> i` (one stored output per edge).
+///
+/// Edges with an unscheduled endpoint are skipped; call [`try_analyse`]
+/// (which audits coverage first) if that would silently understate the
+/// demand for your input.
 pub fn boundary_storage(assay: &Assay, schedule: &HybridSchedule) -> Vec<u64> {
     let mut layer_of: BTreeMap<OpId, usize> = BTreeMap::new();
     for (li, layer) in schedule.layers.iter().enumerate() {
@@ -301,6 +360,69 @@ mod tests {
             analysis.boundary_storage,
             r.layering.boundary_storage(&assay)
         );
+    }
+
+    #[test]
+    fn try_analyse_names_the_offending_op() {
+        let mut a = Assay::new("t");
+        let x = a.add_op(Operation::new("lyse").with_duration(Duration::fixed(4)));
+        let y = a.add_op(Operation::new("wash").with_duration(Duration::fixed(2)));
+        a.add_dependency(x, y).unwrap();
+        let slot = |op, start| ScheduledOp {
+            op,
+            device: 0,
+            start,
+            duration: if op == x { 4 } else { 2 },
+            transport: 0,
+        };
+
+        // Missing op: `wash` never scheduled.
+        let missing = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![slot(x, 0)])],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        let e = try_analyse(&a, &missing).unwrap_err().to_string();
+        assert!(e.contains("o1") && e.contains("wash"), "{e}");
+
+        // Duplicate: `lyse` in two layers.
+        let duplicated = HybridSchedule {
+            layers: vec![
+                LayerSchedule::new(vec![slot(x, 0), slot(y, 4)]),
+                LayerSchedule::new(vec![slot(x, 0)]),
+            ],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        let e = try_analyse(&a, &duplicated).unwrap_err().to_string();
+        assert!(e.contains("o0") && e.contains("more than one layer"), "{e}");
+
+        // Foreign slot: op id beyond the assay.
+        let foreign = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![
+                slot(x, 0),
+                slot(y, 4),
+                ScheduledOp {
+                    op: OpId(7),
+                    device: 0,
+                    start: 6,
+                    duration: 1,
+                    transport: 0,
+                },
+            ])],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        let e = try_analyse(&a, &foreign).unwrap_err().to_string();
+        assert!(e.contains("foreign op o7"), "{e}");
+
+        // And the happy path agrees with the panicking front door.
+        let good = HybridSchedule {
+            layers: vec![LayerSchedule::new(vec![slot(x, 0), slot(y, 4)])],
+            devices: vec![chamber()],
+            paths: Default::default(),
+        };
+        assert_eq!(try_analyse(&a, &good).unwrap(), analyse(&a, &good));
     }
 
     #[test]

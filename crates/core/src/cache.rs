@@ -529,6 +529,54 @@ impl CanonicalLayerKey {
     }
 }
 
+/// Relabeling-invariant WL colours for every operation of `assay`.
+///
+/// Seeds each op with its solver-visible attributes (requirements and
+/// duration — display names are excluded) and refines over the parent and
+/// child colour multisets until the number of distinct colours stops
+/// growing. Two ops receive the same colour only if no encoded attribute or
+/// dependency context distinguishes them, so the result is invariant under
+/// any renaming *or renumbering* of the assay's operations: mapping an op
+/// through a permutation maps its colour unchanged.
+///
+/// Used by [`crate::layer_assay`] to break eviction-cost ties structurally
+/// instead of by raw op id (which would make layer membership — and with it
+/// every [`CanonicalLayerKey`] — depend on insertion order).
+pub fn structural_op_colours(assay: &crate::Assay) -> Vec<u64> {
+    let n = assay.len();
+    let mut sig: Vec<u64> = assay
+        .iter()
+        .map(|(_, op)| fnv1a64(format!("{:?}/{:?}", op.requirements(), op.duration()).as_bytes()))
+        .collect();
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (p, c) in assay.dependencies() {
+        parents[c.index()].push(p.index());
+        children[p.index()].push(c.index());
+    }
+    let mut colours = distinct_colours(&sig, &[]);
+    let mut scratch: Vec<u64> = Vec::new();
+    for _ in 0..n.max(1) {
+        let next: Vec<u64> = (0..n)
+            .map(|i| {
+                let mut s = Sig::new(sig[i]);
+                scratch.extend(parents[i].iter().map(|&p| sig[p]));
+                s.push_multiset(&mut scratch);
+                scratch.extend(children[i].iter().map(|&c| sig[c]));
+                s.push_multiset(&mut scratch);
+                s.finish()
+            })
+            .collect();
+        sig = next;
+        let refined = distinct_colours(&sig, &[]);
+        if refined == colours {
+            break;
+        }
+        colours = refined;
+    }
+    sig
+}
+
 /// Number of distinct WL colours across ops and devices — the refinement
 /// fixpoint detector.
 fn distinct_colours(osig: &[u64], dsig: &[u64]) -> usize {

@@ -1,7 +1,7 @@
-//! Tabular (CSV) export of schedules and assays, for spreadsheets and
-//! downstream tooling.
+//! Tabular (CSV) and netlist (JSON) export of schedules and assays, for
+//! spreadsheets and downstream tooling.
 
-use crate::{Assay, HybridSchedule};
+use crate::{Assay, Duration, HybridSchedule};
 
 /// Serialises a schedule as CSV:
 /// `op,name,layer,device,start,duration,transport,indeterminate`.
@@ -73,6 +73,94 @@ fn quote(s: &str) -> String {
     format!("\"{}\"", s.replace('"', "\"\""))
 }
 
+/// Serialises an assay in the `mfhls-netlist/v1` interchange format: one
+/// JSON object with the op table (id, name, component requirements,
+/// duration) and the dependency edge list, both in deterministic id
+/// order. This is the export half of the netlist interchange; the
+/// `mfhls-svc` service plane ingests the same shape through the
+/// `{"assay": {"netlist": …}}` arm of `mfhls-api/v1` requests.
+///
+/// ```json
+/// {"version": "mfhls-netlist/v1",
+///  "name": "demo",
+///  "ops": [{"id": 0, "name": "mix", "container": "ring",
+///           "capacity": "medium", "accessories": ["pump"],
+///           "duration": {"fixed": 10}}],
+///  "edges": [[0, 1]]}
+/// ```
+///
+/// `container` and `capacity` are omitted when unconstrained;
+/// `duration` is `{"fixed": N}` or `{"min": N}` (indeterminate).
+///
+/// # Example
+///
+/// ```
+/// use mfhls_core::{export, Assay, Duration, Operation};
+///
+/// let mut a = Assay::new("demo");
+/// a.add_op(Operation::new("mix").with_duration(Duration::fixed(10)));
+/// let json = export::netlist_json(&a);
+/// assert!(json.starts_with("{\"version\":\"mfhls-netlist/v1\""));
+/// ```
+pub fn netlist_json(assay: &Assay) -> String {
+    let mut out = String::from("{\"version\":\"mfhls-netlist/v1\",\"name\":");
+    json_string(&mut out, assay.name());
+    out.push_str(",\"ops\":[");
+    for (i, (id, op)) in assay.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let req = op.requirements();
+        out.push_str(&format!("{{\"id\":{},\"name\":", id.index()));
+        json_string(&mut out, op.name());
+        if let Some(kind) = req.container {
+            out.push_str(&format!(",\"container\":\"{kind}\""));
+        }
+        if let Some(cap) = req.capacity {
+            out.push_str(&format!(",\"capacity\":\"{cap}\""));
+        }
+        out.push_str(",\"accessories\":[");
+        for (k, a) in req.accessories.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{a}\""));
+        }
+        out.push_str("],\"duration\":");
+        match op.duration() {
+            Duration::Fixed(d) => out.push_str(&format!("{{\"fixed\":{d}}}")),
+            Duration::Indeterminate { min } => out.push_str(&format!("{{\"min\":{min}}}")),
+        }
+        out.push('}');
+    }
+    out.push_str("],\"edges\":[");
+    for (i, (p, c)) in assay.dependencies().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{},{}]", p.index(), c.index()));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Appends `s` as a JSON string literal (RFC 8259 escaping).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +219,23 @@ mod tests {
         let r = Synthesizer::new(SynthConfig::default()).run(&a).unwrap();
         let csv = schedule_csv(&a, &r.schedule);
         assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn netlist_json_is_deterministic_and_escaped() {
+        let (a, _) = demo();
+        let j = netlist_json(&a);
+        assert_eq!(j, netlist_json(&a));
+        // The quote in `mix "A"` must be escaped, not emitted raw.
+        assert!(j.contains(r#""name":"mix \"A\"""#), "{j}");
+        assert!(j.contains(r#""duration":{"fixed":5}"#), "{j}");
+        assert!(j.contains(r#""duration":{"min":3}"#), "{j}");
+        assert!(j.contains(r#""edges":[[0,1]]"#), "{j}");
+    }
+
+    #[test]
+    fn netlist_json_empty_assay() {
+        let j = netlist_json(&Assay::new("empty"));
+        assert!(j.ends_with("\"ops\":[],\"edges\":[]}"), "{j}");
     }
 }

@@ -134,9 +134,15 @@ impl Layering {
 /// Runs Algorithm 1: partitions `assay` into layers with at most
 /// `threshold` indeterminate operations per layer.
 ///
-/// Deterministic: the "randomly chosen" indeterminate op of the paper is
-/// replaced by the smallest eligible id, and eviction ties break on
-/// (storage, moved-count, id).
+/// Deterministic *and relabeling-invariant*: the "randomly chosen"
+/// indeterminate op of the paper is replaced by the smallest eligible id
+/// (the chosen *set* is order-independent — an indeterminate op is kept
+/// iff it has no unlayered indeterminate ancestor), and eviction ties
+/// break on (storage, moved-count, WL colour, id). The WL colour
+/// ([`crate::structural_op_colours`]) is a structural fingerprint, so
+/// renumbering the assay's operations cannot change which *structural*
+/// op is evicted; the raw id only decides between WL-indistinguishable
+/// twins, where either choice yields isomorphic layers.
 ///
 /// # Errors
 ///
@@ -178,6 +184,9 @@ pub fn layer_assay(assay: &Assay, threshold: usize) -> Result<Layering, CoreErro
     let all_desc = reach::all_descendants(&graph);
     let all_anc = reach::all_ancestors(&graph);
     let indeterminate: Vec<bool> = assay.iter().map(|(_, o)| o.is_indeterminate()).collect();
+    // Structural eviction tie-break (computed lazily: only layers that
+    // overflow the threshold ever need it).
+    let mut colours: Option<Vec<u64>> = None;
 
     let mut remaining = BitSet::new(n.max(1));
     for i in 0..n {
@@ -231,16 +240,23 @@ pub fn layer_assay(assay: &Assay, threshold: usize) -> Result<Layering, CoreErro
             if inds_now.len() <= threshold {
                 break;
             }
-            // Cost of evicting each indeterminate op.
-            let mut best: Option<(u64, usize, usize, Vec<usize>)> = None;
+            // Cost of evicting each indeterminate op. Ties on (storage,
+            // moved-count) break on the relabeling-invariant WL colour so
+            // that layer membership — and every canonical cache key built
+            // from it — survives renumbering the assay's operations.
+            let colours = colours.get_or_insert_with(|| crate::cache::structural_op_colours(assay));
+            let mut best: Option<(u64, usize, u64, usize, Vec<usize>)> = None;
             for &oj in &inds_now {
                 let (storage, moved) = eviction_plan(assay, &layer_set, &all_anc, &all_desc, oj)?;
-                let key = (storage, moved.len(), oj);
-                if best.as_ref().is_none_or(|(s, m, o, _)| key < (*s, *m, *o)) {
-                    best = Some((storage, moved.len(), oj, moved));
+                let key = (storage, moved.len(), colours[oj], oj);
+                if best
+                    .as_ref()
+                    .is_none_or(|(s, m, c, o, _)| key < (*s, *m, *c, *o))
+                {
+                    best = Some((storage, moved.len(), colours[oj], oj, moved));
                 }
             }
-            let Some((storage, _, evicted, moved)) = best else {
+            let Some((storage, _, _, evicted, moved)) = best else {
                 // Unreachable: `inds_now.len() > threshold >= 1` guarantees
                 // at least one candidate — surfaced as an error, not a panic.
                 return Err(CoreError::Internal(

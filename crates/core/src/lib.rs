@@ -76,8 +76,8 @@ pub mod validate;
 
 pub use assay::Assay;
 pub use cache::{
-    CacheBacking, CacheContext, CacheCounters, CacheStats, CanonicalLayerKey, HitClass, LayerCache,
-    LayerKey, LayerKeyParts, RunCache, SharedLayerCache,
+    structural_op_colours, CacheBacking, CacheContext, CacheCounters, CacheStats,
+    CanonicalLayerKey, HitClass, LayerCache, LayerKey, LayerKeyParts, RunCache, SharedLayerCache,
 };
 pub use delta::{AssayShape, DeltaCache, DeltaStats};
 pub use layering::{layer_assay, Layering};

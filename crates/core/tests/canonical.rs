@@ -14,8 +14,8 @@
 
 use mfhls_chip::{Accessory, AccessorySet, Capacity, ContainerKind, CostModel, DeviceConfig};
 use mfhls_core::{
-    layer_assay, Assay, CanonicalLayerKey, Duration, HitClass, LayerCache, LayerKey, LayerProblem,
-    LayerSolver, OpId, Operation, TransportConfig, TransportTimes, Weights,
+    layer_assay, structural_op_colours, Assay, CanonicalLayerKey, Duration, HitClass, LayerCache,
+    LayerKey, LayerProblem, LayerSolver, OpId, Operation, TransportConfig, TransportTimes, Weights,
 };
 use mfhls_graph::rng::SplitMix64;
 use std::collections::{BTreeSet, HashSet};
@@ -349,6 +349,100 @@ fn layered_assay_hashes_every_layer_identically_under_renumbering() {
             let k2 = CanonicalLayerKey::of(&p2, "h");
             assert_eq!(k1.canon_bytes(), k2.canon_bytes(), "seed {seed}");
         }
+    }
+}
+
+#[test]
+fn structural_op_colours_commute_with_renumbering() {
+    // The whole-assay WL colours that break layering eviction ties must
+    // map unchanged through any op permutation: colour(op) in the original
+    // equals colour(sigma(op)) in the permuted assay.
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0C01 ^ seed);
+        let spec = gen_spec(&mut rng);
+        let n = spec.assay.len();
+        let sigma = shuffle(&mut rng, n);
+        let permuted = permute_spec(&spec, &sigma, &[]);
+        let mut new_pos = vec![0usize; n];
+        for (j, &old) in sigma.iter().enumerate() {
+            new_pos[old] = j;
+        }
+        let c1 = structural_op_colours(&spec.assay);
+        let c2 = structural_op_colours(&permuted.assay);
+        for old in 0..n {
+            assert_eq!(
+                c1[old], c2[new_pos[old]],
+                "seed {seed}: colour of old op {old} moved under sigma={sigma:?}"
+            );
+        }
+    }
+}
+
+/// Regression for the layering eviction tie-break (found by the `mfhls gen
+/// --check` metamorphic sweep on `wide-fanout` seeds 0x28/0x2d/0x34/0x37
+/// and `large` 0x31): when two indeterminate ops tie on eviction cost
+/// (storage, moved-count), the tie used to break on the raw op id, so
+/// renumbering the assay evicted a *different structural op* and every
+/// canonical layer key downstream moved. The tie now breaks on the
+/// relabeling-invariant WL colour.
+#[test]
+fn eviction_ties_break_structurally_not_by_id() {
+    // Two independent chains, each a fixed parent feeding an indeterminate
+    // op. With threshold 1 one chain must be evicted; both evictions cost
+    // (storage 0, moved 2) — a perfect tie. The chains differ only in the
+    // parent's duration (5 vs 7), so their WL colours differ and exactly
+    // one of them is the structurally-determined victim, whatever order
+    // the ops were inserted in.
+    let build = |order: &[(&str, u64, bool)]| {
+        let mut a = Assay::new("tie");
+        let mut id = std::collections::HashMap::new();
+        for &(name, minutes, ind) in order {
+            let d = if ind {
+                Duration::at_least(minutes)
+            } else {
+                Duration::fixed(minutes)
+            };
+            id.insert(name, a.add_op(Operation::new(name).with_duration(d)));
+        }
+        a.add_dependency(id["pa"], id["ia"]).unwrap();
+        a.add_dependency(id["pb"], id["ib"]).unwrap();
+        a
+    };
+    let layer_names = |a: &Assay| -> Vec<std::collections::BTreeSet<String>> {
+        let l = layer_assay(a, 1).expect("acyclic");
+        l.layers()
+            .iter()
+            .map(|ops| ops.iter().map(|&o| a.op(o).name().to_owned()).collect())
+            .collect()
+    };
+    let orders: [&[(&str, u64, bool)]; 3] = [
+        &[
+            ("pa", 5, false),
+            ("ia", 3, true),
+            ("pb", 7, false),
+            ("ib", 3, true),
+        ],
+        &[
+            ("pb", 7, false),
+            ("ib", 3, true),
+            ("pa", 5, false),
+            ("ia", 3, true),
+        ],
+        &[
+            ("ib", 3, true),
+            ("ia", 3, true),
+            ("pb", 7, false),
+            ("pa", 5, false),
+        ],
+    ];
+    let reference = layer_names(&build(orders[0]));
+    assert_eq!(reference.len(), 2, "threshold 1 splits the two chains");
+    for order in &orders[1..] {
+        assert_eq!(
+            layer_names(&build(order)),
+            reference,
+            "evicted chain must not depend on insertion order {order:?}"
+        );
     }
 }
 

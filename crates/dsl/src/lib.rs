@@ -177,11 +177,36 @@ impl<'a> Lexer<'a> {
                 }
             }
             '"' => {
-                let body = &rest[1..];
-                let Some(end) = body.find('"') else {
+                // Backslash escapes so display names containing quotes or
+                // backslashes (legal in programmatically built assays)
+                // survive a `to_text` → `parse` round trip.
+                let mut s = String::new();
+                let mut chars = rest[1..].char_indices();
+                let mut closed = None;
+                while let Some((i, ch)) = chars.next() {
+                    match ch {
+                        '"' => {
+                            closed = Some(i);
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some((_, '"')) => s.push('"'),
+                            Some((_, '\\')) => s.push('\\'),
+                            Some((_, 'n')) => s.push('\n'),
+                            Some((_, 't')) => s.push('\t'),
+                            Some((_, other)) => {
+                                return Err(self.error(format!(
+                                    "unknown escape '\\{other}' in string (\\\" \\\\ \\n \\t)"
+                                )))
+                            }
+                            None => return Err(self.error("unterminated string")),
+                        },
+                        other => s.push(other),
+                    }
+                }
+                let Some(end) = closed else {
                     return Err(self.error("unterminated string"));
                 };
-                let s = body[..end].to_owned();
                 self.bump(end + 2);
                 Token::Str(s)
             }
@@ -608,8 +633,29 @@ fn parse_accessory(s: &str) -> Option<Accessory> {
     }
 }
 
+/// Escapes a display name for the quoted-string syntax (inverse of the
+/// lexer's escape handling).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Prints an assay in the DSL format; [`parse`] of the output reproduces
 /// the assay (ids are `o0`, `o1`, … in operation order).
+///
+/// Display names are escaped, and because [`parse`] rejects duplicate
+/// display names, a repeated name is deterministically disambiguated with
+/// an ` (oK)` suffix (K = the op's index). Everything structural —
+/// requirements, durations, dependencies — round-trips unchanged.
 ///
 /// # Example
 ///
@@ -624,9 +670,14 @@ fn parse_accessory(s: &str) -> Option<Accessory> {
 /// # Ok::<(), mfhls_dsl::ParseError>(())
 /// ```
 pub fn to_text(assay: &Assay) -> String {
-    let mut out = format!("assay \"{}\"\n", assay.name());
+    let mut out = format!("assay \"{}\"\n", escape(assay.name()));
+    let mut used: BTreeSet<String> = BTreeSet::new();
     for (id, op) in assay.iter() {
-        out.push_str(&format!("\nop o{} \"{}\" {{\n", id.index(), op.name()));
+        let mut name = op.name().to_owned();
+        while !used.insert(name.clone()) {
+            name = format!("{name} (o{})", id.index());
+        }
+        out.push_str(&format!("\nop o{} \"{}\" {{\n", id.index(), escape(&name)));
         let req = op.requirements();
         if let Some(kind) = req.container {
             out.push_str(&format!("    container: {kind}\n"));
@@ -854,6 +905,72 @@ repeat 1 {
             assert_eq!(op.duration(), op2.duration());
             assert_eq!(op.name(), op2.name());
         }
+    }
+
+    #[test]
+    fn string_escapes_lex() {
+        let a = parse(
+            r#"assay "a \"b\" \\ c"
+op x "tab\there" { duration: 1m }"#,
+        )
+        .unwrap();
+        assert_eq!(a.name(), "a \"b\" \\ c");
+        assert_eq!(a.op(OpId(0)).name(), "tab\there");
+    }
+
+    #[test]
+    fn unknown_escape_is_an_error() {
+        let e = parse("assay \"x\"\nop a \"bad \\q\" { duration: 1m }").unwrap_err();
+        assert!(e.message.contains("\\q"), "{e}");
+    }
+
+    #[test]
+    fn round_trip_quoted_names() {
+        // Names with embedded quotes/backslashes (constructible via the
+        // API, e.g. `mfhls-core::export`'s demo assay) must survive
+        // to_text → parse. Before the lexer learned escapes, the quote in
+        // `mix "A"` terminated the string early and re-parsing failed.
+        let mut a = Assay::new("tricky \"names\"");
+        let m = a.add_op(Operation::new("mix \"A\"").with_duration(Duration::fixed(3)));
+        let d = a.add_op(Operation::new("back\\slash\nnewline").with_duration(Duration::fixed(2)));
+        a.add_dependency(m, d).unwrap();
+        let b = parse(&to_text(&a)).unwrap();
+        assert_eq!(b.name(), a.name());
+        for (id, op) in a.iter() {
+            assert_eq!(b.op(id).name(), op.name());
+            assert_eq!(b.op(id).duration(), op.duration());
+        }
+        assert_eq!(
+            a.dependencies().collect::<Vec<_>>(),
+            b.dependencies().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn round_trip_duplicate_display_names() {
+        // `parse` rejects duplicate display names, so `to_text` must
+        // disambiguate them deterministically; structure round-trips
+        // unchanged.
+        let mut a = Assay::new("dups");
+        let x = a.add_op(Operation::new("mix").with_duration(Duration::fixed(3)));
+        let y = a.add_op(Operation::new("mix").with_duration(Duration::fixed(5)));
+        // An adversarial pre-existing name equal to the disambiguation of
+        // op 1 forces a second suffix round.
+        a.add_op(Operation::new("mix (o1)").with_duration(Duration::fixed(7)));
+        a.add_dependency(x, y).unwrap();
+        let text = to_text(&a);
+        assert_eq!(text, to_text(&a), "deterministic output");
+        let b = parse(&text).unwrap();
+        assert_eq!(b.len(), a.len());
+        assert_eq!(b.op(OpId(0)).name(), "mix");
+        for (id, op) in a.iter() {
+            assert_eq!(b.op(id).requirements(), op.requirements());
+            assert_eq!(b.op(id).duration(), op.duration());
+        }
+        assert_eq!(
+            a.dependencies().collect::<Vec<_>>(),
+            b.dependencies().collect::<Vec<_>>()
+        );
     }
 
     #[test]

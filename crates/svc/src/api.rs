@@ -13,8 +13,10 @@
 //!  "artifacts":["stats","schedule"],"deadline_ms":60000}
 //! ```
 //!
-//! The assay is either inline DSL (`{"dsl":"..."}`) or a named generator
-//! (`{"benchmark":"kinase","scale":2}` — see [`benchmark_assay`]).
+//! The assay is inline DSL (`{"dsl":"..."}`), a named generator
+//! (`{"benchmark":"kinase","scale":2}` — see [`benchmark_assay`]), or an
+//! inline `mfhls-netlist/v1` object (`{"netlist":{...}}` — see
+//! [`crate::netlist`]).
 //! `config` entries override [`SynthConfig::default`] through the
 //! validating builder; unknown keys are rejected (the service equivalent
 //! of the CLI's unknown-flag errors). `artifacts` selects response
@@ -116,7 +118,7 @@ impl std::fmt::Display for RequestError {
 impl std::error::Error for RequestError {}
 
 /// Where the request's assay comes from.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AssaySource {
     /// Inline DSL text (see `mfhls-dsl`).
     Dsl(String),
@@ -128,6 +130,9 @@ pub enum AssaySource {
         /// when absent.
         scale: Option<usize>,
     },
+    /// An inline `mfhls-netlist/v1` object (see [`crate::netlist`]);
+    /// validated field-by-field at resolution time.
+    Netlist(Json),
 }
 
 /// Which payloads the response should carry.
@@ -280,10 +285,18 @@ pub fn parse_incoming(line: &str) -> Result<Incoming, RequestError> {
             name: name.to_owned(),
             scale,
         }
+    } else if let Some(net) = assay_field.get("netlist") {
+        if net.as_object().is_none() {
+            return Err(RequestError::new(
+                ErrorKind::MalformedRequest,
+                "'assay.netlist' must be an object (mfhls-netlist/v1)",
+            ));
+        }
+        AssaySource::Netlist(net.clone())
     } else {
         return Err(RequestError::new(
             ErrorKind::MalformedRequest,
-            "'assay' needs either {\"dsl\":\"...\"} or {\"benchmark\":\"name\"}",
+            "'assay' needs {\"dsl\":\"...\"}, {\"benchmark\":\"name\"}, or {\"netlist\":{...}}",
         ));
     };
     let artifacts = match value.get("artifacts") {
@@ -391,6 +404,7 @@ impl SynthesisRequest {
                 }
                 obj(entries)
             }
+            AssaySource::Netlist(value) => obj(vec![("netlist", value.clone())]),
         };
         let mut artifacts = Vec::new();
         for (on, name) in [
@@ -417,17 +431,21 @@ impl SynthesisRequest {
         out.into_bytes()
     }
 
-    /// Materializes the assay (parsing inline DSL with `max_ops` as the
-    /// admission bound, or instantiating a named benchmark).
+    /// Materializes the assay (parsing inline DSL or an
+    /// `mfhls-netlist/v1` object with `max_ops` as the admission bound,
+    /// or instantiating a named benchmark).
     ///
     /// # Errors
     ///
-    /// [`ErrorKind::ParseError`] with the DSL error or the op-limit /
-    /// unknown-benchmark message.
+    /// [`ErrorKind::ParseError`] with the DSL error, the netlist error
+    /// naming the offending field, or the op-limit / unknown-benchmark
+    /// message.
     pub fn resolve_assay(&self, max_ops: usize) -> Result<Assay, RequestError> {
         match &self.assay {
             AssaySource::Dsl(text) => mfhls_dsl::parse_with_limit(text, max_ops)
                 .map_err(|e| RequestError::new(ErrorKind::ParseError, e.to_string())),
+            AssaySource::Netlist(value) => crate::netlist::assay_from_json(value, max_ops)
+                .map_err(|m| RequestError::new(ErrorKind::ParseError, m)),
             AssaySource::Benchmark { name, scale } => {
                 let assay = benchmark_assay(name, *scale)
                     .map_err(|m| RequestError::new(ErrorKind::ParseError, m))?;
@@ -971,6 +989,44 @@ mod tests {
             bad.resolve_assay(64).unwrap_err().kind,
             ErrorKind::ParseError
         );
+    }
+
+    #[test]
+    fn netlist_requests_resolve_and_reject() {
+        let line = r#"{"version":"mfhls-api/v1","type":"synthesize","id":"n1",
+            "assay":{"netlist":{"version":"mfhls-netlist/v1","name":"net",
+            "ops":[{"id":0,"name":"mix","duration":{"fixed":4}},
+                   {"id":1,"name":"read","accessories":["optical-system"],
+                    "duration":{"min":2}}],
+            "edges":[[0,1]]}}}"#
+            .replace('\n', " ");
+        let Incoming::Synthesize(req) = parse_incoming(&line).unwrap() else {
+            panic!("expected a synthesize request");
+        };
+        assert!(matches!(req.assay, AssaySource::Netlist(_)));
+        let assay = req.resolve_assay(64).unwrap();
+        assert_eq!(assay.len(), 2);
+        assert_eq!(assay.name(), "net");
+        assert!(assay.op(mfhls_core::OpId(1)).is_indeterminate());
+        // The op limit applies to netlists too.
+        let e = req.resolve_assay(1).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::ParseError);
+        assert!(e.message.contains("limit of 1"), "{e}");
+        // A dangling edge is a ParseError naming the field.
+        let bad = line.replace("[0,1]", "[0,5]");
+        let Incoming::Synthesize(req) = parse_incoming(&bad).unwrap() else {
+            panic!("expected a synthesize request");
+        };
+        let e = req.resolve_assay(64).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::ParseError);
+        assert!(e.message.contains("netlist.edges[0][1]"), "{e}");
+        // A non-object netlist is malformed at parse time.
+        let e = parse_incoming(
+            r#"{"version":"mfhls-api/v1","type":"synthesize","id":"n2","assay":{"netlist":7}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::MalformedRequest);
+        assert!(e.message.contains("netlist"), "{e}");
     }
 
     #[test]

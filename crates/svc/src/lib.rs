@@ -41,6 +41,7 @@
 
 pub mod api;
 pub mod json;
+pub mod netlist;
 mod pipeline;
 pub mod service;
 pub mod shard;
@@ -50,4 +51,5 @@ pub use api::{
     RequestError, SynthesisRequest, VERSION,
 };
 pub use json::{Json, JsonError};
+pub use netlist::{assay_from_json, NETLIST_VERSION};
 pub use service::{ServiceConfig, ServiceSummary, ShardStats, SynthesisService};

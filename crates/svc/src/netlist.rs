@@ -1,0 +1,368 @@
+//! Ingestion of the `mfhls-netlist/v1` interchange format.
+//!
+//! The export half lives in `mfhls-core::export::netlist_json`; this
+//! module turns the same JSON shape back into an [`Assay`], under the
+//! strict-depth discipline of the [`crate::json`] parser (the value has
+//! already passed `Json::parse`, which bounds nesting) plus a strict
+//! field vocabulary: unknown keys, unknown component kinds, dangling
+//! edge indices, and op counts over the admission limit are all rejected
+//! with a message naming the offending field.
+//!
+//! ```json
+//! {"version": "mfhls-netlist/v1",
+//!  "name": "demo",
+//!  "ops": [{"id": 0, "name": "mix", "container": "ring",
+//!           "capacity": "medium", "accessories": ["pump"],
+//!           "duration": {"fixed": 10}}],
+//!  "edges": [[0, 1]]}
+//! ```
+
+use crate::json::Json;
+use mfhls_chip::{Accessory, Capacity, ContainerKind};
+use mfhls_core::{Assay, Duration, OpId, Operation};
+
+/// The netlist interchange version tag.
+pub const NETLIST_VERSION: &str = "mfhls-netlist/v1";
+
+/// Builds an [`Assay`] from a parsed `mfhls-netlist/v1` value, enforcing
+/// `max_ops` as the admission bound.
+///
+/// # Errors
+///
+/// A message naming the offending field (`ops[3].container`,
+/// `edges[1][0]`, …) for: wrong version tag, unknown keys, missing or
+/// mistyped fields, unknown container/capacity/accessory kinds,
+/// unfabricable container/capacity combinations, out-of-order ids,
+/// dangling or duplicate edges, and more than `max_ops` operations.
+pub fn assay_from_json(value: &Json, max_ops: usize) -> Result<Assay, String> {
+    let entries = value
+        .as_object()
+        .ok_or_else(|| "'netlist' must be an object".to_owned())?;
+    let mut name = None;
+    let mut ops = None;
+    let mut edges = None;
+    let mut version = None;
+    for (key, v) in entries {
+        match key.as_str() {
+            "version" => version = Some(v),
+            "name" => name = Some(v),
+            "ops" => ops = Some(v),
+            "edges" => edges = Some(v),
+            other => {
+                return Err(format!(
+                    "netlist: unknown key '{other}' (version|name|ops|edges)"
+                ))
+            }
+        }
+    }
+    match version {
+        None => return Err("netlist: missing 'version' field".to_owned()),
+        Some(v) => match v.as_str() {
+            Some(NETLIST_VERSION) => {}
+            Some(other) => {
+                return Err(format!(
+                    "netlist.version: '{other}' is not supported (want '{NETLIST_VERSION}')"
+                ))
+            }
+            None => return Err("netlist.version: must be a string".to_owned()),
+        },
+    }
+    let name = match name {
+        None => "netlist",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| "netlist.name: must be a string".to_owned())?,
+    };
+    let ops = ops
+        .ok_or_else(|| "netlist: missing 'ops' field".to_owned())?
+        .as_array()
+        .ok_or_else(|| "netlist.ops: must be an array".to_owned())?;
+    if ops.len() > max_ops {
+        return Err(format!(
+            "netlist.ops: defines {} operations, exceeding the limit of {max_ops}",
+            ops.len()
+        ));
+    }
+    let mut assay = Assay::new(name);
+    for (i, op) in ops.iter().enumerate() {
+        let op = parse_op(op, i).map_err(|m| format!("netlist.ops[{i}]{m}"))?;
+        assay.add_op(op);
+    }
+    let edges = edges
+        .ok_or_else(|| "netlist: missing 'edges' field".to_owned())?
+        .as_array()
+        .ok_or_else(|| "netlist.edges: must be an array".to_owned())?;
+    for (k, edge) in edges.iter().enumerate() {
+        let pair = edge
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("netlist.edges[{k}]: must be a [parent, child] pair"))?;
+        let mut idx = [0usize; 2];
+        for (slot, v) in pair.iter().enumerate() {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("netlist.edges[{k}][{slot}]: must be an op index"))?
+                as usize;
+            if n >= assay.len() {
+                return Err(format!(
+                    "netlist.edges[{k}][{slot}]: op index {n} is dangling ({} ops)",
+                    assay.len()
+                ));
+            }
+            idx[slot] = n;
+        }
+        assay
+            .add_dependency(OpId(idx[0]), OpId(idx[1]))
+            .map_err(|e| format!("netlist.edges[{k}]: {e}"))?;
+    }
+    Ok(assay)
+}
+
+/// Parses one op entry; `i` is its position, which its `id` must match
+/// (the format is positional so edge indices are unambiguous). Error
+/// messages are path fragments appended to `netlist.ops[i]` by the
+/// caller.
+fn parse_op(value: &Json, i: usize) -> Result<Operation, String> {
+    let entries = value
+        .as_object()
+        .ok_or_else(|| ": must be an object".to_owned())?;
+    let mut id = None;
+    let mut name = None;
+    let mut container = None;
+    let mut capacity = None;
+    let mut accessories = None;
+    let mut duration = None;
+    for (key, v) in entries {
+        match key.as_str() {
+            "id" => id = Some(v),
+            "name" => name = Some(v),
+            "container" => container = Some(v),
+            "capacity" => capacity = Some(v),
+            "accessories" => accessories = Some(v),
+            "duration" => duration = Some(v),
+            other => {
+                return Err(format!(
+                    ": unknown key '{other}' (id|name|container|capacity|accessories|duration)"
+                ))
+            }
+        }
+    }
+    if let Some(v) = id {
+        match v.as_u64() {
+            Some(n) if n as usize == i => {}
+            Some(n) => return Err(format!(".id: expected {i} (positional), got {n}")),
+            None => return Err(".id: must be a non-negative integer".to_owned()),
+        }
+    }
+    let default_name = format!("op{i}");
+    let name = match name {
+        None => default_name.as_str(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ".name: must be a string".to_owned())?,
+    };
+    let mut op = Operation::new(name);
+    let kind = match container {
+        None => None,
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| ".container: must be a string".to_owned())?;
+            let kind = match s {
+                "ring" => ContainerKind::Ring,
+                "chamber" => ContainerKind::Chamber,
+                other => return Err(format!(".container: unknown kind '{other}' (ring|chamber)")),
+            };
+            op = op.container(kind);
+            Some(kind)
+        }
+    };
+    if let Some(v) = capacity {
+        let s = v
+            .as_str()
+            .ok_or_else(|| ".capacity: must be a string".to_owned())?;
+        let cap = match s {
+            "large" => Capacity::Large,
+            "medium" => Capacity::Medium,
+            "small" => Capacity::Small,
+            "tiny" => Capacity::Tiny,
+            other => {
+                return Err(format!(
+                    ".capacity: unknown class '{other}' (large|medium|small|tiny)"
+                ))
+            }
+        };
+        if let Some(kind) = kind {
+            if !kind.allows(cap) {
+                return Err(format!(".capacity: a {kind} cannot have capacity {cap}"));
+            }
+        }
+        op = op.capacity(cap);
+    }
+    if let Some(v) = accessories {
+        let items = v
+            .as_array()
+            .ok_or_else(|| ".accessories: must be an array".to_owned())?;
+        for (k, item) in items.iter().enumerate() {
+            let s = item
+                .as_str()
+                .ok_or_else(|| format!(".accessories[{k}]: must be a string"))?;
+            let acc = match s.replace('_', "-").as_str() {
+                "pump" => Accessory::Pump,
+                "heating-pad" => Accessory::HeatingPad,
+                "optical-system" => Accessory::OpticalSystem,
+                "sieve-valve" => Accessory::SieveValve,
+                "cell-trap" => Accessory::CellTrap,
+                other => {
+                    return Err(format!(
+                        ".accessories[{k}]: unknown accessory '{other}' \
+                         (pump|heating-pad|optical-system|sieve-valve|cell-trap)"
+                    ))
+                }
+            };
+            op = op.accessory(acc);
+        }
+    }
+    let duration = duration.ok_or_else(|| ": missing 'duration' field".to_owned())?;
+    let pairs = duration
+        .as_object()
+        .filter(|o| o.len() == 1)
+        .ok_or_else(|| ".duration: must be {\"fixed\": N} or {\"min\": N}".to_owned())?;
+    let (key, v) = &pairs[0];
+    let minutes = v
+        .as_u64()
+        .ok_or_else(|| format!(".duration.{key}: must be a non-negative integer"))?;
+    op = op.with_duration(match key.as_str() {
+        "fixed" => Duration::fixed(minutes),
+        "min" => Duration::at_least(minutes),
+        other => return Err(format!(".duration: unknown key '{other}' (fixed|min)")),
+    });
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfhls_core::export::netlist_json;
+
+    fn demo() -> Assay {
+        let mut a = Assay::new("demo \"x\"");
+        let mix = a.add_op(
+            Operation::new("mix")
+                .container(ContainerKind::Ring)
+                .capacity(Capacity::Medium)
+                .accessory(Accessory::Pump)
+                .with_duration(Duration::fixed(10)),
+        );
+        let capture = a.add_op(
+            Operation::new("capture")
+                .capacity(Capacity::Small)
+                .accessory(Accessory::CellTrap)
+                .with_duration(Duration::at_least(3)),
+        );
+        let detect = a.add_op(
+            Operation::new("detect")
+                .accessory(Accessory::OpticalSystem)
+                .with_duration(Duration::fixed(5)),
+        );
+        a.add_dependency(mix, capture).unwrap();
+        a.add_dependency(capture, detect).unwrap();
+        a
+    }
+
+    #[test]
+    fn round_trips_through_core_export() {
+        let a = demo();
+        let value = Json::parse(&netlist_json(&a)).unwrap();
+        let b = assay_from_json(&value, 64).unwrap();
+        assert_eq!(b.name(), a.name());
+        assert_eq!(b.len(), a.len());
+        for (id, op) in a.iter() {
+            assert_eq!(b.op(id).name(), op.name());
+            assert_eq!(b.op(id).requirements(), op.requirements());
+            assert_eq!(b.op(id).duration(), op.duration());
+        }
+        assert_eq!(
+            a.dependencies().collect::<Vec<_>>(),
+            b.dependencies().collect::<Vec<_>>()
+        );
+        // And the re-export is byte-identical (canonical form).
+        assert_eq!(netlist_json(&b), netlist_json(&a));
+    }
+
+    #[test]
+    fn rejections_name_the_field() {
+        let ok = netlist_json(&demo());
+        let cases: Vec<(Json, &str)> = vec![
+            (Json::parse("[1,2]").unwrap(), "must be an object"),
+            (Json::parse("{\"ops\":[],\"edges\":[]}").unwrap(), "version"),
+            (
+                Json::parse("{\"version\":\"mfhls-netlist/v2\",\"ops\":[],\"edges\":[]}").unwrap(),
+                "netlist.version",
+            ),
+            (
+                Json::parse(&ok.replace("\"edges\"", "\"wires\"")).unwrap(),
+                "unknown key 'wires'",
+            ),
+            (
+                Json::parse(&ok.replace("\"container\":\"ring\"", "\"container\":\"tube\""))
+                    .unwrap(),
+                "netlist.ops[0].container: unknown kind 'tube'",
+            ),
+            (
+                Json::parse(&ok.replace("\"capacity\":\"medium\"", "\"capacity\":\"huge\""))
+                    .unwrap(),
+                "netlist.ops[0].capacity: unknown class 'huge'",
+            ),
+            (
+                Json::parse(&ok.replace("\"capacity\":\"medium\"", "\"capacity\":\"tiny\""))
+                    .unwrap(),
+                "a ring cannot have capacity tiny",
+            ),
+            (
+                Json::parse(&ok.replace("[\"pump\"]", "[\"laser\"]")).unwrap(),
+                "netlist.ops[0].accessories[0]: unknown accessory 'laser'",
+            ),
+            (
+                Json::parse(&ok.replace("[1,2]", "[1,9]")).unwrap(),
+                "netlist.edges[1][1]: op index 9 is dangling",
+            ),
+            (
+                Json::parse(&ok.replace("[0,1]", "[1,1]")).unwrap(),
+                "netlist.edges[0]",
+            ),
+            (
+                Json::parse(&ok.replace("{\"fixed\":10}", "{\"hours\":1}")).unwrap(),
+                "netlist.ops[0].duration: unknown key 'hours'",
+            ),
+            (
+                Json::parse(&ok.replace("\"id\":1,", "\"id\":7,")).unwrap(),
+                "netlist.ops[1].id: expected 1",
+            ),
+        ];
+        for (value, needle) in cases {
+            let e = assay_from_json(&value, 64).unwrap_err();
+            assert!(e.contains(needle), "wanted '{needle}' in '{e}'");
+        }
+    }
+
+    #[test]
+    fn op_limit_is_enforced() {
+        let value = Json::parse(&netlist_json(&demo())).unwrap();
+        let e = assay_from_json(&value, 2).unwrap_err();
+        assert!(e.contains("exceeding the limit of 2"), "{e}");
+        assert!(assay_from_json(&value, 3).is_ok());
+    }
+
+    #[test]
+    fn minimal_netlist_defaults() {
+        let value = Json::parse(
+            r#"{"version":"mfhls-netlist/v1",
+                "ops":[{"duration":{"fixed":1}}],"edges":[]}"#,
+        )
+        .unwrap();
+        let a = assay_from_json(&value, 8).unwrap();
+        assert_eq!(a.name(), "netlist");
+        assert_eq!(a.op(OpId(0)).name(), "op0");
+    }
+}

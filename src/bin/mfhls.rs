@@ -17,6 +17,8 @@
 //!             [--cache-entries N] [--max-ops N] [--no-shared-cache]
 //!             [--no-delta-cache] [--store DIR] [--tcp ADDR] [--once]
 //! mfhls bench
+//! mfhls gen [--seed S] [--count N] [--profile P|all] [--format dsl|netlist]
+//!           [--out DIR] [--check] [--threads N]
 //! ```
 //!
 //! `synth`, `simulate`, and `faultsim` additionally accept
@@ -69,6 +71,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "trace-check" => trace_check(&args[1..]),
         "serve" => serve(&args[1..]),
         "bench" => bench(&args[1..]),
+        "gen" => gen(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -97,7 +100,9 @@ fn print_usage() {
          mfhls serve [--workers N] [--shards S] [--window D] [--queue N]\n             \
          [--cache-entries N] [--max-ops N] [--no-shared-cache]\n             \
          [--no-delta-cache] [--store DIR] [--tcp ADDR] [--once]\n  \
-         mfhls bench\n\n\
+         mfhls bench\n  \
+         mfhls gen [--seed S] [--count N] [--profile P|all]\n             \
+         [--format dsl|netlist] [--out DIR] [--check] [--threads N]\n\n\
          OPTIONS:\n  \
          --format F    (synth|simulate|faultsim) text (default) or json — one\n                \
          mfhls-api/v1 object on stdout.\n  \
@@ -893,6 +898,115 @@ fn bench(args: &[String]) -> Result<(), CliError> {
             conv.schedule.used_device_count(),
             conv.schedule.path_count(),
         );
+    }
+    Ok(())
+}
+
+const GEN_FLAGS: &[(&str, bool)] = &[
+    ("--seed", true),
+    ("--count", true),
+    ("--profile", true),
+    ("--format", true),
+    ("--out", true),
+    ("--check", false),
+    ("--threads", true),
+];
+
+/// `mfhls gen`: the seeded assay generator and metamorphic check harness
+/// of `mfhls-bench::gen`. Pure function of `(--profile, --seed)` — output
+/// is byte-identical across runs, machines, and thread counts.
+fn gen(args: &[String]) -> Result<(), CliError> {
+    use mfhls::bench::gen::{check, generate, Profile};
+
+    check_flags("gen", args, 0, &[GEN_FLAGS])?;
+    let flags = Flags { args };
+    if let Some(n) = flags.value("--threads") {
+        let n: usize = n
+            .parse()
+            .map_err(|e| format!("invalid value for --threads: {e}"))?;
+        if n == 0 {
+            return Err("--threads wants at least 1".into());
+        }
+        mfhls::par::set_default_threads(Some(n));
+    }
+    let seed: u64 = flags.parsed("--seed", 0)?;
+    let count: u64 = flags.parsed("--count", 1)?;
+    if count == 0 {
+        return Err("flag '--count' of 'mfhls gen' wants at least 1".into());
+    }
+    let profiles: Vec<Profile> = match flags.value("--profile").unwrap_or("mixed") {
+        "all" => Profile::ALL.to_vec(),
+        p => vec![Profile::parse(p).ok_or_else(|| {
+            let known: Vec<&str> = Profile::ALL.iter().map(|q| q.name()).collect();
+            format!(
+                "unknown profile '{p}' (expected one of: {}, all)",
+                known.join(", ")
+            )
+        })?],
+    };
+    let format = flags.value("--format").unwrap_or("netlist");
+    if !matches!(format, "netlist" | "dsl") {
+        return Err(format!("unknown format '{format}' (expected dsl|netlist)").into());
+    }
+    let out_dir = flags.value("--out");
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    }
+
+    if flags.has("--check") {
+        // Checks are pure functions of (profile, seed): fan them out over
+        // the worker pool (honouring --threads / MFHLS_THREADS like every
+        // other subcommand) and print in case order, so the output is
+        // byte-identical at any thread count.
+        let case_list: Vec<(Profile, u64)> = (seed..seed.saturating_add(count))
+            .flat_map(|s| profiles.iter().map(move |&p| (p, s)))
+            .collect();
+        let outcomes = mfhls::par::par_map(&case_list, |&(profile, s)| check(profile, s));
+        let mut failures = 0usize;
+        for outcome in &outcomes {
+            if outcome.passed() {
+                println!(
+                    "ok   {} ops={} edges={} exec={}",
+                    outcome.name,
+                    outcome.ops,
+                    outcome.edges,
+                    outcome.exec.as_deref().unwrap_or("-")
+                );
+            } else {
+                failures += 1;
+                println!("FAIL {}:", outcome.name);
+                for v in &outcome.violations {
+                    println!("  - {v}");
+                }
+            }
+        }
+        println!("{} checked, {failures} failed", outcomes.len());
+        if failures > 0 {
+            return Err(
+                format!("{failures} of {} metamorphic checks failed", outcomes.len()).into(),
+            );
+        }
+        return Ok(());
+    }
+
+    for s in seed..seed.saturating_add(count) {
+        for &profile in &profiles {
+            let assay = generate(profile, s);
+            let (ext, doc) = match format {
+                "dsl" => ("mfa", mfhls::dsl::to_text(&assay)),
+                _ => ("json", export::netlist_json(&assay) + "\n"),
+            };
+            match out_dir {
+                Some(dir) => {
+                    let path = format!("{dir}/{}.{ext}", assay.name());
+                    std::fs::write(&path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+                }
+                None => print!("{doc}"),
+            }
+        }
+    }
+    if let Some(dir) = out_dir {
+        eprintln!("wrote {} assays to {dir}", count as usize * profiles.len());
     }
     Ok(())
 }

@@ -25,6 +25,7 @@
 //! | [`par`] | `mfhls-par` | deterministic scoped thread pool (`par_map`, thread-count control) |
 //! | [`store`] | `mfhls-store` | crash-safe on-disk solution store (`mfhls-store/v1` segments, fault injection, graceful degradation) |
 //! | [`svc`] | `mfhls-svc` | batched synthesis service: `mfhls-api/v1` NDJSON requests over stdin/stdout or TCP |
+//! | [`bench`] | `mfhls-bench` | benchmark harness, seeded assay generation (`mfhls gen`) and metamorphic oracles |
 //!
 //! The most common items are re-exported at the top level.
 //!
@@ -60,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub use mfhls_assays as assays;
+pub use mfhls_bench as bench;
 pub use mfhls_chip as chip;
 pub use mfhls_core as core;
 pub use mfhls_dsl as dsl;

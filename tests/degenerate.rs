@@ -68,6 +68,40 @@ fn single_op_assay_flows_through_the_pipeline() {
     assert_eq!(sim.makespan, 5);
 }
 
+/// `try_analyse` is the fallible front door of `analysis::analyse`; on a
+/// schedule that does not cover the assay it must name the offending op
+/// instead of producing a silently wrong report (or panicking later).
+#[test]
+fn try_analyse_rejects_degenerate_schedules_by_name() {
+    let mut assay = Assay::new("audited");
+    let x = assay.add_op(Operation::new("mix").with_duration(Duration::Fixed(3)));
+    let y = assay.add_op(Operation::new("wash").with_duration(Duration::Fixed(2)));
+    assay.add_dependency(x, y).unwrap();
+    let result = Synthesizer::new(SynthConfig::default())
+        .run(&assay)
+        .expect("two-op assay synthesizes");
+
+    // The genuine schedule passes the audit and matches the infallible path.
+    let report = analysis::try_analyse(&assay, &result.schedule).expect("real schedule is covered");
+    assert_eq!(report.fixed_makespan, 5);
+
+    // An empty schedule misses every op; the error names the first one.
+    let empty = mfhls::core::HybridSchedule {
+        layers: Vec::new(),
+        devices: result.schedule.devices.clone(),
+        paths: BTreeSet::new(),
+    };
+    let err = analysis::try_analyse(&assay, &empty).expect_err("nothing is scheduled");
+    let msg = err.to_string();
+    assert!(msg.contains("o0") && msg.contains("mix"), "{msg}");
+
+    // A schedule for a *different* assay references foreign ops.
+    let mut small = Assay::new("small");
+    small.add_op(Operation::new("solo").with_duration(Duration::Fixed(1)));
+    let err = analysis::try_analyse(&small, &result.schedule).expect_err("foreign ops");
+    assert!(err.to_string().contains("foreign op o1"), "{err}");
+}
+
 #[test]
 fn all_zero_durations_flow_through_the_pipeline() {
     let mut assay = Assay::new("instant");

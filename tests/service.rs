@@ -440,6 +440,77 @@ fn oversized_assay_is_rejected_at_admission() {
     assert_eq!(summary.accepted, 0);
 }
 
+/// `mfhls-netlist/v1` ingestion end to end: a well-formed netlist source
+/// solves exactly like its DSL twin, and each malformed shape is rejected
+/// with a typed `parse_error` naming the offending field.
+#[test]
+fn netlist_sources_solve_and_reject_with_field_names() {
+    let netlist_request = |id: &str, body: &str| {
+        format!(
+            r#"{{"version":"{VERSION}","type":"synthesize","id":"{id}","assay":{{"netlist":{body}}}}}"#
+        )
+    };
+    let good = r#"{"version":"mfhls-netlist/v1","name":"net","ops":[
+        {"id":0,"name":"mix","duration":{"fixed":3}},
+        {"id":1,"name":"detect","accessories":["optical-system"],"duration":{"min":2}}],
+        "edges":[[0,1]]}"#
+        .replace(['\n', ' '], " ");
+    let bad_kind = r#"{"version":"mfhls-netlist/v1","ops":[
+        {"id":0,"container":"tube","duration":{"fixed":3}}],"edges":[]}"#
+        .replace(['\n', ' '], " ");
+    let dangling = r#"{"version":"mfhls-netlist/v1","ops":[
+        {"id":0,"duration":{"fixed":3}}],"edges":[[0,4]]}"#
+        .replace(['\n', ' '], " ");
+    let oversized = r#"{"version":"mfhls-netlist/v1","ops":[
+        {"id":0,"duration":{"fixed":1}},{"id":1,"duration":{"fixed":1}},
+        {"id":2,"duration":{"fixed":1}}],"edges":[]}"#
+        .replace(['\n', ' '], " ");
+    let input = format!(
+        "{}\n{}\n{}\n{}\n\n",
+        netlist_request("good", &good),
+        netlist_request("kind", &bad_kind),
+        netlist_request("edge", &dangling),
+        netlist_request("size", &oversized),
+    );
+    let (out, summary) = serve(
+        ServiceConfig {
+            max_ops: 2,
+            ..ServiceConfig::default()
+        },
+        &input,
+    );
+    assert_eq!(summary.solved, 1);
+    assert_eq!(summary.rejected, 3);
+
+    let mut by_id = std::collections::HashMap::new();
+    for line in out.lines() {
+        let v = Json::parse(line).unwrap();
+        let id = v.get("id").and_then(Json::as_str).unwrap().to_owned();
+        by_id.insert(id, v);
+    }
+    assert_eq!(
+        by_id["good"].get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+    for (id, field) in [
+        ("kind", ".container: unknown kind 'tube'"),
+        ("edge", "netlist.edges[0][1]: op index 4 is dangling"),
+        (
+            "size",
+            "netlist.ops: defines 3 operations, exceeding the limit of 2",
+        ),
+    ] {
+        let err = by_id[id].get("error").expect("typed rejection");
+        assert_eq!(
+            err.get("kind").and_then(Json::as_str),
+            Some("parse_error"),
+            "{id}"
+        );
+        let msg = err.get("message").and_then(Json::as_str).unwrap();
+        assert!(msg.contains(field), "{id}: {msg}");
+    }
+}
+
 #[test]
 fn trace_artifact_fingerprint_is_worker_invariant() {
     // The per-request `trace` artifact is the logical fingerprint of the
