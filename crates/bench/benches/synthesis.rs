@@ -13,7 +13,7 @@
 use mfhls_bench::report::{CaseReport, SynthesisReport};
 use mfhls_bench::timing::{bench, measure, samples_from_env};
 use mfhls_bench::CaseResult;
-use mfhls_core::SynthConfig;
+use mfhls_core::{SolverKind, SynthConfig};
 
 fn case_report(
     name: String,
@@ -63,6 +63,82 @@ fn table2(samples: usize) -> Vec<CaseReport> {
     cases
 }
 
+/// The portfolio raced per layer in the `portfolio_case*` rows: both
+/// cheap backends always, plus a cutoff-bounded ILP leg when the assay is
+/// small enough that bounded branch-and-bound stays in smoke-test budget.
+fn portfolio_solver(with_ilp: bool) -> SolverKind {
+    let mut backends = vec![
+        SolverKind::Heuristic {
+            improvement_passes: 2,
+        },
+        SolverKind::Sdc {
+            improvement_passes: 2,
+        },
+    ];
+    if with_ilp {
+        backends.push(SolverKind::Ilp { max_nodes: 20_000 });
+    }
+    SolverKind::Portfolio { backends }
+}
+
+fn portfolio(samples: usize) -> Vec<CaseReport> {
+    let mut cases = Vec::new();
+    for (case, _, assay) in mfhls_assays::benchmarks() {
+        // The ILP legs ride along everywhere: the deterministic
+        // pivot-work budget and the 25-op admission gate keep the race
+        // in smoke-test budget even on the 120-op case 3.
+        let config = SynthConfig::builder()
+            .solver(portfolio_solver(true))
+            .build()
+            .expect("valid config");
+        let (wall, r) = measure(samples, || mfhls_bench::run_ours(&assay, config.clone()));
+        let name = format!("portfolio_case{case}");
+        print_line(&name, wall);
+        cases.push(case_report(name, "portfolio", wall, &r));
+    }
+    cases
+}
+
+/// The 120-op head-to-head behind the 0.11.0 trajectory point. Full
+/// `--solver ilp` is intractable on case 3 — on its 40-60-op layers
+/// branch-and-bound exhausts any budget without an integer-feasible
+/// incumbent (a 2 000-node run burns minutes, then errors) — so the race
+/// is pitted against the strongest ILP-bearing strategy that completes:
+/// hybrid with the same 25-op exact admission and in-race node budget,
+/// whose wall-clock is dominated by its per-attempt 10 s time allowance.
+/// Opt-in via `MFHLS_BENCH_FACEOFF=1`; the hybrid side still runs tens
+/// of seconds, past smoke-test budget.
+fn faceoff() -> Vec<CaseReport> {
+    if std::env::var("MFHLS_BENCH_FACEOFF").map_or(true, |v| v.is_empty() || v == "0") {
+        return Vec::new();
+    }
+    let (_, _, assay) = mfhls_assays::benchmarks()
+        .into_iter()
+        .find(|(case, _, _)| *case == 3)
+        .expect("case 3 exists");
+    let mut cases = Vec::new();
+    for (name, solver) in [
+        (
+            "faceoff_hybrid_case3",
+            SolverKind::Hybrid {
+                max_nodes: 20_000,
+                ilp_op_limit: 25,
+                improvement_passes: 2,
+            },
+        ),
+        ("faceoff_portfolio_case3", portfolio_solver(true)),
+    ] {
+        let config = SynthConfig::builder()
+            .solver(solver)
+            .build()
+            .expect("valid config");
+        let (wall, r) = measure(1, || mfhls_bench::run_ours(&assay, config.clone()));
+        print_line(name, wall);
+        cases.push(case_report(name.to_string(), "faceoff", wall, &r));
+    }
+    cases
+}
+
 fn print_line(name: &str, s: mfhls_bench::timing::Sample) {
     println!(
         "table2/{name:<24} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
@@ -101,7 +177,9 @@ fn table3(samples: usize) {
 
 fn main() {
     let samples = samples_from_env(10);
-    let cases = table2(samples);
+    let mut cases = table2(samples);
+    cases.extend(portfolio(samples));
+    cases.extend(faceoff());
     table3(samples);
 
     let report = SynthesisReport {

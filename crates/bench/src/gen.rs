@@ -618,6 +618,81 @@ pub fn check(profile: Profile, seed: u64) -> CheckOutcome {
         }
     }
 
+    // Oracle T: the deterministic portfolio racer is sound. The cheap
+    // heuristic+sdc race runs on every profile; the ILP leg joins only on
+    // assays small enough for the exact solver (oracle I's gate). The
+    // race accounting must balance — every race is won by exactly one
+    // backend — and on single-iteration runs the per-layer adoption rule
+    // can never lose to the heuristic leg alone.
+    {
+        let small = (2..=8).contains(&assay.len()) && assay.indeterminate_ops().is_empty();
+        let mut backends = vec![
+            SolverKind::Heuristic {
+                improvement_passes: 2,
+            },
+            SolverKind::Sdc {
+                improvement_passes: 2,
+            },
+        ];
+        if small {
+            backends.push(SolverKind::Ilp { max_nodes: 20_000 });
+        }
+        let mut race = config.clone();
+        race.solver = SolverKind::Portfolio { backends };
+        match Synthesizer::new(race.clone()).run(&assay) {
+            Err(e) => fail(format!("portfolio: run failed: {e}"), &mut out),
+            Ok(r2) => {
+                if let Err(e) = r2.schedule.validate(&assay) {
+                    fail(format!("portfolio: schedule invalid: {e}"), &mut out);
+                }
+                let s = &r2.final_stats().solver;
+                if s.portfolio_races == 0 {
+                    fail("portfolio: no races recorded".into(), &mut out);
+                }
+                let wins = s.wins_heuristic + s.wins_sdc + s.wins_ilp;
+                if wins != s.portfolio_races {
+                    fail(
+                        format!(
+                            "portfolio: {} races but {} wins ({} heuristic / {} sdc / {} ilp)",
+                            s.portfolio_races, wins, s.wins_heuristic, s.wins_sdc, s.wins_ilp
+                        ),
+                        &mut out,
+                    );
+                }
+                if small {
+                    let mut heuristic = config.clone();
+                    heuristic.solver = SolverKind::Heuristic {
+                        improvement_passes: 2,
+                    };
+                    heuristic.max_iterations = 1;
+                    let mut race1 = race;
+                    race1.max_iterations = 1;
+                    match (
+                        Synthesizer::new(heuristic).run(&assay),
+                        Synthesizer::new(race1).run(&assay),
+                    ) {
+                        (Ok(h), Ok(p)) => {
+                            if p.final_stats().objective > h.final_stats().objective {
+                                fail(
+                                    format!(
+                                        "portfolio: race objective {} loses to its own \
+                                         heuristic leg {}",
+                                        p.final_stats().objective,
+                                        h.final_stats().objective
+                                    ),
+                                    &mut out,
+                                );
+                            }
+                        }
+                        (Err(e), _) | (_, Err(e)) => {
+                            fail(format!("portfolio: 1-iteration run failed: {e}"), &mut out)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     out
 }
 

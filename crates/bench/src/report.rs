@@ -14,7 +14,10 @@ use crate::timing::Sample;
 /// Schema tag stamped into every report, bumped on breaking changes.
 /// `v2` added the exact-solver counters (`ilp_solves`, `ilp_nodes`,
 /// `lp_pivots`, `warm_solves`, `cold_solves`, `warm_start_rate`).
-pub const SCHEMA: &str = "mfhls-bench-synthesis/v2";
+/// `v3` added the SDC counters (`sdc_solves`, `sdc_constraints`,
+/// `sdc_retracts`, `sdc_relaxations`) and the portfolio race counters
+/// (`portfolio_races`, `wins_heuristic`, `wins_sdc`, `wins_ilp`).
+pub const SCHEMA: &str = "mfhls-bench-synthesis/v3";
 
 /// One benchmarked (assay, method) pair.
 #[derive(Debug, Clone)]
@@ -104,9 +107,33 @@ impl SynthesisReport {
             let _ = writeln!(out, "      \"cold_solves\": {},", c.solver.cold_solves);
             let _ = writeln!(
                 out,
-                "      \"warm_start_rate\": {:.6}",
+                "      \"warm_start_rate\": {:.6},",
                 c.solver.warm_start_rate()
             );
+            let _ = writeln!(out, "      \"sdc_solves\": {},", c.solver.sdc_solves);
+            let _ = writeln!(
+                out,
+                "      \"sdc_constraints\": {},",
+                c.solver.sdc_constraints
+            );
+            let _ = writeln!(out, "      \"sdc_retracts\": {},", c.solver.sdc_retracts);
+            let _ = writeln!(
+                out,
+                "      \"sdc_relaxations\": {},",
+                c.solver.sdc_relaxations
+            );
+            let _ = writeln!(
+                out,
+                "      \"portfolio_races\": {},",
+                c.solver.portfolio_races
+            );
+            let _ = writeln!(
+                out,
+                "      \"wins_heuristic\": {},",
+                c.solver.wins_heuristic
+            );
+            let _ = writeln!(out, "      \"wins_sdc\": {},", c.solver.wins_sdc);
+            let _ = writeln!(out, "      \"wins_ilp\": {}", c.solver.wins_ilp);
             let _ = writeln!(out, "    }}{comma}");
         }
         let _ = writeln!(out, "  ]");
@@ -372,6 +399,14 @@ mod tests {
                     pivots: 120,
                     warm_solves: 15,
                     cold_solves: 5,
+                    sdc_solves: 6,
+                    sdc_constraints: 301,
+                    sdc_retracts: 61,
+                    sdc_relaxations: 3368,
+                    portfolio_races: 3,
+                    wins_heuristic: 1,
+                    wins_sdc: 1,
+                    wins_ilp: 1,
                     ..Default::default()
                 },
             }],
@@ -381,7 +416,7 @@ mod tests {
     #[test]
     fn json_has_schema_and_case_fields() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"mfhls-bench-synthesis/v2\""));
+        assert!(json.contains("\"schema\": \"mfhls-bench-synthesis/v3\""));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"name\": \"ours_case1\""));
         assert!(json.contains("\"min\": 1.500000"));
@@ -389,7 +424,15 @@ mod tests {
         assert!(json.contains("\"ilp_solves\": 4"));
         assert!(json.contains("\"ilp_nodes\": 17"));
         assert!(json.contains("\"lp_pivots\": 120"));
-        assert!(json.contains("\"warm_start_rate\": 0.750000"));
+        assert!(json.contains("\"warm_start_rate\": 0.750000,"));
+        assert!(json.contains("\"sdc_solves\": 6"));
+        assert!(json.contains("\"sdc_constraints\": 301"));
+        assert!(json.contains("\"sdc_retracts\": 61"));
+        assert!(json.contains("\"sdc_relaxations\": 3368"));
+        assert!(json.contains("\"portfolio_races\": 3"));
+        assert!(json.contains("\"wins_heuristic\": 1"));
+        assert!(json.contains("\"wins_sdc\": 1"));
+        assert!(json.contains("\"wins_ilp\": 1"));
         // Balanced braces/brackets — a cheap structural sanity check in
         // lieu of a JSON parser.
         assert_eq!(

@@ -156,7 +156,9 @@ impl PairSet {
 /// call: in-layer parent lists, internal-child flags, fresh-device configs,
 /// and the existing-path bitset. Hoists the per-candidate `assay.parents`
 /// edge scans and `BTreeSet` rebuilds out of the hot scheduling loops.
-struct Ctx {
+/// `pub(crate)`: the SDC legalizer (`crate::sdc_model`) drives the same
+/// binding machinery under its own construction order.
+pub(crate) struct Ctx {
     /// In-layer parents per *global* op index. Ops outside the layer never
     /// hold slots, so only in-layer parents can constrain ready times or
     /// contribute paths.
@@ -173,7 +175,7 @@ struct Ctx {
 }
 
 impl Ctx {
-    fn new(p: &LayerProblem<'_>) -> Ctx {
+    pub(crate) fn new(p: &LayerProblem<'_>) -> Ctx {
         let n = p.assay.len();
         let mut in_layer = vec![false; n];
         for &o in &p.ops {
@@ -208,7 +210,7 @@ impl Ctx {
 
 /// Splits the layer's ops into a list-scheduling order for determinate ops
 /// and a priority order for indeterminate ones.
-fn priority_orders(p: &LayerProblem<'_>) -> Result<(Vec<OpId>, Vec<OpId>), CoreError> {
+pub(crate) fn priority_orders(p: &LayerProblem<'_>) -> Result<(Vec<OpId>, Vec<OpId>), CoreError> {
     let idx_of: BTreeMap<OpId, usize> = p.ops.iter().enumerate().map(|(i, &o)| (o, i)).collect();
     let n = p.ops.len();
     let mut g = mfhls_graph::Digraph::new(n);
@@ -712,8 +714,11 @@ fn provision_quotas(
     quotas
 }
 
-/// Greedy construction.
-fn construct(
+/// Greedy construction. `det_order` must schedule every in-layer parent
+/// before its children (any topological order of the layer's determinate
+/// ops works — the priority order, or the SDC-derived order of
+/// [`crate::sdc_model`]).
+pub(crate) fn construct(
     p: &LayerProblem<'_>,
     ctx: &Ctx,
     det_order: &[OpId],

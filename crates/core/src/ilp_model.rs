@@ -53,6 +53,19 @@ pub struct IlpLayerSolver {
     /// true). `false` cold-solves every node — the scratch baseline used to
     /// benchmark the warm-start win.
     pub warm_start: bool,
+    /// Deterministic total-pivot budget for the search (see
+    /// [`mfhls_ilp::SolverConfig::max_pivots`]).
+    pub max_pivots: Option<u64>,
+    /// Deterministic work budget in *tableau cells*: a simplex pivot
+    /// updates ~rows × columns cells, so dividing this by the built
+    /// model's dimensions yields a pivot budget proportional to
+    /// wall-clock across model sizes — a dense paper-scale layer pays
+    /// milliseconds per pivot where a small corpus layer pays
+    /// microseconds, which no flat pivot (let alone node) budget can
+    /// bound evenly. Converted to a pivot cap once the model is built;
+    /// the tighter of the two limits wins. The portfolio racer keys its
+    /// ILP legs on this.
+    pub pivot_work: Option<u64>,
 }
 
 impl Default for IlpLayerSolver {
@@ -62,6 +75,8 @@ impl Default for IlpLayerSolver {
             time_limit: None,
             cutoff: None,
             warm_start: true,
+            max_pivots: None,
+            pivot_work: None,
         }
     }
 }
@@ -86,11 +101,23 @@ impl IlpLayerSolver {
             );
         }
         let built = build_model(p);
+        // `pivot_work` is denominated in tableau cells; the simplex works
+        // on an m × (n + m) tableau, so one pivot costs ~m·(n+m) cells.
+        let from_work = self.pivot_work.map(|work| {
+            let m = built.model.num_cons() as u64;
+            let cells = m.saturating_mul(m + built.model.num_vars() as u64);
+            (work / cells.max(1)).max(1)
+        });
+        let max_pivots = match (self.max_pivots, from_work) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let config = SolverConfig {
             max_nodes: self.max_nodes,
             time_limit: self.time_limit,
             cutoff: self.cutoff.map(|c| c as f64),
             warm_start: self.warm_start,
+            max_pivots,
             ..SolverConfig::default()
         };
         let mut bb = match mfhls_ilp::BranchAndBound::new(&built.model, &config) {
@@ -134,6 +161,7 @@ fn core_stats(s: mfhls_ilp::SolveStats, optimal: bool) -> crate::SolverStats {
         incumbents_search: u64::from(s.incumbent_source == mfhls_ilp::IncumbentSource::Search),
         heuristic_rounds: 0,
         rebind_adoptions: 0,
+        ..crate::SolverStats::default()
     }
 }
 

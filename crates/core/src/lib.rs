@@ -69,6 +69,7 @@ mod problem;
 pub mod recovery;
 pub mod render;
 mod schedule;
+pub mod sdc_model;
 pub mod solver;
 pub mod synth;
 pub mod transport;
@@ -85,7 +86,11 @@ pub use op::{Duration, OpId, Operation};
 pub use problem::{LayerProblem, Weights};
 pub use recovery::{resynthesize_suffix, Degradation, RecoveryPlan, RetryPolicy};
 pub use schedule::{ExecTime, HybridSchedule, LayerSchedule, ScheduledOp};
-pub use solver::{LayerSolution, LayerSolver, SolverKind, SolverStats};
+pub use sdc_model::{skeleton_makespan, SdcLayerSolver};
+pub use solver::{
+    LayerSolution, LayerSolver, SolverKind, SolverStats, PORTFOLIO_ILP_OP_LIMIT,
+    PORTFOLIO_ILP_PIVOT_WORK,
+};
 pub use synth::{IterationStats, SynthConfig, SynthConfigBuilder, SynthesisResult, Synthesizer};
 pub use transport::{Progression, TransportConfig, TransportTimes};
 

@@ -38,6 +38,24 @@ pub struct SolverStats {
     pub heuristic_rounds: u64,
     /// Re-binding candidates adopted across those rounds.
     pub rebind_adoptions: u64,
+    /// SDC skeleton solves performed (0 unless the SDC backend ran).
+    pub sdc_solves: u64,
+    /// Difference constraints added to SDC systems (skeleton + feedback).
+    pub sdc_constraints: u64,
+    /// Constraints retracted from SDC systems between feedback passes.
+    pub sdc_retracts: u64,
+    /// Queue-Bellman-Ford value raises across all incremental SDC updates
+    /// (the SDC analogue of `pivots`).
+    pub sdc_relaxations: u64,
+    /// Portfolio races run (one per layer solved by
+    /// [`SolverKind::Portfolio`]).
+    pub portfolio_races: u64,
+    /// Races adopted from a heuristic backend.
+    pub wins_heuristic: u64,
+    /// Races adopted from an SDC backend.
+    pub wins_sdc: u64,
+    /// Races adopted from an ILP backend.
+    pub wins_ilp: u64,
 }
 
 impl SolverStats {
@@ -54,6 +72,14 @@ impl SolverStats {
         self.incumbents_search += other.incumbents_search;
         self.heuristic_rounds += other.heuristic_rounds;
         self.rebind_adoptions += other.rebind_adoptions;
+        self.sdc_solves += other.sdc_solves;
+        self.sdc_constraints += other.sdc_constraints;
+        self.sdc_retracts += other.sdc_retracts;
+        self.sdc_relaxations += other.sdc_relaxations;
+        self.portfolio_races += other.portfolio_races;
+        self.wins_heuristic += other.wins_heuristic;
+        self.wins_sdc += other.wins_sdc;
+        self.wins_ilp += other.wins_ilp;
     }
 
     /// Fraction of LP solves that reused a carried basis (0.0 when no LP
@@ -139,7 +165,60 @@ pub enum SolverKind {
         /// Heuristic improvement passes.
         improvement_passes: usize,
     },
+    /// Incremental system-of-difference-constraints scheduling: the layer's
+    /// dependency skeleton is solved by incremental shortest-path
+    /// relaxation, then resource/device bindings are legalized in skeleton
+    /// order (see [`crate::sdc_model`]).
+    Sdc {
+        /// Legalize-and-feed-back passes after the initial skeleton order.
+        improvement_passes: usize,
+    },
+    /// Deterministic portfolio racing: run every listed backend on the
+    /// layer and adopt the first strictly-improving result *in listed
+    /// order*. Non-ILP backends race concurrently under `mfhls-par` (the
+    /// ordered reduction keeps the outcome byte-identical at any thread
+    /// count); ILP backends run last, sequentially, warm-bounded by the
+    /// best objective found so far (`cutoff`), so the exact search only
+    /// pays for layers the cheap backends left slack on. The adopted
+    /// solution's counters absorb the losers' work, and the race itself is
+    /// tallied in `portfolio_races` / `wins_*`.
+    ///
+    /// Backends must be leaf strategies (`heuristic`, `sdc`, `ilp`) —
+    /// nesting `portfolio` or `hybrid` is a configuration error. ILP legs
+    /// sit out layers larger than [`PORTFOLIO_ILP_OP_LIMIT`] ops (past
+    /// paper scale, branch-and-bound reliably exhausts any budget without
+    /// an integer-feasible incumbent, so racing it buys nothing) and run
+    /// under the deterministic [`PORTFOLIO_ILP_PIVOT_WORK`] work budget
+    /// — both gates depend only on the problem, never the clock, so a
+    /// race is byte-identical across machines and thread counts.
+    Portfolio {
+        /// The backends to race, in adoption-priority order.
+        backends: Vec<SolverKind>,
+    },
 }
+
+/// Largest layer (in ops) an ILP leg will race inside a
+/// [`SolverKind::Portfolio`]. Mirrors the reasoning behind
+/// [`SolverKind::Hybrid`]'s `ilp_op_limit`: the warm-started simplex is
+/// practical for paper-scale layers (~25 operations); beyond that the
+/// exact search burns its whole budget without producing an incumbent,
+/// even cutoff-bounded.
+pub const PORTFOLIO_ILP_OP_LIMIT: usize = 25;
+
+/// Deterministic work budget (in tableau cells, see
+/// [`IlpLayerSolver::pivot_work`](crate::ilp_model::IlpLayerSolver)) of
+/// each ILP leg raced inside a [`SolverKind::Portfolio`]. A node budget
+/// cannot bound a race's wall-clock — on the 120-op assay's densest
+/// layer a *single* root LP costs ~8 200 pivots at milliseconds each, so
+/// 20 000 nodes would run for hours — and a wall-clock limit would trade
+/// the hang for nondeterminism; a work budget is both time-proportional
+/// and machine-independent, so the race stays fast *and* byte-identical
+/// everywhere. 10⁹ cells means ~350 pivots (≲1 s) on that densest
+/// ~1 500-row model — comfortably above the ~230 it needs to prune its
+/// refined iterations — ~30 on the pathological 5 000-row kinase layer
+/// that can't be closed anyway, and tens of thousands on the small
+/// corpus layers where the exact search actually closes gaps.
+pub const PORTFOLIO_ILP_PIVOT_WORK: u64 = 1_000_000_000;
 
 impl Default for SolverKind {
     fn default() -> Self {
@@ -149,18 +228,37 @@ impl Default for SolverKind {
     }
 }
 
+impl SolverKind {
+    /// Whether this strategy may appear inside a
+    /// [`SolverKind::Portfolio`]'s backend list.
+    pub fn is_portfolio_leaf(&self) -> bool {
+        matches!(
+            self,
+            SolverKind::Heuristic { .. } | SolverKind::Sdc { .. } | SolverKind::Ilp { .. }
+        )
+    }
+}
+
 impl LayerSolver for SolverKind {
     fn solve(&self, problem: &LayerProblem<'_>) -> Result<LayerSolution, CoreError> {
-        match *self {
+        match self {
             SolverKind::Heuristic { improvement_passes } => {
-                crate::heuristic::HeuristicLayerSolver { improvement_passes }.solve(problem)
+                crate::heuristic::HeuristicLayerSolver {
+                    improvement_passes: *improvement_passes,
+                }
+                .solve(problem)
             }
+            SolverKind::Sdc { improvement_passes } => crate::sdc_model::SdcLayerSolver {
+                improvement_passes: *improvement_passes,
+            }
+            .solve(problem),
             SolverKind::Ilp { max_nodes } => crate::ilp_model::IlpLayerSolver {
-                max_nodes,
+                max_nodes: *max_nodes,
                 ..crate::ilp_model::IlpLayerSolver::default()
             }
             .solve(problem),
-            SolverKind::Hybrid {
+            SolverKind::Portfolio { backends } => solve_portfolio(backends, problem),
+            &SolverKind::Hybrid {
                 max_nodes,
                 ilp_op_limit,
                 improvement_passes,
@@ -188,5 +286,256 @@ impl LayerSolver for SolverKind {
                 }
             }
         }
+    }
+}
+
+/// The deterministic portfolio race (see [`SolverKind::Portfolio`]).
+fn solve_portfolio(
+    backends: &[SolverKind],
+    problem: &LayerProblem<'_>,
+) -> Result<LayerSolution, CoreError> {
+    if backends.is_empty() {
+        return Err(CoreError::Config(
+            "portfolio requires at least one backend".to_owned(),
+        ));
+    }
+    if let Some(bad) = backends.iter().find(|b| !b.is_portfolio_leaf()) {
+        return Err(CoreError::Config(format!(
+            "portfolio backends must be leaf strategies (heuristic|sdc|ilp), got {bad:?}"
+        )));
+    }
+    // Race the cheap (non-ILP) backends concurrently. `par_map` returns
+    // results in input order, so adoption below is independent of thread
+    // count and interleaving.
+    let cheap: Vec<(usize, &SolverKind)> = backends
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !matches!(b, SolverKind::Ilp { .. }))
+        .collect();
+    let raced: Vec<Result<LayerSolution, CoreError>> =
+        mfhls_par::par_map(&cheap, |(_, b)| b.solve(problem));
+
+    let mut best: Option<(usize, LayerSolution)> = None;
+    let mut losers = SolverStats {
+        portfolio_races: 1,
+        ..SolverStats::default()
+    };
+    let mut first_err: Option<CoreError> = None;
+    for ((idx, _), result) in cheap.iter().zip(raced) {
+        match result {
+            Ok(sol) => match &best {
+                Some((_, b)) if sol.objective >= b.objective => losers.merge(&sol.stats),
+                _ => {
+                    if let Some((_, prev)) = best.take() {
+                        losers.merge(&prev.stats);
+                    }
+                    best = Some((*idx, sol));
+                }
+            },
+            Err(e) => {
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    // ILP backends run last, sequentially, bounded by the incumbent: with
+    // `cutoff` set they only return solutions strictly better than the
+    // best cheap result, so "Ok" here always means adoption-worthy.
+    for (idx, backend) in backends.iter().enumerate() {
+        let &SolverKind::Ilp { max_nodes } = backend else {
+            continue;
+        };
+        if problem.ops.len() > PORTFOLIO_ILP_OP_LIMIT {
+            continue;
+        }
+        let (exact, work) = crate::ilp_model::IlpLayerSolver {
+            max_nodes,
+            cutoff: best.as_ref().map(|(_, b)| b.objective),
+            pivot_work: Some(PORTFOLIO_ILP_PIVOT_WORK),
+            ..crate::ilp_model::IlpLayerSolver::default()
+        }
+        .solve_with_stats(problem);
+        match exact {
+            Ok(sol)
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| sol.objective < b.objective) =>
+            {
+                if let Some((_, prev)) = best.take() {
+                    losers.merge(&prev.stats);
+                }
+                best = Some((idx, sol));
+            }
+            Ok(sol) => losers.merge(&sol.stats),
+            Err(e) => {
+                losers.merge(&work);
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    let Some((winner, mut sol)) = best else {
+        return Err(first_err.unwrap_or_else(|| {
+            CoreError::Internal("portfolio race produced no result".to_owned())
+        }));
+    };
+    match backends.get(winner) {
+        Some(SolverKind::Sdc { .. }) => losers.wins_sdc += 1,
+        Some(SolverKind::Ilp { .. }) => losers.wins_ilp += 1,
+        _ => losers.wins_heuristic += 1,
+    }
+    sol.stats.merge(&losers);
+    Ok(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assay, Duration, Operation, TransportConfig, TransportTimes, Weights};
+    use mfhls_chip::{Accessory, Capacity, ContainerKind, CostModel};
+
+    fn diamond_assay() -> Assay {
+        let mut a = Assay::new("diamond");
+        let src = a.add_op(
+            Operation::new("src")
+                .container(ContainerKind::Ring)
+                .capacity(Capacity::Medium)
+                .accessory(Accessory::Pump)
+                .with_duration(Duration::fixed(4)),
+        );
+        let l = a.add_op(
+            Operation::new("l")
+                .accessory(Accessory::HeatingPad)
+                .with_duration(Duration::fixed(6)),
+        );
+        let r = a.add_op(
+            Operation::new("r")
+                .accessory(Accessory::HeatingPad)
+                .with_duration(Duration::fixed(5)),
+        );
+        let sink = a.add_op(
+            Operation::new("sink")
+                .accessory(Accessory::OpticalSystem)
+                .with_duration(Duration::fixed(3)),
+        );
+        a.add_dependency(src, l).unwrap();
+        a.add_dependency(src, r).unwrap();
+        a.add_dependency(l, sink).unwrap();
+        a.add_dependency(r, sink).unwrap();
+        a
+    }
+
+    fn problem<'a>(
+        assay: &'a Assay,
+        transport: &'a TransportTimes,
+        costs: &'a CostModel,
+    ) -> LayerProblem<'a> {
+        LayerProblem {
+            assay,
+            ops: assay.op_ids().collect(),
+            devices: vec![],
+            bindable: vec![],
+            max_devices: 6,
+            transport,
+            weights: Weights::default(),
+            costs,
+            existing_paths: BTreeSet::new(),
+            cross_inputs: vec![],
+            component_oriented: true,
+        }
+    }
+
+    #[test]
+    fn portfolio_equals_best_individual_backend() {
+        let assay = diamond_assay();
+        let transport = TransportTimes::initial(&assay, &TransportConfig::default());
+        let costs = CostModel::default();
+        let p = problem(&assay, &transport, &costs);
+        let backends = vec![
+            SolverKind::Heuristic {
+                improvement_passes: 2,
+            },
+            SolverKind::Sdc {
+                improvement_passes: 2,
+            },
+            SolverKind::Ilp { max_nodes: 50_000 },
+        ];
+        let individual_best = backends
+            .iter()
+            .map(|b| b.solve(&p).unwrap().objective)
+            .min()
+            .unwrap();
+        let raced = SolverKind::Portfolio { backends }.solve(&p).unwrap();
+        assert_eq!(raced.objective, individual_best);
+        assert_eq!(raced.stats.portfolio_races, 1);
+        assert_eq!(
+            raced.stats.wins_heuristic + raced.stats.wins_sdc + raced.stats.wins_ilp,
+            1
+        );
+        // The race absorbed the work of every backend that actually ran.
+        assert_eq!(raced.stats.sdc_solves, 1);
+        assert!(raced.stats.heuristic_rounds > 0 || raced.stats.rebind_adoptions == 0);
+    }
+
+    #[test]
+    fn portfolio_is_thread_count_invariant() {
+        let assay = diamond_assay();
+        let transport = TransportTimes::initial(&assay, &TransportConfig::default());
+        let costs = CostModel::default();
+        let p = problem(&assay, &transport, &costs);
+        let spec = SolverKind::Portfolio {
+            backends: vec![
+                SolverKind::Heuristic {
+                    improvement_passes: 2,
+                },
+                SolverKind::Sdc {
+                    improvement_passes: 2,
+                },
+            ],
+        };
+        let one = mfhls_par::with_threads(1, || spec.solve(&p).unwrap());
+        let four = mfhls_par::with_threads(4, || spec.solve(&p).unwrap());
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn empty_and_nested_portfolios_are_config_errors() {
+        let assay = diamond_assay();
+        let transport = TransportTimes::initial(&assay, &TransportConfig::default());
+        let costs = CostModel::default();
+        let p = problem(&assay, &transport, &costs);
+        let empty = SolverKind::Portfolio { backends: vec![] };
+        assert!(matches!(empty.solve(&p), Err(CoreError::Config(_))));
+        let nested = SolverKind::Portfolio {
+            backends: vec![SolverKind::Portfolio { backends: vec![] }],
+        };
+        assert!(matches!(nested.solve(&p), Err(CoreError::Config(_))));
+        let hybrid = SolverKind::Portfolio {
+            backends: vec![SolverKind::Hybrid {
+                max_nodes: 1,
+                ilp_op_limit: 1,
+                improvement_passes: 0,
+            }],
+        };
+        assert!(matches!(hybrid.solve(&p), Err(CoreError::Config(_))));
+    }
+
+    #[test]
+    fn ilp_cutoff_failures_still_count_their_work() {
+        let assay = diamond_assay();
+        let transport = TransportTimes::initial(&assay, &TransportConfig::default());
+        let costs = CostModel::default();
+        let p = problem(&assay, &transport, &costs);
+        // A 1-node budget can't finish the exact search; the heuristic
+        // result must survive with the pruned attempt's counters merged.
+        let spec = SolverKind::Portfolio {
+            backends: vec![
+                SolverKind::Heuristic {
+                    improvement_passes: 2,
+                },
+                SolverKind::Ilp { max_nodes: 1 },
+            ],
+        };
+        let sol = spec.solve(&p).unwrap();
+        assert_eq!(sol.stats.portfolio_races, 1);
+        assert_eq!(sol.stats.ilp_solves, 1);
     }
 }

@@ -101,6 +101,18 @@ impl SynthConfig {
                 self.min_improvement
             )));
         }
+        if let SolverKind::Portfolio { backends } = &self.solver {
+            if backends.is_empty() {
+                return Err(CoreError::Config(
+                    "portfolio requires at least one backend".to_owned(),
+                ));
+            }
+            if let Some(bad) = backends.iter().find(|b| !b.is_portfolio_leaf()) {
+                return Err(CoreError::Config(format!(
+                    "portfolio backends must be leaf strategies (heuristic|sdc|ilp), got {bad:?}"
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -319,6 +331,8 @@ impl Synthesizer {
             SolverKind::Heuristic { .. } => "heuristic",
             SolverKind::Ilp { .. } => "ilp",
             SolverKind::Hybrid { .. } => "hybrid",
+            SolverKind::Sdc { .. } => "sdc",
+            SolverKind::Portfolio { .. } => "portfolio",
         };
         let _span = obs::span(
             obs::Level::Info,

@@ -47,6 +47,7 @@
 
 mod model;
 pub mod presolve;
+pub mod sdc;
 pub mod simplex;
 mod solver;
 pub mod write;

@@ -1,0 +1,424 @@
+//! An incremental system-of-difference-constraints (SDC) solver.
+//!
+//! SDC-based schedulers (APS-MLIR's `SDCSolver`, CIRCT's scheduling
+//! infrastructure) express the timing skeleton of a dependency graph as
+//! *minimum-gap* constraints `x_to >= x_from + gap` over integer variables
+//! and maintain the component-wise **minimal** feasible solution under
+//! incremental constraint addition and retraction. Adding a constraint
+//! runs a queue-based incremental Bellman–Ford relaxation from the
+//! affected variable; retracting one deactivates it and refloats the
+//! system back down to the minimal solution of the remaining constraints.
+//!
+//! The minimal solution is exactly the ASAP (as-soon-as-possible) start
+//! assignment of a scheduling skeleton, which is why `mfhls-core`'s SDC
+//! layer solver builds on this type: dependency edges become min-gap
+//! constraints, resource serialization decisions become further
+//! constraints added (and, across improvement passes, retracted)
+//! incrementally instead of re-solving from scratch.
+//!
+//! A constraint cycle of positive total gap has no finite solution; such
+//! additions are detected (a variable relaxed more often than the
+//! variable count admits), rolled back, and reported as
+//! [`SdcError::Infeasible`] — the system stays feasible and unchanged.
+//!
+//! All operations are deterministic: values, iteration order and the
+//! work counters in [`SdcStats`] depend only on the call sequence.
+//!
+//! ```
+//! use mfhls_ilp::sdc::SdcSystem;
+//!
+//! let mut sys = SdcSystem::new();
+//! let a = sys.add_var(0);
+//! let b = sys.add_var(0);
+//! let c = sys.add_var(0);
+//! sys.add_constraint(a, b, 4).unwrap(); // b >= a + 4
+//! let bc = sys.add_constraint(b, c, 3).unwrap(); // c >= b + 3
+//! assert_eq!((sys.value(a), sys.value(b), sys.value(c)), (0, 4, 7));
+//! sys.retract(bc);
+//! assert_eq!(sys.value(c), 0); // refloated to its lower bound
+//! ```
+
+use std::collections::VecDeque;
+
+/// Handle of a constraint added to an [`SdcSystem`]; pass it to
+/// [`SdcSystem::retract`] to remove the constraint again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConstraintId(usize);
+
+/// One active minimum-gap constraint: `value(to) >= value(from) + gap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcConstraint {
+    /// Source variable.
+    pub from: usize,
+    /// Constrained variable.
+    pub to: usize,
+    /// Minimum gap between the two values (may be negative: a maximum
+    /// distance in the opposite direction).
+    pub gap: i64,
+}
+
+/// Deterministic work counters of an [`SdcSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SdcStats {
+    /// Constraints accepted by [`SdcSystem::add_constraint`] (infeasible
+    /// rejections are not counted — they leave the system unchanged).
+    pub constraints_added: u64,
+    /// Constraints removed by [`SdcSystem::retract`].
+    pub retracts: u64,
+    /// Variable-value relaxations performed across incremental adds and
+    /// retract refloats — the SDC analog of LP pivots.
+    pub relaxations: u64,
+}
+
+/// Errors of the SDC solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdcError {
+    /// The added constraint closed a cycle of positive total gap; no
+    /// finite assignment satisfies the system. The offending constraint
+    /// was rolled back.
+    Infeasible,
+    /// A constraint or variable index does not belong to this system.
+    UnknownIndex,
+}
+
+impl std::fmt::Display for SdcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdcError::Infeasible => {
+                write!(f, "difference constraints close a positive cycle")
+            }
+            SdcError::UnknownIndex => write!(f, "index does not belong to this system"),
+        }
+    }
+}
+
+impl std::error::Error for SdcError {}
+
+/// An incremental difference-constraint system maintaining the minimal
+/// feasible solution (every variable at its lower bound or forced up by
+/// active constraints). See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct SdcSystem {
+    values: Vec<i64>,
+    lower: Vec<i64>,
+    cons: Vec<Option<SdcConstraint>>,
+    /// Outgoing constraint ids per `from` variable (retracted ids stay
+    /// listed; they are skipped via `cons`).
+    out: Vec<Vec<usize>>,
+    stats: SdcStats,
+}
+
+impl SdcSystem {
+    /// An empty system.
+    pub fn new() -> SdcSystem {
+        SdcSystem::default()
+    }
+
+    /// Adds a variable with the given lower bound and returns its index.
+    /// Its initial value is the lower bound.
+    pub fn add_var(&mut self, lower: i64) -> usize {
+        self.values.push(lower);
+        self.lower.push(lower);
+        self.out.push(Vec::new());
+        self.values.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of *active* (not retracted) constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.cons.iter().flatten().count()
+    }
+
+    /// Current value of `var` in the minimal feasible solution.
+    pub fn value(&self, var: usize) -> i64 {
+        self.values[var]
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> SdcStats {
+        self.stats
+    }
+
+    /// Adds `value(to) >= value(from) + gap` and restores feasibility by
+    /// incremental relaxation from `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`SdcError::UnknownIndex`] for out-of-range variables;
+    /// [`SdcError::Infeasible`] when the constraint closes a positive
+    /// cycle (the system is rolled back and stays unchanged).
+    pub fn add_constraint(
+        &mut self,
+        from: usize,
+        to: usize,
+        gap: i64,
+    ) -> Result<ConstraintId, SdcError> {
+        if from >= self.values.len() || to >= self.values.len() {
+            return Err(SdcError::UnknownIndex);
+        }
+        let id = self.cons.len();
+        self.cons.push(Some(SdcConstraint { from, to, gap }));
+        self.out[from].push(id);
+        let saved = self.values.clone();
+        let saved_relax = self.stats.relaxations;
+        if self.relax_from(from) {
+            self.stats.constraints_added += 1;
+            Ok(ConstraintId(id))
+        } else {
+            // Roll the addition back: the system must stay feasible.
+            self.cons[id] = None;
+            self.out[from].pop();
+            self.cons.pop();
+            self.values = saved;
+            self.stats.relaxations = saved_relax;
+            Err(SdcError::Infeasible)
+        }
+    }
+
+    /// Retracts a previously added constraint and refloats the system to
+    /// the minimal solution of the remaining ones. Retracting an already
+    /// retracted id is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`SdcError::UnknownIndex`] when `id` was never issued.
+    pub fn retract(&mut self, id: ConstraintId) -> Result<(), SdcError> {
+        let slot = self.cons.get_mut(id.0).ok_or(SdcError::UnknownIndex)?;
+        let Some(c) = slot.take() else {
+            return Ok(()); // already retracted
+        };
+        self.stats.retracts += 1;
+        // Only a *tight* constraint can be supporting a value above its
+        // floor; slack constraints leave the minimal solution untouched.
+        if self.values[c.to] == self.values[c.from] + c.gap {
+            self.refloat();
+        }
+        Ok(())
+    }
+
+    /// Queue-based incremental Bellman–Ford from `seed`'s outgoing
+    /// constraints. Returns `false` on a positive cycle (values are then
+    /// garbage; the caller rolls back).
+    fn relax_from(&mut self, seed: usize) -> bool {
+        let n = self.values.len();
+        let mut raises = vec![0usize; n];
+        let mut queue = VecDeque::with_capacity(4);
+        queue.push_back(seed);
+        let mut on_queue = vec![false; n];
+        on_queue[seed] = true;
+        while let Some(v) = queue.pop_front() {
+            on_queue[v] = false;
+            for k in 0..self.out[v].len() {
+                let Some(c) = self.cons[self.out[v][k]] else {
+                    continue;
+                };
+                let want = self.values[c.from] + c.gap;
+                if self.values[c.to] < want {
+                    self.values[c.to] = want;
+                    self.stats.relaxations += 1;
+                    raises[c.to] += 1;
+                    if raises[c.to] > n {
+                        return false; // positive cycle
+                    }
+                    if !on_queue[c.to] {
+                        on_queue[c.to] = true;
+                        queue.push_back(c.to);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Recomputes the minimal solution of the active constraints from the
+    /// lower bounds (used after retraction, which can only lower values —
+    /// so the remaining system is known feasible and this terminates).
+    fn refloat(&mut self) {
+        self.values.copy_from_slice(&self.lower);
+        let mut queue: VecDeque<usize> = (0..self.values.len()).collect();
+        let mut on_queue = vec![true; self.values.len()];
+        while let Some(v) = queue.pop_front() {
+            on_queue[v] = false;
+            for k in 0..self.out[v].len() {
+                let Some(c) = self.cons[self.out[v][k]] else {
+                    continue;
+                };
+                let want = self.values[c.from] + c.gap;
+                if self.values[c.to] < want {
+                    self.values[c.to] = want;
+                    self.stats.relaxations += 1;
+                    if !on_queue[c.to] {
+                        on_queue[c.to] = true;
+                        queue.push_back(c.to);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_gives_asap_values() {
+        let mut sys = SdcSystem::new();
+        let v: Vec<usize> = (0..4).map(|_| sys.add_var(0)).collect();
+        sys.add_constraint(v[0], v[1], 5).unwrap();
+        sys.add_constraint(v[1], v[2], 3).unwrap();
+        sys.add_constraint(v[0], v[3], 2).unwrap();
+        sys.add_constraint(v[3], v[2], 4).unwrap();
+        assert_eq!(sys.value(v[0]), 0);
+        assert_eq!(sys.value(v[1]), 5);
+        // max(5 + 3, 2 + 4) = 8 — the longer path wins.
+        assert_eq!(sys.value(v[2]), 8);
+        assert_eq!(sys.value(v[3]), 2);
+        assert_eq!(sys.stats().constraints_added, 4);
+        // Three adds raised a value; the slack path v3 -> v2 did not.
+        assert_eq!(sys.stats().relaxations, 3);
+    }
+
+    #[test]
+    fn lower_bounds_hold() {
+        let mut sys = SdcSystem::new();
+        let a = sys.add_var(7);
+        let b = sys.add_var(0);
+        sys.add_constraint(a, b, 1).unwrap();
+        assert_eq!(sys.value(a), 7);
+        assert_eq!(sys.value(b), 8);
+    }
+
+    #[test]
+    fn retract_refloats_to_minimal_solution() {
+        let mut sys = SdcSystem::new();
+        let a = sys.add_var(0);
+        let b = sys.add_var(0);
+        let c = sys.add_var(0);
+        sys.add_constraint(a, b, 4).unwrap();
+        let long = sys.add_constraint(a, c, 9).unwrap();
+        let short = sys.add_constraint(b, c, 2).unwrap();
+        assert_eq!(sys.value(c), 9);
+        sys.retract(long).unwrap();
+        assert_eq!(sys.value(c), 6); // b + 2
+        sys.retract(short).unwrap();
+        assert_eq!(sys.value(c), 0);
+        assert_eq!(sys.stats().retracts, 2);
+        // Retracting again is a no-op.
+        sys.retract(short).unwrap();
+        assert_eq!(sys.stats().retracts, 2);
+    }
+
+    #[test]
+    fn retracting_a_slack_constraint_changes_nothing() {
+        let mut sys = SdcSystem::new();
+        let a = sys.add_var(0);
+        let b = sys.add_var(0);
+        sys.add_constraint(a, b, 10).unwrap();
+        let slack = sys.add_constraint(a, b, 3).unwrap();
+        let before = sys.stats().relaxations;
+        sys.retract(slack).unwrap();
+        assert_eq!(sys.value(b), 10);
+        // A slack retract skips the refloat entirely.
+        assert_eq!(sys.stats().relaxations, before);
+    }
+
+    #[test]
+    fn positive_cycle_is_rejected_and_rolled_back() {
+        let mut sys = SdcSystem::new();
+        let a = sys.add_var(0);
+        let b = sys.add_var(0);
+        sys.add_constraint(a, b, 2).unwrap();
+        let err = sys.add_constraint(b, a, -3).map(|_| ());
+        // b >= a + 2 and a >= b - 3 is feasible (a=0, b=2).
+        assert_eq!(err, Ok(()));
+        let err = sys.add_constraint(b, a, 1).unwrap_err();
+        assert_eq!(err, SdcError::Infeasible);
+        // The rejected constraint left no trace.
+        assert_eq!((sys.value(a), sys.value(b)), (0, 2));
+        assert_eq!(sys.num_constraints(), 2);
+        assert_eq!(sys.stats().constraints_added, 2);
+        // The system keeps working after the rejection.
+        let c = sys.add_var(0);
+        sys.add_constraint(b, c, 5).unwrap();
+        assert_eq!(sys.value(c), 7);
+    }
+
+    #[test]
+    fn zero_cycle_is_feasible() {
+        let mut sys = SdcSystem::new();
+        let a = sys.add_var(0);
+        let b = sys.add_var(0);
+        sys.add_constraint(a, b, 0).unwrap();
+        sys.add_constraint(b, a, 0).unwrap();
+        assert_eq!((sys.value(a), sys.value(b)), (0, 0));
+    }
+
+    #[test]
+    fn negative_gaps_bound_maximum_distance() {
+        // b >= a + 10, a >= b - 15 (i.e. b - a <= 15): minimal solution
+        // keeps b at a + 10.
+        let mut sys = SdcSystem::new();
+        let a = sys.add_var(0);
+        let b = sys.add_var(0);
+        sys.add_constraint(a, b, 10).unwrap();
+        sys.add_constraint(b, a, -15).unwrap();
+        assert_eq!((sys.value(a), sys.value(b)), (0, 10));
+    }
+
+    #[test]
+    fn unknown_indices_are_typed_errors() {
+        let mut sys = SdcSystem::new();
+        let a = sys.add_var(0);
+        assert_eq!(
+            sys.add_constraint(a, 5, 1).unwrap_err(),
+            SdcError::UnknownIndex
+        );
+        assert_eq!(
+            sys.retract(ConstraintId(99)).unwrap_err(),
+            SdcError::UnknownIndex
+        );
+    }
+
+    #[test]
+    fn incremental_matches_batch_rebuild() {
+        // Pseudo-random DAG constraints added incrementally must agree
+        // with a fresh system fed the same constraints.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let mut inc = SdcSystem::new();
+        let vars: Vec<usize> = (0..20).map(|_| inc.add_var(0)).collect();
+        let mut added: Vec<SdcConstraint> = Vec::new();
+        for _ in 0..60 {
+            let i = next() % 20;
+            let j = next() % 20;
+            if i >= j {
+                continue; // forward edges only: always feasible
+            }
+            let gap = (next() % 9) as i64;
+            inc.add_constraint(vars[i], vars[j], gap).unwrap();
+            added.push(SdcConstraint {
+                from: vars[i],
+                to: vars[j],
+                gap,
+            });
+        }
+        let mut batch = SdcSystem::new();
+        for _ in 0..20 {
+            batch.add_var(0);
+        }
+        for c in &added {
+            batch.add_constraint(c.from, c.to, c.gap).unwrap();
+        }
+        for &v in &vars {
+            assert_eq!(inc.value(v), batch.value(v));
+        }
+    }
+}

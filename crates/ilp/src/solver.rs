@@ -52,6 +52,15 @@ pub struct SolverConfig {
     /// to the cold all-slack basis before every LP solve — the scratch-solve
     /// baseline used to benchmark the warm-start win.
     pub warm_start: bool,
+    /// Deterministic work budget: total simplex pivots across every LP
+    /// solve of the search (node re-solves, strong-branching probes,
+    /// dives). Unlike `time_limit`, exhaustion is machine-independent —
+    /// the same model and config stop at exactly the same pivot, so a
+    /// budgeted search stays reproducible. Node budgets cannot play this
+    /// role: a node's LP re-solve costs anywhere from a handful of warm
+    /// pivots to tens of thousands of cold ones, so `max_nodes` bounds
+    /// work only to within several orders of magnitude.
+    pub max_pivots: Option<u64>,
 }
 
 impl Default for SolverConfig {
@@ -64,6 +73,7 @@ impl Default for SolverConfig {
             presolve: true,
             cutoff: None,
             warm_start: true,
+            max_pivots: None,
         }
     }
 }
@@ -345,6 +355,12 @@ impl<'a> BranchAndBound<'a> {
                 limit_hit = true;
                 break;
             }
+            if let Some(mp) = self.config.max_pivots {
+                if self.sx.pivots() >= mp {
+                    limit_hit = true;
+                    break;
+                }
+            }
             if let Some(tl) = self.config.time_limit {
                 if start.elapsed() >= tl {
                     limit_hit = true;
@@ -473,6 +489,14 @@ impl<'a> BranchAndBound<'a> {
     /// carried basis is reused (it is dual feasible for any bounds); in
     /// scratch mode the tableau is reset to the cold basis first.
     fn solve_node(&mut self, lb: &[f64], ub: &[f64], cap: u64) -> NodeLp {
+        // Clamp every per-call cap to the remaining global pivot budget,
+        // so probes and dives cannot overrun it either. An exhausted
+        // budget (cap 0) still returns `Optimal` when the carried basis
+        // needs no pivots — only actual work is rationed.
+        let cap = match self.config.max_pivots {
+            Some(mp) => cap.min(mp.saturating_sub(self.sx.pivots())),
+            None => cap,
+        };
         if !self.config.warm_start || self.fresh_basis {
             if !self.fresh_basis {
                 self.sx.cold_reset();
@@ -803,6 +827,77 @@ mod tests {
         assert!(bb.run().is_err());
         assert!(bb.stats().nodes >= 1);
         assert_eq!(bb.stats().incumbent_source, IncumbentSource::None);
+    }
+
+    /// The knapsack model of `knapsack_small`, shared by the pivot-budget
+    /// tests: its cold root LP needs at least one pivot, so a zero budget
+    /// is guaranteed to starve the search.
+    fn knapsack() -> Model {
+        let mut m = Model::minimize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.add_con(2.0 * a + 3.0 * b + 4.0 * c, Sense::Le, 5.0);
+        m.set_objective(-(3.0 * a + 4.0 * b + 5.0 * c));
+        m
+    }
+
+    #[test]
+    fn pivot_budget_starves_the_search() {
+        let m = knapsack();
+        // No budget to pivot and nothing in hand: the search must report
+        // the limit, not fabricate a solution.
+        let starved = SolverConfig {
+            max_pivots: Some(0),
+            ..SolverConfig::default()
+        };
+        assert!(matches!(
+            solve(&m, &starved),
+            Err(IlpError::LimitWithoutSolution)
+        ));
+        // A supplied incumbent survives budget exhaustion as `Feasible`.
+        let seeded = SolverConfig {
+            max_pivots: Some(0),
+            incumbent: Some(vec![1.0, 1.0, 0.0]),
+            ..SolverConfig::default()
+        };
+        let sol = solve(&m, &seeded).unwrap();
+        assert_eq!(sol.status, SolveStatus::Feasible);
+        assert_eq!(sol.objective, -7.0);
+        assert_eq!(sol.stats.incumbent_source, IncumbentSource::Supplied);
+    }
+
+    #[test]
+    fn pivot_budget_is_deterministic_and_roomy_budgets_stay_optimal() {
+        let m = knapsack();
+        // A generous budget changes nothing about the answer.
+        let roomy = solve(
+            &m,
+            &SolverConfig {
+                max_pivots: Some(10_000),
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(roomy.status, SolveStatus::Optimal);
+        assert_eq!(roomy.objective, -7.0);
+        // A tight budget stops at exactly the same pivot every run — the
+        // property the portfolio racer's determinism rests on.
+        let tight = || {
+            let config = SolverConfig {
+                max_pivots: Some(3),
+                incumbent: Some(vec![1.0, 0.0, 0.0]),
+                ..SolverConfig::default()
+            };
+            solve(&m, &config).unwrap()
+        };
+        let (one, two) = (tight(), tight());
+        assert_eq!(one.status, two.status);
+        assert_eq!(one.objective, two.objective);
+        assert_eq!(one.stats.nodes, two.stats.nodes);
+        assert_eq!(one.stats.pivots, two.stats.pivots);
+        // The clamp in `solve_node` makes the budget a hard ceiling.
+        assert!(one.stats.pivots <= 3);
     }
 
     /// Exhaustive cross-check on random small pure-integer programs.

@@ -49,11 +49,24 @@ pub const SEGMENT_MAGIC: &[u8; 8] = b"MFHLSTO1";
 /// Magic bytes of a v2 segment file; what new segments are created with.
 pub const SEGMENT_MAGIC_V2: &[u8; 8] = b"MFHLSTO2";
 
-/// Record kind tag of a v1 solution record (no canonical key).
+/// Record kind tag of a v1 solution record (no canonical key, fixed
+/// 11-field solver stats).
 pub const KIND_SOLUTION: u8 = 1;
 
-/// Record kind tag of a v2 solution record carrying the canonical key.
+/// Record kind tag of a v2 solution record carrying the canonical key
+/// (fixed 11-field solver stats).
 pub const KIND_CANONICAL_SOLUTION: u8 = 2;
+
+/// Kind 1 layout with *count-prefixed* solver stats: the stats block
+/// starts with its field count, so adding counters (as 0.11's SDC and
+/// portfolio backends did) never needs another record kind — old readers
+/// skip the unknown kind, this reader zero-fills missing fields and
+/// ignores extras.
+pub const KIND_SOLUTION_V3: u8 = 3;
+
+/// Kind 2 layout with count-prefixed solver stats (see
+/// [`KIND_SOLUTION_V3`]).
+pub const KIND_CANONICAL_SOLUTION_V3: u8 = 4;
 
 /// Bytes of framing ahead of every payload: kind + len + checksum.
 pub const RECORD_HEADER_LEN: usize = 1 + 4 + 8;
@@ -112,8 +125,18 @@ pub fn frame_record(kind: u8, payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// How a payload's solver-stats block is laid out (see the kind tags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatsLayout {
+    /// Kinds 1/2: exactly the eleven pre-0.11 counters, no count prefix.
+    Fixed11,
+    /// Kinds 3/4: a field count followed by that many counters.
+    Counted,
+}
+
 /// Encodes one record ready to append: framing plus payload. Records with
-/// a canonical key frame as kind 2, the rest as v1-compatible kind 1.
+/// a canonical key frame as kind 4, the rest as kind 3 (both carrying the
+/// extensible count-prefixed stats block).
 pub fn encode_record(record: &SolutionRecord) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.str(&record.context);
@@ -121,24 +144,26 @@ pub fn encode_record(record: &SolutionRecord) -> Vec<u8> {
     match &record.canonical {
         None => {
             encode_solution(&mut w, &record.solution);
-            frame_record(KIND_SOLUTION, &w.finish())
+            frame_record(KIND_SOLUTION_V3, &w.finish())
         }
         Some(c) => {
             w.bytes(&c.canon);
             w.bytes(&c.positional);
             encode_solution(&mut w, &record.solution);
-            frame_record(KIND_CANONICAL_SOLUTION, &w.finish())
+            frame_record(KIND_CANONICAL_SOLUTION_V3, &w.finish())
         }
     }
 }
 
-/// Decodes a kind-1 (v1) solution-record payload (the checksum has already
-/// been verified by the scanner).
-pub fn decode_record(payload: &[u8]) -> Result<SolutionRecord, DecodeError> {
+/// Decodes a kind-1 (fixed stats) or kind-3 (counted stats)
+/// solution-record payload (the checksum has already been verified by the
+/// scanner).
+pub fn decode_record(payload: &[u8], kind: u8) -> Result<SolutionRecord, DecodeError> {
+    let layout = stats_layout(kind)?;
     let mut r = ByteReader::new(payload);
     let context = r.str()?.to_owned();
     let key = decode_key(&mut r)?;
-    let solution = decode_solution(&mut r)?;
+    let solution = decode_solution(&mut r, layout)?;
     if !r.is_exhausted() {
         return Err(DecodeError);
     }
@@ -150,14 +175,16 @@ pub fn decode_record(payload: &[u8]) -> Result<SolutionRecord, DecodeError> {
     })
 }
 
-/// Decodes a kind-2 (v2) canonical-solution payload.
-pub fn decode_canonical_record(payload: &[u8]) -> Result<SolutionRecord, DecodeError> {
+/// Decodes a kind-2 (fixed stats) or kind-4 (counted stats)
+/// canonical-solution payload.
+pub fn decode_canonical_record(payload: &[u8], kind: u8) -> Result<SolutionRecord, DecodeError> {
+    let layout = stats_layout(kind)?;
     let mut r = ByteReader::new(payload);
     let context = r.str()?.to_owned();
     let key = decode_key(&mut r)?;
     let canon = r.bytes()?.to_vec();
     let positional = r.bytes()?.to_vec();
-    let solution = decode_solution(&mut r)?;
+    let solution = decode_solution(&mut r, layout)?;
     if !r.is_exhausted() {
         return Err(DecodeError);
     }
@@ -167,6 +194,14 @@ pub fn decode_canonical_record(payload: &[u8]) -> Result<SolutionRecord, DecodeE
         solution,
         canonical: Some(CanonicalParts { canon, positional }),
     })
+}
+
+fn stats_layout(kind: u8) -> Result<StatsLayout, DecodeError> {
+    match kind {
+        KIND_SOLUTION | KIND_CANONICAL_SOLUTION => Ok(StatsLayout::Fixed11),
+        KIND_SOLUTION_V3 | KIND_CANONICAL_SOLUTION_V3 => Ok(StatsLayout::Counted),
+        _ => Err(DecodeError),
+    }
 }
 
 fn encode_key(w: &mut ByteWriter, key: &LayerKeyParts) {
@@ -248,7 +283,10 @@ fn encode_solution(w: &mut ByteWriter, sol: &LayerSolution) {
     encode_stats(w, &sol.stats);
 }
 
-fn decode_solution(r: &mut ByteReader<'_>) -> Result<LayerSolution, DecodeError> {
+fn decode_solution(
+    r: &mut ByteReader<'_>,
+    layout: StatsLayout,
+) -> Result<LayerSolution, DecodeError> {
     let slots = decode_vec(r, |r| {
         Ok(ScheduledOp {
             op: OpId(r.size()?),
@@ -264,7 +302,7 @@ fn decode_solution(r: &mut ByteReader<'_>) -> Result<LayerSolution, DecodeError>
         .into_iter()
         .collect();
     let objective = r.u64()?;
-    let stats = decode_stats(r)?;
+    let stats = decode_stats(r, layout)?;
     Ok(LayerSolution {
         slots,
         devices,
@@ -275,8 +313,14 @@ fn decode_solution(r: &mut ByteReader<'_>) -> Result<LayerSolution, DecodeError>
     })
 }
 
-fn encode_stats(w: &mut ByteWriter, st: &SolverStats) {
-    for v in [
+/// The canonical field order of the stats block. Append-only: new
+/// counters go at the end so counted-layout records decode across
+/// versions (missing fields zero-fill, unknown trailing fields are
+/// ignored).
+const STATS_FIELDS: usize = 19;
+
+fn stats_fields(st: &SolverStats) -> [u64; STATS_FIELDS] {
+    [
         st.ilp_solves,
         st.proven_optimal,
         st.nodes,
@@ -288,25 +332,62 @@ fn encode_stats(w: &mut ByteWriter, st: &SolverStats) {
         st.incumbents_search,
         st.heuristic_rounds,
         st.rebind_adoptions,
-    ] {
+        st.sdc_solves,
+        st.sdc_constraints,
+        st.sdc_retracts,
+        st.sdc_relaxations,
+        st.portfolio_races,
+        st.wins_heuristic,
+        st.wins_sdc,
+        st.wins_ilp,
+    ]
+}
+
+fn stats_from_fields(vals: [u64; STATS_FIELDS]) -> SolverStats {
+    SolverStats {
+        ilp_solves: vals[0],
+        proven_optimal: vals[1],
+        nodes: vals[2],
+        pivots: vals[3],
+        warm_solves: vals[4],
+        cold_solves: vals[5],
+        incumbents_supplied: vals[6],
+        incumbents_diving: vals[7],
+        incumbents_search: vals[8],
+        heuristic_rounds: vals[9],
+        rebind_adoptions: vals[10],
+        sdc_solves: vals[11],
+        sdc_constraints: vals[12],
+        sdc_retracts: vals[13],
+        sdc_relaxations: vals[14],
+        portfolio_races: vals[15],
+        wins_heuristic: vals[16],
+        wins_sdc: vals[17],
+        wins_ilp: vals[18],
+    }
+}
+
+fn encode_stats(w: &mut ByteWriter, st: &SolverStats) {
+    let fields = stats_fields(st);
+    w.size(fields.len());
+    for v in fields {
         w.u64(v);
     }
 }
 
-fn decode_stats(r: &mut ByteReader<'_>) -> Result<SolverStats, DecodeError> {
-    Ok(SolverStats {
-        ilp_solves: r.u64()?,
-        proven_optimal: r.u64()?,
-        nodes: r.u64()?,
-        pivots: r.u64()?,
-        warm_solves: r.u64()?,
-        cold_solves: r.u64()?,
-        incumbents_supplied: r.u64()?,
-        incumbents_diving: r.u64()?,
-        incumbents_search: r.u64()?,
-        heuristic_rounds: r.u64()?,
-        rebind_adoptions: r.u64()?,
-    })
+fn decode_stats(r: &mut ByteReader<'_>, layout: StatsLayout) -> Result<SolverStats, DecodeError> {
+    let count = match layout {
+        StatsLayout::Fixed11 => 11,
+        StatsLayout::Counted => r.size()?,
+    };
+    let mut vals = [0u64; STATS_FIELDS];
+    for i in 0..count {
+        let v = r.u64()?;
+        if let Some(slot) = vals.get_mut(i) {
+            *slot = v;
+        }
+    }
+    Ok(stats_from_fields(vals))
 }
 
 fn encode_device(w: &mut ByteWriter, d: &DeviceConfig) {
@@ -431,11 +512,14 @@ pub fn scan_segment(bytes: &[u8]) -> Result<SegmentScan, crate::error::CorruptKi
         if expected != checksum {
             scan.quarantined
                 .push((pos as u64, CorruptKind::ChecksumMismatch));
-        } else if kind == KIND_SOLUTION || kind == KIND_CANONICAL_SOLUTION {
-            let decoded = if kind == KIND_SOLUTION {
-                decode_record(payload)
+        } else if matches!(
+            kind,
+            KIND_SOLUTION | KIND_CANONICAL_SOLUTION | KIND_SOLUTION_V3 | KIND_CANONICAL_SOLUTION_V3
+        ) {
+            let decoded = if kind == KIND_SOLUTION || kind == KIND_SOLUTION_V3 {
+                decode_record(payload, kind)
             } else {
-                decode_canonical_record(payload)
+                decode_canonical_record(payload, kind)
             };
             match decoded {
                 Ok(rec) => scan.records.push(rec),
@@ -490,7 +574,14 @@ mod tests {
                 new_devices: vec![0],
                 new_paths: [(0, 1)].into_iter().collect(),
                 objective: tag * 7,
-                stats: SolverStats::default(),
+                stats: SolverStats {
+                    ilp_solves: tag,
+                    sdc_solves: tag + 1,
+                    sdc_relaxations: tag * 3,
+                    portfolio_races: 1,
+                    wins_sdc: 1,
+                    ..SolverStats::default()
+                },
             },
             canonical: None,
         }
@@ -510,18 +601,72 @@ mod tests {
     fn record_round_trips() {
         let rec = sample_record(9);
         let framed = encode_record(&rec);
-        assert_eq!(framed[0], KIND_SOLUTION);
+        assert_eq!(framed[0], KIND_SOLUTION_V3);
         let payload = &framed[RECORD_HEADER_LEN..];
-        assert_eq!(decode_record(payload), Ok(rec));
+        assert_eq!(decode_record(payload, KIND_SOLUTION_V3), Ok(rec));
     }
 
     #[test]
-    fn canonical_record_round_trips_as_kind_2() {
+    fn canonical_record_round_trips_as_kind_4() {
         let rec = sample_canonical_record(11);
         let framed = encode_record(&rec);
-        assert_eq!(framed[0], KIND_CANONICAL_SOLUTION);
+        assert_eq!(framed[0], KIND_CANONICAL_SOLUTION_V3);
         let payload = &framed[RECORD_HEADER_LEN..];
-        assert_eq!(decode_canonical_record(payload), Ok(rec));
+        assert_eq!(
+            decode_canonical_record(payload, KIND_CANONICAL_SOLUTION_V3),
+            Ok(rec)
+        );
+    }
+
+    /// Encodes `rec` exactly as a pre-0.11 writer did: kind 1, solver
+    /// stats as eleven bare u64s with no count prefix.
+    fn encode_legacy_record(rec: &SolutionRecord) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.str(&rec.context);
+        encode_key(&mut w, &rec.key);
+        let sol = &rec.solution;
+        w.size(sol.slots.len());
+        for s in &sol.slots {
+            w.size(s.op.index());
+            w.size(s.device);
+            w.u64(s.start);
+            w.u64(s.duration);
+            w.u64(s.transport);
+        }
+        w.size(sol.devices.len());
+        for d in &sol.devices {
+            encode_device(&mut w, d);
+        }
+        w.size(sol.new_devices.len());
+        for &d in &sol.new_devices {
+            w.size(d);
+        }
+        w.size(sol.new_paths.len());
+        for &(a, b) in &sol.new_paths {
+            w.size(a);
+            w.size(b);
+        }
+        w.u64(sol.objective);
+        for v in stats_fields(&sol.stats).into_iter().take(11) {
+            w.u64(v);
+        }
+        frame_record(KIND_SOLUTION, &w.finish())
+    }
+
+    #[test]
+    fn legacy_fixed_stats_records_still_decode() {
+        let mut rec = sample_record(5);
+        // A pre-0.11 writer could not have persisted the new counters.
+        rec.solution.stats.sdc_solves = 0;
+        rec.solution.stats.sdc_relaxations = 0;
+        rec.solution.stats.portfolio_races = 0;
+        rec.solution.stats.wins_sdc = 0;
+        let framed = encode_legacy_record(&rec);
+        assert_eq!(framed[0], KIND_SOLUTION);
+        let payload = &framed[RECORD_HEADER_LEN..];
+        let decoded = decode_record(payload, KIND_SOLUTION).expect("legacy layout decodes");
+        assert_eq!(decoded, rec);
+        assert_eq!(decoded.solution.stats.sdc_solves, 0);
     }
 
     #[test]

@@ -104,6 +104,14 @@ fn rng_solution(rng: &mut SplitMix64) -> LayerSolution {
             incumbents_search: below(rng, 10) as u64,
             heuristic_rounds: below(rng, 10) as u64,
             rebind_adoptions: below(rng, 10) as u64,
+            sdc_solves: below(rng, 4) as u64,
+            sdc_constraints: below(rng, 200) as u64,
+            sdc_retracts: below(rng, 50) as u64,
+            sdc_relaxations: below(rng, 500) as u64,
+            portfolio_races: below(rng, 2) as u64,
+            wins_heuristic: below(rng, 2) as u64,
+            wins_sdc: below(rng, 2) as u64,
+            wins_ilp: below(rng, 2) as u64,
         },
     }
 }

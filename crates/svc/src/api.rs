@@ -348,24 +348,19 @@ pub fn parse_incoming(line: &str) -> Result<Incoming, RequestError> {
     })))
 }
 
-/// Maps a solver name to the [`SolverKind`] the CLI and the service both
-/// use (`heuristic`, `ilp`, `hybrid` — with the same node budgets as the
-/// `mfhls synth --solver` flag).
+/// Maps a solver spec in flag syntax to the [`SolverKind`] the CLI and
+/// the service both use — a bare backend name (`heuristic`, `sdc`, `ilp`,
+/// `hybrid`, `portfolio`), a parameterized form
+/// (`hybrid:max_nodes=20000`), or a portfolio leg list
+/// (`portfolio:heuristic+sdc+ilp`). The backend registry lives in
+/// [`crate::spec`]; this is a thin alias for [`crate::spec::parse_spec`].
 ///
 /// # Errors
 ///
-/// A message naming the unknown solver.
+/// A targeted message naming the unknown solver (with the registered
+/// names) or the offending field/value.
 pub fn solver_from_str(name: &str) -> Result<SolverKind, String> {
-    match name {
-        "heuristic" => Ok(SolverKind::default()),
-        "ilp" => Ok(SolverKind::Ilp { max_nodes: 500_000 }),
-        "hybrid" => Ok(SolverKind::Hybrid {
-            max_nodes: 200_000,
-            ilp_op_limit: 8,
-            improvement_passes: 2,
-        }),
-        other => Err(format!("unknown solver '{other}' (heuristic|ilp|hybrid)")),
-    }
+    crate::spec::parse_spec(name)
 }
 
 /// Instantiates a named benchmark assay: `kinase` (scale = samples,
@@ -467,7 +462,8 @@ impl SynthesisRequest {
     /// [`SynthConfig::default`] through the validating builder.
     ///
     /// Recognized keys: `max_devices`, `threshold`, `weights` (array of
-    /// four), `solver` (string), `conventional` (bool),
+    /// four), `solver` (flag-syntax string or structured object, see
+    /// [`crate::spec`]), `conventional` (bool),
     /// `component_oriented` (bool), `min_improvement`, `max_iterations`,
     /// `layer_cache` (bool). Unknown keys are rejected.
     ///
@@ -521,10 +517,9 @@ impl SynthesisRequest {
                     });
                 }
                 "solver" => {
-                    let name = value
-                        .as_str()
-                        .ok_or_else(|| bad("'solver' must be a string".to_owned()))?;
-                    builder = builder.solver(solver_from_str(name).map_err(bad)?);
+                    // Bare string (flag syntax, pre-0.11 compatible) or a
+                    // structured object — one parser for both.
+                    builder = builder.solver(crate::spec::spec_from_json(value).map_err(bad)?);
                 }
                 "conventional" => {
                     conventional = value
@@ -642,6 +637,14 @@ pub fn solver_stats_json(s: &mfhls_core::SolverStats) -> Json {
         ("cold_solves", Json::Int(s.cold_solves as i64)),
         ("heuristic_rounds", Json::Int(s.heuristic_rounds as i64)),
         ("rebind_adoptions", Json::Int(s.rebind_adoptions as i64)),
+        ("sdc_solves", Json::Int(s.sdc_solves as i64)),
+        ("sdc_constraints", Json::Int(s.sdc_constraints as i64)),
+        ("sdc_retracts", Json::Int(s.sdc_retracts as i64)),
+        ("sdc_relaxations", Json::Int(s.sdc_relaxations as i64)),
+        ("portfolio_races", Json::Int(s.portfolio_races as i64)),
+        ("wins_heuristic", Json::Int(s.wins_heuristic as i64)),
+        ("wins_sdc", Json::Int(s.wins_sdc as i64)),
+        ("wins_ilp", Json::Int(s.wins_ilp as i64)),
     ])
 }
 
@@ -699,6 +702,7 @@ pub fn response_ok(
     artifacts: Artifacts,
     trace_fingerprint: Option<String>,
     delta_hit: bool,
+    solver: &SolverKind,
 ) -> Json {
     let mut entries = vec![
         ("version", Json::Str(VERSION.to_owned())),
@@ -722,7 +726,7 @@ pub fn response_ok(
         entries.push(("trace_fingerprint", Json::Str(fp)));
     }
     if artifacts.diagnostics {
-        entries.push(("diagnostics", diagnostics_json(result, delta_hit)));
+        entries.push(("diagnostics", diagnostics_json(result, delta_hit, solver)));
     }
     obj(entries)
 }
@@ -735,8 +739,10 @@ pub fn response_ok(
 /// persistent store) are its classified subsets, the remainder being
 /// exact in-memory hits. `delta_hit` marks a response replayed whole from
 /// the service's delta cache — its other counters then describe the run
-/// that originally produced the result.
-pub fn diagnostics_json(result: &SynthesisResult, delta_hit: bool) -> Json {
+/// that originally produced the result. `solver` is echoed back as the
+/// fully-resolved structured spec ([`crate::spec::spec_json`]) so clients
+/// see exactly which strategy — defaults filled in — served the request.
+pub fn diagnostics_json(result: &SynthesisResult, delta_hit: bool, solver: &SolverKind) -> Json {
     let hits: u64 = result.iterations.iter().map(|it| it.cache_hits).sum();
     let canonical: u64 = result
         .iterations
@@ -755,6 +761,7 @@ pub fn diagnostics_json(result: &SynthesisResult, delta_hit: bool) -> Json {
         ("cache_store_hits", Json::Int(store as i64)),
         ("cache_misses", Json::Int(misses as i64)),
         ("delta_hit", Json::Bool(delta_hit)),
+        ("solver", crate::spec::spec_json(solver)),
     ])
 }
 
@@ -1075,15 +1082,24 @@ mod tests {
         let result = Synthesizer::new(SynthConfig::default())
             .run(&assay)
             .unwrap();
-        let text =
-            response_ok("r1", &assay, &result, Artifacts::default(), None, false).to_string();
+        let solver = SolverKind::default();
+        let text = response_ok(
+            "r1",
+            &assay,
+            &result,
+            Artifacts::default(),
+            None,
+            false,
+            &solver,
+        )
+        .to_string();
         assert!(!text.contains("runtime"), "{text}");
         assert!(!text.contains("cache_"), "{text}");
         let v = Json::parse(&text).unwrap();
         let stats = v.get("stats").unwrap();
         assert!(stats.get("exec_time").is_some());
         assert!(stats.get("solver").is_some());
-        // diagnostics artifact opts in.
+        // diagnostics artifact opts in, and echoes the resolved spec.
         let with = response_ok(
             "r1",
             &assay,
@@ -1094,11 +1110,16 @@ mod tests {
             },
             None,
             false,
+            &solver,
         )
         .to_string();
         assert!(with.contains("runtime_us"), "{with}");
         assert!(with.contains("cache_canonical_hits"), "{with}");
         assert!(with.contains("cache_store_hits"), "{with}");
         assert!(with.contains("\"delta_hit\":false"), "{with}");
+        assert!(
+            with.contains("\"solver\":{\"kind\":\"heuristic\""),
+            "{with}"
+        );
     }
 }

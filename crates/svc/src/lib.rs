@@ -45,6 +45,7 @@ pub mod netlist;
 mod pipeline;
 pub mod service;
 pub mod shard;
+pub mod spec;
 
 pub use api::{
     benchmark_assay, parse_incoming, solver_from_str, Artifacts, AssaySource, ErrorKind, Incoming,
@@ -53,3 +54,7 @@ pub use api::{
 pub use json::{Json, JsonError};
 pub use netlist::{assay_from_json, NETLIST_VERSION};
 pub use service::{ServiceConfig, ServiceSummary, ShardStats, SynthesisService};
+pub use spec::{
+    backend_names, kind_name, parse_spec, spec_display, spec_from_json, spec_json, BackendInfo,
+    BACKENDS,
+};

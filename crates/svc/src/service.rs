@@ -960,7 +960,15 @@ impl SynthesisService {
         if let (Some(delta), Some(shape)) = (&self.delta, &shape) {
             if let Some(result) = delta.lookup_full(shape) {
                 return SolvedOne {
-                    line: response_ok(&p.id, &p.assay, &result, p.artifacts, None, true),
+                    line: response_ok(
+                        &p.id,
+                        &p.assay,
+                        &result,
+                        p.artifacts,
+                        None,
+                        true,
+                        &p.config.solver,
+                    ),
                     outcome: Outcome::Solved,
                     cache_hits: 0,
                     cache_canonical_hits: 0,
@@ -1000,7 +1008,15 @@ impl SynthesisService {
                 let cache_store_hits = result.iterations.iter().map(|it| it.cache_store_hits).sum();
                 let cache_misses = result.iterations.iter().map(|it| it.cache_misses).sum();
                 SolvedOne {
-                    line: response_ok(&p.id, &p.assay, &result, p.artifacts, fingerprint, false),
+                    line: response_ok(
+                        &p.id,
+                        &p.assay,
+                        &result,
+                        p.artifacts,
+                        fingerprint,
+                        false,
+                        &p.config.solver,
+                    ),
                     outcome: Outcome::Solved,
                     cache_hits,
                     cache_canonical_hits,

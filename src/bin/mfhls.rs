@@ -85,7 +85,7 @@ fn print_usage() {
         "mfhls — component-oriented HLS for continuous-flow microfluidics (DAC'17)\n\n\
          USAGE:\n  \
          mfhls synth <file.mfa> [--conventional] [--max-devices N] [--threshold T]\n             \
-         [--weights Ct,Ca,Cpr,Cp] [--solver heuristic|ilp|hybrid] [--threads N]\n             \
+         [--weights Ct,Ca,Cpr,Cp] [--solver SPEC] [--threads N]\n             \
          [--svg FILE] [--csv FILE] [--gantt] [--report] [--iterations]\n  \
          mfhls validate <file.mfa>\n  \
          mfhls simulate <file.mfa> [--trials N] [--policy hybrid|online]\n             \
@@ -104,6 +104,11 @@ fn print_usage() {
          mfhls gen [--seed S] [--count N] [--profile P|all]\n             \
          [--format dsl|netlist] [--out DIR] [--check] [--threads N]\n\n\
          OPTIONS:\n  \
+         --solver SPEC layer-solver strategy: a backend name\n                \
+         (heuristic|sdc|ilp|hybrid|portfolio), a parameterized\n                \
+         form like hybrid:max_nodes=20000 or\n                \
+         sdc:improvement_passes=3, or a deterministic race\n                \
+         like portfolio:heuristic+sdc+ilp (default: heuristic).\n  \
          --format F    (synth|simulate|faultsim) text (default) or json — one\n                \
          mfhls-api/v1 object on stdout.\n  \
          --threads N   worker-pool size for parallel trials / candidate search\n                \
@@ -405,6 +410,18 @@ fn synth(args: &[String]) -> Result<(), CliError> {
             solver.nodes,
             solver.pivots,
             solver.warm_start_rate() * 100.0
+        );
+    }
+    if solver.sdc_solves > 0 {
+        println!(
+            "sdc solver: {} solves | {} constraints (+{} retracted) | {} relaxations",
+            solver.sdc_solves, solver.sdc_constraints, solver.sdc_retracts, solver.sdc_relaxations
+        );
+    }
+    if solver.portfolio_races > 0 {
+        println!(
+            "portfolio: {} races | wins heuristic {} / sdc {} / ilp {}",
+            solver.portfolio_races, solver.wins_heuristic, solver.wins_sdc, solver.wins_ilp
         );
     }
     if flags.has("--iterations") {
